@@ -1,0 +1,273 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::program::{DataId, TaskId};
+
+/// Identity of a datum that can reside in an engine's global buffer: either
+/// a task output (an atom's ofmap) or an external datum (weights, inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Datum {
+    /// Output of a task.
+    Task(TaskId),
+    /// External (DRAM-originated) datum.
+    Ext(DataId),
+}
+
+/// Buffer-overflow eviction policy (paper Sec. IV-C "Buffering Strategy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionKind {
+    /// The paper's Algorithm 3: evict the entry with the largest *invalid
+    /// occupation* — `(next-use round − current round) × size` — i.e. the
+    /// datum that would otherwise sit idle in the buffer the longest per
+    /// byte.
+    InvalidOccupation,
+    /// Least-recently-used (baseline).
+    Lru,
+    /// First-in-first-out (baseline).
+    Fifo,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Entry {
+    bytes: u64,
+    inserted_at: u64,
+    last_used: u64,
+    /// Round of the datum's next anticipated use (`u64::MAX` = never),
+    /// refreshed on insert and on every touch.
+    next_use: u64,
+}
+
+/// Contents of one engine's global buffer.
+///
+/// Entries are keyed by [`Datum`] in a deterministic (ordered) map so victim
+/// selection is reproducible across runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BufferState {
+    capacity: u64,
+    used: u64,
+    entries: BTreeMap<Datum, Entry>,
+}
+
+impl BufferState {
+    /// An empty buffer of the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, used: 0, entries: BTreeMap::new() }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Free bytes.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Whether the buffer holds `datum`.
+    pub fn contains(&self, datum: &Datum) -> bool {
+        self.entries.contains_key(datum)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over resident data.
+    pub fn data(&self) -> impl Iterator<Item = (&Datum, u64)> {
+        self.entries.iter().map(|(d, e)| (d, e.bytes))
+    }
+
+    /// Inserts `datum`; the caller must have made room first. `next_use` is
+    /// the round of the datum's next anticipated consumption (`u64::MAX`
+    /// when unknown/never).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the entry does not fit — the simulator always calls
+    /// [`BufferState::pick_victims`] until it does.
+    pub fn insert(&mut self, datum: Datum, bytes: u64, round: u64, next_use: u64) {
+        debug_assert!(self.used + bytes <= self.capacity, "buffer overflow on insert");
+        if let Some(prev) = self
+            .entries
+            .insert(datum, Entry { bytes, inserted_at: round, last_used: round, next_use })
+        {
+            self.used -= prev.bytes;
+        }
+        self.used += bytes;
+    }
+
+    /// Marks `datum` as used at `round` and refreshes its next-use estimate
+    /// (for LRU and invalid-occupation bookkeeping).
+    pub fn touch(&mut self, datum: &Datum, round: u64, next_use: u64) {
+        if let Some(e) = self.entries.get_mut(datum) {
+            e.last_used = round;
+            e.next_use = next_use;
+        }
+    }
+
+    /// Removes `datum`, returning its size if it was resident.
+    pub fn remove(&mut self, datum: &Datum) -> Option<u64> {
+        self.entries.remove(datum).map(|e| {
+            self.used -= e.bytes;
+            e.bytes
+        })
+    }
+
+    /// Selects victims freeing at least `deficit` bytes, in eviction order,
+    /// according to `kind` (one scan — Alg. 3 evaluated over the buffer).
+    ///
+    /// `now` is the current round; `pinned(d)` marks entries that must stay
+    /// (operands/outputs of the executing round). May free fewer bytes than
+    /// requested when everything else is pinned.
+    pub fn pick_victims(
+        &self,
+        kind: EvictionKind,
+        now: u64,
+        deficit: u64,
+        pinned: &dyn Fn(&Datum) -> bool,
+    ) -> Vec<Datum> {
+        let mut scored: Vec<(u128, Datum, u64)> = self
+            .entries
+            .iter()
+            .filter(|(d, _)| !pinned(d))
+            .map(|(d, e)| {
+                let score: u128 = match kind {
+                    EvictionKind::InvalidOccupation => {
+                        // Alg. 3: invalid occupation = wait-time × size.
+                        // Data never used again has unbounded occupation.
+                        let wait = if e.next_use == u64::MAX {
+                            u64::MAX / 2
+                        } else {
+                            e.next_use.saturating_sub(now) + 1
+                        };
+                        (wait as u128) * (e.bytes.max(1) as u128)
+                    }
+                    // LRU/FIFO evict the *smallest* timestamp first: invert.
+                    EvictionKind::Lru => u128::MAX - e.last_used as u128,
+                    EvictionKind::Fifo => u128::MAX - e.inserted_at as u128,
+                };
+                (score, *d, e.bytes)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut out = Vec::new();
+        let mut freed = 0u64;
+        for (_, d, bytes) in scored {
+            if freed >= deficit {
+                break;
+            }
+            freed += bytes;
+            out.push(d);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn td(i: u32) -> Datum {
+        Datum::Task(TaskId(i))
+    }
+
+    const NEVER: u64 = u64::MAX;
+
+    #[test]
+    fn insert_remove_accounting() {
+        let mut b = BufferState::new(100);
+        b.insert(td(0), 40, 0, NEVER);
+        b.insert(td(1), 30, 1, NEVER);
+        assert_eq!(b.used(), 70);
+        assert_eq!(b.free(), 30);
+        assert_eq!(b.remove(&td(0)), Some(40));
+        assert_eq!(b.used(), 30);
+        assert_eq!(b.remove(&td(0)), None);
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut b = BufferState::new(100);
+        b.insert(td(0), 40, 0, NEVER);
+        b.insert(td(0), 60, 1, NEVER);
+        assert_eq!(b.used(), 60);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn invalid_occupation_prefers_long_wait_large_size() {
+        let mut b = BufferState::new(1000);
+        b.insert(td(0), 100, 0, 1); // occupation ~ 2*100
+        b.insert(td(1), 100, 0, 9); // occupation ~ 10*100
+        b.insert(td(2), 10, 0, 9); // occupation ~ 10*10
+        let v = b.pick_victims(EvictionKind::InvalidOccupation, 0, 1, &|_| false);
+        assert_eq!(v, vec![td(1)]);
+    }
+
+    #[test]
+    fn never_used_again_evicted_first() {
+        let mut b = BufferState::new(1000);
+        b.insert(td(0), 500, 0, 1);
+        b.insert(td(1), 1, 0, NEVER); // tiny, but dead
+        let v = b.pick_victims(EvictionKind::InvalidOccupation, 0, 1, &|_| false);
+        assert_eq!(v, vec![td(1)]);
+    }
+
+    #[test]
+    fn batch_eviction_frees_enough() {
+        let mut b = BufferState::new(1000);
+        for i in 0..5 {
+            b.insert(td(i), 100, 0, 5 + i as u64);
+        }
+        let v = b.pick_victims(EvictionKind::InvalidOccupation, 0, 250, &|_| false);
+        // 3 victims of 100 bytes each cover the 250-byte deficit.
+        assert_eq!(v.len(), 3);
+        // Longest-wait entries go first.
+        assert_eq!(v[0], td(4));
+    }
+
+    #[test]
+    fn lru_and_fifo_orders() {
+        let mut b = BufferState::new(1000);
+        b.insert(td(0), 10, 0, NEVER);
+        b.insert(td(1), 10, 1, NEVER);
+        b.touch(&td(0), 5, NEVER);
+        let lru = b.pick_victims(EvictionKind::Lru, 6, 1, &|_| false);
+        assert_eq!(lru, vec![td(1)]); // td(0) touched more recently
+        let fifo = b.pick_victims(EvictionKind::Fifo, 6, 1, &|_| false);
+        assert_eq!(fifo, vec![td(0)]); // inserted first
+    }
+
+    #[test]
+    fn pinned_entries_never_chosen() {
+        let mut b = BufferState::new(1000);
+        b.insert(td(0), 10, 0, NEVER);
+        let v = b.pick_victims(EvictionKind::Lru, 1, 1, &|d| *d == td(0));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn touch_refreshes_next_use() {
+        let mut b = BufferState::new(1000);
+        b.insert(td(0), 10, 0, 2);
+        b.insert(td(1), 10, 0, 50);
+        // After round 2, td(0)'s next use moves out to round 100: it now
+        // out-waits td(1).
+        b.touch(&td(0), 2, 100);
+        let v = b.pick_victims(EvictionKind::InvalidOccupation, 3, 1, &|_| false);
+        assert_eq!(v, vec![td(0)]);
+    }
+}

@@ -1,0 +1,369 @@
+use std::collections::HashSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task within a [`Program`] (dense, insertion-ordered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The id as an index into [`Program::tasks`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of an *external* datum: data that originates in DRAM rather
+/// than being produced by a task — weight slices and network-input regions.
+/// The encoding is up to the program builder (e.g. `layer_id << 20 | slice`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DataId(pub u64);
+
+/// One input of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// The output of another task (`bytes` of it).
+    Task {
+        /// Producing task.
+        producer: TaskId,
+        /// Bytes consumed.
+        bytes: u64,
+    },
+    /// An external datum, initially resident in DRAM and cacheable on-chip
+    /// (weights, network inputs).
+    External {
+        /// Datum identity (for on-chip reuse across tasks).
+        id: DataId,
+        /// Bytes consumed.
+        bytes: u64,
+    },
+}
+
+impl Operand {
+    /// Convenience constructor for a task-output operand.
+    pub fn task(producer: TaskId, bytes: u64) -> Self {
+        Operand::Task { producer, bytes }
+    }
+
+    /// Convenience constructor for an external operand.
+    pub fn external(id: DataId, bytes: u64) -> Self {
+        Operand::External { id, bytes }
+    }
+
+    /// Bytes this operand contributes.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Operand::Task { bytes, .. } | Operand::External { bytes, .. } => *bytes,
+        }
+    }
+}
+
+/// One schedulable unit of work: an atom, a layer partition, or a pipeline
+/// chunk, depending on the strategy that produced the program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Task {
+    /// Compute cycles on the engine (from `engine-model`).
+    pub compute_cycles: u64,
+    /// MAC operations (for PE-utilization statistics; 0 for vector work).
+    pub macs: u64,
+    /// Bytes of output produced.
+    pub output_bytes: u64,
+    /// Inputs gathered before compute starts.
+    pub inputs: Vec<Operand>,
+    /// On-engine energy (MAC + SRAM) in picojoules.
+    pub compute_energy_pj: f64,
+    /// Grouping tag for statistics (typically the source layer id).
+    pub tag: u32,
+    /// When `true`, the output bypasses the on-chip buffer and is written
+    /// straight to DRAM; consumers will read it from DRAM. Used by the
+    /// CNN-Partition baseline, whose CLPs always communicate through
+    /// off-chip memory (Sec. II-B).
+    pub dram_output: bool,
+}
+
+impl Task {
+    /// A compute task with sensible defaults (`tag = 0`, buffered output,
+    /// zero explicit energy).
+    pub fn compute(compute_cycles: u64, macs: u64, output_bytes: u64, inputs: Vec<Operand>) -> Self {
+        Self {
+            compute_cycles,
+            macs,
+            output_bytes,
+            inputs,
+            compute_energy_pj: 0.0,
+            tag: 0,
+            dram_output: false,
+        }
+    }
+
+    /// Sets the statistics tag (builder style).
+    pub fn with_tag(mut self, tag: u32) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Sets the on-engine energy (builder style).
+    pub fn with_energy_pj(mut self, pj: f64) -> Self {
+        self.compute_energy_pj = pj;
+        self
+    }
+
+    /// Forces the output to DRAM (builder style).
+    pub fn with_dram_output(mut self) -> Self {
+        self.dram_output = true;
+        self
+    }
+
+    /// Total operand bytes.
+    pub fn input_bytes(&self) -> u64 {
+        self.inputs.iter().map(Operand::bytes).sum()
+    }
+}
+
+/// Structural problems detected by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A round references a task id that does not exist.
+    UnknownTask {
+        /// Offending round.
+        round: usize,
+        /// Offending id.
+        task: TaskId,
+    },
+    /// A task is scheduled more than once.
+    DoubleScheduled(TaskId),
+    /// A task is never scheduled.
+    Unscheduled(TaskId),
+    /// A task consumes a producer scheduled in the same or a later round.
+    DependencyViolation {
+        /// Consuming task.
+        consumer: TaskId,
+        /// Producing task.
+        producer: TaskId,
+    },
+    /// Two tasks in one round are assigned to the same engine.
+    EngineConflict {
+        /// Offending round.
+        round: usize,
+        /// Offending engine.
+        engine: usize,
+    },
+    /// An assignment targets an engine outside the mesh.
+    EngineOutOfRange {
+        /// Offending round.
+        round: usize,
+        /// Offending engine.
+        engine: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnknownTask { round, task } => {
+                write!(f, "round {round} references unknown task {task}")
+            }
+            ProgramError::DoubleScheduled(t) => write!(f, "task {t} scheduled more than once"),
+            ProgramError::Unscheduled(t) => write!(f, "task {t} never scheduled"),
+            ProgramError::DependencyViolation { consumer, producer } => {
+                write!(f, "task {consumer} runs no later than its producer {producer}")
+            }
+            ProgramError::EngineConflict { round, engine } => {
+                write!(f, "round {round} assigns engine {engine} twice")
+            }
+            ProgramError::EngineOutOfRange { round, engine } => {
+                write!(f, "round {round} targets engine {engine} outside the mesh")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A fully scheduled workload: tasks plus their round-by-round engine
+/// assignment, ready for simulation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Program {
+    tasks: Vec<Task>,
+    rounds: Vec<Vec<(TaskId, usize)>>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a task and returns its id. Tasks may be added in any order; only
+    /// rounds define execution order.
+    pub fn push_task(&mut self, task: Task) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(task);
+        id
+    }
+
+    /// Appends a round of `(task, engine)` assignments.
+    pub fn push_round(&mut self, assignments: Vec<(TaskId, usize)>) {
+        self.rounds.push(assignments);
+    }
+
+    /// All tasks, indexed by [`TaskId`].
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The task with the given id.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// The schedule: one entry per round.
+    pub fn rounds(&self) -> &[Vec<(TaskId, usize)>] {
+        &self.rounds
+    }
+
+    /// Total scheduled compute cycles (Σ task cycles — a serial lower-bound
+    /// proxy, not wall-clock).
+    pub fn total_compute_cycles(&self) -> u64 {
+        self.tasks.iter().map(|t| t.compute_cycles).sum()
+    }
+
+    /// Total MACs in the program.
+    pub fn total_macs(&self) -> u64 {
+        self.tasks.iter().map(|t| t.macs).sum()
+    }
+
+    /// Checks schedule integrity against a mesh of `engines` engines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProgramError`] found (see its variants).
+    pub fn validate(&self, engines: usize) -> Result<(), ProgramError> {
+        let mut scheduled_round = vec![usize::MAX; self.tasks.len()];
+        for (r, round) in self.rounds.iter().enumerate() {
+            let mut used: HashSet<usize> = HashSet::new();
+            for (tid, engine) in round {
+                if tid.index() >= self.tasks.len() {
+                    return Err(ProgramError::UnknownTask { round: r, task: *tid });
+                }
+                if *engine >= engines {
+                    return Err(ProgramError::EngineOutOfRange { round: r, engine: *engine });
+                }
+                if scheduled_round[tid.index()] != usize::MAX {
+                    return Err(ProgramError::DoubleScheduled(*tid));
+                }
+                scheduled_round[tid.index()] = r;
+                if !used.insert(*engine) {
+                    return Err(ProgramError::EngineConflict { round: r, engine: *engine });
+                }
+            }
+        }
+        for (i, task) in self.tasks.iter().enumerate() {
+            let me = scheduled_round[i];
+            if me == usize::MAX {
+                return Err(ProgramError::Unscheduled(TaskId(i as u32)));
+            }
+            for op in &task.inputs {
+                if let Operand::Task { producer, .. } = op {
+                    let pr = scheduled_round
+                        .get(producer.index())
+                        .copied()
+                        .unwrap_or(usize::MAX);
+                    if pr == usize::MAX || pr >= me {
+                        return Err(ProgramError::DependencyViolation {
+                            consumer: TaskId(i as u32),
+                            producer: *producer,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_task_program() -> (Program, TaskId, TaskId) {
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(10, 100, 64, vec![]));
+        let b = p.push_task(Task::compute(20, 200, 32, vec![Operand::task(a, 64)]));
+        (p, a, b)
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let (mut p, a, b) = two_task_program();
+        p.push_round(vec![(a, 0)]);
+        p.push_round(vec![(b, 1)]);
+        assert!(p.validate(4).is_ok());
+        assert_eq!(p.total_compute_cycles(), 30);
+        assert_eq!(p.total_macs(), 300);
+    }
+
+    #[test]
+    fn same_round_dependency_rejected() {
+        let (mut p, a, b) = two_task_program();
+        p.push_round(vec![(a, 0), (b, 1)]);
+        assert!(matches!(
+            p.validate(4),
+            Err(ProgramError::DependencyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn unscheduled_task_rejected() {
+        let (mut p, a, _) = two_task_program();
+        p.push_round(vec![(a, 0)]);
+        assert!(matches!(p.validate(4), Err(ProgramError::Unscheduled(_))));
+    }
+
+    #[test]
+    fn engine_conflict_rejected() {
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(1, 0, 0, vec![]));
+        let b = p.push_task(Task::compute(1, 0, 0, vec![]));
+        p.push_round(vec![(a, 2), (b, 2)]);
+        assert!(matches!(p.validate(4), Err(ProgramError::EngineConflict { .. })));
+    }
+
+    #[test]
+    fn engine_range_checked() {
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(1, 0, 0, vec![]));
+        p.push_round(vec![(a, 64)]);
+        assert!(matches!(
+            p.validate(64),
+            Err(ProgramError::EngineOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn double_schedule_rejected() {
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(1, 0, 0, vec![]));
+        p.push_round(vec![(a, 0)]);
+        p.push_round(vec![(a, 1)]);
+        assert!(matches!(p.validate(4), Err(ProgramError::DoubleScheduled(_))));
+    }
+
+    #[test]
+    fn operand_bytes_sum() {
+        let t = Task::compute(
+            1,
+            0,
+            0,
+            vec![Operand::external(DataId(1), 100), Operand::task(TaskId(0), 28)],
+        );
+        assert_eq!(t.input_bytes(), 128);
+    }
+}

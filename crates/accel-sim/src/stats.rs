@@ -1,0 +1,148 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Energy breakdown of one simulated run, in picojoules (Fig. 11's stacked
+/// components).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// MAC + on-engine SRAM energy.
+    pub compute_pj: f64,
+    /// Inter-engine NoC transfer energy (0.61 pJ/bit/hop).
+    pub noc_pj: f64,
+    /// Off-chip HBM access energy (7 pJ/bit).
+    pub dram_pj: f64,
+    /// Static/leakage energy over the run's wall-clock time.
+    pub static_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Sum of all components.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.noc_pj + self.dram_pj + self.static_pj
+    }
+
+    /// Total in millijoules (convenient for whole-network numbers).
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() / 1e9
+    }
+}
+
+/// Aggregate results of simulating a [`crate::Program`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Wall-clock cycles from first load to last completion.
+    pub total_cycles: u64,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Per-engine cycles spent computing.
+    pub engine_busy_cycles: Vec<u64>,
+    /// Per-engine cycles spent blocked on operand gathering.
+    pub engine_blocked_cycles: Vec<u64>,
+    /// Total MACs performed.
+    pub total_macs: u64,
+    /// Whole-chip PE utilization:
+    /// `macs / (total_cycles × engines × PEs-per-engine)`.
+    pub pe_utilization: f64,
+    /// Mean *compute* utilization over engine-busy time only (the paper's
+    /// Table II metric: utilization "w/o memory access delay").
+    pub compute_utilization: f64,
+    /// Cycles engines spent blocked on NoC transfers.
+    pub noc_blocked_cycles: u64,
+    /// Cycles engines spent blocked on DRAM.
+    pub dram_blocked_cycles: u64,
+    /// Fraction of total time cost where the NoC blocks computation
+    /// (Table II "NoC overhead").
+    pub noc_overhead: f64,
+    /// Bytes read from DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub dram_write_bytes: u64,
+    /// Operand bytes served from on-chip buffers (local or via NoC).
+    pub onchip_served_bytes: u64,
+    /// Operand bytes served from DRAM.
+    pub dram_served_bytes: u64,
+    /// Share of input data reused on-chip instead of re-fetched externally
+    /// (Table II "On-chip Data Reuse Ratio").
+    pub onchip_reuse_ratio: f64,
+    /// Bytes moved across the NoC (payload).
+    pub noc_bytes: u64,
+    /// Σ bytes × hops on the NoC.
+    pub noc_byte_hops: u64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl SimStats {
+    /// Inference latency in milliseconds at `freq_mhz`.
+    pub fn latency_ms(&self, freq_mhz: u64) -> f64 {
+        self.total_cycles as f64 / (freq_mhz as f64 * 1e3)
+    }
+
+    /// Throughput in inferences/second given `batch` inferences per run.
+    pub fn throughput_fps(&self, freq_mhz: u64, batch: usize) -> f64 {
+        batch as f64 / (self.latency_ms(freq_mhz) / 1e3)
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles over {} rounds ({} tasks) | PE util {:.1}% (compute {:.1}%) | \
+             NoC overhead {:.1}% | DRAM {:.1} MB r / {:.1} MB w | reuse {:.1}% | {:.2} mJ",
+            self.total_cycles,
+            self.rounds,
+            self.tasks,
+            self.pe_utilization * 100.0,
+            self.compute_utilization * 100.0,
+            self.noc_overhead * 100.0,
+            self.dram_read_bytes as f64 / 1e6,
+            self.dram_write_bytes as f64 / 1e6,
+            self.onchip_reuse_ratio * 100.0,
+            self.energy.total_mj()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_and_throughput() {
+        let mut s = SimStats {
+            total_cycles: 500_000,
+            rounds: 1,
+            tasks: 1,
+            engine_busy_cycles: vec![],
+            engine_blocked_cycles: vec![],
+            total_macs: 0,
+            pe_utilization: 0.0,
+            compute_utilization: 0.0,
+            noc_blocked_cycles: 0,
+            dram_blocked_cycles: 0,
+            noc_overhead: 0.0,
+            dram_read_bytes: 0,
+            dram_write_bytes: 0,
+            onchip_served_bytes: 0,
+            dram_served_bytes: 0,
+            onchip_reuse_ratio: 0.0,
+            noc_bytes: 0,
+            noc_byte_hops: 0,
+            energy: EnergyBreakdown::default(),
+        };
+        // 500k cycles at 500 MHz = 1 ms.
+        assert!((s.latency_ms(500) - 1.0).abs() < 1e-12);
+        assert!((s.throughput_fps(500, 20) - 20_000.0).abs() < 1e-6);
+        s.total_cycles = 1_000_000;
+        assert!((s.latency_ms(500) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_total() {
+        let e = EnergyBreakdown { compute_pj: 1.0, noc_pj: 2.0, dram_pj: 3.0, static_pj: 4.0 };
+        assert_eq!(e.total_pj(), 10.0);
+    }
+}

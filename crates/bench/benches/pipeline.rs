@@ -1,0 +1,118 @@
+//! Criterion benches for the atomic-dataflow pipeline stages, on scaled
+//! configurations so `cargo bench` finishes in minutes. The paper-scale
+//! numbers come from the experiment binaries (`src/bin/fig*.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use accel_sim::Simulator;
+use atomic_dataflow::atomgen::{self, AtomGenConfig, AtomGenMode, GaParams, SaParams};
+use atomic_dataflow::{
+    lower_to_program, LowerOptions, Optimizer, OptimizerConfig, ScheduleMode, Scheduler,
+    SchedulerConfig, Strategy,
+};
+use dnn_graph::models;
+use engine_model::Dataflow;
+
+fn small_cfg() -> OptimizerConfig {
+    let mut cfg = OptimizerConfig::paper_default();
+    cfg.sim.mesh = noc_model::MeshConfig::grid(4, 4);
+    if let AtomGenMode::Sa(ref mut p) = cfg.atomgen.mode {
+        p.max_iters = 100;
+    }
+    cfg.search_targets = [32, 0, 0];
+    cfg
+}
+
+/// Alg. 1: SA and GA atom generation on ResNet-50.
+fn bench_atomgen(c: &mut Criterion) {
+    let g = models::resnet50();
+    let engine = engine_model::EngineConfig::paper_default();
+    let mut group = c.benchmark_group("atomgen");
+    group.sample_size(10);
+    group.bench_function("sa_resnet50", |b| {
+        b.iter(|| {
+            atomgen::generate(
+                &g,
+                &AtomGenConfig {
+                    mode: AtomGenMode::Sa(SaParams { max_iters: 100, ..SaParams::default() }),
+                    ..AtomGenConfig::default()
+                },
+                &engine,
+                Dataflow::KcPartition,
+            )
+        })
+    });
+    group.bench_function("ga_resnet50", |b| {
+        b.iter(|| {
+            atomgen::generate(
+                &g,
+                &AtomGenConfig {
+                    mode: AtomGenMode::Ga(GaParams { generations: 50, ..GaParams::default() }),
+                    ..AtomGenConfig::default()
+                },
+                &engine,
+                Dataflow::KcPartition,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Alg. 2: DAG scheduling modes on a pre-built atomic DAG.
+fn bench_scheduler(c: &mut Criterion) {
+    let g = models::resnet50();
+    let cfg = small_cfg();
+    let (_, dag) = Optimizer::new(cfg).build_dag(&g);
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("greedy", ScheduleMode::PriorityGreedy),
+        ("dp_l2b3", ScheduleMode::Dp { lookahead: 2, branch: 3 }),
+        ("layer_order", ScheduleMode::LayerOrder),
+    ] {
+        group.bench_with_input(BenchmarkId::new("resnet50", label), &mode, |b, mode| {
+            b.iter(|| {
+                Scheduler::new(&dag, SchedulerConfig { engines: 16, mode: *mode }).schedule()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Event-driven simulator throughput on a mapped ResNet-50 program.
+fn bench_simulator(c: &mut Criterion) {
+    let g = models::resnet50();
+    let cfg = small_cfg();
+    let opt = Optimizer::new(cfg);
+    let (_, dag) = opt.build_dag(&g);
+    let (_, mapped) = opt.schedule_and_map(&dag);
+    let program = lower_to_program(&dag, &mapped, &LowerOptions::default());
+    let tasks = program.tasks().len() as u64;
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(tasks));
+    group.bench_function("resnet50_run", |b| {
+        let sim = Simulator::new(cfg.sim);
+        b.iter(|| sim.run(&program).expect("valid program"))
+    });
+    group.finish();
+}
+
+/// End-to-end strategy comparison on the small test mesh (the shapes the
+/// paper's figures report, miniaturized).
+fn bench_strategies(c: &mut Criterion) {
+    let g = models::tiny_branchy();
+    let cfg = OptimizerConfig::fast_test();
+    let mut group = c.benchmark_group("strategies_tiny");
+    group.sample_size(10);
+    for s in [Strategy::LayerSequential, Strategy::IlPipe, Strategy::AtomicDataflow] {
+        group.bench_with_input(BenchmarkId::new("tiny_branchy", s.label()), &s, |b, s| {
+            b.iter(|| s.run(&g, &cfg).expect("valid schedule"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_atomgen, bench_scheduler, bench_simulator, bench_strategies);
+criterion_main!(benches);

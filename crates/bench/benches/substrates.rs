@@ -1,0 +1,83 @@
+//! Criterion benches for the substrate crates: engine cost model, NoC,
+//! HBM and model-zoo construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use engine_model::{ConvTask, Dataflow, EngineConfig};
+use mem_model::{HbmConfig, HbmModel};
+use noc_model::{MeshConfig, TrafficTracker};
+
+/// Analytical cost estimation (the `Cycle(Atom)` oracle of Alg. 1) — called
+/// millions of times during candidate enumeration, so its speed matters.
+fn bench_engine_model(c: &mut Criterion) {
+    let cfg = EngineConfig::paper_default();
+    let tasks = [
+        ("conv3x3", ConvTask::conv(14, 14, 256, 64, 3, 3, 1)),
+        ("conv1x1", ConvTask::conv(28, 28, 512, 128, 1, 1, 1)),
+        ("depthwise", ConvTask::depthwise(28, 28, 192, 5, 1)),
+        ("fc", ConvTask::fc(25088, 4096)),
+    ];
+    let mut group = c.benchmark_group("engine_model");
+    for (label, task) in tasks {
+        group.bench_with_input(BenchmarkId::new("estimate", label), &task, |b, t| {
+            b.iter(|| cfg.estimate(t, Dataflow::KcPartition))
+        });
+    }
+    group.finish();
+}
+
+/// Mesh routing and traffic accounting.
+fn bench_noc(c: &mut Criterion) {
+    let mesh = MeshConfig::paper_default();
+    let mut group = c.benchmark_group("noc");
+    group.bench_function("hops_all_pairs_8x8", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..64 {
+                for j in 0..64 {
+                    acc += mesh.hops(i, j);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("traffic_record_1k", |b| {
+        b.iter(|| {
+            let mut t = TrafficTracker::new(mesh);
+            for i in 0..1000u64 {
+                t.record((i % 64) as usize, ((i * 7) % 64) as usize, 4096);
+            }
+            t.total_byte_hops()
+        })
+    });
+    group.finish();
+}
+
+/// HBM channel model under concurrent request streams.
+fn bench_hbm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hbm");
+    group.bench_function("mixed_10k_requests", |b| {
+        b.iter(|| {
+            let mut m = HbmModel::new(HbmConfig::paper_default());
+            let mut done = 0u64;
+            for i in 0..10_000u64 {
+                done = m.read(i * 3, if i % 10 == 0 { 64 * 1024 } else { 2048 });
+            }
+            done
+        })
+    });
+    group.finish();
+}
+
+/// Model-zoo construction (graph building + shape inference).
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_zoo");
+    group.sample_size(10);
+    group.bench_function("resnet50", |b| b.iter(dnn_graph::models::resnet50));
+    group.bench_function("inception_v3", |b| b.iter(dnn_graph::models::inception_v3));
+    group.bench_function("nasnet", |b| b.iter(dnn_graph::models::nasnet));
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_model, bench_noc, bench_hbm, bench_models);
+criterion_main!(benches);

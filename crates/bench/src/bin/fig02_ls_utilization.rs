@@ -1,0 +1,58 @@
+//! Fig. 2: layer-wise PE utilization of Layer-Sequential scheduling.
+//!
+//! Runs DNN layers one at a time, each evenly partitioned across all
+//! on-chip engines, and reports the layer-averaged PE utilization
+//! (communication delay excluded, as in the paper).
+//!
+//! Reproduction target (paper): averages of only 26.91% (ResNet-50),
+//! 17.48% (Inception-v3), 18.34% (NasNet) and 13.53% (EfficientNet) — the
+//! motivation for workload-specific atom granularity.
+
+use ad_bench::{harness, Table, Workloads};
+use engine_model::Dataflow;
+
+fn main() {
+    let mut w = Workloads::from_args();
+    // The paper's Fig. 2 uses these four workloads by default.
+    if std::env::args().len() <= 1 {
+        w = Workloads::from_arg_slice(&[
+            "--workloads=resnet50,inception_v3,nasnet,efficientnet".to_string()
+        ]);
+    }
+
+    let mut table = Table::new(
+        "Fig. 2 — LS layer-averaged PE utilization (no communication delay)",
+        &["workload", "layers", "KC-P avg", "KC-P min", "KC-P max", "YX-P avg"],
+    );
+    for (name, graph) in &w.list {
+        let kc = harness::ls_layer_utilizations(
+            graph,
+            &harness::paper_config(Dataflow::KcPartition, 1),
+        );
+        let yx = harness::ls_layer_utilizations(
+            graph,
+            &harness::paper_config(Dataflow::YxPartition, 1),
+        );
+        let avg = |v: &[(String, f64)]| v.iter().map(|(_, u)| u).sum::<f64>() / v.len() as f64;
+        let min = kc.iter().map(|(_, u)| *u).fold(f64::INFINITY, f64::min);
+        let max = kc.iter().map(|(_, u)| *u).fold(0.0, f64::max);
+        table.add_row(vec![
+            name.clone(),
+            kc.len().to_string(),
+            format!("{:.1}%", avg(&kc) * 100.0),
+            format!("{:.1}%", min * 100.0),
+            format!("{:.1}%", max * 100.0),
+            format!("{:.1}%", avg(&yx) * 100.0),
+        ]);
+        // Per-layer detail for the first workload (the paper plots layer-wise
+        // curves; we print a compact histogram).
+        if name == &w.list[0].0 {
+            let mut hist = [0usize; 10];
+            for (_, u) in &kc {
+                hist[((u * 10.0) as usize).min(9)] += 1;
+            }
+            eprintln!("  {name} KC-P utilization histogram (10% bins): {hist:?}");
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,68 @@
+//! Fig. 12: design-space exploration — scaling the number of engines while
+//! holding the total PE count (16384) and total on-chip buffer (8 MB)
+//! fixed.
+//!
+//! Reproduction target (paper): U-shaped curves with a per-workload sweet
+//! point (e.g. 4×4 engines for VGG-19); monolithic arrays under-utilize,
+//! over-fragmented arrays lose data reuse. Batch size does not change the
+//! trend.
+
+use ad_bench::{Table, Workloads};
+use atomic_dataflow::{Optimizer, OptimizerConfig};
+use engine_model::Dataflow;
+use noc_model::MeshConfig;
+
+/// Mesh side lengths to sweep: 2x2 .. 16x16 engines.
+const SIDES: [usize; 4] = [2, 4, 8, 16];
+const TOTAL_PES: usize = 16384;
+const TOTAL_BUFFER: u64 = 8 << 20;
+
+fn config_for(side: usize, dataflow: Dataflow, batch: usize) -> OptimizerConfig {
+    let engines = side * side;
+    let pe_side = ((TOTAL_PES / engines) as f64).sqrt() as usize;
+    let mut cfg = ad_bench::harness::paper_config(dataflow, batch);
+    cfg.sim.mesh = MeshConfig::grid(side, side);
+    cfg.sim.engine = cfg
+        .sim
+        .engine
+        .with_pe_array(pe_side, pe_side)
+        .with_buffer_bytes(TOTAL_BUFFER / engines as u64);
+    cfg
+}
+
+fn main() {
+    let mut w = Workloads::from_args();
+    if std::env::args().len() <= 1 {
+        w = Workloads::from_arg_slice(&["--workloads=vgg19,resnet50,efficientnet".to_string()]);
+    }
+
+    for batch in [1usize, w.batch_override.unwrap_or(2)] {
+        let mut table = Table::new(
+            format!(
+                "Fig. 12 — execution cycles vs engine count (16384 PEs, 8 MB total), batch={batch}, KC-P"
+            ),
+            &["workload", "2x2", "4x4", "8x8", "16x16", "sweet point"],
+        );
+        for (name, graph) in &w.list {
+            let mut row = vec![name.clone()];
+            let mut best = (0usize, u64::MAX);
+            for side in SIDES {
+                let cfg = config_for(side, Dataflow::KcPartition, batch);
+                let r = Optimizer::new(cfg).optimize(graph).expect("valid schedule");
+                eprintln!(
+                    "  [{name} b{batch} {side}x{side}] {} cycles ({} PEs/engine, {} KB)",
+                    r.stats.total_cycles,
+                    cfg.sim.engine.pe_count(),
+                    cfg.sim.engine.buffer_bytes / 1024
+                );
+                if r.stats.total_cycles < best.1 {
+                    best = (side, r.stats.total_cycles);
+                }
+                row.push(r.stats.total_cycles.to_string());
+            }
+            row.push(format!("{0}x{0}", best.0));
+            table.add_row(row);
+        }
+        table.print();
+    }
+}

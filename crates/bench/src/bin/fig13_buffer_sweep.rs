@@ -1,0 +1,40 @@
+//! Fig. 13: scaling the per-engine buffer size on the 8×8-engine platform.
+//!
+//! Reproduction target (paper): performance improves with buffer size, but
+//! the gains flatten beyond 128 KB — the data-transfer and reuse techniques
+//! keep small distributed buffers efficient.
+
+use ad_bench::{Table, Workloads};
+use atomic_dataflow::Optimizer;
+use engine_model::Dataflow;
+
+const BUFFER_KB: [u64; 5] = [32, 64, 128, 256, 512];
+
+fn main() {
+    let mut w = Workloads::from_args();
+    if std::env::args().len() <= 1 {
+        w = Workloads::from_arg_slice(&["--workloads=vgg19,resnet50,efficientnet".to_string()]);
+    }
+    let batch = w.batch_override.unwrap_or(1);
+
+    let mut table = Table::new(
+        format!("Fig. 13 — execution cycles vs per-engine buffer size, batch={batch}, KC-P"),
+        &["workload", "32KB", "64KB", "128KB", "256KB", "512KB", "gain 32->128", "gain 128->512"],
+    );
+    for (name, graph) in &w.list {
+        let mut cycles = Vec::new();
+        for kb in BUFFER_KB {
+            let mut cfg = ad_bench::harness::paper_config(Dataflow::KcPartition, batch);
+            cfg.sim.engine = cfg.sim.engine.with_buffer_bytes(kb * 1024);
+            let r = Optimizer::new(cfg).optimize(graph).expect("valid schedule");
+            eprintln!("  [{name} {kb}KB] {} cycles", r.stats.total_cycles);
+            cycles.push(r.stats.total_cycles);
+        }
+        let mut row = vec![name.clone()];
+        row.extend(cycles.iter().map(|c| c.to_string()));
+        row.push(format!("{:.2}x", cycles[0] as f64 / cycles[2] as f64));
+        row.push(format!("{:.2}x", cycles[2] as f64 / cycles[4] as f64));
+        table.add_row(row);
+    }
+    table.print();
+}

@@ -1,0 +1,62 @@
+//! Table II: (1) PE utilization averaged over DNN layers without memory
+//! access delay, per strategy; (2) AD's NoC overhead and on-chip data-reuse
+//! ratio.
+//!
+//! Reproduction targets (paper, batch 20): AD utilization 78.8–95.0% vs
+//! LS 49.0–69.2%, CNN-P 57.4–79.8%, IL-Pipe 45.7–67.7%; AD NoC overhead
+//! 9.4–17.6%; AD on-chip reuse 54.1–90.8%.
+
+use ad_bench::{run_strategy, ExpRecord, Table, Workloads};
+use atomic_dataflow::Strategy;
+use engine_model::Dataflow;
+
+fn main() {
+    let w = Workloads::from_args();
+    let strategies = [
+        Strategy::LayerSequential,
+        Strategy::CnnPartition,
+        Strategy::IlPipe,
+        Strategy::AtomicDataflow,
+    ];
+
+    let mut records: Vec<ExpRecord> = Vec::new();
+    let mut util = Table::new(
+        "Table II(1) — compute PE utilization (w/o memory access delay), KC-P",
+        &["workload", "batch", "LS", "CNN-P", "IL-Pipe", "AD"],
+    );
+    let mut over = Table::new(
+        "Table II(2) — AD NoC overhead and on-chip data reuse",
+        &["workload", "NoC overhead", "on-chip reuse ratio"],
+    );
+    for (name, graph) in &w.list {
+        let batch = w
+            .batch_override
+            .unwrap_or_else(|| Workloads::default_throughput_batch(name));
+        let cfg = ad_bench::harness::paper_config(Dataflow::KcPartition, batch);
+        let mut row = vec![name.clone(), batch.to_string()];
+        for s in strategies {
+            let r = run_strategy(s, name, graph, &cfg);
+            eprintln!(
+                "  [{} {}] cu {:.1}% noc {:.1}% reuse {:.1}%",
+                name,
+                s.label(),
+                r.compute_utilization * 100.0,
+                r.noc_overhead * 100.0,
+                r.onchip_reuse * 100.0
+            );
+            row.push(format!("{:.1}%", r.compute_utilization * 100.0));
+            if s == Strategy::AtomicDataflow {
+                over.add_row(vec![
+                    name.clone(),
+                    format!("{:.1}%", r.noc_overhead * 100.0),
+                    format!("{:.1}%", r.onchip_reuse * 100.0),
+                ]);
+            }
+            records.push(r);
+        }
+        util.add_row(row);
+    }
+    util.print();
+    over.print();
+    w.dump_json(&records);
+}

@@ -1,0 +1,218 @@
+//! Shared experiment plumbing: workload/CLI selection, strategy runners and
+//! machine-readable result records.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use atomic_dataflow::{baselines, Optimizer, OptimizerConfig, Strategy};
+use dnn_graph::{models, Graph};
+use engine_model::Dataflow;
+
+/// One measured data point, serializable for post-processing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Strategy label (`"AD"`, `"LS"`, …).
+    pub strategy: String,
+    /// Dataflow label (`"KC-P"` / `"YX-P"`).
+    pub dataflow: String,
+    /// Batch size simulated.
+    pub batch: usize,
+    /// Wall-clock accelerator cycles.
+    pub cycles: u64,
+    /// Latency in milliseconds at the configured frequency.
+    pub latency_ms: f64,
+    /// Inferences per second.
+    pub fps: f64,
+    /// Whole-chip PE utilization.
+    pub pe_utilization: f64,
+    /// Compute-only PE utilization (Table II metric).
+    pub compute_utilization: f64,
+    /// NoC overhead fraction (Table II).
+    pub noc_overhead: f64,
+    /// On-chip data-reuse ratio (Table II).
+    pub onchip_reuse: f64,
+    /// DRAM traffic in bytes (reads + writes).
+    pub dram_bytes: u64,
+    /// Total energy in millijoules, with its breakdown.
+    pub energy_mj: f64,
+    /// Energy components in millijoules: compute, NoC, DRAM, static.
+    pub energy_parts_mj: [f64; 4],
+    /// Host-side search/simulation time in seconds.
+    pub search_secs: f64,
+}
+
+/// Runs one strategy on one workload and collects the record.
+///
+/// # Panics
+///
+/// Panics on schedule-integrity errors (bugs in the strategy
+/// implementations — surfaced loudly in experiments).
+pub fn run_strategy(strategy: Strategy, name: &str, graph: &Graph, cfg: &OptimizerConfig) -> ExpRecord {
+    let start = Instant::now();
+    let stats = strategy.run(graph, cfg).expect("strategy produced an invalid schedule");
+    let secs = start.elapsed().as_secs_f64();
+    let freq = cfg.sim.engine.freq_mhz;
+    let e = &stats.energy;
+    ExpRecord {
+        workload: name.to_string(),
+        strategy: strategy.label().to_string(),
+        dataflow: cfg.dataflow.label().to_string(),
+        batch: cfg.batch,
+        cycles: stats.total_cycles,
+        latency_ms: stats.latency_ms(freq),
+        fps: stats.throughput_fps(freq, cfg.batch.max(1)),
+        pe_utilization: stats.pe_utilization,
+        compute_utilization: stats.compute_utilization,
+        noc_overhead: stats.noc_overhead,
+        onchip_reuse: stats.onchip_reuse_ratio,
+        dram_bytes: stats.dram_read_bytes + stats.dram_write_bytes,
+        energy_mj: e.total_mj(),
+        energy_parts_mj: [
+            e.compute_pj / 1e9,
+            e.noc_pj / 1e9,
+            e.dram_pj / 1e9,
+            e.static_pj / 1e9,
+        ],
+        search_secs: secs,
+    }
+}
+
+/// Re-export of the full AD pipeline for experiments that need internals
+/// (e.g. Fig. 5's generation reports).
+pub fn ad_optimizer(cfg: OptimizerConfig) -> Optimizer {
+    Optimizer::new(cfg)
+}
+
+/// The Fig. 2 helper (kept here so binaries share one import path).
+pub fn ls_layer_utilizations(graph: &Graph, cfg: &OptimizerConfig) -> Vec<(String, f64)> {
+    baselines::ls::layer_utilizations(graph, cfg)
+}
+
+/// Workload selection from the command line.
+///
+/// Flags understood by every experiment binary:
+/// - `--workloads=a,b,c` — subset by name (see [`models::PAPER_WORKLOADS`]);
+/// - `--quick` — the four mid-size workloads (fast smoke run);
+/// - `--batch=N` — override the experiment's default batch size;
+/// - `--json=PATH` — also dump records as JSON.
+#[derive(Debug, Clone)]
+pub struct Workloads {
+    /// Selected `(name, graph)` pairs.
+    pub list: Vec<(String, Graph)>,
+    /// Batch override, if any.
+    pub batch_override: Option<usize>,
+    /// JSON dump path, if any.
+    pub json_path: Option<String>,
+}
+
+impl Workloads {
+    /// Parses `std::env::args` and builds the selected workloads.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_arg_slice(&args)
+    }
+
+    /// Parses an explicit argument slice (testable).
+    pub fn from_arg_slice(args: &[String]) -> Self {
+        let mut names: Option<Vec<String>> = None;
+        let mut batch_override = None;
+        let mut json_path = None;
+        for a in args {
+            if let Some(v) = a.strip_prefix("--workloads=") {
+                names = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+            } else if a == "--quick" {
+                names = Some(
+                    ["vgg19", "resnet50", "inception_v3", "efficientnet"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                );
+            } else if let Some(v) = a.strip_prefix("--batch=") {
+                batch_override = v.parse().ok();
+            } else if let Some(v) = a.strip_prefix("--json=") {
+                json_path = Some(v.to_string());
+            }
+        }
+        let names = names.unwrap_or_else(|| {
+            models::PAPER_WORKLOADS.iter().map(|s| s.to_string()).collect()
+        });
+        let list = names
+            .into_iter()
+            .map(|n| {
+                let g = models::by_name(&n)
+                    .unwrap_or_else(|| panic!("unknown workload `{n}`"));
+                (n, g)
+            })
+            .collect();
+        Self { list, batch_override, json_path }
+    }
+
+    /// Default batch size for throughput experiments on this workload: the
+    /// paper's 20, reduced for the three giant NAS/1001-layer networks to
+    /// keep the atomic DAG within the session compute budget (documented in
+    /// `EXPERIMENTS.md`; Fig. 12 shows batch size does not change trends).
+    pub fn default_throughput_batch(name: &str) -> usize {
+        match name {
+            "resnet1001" | "nasnet" | "pnasnet" => 4,
+            _ => 20,
+        }
+    }
+
+    /// Writes records to the `--json=` path when given.
+    pub fn dump_json(&self, records: &[ExpRecord]) {
+        if let Some(path) = &self.json_path {
+            let body = serde_json::to_string_pretty(records).expect("serializable records");
+            std::fs::write(path, body).expect("writable json path");
+            eprintln!("wrote {} records to {path}", records.len());
+        }
+    }
+}
+
+/// Paper-default configuration for a given dataflow and batch.
+pub fn paper_config(dataflow: Dataflow, batch: usize) -> OptimizerConfig {
+    OptimizerConfig::paper_default().with_dataflow(dataflow).with_batch(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let w = Workloads::from_arg_slice(&[
+            "--workloads=resnet50,vgg19".into(),
+            "--batch=4".into(),
+            "--json=/tmp/x.json".into(),
+        ]);
+        assert_eq!(w.list.len(), 2);
+        assert_eq!(w.list[0].0, "resnet50");
+        assert_eq!(w.batch_override, Some(4));
+        assert_eq!(w.json_path.as_deref(), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    fn quick_set() {
+        let w = Workloads::from_arg_slice(&["--quick".into()]);
+        assert_eq!(w.list.len(), 4);
+    }
+
+    #[test]
+    fn default_batches() {
+        assert_eq!(Workloads::default_throughput_batch("resnet50"), 20);
+        assert_eq!(Workloads::default_throughput_batch("nasnet"), 4);
+    }
+
+    #[test]
+    fn record_from_tiny_run() {
+        let g = models::tiny_cnn();
+        let cfg = OptimizerConfig::fast_test();
+        let r = run_strategy(Strategy::LayerSequential, "tiny_cnn", &g, &cfg);
+        assert_eq!(r.strategy, "LS");
+        assert!(r.cycles > 0);
+        assert!(r.latency_ms > 0.0);
+        assert!(r.energy_mj > 0.0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Experiment harness reproducing the paper's evaluation (Sec. V).
+//!
+//! Each table/figure has a dedicated binary in `src/bin/` (see `DESIGN.md`
+//! §4 for the index); this library holds the shared plumbing: workload
+//! selection, strategy runners, result records, aligned-table printing and
+//! JSON dumps.
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{run_strategy, ExpRecord, Workloads};
+pub use table::Table;

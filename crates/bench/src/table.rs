@@ -1,0 +1,90 @@
+//! Minimal aligned-table printer for experiment output.
+
+/// A text table with a title, headers and rows, printed with aligned
+/// columns — the experiment binaries emit the paper's tables/series in this
+/// form.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells are padded/truncated to the header count).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(ncol) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.add_row(vec!["short".into(), "1".into()]);
+        t.add_row(vec!["a-much-longer-name".into(), "2.5".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("a-much-longer-name"));
+        // Each data line has the same width.
+        let lines: Vec<&str> = r.lines().filter(|l| l.contains('|')).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new("t", &["a", "b", "c"]);
+        t.add_row(vec!["x".into()]);
+        assert!(t.render().lines().count() >= 4);
+    }
+}

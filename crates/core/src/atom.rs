@@ -1,0 +1,469 @@
+//! Atom geometry: coordinate ranges, per-layer tiling specifications and the
+//! per-atom cost oracle.
+//!
+//! An atom (paper Sec. III) is the `x`-th partition of a layer's *output*
+//! tensor along height, width and output channels:
+//! `Atom_{l,x} : [(h_s, h_e), (w_s, w_e), (c_s^o, c_e^o)]`.
+//!
+//! One deliberate deviation from the paper's four-range definition: atoms
+//! here always span the **full input-channel range** (`c_p^i = C_i`). A
+//! partial input-channel atom would produce partial sums that must be
+//! reduced across engines, a mechanism the paper never describes; real
+//! multi-engine schedulers avoid cross-engine accumulation for the same
+//! reason. Input-channel tiling still happens *temporally inside* the engine
+//! and is captured by the cost model.
+
+use serde::{Deserialize, Serialize};
+
+use dnn_graph::{Layer, OpKind, TensorShape, BYTES_PER_ELEM};
+use engine_model::{ConvTask, Dataflow, EngineConfig};
+
+/// A half-open index range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Range {
+    /// Inclusive start.
+    pub start: usize,
+    /// Exclusive end.
+    pub end: usize,
+}
+
+impl Range {
+    /// Creates `[start, end)`. `start < end` required.
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start < end, "empty range [{start}, {end})");
+        Self { start, end }
+    }
+
+    /// Number of indices covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Always `false` (ranges are non-empty by construction); included for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Intersection with another range, if non-empty.
+    pub fn intersect(&self, other: &Range) -> Option<Range> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then(|| Range::new(start, end))
+    }
+
+    /// Whether the ranges overlap.
+    pub fn overlaps(&self, other: &Range) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Shifts both bounds down by `offset` (used to translate concat
+    /// channel coordinates into a producer's local coordinates).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `offset > start`.
+    pub fn shifted_down(&self, offset: usize) -> Range {
+        debug_assert!(offset <= self.start);
+        Range::new(self.start - offset, self.end - offset)
+    }
+}
+
+/// Output-space coordinates of one atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AtomCoords {
+    /// Output rows covered.
+    pub h: Range,
+    /// Output columns covered.
+    pub w: Range,
+    /// Output channels covered.
+    pub c: Range,
+}
+
+impl AtomCoords {
+    /// The whole output tensor of shape `s` as a single atom.
+    pub fn full(s: TensorShape) -> Self {
+        Self { h: Range::new(0, s.h), w: Range::new(0, s.w), c: Range::new(0, s.c) }
+    }
+
+    /// Output elements covered.
+    pub fn elements(&self) -> u64 {
+        self.h.len() as u64 * self.w.len() as u64 * self.c.len() as u64
+    }
+
+    /// Output bytes covered.
+    pub fn bytes(&self) -> u64 {
+        self.elements() * BYTES_PER_ELEM
+    }
+
+    /// Volume of the intersection with `other`, in elements.
+    pub fn overlap_elements(&self, other: &AtomCoords) -> u64 {
+        let h = self.h.intersect(&other.h).map_or(0, |r| r.len());
+        let w = self.w.intersect(&other.w).map_or(0, |r| r.len());
+        let c = self.c.intersect(&other.c).map_or(0, |r| r.len());
+        h as u64 * w as u64 * c as u64
+    }
+}
+
+/// Per-layer tiling specification: the atom tile extents
+/// `[h_p, w_p, c_p^o]` chosen by the generation stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AtomSpec {
+    /// Tile height `h_p`.
+    pub th: usize,
+    /// Tile width `w_p`.
+    pub tw: usize,
+    /// Tile output channels `c_p^o`.
+    pub tc: usize,
+}
+
+impl AtomSpec {
+    /// One atom covering the whole layer.
+    pub fn whole(out: TensorShape) -> Self {
+        Self { th: out.h, tw: out.w, tc: out.c }
+    }
+
+    /// Clamps tile extents to the output shape.
+    pub fn clamped(mut self, out: TensorShape) -> Self {
+        self.th = self.th.clamp(1, out.h);
+        self.tw = self.tw.clamp(1, out.w);
+        self.tc = self.tc.clamp(1, out.c);
+        self
+    }
+
+    /// Number of atoms this spec produces for output shape `out`.
+    pub fn count(&self, out: TensorShape) -> usize {
+        out.h.div_ceil(self.th) * out.w.div_ceil(self.tw) * out.c.div_ceil(self.tc)
+    }
+
+    /// Enumerates the atom grid over output shape `out` in row-major
+    /// (h-outer, w, c-inner) order. Edge tiles are truncated.
+    pub fn tiles(&self, out: TensorShape) -> Vec<AtomCoords> {
+        let mut v = Vec::with_capacity(self.count(out));
+        let mut hs = 0;
+        while hs < out.h {
+            let he = (hs + self.th).min(out.h);
+            let mut ws = 0;
+            while ws < out.w {
+                let we = (ws + self.tw).min(out.w);
+                let mut cs = 0;
+                while cs < out.c {
+                    let ce = (cs + self.tc).min(out.c);
+                    v.push(AtomCoords {
+                        h: Range::new(hs, he),
+                        w: Range::new(ws, we),
+                        c: Range::new(cs, ce),
+                    });
+                    cs = ce;
+                }
+                ws = we;
+            }
+            hs = he;
+        }
+        v
+    }
+}
+
+/// Cost of one atom on one engine, from the analytical oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AtomCost {
+    /// Engine cycles (`Cycle(Atom)` of Alg. 1).
+    pub cycles: u64,
+    /// MACs performed (0 for vector-unit atoms).
+    pub macs: u64,
+    /// Output bytes.
+    pub output_bytes: u64,
+    /// Weight bytes the atom needs (0 for weight-less layers).
+    pub weight_bytes: u64,
+    /// Approximate atom working set: ifmap + weights + ofmap bytes.
+    pub working_set_bytes: u64,
+    /// On-engine energy (MAC + SRAM) in picojoules.
+    pub energy_pj: f64,
+    /// PE utilization while computing (array atoms only; 0 for vector work).
+    pub utilization: f64,
+}
+
+/// Projects an atom's output rows/columns back to the input rows/columns it
+/// needs (the receptive field), clamped to the input shape.
+pub fn input_window(layer: &Layer, h: Range, w: Range) -> (Range, Range) {
+    let is = layer.in_shape();
+    let full = (Range::new(0, is.h), Range::new(0, is.w));
+    match layer.op() {
+        OpKind::Conv(p) => {
+            // Rectangular kernels use stride-1 same padding: window extends
+            // by k/2 on each side per axis.
+            let (ph, pw) = if p.kh != p.kw { (p.kh / 2, p.kw / 2) } else { (p.pad, p.pad) };
+            (
+                receptive(h, p.kh, p.stride, ph, is.h),
+                receptive(w, p.kw, p.stride, pw, is.w),
+            )
+        }
+        OpKind::Pool(p) => (
+            receptive(h, p.k, p.stride, p.pad, is.h),
+            receptive(w, p.k, p.stride, p.pad, is.w),
+        ),
+        OpKind::Fc { .. } | OpKind::GlobalAvgPool => full,
+        OpKind::Add | OpKind::Concat | OpKind::Act(_) | OpKind::BatchNorm
+        | OpKind::ChannelScale => (h, w),
+        OpKind::Input => full,
+    }
+}
+
+/// Receptive field of output range `r` for kernel `k`, stride `s`,
+/// padding `pad`, clamped to `[0, extent)`.
+fn receptive(r: Range, k: usize, s: usize, pad: usize, extent: usize) -> Range {
+    let end = ((r.end - 1) * s + k).saturating_sub(pad).clamp(1, extent);
+    let start = (r.start * s).saturating_sub(pad).min(end - 1);
+    Range::new(start, end)
+}
+
+/// Evaluates the cost oracle for an atom of `layer` covering `coords`.
+///
+/// Array layers (CONV/FC) go through the [`engine_model`] analytical model;
+/// vector layers are costed on the vector unit; `Input` atoms are free.
+pub fn atom_cost(
+    layer: &Layer,
+    coords: &AtomCoords,
+    cfg: &EngineConfig,
+    dataflow: Dataflow,
+) -> AtomCost {
+    let out_bytes = coords.bytes();
+    match layer.op() {
+        OpKind::Input => AtomCost {
+            cycles: 0,
+            macs: 0,
+            output_bytes: out_bytes,
+            weight_bytes: 0,
+            working_set_bytes: out_bytes,
+            energy_pj: 0.0,
+            utilization: 0.0,
+        },
+        OpKind::Conv(p) => {
+            let task = if p.groups > 1 && p.groups == layer.in_shape().c {
+                // Depthwise: the atom's channel range selects both the input
+                // and output channels.
+                ConvTask::depthwise(coords.h.len(), coords.w.len(), coords.c.len(), p.kh, p.stride)
+            } else {
+                ConvTask {
+                    ho: coords.h.len(),
+                    wo: coords.w.len(),
+                    ci: layer.in_shape().c,
+                    co: coords.c.len(),
+                    kh: p.kh,
+                    kw: p.kw,
+                    stride: p.stride,
+                    groups: p.groups,
+                }
+            };
+            let est = cfg.estimate(&task, dataflow);
+            AtomCost {
+                cycles: est.cycles,
+                macs: est.macs,
+                output_bytes: out_bytes,
+                weight_bytes: est.weight_bytes,
+                working_set_bytes: est.ifmap_bytes + est.weight_bytes + est.ofmap_bytes,
+                energy_pj: est.energy_pj,
+                utilization: est.utilization,
+            }
+        }
+        OpKind::Fc { .. } => {
+            let ci = layer.in_shape().elements() as usize;
+            let task = ConvTask::fc(ci, coords.c.len());
+            let est = cfg.estimate(&task, dataflow);
+            AtomCost {
+                cycles: est.cycles,
+                macs: est.macs,
+                output_bytes: out_bytes,
+                weight_bytes: est.weight_bytes,
+                working_set_bytes: est.ifmap_bytes + est.weight_bytes + est.ofmap_bytes,
+                energy_pj: est.energy_pj,
+                utilization: est.utilization,
+            }
+        }
+        op => {
+            // Vector-unit work: per-output-element op count mirrors
+            // `Layer::vector_ops`.
+            let per_elem: u64 = match op {
+                OpKind::Pool(p) => (p.k * p.k) as u64,
+                OpKind::GlobalAvgPool => {
+                    let is = layer.in_shape();
+                    (is.h * is.w) as u64
+                }
+                _ => 1,
+            };
+            let ops = coords.elements() * per_elem;
+            let cycles = cfg.vector_cycles(ops);
+            // Weight-less ops still carry BN/scale parameters; negligible and
+            // folded into producers in our zoo, so 0 here.
+            let in_bytes = approx_vector_input_bytes(layer, coords);
+            let e = &cfg.energy;
+            let energy_pj = in_bytes as f64 * e.sram_read_pj_per_byte
+                + out_bytes as f64 * e.sram_write_pj_per_byte;
+            AtomCost {
+                cycles,
+                macs: 0,
+                output_bytes: out_bytes,
+                weight_bytes: 0,
+                working_set_bytes: in_bytes + out_bytes,
+                energy_pj,
+                utilization: 0.0,
+            }
+        }
+    }
+}
+
+/// Input bytes a vector atom reads (for energy/working-set estimates).
+fn approx_vector_input_bytes(layer: &Layer, coords: &AtomCoords) -> u64 {
+    match layer.op() {
+        OpKind::GlobalAvgPool => {
+            let is = layer.in_shape();
+            (is.h * is.w) as u64 * coords.c.len() as u64 * BYTES_PER_ELEM
+        }
+        OpKind::Add => 2 * coords.bytes(),
+        OpKind::Pool(p) => {
+            let (h, w) = input_window(layer, coords.h, coords.w);
+            let _ = p;
+            h.len() as u64 * w.len() as u64 * coords.c.len() as u64 * BYTES_PER_ELEM
+        }
+        _ => coords.bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{ConvParams, Graph, PoolParams};
+
+    #[test]
+    fn range_ops() {
+        let a = Range::new(0, 10);
+        let b = Range::new(5, 15);
+        assert_eq!(a.len(), 10);
+        assert!(a.overlaps(&b));
+        assert_eq!(a.intersect(&b), Some(Range::new(5, 10)));
+        assert_eq!(a.intersect(&Range::new(10, 20)), None);
+        assert_eq!(b.shifted_down(5), Range::new(0, 10));
+    }
+
+    #[test]
+    fn tiling_covers_output_exactly() {
+        let out = TensorShape::new(17, 13, 37);
+        let spec = AtomSpec { th: 8, tw: 8, tc: 16 };
+        let tiles = spec.tiles(out);
+        assert_eq!(tiles.len(), spec.count(out));
+        let total: u64 = tiles.iter().map(AtomCoords::elements).sum();
+        assert_eq!(total, out.elements());
+        // Disjointness: pairwise overlap must be zero.
+        for (i, a) in tiles.iter().enumerate() {
+            for b in tiles.iter().skip(i + 1) {
+                assert_eq!(a.overlap_elements(b), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn whole_spec_single_tile() {
+        let out = TensorShape::new(7, 7, 512);
+        let spec = AtomSpec::whole(out);
+        assert_eq!(spec.count(out), 1);
+        assert_eq!(spec.tiles(out)[0], AtomCoords::full(out));
+    }
+
+    #[test]
+    fn conv_input_window() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(TensorShape::new(56, 56, 64));
+        let c = g.add_conv("c", x, ConvParams::new(3, 1, 1, 128));
+        let l = g.layer(c);
+        // Middle tile rows [8,16): needs input rows [7, 17).
+        let (h, w) = input_window(l, Range::new(8, 16), Range::new(8, 16));
+        assert_eq!(h, Range::new(7, 17));
+        assert_eq!(w, Range::new(7, 17));
+        // Border tile [0,8): padding clamps to [0, 9).
+        let (h, _) = input_window(l, Range::new(0, 8), Range::new(0, 8));
+        assert_eq!(h, Range::new(0, 9));
+    }
+
+    #[test]
+    fn strided_conv_input_window() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(TensorShape::new(224, 224, 3));
+        let c = g.add_conv("c", x, ConvParams::new(7, 2, 3, 64));
+        let l = g.layer(c);
+        // Output rows [0, 56): input rows [0, 110+7-3=114).
+        let (h, _) = input_window(l, Range::new(0, 56), Range::new(0, 112));
+        assert_eq!(h, Range::new(0, 114));
+    }
+
+    #[test]
+    fn pool_and_elementwise_windows() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(TensorShape::new(32, 32, 8));
+        let p = g.add_pool("p", x, PoolParams::max(2, 2));
+        let (h, _) = input_window(g.layer(p), Range::new(4, 8), Range::new(0, 16));
+        assert_eq!(h, Range::new(8, 16));
+
+        let a = g.add_act("a", p, dnn_graph::Activation::Relu);
+        let (h, w) = input_window(g.layer(a), Range::new(2, 5), Range::new(1, 3));
+        assert_eq!((h, w), (Range::new(2, 5), Range::new(1, 3)));
+    }
+
+    #[test]
+    fn atom_cost_array_vs_vector() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(TensorShape::new(28, 28, 64));
+        let c = g.add_conv("c", x, ConvParams::new(3, 1, 1, 64));
+        let a = g.add_add("s", &[c, c]);
+        let cfg = EngineConfig::paper_default();
+
+        let cc = atom_cost(
+            g.layer(c),
+            &AtomCoords::full(g.layer(c).out_shape()),
+            &cfg,
+            Dataflow::KcPartition,
+        );
+        assert!(cc.macs > 0);
+        assert!(cc.cycles > 0);
+        assert!(cc.utilization > 0.5);
+        assert_eq!(cc.output_bytes, 28 * 28 * 64);
+
+        let ca = atom_cost(
+            g.layer(a),
+            &AtomCoords::full(g.layer(a).out_shape()),
+            &cfg,
+            Dataflow::KcPartition,
+        );
+        assert_eq!(ca.macs, 0);
+        assert_eq!(ca.cycles, cfg.vector_cycles(28 * 28 * 64));
+    }
+
+    #[test]
+    fn depthwise_atom_cost_uses_channel_range() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(TensorShape::new(28, 28, 96));
+        let d = g.add_conv("dw", x, ConvParams::depthwise(3, 1, 1, 96));
+        let cfg = EngineConfig::paper_default();
+        let coords = AtomCoords {
+            h: Range::new(0, 28),
+            w: Range::new(0, 28),
+            c: Range::new(0, 32),
+        };
+        let cost = atom_cost(g.layer(d), &coords, &cfg, Dataflow::KcPartition);
+        // A third of the channels -> a third of the full-layer MACs.
+        assert_eq!(cost.macs, 28 * 28 * 32 * 9);
+    }
+
+    #[test]
+    fn input_atom_is_free() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(TensorShape::new(8, 8, 3));
+        let cost = atom_cost(
+            g.layer(x),
+            &AtomCoords::full(TensorShape::new(8, 8, 3)),
+            &EngineConfig::paper_default(),
+            Dataflow::KcPartition,
+        );
+        assert_eq!(cost.cycles, 0);
+        assert_eq!(cost.energy_pj, 0.0);
+    }
+}

@@ -1,0 +1,802 @@
+//! Atomic tensor generation (paper Sec. IV-A, Algorithm 1).
+//!
+//! The goal is a per-layer tile size `[h_p, w_p, c_p^o]` such that (1) each
+//! atom keeps the PE array of one engine highly utilized and (2) atoms from
+//! *different* layers have near-equal execution cycles, so parallel rounds
+//! are load-balanced. The paper frames (2) as minimizing the variance of
+//! atom execution cycles around a scalar *unified cycle* state `S`, searched
+//! with simulated annealing; a genetic-algorithm alternative is evaluated in
+//! Fig. 5(b) and reproduced here, plus a uniform (non-balanced) generator
+//! used by baselines and ablations.
+//!
+//! Per-layer candidate tiles are pre-enumerated with dataflow-aware
+//! snapping: the spatially-unrolled dimensions are kept divisible by the PE
+//! array where the layer allows it, and candidates whose working set
+//! exceeds the engine buffer are discarded.
+
+use serde::{Deserialize, Serialize};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dnn_graph::{Graph, Layer, TensorShape};
+use engine_model::{Dataflow, EngineConfig};
+
+use crate::atom::{atom_cost, AtomCoords, AtomSpec, Range};
+
+/// Simulated-annealing hyper-parameters (Alg. 1's `ite_max`, `Len`, `ε`,
+/// `Temp`, `λ`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaParams {
+    /// Iteration upper bound `ite_max`.
+    pub max_iters: usize,
+    /// Maximum relative movement length `Len` (fraction of current `S`).
+    pub move_len: f64,
+    /// Convergence threshold `ε` on the normalized variance.
+    pub epsilon: f64,
+    /// Initial annealing temperature `Temp`.
+    pub temp: f64,
+    /// Temperature decay factor `λ` per iteration.
+    pub lambda: f64,
+    /// RNG seed (searches are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        Self { max_iters: 400, move_len: 0.3, epsilon: 0.02, temp: 0.5, lambda: 0.97, seed: 7 }
+    }
+}
+
+/// Genetic-algorithm hyper-parameters (the Fig. 5(b) comparator).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaParams {
+    /// Generations to evolve.
+    pub generations: usize,
+    /// Population size.
+    pub population: usize,
+    /// Per-gene mutation probability.
+    pub mutation: f64,
+    /// Individuals copied unchanged each generation.
+    pub elites: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        Self { generations: 400, population: 24, mutation: 0.08, elites: 2, seed: 7 }
+    }
+}
+
+/// Which generator to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AtomGenMode {
+    /// Algorithm 1: simulated annealing on the unified-cycle state.
+    Sa(SaParams),
+    /// Genetic algorithm over per-layer tile choices (Fig. 5(b) comparison).
+    Ga(GaParams),
+    /// Uniform splitting into ≈ `parts` atoms per layer with no cycle
+    /// balancing (ablation baseline; also what a Rammer-style rTask
+    /// generator produces).
+    Uniform {
+        /// Target atoms per layer.
+        parts: usize,
+    },
+}
+
+/// Configuration of the generation stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AtomGenConfig {
+    /// Search mode.
+    pub mode: AtomGenMode,
+    /// Candidates whose working set exceeds this fraction of the engine
+    /// buffer are rejected.
+    pub max_working_set_frac: f64,
+    /// Upper bound on atoms per layer (keeps the DAG tractable).
+    pub max_atoms_per_layer: usize,
+    /// Initialization target: the unified-cycle state starts at the cycle
+    /// level where large layers split into about this many atoms, i.e.
+    /// enough intra-layer parallelism to fill the engine array (≈ 2·N).
+    /// The annealing then moves `S` freely to minimize the variance.
+    pub target_atoms_per_layer: usize,
+    /// Engines on the accelerator (`N`): used by the wall-time term of the
+    /// candidate selection — a layer's atoms execute in `ceil(count / N)`
+    /// waves, so both PE utilization *and* intra-layer parallelism shape
+    /// the preferred tile.
+    pub engines: usize,
+}
+
+impl Default for AtomGenConfig {
+    fn default() -> Self {
+        Self {
+            mode: AtomGenMode::Sa(SaParams::default()),
+            max_working_set_frac: 1.0,
+            max_atoms_per_layer: 4096,
+            target_atoms_per_layer: 128,
+            engines: 64,
+        }
+    }
+}
+
+/// Result of atom generation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenReport {
+    /// Chosen tile per layer (indexed by layer id; `Input` layers get a
+    /// degenerate whole-tensor spec).
+    pub specs: Vec<AtomSpec>,
+    /// Final unified-cycle state `S`.
+    pub unified_cycle: f64,
+    /// Final normalized variance `E = Var(cycles) / S²` over array atoms.
+    pub variance: f64,
+    /// `E` after every iteration/generation — the Fig. 5(b) convergence
+    /// trace.
+    pub history: Vec<f64>,
+    /// Per-array-layer `(cycles, atom_count)` under the chosen specs — the
+    /// population of the Fig. 5(a) histogram.
+    pub layer_cycles: Vec<(u64, usize)>,
+}
+
+/// One pre-enumerated tiling candidate of a layer.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    cycles: u64,
+    count: usize,
+    spec: AtomSpec,
+    /// `ceil(count / N) × max(cycles, gather estimate)`: the layer's
+    /// wall-clock if executed alone in full rounds — the tile-quality term
+    /// of the selection score.
+    est_wall: u64,
+}
+
+/// Per-layer candidate table, sorted by cycles.
+struct CandidateTable {
+    /// `table[layer_id]` — empty for `Input` layers.
+    layers: Vec<Vec<Candidate>>,
+    /// Whether the layer's atoms run on the PE array (participate in `Var`).
+    is_array: Vec<bool>,
+    /// Best (smallest) achievable estimated wall per layer — the reference
+    /// point for the selection-time quality penalty.
+    min_wall: Vec<u64>,
+}
+
+/// Runs the configured generator over `graph`.
+pub fn generate(
+    graph: &Graph,
+    cfg: &AtomGenConfig,
+    engine: &EngineConfig,
+    dataflow: Dataflow,
+) -> GenReport {
+    let table = enumerate_candidates(graph, cfg, engine, dataflow);
+    match cfg.mode {
+        AtomGenMode::Sa(p) => run_sa(graph, &table, p, cfg.target_atoms_per_layer),
+        AtomGenMode::Ga(p) => run_ga(graph, &table, p),
+        AtomGenMode::Uniform { parts } => run_uniform(graph, &table, parts),
+    }
+}
+
+/// Split-factor menu used for candidate enumeration.
+const SPLITS: [usize; 17] = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384];
+
+fn round_up_multiple(v: usize, m: usize, cap: usize) -> usize {
+    (v.div_ceil(m) * m).min(cap).max(1)
+}
+
+fn enumerate_candidates(
+    graph: &Graph,
+    cfg: &AtomGenConfig,
+    engine: &EngineConfig,
+    dataflow: Dataflow,
+) -> CandidateTable {
+    let budget = (engine.buffer_bytes as f64 * cfg.max_working_set_frac) as u64;
+    let mut layers = Vec::with_capacity(graph.layer_count());
+    let mut is_array = Vec::with_capacity(graph.layer_count());
+    let mut min_wall = Vec::with_capacity(graph.layer_count());
+
+    for layer in graph.layers() {
+        is_array.push(layer.is_array_op());
+        if layer.op().is_input() {
+            layers.push(Vec::new());
+            min_wall.push(0);
+            continue;
+        }
+        let out = layer.out_shape();
+        let mut cands: Vec<Candidate> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+
+        for &fh in &SPLITS {
+            if fh > out.h && fh != 1 {
+                break;
+            }
+            for &fw in &SPLITS {
+                if fw > out.w && fw != 1 {
+                    break;
+                }
+                for &fc in &SPLITS {
+                    if fc > out.c && fc != 1 {
+                        break;
+                    }
+                    let spec = snapped_spec(layer, out, fh, fw, fc, engine, dataflow);
+                    if !seen.insert((spec.th, spec.tw, spec.tc)) {
+                        continue;
+                    }
+                    let count = spec.count(out);
+                    if count > cfg.max_atoms_per_layer {
+                        continue;
+                    }
+                    let coords = AtomCoords {
+                        h: Range::new(0, spec.th),
+                        w: Range::new(0, spec.tw),
+                        c: Range::new(0, spec.tc),
+                    };
+                    let cost = atom_cost(layer, &coords, engine, dataflow);
+                    // No hard working-set filter: operands larger than the
+                    // buffer are streamed (the simulator models exactly
+                    // that), and the resulting traffic is visible to the
+                    // outer Fig. 4(b) loop through full simulation. The
+                    // `max_working_set_frac` budget only softens selection
+                    // via the wall-time term below.
+                    let oversize_penalty =
+                        cost.working_set_bytes.saturating_sub(budget) / 64;
+                    let cycles = cost.cycles.max(1);
+                    // Effective per-atom time: compute, or the operand
+                    // gathering when the double buffer cannot hide it
+                    // (input bytes over a ~64 B/cycle link plus one DRAM
+                    // access latency). Tiny atoms with large halos are
+                    // gather-bound and make poor scheduling units.
+                    let gather_est =
+                        (cost.working_set_bytes - cost.output_bytes) / 64 + 150;
+                    let eff = cycles.max(gather_est);
+                    cands.push(Candidate {
+                        cycles,
+                        count,
+                        spec,
+                        est_wall: count.div_ceil(cfg.engines) as u64 * eff
+                            + oversize_penalty,
+                    });
+                }
+            }
+        }
+        if cands.is_empty() {
+            // Fall back to the whole layer even if it busts the budget.
+            let spec = AtomSpec::whole(out);
+            let cost = atom_cost(layer, &AtomCoords::full(out), engine, dataflow);
+            let cycles = cost.cycles.max(1);
+            let _ = cost;
+            cands.push(Candidate { cycles, count: 1, spec, est_wall: cycles });
+        }
+        cands.sort_by_key(|c| c.cycles);
+        min_wall.push(cands.iter().map(|c| c.est_wall).min().unwrap_or(0));
+        layers.push(cands);
+    }
+    CandidateTable { layers, is_array, min_wall }
+}
+
+/// Builds a tile spec for split factors, snapping the spatially-unrolled
+/// dimensions to PE-array multiples where the layer permits.
+fn snapped_spec(
+    layer: &Layer,
+    out: TensorShape,
+    fh: usize,
+    fw: usize,
+    fc: usize,
+    engine: &EngineConfig,
+    dataflow: Dataflow,
+) -> AtomSpec {
+    let th = out.h.div_ceil(fh);
+    let tw = out.w.div_ceil(fw);
+    let tc = out.c.div_ceil(fc);
+    if !layer.is_array_op() {
+        return AtomSpec { th, tw, tc }.clamped(out);
+    }
+    let spec = match dataflow {
+        // KC-P unrolls channels: keep the output-channel tile divisible by
+        // PE_y (Sec. IV-A: `c_3 × PE_y`).
+        Dataflow::KcPartition => AtomSpec {
+            th,
+            tw,
+            tc: round_up_multiple(tc, engine.pe_y, out.c),
+        },
+        // YX-P unrolls the output plane: snap h/w to the array dims.
+        Dataflow::YxPartition => AtomSpec {
+            th: round_up_multiple(th, engine.pe_x, out.h),
+            tw: round_up_multiple(tw, engine.pe_y, out.w),
+            tc,
+        },
+    };
+    spec.clamped(out)
+}
+
+/// Weighted (by atom count) mean and normalized variance of per-layer
+/// cycles; `None` entries are non-array layers excluded from the objective.
+fn weighted_stats(choices: &[(u64, usize, bool)]) -> (f64, f64) {
+    let mut n = 0.0;
+    let mut sum = 0.0;
+    let mut sum2 = 0.0;
+    for &(cycles, count, array) in choices {
+        if !array {
+            continue;
+        }
+        let w = count as f64;
+        let c = cycles as f64;
+        n += w;
+        sum += w * c;
+        sum2 += w * c * c;
+    }
+    if n == 0.0 {
+        return (0.0, 0.0);
+    }
+    let mean = sum / n;
+    let var = (sum2 / n - mean * mean).max(0.0);
+    (mean, if mean > 0.0 { var / (mean * mean) } else { 0.0 })
+}
+
+/// Per-layer argmin of Alg. 1 line 13, extended with Sec. IV-A's target
+/// (1): the distance to the unified cycle `S` is penalized by the wall-time
+/// loss of the tile relative to the layer's best tile — a term that captures
+/// both PE utilization (coarse layers) and intra-layer parallelism (layers
+/// too small to fill a round), so balancing never trades them away.
+fn closest_candidate(cands: &[Candidate], target: f64, min_wall: u64) -> usize {
+    let mut best = 0usize;
+    let mut best_score = f64::INFINITY;
+    for (i, c) in cands.iter().enumerate() {
+        let dist = (c.cycles as f64 - target).abs();
+        let quality = (c.est_wall - min_wall) as f64;
+        let score = dist + quality;
+        if score < best_score {
+            best_score = score;
+            best = i;
+        }
+    }
+    best
+}
+
+fn report_from_choices(
+    graph: &Graph,
+    table: &CandidateTable,
+    choice: &[usize],
+    history: Vec<f64>,
+) -> GenReport {
+    let mut specs = Vec::with_capacity(graph.layer_count());
+    let mut layer_cycles = Vec::new();
+    let mut stats_in = Vec::new();
+    for layer in graph.layers() {
+        let li = layer.id().index();
+        if table.layers[li].is_empty() {
+            specs.push(AtomSpec { th: 1, tw: 1, tc: 1 });
+            continue;
+        }
+        let c = table.layers[li][choice[li]];
+        specs.push(c.spec);
+        stats_in.push((c.cycles, c.count, table.is_array[li]));
+        if table.is_array[li] {
+            layer_cycles.push((c.cycles, c.count));
+        }
+    }
+    let (mean, var) = weighted_stats(&stats_in);
+    GenReport { specs, unified_cycle: mean, variance: var, history, layer_cycles }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated annealing (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+fn run_sa(graph: &Graph, table: &CandidateTable, p: SaParams, target_count: usize) -> GenReport {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let nl = graph.layer_count();
+
+    // Initialization (Alg. 1 lines 1-3): tile sizes such that large layers
+    // split into about `target_count` atoms — the cycle level with enough
+    // intra-layer parallelism to fill the rounds. The annealing below is
+    // free to move `S` anywhere from here.
+    let mut choice: Vec<usize> = (0..nl)
+        .map(|li| {
+            table.layers[li]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| (c.count.abs_diff(target_count), c.cycles))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect();
+
+    let eval = |choice: &[usize]| -> (f64, f64) {
+        let stats: Vec<(u64, usize, bool)> = (0..nl)
+            .filter(|li| !table.layers[*li].is_empty())
+            .map(|li| {
+                let c = table.layers[li][choice[li]];
+                (c.cycles, c.count, table.is_array[li])
+            })
+            .collect();
+        weighted_stats(&stats)
+    };
+
+    let (mut s, mut e) = eval(&choice);
+    let s0 = s.max(1.0);
+    let mut temp = p.temp;
+    let mut history = vec![e];
+
+    for _ in 0..p.max_iters {
+        if e <= p.epsilon {
+            break;
+        }
+        // Neighboring state (line 10) and per-layer argmin (lines 11-14).
+        // `S` is kept within a band around the initialization scale; the
+        // optimizer's outer loop (Fig. 4(b)) explores different scales and
+        // picks the cheapest by full simulation.
+        let s_move = (s + rng.gen_range(-1.0f64..1.0) * p.move_len * s)
+            .clamp(s0 / 3.0, s0 * 6.0);
+        let mut cand_choice = choice.clone();
+        for (li, slot) in cand_choice.iter_mut().enumerate() {
+            if !table.layers[li].is_empty() {
+                *slot = closest_candidate(&table.layers[li], s_move, table.min_wall[li]);
+            }
+        }
+        let (_, e_move) = eval(&cand_choice);
+
+        // Temperature update and transition probability (lines 16-22).
+        temp = (temp * p.lambda).max(1e-6);
+        let prob = ((e - e_move) / (p.lambda * temp)).exp();
+        if rng.gen_range(0.0..1.0) <= prob {
+            choice = cand_choice;
+            s = s_move;
+            e = e_move;
+        }
+        history.push(e);
+    }
+
+    report_from_choices(graph, table, &choice, history)
+}
+
+// ---------------------------------------------------------------------------
+// Genetic algorithm (Fig. 5(b) comparator)
+// ---------------------------------------------------------------------------
+
+fn run_ga(graph: &Graph, table: &CandidateTable, p: GaParams) -> GenReport {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let nl = graph.layer_count();
+    let gene_space: Vec<usize> = (0..nl).map(|li| table.layers[li].len()).collect();
+
+    let eval = |ind: &[usize]| -> f64 {
+        let stats: Vec<(u64, usize, bool)> = (0..nl)
+            .filter(|li| gene_space[*li] > 0)
+            .map(|li| {
+                let c = table.layers[li][ind[li]];
+                (c.cycles, c.count, table.is_array[li])
+            })
+            .collect();
+        weighted_stats(&stats).1
+    };
+
+    let random_ind = |rng: &mut StdRng| -> Vec<usize> {
+        (0..nl)
+            .map(|li| if gene_space[li] == 0 { 0 } else { rng.gen_range(0..gene_space[li]) })
+            .collect()
+    };
+
+    let mut pop: Vec<(f64, Vec<usize>)> = (0..p.population)
+        .map(|_| {
+            let ind = random_ind(&mut rng);
+            (eval(&ind), ind)
+        })
+        .collect();
+    pop.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut history = vec![pop[0].0];
+    for _ in 0..p.generations {
+        let mut next: Vec<(f64, Vec<usize>)> = pop.iter().take(p.elites).cloned().collect();
+        while next.len() < p.population {
+            // Tournament selection of two parents.
+            let pick = |rng: &mut StdRng| {
+                let a = rng.gen_range(0..pop.len());
+                let b = rng.gen_range(0..pop.len());
+                if pop[a].0 < pop[b].0 { a } else { b }
+            };
+            let (pa, pb) = (pick(&mut rng), pick(&mut rng));
+            // Single-point crossover.
+            let cut = rng.gen_range(0..nl.max(1));
+            let mut child: Vec<usize> = pop[pa].1[..cut]
+                .iter()
+                .chain(pop[pb].1[cut..].iter())
+                .copied()
+                .collect();
+            // Mutation.
+            for (li, g) in child.iter_mut().enumerate() {
+                if gene_space[li] > 0 && rng.gen_range(0.0..1.0) < p.mutation {
+                    *g = rng.gen_range(0..gene_space[li]);
+                }
+            }
+            let f = eval(&child);
+            next.push((f, child));
+        }
+        next.sort_by(|a, b| a.0.total_cmp(&b.0));
+        next.truncate(p.population);
+        pop = next;
+        history.push(pop[0].0);
+    }
+
+    let best = pop.remove(0).1;
+    report_from_choices(graph, table, &best, history)
+}
+
+// ---------------------------------------------------------------------------
+// Uniform splitting (baselines / ablation)
+// ---------------------------------------------------------------------------
+
+fn run_uniform(graph: &Graph, table: &CandidateTable, parts: usize) -> GenReport {
+    let nl = graph.layer_count();
+    let choice: Vec<usize> = (0..nl)
+        .map(|li| {
+            let cands = &table.layers[li];
+            if cands.is_empty() {
+                return 0;
+            }
+            // Candidate with atom count closest to `parts`; ties resolved
+            // by tile quality (est. wall), so the ablation isolates the
+            // *balancing* contribution of SA rather than tile sanity.
+            cands
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| (c.count.abs_diff(parts), c.est_wall))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect();
+    report_from_choices(graph, table, &choice, Vec::new())
+}
+
+/// The naive even partitioning of Layer-Sequential scheduling (Sec. II-B):
+/// each layer is split into `parts` tiles by repeatedly halving whichever
+/// output dimension currently has the largest extent — "partitioned along
+/// certain directions (H_o, W_o, C_o, …) to utilize all engines" with no
+/// awareness of the engine micro-architecture. Late layers with small
+/// feature maps end up with channel slices far below the PE-array width,
+/// which is precisely the task-engine mismatch the paper's Fig. 2 shows.
+pub fn naive_split(out: TensorShape, parts: usize) -> AtomSpec {
+    let mut fh = 1usize;
+    let mut fw = 1usize;
+    let mut fc = 1usize;
+    let mut produced = 1usize;
+    while produced < parts {
+        let eh = out.h.div_ceil(fh);
+        let ew = out.w.div_ceil(fw);
+        let ec = out.c.div_ceil(fc);
+        // Split the largest remaining extent; stop when nothing is divisible.
+        if ec >= eh && ec >= ew && ec > 1 {
+            fc *= 2;
+        } else if eh >= ew && eh > 1 {
+            fh *= 2;
+        } else if ew > 1 {
+            fw *= 2;
+        } else if ec > 1 {
+            fc *= 2;
+        } else {
+            break;
+        }
+        produced = out.h.div_ceil(out.h.div_ceil(fh))
+            * out.w.div_ceil(out.w.div_ceil(fw))
+            * out.c.div_ceil(out.c.div_ceil(fc));
+        produced = produced.max(fh.min(out.h) * fw.min(out.w) * fc.min(out.c));
+    }
+    AtomSpec { th: out.h.div_ceil(fh), tw: out.w.div_ceil(fw), tc: out.c.div_ceil(fc) }
+        .clamped(out)
+}
+
+/// Uniformly splits one layer into a grid of ≈ `parts` tiles; used by the
+/// LS / CNN-P / IL-Pipe baselines to partition a layer across a set of
+/// engines.
+///
+/// Among grids with the count closest to `parts`, the one with the smallest
+/// per-part operand footprint (ifmap window + weight slice) is chosen —
+/// this is the standard practice the baselines embody: spatial splits for
+/// large-fmap layers, output-channel splits for weight-heavy layers (so
+/// engines do not all replicate the full weight tensor).
+pub fn grid_split(
+    layer: &Layer,
+    parts: usize,
+    engine: &EngineConfig,
+    dataflow: Dataflow,
+) -> AtomSpec {
+    let out = layer.out_shape();
+    let parts = parts.max(1);
+    let mut best: Option<((usize, u64), AtomSpec)> = None;
+    let mut seen = std::collections::HashSet::new();
+    for &fh in &SPLITS {
+        if fh > out.h && fh != 1 {
+            break;
+        }
+        for &fw in &SPLITS {
+            if fw > out.w && fw != 1 {
+                break;
+            }
+            for &fc in &SPLITS {
+                if fc > out.c && fc != 1 {
+                    break;
+                }
+                let spec = AtomSpec {
+                    th: out.h.div_ceil(fh),
+                    tw: out.w.div_ceil(fw),
+                    tc: out.c.div_ceil(fc),
+                }
+                .clamped(out);
+                if !seen.insert((spec.th, spec.tw, spec.tc)) {
+                    continue;
+                }
+                let count = spec.count(out);
+                let coords = AtomCoords {
+                    h: Range::new(0, spec.th),
+                    w: Range::new(0, spec.tw),
+                    c: Range::new(0, spec.tc),
+                };
+                let cost = atom_cost(layer, &coords, engine, dataflow);
+                let input_bytes = cost.working_set_bytes - cost.output_bytes;
+                let key = (count.abs_diff(parts), input_bytes);
+                match &best {
+                    Some((bk, _)) if key >= *bk => {}
+                    _ => best = Some((key, spec)),
+                }
+            }
+        }
+    }
+    best.map(|(_, s)| s).unwrap_or(AtomSpec::whole(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::models;
+
+    fn setup() -> (Graph, EngineConfig) {
+        (models::tiny_branchy(), EngineConfig::paper_default())
+    }
+
+    #[test]
+    fn sa_reduces_variance() {
+        let (g, e) = setup();
+        let cfg = AtomGenConfig::default();
+        let rep = generate(&g, &cfg, &e, Dataflow::KcPartition);
+        assert!(!rep.history.is_empty());
+        let first = rep.history[0];
+        let last = *rep.history.last().unwrap();
+        assert!(last <= first, "variance should not increase: {first} -> {last}");
+        assert_eq!(rep.specs.len(), g.layer_count());
+    }
+
+    #[test]
+    fn sa_deterministic_given_seed() {
+        let (g, e) = setup();
+        let cfg = AtomGenConfig::default();
+        let r1 = generate(&g, &cfg, &e, Dataflow::KcPartition);
+        let r2 = generate(&g, &cfg, &e, Dataflow::KcPartition);
+        assert_eq!(r1.specs, r2.specs);
+        assert_eq!(r1.history, r2.history);
+    }
+
+    #[test]
+    fn kc_candidates_snap_channels_to_pe_multiple() {
+        let (g, e) = setup();
+        let cfg = AtomGenConfig::default();
+        let rep = generate(&g, &cfg, &e, Dataflow::KcPartition);
+        for layer in g.layers() {
+            if !layer.is_array_op() {
+                continue;
+            }
+            let spec = rep.specs[layer.id().index()];
+            let out = layer.out_shape();
+            // Either a PE_y multiple or capped at the layer's channel count.
+            assert!(
+                spec.tc % e.pe_y == 0 || spec.tc == out.c,
+                "layer {} tc={} not snapped",
+                layer.name(),
+                spec.tc
+            );
+        }
+    }
+
+    #[test]
+    fn ga_also_converges_but_history_differs() {
+        let (g, e) = setup();
+        let cfg = AtomGenConfig {
+            mode: AtomGenMode::Ga(GaParams { generations: 60, ..GaParams::default() }),
+            ..AtomGenConfig::default()
+        };
+        let rep = generate(&g, &cfg, &e, Dataflow::KcPartition);
+        assert!(rep.history.len() > 10);
+        assert!(*rep.history.last().unwrap() <= rep.history[0]);
+    }
+
+    #[test]
+    fn uniform_hits_target_parts() {
+        let (g, e) = setup();
+        let cfg = AtomGenConfig {
+            mode: AtomGenMode::Uniform { parts: 8 },
+            ..AtomGenConfig::default()
+        };
+        let rep = generate(&g, &cfg, &e, Dataflow::KcPartition);
+        // Large layers should land near 8 atoms.
+        let stem = g.layer_by_name("stem").unwrap();
+        let n = rep.specs[stem.id().index()].count(stem.out_shape());
+        assert!((2..=16).contains(&n), "stem atoms = {n}");
+    }
+
+    #[test]
+    fn balanced_variance_on_a_real_network() {
+        // VGG's layer spectrum spans 0.1M-8M cycles; the generator must
+        // still converge to a low normalized variance (the failure mode
+        // before streaming-aware candidates was Var > 40).
+        let g = models::vgg19();
+        let e = EngineConfig::paper_default();
+        let rep = generate(&g, &AtomGenConfig::default(), &e, Dataflow::KcPartition);
+        assert!(rep.variance < 0.2, "variance = {}", rep.variance);
+        // And the resulting specs split large conv layers into many atoms.
+        let c12 = g.layer_by_name("conv1_2").unwrap();
+        assert!(rep.specs[c12.id().index()].count(c12.out_shape()) > 32);
+    }
+
+    #[test]
+    fn closest_candidate_picks_nearest() {
+        // Equal wall quality: pure distance decides.
+        let c = |cycles: u64| Candidate {
+            cycles,
+            count: 1,
+            spec: AtomSpec { th: 1, tw: 1, tc: 1 },
+            est_wall: 10,
+        };
+        let cands = vec![c(10), c(100), c(1000)];
+        assert_eq!(closest_candidate(&cands, 1.0, 10), 0);
+        assert_eq!(closest_candidate(&cands, 54.0, 10), 0);
+        assert_eq!(closest_candidate(&cands, 80.0, 10), 1);
+        assert_eq!(closest_candidate(&cands, 999.0, 10), 2);
+        assert_eq!(closest_candidate(&cands, 1e9, 10), 2);
+
+        // The wall-time term steers away from tiles that serialize badly.
+        let mut fat = c(100);
+        fat.est_wall = 400;
+        let cands = vec![c(90), fat];
+        assert_eq!(closest_candidate(&cands, 100.0, 10), 0);
+    }
+
+    #[test]
+    fn grid_split_splits_channels_for_weight_heavy_layers() {
+        // 3x3 conv at 7x7 with 512->512 channels: weights dominate; an
+        // even partition must split output channels so engines don't all
+        // replicate 2.4 MB of weights.
+        let mut g = Graph::new("t");
+        let x = g.add_input(TensorShape::new(7, 7, 512));
+        let c = g.add_conv("c", x, dnn_graph::ConvParams::new(3, 1, 1, 512));
+        let e = EngineConfig::paper_default();
+        let s = grid_split(g.layer(c), 64, &e, Dataflow::KcPartition);
+        assert!(s.tc < 512, "expected channel split, got {s:?}");
+    }
+
+    #[test]
+    fn grid_split_prefers_spatial_for_fmap_heavy_layers() {
+        // 3x3 conv at 56x56 with 64->64 channels: fmaps dominate; spatial
+        // splits minimize the per-part window + weight footprint.
+        let mut g = Graph::new("t");
+        let x = g.add_input(TensorShape::new(56, 56, 64));
+        let c = g.add_conv("c", x, dnn_graph::ConvParams::new(3, 1, 1, 64));
+        let e = EngineConfig::paper_default();
+        let s = grid_split(g.layer(c), 16, &e, Dataflow::KcPartition);
+        let out = g.layer(c).out_shape();
+        assert!((12..=24).contains(&s.count(out)), "count = {}", s.count(out));
+        assert!(s.th < 56 || s.tw < 56, "expected spatial split, got {s:?}");
+    }
+
+    #[test]
+    fn grid_split_small_layer_caps_parts() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(TensorShape::new(4, 4, 10));
+        let fc = g.add_fc("fc", x, 10);
+        let e = EngineConfig::paper_default();
+        let s = grid_split(g.layer(fc), 64, &e, Dataflow::KcPartition);
+        assert!(s.count(g.layer(fc).out_shape()) <= 10);
+    }
+
+    #[test]
+    fn weighted_stats_balanced_is_zero() {
+        let (mean, var) = weighted_stats(&[(100, 4, true), (100, 2, true), (5, 3, false)]);
+        assert_eq!(mean, 100.0);
+        assert_eq!(var, 0.0);
+    }
+}

@@ -1,0 +1,480 @@
+//! Atomic DAG construction (paper Sec. III, eq. `G = (Vertex, Edge)`).
+//!
+//! Given a layer graph, a per-layer [`AtomSpec`] and a batch size, this
+//! module materializes every atom (`Atom_{l,x,(b)}`), derives the exact
+//! atom-level data dependencies from receptive-field overlap, and attaches
+//! external operands (weight slices and network-input regions, which
+//! originate in DRAM). All samples of a batch are gathered in one unified
+//! DAG — `#Batch` identical sub-DAGs sharing weight data — exactly as the
+//! paper's framework does.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use accel_sim::DataId;
+use dnn_graph::{Graph, LayerId, OpKind, BYTES_PER_ELEM};
+use engine_model::{Dataflow, EngineConfig};
+
+use crate::atom::{atom_cost, input_window, AtomCoords, AtomCost, AtomSpec, Range};
+
+/// Identifier of an atom within its [`AtomicDag`] (dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// The id as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One atom: a partition of one layer's output for one batch sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Atom {
+    /// Source layer.
+    pub layer: LayerId,
+    /// Batch sample this atom belongs to.
+    pub batch: u16,
+    /// Output-space coordinates.
+    pub coords: AtomCoords,
+    /// Cost-oracle result for this atom.
+    pub cost: AtomCost,
+}
+
+/// Encodes the DRAM-resident datum holding a layer's weight slice for one
+/// output-channel tile. Shared across batch samples and spatial tiles.
+pub fn weight_data_id(layer: LayerId, c_tile: usize) -> DataId {
+    DataId((layer.0 as u64) << 32 | c_tile as u64)
+}
+
+/// Encodes the DRAM-resident datum holding a region of a network input.
+pub fn input_data_id(batch: u16, layer: LayerId, h_start: usize, w_start: usize) -> DataId {
+    DataId(
+        (1u64 << 62)
+            | (batch as u64) << 48
+            | (layer.0 as u64) << 28
+            | (h_start as u64) << 14
+            | w_start as u64,
+    )
+}
+
+/// The atomic computation DAG of one workload at one batch size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AtomicDag {
+    atoms: Vec<Atom>,
+    preds: Vec<Vec<(AtomId, u64)>>,
+    succs: Vec<Vec<AtomId>>,
+    externals: Vec<Vec<(DataId, u64)>>,
+    /// Atom ids per `(batch, layer)`, indexed `batch * layers + layer`.
+    layer_atoms: Vec<Vec<AtomId>>,
+    layer_count: usize,
+    batch: usize,
+    /// Longest-path depth of each layer (from the layer graph).
+    layer_depths: Vec<usize>,
+}
+
+impl AtomicDag {
+    /// Builds the atomic DAG for `graph` under per-layer tiling `specs`
+    /// (indexed by layer id; specs for `Input` layers are ignored) with
+    /// `batch` samples, using the cost oracle at (`engine`, `dataflow`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs.len() != graph.layer_count()` or `batch == 0`.
+    pub fn build(
+        graph: &Graph,
+        specs: &[AtomSpec],
+        batch: usize,
+        engine: &EngineConfig,
+        dataflow: Dataflow,
+    ) -> Self {
+        assert_eq!(specs.len(), graph.layer_count(), "one AtomSpec per layer required");
+        assert!(batch > 0, "batch must be at least 1");
+        let nl = graph.layer_count();
+
+        let mut dag = AtomicDag {
+            atoms: Vec::new(),
+            preds: Vec::new(),
+            succs: Vec::new(),
+            externals: Vec::new(),
+            layer_atoms: vec![Vec::new(); nl * batch],
+            layer_count: nl,
+            batch,
+            layer_depths: graph.depths(),
+        };
+
+        // Per-layer tile grids (shared across batch samples).
+        let mut grids: Vec<Vec<AtomCoords>> = Vec::with_capacity(nl);
+        let mut grid_dims: Vec<(usize, usize, usize)> = Vec::with_capacity(nl);
+        for layer in graph.layers() {
+            if layer.op().is_input() {
+                grids.push(Vec::new());
+                grid_dims.push((0, 0, 0));
+                continue;
+            }
+            let out = layer.out_shape();
+            let spec = specs[layer.id().index()].clamped(out);
+            grids.push(spec.tiles(out));
+            grid_dims.push((
+                out.h.div_ceil(spec.th),
+                out.w.div_ceil(spec.tw),
+                out.c.div_ceil(spec.tc),
+            ));
+        }
+
+        // Cost cache: tiles of equal extent share a cost.
+        let mut cost_cache: HashMap<(u32, usize, usize, usize), AtomCost> = HashMap::new();
+
+        for b in 0..batch as u16 {
+            for layer in graph.layers() {
+                if layer.op().is_input() {
+                    continue;
+                }
+                let lid = layer.id();
+                let grid = &grids[lid.index()];
+                for coords in grid {
+                    let key = (lid.0, coords.h.len(), coords.w.len(), coords.c.len());
+                    let cost = *cost_cache
+                        .entry(key)
+                        .or_insert_with(|| atom_cost(layer, coords, engine, dataflow));
+                    let id = AtomId(dag.atoms.len() as u32);
+                    dag.atoms.push(Atom { layer: lid, batch: b, coords: *coords, cost });
+                    dag.preds.push(Vec::new());
+                    dag.succs.push(Vec::new());
+                    dag.externals.push(Vec::new());
+                    dag.layer_atoms[b as usize * nl + lid.index()].push(id);
+                }
+            }
+        }
+
+        // Edges and externals.
+        for b in 0..batch as u16 {
+            for layer in graph.layers() {
+                if layer.op().is_input() {
+                    continue;
+                }
+                let lid = layer.id();
+                let atom_ids = dag.layer_atoms[b as usize * nl + lid.index()].clone();
+                for aid in atom_ids {
+                    let coords = dag.atoms[aid.index()].coords;
+
+                    // Weights: one external slice per output-channel tile.
+                    let wb = dag.atoms[aid.index()].cost.weight_bytes;
+                    if wb > 0 {
+                        let tc = specs[lid.index()]
+                            .clamped(layer.out_shape())
+                            .tc;
+                        let c_tile = coords.c.start / tc;
+                        dag.externals[aid.index()].push((weight_data_id(lid, c_tile), wb));
+                    }
+
+                    // Data dependencies on each producer.
+                    for (pi, pid) in graph.preds(lid).iter().enumerate() {
+                        let producer = graph.layer(*pid);
+                        let needed = needed_region(graph, lid, pi, &coords);
+                        let Some(needed) = needed else { continue };
+
+                        if producer.op().is_input() {
+                            let bytes = needed.elements() * BYTES_PER_ELEM;
+                            dag.externals[aid.index()].push((
+                                input_data_id(b, *pid, needed.h.start, needed.w.start),
+                                bytes,
+                            ));
+                            continue;
+                        }
+
+                        // Overlapping producer tiles via grid arithmetic.
+                        let (nh, nw, nc) = grid_dims[pid.index()];
+                        let pout = producer.out_shape();
+                        let spec = specs[pid.index()].clamped(pout);
+                        let p_atoms = &dag.layer_atoms[b as usize * nl + pid.index()];
+                        let ih0 = needed.h.start / spec.th;
+                        let ih1 = (needed.h.end - 1) / spec.th;
+                        let iw0 = needed.w.start / spec.tw;
+                        let iw1 = (needed.w.end - 1) / spec.tw;
+                        let ic0 = needed.c.start / spec.tc;
+                        let ic1 = (needed.c.end - 1) / spec.tc;
+                        for ih in ih0..=ih1.min(nh - 1) {
+                            for iw in iw0..=iw1.min(nw - 1) {
+                                for ic in ic0..=ic1.min(nc - 1) {
+                                    let idx = ih * nw * nc + iw * nc + ic;
+                                    let paid = p_atoms[idx];
+                                    let pcoords = dag.atoms[paid.index()].coords;
+                                    let bytes =
+                                        needed.overlap_elements(&pcoords) * BYTES_PER_ELEM;
+                                    if bytes > 0 {
+                                        dag.preds[aid.index()].push((paid, bytes));
+                                        dag.succs[paid.index()].push(aid);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        dag
+    }
+
+    /// All atoms, indexed by [`AtomId`].
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The atom with the given id.
+    pub fn atom(&self, id: AtomId) -> &Atom {
+        &self.atoms[id.index()]
+    }
+
+    /// Number of atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Batch size the DAG was built for.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Number of layers in the source graph.
+    pub fn layer_count(&self) -> usize {
+        self.layer_count
+    }
+
+    /// Producers of an atom, with the bytes consumed from each.
+    pub fn preds(&self, id: AtomId) -> &[(AtomId, u64)] {
+        &self.preds[id.index()]
+    }
+
+    /// Consumers of an atom.
+    pub fn succs(&self, id: AtomId) -> &[AtomId] {
+        &self.succs[id.index()]
+    }
+
+    /// External operands (weights / network input) of an atom.
+    pub fn externals(&self, id: AtomId) -> &[(DataId, u64)] {
+        &self.externals[id.index()]
+    }
+
+    /// Atoms of `layer` for batch sample `batch`.
+    pub fn layer_atoms(&self, batch: usize, layer: LayerId) -> &[AtomId] {
+        &self.layer_atoms[batch * self.layer_count + layer.index()]
+    }
+
+    /// Longest-path depth of an atom's layer.
+    pub fn depth(&self, id: AtomId) -> usize {
+        self.layer_depths[self.atom(id).layer.index()]
+    }
+
+    /// Longest-path depth of a layer.
+    pub fn layer_depth(&self, layer: LayerId) -> usize {
+        self.layer_depths[layer.index()]
+    }
+
+    /// Total MACs across all atoms.
+    pub fn total_macs(&self) -> u64 {
+        self.atoms.iter().map(|a| a.cost.macs).sum()
+    }
+
+    /// Total compute cycles across all atoms (serial sum).
+    pub fn total_compute_cycles(&self) -> u64 {
+        self.atoms.iter().map(|a| a.cost.cycles).sum()
+    }
+
+    /// Execution cycles of every *array* (CONV/FC) atom — the population the
+    /// paper's Fig. 5(a) histograms and Alg. 1's variance objective use.
+    pub fn array_atom_cycles(&self) -> Vec<u64> {
+        self.atoms
+            .iter()
+            .filter(|a| a.cost.macs > 0)
+            .map(|a| a.cost.cycles)
+            .collect()
+    }
+}
+
+/// The region of producer `pi`'s output that an atom of layer `lid` with
+/// output `coords` must read, in the producer's coordinate space.
+/// `None` when the consumer does not read this producer at all (possible for
+/// concat tiles that fall entirely inside another producer's segment).
+fn needed_region(
+    graph: &Graph,
+    lid: LayerId,
+    pi: usize,
+    coords: &AtomCoords,
+) -> Option<AtomCoords> {
+    let layer = graph.layer(lid);
+    let producer = graph.layer(graph.preds(lid)[pi]);
+    let pc = producer.out_shape().c;
+    let (h, w) = input_window(layer, coords.h, coords.w);
+
+    let c = match layer.op() {
+        // Dense conv / FC / GAP read every input channel.
+        OpKind::Conv(p) if p.groups == 1 => Range::new(0, pc),
+        OpKind::Fc { .. } | OpKind::GlobalAvgPool => Range::new(0, pc),
+        // Depthwise conv, pooling, activations, BN: channel-aligned.
+        OpKind::Conv(_) | OpKind::Pool(_) | OpKind::Act(_) | OpKind::BatchNorm => coords.c,
+        OpKind::Add => coords.c,
+        OpKind::Concat => {
+            // Producer pi owns channel segment [off, off + pc).
+            let off: usize = graph.preds(lid)[..pi]
+                .iter()
+                .map(|p| graph.layer(*p).out_shape().c)
+                .sum();
+            let seg = Range::new(off, off + pc);
+            let inter = coords.c.intersect(&seg)?;
+            inter.shifted_down(off)
+        }
+        OpKind::ChannelScale => {
+            if pi == 0 {
+                coords.c // feature map, channel-aligned
+            } else {
+                // Gate vector: 1x1xC — the needed channels of the gate.
+                return Some(AtomCoords { h: Range::new(0, 1), w: Range::new(0, 1), c: coords.c });
+            }
+        }
+        OpKind::Input => return None,
+    };
+    Some(AtomCoords { h, w, c })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{models, ConvParams, TensorShape};
+
+    fn build(g: &Graph, spec: AtomSpec, batch: usize) -> AtomicDag {
+        let specs: Vec<AtomSpec> = g
+            .layers()
+            .map(|l| if l.op().is_input() { spec } else { spec.clamped(l.out_shape()) })
+            .collect();
+        AtomicDag::build(g, &specs, batch, &EngineConfig::paper_default(), Dataflow::KcPartition)
+    }
+
+    #[test]
+    fn whole_layer_atoms_chain() {
+        let g = models::tiny_cnn();
+        let dag = build(&g, AtomSpec { th: 1 << 20, tw: 1 << 20, tc: 1 << 20 }, 1);
+        // One atom per non-input layer.
+        assert_eq!(dag.atom_count(), g.layer_count() - 1);
+        // conv1 has no task preds (input is external) but has weights+input.
+        let conv1 = dag.layer_atoms(0, g.layer_by_name("conv1").unwrap().id())[0];
+        assert!(dag.preds(conv1).is_empty());
+        assert_eq!(dag.externals(conv1).len(), 2); // weights + input region
+        // conv2 depends on conv1's single atom.
+        let conv2 = dag.layer_atoms(0, g.layer_by_name("conv2").unwrap().id())[0];
+        assert_eq!(dag.preds(conv2).len(), 1);
+        assert_eq!(dag.preds(conv2)[0].0, conv1);
+        // Full ifmap consumed.
+        assert_eq!(dag.preds(conv2)[0].1, 32 * 32 * 16);
+    }
+
+    #[test]
+    fn spatial_tiles_depend_on_overlapping_producers() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(TensorShape::new(32, 32, 16));
+        let a = g.add_conv("a", x, ConvParams::new(3, 1, 1, 16));
+        let bld = g.add_conv("b", a, ConvParams::new(3, 1, 1, 16));
+        let _ = bld;
+        let dag = build(&g, AtomSpec { th: 16, tw: 32, tc: 16 }, 1);
+        // Each layer split into 2 atoms along h.
+        let a_atoms = dag.layer_atoms(0, g.layer_by_name("a").unwrap().id());
+        let b_atoms = dag.layer_atoms(0, g.layer_by_name("b").unwrap().id());
+        assert_eq!(a_atoms.len(), 2);
+        assert_eq!(b_atoms.len(), 2);
+        // b's top tile needs rows [0,17) of a: overlaps both a atoms.
+        assert_eq!(dag.preds(b_atoms[0]).len(), 2);
+        let bytes: Vec<u64> = dag.preds(b_atoms[0]).iter().map(|(_, b)| *b).collect();
+        // 16 rows from tile 0, 1 row from tile 1, each 32x16 wide.
+        assert_eq!(bytes, vec![16 * 32 * 16, 32 * 16]);
+    }
+
+    #[test]
+    fn channel_tiles_share_weights_within_tile() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(TensorShape::new(8, 8, 16));
+        g.add_conv("a", x, ConvParams::new(1, 1, 0, 64));
+        let dag = build(&g, AtomSpec { th: 4, tw: 8, tc: 32 }, 1);
+        let a = g.layer_by_name("a").unwrap().id();
+        let atoms = dag.layer_atoms(0, a);
+        assert_eq!(atoms.len(), 4); // 2 h-tiles x 2 c-tiles
+        // Atoms with the same channel tile share a weight DataId.
+        let wid = |aid: AtomId| dag.externals(aid)[0].0;
+        let c_of = |aid: AtomId| dag.atom(aid).coords.c.start;
+        for &x1 in atoms {
+            for &x2 in atoms {
+                assert_eq!(c_of(x1) == c_of(x2), wid(x1) == wid(x2));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_replicates_structure_and_shares_weights() {
+        let g = models::tiny_cnn();
+        let d1 = build(&g, AtomSpec { th: 16, tw: 16, tc: 64 }, 1);
+        let d2 = build(&g, AtomSpec { th: 16, tw: 16, tc: 64 }, 2);
+        assert_eq!(d2.atom_count(), 2 * d1.atom_count());
+        let conv1 = g.layer_by_name("conv1").unwrap().id();
+        let a0 = d2.layer_atoms(0, conv1)[0];
+        let a1 = d2.layer_atoms(1, conv1)[0];
+        // Same weight datum across samples; different input datum.
+        let w0: Vec<_> = d2.externals(a0).iter().filter(|(d, _)| d.0 >> 62 == 0).collect();
+        let w1: Vec<_> = d2.externals(a1).iter().filter(|(d, _)| d.0 >> 62 == 0).collect();
+        assert_eq!(w0, w1);
+        let i0: Vec<_> = d2.externals(a0).iter().filter(|(d, _)| d.0 >> 62 == 1).collect();
+        let i1: Vec<_> = d2.externals(a1).iter().filter(|(d, _)| d.0 >> 62 == 1).collect();
+        assert_ne!(i0, i1);
+    }
+
+    #[test]
+    fn concat_routes_channels_to_the_right_producer() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(TensorShape::new(8, 8, 8));
+        let a = g.add_conv("a", x, ConvParams::new(1, 1, 0, 16));
+        let b = g.add_conv("b", x, ConvParams::new(1, 1, 0, 16));
+        let cat = g.add_concat("cat", &[a, b]);
+        // Split concat output (32 ch) into two 16-ch atoms.
+        let dag = build(&g, AtomSpec { th: 8, tw: 8, tc: 16 }, 1);
+        let cat_atoms = dag.layer_atoms(0, cat);
+        assert_eq!(cat_atoms.len(), 2);
+        let a0 = dag.layer_atoms(0, a)[0];
+        let b0 = dag.layer_atoms(0, b)[0];
+        // First concat atom only reads a, second only reads b.
+        assert_eq!(dag.preds(cat_atoms[0]), &[(a0, 8 * 8 * 16)]);
+        assert_eq!(dag.preds(cat_atoms[1]), &[(b0, 8 * 8 * 16)]);
+    }
+
+    #[test]
+    fn residual_add_reads_both_branches() {
+        let g = models::tiny_branchy();
+        let dag = build(&g, AtomSpec { th: 1 << 20, tw: 1 << 20, tc: 1 << 20 }, 1);
+        let add = g.layer_by_name("b1_add").unwrap().id();
+        let a = dag.layer_atoms(0, add)[0];
+        assert_eq!(dag.preds(a).len(), 2);
+    }
+
+    #[test]
+    fn dag_is_acyclic_and_consistent() {
+        let g = models::tiny_branchy();
+        let dag = build(&g, AtomSpec { th: 8, tw: 8, tc: 8 }, 2);
+        for (i, _) in dag.atoms().iter().enumerate() {
+            let id = AtomId(i as u32);
+            for (p, bytes) in dag.preds(id) {
+                assert!(p.index() < dag.atom_count());
+                assert!(*bytes > 0);
+                assert!(dag.succs(*p).contains(&id));
+                // Producer layer must be shallower.
+                assert!(dag.depth(*p) < dag.depth(id));
+            }
+        }
+    }
+
+    #[test]
+    fn total_macs_match_graph() {
+        let g = models::tiny_cnn();
+        let dag = build(&g, AtomSpec { th: 8, tw: 8, tc: 16 }, 1);
+        let graph_macs: u64 = g.layers().map(|l| l.macs()).sum();
+        assert_eq!(dag.total_macs(), graph_macs);
+    }
+}

@@ -1,0 +1,73 @@
+//! The paper's comparison strategies, built on the same atomization,
+//! lowering and simulation machinery as atomic dataflow so every strategy
+//! is measured identically (Sec. V-A "Baseline").
+//!
+//! - [`ls`] — Layer-Sequential: one layer at a time evenly partitioned
+//!   across all engines, batch-enhanced (multiple samples co-mapped).
+//! - [`cnn_p`] — CNN-Partition (Shen et al.): engines clustered into fixed
+//!   CLPs, contiguous layer ranges bound to each, batch-pipelined, all
+//!   ifmaps/ofmaps through DRAM.
+//! - [`il_pipe`] — Inter-layer pipelining (Tangram) with ALLO-style
+//!   fine-grained chunk pipelining across proportionally-sized regions.
+//! - [`rammer`] — Rammer-style rTask co-scheduling: uniform tasks, FIFO
+//!   ready-queue packing, locality-oblivious placement, FIFO buffering.
+//! - [`ideal`] — perfect-utilization / zero-memory-delay roofline.
+
+pub mod cnn_p;
+pub mod ideal;
+pub mod il_pipe;
+pub mod ls;
+pub mod rammer;
+
+use dnn_graph::{Graph, Layer};
+use engine_model::{Dataflow, EngineConfig};
+
+use crate::atom::AtomSpec;
+use crate::atomgen::{grid_split, naive_split};
+use crate::atomic_dag::AtomicDag;
+
+/// Builds an [`AtomicDag`] with per-layer uniform grid splits chosen by
+/// `parts_of` (number of partitions each layer is divided into).
+pub(crate) fn uniform_dag(
+    graph: &Graph,
+    batch: usize,
+    engine: &EngineConfig,
+    dataflow: Dataflow,
+    parts_of: impl Fn(&Layer) -> usize,
+) -> AtomicDag {
+    let specs: Vec<AtomSpec> = graph
+        .layers()
+        .map(|l| {
+            if l.op().is_input() {
+                AtomSpec { th: 1, tw: 1, tc: 1 }
+            } else {
+                grid_split(l, parts_of(l), engine, dataflow)
+            }
+        })
+        .collect();
+    AtomicDag::build(graph, &specs, batch, engine, dataflow)
+}
+
+/// Builds an [`AtomicDag`] with the *naive* even per-layer partitioning of
+/// Layer-Sequential scheduling (largest-dimension halving, no
+/// micro-architecture awareness). Used by LS and the Rammer-style baseline,
+/// whose task generation the original work leaves unspecified.
+pub(crate) fn naive_dag(
+    graph: &Graph,
+    batch: usize,
+    engine: &EngineConfig,
+    dataflow: Dataflow,
+    parts: usize,
+) -> AtomicDag {
+    let specs: Vec<AtomSpec> = graph
+        .layers()
+        .map(|l| {
+            if l.op().is_input() {
+                AtomSpec { th: 1, tw: 1, tc: 1 }
+            } else {
+                naive_split(l.out_shape(), parts)
+            }
+        })
+        .collect();
+    AtomicDag::build(graph, &specs, batch, engine, dataflow)
+}

@@ -1,0 +1,53 @@
+//! Atomic dataflow: graph-level workload orchestration for scalable DNN
+//! accelerators — a reproduction of the HPCA 2022 paper by Zheng et al.
+//!
+//! Instead of binding whole DNN layers to fixed hardware regions, atomic
+//! dataflow partitions every layer into *atoms* sized to the engine
+//! micro-architecture, schedules the resulting atomic DAG in discrete
+//! rounds of up to `N` parallel atoms, and maps each round's atoms onto the
+//! 2-D engine mesh to maximize on-chip data reuse. The pipeline has three
+//! cooperating stages (Fig. 4):
+//!
+//! 1. **Atomic tensor generation** ([`atomgen`], Alg. 1) — simulated
+//!    annealing over a *unified cycle* target so atoms from different layers
+//!    have near-equal execution time (genetic-algorithm and uniform
+//!    generators included for the paper's comparisons and ablations).
+//! 2. **Atomic DAG scheduling** ([`scheduler`], Alg. 2) — candidate-set
+//!    maintenance with the paper's four priority rules, plus a bounded
+//!    dynamic-programming lookahead over round combinations.
+//! 3. **Atom–engine mapping** ([`mapping`], Sec. IV-C) — per-round layer
+//!    permutation search minimizing NoC-hop-weighted `TransferCost`;
+//!    the buffering strategy (Alg. 3) is the `accel-sim` crate's
+//!    `EvictionKind::InvalidOccupation` policy, configured from here.
+//!
+//! [`Optimizer`] drives all three and lowers the result to an
+//! [`accel_sim::Program`] for evaluation; [`baselines`] implements the
+//! paper's comparison points (LS, CNN-P, IL-Pipe, Rammer, Ideal) on the same
+//! machinery so every strategy is measured identically.
+//!
+//! ```rust
+//! use atomic_dataflow::{Optimizer, OptimizerConfig};
+//! use dnn_graph::models;
+//!
+//! let net = models::tiny_branchy();
+//! let opt = Optimizer::new(OptimizerConfig::fast_test());
+//! let result = opt.optimize(&net).unwrap();
+//! assert!(result.stats.pe_utilization > 0.0);
+//! ```
+
+pub mod atom;
+mod atomic_dag;
+pub mod atomgen;
+pub mod baselines;
+mod lower;
+pub mod mapping;
+mod optimizer;
+pub mod scheduler;
+
+pub use atom::{AtomCoords, AtomCost, AtomSpec, Range};
+pub use atomic_dag::{Atom, AtomId, AtomicDag};
+pub use atomgen::{AtomGenConfig, AtomGenMode, GenReport, SaParams};
+pub use lower::{lower_to_program, LowerOptions};
+pub use mapping::{Mapper, MappingConfig};
+pub use optimizer::{OptimizeResult, Optimizer, OptimizerConfig, Strategy};
+pub use scheduler::{Schedule, ScheduleMode, Scheduler, SchedulerConfig};

@@ -1,0 +1,144 @@
+//! Lowers a mapped atomic schedule to the strategy-agnostic simulator IR
+//! ([`accel_sim::Program`]). Every strategy — atomic dataflow and all
+//! baselines — goes through this same function, so the event-driven
+//! simulator measures them identically.
+
+use std::collections::HashSet;
+
+use accel_sim::{Operand, Program, Task, TaskId};
+use dnn_graph::LayerId;
+
+use crate::atomic_dag::{AtomicDag, AtomId};
+
+/// Lowering options.
+#[derive(Debug, Clone, Default)]
+pub struct LowerOptions {
+    /// Layers whose atom outputs are forced straight to DRAM (consumers then
+    /// read them back from DRAM). The CNN-Partition baseline marks every
+    /// CLP-boundary layer this way; `None` means fully buffered.
+    pub dram_output_layers: Option<HashSet<LayerId>>,
+    /// Force *every* output to DRAM (the strictest CNN-P reading, where
+    /// each ifmap/ofmap "inevitably introduces off-chip memory access").
+    pub all_outputs_to_dram: bool,
+}
+
+/// Converts atoms + `(atom, engine)` rounds into a [`Program`].
+///
+/// Task ids equal atom ids (`TaskId(a.0)`), so simulator statistics can be
+/// joined back to atoms.
+pub fn lower_to_program(
+    dag: &AtomicDag,
+    rounds: &[Vec<(AtomId, usize)>],
+    opts: &LowerOptions,
+) -> Program {
+    let mut p = Program::new();
+    for (i, atom) in dag.atoms().iter().enumerate() {
+        let id = AtomId(i as u32);
+        let mut inputs: Vec<Operand> =
+            dag.preds(id).iter().map(|(a, b)| Operand::task(TaskId(a.0), *b)).collect();
+        inputs.extend(dag.externals(id).iter().map(|(d, b)| Operand::external(*d, *b)));
+
+        let dram_out = opts.all_outputs_to_dram
+            || opts
+                .dram_output_layers
+                .as_ref()
+                .is_some_and(|s| s.contains(&atom.layer));
+
+        let mut task = Task::compute(atom.cost.cycles, atom.cost.macs, atom.cost.output_bytes, inputs)
+            .with_tag(atom.layer.0)
+            .with_energy_pj(atom.cost.energy_pj);
+        if dram_out {
+            task = task.with_dram_output();
+        }
+        let tid = p.push_task(task);
+        debug_assert_eq!(tid.0, id.0);
+    }
+    for round in rounds {
+        p.push_round(round.iter().map(|(a, e)| (TaskId(a.0), *e)).collect());
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomSpec;
+    use crate::mapping::{Mapper, MappingConfig};
+    use crate::scheduler::{Scheduler, SchedulerConfig};
+    use dnn_graph::models;
+    use engine_model::{Dataflow, EngineConfig};
+    use noc_model::MeshConfig;
+
+    fn build() -> (dnn_graph::Graph, AtomicDag) {
+        let g = models::tiny_branchy();
+        let specs: Vec<AtomSpec> = g
+            .layers()
+            .map(|l| AtomSpec { th: 8, tw: 8, tc: 1 << 20 }.clamped(l.out_shape()))
+            .collect();
+        let d = AtomicDag::build(
+            &g,
+            &specs,
+            1,
+            &EngineConfig::paper_default(),
+            Dataflow::KcPartition,
+        );
+        (g, d)
+    }
+
+    fn mapped_rounds(d: &AtomicDag, engines: usize) -> Vec<Vec<(AtomId, usize)>> {
+        let sched = Scheduler::new(d, SchedulerConfig::greedy(engines)).schedule();
+        let mesh = MeshConfig::grid(4, 4);
+        let mut mapper = Mapper::new(mesh, MappingConfig::default());
+        sched.rounds.iter().map(|r| mapper.map_round(d, r)).collect()
+    }
+
+    #[test]
+    fn lowered_program_validates_and_simulates() {
+        let (_, d) = build();
+        let rounds = mapped_rounds(&d, 16);
+        let p = lower_to_program(&d, &rounds, &LowerOptions::default());
+        assert_eq!(p.tasks().len(), d.atom_count());
+        assert_eq!(p.total_macs(), d.total_macs());
+        let mut cfg = accel_sim::SimConfig::paper_default();
+        cfg.mesh = MeshConfig::grid(4, 4);
+        let stats = accel_sim::Simulator::new(cfg).run(&p).unwrap();
+        assert!(stats.total_cycles > 0);
+        assert!(stats.pe_utilization > 0.0);
+    }
+
+    #[test]
+    fn dram_output_layers_flagged() {
+        let (g, d) = build();
+        let rounds = mapped_rounds(&d, 16);
+        let stem = g.layer_by_name("stem").unwrap().id();
+        let opts = LowerOptions {
+            dram_output_layers: Some([stem].into_iter().collect()),
+            all_outputs_to_dram: false,
+        };
+        let p = lower_to_program(&d, &rounds, &opts);
+        for (i, atom) in d.atoms().iter().enumerate() {
+            assert_eq!(p.tasks()[i].dram_output, atom.layer == stem);
+        }
+    }
+
+    #[test]
+    fn all_outputs_to_dram_increases_offchip_traffic() {
+        let (_, d) = build();
+        let rounds = mapped_rounds(&d, 16);
+        let mut cfg = accel_sim::SimConfig::paper_default();
+        cfg.mesh = MeshConfig::grid(4, 4);
+        let sim = accel_sim::Simulator::new(cfg);
+
+        let buffered =
+            sim.run(&lower_to_program(&d, &rounds, &LowerOptions::default())).unwrap();
+        let spilled = sim
+            .run(&lower_to_program(
+                &d,
+                &rounds,
+                &LowerOptions { dram_output_layers: None, all_outputs_to_dram: true },
+            ))
+            .unwrap();
+        assert!(spilled.dram_write_bytes > buffered.dram_write_bytes);
+        assert!(spilled.total_cycles >= buffered.total_cycles);
+    }
+}

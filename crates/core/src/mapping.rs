@@ -1,0 +1,439 @@
+//! Atom–engine mapping (paper Sec. IV-C, Fig. 7).
+//!
+//! Within one round, atoms are placed onto the engine mesh in zig-zag
+//! order, with atoms of the same layer kept adjacent. The free variable is
+//! the *order of the involved layers* (`P`, a permutation): the paper's
+//! `TransferCost(P) = Σ_i Σ_j D(i,j) × Size(Atom)` is evaluated for every
+//! permutation (all `M!` for small `M`, a deterministic subset beyond) and
+//! the cheapest is committed. Producer residency is tracked across rounds
+//! (the engine where each atom's output was produced), as is the engine that
+//! last held each weight slice, so weight multicast distance is part of the
+//! cost as well.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use accel_sim::DataId;
+use noc_model::MeshConfig;
+
+use crate::atomic_dag::{AtomicDag, AtomId};
+
+/// Which placement algorithm the mapper runs per round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingAlgo {
+    /// Atoms placed along the zig-zag in round order, no search — the
+    /// commonly-used allocation the paper improves on (Fig. 7, and the
+    /// "w/o mapping" ablation of Fig. 10).
+    ZigzagIdentity,
+    /// The paper's Sec. IV-C formulation verbatim: zig-zag placement with
+    /// an exhaustive search over the permutation `P` of involved layers.
+    LayerPermutation,
+    /// Per-atom affinity assignment: each atom goes to the free engine
+    /// minimizing its hop-weighted operand distance (largest consumers
+    /// first). Strictly generalizes the permutation search — the paper's
+    /// `TransferCost` objective is minimized atom-by-atom instead of
+    /// group-by-group — and is the default.
+    Affinity,
+}
+
+/// Mapping-stage configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappingConfig {
+    /// Placement algorithm.
+    pub algo: MappingAlgo,
+    /// Maximum number of layer groups for exhaustive permutation search
+    /// (`M! ≤ 120` at the default of 5); larger rounds use a deterministic
+    /// rotation/reversal subset.
+    pub max_permutation_layers: usize,
+}
+
+impl Default for MappingConfig {
+    fn default() -> Self {
+        Self { algo: MappingAlgo::Affinity, max_permutation_layers: 5 }
+    }
+}
+
+/// Stateful per-workload mapper: remembers where each atom's output and
+/// each weight slice last lived.
+#[derive(Debug, Clone)]
+pub struct Mapper {
+    mesh: MeshConfig,
+    cfg: MappingConfig,
+    zigzag: Vec<usize>,
+    /// Engine where each atom's output was produced.
+    residency: HashMap<AtomId, usize>,
+    /// Engine that most recently used each weight slice.
+    weight_home: HashMap<DataId, usize>,
+}
+
+impl Mapper {
+    /// Creates a mapper for `mesh`.
+    pub fn new(mesh: MeshConfig, cfg: MappingConfig) -> Self {
+        let zigzag = mesh.zigzag_order();
+        Self { mesh, cfg, zigzag, residency: HashMap::new(), weight_home: HashMap::new() }
+    }
+
+    /// Engine an atom's output resides on (if it was mapped before).
+    pub fn residency(&self, atom: AtomId) -> Option<usize> {
+        self.residency.get(&atom).copied()
+    }
+
+    /// Maps one round of atoms to engines, committing residency updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round holds more atoms than the mesh has engines.
+    pub fn map_round(&mut self, dag: &AtomicDag, round: &[AtomId]) -> Vec<(AtomId, usize)> {
+        assert!(round.len() <= self.mesh.engines(), "round larger than the mesh");
+        if round.is_empty() {
+            return Vec::new();
+        }
+        let assignment = match self.cfg.algo {
+            MappingAlgo::Affinity => self.place_affinity(dag, round),
+            MappingAlgo::ZigzagIdentity | MappingAlgo::LayerPermutation => {
+                self.place_permutation(dag, round)
+            }
+        };
+
+        // Commit residency.
+        for (a, e) in &assignment {
+            self.residency.insert(*a, *e);
+            for (d, _) in dag.externals(*a) {
+                if d.0 >> 62 == 0 {
+                    self.weight_home.insert(*d, *e);
+                }
+            }
+        }
+        assignment
+    }
+
+    /// Hop-weighted cost of running `atom` on `engine` given current
+    /// residency (one term of `TransferCost`).
+    fn atom_cost_at(&self, dag: &AtomicDag, atom: AtomId, engine: usize) -> u64 {
+        let mut cost = 0u64;
+        for (p, bytes) in dag.preds(atom) {
+            if let Some(src) = self.residency.get(p) {
+                cost += self.mesh.hops(*src, engine) * bytes;
+            }
+        }
+        for (d, bytes) in dag.externals(atom) {
+            if d.0 >> 62 == 0 {
+                if let Some(src) = self.weight_home.get(d) {
+                    cost += self.mesh.hops(*src, engine) * bytes;
+                }
+            }
+        }
+        cost
+    }
+
+    /// Greedy affinity placement: atoms with the most resident input bytes
+    /// choose first; each takes the free engine minimizing its transfer
+    /// cost, with zig-zag order breaking ties.
+    fn place_affinity(&self, dag: &AtomicDag, round: &[AtomId]) -> Vec<(AtomId, usize)> {
+        let n = self.mesh.engines();
+        let mut zig_rank = vec![0usize; n];
+        for (r, &e) in self.zigzag.iter().enumerate() {
+            zig_rank[e] = r;
+        }
+        let resident_bytes = |a: AtomId| -> u64 {
+            dag.preds(a)
+                .iter()
+                .filter(|(p, _)| self.residency.contains_key(p))
+                .map(|(_, b)| *b)
+                .sum::<u64>()
+                + dag
+                    .externals(a)
+                    .iter()
+                    .filter(|(d, _)| d.0 >> 62 == 0 && self.weight_home.contains_key(d))
+                    .map(|(_, b)| *b)
+                    .sum::<u64>()
+        };
+        let mut items: Vec<(u64, AtomId)> =
+            round.iter().map(|&a| (resident_bytes(a), a)).collect();
+        items.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let mut used = vec![false; n];
+        let mut placed: Vec<(AtomId, usize)> = Vec::with_capacity(round.len());
+        let mut deferred: Vec<AtomId> = Vec::new();
+        for (bytes, a) in items {
+            if bytes == 0 {
+                deferred.push(a);
+                continue;
+            }
+            let e = (0..n)
+                .filter(|e| !used[*e])
+                .min_by_key(|e| (self.atom_cost_at(dag, a, *e), zig_rank[*e]))
+                .expect("round fits the mesh");
+            used[e] = true;
+            placed.push((a, e));
+        }
+        // Atoms with no resident inputs fill the remaining zig-zag slots.
+        let mut free = self.zigzag.iter().copied().filter(|e| !used[*e]);
+        for a in deferred {
+            let e = free.next().expect("round fits the mesh");
+            placed.push((a, e));
+        }
+        // Restore round order for readability of the schedule.
+        let pos: HashMap<AtomId, usize> =
+            round.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+        placed.sort_by_key(|(a, _)| pos[a]);
+        placed
+    }
+
+    /// Zig-zag placement with the Sec. IV-C layer-permutation search (or
+    /// the identity order for [`MappingAlgo::ZigzagIdentity`]).
+    fn place_permutation(&self, dag: &AtomicDag, round: &[AtomId]) -> Vec<(AtomId, usize)> {
+        // Group atoms by (batch, layer) in first-appearance order.
+        let mut order: Vec<(u16, u32)> = Vec::new();
+        let mut groups: HashMap<(u16, u32), Vec<AtomId>> = HashMap::new();
+        for &a in round {
+            let atom = dag.atom(a);
+            let key = (atom.batch, atom.layer.0);
+            if !groups.contains_key(&key) {
+                order.push(key);
+            }
+            groups.entry(key).or_default().push(a);
+        }
+
+        let candidate_orders = self.candidate_orders(order.len());
+        let mut best: Option<(u64, Vec<(AtomId, usize)>)> = None;
+        for perm in &candidate_orders {
+            let assignment = self.place(&order, &groups, perm);
+            let cost = self.transfer_cost(dag, &assignment);
+            if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                best = Some((cost, assignment));
+            }
+        }
+        best.expect("at least the identity order").1
+    }
+
+    /// Permutations of `0..m` to evaluate.
+    fn candidate_orders(&self, m: usize) -> Vec<Vec<usize>> {
+        let identity: Vec<usize> = (0..m).collect();
+        if self.cfg.algo != MappingAlgo::LayerPermutation || m <= 1 {
+            return vec![identity];
+        }
+        if m <= self.cfg.max_permutation_layers {
+            return permutations(m);
+        }
+        // Deterministic subset: identity, reversal, rotations.
+        let mut out = vec![identity.clone()];
+        let mut rev = identity.clone();
+        rev.reverse();
+        out.push(rev);
+        for k in 1..m.min(8) {
+            let mut rot = identity.clone();
+            rot.rotate_left(k);
+            out.push(rot);
+        }
+        out
+    }
+
+    /// Places groups in permuted order along the zig-zag engine enumeration.
+    fn place(
+        &self,
+        order: &[(u16, u32)],
+        groups: &HashMap<(u16, u32), Vec<AtomId>>,
+        perm: &[usize],
+    ) -> Vec<(AtomId, usize)> {
+        let mut out = Vec::new();
+        let mut slot = 0usize;
+        for &gi in perm {
+            for &a in &groups[&order[gi]] {
+                out.push((a, self.zigzag[slot]));
+                slot += 1;
+            }
+        }
+        out
+    }
+
+    /// `TransferCost(P)`: hop-weighted bytes pulled from resident producers
+    /// and weight homes.
+    fn transfer_cost(&self, dag: &AtomicDag, assignment: &[(AtomId, usize)]) -> u64 {
+        let mut cost = 0u64;
+        for (a, e) in assignment {
+            for (p, bytes) in dag.preds(*a) {
+                if let Some(src) = self.residency.get(p) {
+                    cost += self.mesh.hops(*src, *e) * bytes;
+                }
+            }
+            for (d, bytes) in dag.externals(*a) {
+                if d.0 >> 62 == 0 {
+                    if let Some(src) = self.weight_home.get(d) {
+                        cost += self.mesh.hops(*src, *e) * bytes;
+                    }
+                }
+            }
+        }
+        cost
+    }
+}
+
+/// All permutations of `0..m` in lexicographic order (Heap's algorithm not
+/// needed at `m ≤ 5`).
+fn permutations(m: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = Vec::with_capacity(m);
+    let mut used = vec![false; m];
+    fn rec(m: usize, cur: &mut Vec<usize>, used: &mut [bool], out: &mut Vec<Vec<usize>>) {
+        if cur.len() == m {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..m {
+            if !used[i] {
+                used[i] = true;
+                cur.push(i);
+                rec(m, cur, used, out);
+                cur.pop();
+                used[i] = false;
+            }
+        }
+    }
+    rec(m, &mut cur, &mut used, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomSpec;
+    use dnn_graph::models;
+    use engine_model::{Dataflow, EngineConfig};
+
+    fn dag() -> AtomicDag {
+        let g = models::tiny_branchy();
+        let specs: Vec<AtomSpec> = g
+            .layers()
+            .map(|l| AtomSpec { th: 8, tw: 8, tc: 1 << 20 }.clamped(l.out_shape()))
+            .collect();
+        AtomicDag::build(&g, &specs, 1, &EngineConfig::paper_default(), Dataflow::KcPartition)
+    }
+
+    #[test]
+    fn permutation_count() {
+        assert_eq!(permutations(1).len(), 1);
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(5).len(), 120);
+        // Lexicographically first and last.
+        assert_eq!(permutations(3)[0], vec![0, 1, 2]);
+        assert_eq!(permutations(3)[5], vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn assignments_are_unique_engines() {
+        let d = dag();
+        let mesh = MeshConfig::grid(4, 4);
+        let mut m = Mapper::new(mesh, MappingConfig::default());
+        // Take the first 8 roots as a synthetic round.
+        let round: Vec<AtomId> = (0..d.atom_count() as u32)
+            .map(AtomId)
+            .filter(|a| d.preds(*a).is_empty())
+            .take(8)
+            .collect();
+        let asg = m.map_round(&d, &round);
+        assert_eq!(asg.len(), round.len());
+        let engines: std::collections::HashSet<usize> = asg.iter().map(|(_, e)| *e).collect();
+        assert_eq!(engines.len(), asg.len(), "engines must be distinct");
+    }
+
+    #[test]
+    fn optimized_choice_no_worse_than_identity_per_round() {
+        let d = dag();
+        let mesh = MeshConfig::grid(4, 4);
+        let sched = crate::scheduler::Scheduler::new(
+            &d,
+            crate::scheduler::SchedulerConfig::greedy(8),
+        )
+        .schedule();
+
+        let mut mapper = Mapper::new(
+            mesh,
+            MappingConfig { algo: MappingAlgo::LayerPermutation, max_permutation_layers: 5 },
+        );
+        for round in &sched.rounds {
+            // Identity cost with the *same* pre-round state.
+            let mut order: Vec<(u16, u32)> = Vec::new();
+            let mut groups: HashMap<(u16, u32), Vec<AtomId>> = HashMap::new();
+            for &a in round.iter() {
+                let atom = d.atom(a);
+                let key = (atom.batch, atom.layer.0);
+                if !groups.contains_key(&key) {
+                    order.push(key);
+                }
+                groups.entry(key).or_default().push(a);
+            }
+            let identity: Vec<usize> = (0..order.len()).collect();
+            let id_cost =
+                mapper.transfer_cost(&d, &mapper.place(&order, &groups, &identity));
+
+            // The committed (optimized) choice, evaluated pre-commit.
+            let mut probe = mapper.clone();
+            let chosen = probe.map_round(&d, round);
+            let chosen_cost = mapper.transfer_cost(&d, &chosen);
+            assert!(
+                chosen_cost <= id_cost,
+                "round cost {chosen_cost} > identity {id_cost}"
+            );
+            mapper.map_round(&d, round); // commit for the next iteration
+        }
+    }
+
+    #[test]
+    fn residency_tracks_mapped_engine() {
+        let d = dag();
+        let mut m = Mapper::new(MeshConfig::grid(4, 4), MappingConfig::default());
+        let roots: Vec<AtomId> = (0..d.atom_count() as u32)
+            .map(AtomId)
+            .filter(|a| d.preds(*a).is_empty())
+            .take(3)
+            .collect();
+        let asg = m.map_round(&d, &roots);
+        for (a, e) in asg {
+            assert_eq!(m.residency(a), Some(e));
+        }
+    }
+
+    #[test]
+    fn non_optimizing_mapper_uses_identity_order() {
+        let d = dag();
+        let mesh = MeshConfig::grid(4, 4);
+        let round: Vec<AtomId> = (0..d.atom_count() as u32)
+            .map(AtomId)
+            .filter(|a| d.preds(*a).is_empty())
+            .take(6)
+            .collect();
+        let mut base = Mapper::new(
+            mesh,
+            MappingConfig { algo: MappingAlgo::ZigzagIdentity, max_permutation_layers: 5 },
+        );
+        let asg = base.map_round(&d, &round);
+        // Identity order = atoms placed along the zig-zag in round order.
+        let zig = mesh.zigzag_order();
+        for (i, (a, e)) in asg.iter().enumerate() {
+            assert_eq!(*a, round[i]);
+            assert_eq!(*e, zig[i]);
+        }
+    }
+
+    #[test]
+    fn affinity_places_consumer_on_producer_engine() {
+        let d = dag();
+        let mesh = MeshConfig::grid(4, 4);
+        let mut m = Mapper::new(mesh, MappingConfig::default());
+        // Find a producer/consumer pair where the consumer has a dominant
+        // producer, map the producer alone, then the consumer alone.
+        let consumer = (0..d.atom_count() as u32)
+            .map(AtomId)
+            .find(|a| d.preds(*a).len() == 1)
+            .expect("some single-pred atom exists");
+        let producer = d.preds(consumer)[0].0;
+        // Producer itself must be a root for this synthetic two-round map.
+        if d.preds(producer).is_empty() {
+            let pa = m.map_round(&d, &[producer]);
+            let ca = m.map_round(&d, &[consumer]);
+            assert_eq!(pa[0].1, ca[0].1, "consumer should co-locate with its producer");
+        }
+    }
+}

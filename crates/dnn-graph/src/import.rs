@@ -1,0 +1,335 @@
+//! Front-end model import (the "front-end parser" of the paper's Fig. 4).
+//!
+//! The paper ingests ONNX; scheduling consumes only operator types, tensor
+//! shapes and wiring, so this module defines a minimal JSON-serializable
+//! model-description format carrying exactly that information, plus a
+//! loader that reconstructs a validated [`Graph`]. Any ONNX graph can be
+//! transcribed into this format with a few lines of Python; the importer is
+//! what lets the framework "process various DNN workloads" without binding
+//! to a heavyweight protobuf toolchain.
+//!
+//! ```rust
+//! use dnn_graph::import::{LayerDesc, ModelDesc, OpDesc};
+//!
+//! let desc = ModelDesc {
+//!     name: "two_layer".into(),
+//!     input: [8, 8, 3],
+//!     layers: vec![
+//!         LayerDesc { name: "c1".into(), op: OpDesc::Conv { k: 3, stride: 1, pad: 1, out_channels: 16, groups: 1 }, inputs: vec!["input".into()] },
+//!         LayerDesc { name: "fc".into(), op: OpDesc::Fc { out_features: 10 }, inputs: vec!["c1".into()] },
+//!     ],
+//! };
+//! let g = desc.build().unwrap();
+//! assert_eq!(g.layer_count(), 3);
+//! ```
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Activation, ConvParams, Graph, GraphError, LayerId, OpKind, PoolParams, TensorShape};
+
+/// Operator description in the interchange format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum OpDesc {
+    /// 2-D convolution (`groups == in_channels` ⇒ depthwise).
+    Conv {
+        /// Square kernel size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Symmetric padding.
+        pad: usize,
+        /// Output channels.
+        out_channels: usize,
+        /// Channel groups.
+        groups: usize,
+    },
+    /// Rectangular stride-1 "same" convolution (Inception's 1×7 / 7×1).
+    ConvRect {
+        /// Kernel height.
+        kh: usize,
+        /// Kernel width.
+        kw: usize,
+        /// Output channels.
+        out_channels: usize,
+    },
+    /// Fully connected.
+    Fc {
+        /// Output features.
+        out_features: usize,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Window.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Window.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// Global average pooling.
+    GlobalAvgPool,
+    /// Element-wise addition of all inputs.
+    Add,
+    /// Channel concatenation of all inputs.
+    Concat,
+    /// ReLU activation (kept when a model chooses not to fold it).
+    Relu,
+    /// Inference-mode batch normalization.
+    BatchNorm,
+    /// Channel-wise scale: `inputs[0]` feature map, `inputs[1]` gate vector.
+    ChannelScale,
+}
+
+/// One layer of the interchange format; `inputs` name earlier layers (or
+/// `"input"` for the network input).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerDesc {
+    /// Unique layer name.
+    pub name: String,
+    /// Operator.
+    pub op: OpDesc,
+    /// Producer names.
+    pub inputs: Vec<String>,
+}
+
+/// A whole model: input shape `[h, w, c]` plus layers in topological order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelDesc {
+    /// Model name.
+    pub name: String,
+    /// Network input shape `[H, W, C]`.
+    pub input: [usize; 3],
+    /// Layers, each referring to earlier layers by name.
+    pub layers: Vec<LayerDesc>,
+}
+
+/// Errors produced while importing a model description.
+#[derive(Debug)]
+pub enum ImportError {
+    /// A layer referenced an input name that has not been defined.
+    UnknownInput {
+        /// Layer being built.
+        layer: String,
+        /// The missing producer name.
+        input: String,
+    },
+    /// The underlying graph construction rejected the layer.
+    Graph(GraphError),
+    /// The JSON text could not be parsed.
+    Json(String),
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::UnknownInput { layer, input } => {
+                write!(f, "layer `{layer}` references unknown input `{input}`")
+            }
+            ImportError::Graph(e) => write!(f, "graph construction failed: {e}"),
+            ImportError::Json(e) => write!(f, "invalid model JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+impl From<GraphError> for ImportError {
+    fn from(e: GraphError) -> Self {
+        ImportError::Graph(e)
+    }
+}
+
+impl ModelDesc {
+    /// Builds the validated [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImportError`] on dangling references or shape mismatches.
+    pub fn build(&self) -> Result<Graph, ImportError> {
+        let mut g = Graph::new(self.name.clone());
+        let mut by_name: HashMap<&str, LayerId> = HashMap::new();
+        let input =
+            g.add_input(TensorShape::new(self.input[0], self.input[1], self.input[2]));
+        by_name.insert("input", input);
+
+        for l in &self.layers {
+            let mut ids = Vec::with_capacity(l.inputs.len());
+            for name in &l.inputs {
+                let id = by_name.get(name.as_str()).ok_or_else(|| ImportError::UnknownInput {
+                    layer: l.name.clone(),
+                    input: name.clone(),
+                })?;
+                ids.push(*id);
+            }
+            let op = match &l.op {
+                OpDesc::Conv { k, stride, pad, out_channels, groups } => OpKind::Conv(ConvParams {
+                    kh: *k,
+                    kw: *k,
+                    stride: *stride,
+                    pad: *pad,
+                    out_channels: *out_channels,
+                    groups: *groups,
+                }),
+                OpDesc::ConvRect { kh, kw, out_channels } => {
+                    OpKind::Conv(ConvParams::rect(*kh, *kw, 1, kh / 2, *out_channels))
+                }
+                OpDesc::Fc { out_features } => OpKind::Fc { out_features: *out_features },
+                OpDesc::MaxPool { k, stride, pad } => {
+                    OpKind::Pool(PoolParams::max(*k, *stride).with_pad(*pad))
+                }
+                OpDesc::AvgPool { k, stride, pad } => {
+                    OpKind::Pool(PoolParams::avg(*k, *stride).with_pad(*pad))
+                }
+                OpDesc::GlobalAvgPool => OpKind::GlobalAvgPool,
+                OpDesc::Add => OpKind::Add,
+                OpDesc::Concat => OpKind::Concat,
+                OpDesc::Relu => OpKind::Act(Activation::Relu),
+                OpDesc::BatchNorm => OpKind::BatchNorm,
+                OpDesc::ChannelScale => OpKind::ChannelScale,
+            };
+            let id = g.try_add_layer(l.name.clone(), op, &ids)?;
+            by_name.insert(l.name.as_str(), id);
+        }
+        Ok(g)
+    }
+
+    /// Parses a JSON model description and builds the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImportError::Json`] for malformed JSON, otherwise as
+    /// [`ModelDesc::build`].
+    pub fn from_json(text: &str) -> Result<Graph, ImportError> {
+        let desc: ModelDesc =
+            serde_json::from_str(text).map_err(|e| ImportError::Json(e.to_string()))?;
+        desc.build()
+    }
+
+    /// Serializes a graph-description round-trip for a built-in model — the
+    /// inverse direction, handy for exporting zoo models to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ModelDesc serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual_desc() -> ModelDesc {
+        ModelDesc {
+            name: "res_block".into(),
+            input: [16, 16, 8],
+            layers: vec![
+                LayerDesc {
+                    name: "stem".into(),
+                    op: OpDesc::Conv { k: 3, stride: 1, pad: 1, out_channels: 16, groups: 1 },
+                    inputs: vec!["input".into()],
+                },
+                LayerDesc {
+                    name: "branch".into(),
+                    op: OpDesc::Conv { k: 3, stride: 1, pad: 1, out_channels: 16, groups: 1 },
+                    inputs: vec!["stem".into()],
+                },
+                LayerDesc {
+                    name: "sum".into(),
+                    op: OpDesc::Add,
+                    inputs: vec!["stem".into(), "branch".into()],
+                },
+                LayerDesc {
+                    name: "gap".into(),
+                    op: OpDesc::GlobalAvgPool,
+                    inputs: vec!["sum".into()],
+                },
+                LayerDesc {
+                    name: "head".into(),
+                    op: OpDesc::Fc { out_features: 10 },
+                    inputs: vec!["gap".into()],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn builds_residual_block() {
+        let g = residual_desc().build().unwrap();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.layer_count(), 6);
+        let sum = g.layer_by_name("sum").unwrap();
+        assert_eq!(sum.out_shape(), TensorShape::new(16, 16, 16));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let desc = residual_desc();
+        let text = desc.to_json();
+        let parsed: ModelDesc = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed, desc);
+        let g = ModelDesc::from_json(&text).unwrap();
+        assert_eq!(g.layer_count(), 6);
+    }
+
+    #[test]
+    fn unknown_input_rejected() {
+        let mut desc = residual_desc();
+        desc.layers[1].inputs = vec!["missing".into()];
+        match desc.build() {
+            Err(ImportError::UnknownInput { layer, input }) => {
+                assert_eq!(layer, "branch");
+                assert_eq!(input, "missing");
+            }
+            other => panic!("expected UnknownInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_errors_surface() {
+        let mut desc = residual_desc();
+        // Make the add shape-mismatched: second branch downsamples.
+        desc.layers[1].op =
+            OpDesc::Conv { k: 3, stride: 2, pad: 1, out_channels: 16, groups: 1 };
+        assert!(matches!(desc.build(), Err(ImportError::Graph(_))));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            ModelDesc::from_json("{not json"),
+            Err(ImportError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn depthwise_and_rect_ops_import() {
+        let desc = ModelDesc {
+            name: "ops".into(),
+            input: [14, 14, 32],
+            layers: vec![
+                LayerDesc {
+                    name: "dw".into(),
+                    op: OpDesc::Conv { k: 3, stride: 1, pad: 1, out_channels: 32, groups: 32 },
+                    inputs: vec!["input".into()],
+                },
+                LayerDesc {
+                    name: "wide".into(),
+                    op: OpDesc::ConvRect { kh: 1, kw: 7, out_channels: 48 },
+                    inputs: vec!["dw".into()],
+                },
+            ],
+        };
+        let g = desc.build().unwrap();
+        assert_eq!(g.layer_by_name("wide").unwrap().out_shape(), TensorShape::new(14, 14, 48));
+    }
+}

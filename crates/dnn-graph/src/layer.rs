@@ -1,0 +1,161 @@
+use serde::{Deserialize, Serialize};
+
+use crate::graph::LayerId;
+use crate::op::OpKind;
+use crate::shape::TensorShape;
+use crate::BYTES_PER_ELEM;
+
+/// One node of the computation graph: an operator instance with resolved
+/// input/output shapes.
+///
+/// Layers are created through [`crate::Graph`]'s builder methods, which
+/// compute `out_shape` from the operator and the producer shapes and validate
+/// wiring; fields are therefore read-only from outside the crate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Layer {
+    pub(crate) id: LayerId,
+    pub(crate) name: String,
+    pub(crate) op: OpKind,
+    pub(crate) in_shape: TensorShape,
+    pub(crate) out_shape: TensorShape,
+}
+
+impl Layer {
+    /// The layer's graph-unique id.
+    pub fn id(&self) -> LayerId {
+        self.id
+    }
+
+    /// Human-readable name (`"conv3_2"`, `"res4a_branch2b"`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operator.
+    pub fn op(&self) -> OpKind {
+        self.op
+    }
+
+    /// Shape of the (primary) input feature map. For `Add` this is the shape
+    /// shared by all inputs; for `Concat` it is the shape of the *output*
+    /// sans-concat axis semantics and only `h`/`w` are meaningful.
+    pub fn in_shape(&self) -> TensorShape {
+        self.in_shape
+    }
+
+    /// Shape of the produced feature map.
+    pub fn out_shape(&self) -> TensorShape {
+        self.out_shape
+    }
+
+    /// `true` if the layer's MACs run on the 2-D PE array (CONV/FC).
+    pub fn is_array_op(&self) -> bool {
+        self.op.is_array_op()
+    }
+
+    /// Multiply-accumulate operations needed to produce the full output.
+    ///
+    /// Element-wise / pooling operators report zero MACs: they execute on the
+    /// vector unit and contribute [`Layer::vector_ops`] instead.
+    pub fn macs(&self) -> u64 {
+        match self.op {
+            OpKind::Conv(p) => {
+                let ci_per_group = self.in_shape.c as u64 / p.groups as u64;
+                self.out_shape.elements() * p.kh as u64 * p.kw as u64 * ci_per_group
+            }
+            OpKind::Fc { .. } => self.in_shape.elements() * self.out_shape.c as u64,
+            _ => 0,
+        }
+    }
+
+    /// Vector-unit operations (element-wise work) for non-array layers.
+    pub fn vector_ops(&self) -> u64 {
+        match self.op {
+            OpKind::Conv(_) | OpKind::Fc { .. } | OpKind::Input => 0,
+            OpKind::Pool(p) => self.out_shape.elements() * (p.k * p.k) as u64,
+            OpKind::GlobalAvgPool => self.in_shape.elements(),
+            // Scale+shift / activation / add: one pass over the output.
+            OpKind::Add | OpKind::Concat | OpKind::Act(_) | OpKind::BatchNorm
+            | OpKind::ChannelScale => self.out_shape.elements(),
+        }
+    }
+
+    /// Number of weight parameters held by this layer.
+    pub fn weight_elems(&self) -> u64 {
+        match self.op {
+            OpKind::Conv(p) => {
+                let ci_per_group = self.in_shape.c as u64 / p.groups as u64;
+                p.out_channels as u64 * ci_per_group * p.kh as u64 * p.kw as u64
+            }
+            OpKind::Fc { out_features } => self.in_shape.elements() * out_features as u64,
+            // Inference-mode BN folds to per-channel scale+shift.
+            OpKind::BatchNorm | OpKind::ChannelScale => 2 * self.out_shape.c as u64,
+            _ => 0,
+        }
+    }
+
+    /// Weight footprint in bytes (INT8).
+    pub fn weight_bytes(&self) -> u64 {
+        self.weight_elems() * BYTES_PER_ELEM
+    }
+
+    /// Output feature-map footprint in bytes.
+    pub fn ofmap_bytes(&self) -> u64 {
+        self.out_shape.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::ConvParams;
+    use crate::Graph;
+
+    fn conv_layer() -> Graph {
+        let mut g = Graph::new("t");
+        let input = g.add_input(TensorShape::new(56, 56, 64));
+        g.add_conv("c1", input, ConvParams::new(3, 1, 1, 128));
+        g
+    }
+
+    #[test]
+    fn conv_macs_and_weights() {
+        let g = conv_layer();
+        let l = g.layer_by_name("c1").unwrap();
+        // 56*56*128 outputs, each 3*3*64 MACs.
+        assert_eq!(l.macs(), 56 * 56 * 128 * 9 * 64);
+        assert_eq!(l.weight_elems(), 128 * 64 * 9);
+        assert_eq!(l.vector_ops(), 0);
+    }
+
+    #[test]
+    fn depthwise_macs() {
+        let mut g = Graph::new("t");
+        let input = g.add_input(TensorShape::new(28, 28, 32));
+        let c = g.add_conv("dw", input, ConvParams::depthwise(3, 1, 1, 32));
+        let l = g.layer(c);
+        // groups == channels: each output channel convolves a single input channel.
+        assert_eq!(l.macs(), 28 * 28 * 32 * 9);
+        assert_eq!(l.weight_elems(), 32 * 9);
+    }
+
+    #[test]
+    fn fc_macs() {
+        let mut g = Graph::new("t");
+        let input = g.add_input(TensorShape::vector(4096));
+        let f = g.add_fc("fc", input, 1000);
+        let l = g.layer(f);
+        assert_eq!(l.macs(), 4096 * 1000);
+        assert_eq!(l.weight_elems(), 4096 * 1000);
+    }
+
+    #[test]
+    fn vector_op_layers_have_no_macs() {
+        let mut g = Graph::new("t");
+        let input = g.add_input(TensorShape::new(8, 8, 16));
+        let a = g.add_act("r", input, crate::Activation::Relu);
+        let l = g.layer(a);
+        assert_eq!(l.macs(), 0);
+        assert_eq!(l.vector_ops(), 8 * 8 * 16);
+    }
+}

@@ -1,0 +1,49 @@
+//! DNN computation-graph substrate for the Atomic Dataflow reproduction.
+//!
+//! This crate provides everything the scheduling framework (the paper's
+//! contribution, crate `atomic-dataflow`) needs to know about a neural
+//! network *workload*:
+//!
+//! - [`TensorShape`] — feature-map geometry (`H × W × C`),
+//! - [`OpKind`] — the operator algebra (convolutions, fully-connected,
+//!   pooling, element-wise ops, concatenation, …),
+//! - [`Layer`] / [`Graph`] — a validated directed acyclic computation graph
+//!   with arbitrary wiring topology (residual bypasses, branching cells,
+//!   NAS-generated irregular wiring),
+//! - [`models`] — programmatic builders for the eight workloads evaluated in
+//!   the paper (Table I): VGG-19, ResNet-50/152/1001, Inception-v3, NasNet,
+//!   PNASNet and EfficientNet.
+//!
+//! The paper ingests ONNX files; scheduling only consumes layer shapes and
+//! topology, so this crate builds the same shapes and topologies directly
+//! (see `DESIGN.md` §2 for the substitution rationale).
+//!
+//! # Example
+//!
+//! ```rust
+//! use dnn_graph::{models, OpKind};
+//!
+//! let net = models::resnet50();
+//! assert!(net.validate().is_ok());
+//! // Longest-path depth assigns parallel branches the same depth.
+//! let depths = net.depths();
+//! assert_eq!(depths.len(), net.layer_count());
+//! ```
+
+mod graph;
+pub mod import;
+mod layer;
+pub mod models;
+mod op;
+mod shape;
+mod stats;
+
+pub use graph::{Graph, GraphError, LayerId};
+pub use layer::Layer;
+pub use op::{Activation, ConvParams, OpKind, PoolKind, PoolParams};
+pub use shape::TensorShape;
+pub use stats::GraphStats;
+
+/// Bytes per tensor element. The paper's prototype and energy numbers assume
+/// INT8 arithmetic, so every tensor in this reproduction is 1 byte/element.
+pub const BYTES_PER_ELEM: u64 = 1;

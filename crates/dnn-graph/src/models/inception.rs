@@ -1,0 +1,169 @@
+use crate::{ConvParams, Graph, LayerId, PoolParams, TensorShape};
+
+fn conv(g: &mut Graph, name: String, x: LayerId, k: usize, s: usize, p: usize, c: usize) -> LayerId {
+    g.add_conv(name, x, ConvParams::new(k, s, p, c))
+}
+
+/// 1×7 followed by 7×1 factorized convolution pair (stride-1, "same").
+fn conv_1x7_7x1(g: &mut Graph, prefix: &str, x: LayerId, mid: usize, out: usize) -> LayerId {
+    let a = g.add_conv(format!("{prefix}_1x7"), x, ConvParams::rect(1, 7, 1, 0, mid));
+    g.add_conv(format!("{prefix}_7x1"), a, ConvParams::rect(7, 1, 1, 3, out))
+}
+
+/// Inception-A block (35×35 grid): 1×1 / 5×5 / double-3×3 / pool branches.
+fn block_a(g: &mut Graph, n: &str, x: LayerId, pool_features: usize) -> LayerId {
+    let b1 = conv(g, format!("{n}_1x1"), x, 1, 1, 0, 64);
+
+    let b5 = conv(g, format!("{n}_5x5_reduce"), x, 1, 1, 0, 48);
+    let b5 = conv(g, format!("{n}_5x5"), b5, 5, 1, 2, 64);
+
+    let b3 = conv(g, format!("{n}_3x3_reduce"), x, 1, 1, 0, 64);
+    let b3 = conv(g, format!("{n}_3x3_1"), b3, 3, 1, 1, 96);
+    let b3 = conv(g, format!("{n}_3x3_2"), b3, 3, 1, 1, 96);
+
+    let bp = g.add_pool(format!("{n}_pool"), x, PoolParams::avg(3, 1).with_pad(1));
+    let bp = conv(g, format!("{n}_pool_proj"), bp, 1, 1, 0, pool_features);
+
+    g.add_concat(format!("{n}_concat"), &[b1, b5, b3, bp])
+}
+
+/// Inception-B grid reduction (35×35 → 17×17).
+fn block_b(g: &mut Graph, n: &str, x: LayerId) -> LayerId {
+    let b3 = conv(g, format!("{n}_3x3"), x, 3, 2, 0, 384);
+
+    let bd = conv(g, format!("{n}_dbl_reduce"), x, 1, 1, 0, 64);
+    let bd = conv(g, format!("{n}_dbl_1"), bd, 3, 1, 1, 96);
+    let bd = conv(g, format!("{n}_dbl_2"), bd, 3, 2, 0, 96);
+
+    let bp = g.add_pool(format!("{n}_pool"), x, PoolParams::max(3, 2));
+
+    g.add_concat(format!("{n}_concat"), &[b3, bd, bp])
+}
+
+/// Inception-C block (17×17 grid) with factorized 7×7 convolutions.
+fn block_c(g: &mut Graph, n: &str, x: LayerId, c7: usize) -> LayerId {
+    let b1 = conv(g, format!("{n}_1x1"), x, 1, 1, 0, 192);
+
+    let b7 = conv(g, format!("{n}_7x7_reduce"), x, 1, 1, 0, c7);
+    let b7 = conv_1x7_7x1(g, &format!("{n}_7x7"), b7, c7, 192);
+
+    let bd = conv(g, format!("{n}_dbl_reduce"), x, 1, 1, 0, c7);
+    let bd = conv_1x7_7x1(g, &format!("{n}_dbl_a"), bd, c7, c7);
+    let bd = conv_1x7_7x1(g, &format!("{n}_dbl_b"), bd, c7, 192);
+
+    let bp = g.add_pool(format!("{n}_pool"), x, PoolParams::avg(3, 1).with_pad(1));
+    let bp = conv(g, format!("{n}_pool_proj"), bp, 1, 1, 0, 192);
+
+    g.add_concat(format!("{n}_concat"), &[b1, b7, bd, bp])
+}
+
+/// Inception-D grid reduction (17×17 → 8×8).
+fn block_d(g: &mut Graph, n: &str, x: LayerId) -> LayerId {
+    let b3 = conv(g, format!("{n}_3x3_reduce"), x, 1, 1, 0, 192);
+    let b3 = conv(g, format!("{n}_3x3"), b3, 3, 2, 0, 320);
+
+    let b7 = conv(g, format!("{n}_7x7_reduce"), x, 1, 1, 0, 192);
+    let b7 = conv_1x7_7x1(g, &format!("{n}_7x7"), b7, 192, 192);
+    let b7 = conv(g, format!("{n}_7x7_3x3"), b7, 3, 2, 0, 192);
+
+    let bp = g.add_pool(format!("{n}_pool"), x, PoolParams::max(3, 2));
+
+    g.add_concat(format!("{n}_concat"), &[b3, b7, bp])
+}
+
+/// Inception-E block (8×8 grid) with expanded filter-bank splits.
+fn block_e(g: &mut Graph, n: &str, x: LayerId) -> LayerId {
+    let b1 = conv(g, format!("{n}_1x1"), x, 1, 1, 0, 320);
+
+    let b3 = conv(g, format!("{n}_3x3_reduce"), x, 1, 1, 0, 384);
+    let b3a = g.add_conv(format!("{n}_3x3_1x3"), b3, ConvParams::rect(1, 3, 1, 0, 384));
+    let b3b = g.add_conv(format!("{n}_3x3_3x1"), b3, ConvParams::rect(3, 1, 1, 1, 384));
+    let b3 = g.add_concat(format!("{n}_3x3_cat"), &[b3a, b3b]);
+
+    let bd = conv(g, format!("{n}_dbl_reduce"), x, 1, 1, 0, 448);
+    let bd = conv(g, format!("{n}_dbl_3x3"), bd, 3, 1, 1, 384);
+    let bda = g.add_conv(format!("{n}_dbl_1x3"), bd, ConvParams::rect(1, 3, 1, 0, 384));
+    let bdb = g.add_conv(format!("{n}_dbl_3x1"), bd, ConvParams::rect(3, 1, 1, 1, 384));
+    let bd = g.add_concat(format!("{n}_dbl_cat"), &[bda, bdb]);
+
+    let bp = g.add_pool(format!("{n}_pool"), x, PoolParams::avg(3, 1).with_pad(1));
+    let bp = conv(g, format!("{n}_pool_proj"), bp, 1, 1, 0, 192);
+
+    g.add_concat(format!("{n}_concat"), &[b1, b3, bd, bp])
+}
+
+/// Inception-v3 (Szegedy et al.), 299×299 input, branching cells
+/// (Table I "branching cells"). ≈ 5.7 GMACs, ≈ 24 M parameters.
+pub fn inception_v3() -> Graph {
+    let mut g = Graph::new("inception_v3");
+    let x = g.add_input(TensorShape::new(299, 299, 3));
+
+    // Stem.
+    let s = conv(&mut g, "conv1a".into(), x, 3, 2, 0, 32); // 149
+    let s = conv(&mut g, "conv2a".into(), s, 3, 1, 0, 32); // 147
+    let s = conv(&mut g, "conv2b".into(), s, 3, 1, 1, 64); // 147
+    let s = g.add_pool("pool1", s, PoolParams::max(3, 2)); // 73
+    let s = conv(&mut g, "conv3b".into(), s, 1, 1, 0, 80); // 73
+    let s = conv(&mut g, "conv4a".into(), s, 3, 1, 0, 192); // 71
+    let s = g.add_pool("pool2", s, PoolParams::max(3, 2)); // 35
+
+    // 3× Inception-A at 35×35.
+    let a1 = block_a(&mut g, "mixed0", s, 32);
+    let a2 = block_a(&mut g, "mixed1", a1, 64);
+    let a3 = block_a(&mut g, "mixed2", a2, 64);
+
+    // Reduction to 17×17, then 4× Inception-C.
+    let b = block_b(&mut g, "mixed3", a3);
+    let c1 = block_c(&mut g, "mixed4", b, 128);
+    let c2 = block_c(&mut g, "mixed5", c1, 160);
+    let c3 = block_c(&mut g, "mixed6", c2, 160);
+    let c4 = block_c(&mut g, "mixed7", c3, 192);
+
+    // Reduction to 8×8, then 2× Inception-E.
+    let d = block_d(&mut g, "mixed8", c4);
+    let e1 = block_e(&mut g, "mixed9", d);
+    let e2 = block_e(&mut g, "mixed10", e1);
+
+    let gap = g.add_gap("gap", e2);
+    g.add_fc("fc1000", gap, 1000);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    #[test]
+    fn inception_grid_sizes() {
+        let g = inception_v3();
+        assert!(g.validate().is_ok());
+        let m2 = g.layer_by_name("mixed2_concat").unwrap();
+        assert_eq!(m2.out_shape(), TensorShape::new(35, 35, 288));
+        let m3 = g.layer_by_name("mixed3_concat").unwrap();
+        assert_eq!(m3.out_shape(), TensorShape::new(17, 17, 768));
+        let m8 = g.layer_by_name("mixed8_concat").unwrap();
+        assert_eq!(m8.out_shape(), TensorShape::new(8, 8, 1280));
+        let m10 = g.layer_by_name("mixed10_concat").unwrap();
+        assert_eq!(m10.out_shape(), TensorShape::new(8, 8, 2048));
+    }
+
+    #[test]
+    fn inception_scale() {
+        let g = inception_v3();
+        let s = g.stats();
+        assert!(s.params > 18_000_000 && s.params < 30_000_000, "params={}", s.params);
+        assert!(s.macs > 4_000_000_000 && s.macs < 8_000_000_000, "macs={}", s.macs);
+    }
+
+    #[test]
+    fn branches_share_common_input() {
+        // Each Inception block fans its input out to 3-4 branches: some layer
+        // must have >= 3 consumers.
+        let g = inception_v3();
+        let max_fanout = g.layers().map(|l| g.succs(l.id()).len()).max().unwrap();
+        assert!(max_fanout >= 3, "max fanout {max_fanout}");
+        let cats = g.layers().filter(|l| matches!(l.op(), OpKind::Concat)).count();
+        assert!(cats >= 11, "expected one concat per mixed block, got {cats}");
+    }
+}

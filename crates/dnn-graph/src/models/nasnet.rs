@@ -1,0 +1,251 @@
+//! NAS-generated networks with irregular wiring (Table I: NasNet, PNASNet).
+//!
+//! The builders follow the published cell-based macro-architecture (stacked
+//! normal/reduction cells, two-input cells consuming the previous *two* cell
+//! outputs, separable convolutions, five combiner blocks concatenated per
+//! cell). Block wiring inside each cell is a documented approximation of the
+//! NASNet-A / PNASNet-5 genotypes: what matters for graph-level scheduling is
+//! the irregular multi-branch topology, the dw+pw separable-conv layer mix
+//! and the cross-cell skip edges, all of which are preserved.
+
+use crate::{ConvParams, Graph, LayerId, PoolParams, TensorShape};
+
+/// NASNet-style separable convolution: the `relu-sepconv-bn` unit applied
+/// twice, i.e. `dw(k,stride) → pw(f) → dw(k,1) → pw(f)`.
+fn sep(g: &mut Graph, n: String, x: LayerId, k: usize, f: usize, stride: usize) -> LayerId {
+    let c_in = g.layer(x).out_shape().c;
+    let d1 = g.add_conv(format!("{n}_dw1"), x, ConvParams::depthwise(k, stride, k / 2, c_in));
+    let p1 = g.add_conv(format!("{n}_pw1"), d1, ConvParams::new(1, 1, 0, f));
+    let d2 = g.add_conv(format!("{n}_dw2"), p1, ConvParams::depthwise(k, 1, k / 2, f));
+    g.add_conv(format!("{n}_pw2"), d2, ConvParams::new(1, 1, 0, f))
+}
+
+fn avg3(g: &mut Graph, n: String, x: LayerId, stride: usize) -> LayerId {
+    g.add_pool(n, x, PoolParams::avg(3, stride).with_pad(1))
+}
+
+fn max3(g: &mut Graph, n: String, x: LayerId, stride: usize) -> LayerId {
+    g.add_pool(n, x, PoolParams::max(3, stride).with_pad(1))
+}
+
+/// Squeezes/strides `x` to `f` channels at `stride` with a 1×1 convolution
+/// (the cells' input-adjust path).
+fn fit(g: &mut Graph, n: String, x: LayerId, f: usize, stride: usize) -> LayerId {
+    g.add_conv(n, x, ConvParams::new(1, stride, 0, f))
+}
+
+/// NASNet-A-style *normal* cell: keeps spatial size, outputs `5f` channels.
+///
+/// `h` is the previous cell's output, `hm` the one before it.
+fn nasnet_normal(g: &mut Graph, n: &str, h: LayerId, hm: LayerId, f: usize) -> LayerId {
+    let hs = g.layer(h).out_shape();
+    let hms = g.layer(hm).out_shape();
+    let adj_stride = hms.h / hs.h;
+    let h = fit(g, format!("{n}_squeeze_h"), h, f, 1);
+    let hm = fit(g, format!("{n}_adjust_hm"), hm, f, adj_stride.max(1));
+
+    let b1l = sep(g, format!("{n}_b1_sep3"), h, 3, f, 1);
+    let b1 = g.add_add(format!("{n}_b1"), &[b1l, h]);
+
+    let b2l = sep(g, format!("{n}_b2_sep3"), hm, 3, f, 1);
+    let b2r = sep(g, format!("{n}_b2_sep5"), h, 5, f, 1);
+    let b2 = g.add_add(format!("{n}_b2"), &[b2l, b2r]);
+
+    let b3l = avg3(g, format!("{n}_b3_avg"), h, 1);
+    let b3 = g.add_add(format!("{n}_b3"), &[b3l, hm]);
+
+    let b4l = avg3(g, format!("{n}_b4_avg1"), hm, 1);
+    let b4r = avg3(g, format!("{n}_b4_avg2"), hm, 1);
+    let b4 = g.add_add(format!("{n}_b4"), &[b4l, b4r]);
+
+    let b5l = sep(g, format!("{n}_b5_sep5"), hm, 5, f, 1);
+    let b5r = sep(g, format!("{n}_b5_sep3"), hm, 3, f, 1);
+    let b5 = g.add_add(format!("{n}_b5"), &[b5l, b5r]);
+
+    g.add_concat(format!("{n}_concat"), &[b1, b2, b3, b4, b5])
+}
+
+/// NASNet-A-style *reduction* cell: halves spatial size, outputs `4f`
+/// channels. Blocks 4/5 consume earlier block outputs (intra-cell DAG).
+fn nasnet_reduction(g: &mut Graph, n: &str, h: LayerId, hm: LayerId, f: usize) -> LayerId {
+    let hs = g.layer(h).out_shape();
+    let hms = g.layer(hm).out_shape();
+    let adj_stride = hms.h / hs.h;
+    let h = fit(g, format!("{n}_squeeze_h"), h, f, 1);
+    let hm = fit(g, format!("{n}_adjust_hm"), hm, f, adj_stride.max(1));
+
+    let b1l = sep(g, format!("{n}_b1_sep5"), hm, 5, f, 2);
+    let b1r = sep(g, format!("{n}_b1_sep3"), h, 3, f, 2);
+    let b1 = g.add_add(format!("{n}_b1"), &[b1l, b1r]);
+
+    let b2l = max3(g, format!("{n}_b2_max"), h, 2);
+    let b2r = sep(g, format!("{n}_b2_sep5"), hm, 5, f, 2);
+    let b2 = g.add_add(format!("{n}_b2"), &[b2l, b2r]);
+
+    let b3l = avg3(g, format!("{n}_b3_avg"), h, 2);
+    let b3r = sep(g, format!("{n}_b3_sep5"), hm, 5, f, 2);
+    let b3 = g.add_add(format!("{n}_b3"), &[b3l, b3r]);
+
+    let b4l = max3(g, format!("{n}_b4_max"), h, 2);
+    let b4r = sep(g, format!("{n}_b4_sep3"), b1, 3, f, 1);
+    let b4 = g.add_add(format!("{n}_b4"), &[b4l, b4r]);
+
+    let b5l = avg3(g, format!("{n}_b5_avg"), b1, 1);
+    let b5 = g.add_add(format!("{n}_b5"), &[b5l, b2]);
+
+    g.add_concat(format!("{n}_concat"), &[b2, b3, b4, b5])
+}
+
+/// NasNet (NASNet-A class): three stacks of six normal cells separated by
+/// reduction cells, cell filters doubling per stack.
+pub fn nasnet() -> Graph {
+    let f = 128usize;
+    let mut g = Graph::new("nasnet");
+    let x = g.add_input(TensorShape::new(224, 224, 3));
+    let stem = g.add_conv("stem", x, ConvParams::new(3, 2, 1, 64)); // 112
+
+    let r0 = nasnet_reduction(&mut g, "red0", stem, stem, f / 2); // 56
+    let r1 = nasnet_reduction(&mut g, "red1", r0, stem, f / 2); // 28
+
+    let (mut hm, mut h) = (r0, r1);
+    for stack in 0..3 {
+        let fs = f << stack;
+        for cell in 0..6 {
+            let out = nasnet_normal(&mut g, &format!("n{stack}_{cell}"), h, hm, fs);
+            hm = h;
+            h = out;
+        }
+        if stack < 2 {
+            let out = nasnet_reduction(&mut g, &format!("red{}", stack + 2), h, hm, fs * 2);
+            hm = h;
+            h = out;
+        }
+    }
+
+    let gap = g.add_gap("gap", h);
+    g.add_fc("fc1000", gap, 1000);
+    g
+}
+
+/// PNASNet-5-style cell: a single cell type used for both normal
+/// (`stride = 1`) and reduction (`stride = 2`) positions; five blocks
+/// concatenated, blocks 4 consuming block-1/2 outputs.
+fn pnasnet_cell(
+    g: &mut Graph,
+    n: &str,
+    h: LayerId,
+    hm: LayerId,
+    f: usize,
+    stride: usize,
+) -> LayerId {
+    let hs = g.layer(h).out_shape();
+    let hms = g.layer(hm).out_shape();
+    let adj_stride = hms.h / hs.h;
+    let h = fit(g, format!("{n}_squeeze_h"), h, f, 1);
+    let hm = fit(g, format!("{n}_adjust_hm"), hm, f, adj_stride.max(1));
+
+    let b1l = sep(g, format!("{n}_b1_sep5"), hm, 5, f, stride);
+    let b1r = max3(g, format!("{n}_b1_max"), hm, stride);
+    let b1 = g.add_add(format!("{n}_b1"), &[b1l, b1r]);
+
+    let b2l = sep(g, format!("{n}_b2_sep7"), h, 7, f, stride);
+    let b2r = max3(g, format!("{n}_b2_max"), h, stride);
+    let b2 = g.add_add(format!("{n}_b2"), &[b2l, b2r]);
+
+    let b3l = sep(g, format!("{n}_b3_sep5"), h, 5, f, stride);
+    let b3r = sep(g, format!("{n}_b3_sep3"), h, 3, f, stride);
+    let b3 = g.add_add(format!("{n}_b3"), &[b3l, b3r]);
+
+    let b4l = sep(g, format!("{n}_b4_sep3"), b1, 3, f, 1);
+    let b4 = g.add_add(format!("{n}_b4"), &[b4l, b2]);
+
+    let b5l = sep(g, format!("{n}_b5_sep3"), hm, 3, f, stride);
+    let b5r = max3(g, format!("{n}_b5_max"), h, stride);
+    let b5 = g.add_add(format!("{n}_b5"), &[b5l, b5r]);
+
+    g.add_concat(format!("{n}_concat"), &[b1, b2, b3, b4, b5])
+}
+
+/// PNASNet (PNASNet-5 class): two stride-2 stem cells, then three stacks of
+/// three cells with a stride-2 cell between stacks.
+pub fn pnasnet() -> Graph {
+    let f = 160usize;
+    let mut g = Graph::new("pnasnet");
+    let x = g.add_input(TensorShape::new(224, 224, 3));
+    let stem = g.add_conv("stem", x, ConvParams::new(3, 2, 1, 64)); // 112
+
+    let c0 = pnasnet_cell(&mut g, "cell0", stem, stem, f / 2, 2); // 56
+    let c1 = pnasnet_cell(&mut g, "cell1", c0, stem, f / 2, 2); // 28
+
+    let (mut hm, mut h) = (c0, c1);
+    let mut idx = 2;
+    for stack in 0..3 {
+        let fs = f << stack;
+        if stack > 0 {
+            let out = pnasnet_cell(&mut g, &format!("cell{idx}_red"), h, hm, fs, 2);
+            hm = h;
+            h = out;
+            idx += 1;
+        }
+        for _ in 0..3 {
+            let out = pnasnet_cell(&mut g, &format!("cell{idx}"), h, hm, fs, 1);
+            hm = h;
+            h = out;
+            idx += 1;
+        }
+    }
+
+    let gap = g.add_gap("gap", h);
+    g.add_fc("fc1000", gap, 1000);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    #[test]
+    fn nasnet_builds() {
+        let g = nasnet();
+        assert!(g.validate().is_ok());
+        let s = g.stats();
+        assert!(s.layers > 400, "layers = {}", s.layers);
+        assert!(s.params > 20_000_000, "params = {}", s.params);
+        // Separable convs: depthwise layers must be abundant.
+        let dw = g
+            .layers()
+            .filter(|l| matches!(l.op(), OpKind::Conv(p) if p.groups > 1))
+            .count();
+        assert!(dw > 100, "dw convs = {dw}");
+    }
+
+    #[test]
+    fn pnasnet_builds() {
+        let g = pnasnet();
+        assert!(g.validate().is_ok());
+        assert!(g.stats().layers > 300);
+    }
+
+    #[test]
+    fn nasnet_cell_spatial_progression() {
+        let g = nasnet();
+        // Stack 0 cells run at 28x28, stack 1 at 14x14, stack 2 at 7x7.
+        assert_eq!(g.layer_by_name("n0_0_concat").unwrap().out_shape().h, 28);
+        assert_eq!(g.layer_by_name("n1_0_concat").unwrap().out_shape().h, 14);
+        assert_eq!(g.layer_by_name("n2_5_concat").unwrap().out_shape().h, 7);
+    }
+
+    #[test]
+    fn cells_consume_two_previous_cells() {
+        // hm skip edges make the graph non-linear: some concat output must
+        // feed more than one cell (via h and hm roles).
+        let g = pnasnet();
+        let multi = g
+            .layers()
+            .filter(|l| matches!(l.op(), OpKind::Concat))
+            .filter(|l| g.succs(l.id()).len() >= 2)
+            .count();
+        assert!(multi > 3, "skip-consumed concats = {multi}");
+    }
+}

@@ -1,0 +1,56 @@
+use crate::{ConvParams, Graph, PoolParams, TensorShape};
+
+/// VGG-19 (Simonyan & Zisserman), ImageNet configuration E.
+///
+/// Strictly layer-cascaded (Table I "layer cascaded"): sixteen 3×3
+/// convolutions in five blocks with 2×2 max-pooling between blocks, followed
+/// by three fully-connected layers. ≈ 19.6 GMACs, ≈ 143 M parameters.
+pub fn vgg19() -> Graph {
+    let mut g = Graph::new("vgg19");
+    let mut x = g.add_input(TensorShape::new(224, 224, 3));
+
+    let blocks: [(usize, usize); 5] = [(2, 64), (2, 128), (4, 256), (4, 512), (4, 512)];
+    for (bi, (convs, ch)) in blocks.iter().enumerate() {
+        for ci in 0..*convs {
+            x = g.add_conv(
+                format!("conv{}_{}", bi + 1, ci + 1),
+                x,
+                ConvParams::new(3, 1, 1, *ch),
+            );
+        }
+        x = g.add_pool(format!("pool{}", bi + 1), x, PoolParams::max(2, 2));
+    }
+
+    let fc6 = g.add_fc("fc6", x, 4096);
+    let fc7 = g.add_fc("fc7", fc6, 4096);
+    g.add_fc("fc8", fc7, 1000);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg19_shape_progression() {
+        let g = vgg19();
+        assert!(g.validate().is_ok());
+        // After 5 pools: 224 -> 7.
+        let last_pool = g.layer_by_name("pool5").unwrap();
+        assert_eq!(last_pool.out_shape(), TensorShape::new(7, 7, 512));
+        let fc8 = g.layer_by_name("fc8").unwrap();
+        assert_eq!(fc8.out_shape().c, 1000);
+    }
+
+    #[test]
+    fn vgg19_counts() {
+        let g = vgg19();
+        let convs = g.layers().filter(|l| matches!(l.op(), crate::OpKind::Conv(_))).count();
+        let fcs = g.layers().filter(|l| matches!(l.op(), crate::OpKind::Fc { .. })).count();
+        assert_eq!(convs, 16);
+        assert_eq!(fcs, 3);
+        // fc6 dominates params: 7*7*512*4096 ≈ 102.8M.
+        let fc6 = g.layer_by_name("fc6").unwrap();
+        assert_eq!(fc6.weight_elems(), 7 * 7 * 512 * 4096);
+    }
+}

@@ -1,0 +1,70 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::graph::Graph;
+
+/// Aggregate statistics of a workload, mirroring the paper's Table I
+/// characterization (layer count, parameter count, structure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Total graph nodes, inputs included.
+    pub layers: usize,
+    /// Layers whose MACs run on the PE array (CONV + FC).
+    pub array_layers: usize,
+    /// Total weight parameters.
+    pub params: u64,
+    /// Total multiply-accumulate operations for one inference.
+    pub macs: u64,
+    /// Total vector-unit operations for one inference.
+    pub vector_ops: u64,
+    /// Longest path length through the DAG.
+    pub max_depth: usize,
+}
+
+impl GraphStats {
+    pub(crate) fn of(g: &Graph) -> Self {
+        let depths = g.depths();
+        Self {
+            layers: g.layer_count(),
+            array_layers: g.layers().filter(|l| l.is_array_op()).count(),
+            params: g.layers().map(|l| l.weight_elems()).sum(),
+            macs: g.layers().map(|l| l.macs()).sum(),
+            vector_ops: g.layers().map(|l| l.vector_ops()).sum(),
+            max_depth: depths.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} layers ({} on PE array), {:.1}M params, {:.2}G MACs, depth {}",
+            self.layers,
+            self.array_layers,
+            self.params as f64 / 1e6,
+            self.macs as f64 / 1e9,
+            self.max_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ConvParams, Graph, TensorShape};
+
+    #[test]
+    fn stats_accumulate() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(TensorShape::new(8, 8, 4));
+        let c = g.add_conv("c", x, ConvParams::new(3, 1, 1, 8));
+        g.add_act("r", c, crate::Activation::Relu);
+        let s = g.stats();
+        assert_eq!(s.layers, 3);
+        assert_eq!(s.array_layers, 1);
+        assert_eq!(s.params, 8 * 4 * 9);
+        assert_eq!(s.macs, 8 * 8 * 8 * 9 * 4);
+        assert_eq!(s.vector_ops, 8 * 8 * 8);
+        assert_eq!(s.max_depth, 2);
+    }
+}

@@ -1,0 +1,144 @@
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostEstimate;
+use crate::energy::EnergyModel;
+use crate::task::ConvTask;
+
+/// Spatial mapping strategy of the 2-D PE array (Sec. IV-A / Sec. V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// *KC-Partition* (NVDLA-like): input channels unrolled along PE rows,
+    /// output channels along PE columns; weights stationary.
+    KcPartition,
+    /// *YX-Partition* (ShiDianNao-like): output height along PE rows, output
+    /// width along PE columns; each PE owns one output pixel.
+    ///
+    /// Tasks with a `1×1` output tile (FC-shaped) have no spatial dimensions
+    /// to unroll and fall back to channel-parallel (KC) mapping, as flexible
+    /// engines do in practice.
+    YxPartition,
+}
+
+impl Dataflow {
+    /// Both strategies, in the order used by the paper's figures.
+    pub const ALL: [Dataflow; 2] = [Dataflow::KcPartition, Dataflow::YxPartition];
+
+    /// Short label used in experiment tables (`"KC-P"` / `"YX-P"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Dataflow::KcPartition => "KC-P",
+            Dataflow::YxPartition => "YX-P",
+        }
+    }
+}
+
+/// Micro-architecture of one tensor engine (Fig. 1(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// PE rows (`PE_x`).
+    pub pe_x: usize,
+    /// PE columns (`PE_y`).
+    pub pe_y: usize,
+    /// Global-buffer capacity in bytes (128 KB in the paper).
+    pub buffer_bytes: u64,
+    /// Clock frequency in MHz (500 in the paper, 600 on the prototype).
+    pub freq_mhz: u64,
+    /// SIMD lanes of the vector unit executing element-wise layers.
+    pub vector_lanes: usize,
+    /// Energy coefficients for MAC and SRAM accesses.
+    pub energy: EnergyModel,
+}
+
+impl EngineConfig {
+    /// The paper's evaluation engine: 16×16 PEs, 128 KB SRAM, 500 MHz
+    /// (Sec. V-A), 64-lane vector unit.
+    pub fn paper_default() -> Self {
+        Self {
+            pe_x: 16,
+            pe_y: 16,
+            buffer_bytes: 128 * 1024,
+            freq_mhz: 500,
+            vector_lanes: 64,
+            energy: EnergyModel::tsmc28_default(),
+        }
+    }
+
+    /// The FPGA/ASIC prototype engine of Sec. V-D: 32×32 INT8 MACs at
+    /// 600 MHz.
+    pub fn prototype() -> Self {
+        Self {
+            pe_x: 32,
+            pe_y: 32,
+            buffer_bytes: 256 * 1024,
+            freq_mhz: 600,
+            vector_lanes: 128,
+            energy: EnergyModel::tsmc28_default(),
+        }
+    }
+
+    /// Total PEs of the array.
+    pub fn pe_count(&self) -> u64 {
+        (self.pe_x * self.pe_y) as u64
+    }
+
+    /// Returns a copy with a different PE array size (design-space sweeps,
+    /// Fig. 12).
+    pub fn with_pe_array(mut self, pe_x: usize, pe_y: usize) -> Self {
+        self.pe_x = pe_x;
+        self.pe_y = pe_y;
+        self
+    }
+
+    /// Returns a copy with a different buffer capacity (Fig. 13).
+    pub fn with_buffer_bytes(mut self, bytes: u64) -> Self {
+        self.buffer_bytes = bytes;
+        self
+    }
+
+    /// Estimates cycles, utilization, footprints and energy for running
+    /// `task` on this engine under `dataflow`. See [`CostEstimate`].
+    pub fn estimate(&self, task: &ConvTask, dataflow: Dataflow) -> CostEstimate {
+        crate::cost::estimate(self, task, dataflow)
+    }
+
+    /// Cycles for `ops` element-wise operations on the vector unit.
+    pub fn vector_cycles(&self, ops: u64) -> u64 {
+        ops.div_ceil(self.vector_lanes as u64)
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_sec_va() {
+        let c = EngineConfig::paper_default();
+        assert_eq!(c.pe_count(), 256);
+        assert_eq!(c.buffer_bytes, 131072);
+        assert_eq!(c.freq_mhz, 500);
+    }
+
+    #[test]
+    fn vector_cycles_round_up() {
+        let c = EngineConfig::paper_default();
+        assert_eq!(c.vector_cycles(0), 0);
+        assert_eq!(c.vector_cycles(1), 1);
+        assert_eq!(c.vector_cycles(64), 1);
+        assert_eq!(c.vector_cycles(65), 2);
+    }
+
+    #[test]
+    fn sweeps_preserve_other_fields() {
+        let c = EngineConfig::paper_default().with_pe_array(32, 32).with_buffer_bytes(1 << 20);
+        assert_eq!(c.pe_count(), 1024);
+        assert_eq!(c.buffer_bytes, 1 << 20);
+        assert_eq!(c.freq_mhz, 500);
+    }
+}

@@ -1,0 +1,59 @@
+use serde::{Deserialize, Serialize};
+
+/// Energy coefficients for on-engine activity, in picojoules.
+///
+/// Values follow the paper's Sec. V-A technology point (TSMC 28 nm, INT8):
+/// the 128 KB SRAM read power of 10.96 mW at 500 MHz with a 64-bit port
+/// works out to ≈ 2.74 pJ/byte; MAC energy is a standard 28 nm INT8 figure.
+/// NoC (0.61 pJ/bit/hop) and HBM (7 pJ/bit) energy are owned by the
+/// `noc-model` / `mem-model` crates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per INT8 multiply-accumulate.
+    pub mac_pj: f64,
+    /// Energy per byte read from the engine's global SRAM buffer.
+    pub sram_read_pj_per_byte: f64,
+    /// Energy per byte written to the engine's global SRAM buffer.
+    pub sram_write_pj_per_byte: f64,
+    /// Static (leakage + clock) power per engine in milliwatts; multiplied
+    /// by wall-clock time for the static-energy share of Fig. 11.
+    pub static_mw_per_engine: f64,
+}
+
+impl EnergyModel {
+    /// The paper's 28 nm technology point.
+    pub fn tsmc28_default() -> Self {
+        Self {
+            mac_pj: 0.56,
+            sram_read_pj_per_byte: 2.74,
+            sram_write_pj_per_byte: 3.28,
+            static_mw_per_engine: 4.0,
+        }
+    }
+
+    /// Static energy in picojoules for `cycles` at `freq_mhz`.
+    pub fn static_pj(&self, cycles: u64, freq_mhz: u64) -> f64 {
+        // P[mW] * t[us] = nJ; cycles / freq_mhz = microseconds.
+        let us = cycles as f64 / freq_mhz as f64;
+        self.static_mw_per_engine * us * 1000.0
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::tsmc28_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_energy_scales_with_time() {
+        let e = EnergyModel::tsmc28_default();
+        // 500 cycles at 500 MHz = 1 us -> 4 mW * 1 us = 4 nJ = 4000 pJ.
+        assert!((e.static_pj(500, 500) - 4000.0 * 1.0e-3 * 1000.0).abs() < 1e-6);
+        assert_eq!(e.static_pj(0, 500), 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Analytical per-engine cost model for scalable DNN accelerators.
+//!
+//! The paper obtains the execution cycles and power of each tensor engine
+//! from MAESTRO (Sec. V-A). This crate plays that role: given an engine
+//! micro-architecture ([`EngineConfig`]), a spatial mapping strategy
+//! ([`Dataflow`], Sec. IV-A's *KC-Partition* / *YX-Partition*) and a tensor
+//! sub-computation ([`ConvTask`]), it returns cycles, PE utilization, data
+//! footprints and energy ([`CostEstimate`]).
+//!
+//! The model reproduces the property the whole paper rests on: the two
+//! spatially-unrolled loop variables must be divisible by the PE-array
+//! dimensions or utilization falls off a cliff (Sec. IV-A). Everything else
+//! (temporal loops, pipeline ramp, SRAM access counts) is first-order
+//! analytical, which is exactly the abstraction level of MAESTRO's
+//! cycle/energy outputs consumed by the paper.
+//!
+//! ```rust
+//! use engine_model::{ConvTask, Dataflow, EngineConfig};
+//!
+//! let cfg = EngineConfig::paper_default(); // 16x16 PEs, 128 KB, 500 MHz
+//! // A perfectly fitting task: C_i = 16·4, C_o = 16·2.
+//! let task = ConvTask::conv(14, 14, 64, 32, 3, 3, 1);
+//! let cost = cfg.estimate(&task, Dataflow::KcPartition);
+//! assert!(cost.utilization > 0.9);
+//! ```
+
+mod config;
+mod cost;
+mod energy;
+mod task;
+
+pub use config::{Dataflow, EngineConfig};
+pub use cost::CostEstimate;
+pub use energy::EnergyModel;
+pub use task::ConvTask;

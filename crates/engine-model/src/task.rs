@@ -1,0 +1,140 @@
+use serde::{Deserialize, Serialize};
+
+use dnn_graph::{Layer, OpKind};
+
+/// A tensor sub-computation executed on one engine: the CONV-shaped work of
+/// a whole layer, a layer partition, or an atom.
+///
+/// All six loop variables of Fig. 1(b) are captured; FC layers use the
+/// degenerate form `H_o = W_o = K_h = K_w = 1` (paper footnote 2), grouped /
+/// depthwise convolutions carry `groups > 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvTask {
+    /// Output tile height `h_p`.
+    pub ho: usize,
+    /// Output tile width `w_p`.
+    pub wo: usize,
+    /// Input channels consumed (`c_p^i`).
+    pub ci: usize,
+    /// Output channels produced (`c_p^o`).
+    pub co: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Channel groups (`1` dense, `ci` depthwise).
+    pub groups: usize,
+}
+
+impl ConvTask {
+    /// Dense convolution task.
+    pub fn conv(ho: usize, wo: usize, ci: usize, co: usize, kh: usize, kw: usize, stride: usize) -> Self {
+        Self { ho, wo, ci, co, kh, kw, stride, groups: 1 }
+    }
+
+    /// Fully-connected task: `ci` input features, `co` output features.
+    pub fn fc(ci: usize, co: usize) -> Self {
+        Self { ho: 1, wo: 1, ci, co, kh: 1, kw: 1, stride: 1, groups: 1 }
+    }
+
+    /// Depthwise convolution over `c` channels.
+    pub fn depthwise(ho: usize, wo: usize, c: usize, k: usize, stride: usize) -> Self {
+        Self { ho, wo, ci: c, co: c, kh: k, kw: k, stride, groups: c }
+    }
+
+    /// The full-layer task of a CONV/FC layer, or `None` for layers that run
+    /// on the vector unit.
+    pub fn from_layer(layer: &Layer) -> Option<Self> {
+        match layer.op() {
+            OpKind::Conv(p) => Some(Self {
+                ho: layer.out_shape().h,
+                wo: layer.out_shape().w,
+                ci: layer.in_shape().c,
+                co: p.out_channels,
+                kh: p.kh,
+                kw: p.kw,
+                stride: p.stride,
+                groups: p.groups,
+            }),
+            OpKind::Fc { out_features } => {
+                Some(Self::fc(layer.in_shape().elements() as usize, out_features))
+            }
+            _ => None,
+        }
+    }
+
+    /// Multiply-accumulate operations of this task.
+    pub fn macs(&self) -> u64 {
+        let ci_per_group = (self.ci / self.groups).max(1) as u64;
+        self.ho as u64 * self.wo as u64 * self.co as u64
+            * self.kh as u64
+            * self.kw as u64
+            * ci_per_group
+    }
+
+    /// Elements of the input-feature-map region this task reads
+    /// (receptive field of the output tile across all `ci` channels).
+    pub fn ifmap_elems(&self) -> u64 {
+        let hi = (self.ho - 1) * self.stride + self.kh;
+        let wi = (self.wo - 1) * self.stride + self.kw;
+        hi as u64 * wi as u64 * self.ci as u64
+    }
+
+    /// Weight elements this task needs.
+    pub fn weight_elems(&self) -> u64 {
+        let ci_per_group = (self.ci / self.groups).max(1) as u64;
+        self.co as u64 * ci_per_group * self.kh as u64 * self.kw as u64
+    }
+
+    /// Output elements this task produces.
+    pub fn ofmap_elems(&self) -> u64 {
+        self.ho as u64 * self.wo as u64 * self.co as u64
+    }
+
+    /// `true` when the output tile is a single pixel (FC-shaped work).
+    pub fn is_vector_shaped(&self) -> bool {
+        self.ho == 1 && self.wo == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{ConvParams, Graph, TensorShape};
+
+    #[test]
+    fn macs_match_definition() {
+        let t = ConvTask::conv(14, 14, 64, 128, 3, 3, 1);
+        assert_eq!(t.macs(), 14 * 14 * 128 * 9 * 64);
+        let d = ConvTask::depthwise(14, 14, 64, 3, 1);
+        assert_eq!(d.macs(), 14 * 14 * 64 * 9);
+        let f = ConvTask::fc(2048, 1000);
+        assert_eq!(f.macs(), 2048 * 1000);
+    }
+
+    #[test]
+    fn ifmap_region_accounts_for_stride_and_kernel() {
+        let t = ConvTask::conv(7, 7, 16, 8, 3, 3, 2);
+        // (7-1)*2 + 3 = 15.
+        assert_eq!(t.ifmap_elems(), 15 * 15 * 16);
+    }
+
+    #[test]
+    fn from_layer_roundtrip() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(TensorShape::new(56, 56, 64));
+        let c = g.add_conv("c", x, ConvParams::new(3, 2, 1, 128));
+        let l = g.layer(c);
+        let t = ConvTask::from_layer(l).unwrap();
+        assert_eq!(t.macs(), l.macs());
+        assert_eq!((t.ho, t.wo, t.ci, t.co), (28, 28, 64, 128));
+
+        let gap = g.add_gap("gap", c);
+        assert!(ConvTask::from_layer(g.layer(gap)).is_none());
+        let fc = g.add_fc("fc", gap, 10);
+        let t = ConvTask::from_layer(g.layer(fc)).unwrap();
+        assert_eq!(t.macs(), 128 * 10);
+    }
+}

@@ -1,0 +1,131 @@
+use serde::{Deserialize, Serialize};
+
+use crate::mesh::MeshConfig;
+
+/// Accumulates inter-engine traffic and attributes it to directed mesh links
+/// via XY routing, for contention and hotspot statistics.
+///
+/// Links are identified by their source engine and direction; since XY
+/// routes only step to one of four neighbours, a directed link is keyed as
+/// `(from_engine, to_engine)` with `hops(from, to) == 1`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficTracker {
+    mesh: MeshConfig,
+    /// Bytes forwarded per directed link, keyed by `from * engines + to`.
+    link_bytes: Vec<u64>,
+    total_bytes: u64,
+    total_byte_hops: u64,
+    transfers: u64,
+}
+
+impl TrafficTracker {
+    /// Creates an empty tracker for the given mesh.
+    pub fn new(mesh: MeshConfig) -> Self {
+        let n = mesh.engines();
+        Self { mesh, link_bytes: vec![0; n * n], total_bytes: 0, total_byte_hops: 0, transfers: 0 }
+    }
+
+    /// Records a `bytes`-sized transfer from engine `src` to engine `dst`.
+    pub fn record(&mut self, src: usize, dst: usize, bytes: u64) {
+        if src == dst || bytes == 0 {
+            return;
+        }
+        let route = self.mesh.route(src, dst);
+        let n = self.mesh.engines();
+        for leg in route.windows(2) {
+            self.link_bytes[leg[0] * n + leg[1]] += bytes;
+        }
+        self.total_bytes += bytes;
+        self.total_byte_hops += bytes * self.mesh.hops(src, dst);
+        self.transfers += 1;
+    }
+
+    /// Total payload bytes injected (each transfer counted once).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Σ bytes × hops — proportional to NoC energy.
+    pub fn total_byte_hops(&self) -> u64 {
+        self.total_byte_hops
+    }
+
+    /// Number of recorded transfers.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Bytes forwarded by the busiest directed link.
+    pub fn max_link_bytes(&self) -> u64 {
+        self.link_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average hops per transferred byte (0 when idle).
+    pub fn mean_hops_per_byte(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.total_byte_hops as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Total NoC energy in picojoules for the recorded traffic.
+    pub fn energy_pj(&self) -> f64 {
+        self.total_byte_hops as f64 * self.mesh.energy_pj_per_byte_hop
+    }
+
+    /// Resets all counters.
+    pub fn clear(&mut self) {
+        self.link_bytes.fill(0);
+        self.total_bytes = 0;
+        self.total_byte_hops = 0;
+        self.transfers = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_attribute_links() {
+        let m = MeshConfig::grid(4, 4);
+        let mut t = TrafficTracker::new(m);
+        t.record(0, 3, 120); // 3 hops along row 0
+        assert_eq!(t.total_bytes(), 120);
+        assert_eq!(t.total_byte_hops(), 360);
+        assert_eq!(t.max_link_bytes(), 120);
+        assert_eq!(t.transfers(), 1);
+
+        t.record(1, 2, 80); // shares link 1->2
+        assert_eq!(t.max_link_bytes(), 200);
+    }
+
+    #[test]
+    fn local_and_empty_transfers_ignored() {
+        let mut t = TrafficTracker::new(MeshConfig::grid(2, 2));
+        t.record(1, 1, 999);
+        t.record(0, 1, 0);
+        assert_eq!(t.total_bytes(), 0);
+        assert_eq!(t.transfers(), 0);
+    }
+
+    #[test]
+    fn energy_matches_byte_hops() {
+        let m = MeshConfig::paper_default();
+        let mut t = TrafficTracker::new(m);
+        t.record(0, 9, 1000); // 2 hops
+        let expect = 1000.0 * 2.0 * m.energy_pj_per_byte_hop;
+        assert!((t.energy_pj() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = TrafficTracker::new(MeshConfig::grid(2, 2));
+        t.record(0, 3, 64);
+        t.clear();
+        assert_eq!(t.total_bytes(), 0);
+        assert_eq!(t.max_link_bytes(), 0);
+        assert_eq!(t.mean_hops_per_byte(), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Batch-throughput orchestration: how the unified batched atomic DAG
+//! (Sec. III: "all the inferences in a batch are gathered as one unified
+//! DAG") turns batch-level parallelism into throughput.
+//!
+//! Sweeps the batch size on EfficientNet and reports throughput and energy
+//! per inference for AD against the batch-pipelined CNN-Partition baseline.
+//!
+//! ```text
+//! cargo run --release --example batch_throughput
+//! ```
+
+use ad_repro::prelude::*;
+
+fn main() {
+    let net = models::efficientnet();
+    println!("workload: {} — {}\n", net.name(), net.stats());
+
+    println!(
+        "{:>5} | {:>12} {:>12} | {:>10} {:>10} | {:>8}",
+        "batch", "AD fps", "CNN-P fps", "AD mJ/inf", "CNN-P mJ/inf", "AD/CNN-P"
+    );
+    for batch in [1usize, 4, 8, 16] {
+        let cfg = OptimizerConfig::paper_default().with_batch(batch);
+        let freq = cfg.sim.engine.freq_mhz;
+
+        let ad = Strategy::AtomicDataflow.run(&net, &cfg).expect("AD runs");
+        let cp = Strategy::CnnPartition.run(&net, &cfg).expect("CNN-P runs");
+
+        let fps = |s: &SimStats| s.throughput_fps(freq, batch);
+        println!(
+            "{:>5} | {:>12.1} {:>12.1} | {:>10.3} {:>10.3} | {:>7.2}x",
+            batch,
+            fps(&ad),
+            fps(&cp),
+            ad.energy.total_mj() / batch as f64,
+            cp.energy.total_mj() / batch as f64,
+            fps(&ad) / fps(&cp),
+        );
+    }
+
+    println!(
+        "\nBatching amortizes pipeline fill and weight fetches; AD additionally \
+         interleaves samples at atom granularity (Fig. 6 round 8), so its \
+         throughput grows without CNN-P's fixed-region mismatch."
+    );
+}

@@ -1,0 +1,231 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: tiling geometry, mesh routing, HBM timing, buffer
+//! accounting, schedule validity and cost-model monotonicity.
+
+use proptest::prelude::*;
+
+use ad_repro::prelude::*;
+use atomic_dataflow::atom::{AtomCoords, AtomSpec};
+use atomic_dataflow::{AtomicDag, Scheduler, SchedulerConfig};
+use dnn_graph::TensorShape;
+use engine_model::ConvTask;
+use mem_model::{HbmConfig, HbmModel};
+
+proptest! {
+    /// Any tile spec partitions any output tensor exactly: tiles are
+    /// disjoint and cover every element.
+    #[test]
+    fn tiling_is_exact_partition(
+        h in 1usize..64, w in 1usize..64, c in 1usize..512,
+        th in 1usize..64, tw in 1usize..64, tc in 1usize..512,
+    ) {
+        let out = TensorShape::new(h, w, c);
+        let spec = AtomSpec { th, tw, tc }.clamped(out);
+        let tiles = spec.tiles(out);
+        prop_assert_eq!(tiles.len(), spec.count(out));
+        let covered: u64 = tiles.iter().map(AtomCoords::elements).sum();
+        prop_assert_eq!(covered, out.elements());
+        for (i, a) in tiles.iter().enumerate() {
+            for b in tiles.iter().skip(i + 1) {
+                prop_assert_eq!(a.overlap_elements(b), 0);
+            }
+        }
+    }
+
+    /// Mesh hop counts form a metric: symmetric, zero on the diagonal,
+    /// triangle inequality; XY routes have length hops+1.
+    #[test]
+    fn mesh_hops_are_a_metric(cols in 1usize..9, rows in 1usize..9) {
+        let m = MeshConfig::grid(cols, rows);
+        let n = m.engines();
+        for a in 0..n {
+            prop_assert_eq!(m.hops(a, a), 0);
+            for b in 0..n {
+                prop_assert_eq!(m.hops(a, b), m.hops(b, a));
+                prop_assert_eq!(m.route(a, b).len() as u64, m.hops(a, b) + 1);
+                for v in 0..n {
+                    prop_assert!(m.hops(a, b) <= m.hops(a, v) + m.hops(v, b));
+                }
+            }
+        }
+    }
+
+    /// HBM completions never travel back in time, and total traffic equals
+    /// the sum of request sizes.
+    #[test]
+    fn hbm_time_is_monotone(requests in proptest::collection::vec((0u64..10_000, 1u64..100_000), 1..50)) {
+        let mut m = HbmModel::new(HbmConfig::paper_default());
+        let mut total = 0u64;
+        for (now, bytes) in &requests {
+            let done = m.read(*now, *bytes);
+            prop_assert!(done >= now + m.config().access_latency_cycles);
+            total += bytes;
+        }
+        prop_assert_eq!(m.read_bytes(), total);
+    }
+
+    /// The engine cost model never reports more MACs per cycle than the
+    /// array has PEs, and cycles grow monotonically with output channels.
+    #[test]
+    fn cost_model_respects_roofline(
+        ho in 1usize..64, wo in 1usize..64,
+        ci in 1usize..512, co in 1usize..512, k in 1usize..6,
+    ) {
+        let cfg = engine_model::EngineConfig::paper_default();
+        for df in Dataflow::ALL {
+            let t = ConvTask::conv(ho, wo, ci, co, k, k, 1);
+            let e = cfg.estimate(&t, df);
+            prop_assert!(e.utilization <= 1.0 + 1e-9, "{df:?}: {}", e.utilization);
+            prop_assert!(e.cycles > 0);
+            let bigger = ConvTask::conv(ho, wo, ci, co + 16, k, k, 1);
+            prop_assert!(cfg.estimate(&bigger, df).cycles >= e.cycles);
+        }
+    }
+
+    /// Atomic DAGs from random tilings of the branchy test network are
+    /// always schedulable into dependency-respecting rounds, for any engine
+    /// count and batch.
+    #[test]
+    fn random_tilings_schedule_validly(
+        tile in 1usize..40, tc in 1usize..64,
+        engines in 1usize..24, batch in 1usize..4,
+    ) {
+        let g = models::tiny_branchy();
+        let specs: Vec<AtomSpec> = g
+            .layers()
+            .map(|l| AtomSpec { th: tile, tw: tile, tc }.clamped(l.out_shape()))
+            .collect();
+        let dag = AtomicDag::build(
+            &g,
+            &specs,
+            batch,
+            &engine_model::EngineConfig::paper_default(),
+            Dataflow::KcPartition,
+        );
+        let sched = Scheduler::new(&dag, SchedulerConfig::greedy(engines)).schedule();
+
+        let mut done = vec![false; dag.atom_count()];
+        let mut seen = 0usize;
+        for round in &sched.rounds {
+            prop_assert!(round.len() <= engines);
+            for a in round {
+                for (p, _) in dag.preds(*a) {
+                    prop_assert!(done[p.index()], "dependency violated");
+                }
+            }
+            for a in round {
+                prop_assert!(!done[a.index()], "atom scheduled twice");
+                done[a.index()] = true;
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, dag.atom_count());
+    }
+
+    /// Simulated wall-clock is bounded below by the slowest single atom and
+    /// by total-compute/engines, for random atomizations.
+    #[test]
+    fn sim_time_lower_bounds_hold(tile in 4usize..40, engines_side in 2usize..5) {
+        let g = models::tiny_cnn();
+        let specs: Vec<AtomSpec> = g
+            .layers()
+            .map(|l| AtomSpec { th: tile, tw: tile, tc: 1 << 20 }.clamped(l.out_shape()))
+            .collect();
+        let ecfg = engine_model::EngineConfig::paper_default();
+        let dag = AtomicDag::build(&g, &specs, 1, &ecfg, Dataflow::KcPartition);
+        let n = engines_side * engines_side;
+        let sched = Scheduler::new(&dag, SchedulerConfig::greedy(n)).schedule();
+
+        let mut sim_cfg = SimConfig::paper_default();
+        sim_cfg.mesh = MeshConfig::grid(engines_side, engines_side);
+        let mut mapper = atomic_dataflow::Mapper::new(sim_cfg.mesh, Default::default());
+        let mapped: Vec<_> = sched.rounds.iter().map(|r| mapper.map_round(&dag, r)).collect();
+        let p = atomic_dataflow::lower_to_program(&dag, &mapped, &Default::default());
+        let stats = Simulator::new(sim_cfg).run(&p).unwrap();
+
+        let slowest = dag.atoms().iter().map(|a| a.cost.cycles).max().unwrap_or(0);
+        prop_assert!(stats.total_cycles >= slowest);
+        prop_assert!(stats.total_cycles >= dag.total_compute_cycles() / n as u64);
+    }
+
+    /// Edge-byte conservation: for every atom, the bytes pulled from
+    /// producer atoms plus external (input) bytes exactly equal the volume
+    /// of its receptive-field window over each producer — the atomic DAG
+    /// neither loses nor duplicates input data.
+    #[test]
+    fn atomic_dag_edges_conserve_input_volume(
+        th in 2usize..24, tw in 2usize..24, tc in 4usize..64,
+    ) {
+        use atomic_dataflow::atom::input_window;
+        use dnn_graph::OpKind;
+
+        let g = models::tiny_branchy();
+        let specs: Vec<AtomSpec> = g
+            .layers()
+            .map(|l| AtomSpec { th, tw, tc }.clamped(l.out_shape()))
+            .collect();
+        let dag = AtomicDag::build(
+            &g,
+            &specs,
+            1,
+            &engine_model::EngineConfig::paper_default(),
+            Dataflow::KcPartition,
+        );
+        for (i, atom) in dag.atoms().iter().enumerate() {
+            let id = atomic_dataflow::AtomId(i as u32);
+            let layer = g.layer(atom.layer);
+            // Only check ops with a single producer and channel-complete
+            // reads (dense conv): the window volume is exact there.
+            let is_dense_conv = matches!(layer.op(), OpKind::Conv(p) if p.groups == 1);
+            if !is_dense_conv || g.preds(atom.layer).len() != 1 {
+                continue;
+            }
+            let (h, w) = input_window(layer, atom.coords.h, atom.coords.w);
+            let needed =
+                h.len() as u64 * w.len() as u64 * layer.in_shape().c as u64;
+            let from_edges: u64 = dag.preds(id).iter().map(|(_, b)| *b).sum();
+            let from_input: u64 = dag
+                .externals(id)
+                .iter()
+                .filter(|(d, _)| d.0 >> 62 == 1) // network-input datums
+                .map(|(_, b)| *b)
+                .sum();
+            prop_assert_eq!(
+                from_edges + from_input,
+                needed,
+                "layer {} atom {:?}",
+                layer.name(),
+                atom.coords
+            );
+        }
+    }
+
+    /// Weight externals are consistent: every atom of the same layer and
+    /// channel tile references the same weight datum with the same size.
+    #[test]
+    fn weight_slices_are_consistent(tc in 8usize..64) {
+        let g = models::tiny_cnn();
+        let specs: Vec<AtomSpec> = g
+            .layers()
+            .map(|l| AtomSpec { th: 8, tw: 8, tc }.clamped(l.out_shape()))
+            .collect();
+        let dag = AtomicDag::build(
+            &g,
+            &specs,
+            2,
+            &engine_model::EngineConfig::paper_default(),
+            Dataflow::KcPartition,
+        );
+        let mut sizes: std::collections::HashMap<u64, u64> = Default::default();
+        for (i, _) in dag.atoms().iter().enumerate() {
+            for (d, b) in dag.externals(atomic_dataflow::AtomId(i as u32)) {
+                if d.0 >> 62 == 0 {
+                    let prev = sizes.insert(d.0, *b);
+                    if let Some(prev) = prev {
+                        prop_assert_eq!(prev, *b, "weight datum {} size mismatch", d.0);
+                    }
+                }
+            }
+        }
+    }
+}
