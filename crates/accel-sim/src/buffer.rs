@@ -1,12 +1,10 @@
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::program::{DataId, TaskId};
 
 /// Identity of a datum that can reside in an engine's global buffer: either
 /// a task output (an atom's ofmap) or an external datum (weights, inputs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Datum {
     /// Output of a task.
     Task(TaskId),
@@ -15,7 +13,7 @@ pub enum Datum {
 }
 
 /// Buffer-overflow eviction policy (paper Sec. IV-C "Buffering Strategy").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EvictionKind {
     /// The paper's Algorithm 3: evict the entry with the largest *invalid
     /// occupation* — `(next-use round − current round) × size` — i.e. the
@@ -28,7 +26,7 @@ pub enum EvictionKind {
     Fifo,
 }
 
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 struct Entry {
     bytes: u64,
     inserted_at: u64,
@@ -42,7 +40,7 @@ struct Entry {
 ///
 /// Entries are keyed by [`Datum`] in a deterministic (ordered) map so victim
 /// selection is reproducible across runs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BufferState {
     capacity: u64,
     used: u64,
@@ -52,7 +50,11 @@ pub struct BufferState {
 impl BufferState {
     /// An empty buffer of the given capacity in bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: 0, entries: BTreeMap::new() }
+        Self {
+            capacity,
+            used: 0,
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Capacity in bytes.
@@ -99,11 +101,19 @@ impl BufferState {
     /// Panics (debug) if the entry does not fit — the simulator always calls
     /// [`BufferState::pick_victims`] until it does.
     pub fn insert(&mut self, datum: Datum, bytes: u64, round: u64, next_use: u64) {
-        debug_assert!(self.used + bytes <= self.capacity, "buffer overflow on insert");
-        if let Some(prev) = self
-            .entries
-            .insert(datum, Entry { bytes, inserted_at: round, last_used: round, next_use })
-        {
+        debug_assert!(
+            self.used + bytes <= self.capacity,
+            "buffer overflow on insert"
+        );
+        if let Some(prev) = self.entries.insert(
+            datum,
+            Entry {
+                bytes,
+                inserted_at: round,
+                last_used: round,
+                next_use,
+            },
+        ) {
             self.used -= prev.bytes;
         }
         self.used += bytes;
@@ -257,6 +267,52 @@ mod tests {
         b.insert(td(0), 10, 0, NEVER);
         let v = b.pick_victims(EvictionKind::Lru, 1, 1, &|d| *d == td(0));
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_buffer_is_inert() {
+        let mut b = BufferState::new(0);
+        assert_eq!(b.capacity(), 0);
+        assert_eq!(b.free(), 0);
+        assert!(b.is_empty());
+        // Nothing can be selected from, removed from, or found in it.
+        assert!(b
+            .pick_victims(EvictionKind::InvalidOccupation, 0, 1, &|_| false)
+            .is_empty());
+        assert_eq!(b.remove(&td(0)), None);
+        assert!(!b.contains(&td(0)));
+        b.touch(&td(0), 0, NEVER); // no-op, must not panic
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn deficit_beyond_evictable_bytes_returns_everything_unpinned() {
+        // A tensor larger than the whole buffer can never fit: the caller
+        // asks for more bytes than exist; the scan must offer every
+        // unpinned entry (and no more), leaving the shortfall to the
+        // caller's spill path.
+        let mut b = BufferState::new(100);
+        b.insert(td(0), 40, 0, 5);
+        b.insert(td(1), 30, 0, 9);
+        b.insert(td(2), 20, 0, NEVER);
+        let v = b.pick_victims(EvictionKind::InvalidOccupation, 0, 10_000, &|d| *d == td(1));
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(&td(0)) && v.contains(&td(2)));
+        assert!(
+            !v.contains(&td(1)),
+            "pinned entries stay even under an impossible deficit"
+        );
+    }
+
+    #[test]
+    fn exact_fit_insert_uses_full_capacity() {
+        let mut b = BufferState::new(100);
+        b.insert(td(0), 100, 0, NEVER);
+        assert_eq!(b.free(), 0);
+        assert_eq!(b.used(), 100);
+        // Evicting it restores the full capacity.
+        assert_eq!(b.remove(&td(0)), Some(100));
+        assert_eq!(b.free(), 100);
     }
 
     #[test]

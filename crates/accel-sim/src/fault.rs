@@ -1,0 +1,227 @@
+//! Deterministic fault injection plans.
+//!
+//! A [`FaultPlan`] is a time-ordered list of hardware failure events the
+//! simulator applies at round boundaries (the model's only synchronization
+//! points): an engine dies, a mesh link drops, or the HBM stack loses part
+//! of its bandwidth. Plans are plain data — built explicitly for directed
+//! tests or generated from a seed for sweeps — so a given plan always
+//! reproduces the same degraded execution.
+
+use ad_util::Rng64;
+use noc_model::MeshConfig;
+
+/// One kind of injected hardware failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Engine `engine` fails permanently: its buffer contents are lost and
+    /// it can run no further tasks.
+    EngineFail {
+        /// Mesh index of the failing engine.
+        engine: usize,
+    },
+    /// The bidirectional mesh link between adjacent engines `a` and `b`
+    /// fails permanently; traffic reroutes along surviving paths.
+    LinkFail {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// HBM effective bandwidth drops to `factor` of peak (latency is
+    /// unaffected). Subsequent derates overwrite earlier ones.
+    HbmDerate {
+        /// Remaining fraction of peak bandwidth in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+/// A failure occurring at (or after) a given cycle. Events take effect at
+/// the first round boundary at or past `cycle`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Earliest cycle at which the fault manifests.
+    pub cycle: u64,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, time-ordered set of failure events for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+/// Per-run fault probabilities for [`FaultPlan::seeded`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability that any given engine fails during the horizon.
+    pub engine_fail_prob: f64,
+    /// Probability that any given mesh link fails during the horizon.
+    pub link_fail_prob: f64,
+    /// Probability that the HBM stack derates during the horizon.
+    pub hbm_derate_prob: f64,
+    /// Bandwidth factor a derate event drops to (e.g. 0.5 = half peak).
+    pub hbm_derate_factor: f64,
+}
+
+impl FaultRates {
+    /// No faults at all.
+    pub fn none() -> Self {
+        Self {
+            engine_fail_prob: 0.0,
+            link_fail_prob: 0.0,
+            hbm_derate_prob: 0.0,
+            hbm_derate_factor: 1.0,
+        }
+    }
+
+    /// A uniform failure probability `p` for engines and links, with HBM
+    /// derating to half bandwidth with the same probability.
+    pub fn uniform(p: f64) -> Self {
+        Self {
+            engine_fail_prob: p,
+            link_fail_prob: p,
+            hbm_derate_prob: p,
+            hbm_derate_factor: 0.5,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: a healthy run.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single engine failure at `cycle`.
+    pub fn engine_fail(engine: usize, cycle: u64) -> Self {
+        Self::none().with_event(FaultEvent {
+            cycle,
+            kind: FaultKind::EngineFail { engine },
+        })
+    }
+
+    /// Adds one event (builder style). Events are kept sorted by cycle.
+    pub fn with_event(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self.events.sort_by_key(|e| e.cycle);
+        self
+    }
+
+    /// Draws a plan from `seed`: each engine and each mesh link of `mesh`
+    /// fails independently with the given probability at a uniform cycle in
+    /// `[0, horizon)`, and the HBM stack may derate once. The same
+    /// `(seed, mesh, horizon, rates)` always yields the same plan.
+    pub fn seeded(seed: u64, mesh: &MeshConfig, horizon: u64, rates: &FaultRates) -> Self {
+        let mut rng = Rng64::new(seed);
+        let horizon = horizon.max(1);
+        let mut plan = Self::none();
+        for engine in 0..mesh.engines() {
+            if rng.chance(rates.engine_fail_prob) {
+                let cycle = rng.below(horizon as usize) as u64;
+                plan.events.push(FaultEvent {
+                    cycle,
+                    kind: FaultKind::EngineFail { engine },
+                });
+            }
+        }
+        for a in 0..mesh.engines() {
+            for b in mesh.neighbors(a) {
+                if b > a && rng.chance(rates.link_fail_prob) {
+                    let cycle = rng.below(horizon as usize) as u64;
+                    plan.events.push(FaultEvent {
+                        cycle,
+                        kind: FaultKind::LinkFail { a, b },
+                    });
+                }
+            }
+        }
+        if rng.chance(rates.hbm_derate_prob) {
+            let cycle = rng.below(horizon as usize) as u64;
+            plan.events.push(FaultEvent {
+                cycle,
+                kind: FaultKind::HbmDerate {
+                    factor: rates.hbm_derate_factor,
+                },
+            });
+        }
+        plan.events.sort_by_key(|e| e.cycle);
+        plan
+    }
+
+    /// The events, sorted by cycle.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_keeps_events_sorted() {
+        let p = FaultPlan::none()
+            .with_event(FaultEvent {
+                cycle: 500,
+                kind: FaultKind::EngineFail { engine: 3 },
+            })
+            .with_event(FaultEvent {
+                cycle: 100,
+                kind: FaultKind::HbmDerate { factor: 0.5 },
+            })
+            .with_event(FaultEvent {
+                cycle: 300,
+                kind: FaultKind::LinkFail { a: 0, b: 1 },
+            });
+        let cycles: Vec<u64> = p.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![100, 300, 500]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn engine_fail_shorthand() {
+        let p = FaultPlan::engine_fail(7, 1234);
+        assert_eq!(
+            p.events(),
+            &[FaultEvent {
+                cycle: 1234,
+                kind: FaultKind::EngineFail { engine: 7 },
+            }]
+        );
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let mesh = MeshConfig::grid(8, 8);
+        let rates = FaultRates::uniform(0.1);
+        let a = FaultPlan::seeded(0xFA17, &mesh, 1_000_000, &rates);
+        let b = FaultPlan::seeded(0xFA17, &mesh, 1_000_000, &rates);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(0xFA18, &mesh, 1_000_000, &rates);
+        assert_ne!(a, c, "different seeds should (generically) differ");
+    }
+
+    #[test]
+    fn seeded_extremes() {
+        let mesh = MeshConfig::grid(4, 4);
+        let none = FaultPlan::seeded(1, &mesh, 1000, &FaultRates::none());
+        assert!(none.is_empty());
+        let all = FaultPlan::seeded(1, &mesh, 1000, &FaultRates::uniform(1.0));
+        // 16 engines + 24 links + 1 derate.
+        assert_eq!(all.len(), 16 + 24 + 1);
+        assert!(all.events().windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        assert!(all.events().iter().all(|e| e.cycle < 1000));
+    }
+}

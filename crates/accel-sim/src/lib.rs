@@ -41,11 +41,13 @@
 //! ```
 
 mod buffer;
+mod fault;
 mod program;
 mod sim;
 mod stats;
 
 pub use buffer::{BufferState, Datum, EvictionKind};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use program::{DataId, Operand, Program, ProgramError, Task, TaskId};
-pub use sim::{SimConfig, Simulator};
-pub use stats::{EnergyBreakdown, SimStats};
+pub use sim::{FailureReport, FaultedOutcome, SimConfig, SimError, Simulator};
+pub use stats::{DegradationStats, EnergyBreakdown, SimStats};

@@ -1,10 +1,8 @@
 use std::collections::HashSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a task within a [`Program`] (dense, insertion-ordered).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub u32);
 
 impl TaskId {
@@ -23,11 +21,11 @@ impl fmt::Display for TaskId {
 /// Identifier of an *external* datum: data that originates in DRAM rather
 /// than being produced by a task — weight slices and network-input regions.
 /// The encoding is up to the program builder (e.g. `layer_id << 20 | slice`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DataId(pub u64);
 
 /// One input of a task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// The output of another task (`bytes` of it).
     Task {
@@ -67,7 +65,7 @@ impl Operand {
 
 /// One schedulable unit of work: an atom, a layer partition, or a pipeline
 /// chunk, depending on the strategy that produced the program.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Task {
     /// Compute cycles on the engine (from `engine-model`).
     pub compute_cycles: u64,
@@ -91,7 +89,12 @@ pub struct Task {
 impl Task {
     /// A compute task with sensible defaults (`tag = 0`, buffered output,
     /// zero explicit energy).
-    pub fn compute(compute_cycles: u64, macs: u64, output_bytes: u64, inputs: Vec<Operand>) -> Self {
+    pub fn compute(
+        compute_cycles: u64,
+        macs: u64,
+        output_bytes: u64,
+        inputs: Vec<Operand>,
+    ) -> Self {
         Self {
             compute_cycles,
             macs,
@@ -173,7 +176,10 @@ impl fmt::Display for ProgramError {
             ProgramError::DoubleScheduled(t) => write!(f, "task {t} scheduled more than once"),
             ProgramError::Unscheduled(t) => write!(f, "task {t} never scheduled"),
             ProgramError::DependencyViolation { consumer, producer } => {
-                write!(f, "task {consumer} runs no later than its producer {producer}")
+                write!(
+                    f,
+                    "task {consumer} runs no later than its producer {producer}"
+                )
             }
             ProgramError::EngineConflict { round, engine } => {
                 write!(f, "round {round} assigns engine {engine} twice")
@@ -189,7 +195,7 @@ impl std::error::Error for ProgramError {}
 
 /// A fully scheduled workload: tasks plus their round-by-round engine
 /// assignment, ready for simulation.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Program {
     tasks: Vec<Task>,
     rounds: Vec<Vec<(TaskId, usize)>>,
@@ -251,17 +257,26 @@ impl Program {
             let mut used: HashSet<usize> = HashSet::new();
             for (tid, engine) in round {
                 if tid.index() >= self.tasks.len() {
-                    return Err(ProgramError::UnknownTask { round: r, task: *tid });
+                    return Err(ProgramError::UnknownTask {
+                        round: r,
+                        task: *tid,
+                    });
                 }
                 if *engine >= engines {
-                    return Err(ProgramError::EngineOutOfRange { round: r, engine: *engine });
+                    return Err(ProgramError::EngineOutOfRange {
+                        round: r,
+                        engine: *engine,
+                    });
                 }
                 if scheduled_round[tid.index()] != usize::MAX {
                     return Err(ProgramError::DoubleScheduled(*tid));
                 }
                 scheduled_round[tid.index()] = r;
                 if !used.insert(*engine) {
-                    return Err(ProgramError::EngineConflict { round: r, engine: *engine });
+                    return Err(ProgramError::EngineConflict {
+                        round: r,
+                        engine: *engine,
+                    });
                 }
             }
         }
@@ -333,7 +348,10 @@ mod tests {
         let a = p.push_task(Task::compute(1, 0, 0, vec![]));
         let b = p.push_task(Task::compute(1, 0, 0, vec![]));
         p.push_round(vec![(a, 2), (b, 2)]);
-        assert!(matches!(p.validate(4), Err(ProgramError::EngineConflict { .. })));
+        assert!(matches!(
+            p.validate(4),
+            Err(ProgramError::EngineConflict { .. })
+        ));
     }
 
     #[test]
@@ -353,7 +371,10 @@ mod tests {
         let a = p.push_task(Task::compute(1, 0, 0, vec![]));
         p.push_round(vec![(a, 0)]);
         p.push_round(vec![(a, 1)]);
-        assert!(matches!(p.validate(4), Err(ProgramError::DoubleScheduled(_))));
+        assert!(matches!(
+            p.validate(4),
+            Err(ProgramError::DoubleScheduled(_))
+        ));
     }
 
     #[test]
@@ -362,7 +383,10 @@ mod tests {
             1,
             0,
             0,
-            vec![Operand::external(DataId(1), 100), Operand::task(TaskId(0), 28)],
+            vec![
+                Operand::external(DataId(1), 100),
+                Operand::task(TaskId(0), 28),
+            ],
         );
         assert_eq!(t.input_bytes(), 128);
     }

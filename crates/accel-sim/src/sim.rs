@@ -1,18 +1,17 @@
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use engine_model::EngineConfig;
 use mem_model::{HbmConfig, HbmModel};
-use noc_model::{MeshConfig, TrafficTracker};
+use noc_model::{LinkFaults, MeshConfig, TrafficTracker};
 
 use crate::buffer::{BufferState, Datum, EvictionKind};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::program::{Operand, Program, ProgramError, TaskId};
-use crate::stats::{EnergyBreakdown, SimStats};
+use crate::stats::{DegradationStats, EnergyBreakdown, SimStats};
 
 /// Full system configuration: engine micro-architecture, mesh, HBM and the
 /// buffering policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Per-engine micro-architecture.
     pub engine: EngineConfig,
@@ -58,6 +57,113 @@ impl Default for SimConfig {
     }
 }
 
+/// Errors surfaced by [`Simulator::run`] and [`Simulator::run_faulted`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The program failed schedule validation before execution started.
+    Program(ProgramError),
+    /// A fault plan targets hardware that does not exist: an engine index
+    /// out of range, or a link between non-adjacent engines.
+    InvalidFaultTarget {
+        /// The offending event.
+        event: FaultEvent,
+        /// Number of engines on the configured mesh.
+        engines: usize,
+    },
+    /// An engine failed and the program could not continue on the survivors
+    /// (raised by callers that run without a recovery path; the simulator
+    /// itself reports failures as [`FaultedOutcome::Failed`]).
+    EngineFailed {
+        /// The failed engine.
+        engine: usize,
+        /// Cycle at which the failure took effect.
+        cycle: u64,
+        /// Round index that could not execute.
+        round: usize,
+    },
+    /// Link faults disconnected a transfer's endpoints and the data has no
+    /// DRAM copy to fall back to.
+    Unroutable {
+        /// Engine holding the only copies.
+        from: usize,
+        /// Engine that needed the data.
+        to: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Program(e) => write!(f, "invalid program: {e}"),
+            SimError::InvalidFaultTarget { event, engines } => write!(
+                f,
+                "fault plan targets nonexistent hardware ({event:?} on a {engines}-engine mesh)"
+            ),
+            SimError::EngineFailed {
+                engine,
+                cycle,
+                round,
+            } => write!(
+                f,
+                "engine {engine} failed at cycle {cycle} (round {round}) with no recovery path"
+            ),
+            SimError::Unroutable { from, to } => write!(
+                f,
+                "link faults disconnected engines {from} -> {to} and no DRAM copy exists"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Program(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProgramError> for SimError {
+    fn from(e: ProgramError) -> Self {
+        SimError::Program(e)
+    }
+}
+
+/// Why a faulted run stopped early. Produced by [`Simulator::run_faulted`]
+/// when the injected faults make the program unfinishable as scheduled;
+/// carries everything a recovery layer needs to re-plan the remainder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureReport {
+    /// The engine whose failure stopped the run.
+    pub engine: usize,
+    /// Cycle at which the run stopped (the failing round's start barrier).
+    pub cycle: u64,
+    /// Index of the round that could not execute.
+    pub round: usize,
+    /// Tasks that finished in earlier rounds. Their outputs survive —
+    /// except those listed in `lost` — and can seed a re-planned remainder.
+    pub completed: Vec<TaskId>,
+    /// Completed tasks whose only output copy died with the failed engine;
+    /// they must re-execute even though they already ran.
+    pub lost: Vec<TaskId>,
+    /// Statistics for the partial execution up to the failure, so recovery
+    /// can account the wasted work without re-simulating it.
+    pub partial: SimStats,
+}
+
+/// Result of a fault-injected run: either the program finished (possibly
+/// degraded — rerouted transfers, derated HBM, engines lost *after* their
+/// last task), or it hit a failure it could not absorb.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultedOutcome {
+    /// The program ran to completion; degradation counters are in
+    /// [`SimStats::degradation`].
+    Completed(SimStats),
+    /// An engine failure stopped the run; see the report for recovery state.
+    Failed(FailureReport),
+}
+
 /// Where a datum currently lives.
 #[derive(Debug, Clone, Default)]
 struct Location {
@@ -89,14 +195,61 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns the first [`ProgramError`] if the program's schedule is
-    /// malformed (see [`Program::validate`]).
-    pub fn run(&self, program: &Program) -> Result<SimStats, ProgramError> {
+    /// Returns [`SimError::Program`] wrapping the first [`ProgramError`] if
+    /// the program's schedule is malformed (see [`Program::validate`]).
+    pub fn run(&self, program: &Program) -> Result<SimStats, SimError> {
+        match self.run_faulted(program, &FaultPlan::none())? {
+            FaultedOutcome::Completed(stats) => Ok(stats),
+            // An empty plan kills no engine, so no round can fail.
+            FaultedOutcome::Failed(r) => {
+                unreachable!("healthy run reported an engine failure: {r:?}")
+            }
+        }
+    }
+
+    /// Runs `program` under the injected faults of `plan`.
+    ///
+    /// Fault events take effect at the first round barrier at or after
+    /// their cycle (rounds are the model's only synchronization points).
+    /// The run keeps going through link failures (transfers reroute), HBM
+    /// derates (reads/writes serialize slower) and even engine failures —
+    /// as long as the dead engine has no remaining tasks and held no datum's
+    /// only live copy. Otherwise the run stops and reports a
+    /// [`FailureReport`] for an external recovery layer to re-plan from.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Program`] for malformed programs,
+    /// [`SimError::InvalidFaultTarget`] for plans naming nonexistent
+    /// hardware, and [`SimError::Unroutable`] when link faults disconnect a
+    /// transfer with no DRAM fallback.
+    pub fn run_faulted(
+        &self,
+        program: &Program,
+        plan: &FaultPlan,
+    ) -> Result<FaultedOutcome, SimError> {
         let engines = self.cfg.engines();
         program.validate(engines)?;
-        let mut rt = Runtime::new(&self.cfg, program);
-        rt.execute();
-        Ok(rt.into_stats())
+        for event in plan.events() {
+            let ok = match event.kind {
+                FaultKind::EngineFail { engine } => engine < engines,
+                FaultKind::LinkFail { a, b } => {
+                    a < engines && b < engines && self.cfg.mesh.hops(a, b) == 1
+                }
+                FaultKind::HbmDerate { factor } => factor.is_finite() && factor > 0.0,
+            };
+            if !ok {
+                return Err(SimError::InvalidFaultTarget {
+                    event: *event,
+                    engines,
+                });
+            }
+        }
+        let mut rt = Runtime::new(&self.cfg, program, plan);
+        match rt.execute()? {
+            Some(report) => Ok(FaultedOutcome::Failed(report)),
+            None => Ok(FaultedOutcome::Completed(rt.into_stats())),
+        }
     }
 }
 
@@ -124,10 +277,25 @@ struct Runtime<'p> {
     /// NoC / DRAM gather cycles of the task currently being issued.
     task_noc_cycles: u64,
     task_dram_cycles: u64,
+    /// Injected fault events still waiting to take effect (sorted by cycle;
+    /// `next_fault` is the cursor).
+    faults: Vec<FaultEvent>,
+    next_fault: usize,
+    /// Which engines are still operational.
+    alive: Vec<bool>,
+    /// Dead mesh links (transfers route around them).
+    link_faults: LinkFaults,
+    /// Tasks that finished in completed rounds, in execution order.
+    completed: Vec<TaskId>,
+    /// Rounds fully executed (≤ the program's round count on failure).
+    rounds_done: usize,
+    /// MACs actually executed (≤ the program total on failure).
+    macs_done: u64,
+    degradation: DegradationStats,
 }
 
 impl<'p> Runtime<'p> {
-    fn new(cfg: &'p SimConfig, program: &'p Program) -> Self {
+    fn new(cfg: &'p SimConfig, program: &'p Program, plan: &FaultPlan) -> Self {
         let engines = cfg.engines();
         let mut remaining_uses: HashMap<Datum, u32> = HashMap::new();
         let mut use_rounds: HashMap<Datum, Vec<u64>> = HashMap::new();
@@ -148,7 +316,10 @@ impl<'p> Runtime<'p> {
                         Operand::External { id, .. } => Datum::Ext(*id),
                     };
                     *remaining_uses.entry(datum).or_insert(0) += 1;
-                    use_rounds.entry(datum).or_default().push(task_round[tid.index()]);
+                    use_rounds
+                        .entry(datum)
+                        .or_default()
+                        .push(task_round[tid.index()]);
                 }
             }
         }
@@ -160,7 +331,13 @@ impl<'p> Runtime<'p> {
         let mut locations: HashMap<Datum, Location> = HashMap::new();
         for d in remaining_uses.keys() {
             if matches!(d, Datum::Ext(_)) {
-                locations.insert(*d, Location { engines: Vec::new(), in_dram: true });
+                locations.insert(
+                    *d,
+                    Location {
+                        engines: Vec::new(),
+                        in_dram: true,
+                    },
+                );
             }
         }
 
@@ -186,18 +363,120 @@ impl<'p> Runtime<'p> {
             compute_energy_pj: 0.0,
             task_noc_cycles: 0,
             task_dram_cycles: 0,
+            faults: plan.events().to_vec(),
+            next_fault: 0,
+            alive: vec![true; engines],
+            link_faults: LinkFaults::new(),
+            completed: Vec::new(),
+            rounds_done: 0,
+            macs_done: 0,
+            degradation: DegradationStats::default(),
         }
     }
 
-    fn execute(&mut self) {
+    /// Applies every pending fault event due at or before the current
+    /// cycle. Returns the completed tasks whose only live output copy died
+    /// with a failed engine (they would have to re-execute).
+    fn apply_due_faults(&mut self) -> Vec<TaskId> {
+        let mut lost = Vec::new();
+        while let Some(event) = self.faults.get(self.next_fault) {
+            if event.cycle > self.now {
+                break;
+            }
+            match event.kind {
+                FaultKind::EngineFail { engine } => {
+                    if self.alive[engine] {
+                        self.alive[engine] = false;
+                        self.degradation.engine_failures += 1;
+                        lost.extend(self.kill_engine_copies(engine));
+                    }
+                }
+                FaultKind::LinkFail { a, b } => {
+                    if !self.link_faults.is_dead(a, b) {
+                        self.link_faults.kill(a, b);
+                        self.degradation.dead_links += 1;
+                    }
+                }
+                FaultKind::HbmDerate { factor } => {
+                    self.hbm.set_bandwidth_derate(factor);
+                    self.degradation.hbm_derate =
+                        self.degradation.hbm_derate.min(self.hbm.bandwidth_derate());
+                }
+            }
+            self.next_fault += 1;
+        }
+        lost.sort_unstable();
+        lost.dedup();
+        lost
+    }
+
+    /// Invalidates every buffer entry on a failed engine. Data with another
+    /// live copy (peer engine or DRAM) survives; still-needed task outputs
+    /// whose only copy lived here are returned as lost.
+    fn kill_engine_copies(&mut self, engine: usize) -> Vec<TaskId> {
+        let mut lost = Vec::new();
+        let resident: Vec<Datum> = self.buffers[engine].data().map(|(d, _)| *d).collect();
+        for datum in resident {
+            self.buffers[engine].remove(&datum);
+            if let Some(loc) = self.locations.get_mut(&datum) {
+                loc.engines.retain(|e| *e != engine);
+                let gone = loc.engines.is_empty() && !loc.in_dram;
+                let needed = self.remaining_uses.get(&datum).copied().unwrap_or(0) > 0;
+                if gone && needed {
+                    if let Datum::Task(tid) = datum {
+                        lost.push(tid);
+                    }
+                    self.locations.remove(&datum);
+                }
+            }
+        }
+        lost
+    }
+
+    fn failure_report(&self, engine: usize, round: usize, lost: Vec<TaskId>) -> FailureReport {
+        FailureReport {
+            engine,
+            cycle: self.now,
+            round,
+            completed: self.completed.clone(),
+            lost,
+            partial: self.stats(),
+        }
+    }
+
+    fn execute(&mut self) -> Result<Option<FailureReport>, SimError> {
         for r in 0..self.program.rounds().len() {
             self.round_idx = r as u64;
             let round_start = self.now;
             let mut round_end = round_start;
 
             let assignments = self.program.rounds()[r].clone();
+
+            // Faults land on round barriers. An engine failure stops the
+            // run when it destroyed a needed datum's last copy, or when the
+            // dead engine still has work scheduled in this round (later
+            // rounds fail when reached, keeping the completed set maximal).
+            let lost = self.apply_due_faults();
+            let dead_assignee = assignments
+                .iter()
+                .find(|(_, e)| !self.alive[*e])
+                .map(|(_, e)| *e);
+            let culprit = dead_assignee.or_else(|| {
+                if lost.is_empty() {
+                    None
+                } else {
+                    (0..self.alive.len()).rev().find(|&e| !self.alive[e])
+                }
+            });
+            if let Some(engine) = culprit {
+                // This round's tasks never started; count them and the
+                // destroyed outputs as lost work.
+                self.degradation.lost_tasks += assignments.len() as u64 + lost.len() as u64;
+                return Ok(Some(self.failure_report(engine, r, lost)));
+            }
+
             for (tid, engine) in &assignments {
-                let end = self.run_task(*tid, *engine, round_start);
+                let end = self.run_task(*tid, *engine, round_start)?;
                 round_end = round_end.max(end);
             }
 
@@ -219,8 +498,12 @@ impl<'p> Runtime<'p> {
                 }
             }
 
+            self.completed
+                .extend(assignments.iter().map(|(tid, _)| *tid));
+            self.rounds_done += 1;
             self.now = round_end;
         }
+        Ok(None)
     }
 
     /// Round of `datum`'s next consumption strictly after the current
@@ -247,13 +530,14 @@ impl<'p> Runtime<'p> {
     }
 
     /// Gathers operands and computes one task; returns its completion time.
-    fn run_task(&mut self, tid: TaskId, engine: usize, round_start: u64) -> u64 {
+    fn run_task(&mut self, tid: TaskId, engine: usize, round_start: u64) -> Result<u64, SimError> {
         let task = self.program.task(tid);
         let inputs = task.inputs.clone();
         let compute_cycles = task.compute_cycles;
         let output_bytes = task.output_bytes;
         let dram_output = task.dram_output;
         self.compute_energy_pj += task.compute_energy_pj;
+        self.macs_done += task.macs;
 
         // Pinned: this task's operands and its output must stay resident
         // while the task runs.
@@ -282,8 +566,15 @@ impl<'p> Runtime<'p> {
             if bytes == 0 {
                 continue;
             }
-            let (new_noc_t, new_dram_ready) =
-                self.gather(datum, bytes, engine, round_start, noc_t, dram_ready, &pinned);
+            let (new_noc_t, new_dram_ready) = self.gather(
+                datum,
+                bytes,
+                engine,
+                round_start,
+                noc_t,
+                dram_ready,
+                &pinned,
+            )?;
             noc_t = new_noc_t;
             dram_ready = new_dram_ready;
         }
@@ -314,19 +605,36 @@ impl<'p> Runtime<'p> {
             if dram_output || !has_consumers {
                 // Straight to DRAM: CNN-P semantics, or a network output.
                 self.hbm.write(compute_end, output_bytes);
-                self.locations.insert(datum, Location { engines: Vec::new(), in_dram: true });
+                self.locations.insert(
+                    datum,
+                    Location {
+                        engines: Vec::new(),
+                        in_dram: true,
+                    },
+                );
             } else if self.make_room(engine, output_bytes, compute_end, &pinned) {
                 let nu = self.next_use(&datum);
                 self.buffers[engine].insert(datum, output_bytes, self.round_idx, nu);
-                self.locations
-                    .insert(datum, Location { engines: vec![engine], in_dram: false });
+                self.locations.insert(
+                    datum,
+                    Location {
+                        engines: vec![engine],
+                        in_dram: false,
+                    },
+                );
             } else {
                 // Does not fit even after eviction: spill to DRAM.
                 self.hbm.write(compute_end, output_bytes);
-                self.locations.insert(datum, Location { engines: Vec::new(), in_dram: true });
+                self.locations.insert(
+                    datum,
+                    Location {
+                        engines: Vec::new(),
+                        in_dram: true,
+                    },
+                );
             }
         }
-        compute_end
+        Ok(compute_end)
     }
 
     /// Fetches `datum` to `engine`. `noc_t` is the engine port's streaming
@@ -342,25 +650,47 @@ impl<'p> Runtime<'p> {
         noc_t: u64,
         dram_ready: u64,
         pinned: &[Datum],
-    ) -> (u64, u64) {
+    ) -> Result<(u64, u64), SimError> {
         // Local hit: free.
         if self.buffers[engine].contains(&datum) {
             let nu = self.next_use(&datum);
             self.buffers[engine].touch(&datum, self.round_idx, nu);
             self.onchip_served += bytes;
-            return (noc_t, dram_ready);
+            return Ok((noc_t, dram_ready));
         }
 
-        // Nearest on-chip copy (unknown data is assumed DRAM-resident).
-        let src = self.locations.get(&datum).and_then(|loc| {
+        // Nearest *reachable* on-chip copy by surviving-path hop count
+        // (unknown data is assumed DRAM-resident). Copies behind dead links
+        // are skipped; if every copy is unreachable and there is no DRAM
+        // fallback, the transfer is impossible.
+        let loc = self.locations.get(&datum);
+        let src = loc.and_then(|loc| {
             loc.engines
                 .iter()
                 .copied()
-                .min_by_key(|s| self.cfg.mesh.hops(*s, engine))
+                .filter_map(|s| {
+                    self.cfg
+                        .mesh
+                        .hops_avoiding(s, engine, &self.link_faults)
+                        .map(|h| (h, s))
+                })
+                .min()
         });
+        if src.is_none() {
+            if let Some(loc) = loc {
+                if !loc.engines.is_empty() && !loc.in_dram {
+                    return Err(SimError::Unroutable {
+                        from: loc.engines[0],
+                        to: engine,
+                    });
+                }
+            }
+        }
 
-        let (noc_t, dram_ready, ready) = if let Some(src) = src {
-            let hops = self.cfg.mesh.hops(src, engine);
+        let (noc_t, dram_ready, ready) = if let Some((hops, src)) = src {
+            if hops > self.cfg.mesh.hops(src, engine) {
+                self.degradation.rerouted_transfers += 1;
+            }
             let cycles = self.cfg.mesh.transfer_cycles(bytes, hops);
             self.traffic.record(src, engine, bytes);
             let nu = self.next_use(&datum);
@@ -387,7 +717,7 @@ impl<'p> Runtime<'p> {
                 loc.engines.push(engine);
             }
         }
-        (noc_t, dram_ready)
+        Ok((noc_t, dram_ready))
     }
 
     /// Evicts until `bytes` fit in `engine`'s buffer. Returns `false` when
@@ -435,9 +765,15 @@ impl<'p> Runtime<'p> {
     }
 
     fn into_stats(self) -> SimStats {
+        self.stats()
+    }
+
+    /// Snapshot of the statistics so far (also used for the partial stats
+    /// of a failure report).
+    fn stats(&self) -> SimStats {
         let engines = self.cfg.engines();
         let pes = self.cfg.engine.pe_count();
-        let total_macs = self.program.total_macs();
+        let total_macs = self.macs_done;
         let total_cycles = self.now.max(1);
         let busy_total: u64 = self.engine_busy.iter().sum();
         let blocked_total: u64 = self.engine_blocked.iter().sum();
@@ -462,16 +798,20 @@ impl<'p> Runtime<'p> {
             noc_pj: self.traffic.energy_pj(),
             dram_pj: self.hbm.energy_pj(),
             static_pj: engines as f64
-                * self.cfg.engine.energy.static_pj(total_cycles, self.cfg.engine.freq_mhz),
+                * self
+                    .cfg
+                    .engine
+                    .energy
+                    .static_pj(total_cycles, self.cfg.engine.freq_mhz),
         };
 
         let _ = blocked_total;
         SimStats {
             total_cycles,
-            rounds: self.program.rounds().len(),
-            tasks: self.program.tasks().len(),
-            engine_busy_cycles: self.engine_busy,
-            engine_blocked_cycles: self.engine_blocked,
+            rounds: self.rounds_done,
+            tasks: self.completed.len(),
+            engine_busy_cycles: self.engine_busy.clone(),
+            engine_blocked_cycles: self.engine_blocked.clone(),
             total_macs,
             pe_utilization,
             compute_utilization,
@@ -486,6 +826,7 @@ impl<'p> Runtime<'p> {
             noc_bytes: self.traffic.total_bytes(),
             noc_byte_hops: self.traffic.total_byte_hops(),
             energy,
+            degradation: self.degradation,
         }
     }
 }
@@ -632,6 +973,74 @@ mod tests {
     }
 
     #[test]
+    fn tensor_larger_than_buffer_streams_through_dram() {
+        // A 64 KB tensor can never sit in a 4 KB buffer: the producer must
+        // spill it to DRAM and the consumer must stream it back, with the
+        // buffer never overflowing (debug asserts would fire) and the run
+        // completing normally.
+        let mut cfg = SimConfig::paper_default();
+        cfg.engine = cfg.engine.with_buffer_bytes(4 * 1024);
+        let big = 64 * 1024;
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(10, 0, big, vec![]));
+        let b = p.push_task(Task::compute(10, 0, 0, vec![Operand::task(a, big)]));
+        let c = p.push_task(Task::compute(10, 0, 0, vec![Operand::task(a, big)]));
+        p.push_round(vec![(a, 0)]);
+        p.push_round(vec![(b, 0)]);
+        p.push_round(vec![(c, 1)]);
+        let s = Simulator::new(cfg).run(&p).unwrap();
+        assert_eq!(s.dram_write_bytes, big, "oversized output must spill");
+        // Both consumers re-read from DRAM — nothing could be cached.
+        assert_eq!(s.dram_read_bytes, 2 * big);
+        assert_eq!(s.onchip_served_bytes, 0);
+    }
+
+    #[test]
+    fn evicting_the_only_onchip_copy_writes_back() {
+        // `a`'s output lives only in engine 0's buffer and is still needed
+        // in the final round. Filling the buffer with `b`'s output must
+        // write `a` back to DRAM (not drop it), and the late consumer then
+        // reads it from DRAM.
+        let mut cfg = SimConfig::paper_default();
+        cfg.engine = cfg.engine.with_buffer_bytes(100 * 1024);
+        let k60 = 60 * 1024;
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(10, 0, k60, vec![]));
+        let b = p.push_task(Task::compute(10, 0, k60, vec![]));
+        let cb = p.push_task(Task::compute(10, 0, 0, vec![Operand::task(b, k60)]));
+        let ca = p.push_task(Task::compute(10, 0, 0, vec![Operand::task(a, k60)]));
+        p.push_round(vec![(a, 0)]);
+        p.push_round(vec![(b, 0)]); // evicts a (b is pinned, a waits longest)
+        p.push_round(vec![(cb, 0)]);
+        p.push_round(vec![(ca, 0)]);
+        let s = Simulator::new(cfg).run(&p).unwrap();
+        assert_eq!(
+            s.dram_write_bytes, k60,
+            "the displaced only-copy must be written back"
+        );
+        assert_eq!(s.dram_read_bytes, k60, "its consumer re-reads it from DRAM");
+    }
+
+    #[test]
+    fn zero_capacity_buffers_force_full_dram_traffic() {
+        // A pathological configuration — no on-chip buffering at all — must
+        // degrade to pure DRAM streaming, never panic or overflow.
+        let mut cfg = SimConfig::paper_default();
+        cfg.engine = cfg.engine.with_buffer_bytes(0);
+        let w = Operand::external(DataId(9), 1024);
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(10, 0, 512, vec![w]));
+        let b = p.push_task(Task::compute(10, 0, 0, vec![Operand::task(a, 512), w]));
+        p.push_round(vec![(a, 0)]);
+        p.push_round(vec![(b, 0)]);
+        let s = Simulator::new(cfg).run(&p).unwrap();
+        // The weight is fetched twice (no cache), a's output round-trips.
+        assert_eq!(s.dram_read_bytes, 2 * 1024 + 512);
+        assert_eq!(s.dram_write_bytes, 512);
+        assert_eq!(s.onchip_served_bytes, 0);
+    }
+
+    #[test]
     fn dead_data_released_without_writeback() {
         let mut p = Program::new();
         let a = p.push_task(Task::compute(10, 0, 1024, vec![]));
@@ -669,6 +1078,198 @@ mod tests {
         p.push_round(vec![(a, 0)]);
         p.push_round(vec![(a, 0)]);
         assert!(sim().run(&p).is_err());
+    }
+
+    #[test]
+    fn faulted_run_with_empty_plan_matches_run() {
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(100, 0, 4096, vec![]));
+        let b = p.push_task(Task::compute(100, 0, 64, vec![Operand::task(a, 4096)]));
+        p.push_round(vec![(a, 0)]);
+        p.push_round(vec![(b, 1)]);
+        let healthy = sim().run(&p).unwrap();
+        match sim().run_faulted(&p, &FaultPlan::none()).unwrap() {
+            FaultedOutcome::Completed(s) => {
+                assert_eq!(s, healthy);
+                assert!(s.degradation.is_healthy());
+            }
+            FaultedOutcome::Failed(r) => panic!("healthy plan failed: {r:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_failure_with_pending_work_reports_failure() {
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(10, 0, 0, vec![]));
+        let b = p.push_task(Task::compute(10, 0, 0, vec![]));
+        p.push_round(vec![(a, 0)]);
+        p.push_round(vec![(b, 0)]);
+        let plan = FaultPlan::engine_fail(0, 5);
+        match sim().run_faulted(&p, &plan).unwrap() {
+            FaultedOutcome::Failed(r) => {
+                assert_eq!(r.engine, 0);
+                assert_eq!(r.round, 1, "round 0 completed before the fault landed");
+                assert_eq!(r.cycle, 10);
+                assert_eq!(r.completed, vec![a]);
+                assert!(r.lost.is_empty(), "a had no output to lose");
+                assert_eq!(r.partial.degradation.engine_failures, 1);
+                assert_eq!(r.partial.degradation.lost_tasks, 1); // b never ran
+                assert_eq!(r.partial.rounds, 1);
+                assert_eq!(r.partial.tasks, 1);
+            }
+            FaultedOutcome::Completed(_) => panic!("dead engine 0 still had work"),
+        }
+    }
+
+    #[test]
+    fn engine_failure_after_last_task_completes_gracefully() {
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(10, 0, 0, vec![]));
+        let b = p.push_task(Task::compute(10, 0, 0, vec![]));
+        p.push_round(vec![(a, 0)]);
+        p.push_round(vec![(b, 1)]); // engine 0 is never needed again
+        let plan = FaultPlan::engine_fail(0, 5);
+        match sim().run_faulted(&p, &plan).unwrap() {
+            FaultedOutcome::Completed(s) => {
+                assert_eq!(s.degradation.engine_failures, 1);
+                assert_eq!(s.degradation.lost_tasks, 0);
+                assert_eq!(s.tasks, 2);
+            }
+            FaultedOutcome::Failed(r) => panic!("should absorb the failure: {r:?}"),
+        }
+    }
+
+    #[test]
+    fn losing_the_only_output_copy_fails_the_run() {
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(10, 0, 1024, vec![]));
+        let filler = p.push_task(Task::compute(10, 0, 0, vec![]));
+        let b = p.push_task(Task::compute(10, 0, 0, vec![Operand::task(a, 1024)]));
+        p.push_round(vec![(a, 0)]);
+        p.push_round(vec![(filler, 1)]);
+        p.push_round(vec![(b, 1)]);
+        // a's output lives only in engine 0's buffer when engine 0 dies.
+        let plan = FaultPlan::engine_fail(0, 5);
+        match sim().run_faulted(&p, &plan).unwrap() {
+            FaultedOutcome::Failed(r) => {
+                assert_eq!(r.round, 1);
+                assert_eq!(r.lost, vec![a]);
+                assert_eq!(r.completed, vec![a]);
+            }
+            FaultedOutcome::Completed(_) => panic!("a's output was destroyed"),
+        }
+    }
+
+    #[test]
+    fn link_failure_reroutes_and_counts() {
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(100, 0, 4096, vec![]));
+        let b = p.push_task(Task::compute(1, 0, 64, vec![Operand::task(a, 4096)]));
+        p.push_round(vec![(a, 0)]);
+        p.push_round(vec![(b, 1)]);
+        let healthy = sim().run(&p).unwrap();
+        let plan = FaultPlan::none().with_event(FaultEvent {
+            cycle: 0,
+            kind: FaultKind::LinkFail { a: 0, b: 1 },
+        });
+        match sim().run_faulted(&p, &plan).unwrap() {
+            FaultedOutcome::Completed(s) => {
+                assert_eq!(s.degradation.dead_links, 1);
+                assert_eq!(s.degradation.rerouted_transfers, 1);
+                assert!(
+                    s.total_cycles > healthy.total_cycles,
+                    "detour ({}) should cost cycles over the direct path ({})",
+                    s.total_cycles,
+                    healthy.total_cycles
+                );
+            }
+            FaultedOutcome::Failed(r) => panic!("link fault is survivable: {r:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_transfer_without_dram_copy_is_unroutable() {
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(10, 0, 1024, vec![]));
+        let b = p.push_task(Task::compute(10, 0, 0, vec![Operand::task(a, 1024)]));
+        p.push_round(vec![(a, 0)]);
+        p.push_round(vec![(b, 1)]);
+        // Engine 0's only mesh links on the 8x8 grid are to 1 (east) and 8
+        // (south); killing both isolates it with a's output inside.
+        let plan = FaultPlan::none()
+            .with_event(FaultEvent {
+                cycle: 5,
+                kind: FaultKind::LinkFail { a: 0, b: 1 },
+            })
+            .with_event(FaultEvent {
+                cycle: 5,
+                kind: FaultKind::LinkFail { a: 0, b: 8 },
+            });
+        let err = sim().run_faulted(&p, &plan).unwrap_err();
+        assert_eq!(err, SimError::Unroutable { from: 0, to: 1 });
+    }
+
+    #[test]
+    fn hbm_derate_slows_external_reads() {
+        let mut p = Program::new();
+        let t = p.push_task(Task::compute(
+            0,
+            0,
+            0,
+            vec![Operand::external(DataId(1), 64 * 1024)],
+        ));
+        p.push_round(vec![(t, 0)]);
+        let healthy = sim().run(&p).unwrap();
+        let plan = FaultPlan::none().with_event(FaultEvent {
+            cycle: 0,
+            kind: FaultKind::HbmDerate { factor: 0.1 },
+        });
+        match sim().run_faulted(&p, &plan).unwrap() {
+            FaultedOutcome::Completed(s) => {
+                assert_eq!(s.degradation.hbm_derate, 0.1);
+                assert!(s.total_cycles > 2 * healthy.total_cycles);
+            }
+            FaultedOutcome::Failed(r) => panic!("derate is survivable: {r:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_fault_targets_are_rejected() {
+        let p = Program::new();
+        let bad_engine = FaultPlan::engine_fail(999, 0);
+        assert!(matches!(
+            sim().run_faulted(&p, &bad_engine),
+            Err(SimError::InvalidFaultTarget { .. })
+        ));
+        let bad_link = FaultPlan::none().with_event(FaultEvent {
+            cycle: 0,
+            kind: FaultKind::LinkFail { a: 0, b: 5 },
+        });
+        assert!(matches!(
+            sim().run_faulted(&p, &bad_link),
+            Err(SimError::InvalidFaultTarget { .. })
+        ));
+        let bad_derate = FaultPlan::none().with_event(FaultEvent {
+            cycle: 0,
+            kind: FaultKind::HbmDerate { factor: 0.0 },
+        });
+        assert!(matches!(
+            sim().run_faulted(&p, &bad_derate),
+            Err(SimError::InvalidFaultTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(10, 0, 1024, vec![]));
+        let b = p.push_task(Task::compute(10, 0, 0, vec![Operand::task(a, 1024)]));
+        p.push_round(vec![(a, 0)]);
+        p.push_round(vec![(b, 0)]);
+        let plan = FaultPlan::engine_fail(0, 5);
+        let x = sim().run_faulted(&p, &plan).unwrap();
+        let y = sim().run_faulted(&p, &plan).unwrap();
+        assert_eq!(x, y);
     }
 
     #[test]

@@ -1,9 +1,8 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Energy breakdown of one simulated run, in picojoules (Fig. 11's stacked
 /// components).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// MAC + on-engine SRAM energy.
     pub compute_pj: f64,
@@ -27,8 +26,71 @@ impl EnergyBreakdown {
     }
 }
 
+/// Counters describing how much a run was degraded by injected faults and
+/// the recovery work they triggered. All-zero (with `hbm_derate == 1.0`)
+/// for a healthy run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationStats {
+    /// Engines that failed permanently.
+    pub engine_failures: u64,
+    /// Mesh links that failed permanently.
+    pub dead_links: u64,
+    /// Worst HBM bandwidth derate in effect (1.0 = healthy).
+    pub hbm_derate: f64,
+    /// Tasks whose results were lost to a failure (in-flight at the failed
+    /// round, or producers whose only output copy died with an engine).
+    pub lost_tasks: u64,
+    /// Tasks re-executed by the recovery path.
+    pub rerun_tasks: u64,
+    /// Rounds re-scheduled and re-mapped onto the surviving engines.
+    pub remap_rounds: u64,
+    /// NoC transfers that took a detour around dead links.
+    pub rerouted_transfers: u64,
+}
+
+impl Default for DegradationStats {
+    fn default() -> Self {
+        Self {
+            engine_failures: 0,
+            dead_links: 0,
+            hbm_derate: 1.0,
+            lost_tasks: 0,
+            rerun_tasks: 0,
+            remap_rounds: 0,
+            rerouted_transfers: 0,
+        }
+    }
+}
+
+impl DegradationStats {
+    /// `true` when no fault touched the run.
+    pub fn is_healthy(&self) -> bool {
+        self.engine_failures == 0
+            && self.dead_links == 0
+            && self.hbm_derate >= 1.0
+            && self.lost_tasks == 0
+            && self.rerun_tasks == 0
+            && self.remap_rounds == 0
+            && self.rerouted_transfers == 0
+    }
+
+    /// Combines two degradation records (sums counters, keeps the worst
+    /// derate).
+    pub fn merge(&self, other: &DegradationStats) -> DegradationStats {
+        DegradationStats {
+            engine_failures: self.engine_failures + other.engine_failures,
+            dead_links: self.dead_links + other.dead_links,
+            hbm_derate: self.hbm_derate.min(other.hbm_derate),
+            lost_tasks: self.lost_tasks + other.lost_tasks,
+            rerun_tasks: self.rerun_tasks + other.rerun_tasks,
+            remap_rounds: self.remap_rounds + other.remap_rounds,
+            rerouted_transfers: self.rerouted_transfers + other.rerouted_transfers,
+        }
+    }
+}
+
 /// Aggregate results of simulating a [`crate::Program`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimStats {
     /// Wall-clock cycles from first load to last completion.
     pub total_cycles: u64,
@@ -72,6 +134,8 @@ pub struct SimStats {
     pub noc_byte_hops: u64,
     /// Energy breakdown.
     pub energy: EnergyBreakdown,
+    /// Fault-induced degradation counters (all-healthy for fault-free runs).
+    pub degradation: DegradationStats,
 }
 
 impl SimStats {
@@ -83,6 +147,87 @@ impl SimStats {
     /// Throughput in inferences/second given `batch` inferences per run.
     pub fn throughput_fps(&self, freq_mhz: u64, batch: usize) -> f64 {
         batch as f64 / (self.latency_ms(freq_mhz) / 1e3)
+    }
+
+    /// Concatenates two run segments (recovery: the partial run up to a
+    /// failure plus the re-scheduled remainder). Raw counters add; ratios
+    /// are re-derived — utilization and NoC overhead as cycle-weighted
+    /// means, the reuse ratio from the merged byte counts. Per-engine
+    /// vectors add element-wise (padded to the longer machine).
+    pub fn merge(&self, other: &SimStats) -> SimStats {
+        fn add_vecs(a: &[u64], b: &[u64]) -> Vec<u64> {
+            let mut out = vec![0u64; a.len().max(b.len())];
+            for (i, v) in a.iter().enumerate() {
+                out[i] += v;
+            }
+            for (i, v) in b.iter().enumerate() {
+                out[i] += v;
+            }
+            out
+        }
+        fn weighted(x: f64, wx: u64, y: f64, wy: u64) -> f64 {
+            let w = wx + wy;
+            if w == 0 {
+                0.0
+            } else {
+                (x * wx as f64 + y * wy as f64) / w as f64
+            }
+        }
+        let total_cycles = self.total_cycles + other.total_cycles;
+        let busy_a: u64 = self.engine_busy_cycles.iter().sum();
+        let busy_b: u64 = other.engine_busy_cycles.iter().sum();
+        let onchip_served_bytes = self.onchip_served_bytes + other.onchip_served_bytes;
+        let dram_served_bytes = self.dram_served_bytes + other.dram_served_bytes;
+        let served = onchip_served_bytes + dram_served_bytes;
+        SimStats {
+            total_cycles,
+            rounds: self.rounds + other.rounds,
+            tasks: self.tasks + other.tasks,
+            engine_busy_cycles: add_vecs(&self.engine_busy_cycles, &other.engine_busy_cycles),
+            engine_blocked_cycles: add_vecs(
+                &self.engine_blocked_cycles,
+                &other.engine_blocked_cycles,
+            ),
+            total_macs: self.total_macs + other.total_macs,
+            pe_utilization: weighted(
+                self.pe_utilization,
+                self.total_cycles,
+                other.pe_utilization,
+                other.total_cycles,
+            ),
+            compute_utilization: weighted(
+                self.compute_utilization,
+                busy_a,
+                other.compute_utilization,
+                busy_b,
+            ),
+            noc_blocked_cycles: self.noc_blocked_cycles + other.noc_blocked_cycles,
+            dram_blocked_cycles: self.dram_blocked_cycles + other.dram_blocked_cycles,
+            noc_overhead: weighted(
+                self.noc_overhead,
+                self.total_cycles,
+                other.noc_overhead,
+                other.total_cycles,
+            ),
+            dram_read_bytes: self.dram_read_bytes + other.dram_read_bytes,
+            dram_write_bytes: self.dram_write_bytes + other.dram_write_bytes,
+            onchip_served_bytes,
+            dram_served_bytes,
+            onchip_reuse_ratio: if served == 0 {
+                0.0
+            } else {
+                onchip_served_bytes as f64 / served as f64
+            },
+            noc_bytes: self.noc_bytes + other.noc_bytes,
+            noc_byte_hops: self.noc_byte_hops + other.noc_byte_hops,
+            energy: EnergyBreakdown {
+                compute_pj: self.energy.compute_pj + other.energy.compute_pj,
+                noc_pj: self.energy.noc_pj + other.energy.noc_pj,
+                dram_pj: self.energy.dram_pj + other.energy.dram_pj,
+                static_pj: self.energy.static_pj + other.energy.static_pj,
+            },
+            degradation: self.degradation.merge(&other.degradation),
+        }
     }
 }
 
@@ -132,6 +277,7 @@ mod tests {
             noc_bytes: 0,
             noc_byte_hops: 0,
             energy: EnergyBreakdown::default(),
+            degradation: DegradationStats::default(),
         };
         // 500k cycles at 500 MHz = 1 ms.
         assert!((s.latency_ms(500) - 1.0).abs() < 1e-12);
@@ -142,7 +288,111 @@ mod tests {
 
     #[test]
     fn energy_total() {
-        let e = EnergyBreakdown { compute_pj: 1.0, noc_pj: 2.0, dram_pj: 3.0, static_pj: 4.0 };
+        let e = EnergyBreakdown {
+            compute_pj: 1.0,
+            noc_pj: 2.0,
+            dram_pj: 3.0,
+            static_pj: 4.0,
+        };
         assert_eq!(e.total_pj(), 10.0);
+    }
+
+    #[test]
+    fn default_degradation_is_healthy() {
+        let d = DegradationStats::default();
+        assert!(d.is_healthy());
+        assert_eq!(d.hbm_derate, 1.0);
+        let mut hurt = d;
+        hurt.engine_failures = 1;
+        assert!(!hurt.is_healthy());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_reweights_ratios() {
+        let base = SimStats {
+            total_cycles: 100,
+            rounds: 2,
+            tasks: 3,
+            engine_busy_cycles: vec![50, 0],
+            engine_blocked_cycles: vec![10, 0],
+            total_macs: 1000,
+            pe_utilization: 0.5,
+            compute_utilization: 1.0,
+            noc_blocked_cycles: 5,
+            dram_blocked_cycles: 7,
+            noc_overhead: 0.1,
+            dram_read_bytes: 100,
+            dram_write_bytes: 50,
+            onchip_served_bytes: 300,
+            dram_served_bytes: 100,
+            onchip_reuse_ratio: 0.75,
+            noc_bytes: 64,
+            noc_byte_hops: 128,
+            energy: EnergyBreakdown {
+                compute_pj: 1.0,
+                noc_pj: 2.0,
+                dram_pj: 3.0,
+                static_pj: 4.0,
+            },
+            degradation: DegradationStats {
+                lost_tasks: 2,
+                ..DegradationStats::default()
+            },
+        };
+        let mut tail = base.clone();
+        tail.total_cycles = 300;
+        tail.pe_utilization = 0.1;
+        tail.onchip_served_bytes = 0;
+        tail.dram_served_bytes = 100;
+        tail.degradation = DegradationStats {
+            rerun_tasks: 4,
+            hbm_derate: 0.5,
+            ..DegradationStats::default()
+        };
+
+        let m = base.merge(&tail);
+        assert_eq!(m.total_cycles, 400);
+        assert_eq!(m.rounds, 4);
+        assert_eq!(m.tasks, 6);
+        assert_eq!(m.engine_busy_cycles, vec![100, 0]);
+        assert_eq!(m.total_macs, 2000);
+        // Cycle-weighted PE utilization: (0.5*100 + 0.1*300) / 400 = 0.2.
+        assert!((m.pe_utilization - 0.2).abs() < 1e-12);
+        // Reuse recomputed from merged bytes: 300 / (300+100+0+100) = 0.6.
+        assert!((m.onchip_reuse_ratio - 0.6).abs() < 1e-12);
+        assert_eq!(m.energy.total_pj(), 20.0);
+        assert_eq!(m.degradation.lost_tasks, 2);
+        assert_eq!(m.degradation.rerun_tasks, 4);
+        assert_eq!(m.degradation.hbm_derate, 0.5);
+    }
+
+    #[test]
+    fn merge_pads_mismatched_engine_vectors() {
+        let mut a = SimStats {
+            total_cycles: 1,
+            rounds: 0,
+            tasks: 0,
+            engine_busy_cycles: vec![1, 2],
+            engine_blocked_cycles: vec![],
+            total_macs: 0,
+            pe_utilization: 0.0,
+            compute_utilization: 0.0,
+            noc_blocked_cycles: 0,
+            dram_blocked_cycles: 0,
+            noc_overhead: 0.0,
+            dram_read_bytes: 0,
+            dram_write_bytes: 0,
+            onchip_served_bytes: 0,
+            dram_served_bytes: 0,
+            onchip_reuse_ratio: 0.0,
+            noc_bytes: 0,
+            noc_byte_hops: 0,
+            energy: EnergyBreakdown::default(),
+            degradation: DegradationStats::default(),
+        };
+        let b = a.clone();
+        a.engine_busy_cycles = vec![1, 2, 3];
+        let m = a.merge(&b);
+        assert_eq!(m.engine_busy_cycles, vec![2, 4, 3]);
     }
 }

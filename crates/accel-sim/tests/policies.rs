@@ -1,9 +1,7 @@
 //! Behavioral tests of the simulator's buffering policies and staging
 //! options, on hand-crafted programs where the right answer is computable.
 
-use accel_sim::{
-    DataId, EvictionKind, Operand, Program, SimConfig, Simulator, Task, TaskId,
-};
+use accel_sim::{DataId, EvictionKind, Operand, Program, SimConfig, Simulator, Task, TaskId};
 
 fn cfg_with(eviction: EvictionKind, buffer: u64) -> SimConfig {
     let mut cfg = SimConfig::paper_default();
@@ -22,10 +20,8 @@ fn invalid_occupation_beats_fifo_on_reuse_distance() {
         let mut p = Program::new();
         let late = p.push_task(Task::compute(100, 0, k, vec![]));
         let soon = p.push_task(Task::compute(100, 0, k, vec![]));
-        let use_soon =
-            p.push_task(Task::compute(100, 0, 64, vec![Operand::task(soon, k)]));
-        let use_late =
-            p.push_task(Task::compute(100, 0, 64, vec![Operand::task(late, k)]));
+        let use_soon = p.push_task(Task::compute(100, 0, 64, vec![Operand::task(soon, k)]));
+        let use_late = p.push_task(Task::compute(100, 0, 64, vec![Operand::task(late, k)]));
         p.push_round(vec![(late, 0)]);
         p.push_round(vec![(soon, 0)]);
         p.push_round(vec![(use_soon, 0)]);
@@ -80,8 +76,12 @@ fn lru_keeps_hot_data() {
         }
         p
     };
-    let lru = Simulator::new(cfg_with(EvictionKind::Lru, 96 * 1024)).run(&build()).unwrap();
-    let fifo = Simulator::new(cfg_with(EvictionKind::Fifo, 96 * 1024)).run(&build()).unwrap();
+    let lru = Simulator::new(cfg_with(EvictionKind::Lru, 96 * 1024))
+        .run(&build())
+        .unwrap();
+    let fifo = Simulator::new(cfg_with(EvictionKind::Fifo, 96 * 1024))
+        .run(&build())
+        .unwrap();
     assert!(
         lru.dram_read_bytes <= fifo.dram_read_bytes,
         "lru {} > fifo {}",
@@ -127,7 +127,11 @@ fn noc_overhead_bounded() {
     p.push_round(vec![(a, 0)]);
     p.push_round(vec![(b, 63)]); // far corner: 14 hops
     let s = Simulator::new(SimConfig::paper_default()).run(&p).unwrap();
-    assert!(s.noc_overhead > 0.0 && s.noc_overhead < 1.0, "overhead {}", s.noc_overhead);
+    assert!(
+        s.noc_overhead > 0.0 && s.noc_overhead < 1.0,
+        "overhead {}",
+        s.noc_overhead
+    );
     assert_eq!(s.noc_byte_hops, 64 * 1024 * 14);
 }
 

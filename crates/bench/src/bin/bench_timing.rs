@@ -1,0 +1,176 @@
+//! Plain wall-clock timing for the pipeline stages and substrate crates.
+//!
+//! Replaces the earlier Criterion benches with a dependency-free harness:
+//! each scenario runs a warmup pass plus `--iters=N` (default 5) timed
+//! passes and reports min/mean milliseconds. Paper-scale numbers come from
+//! the experiment binaries (`src/bin/fig*.rs`).
+
+use std::time::Instant;
+
+use accel_sim::Simulator;
+use atomic_dataflow::atomgen::{self, AtomGenConfig, AtomGenMode, GaParams, SaParams};
+use atomic_dataflow::{
+    lower_to_program, LowerOptions, Optimizer, OptimizerConfig, ScheduleMode, Scheduler,
+    SchedulerConfig, Strategy,
+};
+use dnn_graph::models;
+use engine_model::{ConvTask, Dataflow, EngineConfig};
+use mem_model::{HbmConfig, HbmModel};
+use noc_model::{MeshConfig, TrafficTracker};
+
+fn time<R>(label: &str, iters: usize, mut f: impl FnMut() -> R) {
+    let _ = f(); // warmup
+    let mut samples_ms = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let _ = f();
+        samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let min = samples_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = samples_ms.iter().sum::<f64>() / samples_ms.len() as f64;
+    println!("{label:<40} min {min:>10.3} ms   mean {mean:>10.3} ms   ({iters} iters)");
+}
+
+fn small_cfg() -> OptimizerConfig {
+    let mut cfg = OptimizerConfig::paper_default();
+    cfg.sim.mesh = MeshConfig::grid(4, 4);
+    if let AtomGenMode::Sa(ref mut p) = cfg.atomgen.mode {
+        p.max_iters = 100;
+    }
+    cfg.search_targets = [32, 0, 0];
+    cfg
+}
+
+fn bench_pipeline(iters: usize) {
+    let g = models::resnet50();
+    let engine = EngineConfig::paper_default();
+    time("atomgen/sa_resnet50", iters, || {
+        atomgen::generate(
+            &g,
+            &AtomGenConfig {
+                mode: AtomGenMode::Sa(SaParams {
+                    max_iters: 100,
+                    ..SaParams::default()
+                }),
+                ..AtomGenConfig::default()
+            },
+            &engine,
+            Dataflow::KcPartition,
+        )
+    });
+    time("atomgen/ga_resnet50", iters, || {
+        atomgen::generate(
+            &g,
+            &AtomGenConfig {
+                mode: AtomGenMode::Ga(GaParams {
+                    generations: 50,
+                    ..GaParams::default()
+                }),
+                ..AtomGenConfig::default()
+            },
+            &engine,
+            Dataflow::KcPartition,
+        )
+    });
+
+    let cfg = small_cfg();
+    let (_, dag) = Optimizer::new(cfg).build_dag(&g);
+    for (label, mode) in [
+        ("scheduler/greedy", ScheduleMode::PriorityGreedy),
+        (
+            "scheduler/dp_l2b3",
+            ScheduleMode::Dp {
+                lookahead: 2,
+                branch: 3,
+            },
+        ),
+        ("scheduler/layer_order", ScheduleMode::LayerOrder),
+    ] {
+        time(label, iters, || {
+            Scheduler::new(&dag, SchedulerConfig { engines: 16, mode }).schedule()
+        });
+    }
+
+    let opt = Optimizer::new(cfg);
+    let (_, dag) = opt.build_dag(&g);
+    let (_, mapped) = opt.schedule_and_map(&dag).expect("pipeline stages succeed");
+    let program = lower_to_program(&dag, &mapped, &LowerOptions::default());
+    println!("simulator program: {} tasks", program.tasks().len());
+    let sim = Simulator::new(cfg.sim);
+    time("simulator/resnet50_run", iters, || {
+        sim.run(&program).expect("valid program")
+    });
+
+    let g = models::tiny_branchy();
+    let cfg = OptimizerConfig::fast_test();
+    for s in [
+        Strategy::LayerSequential,
+        Strategy::IlPipe,
+        Strategy::AtomicDataflow,
+    ] {
+        time(&format!("strategies_tiny/{}", s.label()), iters, || {
+            s.run(&g, &cfg).expect("valid schedule")
+        });
+    }
+}
+
+fn bench_substrates(iters: usize) {
+    let cfg = EngineConfig::paper_default();
+    let tasks = [
+        ("engine/conv3x3", ConvTask::conv(14, 14, 256, 64, 3, 3, 1)),
+        ("engine/conv1x1", ConvTask::conv(28, 28, 512, 128, 1, 1, 1)),
+        ("engine/depthwise", ConvTask::depthwise(28, 28, 192, 5, 1)),
+        ("engine/fc", ConvTask::fc(25088, 4096)),
+    ];
+    for (label, task) in &tasks {
+        time(label, iters, || cfg.estimate(task, Dataflow::KcPartition));
+    }
+
+    let mesh = MeshConfig::paper_default();
+    time("noc/hops_all_pairs_8x8", iters, || {
+        let mut acc = 0u64;
+        for i in 0..64 {
+            for j in 0..64 {
+                acc += mesh.hops(i, j);
+            }
+        }
+        acc
+    });
+    time("noc/traffic_record_1k", iters, || {
+        let mut t = TrafficTracker::new(mesh);
+        for i in 0..1000u64 {
+            t.record((i % 64) as usize, ((i * 7) % 64) as usize, 4096);
+        }
+        t.total_byte_hops()
+    });
+
+    time("hbm/mixed_10k_requests", iters, || {
+        let mut m = HbmModel::new(HbmConfig::paper_default());
+        let mut done = 0u64;
+        for i in 0..10_000u64 {
+            done = m.read(i * 3, if i % 10 == 0 { 64 * 1024 } else { 2048 });
+        }
+        done
+    });
+
+    time("model_zoo/resnet50", iters, models::resnet50);
+    time("model_zoo/inception_v3", iters, models::inception_v3);
+    time("model_zoo/nasnet", iters, models::nasnet);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let iters = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--iters="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let only_substrates = args.iter().any(|a| a == "--substrates");
+    let only_pipeline = args.iter().any(|a| a == "--pipeline");
+    if !only_substrates {
+        bench_pipeline(iters);
+    }
+    if !only_pipeline {
+        bench_substrates(iters);
+    }
+}

@@ -50,13 +50,20 @@ fn main() {
             r.atoms, r.rounds, r.occupancy, r.gen_report.variance, r.gen_report.unified_cycle
         );
         for t in [12usize, 24, 48, 64, 96, 160] {
-            let mut c = OptimizerConfig::paper_default().with_batch(batch).with_dataflow(df);
+            let mut c = OptimizerConfig::paper_default()
+                .with_batch(batch)
+                .with_dataflow(df);
             c.search_targets = [t, 0, 0];
             let r = Optimizer::new(c).optimize(graph).unwrap();
             println!(
                 "  target {:>3}: cycles {:>9} atoms {:>6} rounds {:>5} occ {:.2} cu {:.1}% S {:.0}",
-                t, r.stats.total_cycles, r.atoms, r.rounds, r.occupancy,
-                r.stats.compute_utilization * 100.0, r.gen_report.unified_cycle
+                t,
+                r.stats.total_cycles,
+                r.atoms,
+                r.rounds,
+                r.occupancy,
+                r.stats.compute_utilization * 100.0,
+                r.gen_report.unified_cycle
             );
         }
     }

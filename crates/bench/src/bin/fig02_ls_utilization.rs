@@ -22,17 +22,15 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 2 — LS layer-averaged PE utilization (no communication delay)",
-        &["workload", "layers", "KC-P avg", "KC-P min", "KC-P max", "YX-P avg"],
+        &[
+            "workload", "layers", "KC-P avg", "KC-P min", "KC-P max", "YX-P avg",
+        ],
     );
     for (name, graph) in &w.list {
-        let kc = harness::ls_layer_utilizations(
-            graph,
-            &harness::paper_config(Dataflow::KcPartition, 1),
-        );
-        let yx = harness::ls_layer_utilizations(
-            graph,
-            &harness::paper_config(Dataflow::YxPartition, 1),
-        );
+        let kc =
+            harness::ls_layer_utilizations(graph, &harness::paper_config(Dataflow::KcPartition, 1));
+        let yx =
+            harness::ls_layer_utilizations(graph, &harness::paper_config(Dataflow::YxPartition, 1));
         let avg = |v: &[(String, f64)]| v.iter().map(|(_, u)| u).sum::<f64>() / v.len() as f64;
         let min = kc.iter().map(|(_, u)| *u).fold(f64::INFINITY, f64::min);
         let max = kc.iter().map(|(_, u)| *u).fold(0.0, f64::max);

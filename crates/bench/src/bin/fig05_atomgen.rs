@@ -21,7 +21,13 @@ fn main() {
     // ---- (a) cycle histograms under SA.
     let mut table = Table::new(
         "Fig. 5(a) — atom execution-cycle distribution after SA",
-        &["workload", "S (cycles)", "norm. Var", "within ±25% of S", "atoms"],
+        &[
+            "workload",
+            "S (cycles)",
+            "norm. Var",
+            "within ±25% of S",
+            "atoms",
+        ],
     );
     for (name, graph) in &w.list {
         let rep = atomgen::generate(
@@ -64,7 +70,11 @@ fn main() {
     let sa = atomgen::generate(
         graph,
         &AtomGenConfig {
-            mode: AtomGenMode::Sa(SaParams { max_iters: iters, epsilon: 0.0, ..SaParams::default() }),
+            mode: AtomGenMode::Sa(SaParams {
+                max_iters: iters,
+                epsilon: 0.0,
+                ..SaParams::default()
+            }),
             ..AtomGenConfig::default()
         },
         &engine,
@@ -73,7 +83,10 @@ fn main() {
     let ga = atomgen::generate(
         graph,
         &AtomGenConfig {
-            mode: AtomGenMode::Ga(GaParams { generations: iters, ..GaParams::default() }),
+            mode: AtomGenMode::Ga(GaParams {
+                generations: iters,
+                ..GaParams::default()
+            }),
             ..AtomGenConfig::default()
         },
         &engine,
@@ -85,9 +98,23 @@ fn main() {
         &["iteration", "SA", "GA"],
     );
     for it in (0..=iters).step_by(iters / 10) {
-        let sa_e = sa.history.get(it).or(sa.history.last()).copied().unwrap_or(0.0);
-        let ga_e = ga.history.get(it).or(ga.history.last()).copied().unwrap_or(0.0);
-        conv.add_row(vec![it.to_string(), format!("{sa_e:.4}"), format!("{ga_e:.4}")]);
+        let sa_e = sa
+            .history
+            .get(it)
+            .or(sa.history.last())
+            .copied()
+            .unwrap_or(0.0);
+        let ga_e = ga
+            .history
+            .get(it)
+            .or(ga.history.last())
+            .copied()
+            .unwrap_or(0.0);
+        conv.add_row(vec![
+            it.to_string(),
+            format!("{sa_e:.4}"),
+            format!("{ga_e:.4}"),
+        ]);
     }
     conv.print();
     let sa_final = *sa.history.last().unwrap();

@@ -26,8 +26,20 @@ fn main() {
     let mut records: Vec<ExpRecord> = Vec::new();
     for dataflow in [Dataflow::KcPartition, Dataflow::YxPartition] {
         let mut table = Table::new(
-            format!("Fig. 8 — inference latency (ms), batch={batch}, {}", dataflow.label()),
-            &["workload", "LS", "IL-Pipe", "Rammer", "AD", "Ideal", "AD/LS", "AD/IL-Pipe"],
+            format!(
+                "Fig. 8 — inference latency (ms), batch={batch}, {}",
+                dataflow.label()
+            ),
+            &[
+                "workload",
+                "LS",
+                "IL-Pipe",
+                "Rammer",
+                "AD",
+                "Ideal",
+                "AD/LS",
+                "AD/IL-Pipe",
+            ],
         );
         for (name, graph) in &w.list {
             let cfg = ad_bench::harness::paper_config(dataflow, batch);

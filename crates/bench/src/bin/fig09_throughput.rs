@@ -24,8 +24,13 @@ fn main() {
     let mut records: Vec<ExpRecord> = Vec::new();
     for dataflow in [Dataflow::KcPartition, Dataflow::YxPartition] {
         let mut table = Table::new(
-            format!("Fig. 9 — inference throughput (inferences/s), {}", dataflow.label()),
-            &["workload", "batch", "LS", "CNN-P", "IL-Pipe", "Rammer", "AD", "AD/CNN-P"],
+            format!(
+                "Fig. 9 — inference throughput (inferences/s), {}",
+                dataflow.label()
+            ),
+            &[
+                "workload", "batch", "LS", "CNN-P", "IL-Pipe", "Rammer", "AD", "AD/CNN-P",
+            ],
         );
         for (name, graph) in &w.list {
             let batch = w

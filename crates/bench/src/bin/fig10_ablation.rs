@@ -18,14 +18,18 @@
 //! the multi-channel HBM model hides much of the traffic the reuse stage
 //! saves in the paper's setup.
 
-use ad_bench::{Table, Workloads};
 use accel_sim::EvictionKind;
+use ad_bench::{Table, Workloads};
 use atomic_dataflow::mapping::MappingAlgo;
 use atomic_dataflow::{Optimizer, OptimizerConfig, ScheduleMode, Strategy};
 use engine_model::Dataflow;
 
 fn run(cfg: OptimizerConfig, g: &dnn_graph::Graph) -> u64 {
-    Optimizer::new(cfg).optimize(g).expect("valid schedule").stats.total_cycles
+    Optimizer::new(cfg)
+        .optimize(g)
+        .expect("valid schedule")
+        .stats
+        .total_cycles
 }
 
 fn main() {
@@ -34,11 +38,21 @@ fn main() {
 
     let mut table = Table::new(
         format!("Fig. 10 — cumulative per-stage improvement over LS, batch={batch}, KC-P"),
-        &["workload", "LS (cyc)", "+atoms", "+DAG sched", "+reuse (=AD)", "total"],
+        &[
+            "workload",
+            "LS (cyc)",
+            "+atoms",
+            "+DAG sched",
+            "+reuse (=AD)",
+            "total",
+        ],
     );
     for (name, graph) in &w.list {
         let base = ad_bench::harness::paper_config(Dataflow::KcPartition, batch);
-        let ls = Strategy::LayerSequential.run(graph, &base).expect("valid").total_cycles;
+        let ls = Strategy::LayerSequential
+            .run(graph, &base)
+            .expect("valid")
+            .total_cycles;
 
         // Stage 1: SA atoms, layer order, no reuse machinery.
         let mut s1 = base;

@@ -24,7 +24,15 @@ fn main() {
     let mut records: Vec<ExpRecord> = Vec::new();
     let mut table = Table::new(
         "Fig. 11 — inference energy (mJ for the whole batch), KC-P",
-        &["workload", "batch", "LS", "CNN-P", "IL-Pipe", "AD", "AD breakdown c/n/d/s"],
+        &[
+            "workload",
+            "batch",
+            "LS",
+            "CNN-P",
+            "IL-Pipe",
+            "AD",
+            "AD breakdown c/n/d/s",
+        ],
     );
     for (name, graph) in &w.list {
         let batch = w

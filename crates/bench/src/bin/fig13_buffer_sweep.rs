@@ -19,7 +19,16 @@ fn main() {
 
     let mut table = Table::new(
         format!("Fig. 13 — execution cycles vs per-engine buffer size, batch={batch}, KC-P"),
-        &["workload", "32KB", "64KB", "128KB", "256KB", "512KB", "gain 32->128", "gain 128->512"],
+        &[
+            "workload",
+            "32KB",
+            "64KB",
+            "128KB",
+            "256KB",
+            "512KB",
+            "gain 32->128",
+            "gain 128->512",
+        ],
     );
     for (name, graph) in &w.list {
         let mut cycles = Vec::new();

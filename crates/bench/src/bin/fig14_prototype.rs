@@ -35,7 +35,11 @@ fn main() {
         cfg.sim.hbm.access_latency_cycles = 150;
         cfg.sim.hbm.channels = 2;
         let mut fps = std::collections::HashMap::new();
-        for s in [Strategy::LayerSequential, Strategy::Rammer, Strategy::AtomicDataflow] {
+        for s in [
+            Strategy::LayerSequential,
+            Strategy::Rammer,
+            Strategy::AtomicDataflow,
+        ] {
             let r = run_strategy(s, name, graph, &cfg);
             eprintln!("  [{name} {}] {:.1} fps", s.label(), r.fps);
             fps.insert(s.label(), r.fps);

@@ -3,14 +3,14 @@
 
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
-
+use accel_sim::{FaultKind, FaultPlan, SimStats};
+use ad_util::Json;
 use atomic_dataflow::{baselines, Optimizer, OptimizerConfig, Strategy};
 use dnn_graph::{models, Graph};
 use engine_model::Dataflow;
 
 /// One measured data point, serializable for post-processing.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExpRecord {
     /// Workload name.
     pub workload: String,
@@ -44,15 +44,56 @@ pub struct ExpRecord {
     pub search_secs: f64,
 }
 
+impl ExpRecord {
+    /// The record as a JSON object (for `--json=` dumps).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::from(self.workload.as_str())),
+            ("strategy".into(), Json::from(self.strategy.as_str())),
+            ("dataflow".into(), Json::from(self.dataflow.as_str())),
+            ("batch".into(), Json::from(self.batch)),
+            ("cycles".into(), Json::from(self.cycles)),
+            ("latency_ms".into(), Json::from(self.latency_ms)),
+            ("fps".into(), Json::from(self.fps)),
+            ("pe_utilization".into(), Json::from(self.pe_utilization)),
+            (
+                "compute_utilization".into(),
+                Json::from(self.compute_utilization),
+            ),
+            ("noc_overhead".into(), Json::from(self.noc_overhead)),
+            ("onchip_reuse".into(), Json::from(self.onchip_reuse)),
+            ("dram_bytes".into(), Json::from(self.dram_bytes)),
+            ("energy_mj".into(), Json::from(self.energy_mj)),
+            (
+                "energy_parts_mj".into(),
+                Json::Arr(
+                    self.energy_parts_mj
+                        .iter()
+                        .map(|&v| Json::from(v))
+                        .collect(),
+                ),
+            ),
+            ("search_secs".into(), Json::from(self.search_secs)),
+        ])
+    }
+}
+
 /// Runs one strategy on one workload and collects the record.
 ///
 /// # Panics
 ///
 /// Panics on schedule-integrity errors (bugs in the strategy
 /// implementations — surfaced loudly in experiments).
-pub fn run_strategy(strategy: Strategy, name: &str, graph: &Graph, cfg: &OptimizerConfig) -> ExpRecord {
+pub fn run_strategy(
+    strategy: Strategy,
+    name: &str,
+    graph: &Graph,
+    cfg: &OptimizerConfig,
+) -> ExpRecord {
     let start = Instant::now();
-    let stats = strategy.run(graph, cfg).expect("strategy produced an invalid schedule");
+    let stats = strategy
+        .run(graph, cfg)
+        .expect("strategy produced an invalid schedule");
     let secs = start.elapsed().as_secs_f64();
     let freq = cfg.sim.engine.freq_mhz;
     let e = &stats.energy;
@@ -78,6 +119,103 @@ pub fn run_strategy(strategy: Strategy, name: &str, graph: &Graph, cfg: &Optimiz
         ],
         search_secs: secs,
     }
+}
+
+/// One fault-sweep data point (`fig_fault_sweep`): a strategy's degraded
+/// execution under a seeded fault plan, relative to its own healthy run.
+#[derive(Debug, Clone)]
+pub struct FaultRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Strategy label (`"AD"`, `"LS"`, `"CNN-P"`).
+    pub strategy: String,
+    /// Per-component failure probability of the plan.
+    pub fault_rate: f64,
+    /// Plan seed.
+    pub seed: u64,
+    /// Degraded wall-clock cycles (all attempts included).
+    pub cycles: u64,
+    /// Fault-free wall-clock cycles.
+    pub healthy_cycles: u64,
+    /// `cycles / healthy_cycles - 1`.
+    pub latency_overhead: f64,
+    /// Degraded total energy in millijoules.
+    pub energy_mj: f64,
+    /// `energy / healthy_energy - 1`.
+    pub energy_overhead: f64,
+    /// Engines lost to the plan.
+    pub engine_failures: u64,
+    /// Mesh links lost to the plan.
+    pub dead_links: u64,
+    /// Task results lost in flight or with dead buffers.
+    pub lost_tasks: u64,
+    /// Tasks the recovery path re-executed.
+    pub rerun_tasks: u64,
+    /// Rounds re-planned onto survivors.
+    pub remap_rounds: u64,
+    /// Simulator runs needed (1 = absorbed without re-planning).
+    pub attempts: u64,
+}
+
+impl FaultRecord {
+    /// The record as a JSON object (for `--json=` dumps).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::from(self.workload.as_str())),
+            ("strategy".into(), Json::from(self.strategy.as_str())),
+            ("fault_rate".into(), Json::from(self.fault_rate)),
+            ("seed".into(), Json::from(self.seed)),
+            ("cycles".into(), Json::from(self.cycles)),
+            ("healthy_cycles".into(), Json::from(self.healthy_cycles)),
+            ("latency_overhead".into(), Json::from(self.latency_overhead)),
+            ("energy_mj".into(), Json::from(self.energy_mj)),
+            ("energy_overhead".into(), Json::from(self.energy_overhead)),
+            ("engine_failures".into(), Json::from(self.engine_failures)),
+            ("dead_links".into(), Json::from(self.dead_links)),
+            ("lost_tasks".into(), Json::from(self.lost_tasks)),
+            ("rerun_tasks".into(), Json::from(self.rerun_tasks)),
+            ("remap_rounds".into(), Json::from(self.remap_rounds)),
+            ("attempts".into(), Json::from(self.attempts)),
+        ])
+    }
+}
+
+/// Degraded latency/energy of a *restart-only* strategy (LS, CNN-P) under
+/// `plan`. These baselines bind every engine, so they cannot remap around a
+/// dead engine; the standard operational response is to abort and restart
+/// the inference on the survivors. The model charges, for each engine death
+/// in cycle order, the cycles the aborted attempt had accumulated, then runs
+/// the workload once more slowed by the lost compute share
+/// (`engines / alive`). Link failures and HBM derates are ignored here —
+/// second-order next to a full restart. Energy scales with total cycles
+/// (compute is re-done, static power burns for the whole wall clock).
+///
+/// Returns `(total_cycles, total_energy_mj)`.
+pub fn restart_after_faults(healthy: &SimStats, plan: &FaultPlan, engines: usize) -> (u64, f64) {
+    let mut now = 0u64; // absolute time; attempts run back to back
+    let mut alive = engines;
+    let mut makespan = healthy.total_cycles;
+    let mut deaths: Vec<u64> = plan
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, FaultKind::EngineFail { .. }))
+        .map(|e| e.cycle)
+        .collect();
+    deaths.sort_unstable();
+    for cycle in deaths {
+        if alive <= 1 {
+            break; // nothing left to restart on
+        }
+        if cycle >= now + makespan {
+            break; // the workload completed before this death
+        }
+        now = cycle; // everything since the last restart is wasted
+        alive -= 1;
+        makespan = healthy.total_cycles * engines as u64 / alive as u64;
+    }
+    let total = now + makespan;
+    let energy_mj = healthy.energy.total_mj() * total as f64 / healthy.total_cycles.max(1) as f64;
+    (total, energy_mj)
 }
 
 /// Re-export of the full AD pipeline for experiments that need internals
@@ -137,17 +275,23 @@ impl Workloads {
             }
         }
         let names = names.unwrap_or_else(|| {
-            models::PAPER_WORKLOADS.iter().map(|s| s.to_string()).collect()
+            models::PAPER_WORKLOADS
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
         });
         let list = names
             .into_iter()
             .map(|n| {
-                let g = models::by_name(&n)
-                    .unwrap_or_else(|| panic!("unknown workload `{n}`"));
+                let g = models::by_name(&n).unwrap_or_else(|| panic!("unknown workload `{n}`"));
                 (n, g)
             })
             .collect();
-        Self { list, batch_override, json_path }
+        Self {
+            list,
+            batch_override,
+            json_path,
+        }
     }
 
     /// Default batch size for throughput experiments on this workload: the
@@ -164,16 +308,21 @@ impl Workloads {
     /// Writes records to the `--json=` path when given.
     pub fn dump_json(&self, records: &[ExpRecord]) {
         if let Some(path) = &self.json_path {
-            let body = serde_json::to_string_pretty(records).expect("serializable records");
-            std::fs::write(path, body).expect("writable json path");
-            eprintln!("wrote {} records to {path}", records.len());
+            let body = Json::Arr(records.iter().map(ExpRecord::to_json).collect()).to_pretty();
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("failed to write {path}: {e}");
+            } else {
+                eprintln!("wrote {} records to {path}", records.len());
+            }
         }
     }
 }
 
 /// Paper-default configuration for a given dataflow and batch.
 pub fn paper_config(dataflow: Dataflow, batch: usize) -> OptimizerConfig {
-    OptimizerConfig::paper_default().with_dataflow(dataflow).with_batch(batch)
+    OptimizerConfig::paper_default()
+        .with_dataflow(dataflow)
+        .with_batch(batch)
 }
 
 #[cfg(test)]
@@ -203,6 +352,56 @@ mod tests {
     fn default_batches() {
         assert_eq!(Workloads::default_throughput_batch("resnet50"), 20);
         assert_eq!(Workloads::default_throughput_batch("nasnet"), 4);
+    }
+
+    #[test]
+    fn restart_model_charges_wasted_attempts() {
+        let g = models::tiny_cnn();
+        let cfg = OptimizerConfig::fast_test();
+        let healthy = Strategy::LayerSequential.run(&g, &cfg).unwrap();
+        let n = cfg.engines();
+
+        // No deaths: degraded == healthy.
+        let (c0, e0) = restart_after_faults(&healthy, &FaultPlan::none(), n);
+        assert_eq!(c0, healthy.total_cycles);
+        assert!((e0 - healthy.energy.total_mj()).abs() < 1e-12);
+
+        // One mid-run death: wasted half + a full run slowed by N/(N-1).
+        let half = healthy.total_cycles / 2;
+        let plan = FaultPlan::engine_fail(3, half);
+        let (c1, e1) = restart_after_faults(&healthy, &plan, n);
+        assert_eq!(c1, half + healthy.total_cycles * n as u64 / (n as u64 - 1));
+        assert!(e1 > healthy.energy.total_mj());
+
+        // A death after completion never interrupts.
+        let late = FaultPlan::engine_fail(3, healthy.total_cycles * 10);
+        let (c2, _) = restart_after_faults(&healthy, &late, n);
+        assert_eq!(c2, healthy.total_cycles);
+    }
+
+    #[test]
+    fn fault_record_serializes() {
+        let r = FaultRecord {
+            workload: "resnet50".into(),
+            strategy: "AD".into(),
+            fault_rate: 0.05,
+            seed: 7,
+            cycles: 1100,
+            healthy_cycles: 1000,
+            latency_overhead: 0.1,
+            energy_mj: 2.2,
+            energy_overhead: 0.1,
+            engine_failures: 1,
+            dead_links: 2,
+            lost_tasks: 3,
+            rerun_tasks: 3,
+            remap_rounds: 4,
+            attempts: 2,
+        };
+        let s = r.to_json().to_pretty();
+        for key in ["fault_rate", "latency_overhead", "remap_rounds", "attempts"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
     }
 
     #[test]

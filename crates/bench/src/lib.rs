@@ -8,5 +8,5 @@
 pub mod harness;
 pub mod table;
 
-pub use harness::{run_strategy, ExpRecord, Workloads};
+pub use harness::{restart_after_faults, run_strategy, ExpRecord, FaultRecord, Workloads};
 pub use table::Table;

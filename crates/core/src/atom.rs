@@ -13,13 +13,11 @@
 //! reason. Input-channel tiling still happens *temporally inside* the engine
 //! and is captured by the cost model.
 
-use serde::{Deserialize, Serialize};
-
 use dnn_graph::{Layer, OpKind, TensorShape, BYTES_PER_ELEM};
 use engine_model::{ConvTask, Dataflow, EngineConfig};
 
 /// A half-open index range `[start, end)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Range {
     /// Inclusive start.
     pub start: usize,
@@ -70,7 +68,7 @@ impl Range {
 }
 
 /// Output-space coordinates of one atom.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AtomCoords {
     /// Output rows covered.
     pub h: Range,
@@ -83,7 +81,11 @@ pub struct AtomCoords {
 impl AtomCoords {
     /// The whole output tensor of shape `s` as a single atom.
     pub fn full(s: TensorShape) -> Self {
-        Self { h: Range::new(0, s.h), w: Range::new(0, s.w), c: Range::new(0, s.c) }
+        Self {
+            h: Range::new(0, s.h),
+            w: Range::new(0, s.w),
+            c: Range::new(0, s.c),
+        }
     }
 
     /// Output elements covered.
@@ -107,7 +109,7 @@ impl AtomCoords {
 
 /// Per-layer tiling specification: the atom tile extents
 /// `[h_p, w_p, c_p^o]` chosen by the generation stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AtomSpec {
     /// Tile height `h_p`.
     pub th: usize,
@@ -120,7 +122,11 @@ pub struct AtomSpec {
 impl AtomSpec {
     /// One atom covering the whole layer.
     pub fn whole(out: TensorShape) -> Self {
-        Self { th: out.h, tw: out.w, tc: out.c }
+        Self {
+            th: out.h,
+            tw: out.w,
+            tc: out.c,
+        }
     }
 
     /// Clamps tile extents to the output shape.
@@ -165,7 +171,7 @@ impl AtomSpec {
 }
 
 /// Cost of one atom on one engine, from the analytical oracle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AtomCost {
     /// Engine cycles (`Cycle(Atom)` of Alg. 1).
     pub cycles: u64,
@@ -192,7 +198,11 @@ pub fn input_window(layer: &Layer, h: Range, w: Range) -> (Range, Range) {
         OpKind::Conv(p) => {
             // Rectangular kernels use stride-1 same padding: window extends
             // by k/2 on each side per axis.
-            let (ph, pw) = if p.kh != p.kw { (p.kh / 2, p.kw / 2) } else { (p.pad, p.pad) };
+            let (ph, pw) = if p.kh != p.kw {
+                (p.kh / 2, p.kw / 2)
+            } else {
+                (p.pad, p.pad)
+            };
             (
                 receptive(h, p.kh, p.stride, ph, is.h),
                 receptive(w, p.kw, p.stride, pw, is.w),
@@ -203,7 +213,10 @@ pub fn input_window(layer: &Layer, h: Range, w: Range) -> (Range, Range) {
             receptive(w, p.k, p.stride, p.pad, is.w),
         ),
         OpKind::Fc { .. } | OpKind::GlobalAvgPool => full,
-        OpKind::Add | OpKind::Concat | OpKind::Act(_) | OpKind::BatchNorm
+        OpKind::Add
+        | OpKind::Concat
+        | OpKind::Act(_)
+        | OpKind::BatchNorm
         | OpKind::ChannelScale => (h, w),
         OpKind::Input => full,
     }
@@ -242,7 +255,13 @@ pub fn atom_cost(
             let task = if p.groups > 1 && p.groups == layer.in_shape().c {
                 // Depthwise: the atom's channel range selects both the input
                 // and output channels.
-                ConvTask::depthwise(coords.h.len(), coords.w.len(), coords.c.len(), p.kh, p.stride)
+                ConvTask::depthwise(
+                    coords.h.len(),
+                    coords.w.len(),
+                    coords.c.len(),
+                    p.kh,
+                    p.stride,
+                )
             } else {
                 ConvTask {
                     ho: coords.h.len(),
@@ -348,7 +367,11 @@ mod tests {
     #[test]
     fn tiling_covers_output_exactly() {
         let out = TensorShape::new(17, 13, 37);
-        let spec = AtomSpec { th: 8, tw: 8, tc: 16 };
+        let spec = AtomSpec {
+            th: 8,
+            tw: 8,
+            tc: 16,
+        };
         let tiles = spec.tiles(out);
         assert_eq!(tiles.len(), spec.count(out));
         let total: u64 = tiles.iter().map(AtomCoords::elements).sum();

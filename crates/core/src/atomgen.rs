@@ -14,10 +14,7 @@
 //! array where the layer allows it, and candidates whose working set
 //! exceeds the engine buffer are discarded.
 
-use serde::{Deserialize, Serialize};
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ad_util::Rng64;
 
 use dnn_graph::{Graph, Layer, TensorShape};
 use engine_model::{Dataflow, EngineConfig};
@@ -26,7 +23,7 @@ use crate::atom::{atom_cost, AtomCoords, AtomSpec, Range};
 
 /// Simulated-annealing hyper-parameters (Alg. 1's `ite_max`, `Len`, `ε`,
 /// `Temp`, `λ`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SaParams {
     /// Iteration upper bound `ite_max`.
     pub max_iters: usize,
@@ -44,12 +41,19 @@ pub struct SaParams {
 
 impl Default for SaParams {
     fn default() -> Self {
-        Self { max_iters: 400, move_len: 0.3, epsilon: 0.02, temp: 0.5, lambda: 0.97, seed: 7 }
+        Self {
+            max_iters: 400,
+            move_len: 0.3,
+            epsilon: 0.02,
+            temp: 0.5,
+            lambda: 0.97,
+            seed: 7,
+        }
     }
 }
 
 /// Genetic-algorithm hyper-parameters (the Fig. 5(b) comparator).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GaParams {
     /// Generations to evolve.
     pub generations: usize,
@@ -65,12 +69,18 @@ pub struct GaParams {
 
 impl Default for GaParams {
     fn default() -> Self {
-        Self { generations: 400, population: 24, mutation: 0.08, elites: 2, seed: 7 }
+        Self {
+            generations: 400,
+            population: 24,
+            mutation: 0.08,
+            elites: 2,
+            seed: 7,
+        }
     }
 }
 
 /// Which generator to run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AtomGenMode {
     /// Algorithm 1: simulated annealing on the unified-cycle state.
     Sa(SaParams),
@@ -86,7 +96,7 @@ pub enum AtomGenMode {
 }
 
 /// Configuration of the generation stage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AtomGenConfig {
     /// Search mode.
     pub mode: AtomGenMode,
@@ -120,7 +130,7 @@ impl Default for AtomGenConfig {
 }
 
 /// Result of atom generation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GenReport {
     /// Chosen tile per layer (indexed by layer id; `Input` layers get a
     /// degenerate whole-tensor spec).
@@ -176,7 +186,9 @@ pub fn generate(
 }
 
 /// Split-factor menu used for candidate enumeration.
-const SPLITS: [usize; 17] = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384];
+const SPLITS: [usize; 17] = [
+    1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384,
+];
 
 fn round_up_multiple(v: usize, m: usize, cap: usize) -> usize {
     (v.div_ceil(m) * m).min(cap).max(1)
@@ -236,23 +248,20 @@ fn enumerate_candidates(
                     // outer Fig. 4(b) loop through full simulation. The
                     // `max_working_set_frac` budget only softens selection
                     // via the wall-time term below.
-                    let oversize_penalty =
-                        cost.working_set_bytes.saturating_sub(budget) / 64;
+                    let oversize_penalty = cost.working_set_bytes.saturating_sub(budget) / 64;
                     let cycles = cost.cycles.max(1);
                     // Effective per-atom time: compute, or the operand
                     // gathering when the double buffer cannot hide it
                     // (input bytes over a ~64 B/cycle link plus one DRAM
                     // access latency). Tiny atoms with large halos are
                     // gather-bound and make poor scheduling units.
-                    let gather_est =
-                        (cost.working_set_bytes - cost.output_bytes) / 64 + 150;
+                    let gather_est = (cost.working_set_bytes - cost.output_bytes) / 64 + 150;
                     let eff = cycles.max(gather_est);
                     cands.push(Candidate {
                         cycles,
                         count,
                         spec,
-                        est_wall: count.div_ceil(cfg.engines) as u64 * eff
-                            + oversize_penalty,
+                        est_wall: count.div_ceil(cfg.engines) as u64 * eff + oversize_penalty,
                     });
                 }
             }
@@ -263,13 +272,22 @@ fn enumerate_candidates(
             let cost = atom_cost(layer, &AtomCoords::full(out), engine, dataflow);
             let cycles = cost.cycles.max(1);
             let _ = cost;
-            cands.push(Candidate { cycles, count: 1, spec, est_wall: cycles });
+            cands.push(Candidate {
+                cycles,
+                count: 1,
+                spec,
+                est_wall: cycles,
+            });
         }
         cands.sort_by_key(|c| c.cycles);
         min_wall.push(cands.iter().map(|c| c.est_wall).min().unwrap_or(0));
         layers.push(cands);
     }
-    CandidateTable { layers, is_array, min_wall }
+    CandidateTable {
+        layers,
+        is_array,
+        min_wall,
+    }
 }
 
 /// Builds a tile spec for split factors, snapping the spatially-unrolled
@@ -363,7 +381,11 @@ fn report_from_choices(
     for layer in graph.layers() {
         let li = layer.id().index();
         if table.layers[li].is_empty() {
-            specs.push(AtomSpec { th: 1, tw: 1, tc: 1 });
+            specs.push(AtomSpec {
+                th: 1,
+                tw: 1,
+                tc: 1,
+            });
             continue;
         }
         let c = table.layers[li][choice[li]];
@@ -374,7 +396,13 @@ fn report_from_choices(
         }
     }
     let (mean, var) = weighted_stats(&stats_in);
-    GenReport { specs, unified_cycle: mean, variance: var, history, layer_cycles }
+    GenReport {
+        specs,
+        unified_cycle: mean,
+        variance: var,
+        history,
+        layer_cycles,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -382,7 +410,7 @@ fn report_from_choices(
 // ---------------------------------------------------------------------------
 
 fn run_sa(graph: &Graph, table: &CandidateTable, p: SaParams, target_count: usize) -> GenReport {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng64::new(p.seed);
     let nl = graph.layer_count();
 
     // Initialization (Alg. 1 lines 1-3): tile sizes such that large layers
@@ -424,8 +452,7 @@ fn run_sa(graph: &Graph, table: &CandidateTable, p: SaParams, target_count: usiz
         // `S` is kept within a band around the initialization scale; the
         // optimizer's outer loop (Fig. 4(b)) explores different scales and
         // picks the cheapest by full simulation.
-        let s_move = (s + rng.gen_range(-1.0f64..1.0) * p.move_len * s)
-            .clamp(s0 / 3.0, s0 * 6.0);
+        let s_move = (s + rng.range_f64(-1.0, 1.0) * p.move_len * s).clamp(s0 / 3.0, s0 * 6.0);
         let mut cand_choice = choice.clone();
         for (li, slot) in cand_choice.iter_mut().enumerate() {
             if !table.layers[li].is_empty() {
@@ -437,7 +464,7 @@ fn run_sa(graph: &Graph, table: &CandidateTable, p: SaParams, target_count: usiz
         // Temperature update and transition probability (lines 16-22).
         temp = (temp * p.lambda).max(1e-6);
         let prob = ((e - e_move) / (p.lambda * temp)).exp();
-        if rng.gen_range(0.0..1.0) <= prob {
+        if rng.next_f64() <= prob {
             choice = cand_choice;
             s = s_move;
             e = e_move;
@@ -453,7 +480,7 @@ fn run_sa(graph: &Graph, table: &CandidateTable, p: SaParams, target_count: usiz
 // ---------------------------------------------------------------------------
 
 fn run_ga(graph: &Graph, table: &CandidateTable, p: GaParams) -> GenReport {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng64::new(p.seed);
     let nl = graph.layer_count();
     let gene_space: Vec<usize> = (0..nl).map(|li| table.layers[li].len()).collect();
 
@@ -468,9 +495,15 @@ fn run_ga(graph: &Graph, table: &CandidateTable, p: GaParams) -> GenReport {
         weighted_stats(&stats).1
     };
 
-    let random_ind = |rng: &mut StdRng| -> Vec<usize> {
+    let random_ind = |rng: &mut Rng64| -> Vec<usize> {
         (0..nl)
-            .map(|li| if gene_space[li] == 0 { 0 } else { rng.gen_range(0..gene_space[li]) })
+            .map(|li| {
+                if gene_space[li] == 0 {
+                    0
+                } else {
+                    rng.below(gene_space[li])
+                }
+            })
             .collect()
     };
 
@@ -487,14 +520,18 @@ fn run_ga(graph: &Graph, table: &CandidateTable, p: GaParams) -> GenReport {
         let mut next: Vec<(f64, Vec<usize>)> = pop.iter().take(p.elites).cloned().collect();
         while next.len() < p.population {
             // Tournament selection of two parents.
-            let pick = |rng: &mut StdRng| {
-                let a = rng.gen_range(0..pop.len());
-                let b = rng.gen_range(0..pop.len());
-                if pop[a].0 < pop[b].0 { a } else { b }
+            let pick = |rng: &mut Rng64| {
+                let a = rng.below(pop.len());
+                let b = rng.below(pop.len());
+                if pop[a].0 < pop[b].0 {
+                    a
+                } else {
+                    b
+                }
             };
             let (pa, pb) = (pick(&mut rng), pick(&mut rng));
             // Single-point crossover.
-            let cut = rng.gen_range(0..nl.max(1));
+            let cut = rng.below(nl.max(1));
             let mut child: Vec<usize> = pop[pa].1[..cut]
                 .iter()
                 .chain(pop[pb].1[cut..].iter())
@@ -502,8 +539,8 @@ fn run_ga(graph: &Graph, table: &CandidateTable, p: GaParams) -> GenReport {
                 .collect();
             // Mutation.
             for (li, g) in child.iter_mut().enumerate() {
-                if gene_space[li] > 0 && rng.gen_range(0.0..1.0) < p.mutation {
-                    *g = rng.gen_range(0..gene_space[li]);
+                if gene_space[li] > 0 && rng.next_f64() < p.mutation {
+                    *g = rng.below(gene_space[li]);
                 }
             }
             let f = eval(&child);
@@ -578,8 +615,12 @@ pub fn naive_split(out: TensorShape, parts: usize) -> AtomSpec {
             * out.c.div_ceil(out.c.div_ceil(fc));
         produced = produced.max(fh.min(out.h) * fw.min(out.w) * fc.min(out.c));
     }
-    AtomSpec { th: out.h.div_ceil(fh), tw: out.w.div_ceil(fw), tc: out.c.div_ceil(fc) }
-        .clamped(out)
+    AtomSpec {
+        th: out.h.div_ceil(fh),
+        tw: out.w.div_ceil(fw),
+        tc: out.c.div_ceil(fc),
+    }
+    .clamped(out)
 }
 
 /// Uniformly splits one layer into a grid of ≈ `parts` tiles; used by the
@@ -658,7 +699,10 @@ mod tests {
         assert!(!rep.history.is_empty());
         let first = rep.history[0];
         let last = *rep.history.last().unwrap();
-        assert!(last <= first, "variance should not increase: {first} -> {last}");
+        assert!(
+            last <= first,
+            "variance should not increase: {first} -> {last}"
+        );
         assert_eq!(rep.specs.len(), g.layer_count());
     }
 
@@ -685,7 +729,7 @@ mod tests {
             let out = layer.out_shape();
             // Either a PE_y multiple or capped at the layer's channel count.
             assert!(
-                spec.tc % e.pe_y == 0 || spec.tc == out.c,
+                spec.tc.is_multiple_of(e.pe_y) || spec.tc == out.c,
                 "layer {} tc={} not snapped",
                 layer.name(),
                 spec.tc
@@ -697,7 +741,10 @@ mod tests {
     fn ga_also_converges_but_history_differs() {
         let (g, e) = setup();
         let cfg = AtomGenConfig {
-            mode: AtomGenMode::Ga(GaParams { generations: 60, ..GaParams::default() }),
+            mode: AtomGenMode::Ga(GaParams {
+                generations: 60,
+                ..GaParams::default()
+            }),
             ..AtomGenConfig::default()
         };
         let rep = generate(&g, &cfg, &e, Dataflow::KcPartition);
@@ -739,7 +786,11 @@ mod tests {
         let c = |cycles: u64| Candidate {
             cycles,
             count: 1,
-            spec: AtomSpec { th: 1, tw: 1, tc: 1 },
+            spec: AtomSpec {
+                th: 1,
+                tw: 1,
+                tc: 1,
+            },
             est_wall: 10,
         };
         let cands = vec![c(10), c(100), c(1000)];
@@ -779,7 +830,11 @@ mod tests {
         let e = EngineConfig::paper_default();
         let s = grid_split(g.layer(c), 16, &e, Dataflow::KcPartition);
         let out = g.layer(c).out_shape();
-        assert!((12..=24).contains(&s.count(out)), "count = {}", s.count(out));
+        assert!(
+            (12..=24).contains(&s.count(out)),
+            "count = {}",
+            s.count(out)
+        );
         assert!(s.th < 56 || s.tw < 56, "expected spatial split, got {s:?}");
     }
 

@@ -10,8 +10,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use accel_sim::DataId;
 use dnn_graph::{Graph, LayerId, OpKind, BYTES_PER_ELEM};
 use engine_model::{Dataflow, EngineConfig};
@@ -19,7 +17,7 @@ use engine_model::{Dataflow, EngineConfig};
 use crate::atom::{atom_cost, input_window, AtomCoords, AtomCost, AtomSpec, Range};
 
 /// Identifier of an atom within its [`AtomicDag`] (dense).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AtomId(pub u32);
 
 impl AtomId {
@@ -30,7 +28,7 @@ impl AtomId {
 }
 
 /// One atom: a partition of one layer's output for one batch sample.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Atom {
     /// Source layer.
     pub layer: LayerId,
@@ -60,7 +58,7 @@ pub fn input_data_id(batch: u16, layer: LayerId, h_start: usize, w_start: usize)
 }
 
 /// The atomic computation DAG of one workload at one batch size.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AtomicDag {
     atoms: Vec<Atom>,
     preds: Vec<Vec<(AtomId, u64)>>,
@@ -89,7 +87,11 @@ impl AtomicDag {
         engine: &EngineConfig,
         dataflow: Dataflow,
     ) -> Self {
-        assert_eq!(specs.len(), graph.layer_count(), "one AtomSpec per layer required");
+        assert_eq!(
+            specs.len(),
+            graph.layer_count(),
+            "one AtomSpec per layer required"
+        );
         assert!(batch > 0, "batch must be at least 1");
         let nl = graph.layer_count();
 
@@ -139,7 +141,12 @@ impl AtomicDag {
                         .entry(key)
                         .or_insert_with(|| atom_cost(layer, coords, engine, dataflow));
                     let id = AtomId(dag.atoms.len() as u32);
-                    dag.atoms.push(Atom { layer: lid, batch: b, coords: *coords, cost });
+                    dag.atoms.push(Atom {
+                        layer: lid,
+                        batch: b,
+                        coords: *coords,
+                        cost,
+                    });
                     dag.preds.push(Vec::new());
                     dag.succs.push(Vec::new());
                     dag.externals.push(Vec::new());
@@ -162,9 +169,7 @@ impl AtomicDag {
                     // Weights: one external slice per output-channel tile.
                     let wb = dag.atoms[aid.index()].cost.weight_bytes;
                     if wb > 0 {
-                        let tc = specs[lid.index()]
-                            .clamped(layer.out_shape())
-                            .tc;
+                        let tc = specs[lid.index()].clamped(layer.out_shape()).tc;
                         let c_tile = coords.c.start / tc;
                         dag.externals[aid.index()].push((weight_data_id(lid, c_tile), wb));
                     }
@@ -201,8 +206,7 @@ impl AtomicDag {
                                     let idx = ih * nw * nc + iw * nc + ic;
                                     let paid = p_atoms[idx];
                                     let pcoords = dag.atoms[paid.index()].coords;
-                                    let bytes =
-                                        needed.overlap_elements(&pcoords) * BYTES_PER_ELEM;
+                                    let bytes = needed.overlap_elements(&pcoords) * BYTES_PER_ELEM;
                                     if bytes > 0 {
                                         dag.preds[aid.index()].push((paid, bytes));
                                         dag.succs[paid.index()].push(aid);
@@ -331,7 +335,11 @@ fn needed_region(
                 coords.c // feature map, channel-aligned
             } else {
                 // Gate vector: 1x1xC — the needed channels of the gate.
-                return Some(AtomCoords { h: Range::new(0, 1), w: Range::new(0, 1), c: coords.c });
+                return Some(AtomCoords {
+                    h: Range::new(0, 1),
+                    w: Range::new(0, 1),
+                    c: coords.c,
+                });
             }
         }
         OpKind::Input => return None,
@@ -347,22 +355,42 @@ mod tests {
     fn build(g: &Graph, spec: AtomSpec, batch: usize) -> AtomicDag {
         let specs: Vec<AtomSpec> = g
             .layers()
-            .map(|l| if l.op().is_input() { spec } else { spec.clamped(l.out_shape()) })
+            .map(|l| {
+                if l.op().is_input() {
+                    spec
+                } else {
+                    spec.clamped(l.out_shape())
+                }
+            })
             .collect();
-        AtomicDag::build(g, &specs, batch, &EngineConfig::paper_default(), Dataflow::KcPartition)
+        AtomicDag::build(
+            g,
+            &specs,
+            batch,
+            &EngineConfig::paper_default(),
+            Dataflow::KcPartition,
+        )
     }
 
     #[test]
     fn whole_layer_atoms_chain() {
         let g = models::tiny_cnn();
-        let dag = build(&g, AtomSpec { th: 1 << 20, tw: 1 << 20, tc: 1 << 20 }, 1);
+        let dag = build(
+            &g,
+            AtomSpec {
+                th: 1 << 20,
+                tw: 1 << 20,
+                tc: 1 << 20,
+            },
+            1,
+        );
         // One atom per non-input layer.
         assert_eq!(dag.atom_count(), g.layer_count() - 1);
         // conv1 has no task preds (input is external) but has weights+input.
         let conv1 = dag.layer_atoms(0, g.layer_by_name("conv1").unwrap().id())[0];
         assert!(dag.preds(conv1).is_empty());
         assert_eq!(dag.externals(conv1).len(), 2); // weights + input region
-        // conv2 depends on conv1's single atom.
+                                                   // conv2 depends on conv1's single atom.
         let conv2 = dag.layer_atoms(0, g.layer_by_name("conv2").unwrap().id())[0];
         assert_eq!(dag.preds(conv2).len(), 1);
         assert_eq!(dag.preds(conv2)[0].0, conv1);
@@ -377,7 +405,15 @@ mod tests {
         let a = g.add_conv("a", x, ConvParams::new(3, 1, 1, 16));
         let bld = g.add_conv("b", a, ConvParams::new(3, 1, 1, 16));
         let _ = bld;
-        let dag = build(&g, AtomSpec { th: 16, tw: 32, tc: 16 }, 1);
+        let dag = build(
+            &g,
+            AtomSpec {
+                th: 16,
+                tw: 32,
+                tc: 16,
+            },
+            1,
+        );
         // Each layer split into 2 atoms along h.
         let a_atoms = dag.layer_atoms(0, g.layer_by_name("a").unwrap().id());
         let b_atoms = dag.layer_atoms(0, g.layer_by_name("b").unwrap().id());
@@ -395,11 +431,19 @@ mod tests {
         let mut g = Graph::new("t");
         let x = g.add_input(TensorShape::new(8, 8, 16));
         g.add_conv("a", x, ConvParams::new(1, 1, 0, 64));
-        let dag = build(&g, AtomSpec { th: 4, tw: 8, tc: 32 }, 1);
+        let dag = build(
+            &g,
+            AtomSpec {
+                th: 4,
+                tw: 8,
+                tc: 32,
+            },
+            1,
+        );
         let a = g.layer_by_name("a").unwrap().id();
         let atoms = dag.layer_atoms(0, a);
         assert_eq!(atoms.len(), 4); // 2 h-tiles x 2 c-tiles
-        // Atoms with the same channel tile share a weight DataId.
+                                    // Atoms with the same channel tile share a weight DataId.
         let wid = |aid: AtomId| dag.externals(aid)[0].0;
         let c_of = |aid: AtomId| dag.atom(aid).coords.c.start;
         for &x1 in atoms {
@@ -412,18 +456,50 @@ mod tests {
     #[test]
     fn batch_replicates_structure_and_shares_weights() {
         let g = models::tiny_cnn();
-        let d1 = build(&g, AtomSpec { th: 16, tw: 16, tc: 64 }, 1);
-        let d2 = build(&g, AtomSpec { th: 16, tw: 16, tc: 64 }, 2);
+        let d1 = build(
+            &g,
+            AtomSpec {
+                th: 16,
+                tw: 16,
+                tc: 64,
+            },
+            1,
+        );
+        let d2 = build(
+            &g,
+            AtomSpec {
+                th: 16,
+                tw: 16,
+                tc: 64,
+            },
+            2,
+        );
         assert_eq!(d2.atom_count(), 2 * d1.atom_count());
         let conv1 = g.layer_by_name("conv1").unwrap().id();
         let a0 = d2.layer_atoms(0, conv1)[0];
         let a1 = d2.layer_atoms(1, conv1)[0];
         // Same weight datum across samples; different input datum.
-        let w0: Vec<_> = d2.externals(a0).iter().filter(|(d, _)| d.0 >> 62 == 0).collect();
-        let w1: Vec<_> = d2.externals(a1).iter().filter(|(d, _)| d.0 >> 62 == 0).collect();
+        let w0: Vec<_> = d2
+            .externals(a0)
+            .iter()
+            .filter(|(d, _)| d.0 >> 62 == 0)
+            .collect();
+        let w1: Vec<_> = d2
+            .externals(a1)
+            .iter()
+            .filter(|(d, _)| d.0 >> 62 == 0)
+            .collect();
         assert_eq!(w0, w1);
-        let i0: Vec<_> = d2.externals(a0).iter().filter(|(d, _)| d.0 >> 62 == 1).collect();
-        let i1: Vec<_> = d2.externals(a1).iter().filter(|(d, _)| d.0 >> 62 == 1).collect();
+        let i0: Vec<_> = d2
+            .externals(a0)
+            .iter()
+            .filter(|(d, _)| d.0 >> 62 == 1)
+            .collect();
+        let i1: Vec<_> = d2
+            .externals(a1)
+            .iter()
+            .filter(|(d, _)| d.0 >> 62 == 1)
+            .collect();
         assert_ne!(i0, i1);
     }
 
@@ -435,7 +511,15 @@ mod tests {
         let b = g.add_conv("b", x, ConvParams::new(1, 1, 0, 16));
         let cat = g.add_concat("cat", &[a, b]);
         // Split concat output (32 ch) into two 16-ch atoms.
-        let dag = build(&g, AtomSpec { th: 8, tw: 8, tc: 16 }, 1);
+        let dag = build(
+            &g,
+            AtomSpec {
+                th: 8,
+                tw: 8,
+                tc: 16,
+            },
+            1,
+        );
         let cat_atoms = dag.layer_atoms(0, cat);
         assert_eq!(cat_atoms.len(), 2);
         let a0 = dag.layer_atoms(0, a)[0];
@@ -448,7 +532,15 @@ mod tests {
     #[test]
     fn residual_add_reads_both_branches() {
         let g = models::tiny_branchy();
-        let dag = build(&g, AtomSpec { th: 1 << 20, tw: 1 << 20, tc: 1 << 20 }, 1);
+        let dag = build(
+            &g,
+            AtomSpec {
+                th: 1 << 20,
+                tw: 1 << 20,
+                tc: 1 << 20,
+            },
+            1,
+        );
         let add = g.layer_by_name("b1_add").unwrap().id();
         let a = dag.layer_atoms(0, add)[0];
         assert_eq!(dag.preds(a).len(), 2);
@@ -457,7 +549,15 @@ mod tests {
     #[test]
     fn dag_is_acyclic_and_consistent() {
         let g = models::tiny_branchy();
-        let dag = build(&g, AtomSpec { th: 8, tw: 8, tc: 8 }, 2);
+        let dag = build(
+            &g,
+            AtomSpec {
+                th: 8,
+                tw: 8,
+                tc: 8,
+            },
+            2,
+        );
         for (i, _) in dag.atoms().iter().enumerate() {
             let id = AtomId(i as u32);
             for (p, bytes) in dag.preds(id) {
@@ -473,7 +573,15 @@ mod tests {
     #[test]
     fn total_macs_match_graph() {
         let g = models::tiny_cnn();
-        let dag = build(&g, AtomSpec { th: 8, tw: 8, tc: 16 }, 1);
+        let dag = build(
+            &g,
+            AtomSpec {
+                th: 8,
+                tw: 8,
+                tc: 16,
+            },
+            1,
+        );
         let graph_macs: u64 = g.layers().map(|l| l.macs()).sum();
         assert_eq!(dag.total_macs(), graph_macs);
     }

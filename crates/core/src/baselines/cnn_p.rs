@@ -14,10 +14,11 @@
 //! (Sec. V-B: "CNN-P cannot pipeline layers among CLPs, and its mapping
 //! strategy is the same with LS").
 
-use accel_sim::{ProgramError, SimStats, Simulator};
+use accel_sim::{SimStats, Simulator};
 use dnn_graph::{Graph, LayerId};
 
 use crate::atomic_dag::AtomId;
+use crate::error::PipelineError;
 use crate::lower::{lower_to_program, LowerOptions};
 use crate::optimizer::OptimizerConfig;
 
@@ -28,7 +29,7 @@ use crate::optimizer::OptimizerConfig;
 /// # Errors
 ///
 /// Propagates schedule-integrity errors (a bug if it fires).
-pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, ProgramError> {
+pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineError> {
     if cfg.batch <= 1 {
         return super::ls::run(graph, cfg);
     }
@@ -43,7 +44,10 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, ProgramErro
             continue;
         }
         let stats = run_with_clps(graph, cfg, k)?;
-        if best.as_ref().is_none_or(|b| stats.total_cycles < b.total_cycles) {
+        if best
+            .as_ref()
+            .is_none_or(|b| stats.total_cycles < b.total_cycles)
+        {
             best = Some(stats);
         }
     }
@@ -58,7 +62,7 @@ pub fn run_with_clps(
     graph: &Graph,
     cfg: &OptimizerConfig,
     k: usize,
-) -> Result<SimStats, ProgramError> {
+) -> Result<SimStats, PipelineError> {
     let n = cfg.engines();
     let batch = cfg.batch.max(1);
     let zig = cfg.sim.mesh.zigzag_order();
@@ -127,7 +131,10 @@ pub fn run_with_clps(
                 }
                 for wave in dag.layer_atoms(sample, *lid).chunks(span.len()) {
                     waves.push(
-                        wave.iter().enumerate().map(|(i, a)| (*a, span[i])).collect(),
+                        wave.iter()
+                            .enumerate()
+                            .map(|(i, a)| (*a, span[i]))
+                            .collect(),
                     );
                 }
             }
@@ -151,9 +158,12 @@ pub fn run_with_clps(
     let program = lower_to_program(
         &dag,
         &rounds,
-        &LowerOptions { dram_output_layers: None, all_outputs_to_dram: true },
+        &LowerOptions {
+            dram_output_layers: None,
+            all_outputs_to_dram: true,
+        },
     );
-    Simulator::new(cfg.sim).run(&program)
+    Ok(Simulator::new(cfg.sim).run(&program)?)
 }
 
 #[cfg(test)]

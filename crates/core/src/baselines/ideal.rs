@@ -1,7 +1,7 @@
 //! The "Ideal" roofline of Sec. V-B: perfect hardware utilization and zero
 //! memory delay. No program is simulated — the bound is analytic.
 
-use accel_sim::{EnergyBreakdown, SimStats};
+use accel_sim::{DegradationStats, EnergyBreakdown, SimStats};
 use dnn_graph::Graph;
 
 use crate::optimizer::OptimizerConfig;
@@ -45,8 +45,13 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> SimStats {
             noc_pj: 0.0,
             dram_pj: 0.0,
             static_pj: engines as f64
-                * cfg.sim.engine.energy.static_pj(total_cycles, cfg.sim.engine.freq_mhz),
+                * cfg
+                    .sim
+                    .engine
+                    .energy
+                    .static_pj(total_cycles, cfg.sim.engine.freq_mhz),
         },
+        degradation: DegradationStats::default(),
     }
 }
 

@@ -15,10 +15,11 @@
 
 use std::collections::HashMap;
 
-use accel_sim::{ProgramError, SimStats, Simulator};
+use accel_sim::{SimStats, Simulator};
 use dnn_graph::{Graph, LayerId};
 
 use crate::atomic_dag::AtomId;
+use crate::error::PipelineError;
 use crate::lower::{lower_to_program, LowerOptions};
 use crate::optimizer::OptimizerConfig;
 
@@ -36,7 +37,7 @@ const MAX_SEGMENT_LAYERS: usize = 8;
 /// # Errors
 ///
 /// Propagates schedule-integrity errors (a bug if it fires).
-pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, ProgramError> {
+pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineError> {
     let n = cfg.engines();
     let batch = cfg.batch.max(1);
     let zig = cfg.sim.mesh.zigzag_order();
@@ -71,8 +72,7 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, ProgramErro
     // --- Region allocation per segment: engines proportional to each
     // layer's engine-time (MACs on the array; vector ops weighted by the
     // PE-to-vector-lane throughput ratio), ≥ 1 each.
-    let vector_weight =
-        (cfg.sim.engine.pe_count() / cfg.sim.engine.vector_lanes as u64).max(1);
+    let vector_weight = (cfg.sim.engine.pe_count() / cfg.sim.engine.vector_lanes as u64).max(1);
     let time_weight = |l: &LayerId| -> u64 {
         let layer = graph.layer(*l);
         layer.macs().max(layer.vector_ops() * vector_weight).max(1)
@@ -93,7 +93,12 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, ProgramErro
             if sum > n {
                 // Shrink the largest shrinkable region.
                 let i = (0..sizes.len()).max_by_key(|i| sizes[*i]).unwrap();
-                assert!(sizes[i] > 1, "cannot fit {} layers on {} engines", seg.len(), n);
+                assert!(
+                    sizes[i] > 1,
+                    "cannot fit {} layers on {} engines",
+                    seg.len(),
+                    n
+                );
                 sizes[i] -= 1;
             } else {
                 // Grow the region of the most compute-heavy layer.
@@ -158,15 +163,17 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, ProgramErro
 
     let mut steps: Vec<usize> = rounds_by_step.keys().copied().collect();
     steps.sort_unstable();
-    let rounds: Vec<Vec<(AtomId, usize)>> =
-        steps.into_iter().map(|s| rounds_by_step.remove(&s).unwrap()).collect();
+    let rounds: Vec<Vec<(AtomId, usize)>> = steps
+        .into_iter()
+        .map(|s| rounds_by_step.remove(&s).unwrap())
+        .collect();
 
     // Segment-boundary tensors stay in the distributed buffers and are
     // pulled by the next segment's regions over the NoC; the buffering
     // policy spills them only under pressure (Tangram's design goal is
     // precisely to avoid off-chip round-trips).
     let program = lower_to_program(&dag, &rounds, &LowerOptions::default());
-    Simulator::new(cfg.sim).run(&program)
+    Ok(Simulator::new(cfg.sim).run(&program)?)
 }
 
 #[cfg(test)]

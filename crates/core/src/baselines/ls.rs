@@ -7,10 +7,11 @@
 //! is split into `N / k` partitions, which keeps per-engine sub-tasks larger
 //! than a 1-sample `N`-way split would.
 
-use accel_sim::{ProgramError, SimStats, Simulator};
+use accel_sim::{SimStats, Simulator};
 use dnn_graph::Graph;
 
 use crate::atomic_dag::AtomId;
+use crate::error::PipelineError;
 use crate::lower::{lower_to_program, LowerOptions};
 use crate::optimizer::OptimizerConfig;
 
@@ -19,7 +20,7 @@ use crate::optimizer::OptimizerConfig;
 /// # Errors
 ///
 /// Propagates schedule-integrity errors (a bug if it fires).
-pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, ProgramError> {
+pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineError> {
     let n = cfg.engines();
     let batch = cfg.batch.max(1);
 
@@ -44,7 +45,7 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, ProgramErro
     }
 
     let program = lower_to_program(&dag, &rounds, &LowerOptions::default());
-    Simulator::new(cfg.sim).run(&program)
+    Ok(Simulator::new(cfg.sim).run(&program)?)
 }
 
 /// The Fig. 2 experiment: per-layer PE utilization of LS with each layer

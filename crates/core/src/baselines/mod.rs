@@ -39,7 +39,11 @@ pub(crate) fn uniform_dag(
         .layers()
         .map(|l| {
             if l.op().is_input() {
-                AtomSpec { th: 1, tw: 1, tc: 1 }
+                AtomSpec {
+                    th: 1,
+                    tw: 1,
+                    tc: 1,
+                }
             } else {
                 grid_split(l, parts_of(l), engine, dataflow)
             }
@@ -63,7 +67,11 @@ pub(crate) fn naive_dag(
         .layers()
         .map(|l| {
             if l.op().is_input() {
-                AtomSpec { th: 1, tw: 1, tc: 1 }
+                AtomSpec {
+                    th: 1,
+                    tw: 1,
+                    tc: 1,
+                }
             } else {
                 naive_split(l.out_shape(), parts)
             }

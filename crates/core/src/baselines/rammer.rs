@@ -10,10 +10,11 @@
 
 use std::collections::VecDeque;
 
-use accel_sim::{EvictionKind, ProgramError, SimStats, Simulator};
+use accel_sim::{EvictionKind, SimStats, Simulator};
 use dnn_graph::Graph;
 
 use crate::atomic_dag::AtomId;
+use crate::error::PipelineError;
 use crate::lower::{lower_to_program, LowerOptions};
 use crate::optimizer::OptimizerConfig;
 
@@ -22,15 +23,16 @@ use crate::optimizer::OptimizerConfig;
 /// # Errors
 ///
 /// Propagates schedule-integrity errors (a bug if it fires).
-pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, ProgramError> {
+pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineError> {
     let n = cfg.engines();
     // Fixed-granularity rTasks: every layer split into ≈ N uniform pieces.
     let dag = super::naive_dag(graph, cfg.batch.max(1), &cfg.sim.engine, cfg.dataflow, n);
 
     // FIFO topological packing: take up to N ready tasks per round, in plain
     // discovery order.
-    let mut indegree: Vec<u32> =
-        (0..dag.atom_count()).map(|i| dag.preds(AtomId(i as u32)).len() as u32).collect();
+    let mut indegree: Vec<u32> = (0..dag.atom_count())
+        .map(|i| dag.preds(AtomId(i as u32)).len() as u32)
+        .collect();
     let mut queue: VecDeque<AtomId> = (0..dag.atom_count() as u32)
         .map(AtomId)
         .filter(|a| indegree[a.index()] == 0)
@@ -42,9 +44,9 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, ProgramErro
     while scheduled < dag.atom_count() {
         let take = queue.len().min(n);
         let mut round = Vec::with_capacity(take);
-        for slot in 0..take {
+        for &engine in zig.iter().take(take) {
             let a = queue.pop_front().expect("queue sized above");
-            round.push((a, zig[slot]));
+            round.push((a, engine));
         }
         scheduled += round.len();
         for (a, _) in &round {
@@ -62,7 +64,7 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, ProgramErro
     let program = lower_to_program(&dag, &rounds, &LowerOptions::default());
     let mut sim_cfg = cfg.sim;
     sim_cfg.eviction = EvictionKind::Fifo;
-    Simulator::new(sim_cfg).run(&program)
+    Ok(Simulator::new(sim_cfg).run(&program)?)
 }
 
 #[cfg(test)]

@@ -36,18 +36,22 @@
 //! ```
 
 pub mod atom;
-mod atomic_dag;
 pub mod atomgen;
+mod atomic_dag;
 pub mod baselines;
+mod error;
 mod lower;
 pub mod mapping;
 mod optimizer;
+mod recovery;
 pub mod scheduler;
 
 pub use atom::{AtomCoords, AtomCost, AtomSpec, Range};
-pub use atomic_dag::{Atom, AtomId, AtomicDag};
 pub use atomgen::{AtomGenConfig, AtomGenMode, GenReport, SaParams};
-pub use lower::{lower_to_program, LowerOptions};
-pub use mapping::{Mapper, MappingConfig};
+pub use atomic_dag::{Atom, AtomId, AtomicDag};
+pub use error::PipelineError;
+pub use lower::{lower_remaining, lower_to_program, recovered_data_id, LowerOptions};
+pub use mapping::{Mapper, MappingConfig, MappingError};
 pub use optimizer::{OptimizeResult, Optimizer, OptimizerConfig, Strategy};
-pub use scheduler::{Schedule, ScheduleMode, Scheduler, SchedulerConfig};
+pub use recovery::{run_with_recovery, RecoveryConfig, RecoveryOutcome};
+pub use scheduler::{Schedule, ScheduleError, ScheduleMode, Scheduler, SchedulerConfig};

@@ -5,10 +5,18 @@
 
 use std::collections::HashSet;
 
-use accel_sim::{Operand, Program, Task, TaskId};
+use accel_sim::{DataId, Operand, Program, Task, TaskId};
 use dnn_graph::LayerId;
 
-use crate::atomic_dag::{AtomicDag, AtomId};
+use crate::atomic_dag::{AtomId, AtomicDag};
+
+/// The [`DataId`] under which a completed atom's output is assumed
+/// DRAM-resident when the remainder of a DAG is re-lowered after a failure
+/// (tag `3` in the top two bits; tags `0`/`1` are weights and network
+/// inputs).
+pub fn recovered_data_id(atom: AtomId) -> DataId {
+    DataId(3u64 << 62 | u64::from(atom.0))
+}
 
 /// Lowering options.
 #[derive(Debug, Clone, Default)]
@@ -31,12 +39,57 @@ pub fn lower_to_program(
     rounds: &[Vec<(AtomId, usize)>],
     opts: &LowerOptions,
 ) -> Program {
+    lower_remaining(dag, rounds, opts, &[])
+}
+
+/// Lowers only the atoms *not* marked `done` — the re-planned remainder of a
+/// partially executed DAG after a hardware failure.
+///
+/// Task ids are re-assigned densely over the surviving atoms in atom order
+/// (the simulator's [`Program::validate`](accel_sim::Program::validate)
+/// requires every pushed task to be scheduled, so completed atoms cannot be
+/// carried as tasks). Dependencies on completed atoms become
+/// [`Operand::external`] reads of [`recovered_data_id`] — their outputs are
+/// assumed written back to DRAM by the recovery layer. An empty `done` slice
+/// means "nothing finished" and reproduces [`lower_to_program`] exactly.
+pub fn lower_remaining(
+    dag: &AtomicDag,
+    rounds: &[Vec<(AtomId, usize)>],
+    opts: &LowerOptions,
+    done: &[bool],
+) -> Program {
+    let is_done = |i: usize| done.get(i).copied().unwrap_or(false);
+    let mut tid_of = vec![u32::MAX; dag.atom_count()];
+    let mut next = 0u32;
+    for (i, tid) in tid_of.iter_mut().enumerate() {
+        if !is_done(i) {
+            *tid = next;
+            next += 1;
+        }
+    }
+
     let mut p = Program::new();
     for (i, atom) in dag.atoms().iter().enumerate() {
+        if is_done(i) {
+            continue;
+        }
         let id = AtomId(i as u32);
-        let mut inputs: Vec<Operand> =
-            dag.preds(id).iter().map(|(a, b)| Operand::task(TaskId(a.0), *b)).collect();
-        inputs.extend(dag.externals(id).iter().map(|(d, b)| Operand::external(*d, *b)));
+        let mut inputs: Vec<Operand> = dag
+            .preds(id)
+            .iter()
+            .map(|(a, b)| {
+                if is_done(a.0 as usize) {
+                    Operand::external(recovered_data_id(*a), *b)
+                } else {
+                    Operand::task(TaskId(tid_of[a.0 as usize]), *b)
+                }
+            })
+            .collect();
+        inputs.extend(
+            dag.externals(id)
+                .iter()
+                .map(|(d, b)| Operand::external(*d, *b)),
+        );
 
         let dram_out = opts.all_outputs_to_dram
             || opts
@@ -44,17 +97,27 @@ pub fn lower_to_program(
                 .as_ref()
                 .is_some_and(|s| s.contains(&atom.layer));
 
-        let mut task = Task::compute(atom.cost.cycles, atom.cost.macs, atom.cost.output_bytes, inputs)
-            .with_tag(atom.layer.0)
-            .with_energy_pj(atom.cost.energy_pj);
+        let mut task = Task::compute(
+            atom.cost.cycles,
+            atom.cost.macs,
+            atom.cost.output_bytes,
+            inputs,
+        )
+        .with_tag(atom.layer.0)
+        .with_energy_pj(atom.cost.energy_pj);
         if dram_out {
             task = task.with_dram_output();
         }
         let tid = p.push_task(task);
-        debug_assert_eq!(tid.0, id.0);
+        debug_assert_eq!(tid.0, tid_of[i]);
     }
     for round in rounds {
-        p.push_round(round.iter().map(|(a, e)| (TaskId(a.0), *e)).collect());
+        p.push_round(
+            round
+                .iter()
+                .map(|(a, e)| (TaskId(tid_of[a.0 as usize]), *e))
+                .collect(),
+        );
     }
     p
 }
@@ -73,7 +136,14 @@ mod tests {
         let g = models::tiny_branchy();
         let specs: Vec<AtomSpec> = g
             .layers()
-            .map(|l| AtomSpec { th: 8, tw: 8, tc: 1 << 20 }.clamped(l.out_shape()))
+            .map(|l| {
+                AtomSpec {
+                    th: 8,
+                    tw: 8,
+                    tc: 1 << 20,
+                }
+                .clamped(l.out_shape())
+            })
             .collect();
         let d = AtomicDag::build(
             &g,
@@ -86,10 +156,16 @@ mod tests {
     }
 
     fn mapped_rounds(d: &AtomicDag, engines: usize) -> Vec<Vec<(AtomId, usize)>> {
-        let sched = Scheduler::new(d, SchedulerConfig::greedy(engines)).schedule();
+        let sched = Scheduler::new(d, SchedulerConfig::greedy(engines))
+            .schedule()
+            .unwrap();
         let mesh = MeshConfig::grid(4, 4);
         let mut mapper = Mapper::new(mesh, MappingConfig::default());
-        sched.rounds.iter().map(|r| mapper.map_round(d, r)).collect()
+        sched
+            .rounds
+            .iter()
+            .map(|r| mapper.map_round(d, r).unwrap())
+            .collect()
     }
 
     #[test]
@@ -122,6 +198,44 @@ mod tests {
     }
 
     #[test]
+    fn lower_remaining_rebases_ids_and_externalizes_done_producers() {
+        let (_, d) = build();
+        // Mark the first greedy round done; re-lower the rest.
+        let sched = Scheduler::new(&d, SchedulerConfig::greedy(16))
+            .schedule()
+            .unwrap();
+        let mut done = vec![false; d.atom_count()];
+        for a in &sched.rounds[0] {
+            done[a.0 as usize] = true;
+        }
+        let n_done = sched.rounds[0].len();
+
+        let mesh = MeshConfig::grid(4, 4);
+        let mut mapper = Mapper::new(mesh, MappingConfig::default());
+        let rounds: Vec<_> = sched.rounds[1..]
+            .iter()
+            .map(|r| mapper.map_round(&d, r).unwrap())
+            .collect();
+        let p = lower_remaining(&d, &rounds, &LowerOptions::default(), &done);
+
+        assert_eq!(p.tasks().len(), d.atom_count() - n_done);
+        assert!(p.validate(16).is_ok());
+        // Edges from completed producers must have become DRAM externals in
+        // the recovered namespace.
+        let recovered = p
+            .tasks()
+            .iter()
+            .flat_map(|t| &t.inputs)
+            .filter(|op| matches!(op, accel_sim::Operand::External { id, .. } if id.0 >> 62 == 3))
+            .count();
+        assert!(recovered > 0, "round 0 outputs feed later atoms");
+        // And it still simulates.
+        let mut cfg = accel_sim::SimConfig::paper_default();
+        cfg.mesh = mesh;
+        assert!(accel_sim::Simulator::new(cfg).run(&p).unwrap().total_cycles > 0);
+    }
+
+    #[test]
     fn all_outputs_to_dram_increases_offchip_traffic() {
         let (_, d) = build();
         let rounds = mapped_rounds(&d, 16);
@@ -129,13 +243,17 @@ mod tests {
         cfg.mesh = MeshConfig::grid(4, 4);
         let sim = accel_sim::Simulator::new(cfg);
 
-        let buffered =
-            sim.run(&lower_to_program(&d, &rounds, &LowerOptions::default())).unwrap();
+        let buffered = sim
+            .run(&lower_to_program(&d, &rounds, &LowerOptions::default()))
+            .unwrap();
         let spilled = sim
             .run(&lower_to_program(
                 &d,
                 &rounds,
-                &LowerOptions { dram_output_layers: None, all_outputs_to_dram: true },
+                &LowerOptions {
+                    dram_output_layers: None,
+                    all_outputs_to_dram: true,
+                },
             ))
             .unwrap();
         assert!(spilled.dram_write_bytes > buffered.dram_write_bytes);

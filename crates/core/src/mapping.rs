@@ -12,15 +12,39 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use accel_sim::DataId;
 use noc_model::MeshConfig;
 
-use crate::atomic_dag::{AtomicDag, AtomId};
+use crate::atomic_dag::{AtomId, AtomicDag};
+
+/// Errors surfaced by [`Mapper::map_round`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingError {
+    /// A round holds more atoms than the mesh has engines, so no injective
+    /// atom→engine assignment exists.
+    RoundTooLarge {
+        /// Atoms in the offending round.
+        round_len: usize,
+        /// Engines available on the mesh.
+        engines: usize,
+    },
+}
+
+impl std::fmt::Display for MappingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingError::RoundTooLarge { round_len, engines } => write!(
+                f,
+                "round of {round_len} atoms exceeds the {engines}-engine mesh"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
 
 /// Which placement algorithm the mapper runs per round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MappingAlgo {
     /// Atoms placed along the zig-zag in round order, no search — the
     /// commonly-used allocation the paper improves on (Fig. 7, and the
@@ -38,7 +62,7 @@ pub enum MappingAlgo {
 }
 
 /// Mapping-stage configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MappingConfig {
     /// Placement algorithm.
     pub algo: MappingAlgo,
@@ -50,7 +74,10 @@ pub struct MappingConfig {
 
 impl Default for MappingConfig {
     fn default() -> Self {
-        Self { algo: MappingAlgo::Affinity, max_permutation_layers: 5 }
+        Self {
+            algo: MappingAlgo::Affinity,
+            max_permutation_layers: 5,
+        }
     }
 }
 
@@ -65,13 +92,24 @@ pub struct Mapper {
     residency: HashMap<AtomId, usize>,
     /// Engine that most recently used each weight slice.
     weight_home: HashMap<DataId, usize>,
+    /// Engines still operational; dead engines receive no atoms (fault
+    /// recovery maps rounds onto the survivors).
+    alive: Vec<bool>,
 }
 
 impl Mapper {
     /// Creates a mapper for `mesh`.
     pub fn new(mesh: MeshConfig, cfg: MappingConfig) -> Self {
         let zigzag = mesh.zigzag_order();
-        Self { mesh, cfg, zigzag, residency: HashMap::new(), weight_home: HashMap::new() }
+        let alive = vec![true; mesh.engines()];
+        Self {
+            mesh,
+            cfg,
+            zigzag,
+            residency: HashMap::new(),
+            weight_home: HashMap::new(),
+            alive,
+        }
     }
 
     /// Engine an atom's output resides on (if it was mapped before).
@@ -79,15 +117,41 @@ impl Mapper {
         self.residency.get(&atom).copied()
     }
 
+    /// Marks `engine` as failed: it receives no further atoms, and any
+    /// residency/weight-home hints pointing at it are dropped (its buffer
+    /// contents are gone).
+    pub fn kill_engine(&mut self, engine: usize) {
+        if let Some(a) = self.alive.get_mut(engine) {
+            *a = false;
+        }
+        self.residency.retain(|_, e| *e != engine);
+        self.weight_home.retain(|_, e| *e != engine);
+    }
+
+    /// Number of engines still accepting atoms.
+    pub fn alive_engines(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
     /// Maps one round of atoms to engines, committing residency updates.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the round holds more atoms than the mesh has engines.
-    pub fn map_round(&mut self, dag: &AtomicDag, round: &[AtomId]) -> Vec<(AtomId, usize)> {
-        assert!(round.len() <= self.mesh.engines(), "round larger than the mesh");
+    /// [`MappingError::RoundTooLarge`] if the round holds more atoms than
+    /// the mesh has engines.
+    pub fn map_round(
+        &mut self,
+        dag: &AtomicDag,
+        round: &[AtomId],
+    ) -> Result<Vec<(AtomId, usize)>, MappingError> {
+        if round.len() > self.alive_engines() {
+            return Err(MappingError::RoundTooLarge {
+                round_len: round.len(),
+                engines: self.alive_engines(),
+            });
+        }
         if round.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let assignment = match self.cfg.algo {
             MappingAlgo::Affinity => self.place_affinity(dag, round),
@@ -105,7 +169,7 @@ impl Mapper {
                 }
             }
         }
-        assignment
+        Ok(assignment)
     }
 
     /// Hop-weighted cost of running `atom` on `engine` given current
@@ -149,8 +213,7 @@ impl Mapper {
                     .map(|(_, b)| *b)
                     .sum::<u64>()
         };
-        let mut items: Vec<(u64, AtomId)> =
-            round.iter().map(|&a| (resident_bytes(a), a)).collect();
+        let mut items: Vec<(u64, AtomId)> = round.iter().map(|&a| (resident_bytes(a), a)).collect();
         items.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
 
         let mut used = vec![false; n];
@@ -162,21 +225,24 @@ impl Mapper {
                 continue;
             }
             let e = (0..n)
-                .filter(|e| !used[*e])
+                .filter(|e| !used[*e] && self.alive[*e])
                 .min_by_key(|e| (self.atom_cost_at(dag, a, *e), zig_rank[*e]))
                 .expect("round fits the mesh");
             used[e] = true;
             placed.push((a, e));
         }
         // Atoms with no resident inputs fill the remaining zig-zag slots.
-        let mut free = self.zigzag.iter().copied().filter(|e| !used[*e]);
+        let mut free = self
+            .zigzag
+            .iter()
+            .copied()
+            .filter(|e| !used[*e] && self.alive[*e]);
         for a in deferred {
             let e = free.next().expect("round fits the mesh");
             placed.push((a, e));
         }
         // Restore round order for readability of the schedule.
-        let pos: HashMap<AtomId, usize> =
-            round.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+        let pos: HashMap<AtomId, usize> = round.iter().enumerate().map(|(i, a)| (*a, i)).collect();
         placed.sort_by_key(|(a, _)| pos[a]);
         placed
     }
@@ -238,11 +304,10 @@ impl Mapper {
         perm: &[usize],
     ) -> Vec<(AtomId, usize)> {
         let mut out = Vec::new();
-        let mut slot = 0usize;
+        let mut slots = self.zigzag.iter().copied().filter(|e| self.alive[*e]);
         for &gi in perm {
             for &a in &groups[&order[gi]] {
-                out.push((a, self.zigzag[slot]));
-                slot += 1;
+                out.push((a, slots.next().expect("round fits the surviving mesh")));
             }
         }
         out
@@ -306,9 +371,22 @@ mod tests {
         let g = models::tiny_branchy();
         let specs: Vec<AtomSpec> = g
             .layers()
-            .map(|l| AtomSpec { th: 8, tw: 8, tc: 1 << 20 }.clamped(l.out_shape()))
+            .map(|l| {
+                AtomSpec {
+                    th: 8,
+                    tw: 8,
+                    tc: 1 << 20,
+                }
+                .clamped(l.out_shape())
+            })
             .collect();
-        AtomicDag::build(&g, &specs, 1, &EngineConfig::paper_default(), Dataflow::KcPartition)
+        AtomicDag::build(
+            &g,
+            &specs,
+            1,
+            &EngineConfig::paper_default(),
+            Dataflow::KcPartition,
+        )
     }
 
     #[test]
@@ -332,7 +410,7 @@ mod tests {
             .filter(|a| d.preds(*a).is_empty())
             .take(8)
             .collect();
-        let asg = m.map_round(&d, &round);
+        let asg = m.map_round(&d, &round).unwrap();
         assert_eq!(asg.len(), round.len());
         let engines: std::collections::HashSet<usize> = asg.iter().map(|(_, e)| *e).collect();
         assert_eq!(engines.len(), asg.len(), "engines must be distinct");
@@ -342,15 +420,17 @@ mod tests {
     fn optimized_choice_no_worse_than_identity_per_round() {
         let d = dag();
         let mesh = MeshConfig::grid(4, 4);
-        let sched = crate::scheduler::Scheduler::new(
-            &d,
-            crate::scheduler::SchedulerConfig::greedy(8),
-        )
-        .schedule();
+        let sched =
+            crate::scheduler::Scheduler::new(&d, crate::scheduler::SchedulerConfig::greedy(8))
+                .schedule()
+                .unwrap();
 
         let mut mapper = Mapper::new(
             mesh,
-            MappingConfig { algo: MappingAlgo::LayerPermutation, max_permutation_layers: 5 },
+            MappingConfig {
+                algo: MappingAlgo::LayerPermutation,
+                max_permutation_layers: 5,
+            },
         );
         for round in &sched.rounds {
             // Identity cost with the *same* pre-round state.
@@ -365,18 +445,17 @@ mod tests {
                 groups.entry(key).or_default().push(a);
             }
             let identity: Vec<usize> = (0..order.len()).collect();
-            let id_cost =
-                mapper.transfer_cost(&d, &mapper.place(&order, &groups, &identity));
+            let id_cost = mapper.transfer_cost(&d, &mapper.place(&order, &groups, &identity));
 
             // The committed (optimized) choice, evaluated pre-commit.
             let mut probe = mapper.clone();
-            let chosen = probe.map_round(&d, round);
+            let chosen = probe.map_round(&d, round).unwrap();
             let chosen_cost = mapper.transfer_cost(&d, &chosen);
             assert!(
                 chosen_cost <= id_cost,
                 "round cost {chosen_cost} > identity {id_cost}"
             );
-            mapper.map_round(&d, round); // commit for the next iteration
+            mapper.map_round(&d, round).unwrap(); // commit for the next iteration
         }
     }
 
@@ -389,7 +468,7 @@ mod tests {
             .filter(|a| d.preds(*a).is_empty())
             .take(3)
             .collect();
-        let asg = m.map_round(&d, &roots);
+        let asg = m.map_round(&d, &roots).unwrap();
         for (a, e) in asg {
             assert_eq!(m.residency(a), Some(e));
         }
@@ -406,9 +485,12 @@ mod tests {
             .collect();
         let mut base = Mapper::new(
             mesh,
-            MappingConfig { algo: MappingAlgo::ZigzagIdentity, max_permutation_layers: 5 },
+            MappingConfig {
+                algo: MappingAlgo::ZigzagIdentity,
+                max_permutation_layers: 5,
+            },
         );
-        let asg = base.map_round(&d, &round);
+        let asg = base.map_round(&d, &round).unwrap();
         // Identity order = atoms placed along the zig-zag in round order.
         let zig = mesh.zigzag_order();
         for (i, (a, e)) in asg.iter().enumerate() {
@@ -431,9 +513,88 @@ mod tests {
         let producer = d.preds(consumer)[0].0;
         // Producer itself must be a root for this synthetic two-round map.
         if d.preds(producer).is_empty() {
-            let pa = m.map_round(&d, &[producer]);
-            let ca = m.map_round(&d, &[consumer]);
-            assert_eq!(pa[0].1, ca[0].1, "consumer should co-locate with its producer");
+            let pa = m.map_round(&d, &[producer]).unwrap();
+            let ca = m.map_round(&d, &[consumer]).unwrap();
+            assert_eq!(
+                pa[0].1, ca[0].1,
+                "consumer should co-locate with its producer"
+            );
         }
+    }
+
+    #[test]
+    fn dead_engines_receive_no_atoms() {
+        let d = dag();
+        let mesh = MeshConfig::grid(2, 2);
+        for algo in [MappingAlgo::Affinity, MappingAlgo::LayerPermutation] {
+            let mut m = Mapper::new(
+                mesh,
+                MappingConfig {
+                    algo,
+                    max_permutation_layers: 5,
+                },
+            );
+            m.kill_engine(0);
+            m.kill_engine(3);
+            assert_eq!(m.alive_engines(), 2);
+            let round: Vec<AtomId> = (0..d.atom_count() as u32)
+                .map(AtomId)
+                .filter(|a| d.preds(*a).is_empty())
+                .take(2)
+                .collect();
+            let asg = m.map_round(&d, &round).unwrap();
+            assert_eq!(asg.len(), 2);
+            for (_, e) in &asg {
+                assert!(
+                    *e == 1 || *e == 2,
+                    "atom mapped to dead engine {e} ({algo:?})"
+                );
+            }
+            // A 3-atom round no longer fits the 2 survivors.
+            let big: Vec<AtomId> = (0..3).map(AtomId).collect();
+            assert_eq!(
+                m.map_round(&d, &big),
+                Err(MappingError::RoundTooLarge {
+                    round_len: 3,
+                    engines: 2
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn kill_engine_drops_residency_hints() {
+        let d = dag();
+        let mut m = Mapper::new(MeshConfig::grid(2, 2), MappingConfig::default());
+        let root = (0..d.atom_count() as u32)
+            .map(AtomId)
+            .find(|a| d.preds(*a).is_empty())
+            .unwrap();
+        let asg = m.map_round(&d, &[root]).unwrap();
+        let engine = asg[0].1;
+        assert_eq!(m.residency(root), Some(engine));
+        m.kill_engine(engine);
+        assert_eq!(m.residency(root), None);
+    }
+
+    #[test]
+    fn oversize_round_is_a_typed_error() {
+        let d = dag();
+        let mesh = MeshConfig::grid(2, 2);
+        let mut m = Mapper::new(mesh, MappingConfig::default());
+        let round: Vec<AtomId> = (0..5).map(AtomId).collect();
+        assert_eq!(
+            m.map_round(&d, &round),
+            Err(MappingError::RoundTooLarge {
+                round_len: 5,
+                engines: 4
+            })
+        );
+        let msg = MappingError::RoundTooLarge {
+            round_len: 5,
+            engines: 4,
+        }
+        .to_string();
+        assert!(msg.contains('5') && msg.contains('4'), "{msg}");
     }
 }

@@ -1,22 +1,21 @@
 //! The end-to-end atomic-dataflow optimization pipeline (paper Fig. 4) and
 //! the [`Strategy`] dispatcher used by the experiment harness.
 
-use serde::{Deserialize, Serialize};
-
-use accel_sim::{Program, ProgramError, SimConfig, SimStats, Simulator};
+use accel_sim::{Program, SimConfig, SimStats, Simulator};
 use dnn_graph::Graph;
 use engine_model::Dataflow;
 
 use crate::atomgen::{self, AtomGenConfig, GenReport};
 use crate::atomic_dag::AtomicDag;
 use crate::baselines;
+use crate::error::PipelineError;
 use crate::lower::{lower_to_program, LowerOptions};
 use crate::mapping::{Mapper, MappingConfig};
 use crate::scheduler::{Schedule, ScheduleMode, Scheduler, SchedulerConfig};
 
 /// Configuration of the full pipeline. Also consumed by the baselines so
 /// that every strategy sees the identical platform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OptimizerConfig {
     /// System model (engines, mesh, HBM, buffering policy).
     pub sim: SimConfig,
@@ -47,7 +46,10 @@ impl OptimizerConfig {
             dataflow: Dataflow::KcPartition,
             batch: 1,
             atomgen: AtomGenConfig::default(),
-            schedule_mode: ScheduleMode::Dp { lookahead: 2, branch: 3 },
+            schedule_mode: ScheduleMode::Dp {
+                lookahead: 2,
+                branch: 3,
+            },
             mapping: MappingConfig::default(),
             search_targets: [24, 64, 160],
         }
@@ -61,7 +63,10 @@ impl OptimizerConfig {
         if let crate::atomgen::AtomGenMode::Sa(ref mut p) = cfg.atomgen.mode {
             p.max_iters = 60;
         }
-        cfg.schedule_mode = ScheduleMode::Dp { lookahead: 1, branch: 2 };
+        cfg.schedule_mode = ScheduleMode::Dp {
+            lookahead: 1,
+            branch: 2,
+        };
         cfg.search_targets = [32, 0, 0];
         cfg
     }
@@ -143,18 +148,31 @@ impl Optimizer {
 
     /// Schedules and maps a pre-built DAG, returning the schedule and the
     /// per-round engine assignment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::ScheduleError`] and [`crate::MappingError`] from
+    /// the two stages.
+    #[allow(clippy::type_complexity)]
     pub fn schedule_and_map(
         &self,
         dag: &AtomicDag,
-    ) -> (Schedule, Vec<Vec<(crate::atomic_dag::AtomId, usize)>>) {
+    ) -> Result<(Schedule, Vec<Vec<(crate::atomic_dag::AtomId, usize)>>), PipelineError> {
         let sched = Scheduler::new(
             dag,
-            SchedulerConfig { engines: self.cfg.engines(), mode: self.cfg.schedule_mode },
+            SchedulerConfig {
+                engines: self.cfg.engines(),
+                mode: self.cfg.schedule_mode,
+            },
         )
-        .schedule();
+        .schedule()?;
         let mut mapper = Mapper::new(self.cfg.sim.mesh, self.cfg.mapping);
-        let mapped = sched.rounds.iter().map(|r| mapper.map_round(dag, r)).collect();
-        (sched, mapped)
+        let mapped = sched
+            .rounds
+            .iter()
+            .map(|r| mapper.map_round(dag, r))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((sched, mapped))
     }
 
     /// Runs the full pipeline on `graph`: the iterative optimizing process
@@ -163,10 +181,10 @@ impl Optimizer {
     ///
     /// # Errors
     ///
-    /// Propagates [`ProgramError`] if lowering produced an inconsistent
-    /// schedule (a bug, not a user error — surfaced rather than panicked for
-    /// diagnosability).
-    pub fn optimize(&self, graph: &Graph) -> Result<OptimizeResult, ProgramError> {
+    /// Propagates a [`PipelineError`] from any stage: scheduling, mapping,
+    /// or simulation of an inconsistent lowered schedule (the latter a bug,
+    /// not a user error — surfaced rather than panicked for diagnosability).
+    pub fn optimize(&self, graph: &Graph) -> Result<OptimizeResult, PipelineError> {
         let mut best: Option<(usize, OptimizeResult)> = None;
         for target in self.cfg.search_targets {
             if target == 0 {
@@ -206,13 +224,13 @@ impl Optimizer {
         graph: &Graph,
         target: usize,
         mode: ScheduleMode,
-    ) -> Result<OptimizeResult, ProgramError> {
+    ) -> Result<OptimizeResult, PipelineError> {
         let mut sub = self.cfg;
         sub.atomgen.target_atoms_per_layer = target;
         sub.schedule_mode = mode;
         let inner = Optimizer::new(sub);
         let (gen_report, dag) = inner.build_dag(graph);
-        let (sched, mapped) = inner.schedule_and_map(&dag);
+        let (sched, mapped) = inner.schedule_and_map(&dag)?;
         let program = lower_to_program(&dag, &mapped, &LowerOptions::default());
         let stats = Simulator::new(self.cfg.sim).run(&program)?;
         Ok(OptimizeResult {
@@ -228,7 +246,7 @@ impl Optimizer {
 
 /// The workload-orchestration strategies compared throughout the paper's
 /// evaluation (Sec. V).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Atomic dataflow (this paper).
     AtomicDataflow,
@@ -276,9 +294,9 @@ impl Strategy {
     ///
     /// # Errors
     ///
-    /// Propagates schedule-integrity errors from the strategy
-    /// implementations (a bug if it ever fires).
-    pub fn run(&self, graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, ProgramError> {
+    /// Propagates a [`PipelineError`] from the strategy implementations
+    /// (schedule-integrity failures are bugs if they ever fire).
+    pub fn run(&self, graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineError> {
         match self {
             Strategy::AtomicDataflow => Ok(Optimizer::new(*cfg).optimize(graph)?.stats),
             Strategy::LayerSequential => baselines::ls::run(graph, cfg),
@@ -298,7 +316,9 @@ mod tests {
     #[test]
     fn optimize_tiny_network() {
         let g = models::tiny_branchy();
-        let r = Optimizer::new(OptimizerConfig::fast_test()).optimize(&g).unwrap();
+        let r = Optimizer::new(OptimizerConfig::fast_test())
+            .optimize(&g)
+            .unwrap();
         assert!(r.stats.total_cycles > 0);
         assert!(r.atoms > 0);
         assert!(r.rounds > 0);

@@ -1,0 +1,305 @@
+//! Fault recovery: re-planning a partially executed atomic DAG onto the
+//! surviving engines.
+//!
+//! The simulator ([`Simulator::run_faulted`]) absorbs what it can — link
+//! failures reroute, HBM derates serialize, an engine death is survivable
+//! while the dead engine owes no tasks and held no datum's last copy. When
+//! a death *is* fatal it stops at the round barrier and hands back a
+//! [`FailureReport`](accel_sim::FailureReport). This module is the layer
+//! above that report: it marks the surviving results done, retires the dead
+//! engine from the [`Mapper`], re-rounds the remaining atoms with
+//! [`Scheduler::schedule_remaining`] at the reduced engine count, re-lowers
+//! them with [`lower_remaining`] (completed producers become DRAM-resident
+//! externals) and re-runs — repeating until the workload completes or
+//! recovery is exhausted. Statistics of every attempt, including the wasted
+//! partial runs, are merged so latency/energy overheads are honest.
+
+use std::collections::HashSet;
+
+use accel_sim::{FaultEvent, FaultKind, FaultPlan, FaultedOutcome, SimError, SimStats, Simulator};
+
+use crate::atomic_dag::{AtomId, AtomicDag};
+use crate::error::PipelineError;
+use crate::lower::{lower_remaining, LowerOptions};
+use crate::mapping::Mapper;
+use crate::optimizer::OptimizerConfig;
+use crate::scheduler::{Scheduler, SchedulerConfig};
+
+/// Recovery policy for fault-injected runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// When `false`, the first fatal engine failure is returned as a typed
+    /// [`SimError::EngineFailed`] instead of triggering a re-plan.
+    pub enabled: bool,
+    /// Upper bound on total run attempts (initial run + retries); `0`
+    /// means unbounded. Recovery converges regardless — every retry retires
+    /// at least one engine — so the bound only caps worst-case work.
+    pub max_attempts: usize,
+}
+
+impl RecoveryConfig {
+    /// Re-plan on failure, as many times as the mesh can absorb.
+    pub fn auto() -> Self {
+        Self {
+            enabled: true,
+            max_attempts: 0,
+        }
+    }
+
+    /// Fail fast: surface the first fatal engine failure as an error.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            max_attempts: 0,
+        }
+    }
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Result of a (possibly multi-attempt) fault-injected run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryOutcome {
+    /// Statistics merged over every attempt — wasted partial executions
+    /// included — with [`SimStats::degradation`] describing the faults and
+    /// the recovery work.
+    pub stats: SimStats,
+    /// Number of simulator runs (1 = no fatal failure).
+    pub attempts: usize,
+    /// Engines retired by fatal failures, in failure order.
+    pub failed_engines: Vec<usize>,
+}
+
+/// Schedules, maps and simulates `dag` under the fault plan, re-planning
+/// onto surviving engines whenever a fatal engine failure stops a run.
+///
+/// The original plan is carried across attempts: events that had not yet
+/// fired continue on the same wall-clock timeline (shifted by the cycles
+/// already consumed), and persistent faults that *had* fired — dead links,
+/// HBM derates, engine deaths the run absorbed gracefully — are re-applied
+/// at cycle 0 of the retry. Engines already retired by recovery are dropped
+/// from retry plans (the mapper never assigns to them).
+///
+/// # Errors
+///
+/// - [`PipelineError::Sim`] wrapping [`SimError::EngineFailed`] when
+///   recovery is disabled (or its attempt budget is exhausted) and an
+///   engine failure is fatal;
+/// - [`PipelineError::Schedule`] /
+///   [`PipelineError::Mapping`] when the surviving mesh cannot hold the
+///   remainder (e.g. every engine dead);
+/// - any error [`Simulator::run_faulted`] itself reports (malformed plans,
+///   disconnected transfers with no DRAM fallback).
+pub fn run_with_recovery(
+    dag: &AtomicDag,
+    cfg: &OptimizerConfig,
+    plan: &FaultPlan,
+    recovery: &RecoveryConfig,
+) -> Result<RecoveryOutcome, PipelineError> {
+    let n = dag.atom_count();
+    let sim = Simulator::new(cfg.sim);
+    let mut done = vec![false; n];
+    let mut dead: Vec<usize> = Vec::new();
+    let mut merged: Option<SimStats> = None;
+    let mut attempts = 0usize;
+    let mut remap_rounds = 0u64;
+    let mut elapsed = 0u64;
+
+    loop {
+        attempts += 1;
+        let alive = cfg.engines() - dead.len();
+        let sched = Scheduler::new(
+            dag,
+            SchedulerConfig {
+                engines: alive,
+                mode: cfg.schedule_mode,
+            },
+        )
+        .schedule_remaining(&done)?;
+        if attempts > 1 {
+            remap_rounds += sched.len() as u64;
+        }
+        let mut mapper = Mapper::new(cfg.sim.mesh, cfg.mapping);
+        for &e in &dead {
+            mapper.kill_engine(e);
+        }
+        let mapped: Vec<Vec<(AtomId, usize)>> = sched
+            .rounds
+            .iter()
+            .map(|r| mapper.map_round(dag, r))
+            .collect::<Result<_, _>>()?;
+        let program = lower_remaining(dag, &mapped, &LowerOptions::default(), &done);
+        // Atom behind each of this attempt's (dense, re-assigned) task ids.
+        let atom_of: Vec<usize> = (0..n).filter(|i| !done[*i]).collect();
+
+        match sim.run_faulted(&program, &attempt_plan(plan, elapsed, &dead))? {
+            FaultedOutcome::Completed(stats) => {
+                let final_deg = stats.degradation;
+                let mut total = match merged.take() {
+                    Some(m) => m.merge(&stats),
+                    None => stats,
+                };
+                // Merging sums per-attempt counters, but persistent faults
+                // are re-injected into every retry; rebuild the structural
+                // counts from the final attempt + the retired-engine list.
+                total.degradation.engine_failures = dead.len() as u64 + final_deg.engine_failures;
+                total.degradation.dead_links = final_deg.dead_links;
+                total.degradation.remap_rounds = remap_rounds;
+                total.degradation.rerun_tasks = (total.tasks as u64).saturating_sub(n as u64);
+                return Ok(RecoveryOutcome {
+                    stats: total,
+                    attempts,
+                    failed_engines: dead,
+                });
+            }
+            FaultedOutcome::Failed(report) => {
+                let exhausted = recovery.max_attempts != 0 && attempts >= recovery.max_attempts;
+                if !recovery.enabled || exhausted || dead.contains(&report.engine) {
+                    return Err(PipelineError::Sim(SimError::EngineFailed {
+                        engine: report.engine,
+                        cycle: report.cycle,
+                        round: report.round,
+                    }));
+                }
+                let lost: HashSet<_> = report.lost.iter().copied().collect();
+                for t in &report.completed {
+                    if !lost.contains(t) {
+                        done[atom_of[t.0 as usize]] = true;
+                    }
+                }
+                elapsed += report.cycle;
+                dead.push(report.engine);
+                merged = Some(match merged.take() {
+                    Some(m) => m.merge(&report.partial),
+                    None => report.partial,
+                });
+            }
+        }
+    }
+}
+
+/// The fault plan as seen by a retry attempt that starts `elapsed` cycles
+/// into the original timeline: unfired events shift left, already-fired
+/// persistent faults saturate to cycle 0 (they are still broken), and
+/// engine deaths already handled by recovery are dropped.
+fn attempt_plan(plan: &FaultPlan, elapsed: u64, dead: &[usize]) -> FaultPlan {
+    if elapsed == 0 && dead.is_empty() {
+        return plan.clone();
+    }
+    let mut p = FaultPlan::none();
+    for e in plan.events() {
+        if let FaultKind::EngineFail { engine } = e.kind {
+            if dead.contains(&engine) {
+                continue;
+            }
+        }
+        p = p.with_event(FaultEvent {
+            cycle: e.cycle.saturating_sub(elapsed),
+            kind: e.kind,
+        });
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel_sim::FaultRates;
+    use dnn_graph::models;
+
+    fn dag_and_cfg() -> (AtomicDag, OptimizerConfig) {
+        let cfg = OptimizerConfig::fast_test();
+        let g = models::tiny_branchy();
+        let (_, dag) = crate::Optimizer::new(cfg).build_dag(&g);
+        (dag, cfg)
+    }
+
+    #[test]
+    fn healthy_plan_is_a_plain_run() {
+        let (dag, cfg) = dag_and_cfg();
+        let out =
+            run_with_recovery(&dag, &cfg, &FaultPlan::none(), &RecoveryConfig::auto()).unwrap();
+        assert_eq!(out.attempts, 1);
+        assert!(out.failed_engines.is_empty());
+        assert!(out.stats.degradation.is_healthy());
+        assert_eq!(out.stats.tasks, dag.atom_count());
+    }
+
+    #[test]
+    fn fatal_engine_death_recovers_and_accounts_reruns() {
+        let (dag, cfg) = dag_and_cfg();
+        // Kill engine 0 mid-run: cycle chosen inside the healthy makespan.
+        let healthy =
+            run_with_recovery(&dag, &cfg, &FaultPlan::none(), &RecoveryConfig::auto()).unwrap();
+        let plan = FaultPlan::engine_fail(0, healthy.stats.total_cycles / 2);
+        let out = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto()).unwrap();
+        assert!(
+            out.attempts >= 2,
+            "mid-run death of a mapped engine must be fatal once"
+        );
+        assert_eq!(out.failed_engines, vec![0]);
+        assert_eq!(out.stats.degradation.engine_failures, 1);
+        assert!(out.stats.degradation.remap_rounds > 0);
+        assert!(out.stats.total_cycles > healthy.stats.total_cycles);
+        // Every atom ran at least once; reruns are the surplus.
+        assert_eq!(
+            out.stats.tasks as u64,
+            dag.atom_count() as u64 + out.stats.degradation.rerun_tasks
+        );
+    }
+
+    #[test]
+    fn recovery_disabled_returns_typed_error() {
+        let (dag, cfg) = dag_and_cfg();
+        let plan = FaultPlan::engine_fail(0, 0);
+        let err = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::disabled()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PipelineError::Sim(SimError::EngineFailed { engine: 0, .. })
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn attempt_budget_is_respected() {
+        let (dag, cfg) = dag_and_cfg();
+        let plan = FaultPlan::engine_fail(0, 0);
+        let tight = RecoveryConfig {
+            enabled: true,
+            max_attempts: 1,
+        };
+        let err = run_with_recovery(&dag, &cfg, &plan, &tight).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::Sim(SimError::EngineFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_fault_seeded_plan_still_completes() {
+        let (dag, cfg) = dag_and_cfg();
+        let plan = FaultPlan::seeded(
+            0xDEAD,
+            &cfg.sim.mesh,
+            200_000,
+            &FaultRates {
+                engine_fail_prob: 0.2,
+                ..FaultRates::uniform(0.1)
+            },
+        );
+        assert!(!plan.is_empty());
+        let a = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto()).unwrap();
+        let b = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto()).unwrap();
+        assert_eq!(a, b, "recovery must be deterministic for a fixed plan");
+        assert_eq!(
+            a.stats.tasks as u64,
+            dag.atom_count() as u64 + a.stats.degradation.rerun_tasks
+        );
+    }
+}

@@ -23,12 +23,10 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::atomic_dag::{AtomId, AtomicDag};
 
 /// The scheduling result: atoms to launch at each round (`Schedule[t]`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     /// `rounds[t]` — the atoms chosen at round `t` (≤ `N` of them).
     pub rounds: Vec<Vec<AtomId>>,
@@ -55,8 +53,50 @@ impl Schedule {
     }
 }
 
+/// Errors surfaced by [`Scheduler::schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The configuration requests zero engines, so no round can hold an
+    /// atom.
+    NoEngines,
+    /// No atom is ready although `remaining` atoms are unscheduled — a
+    /// dependency cycle. A well-formed [`AtomicDag`] cannot produce one;
+    /// surfaced as an error (not a panic) so callers can diagnose corrupted
+    /// or hand-built DAGs.
+    LiveLock {
+        /// Atoms still unscheduled when progress stopped.
+        remaining: usize,
+    },
+    /// The completed-atom mask passed to
+    /// [`Scheduler::schedule_remaining`] does not cover the DAG.
+    MaskMismatch {
+        /// Atoms in the DAG.
+        expected: usize,
+        /// Length of the mask supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NoEngines => write!(f, "scheduler configured with zero engines"),
+            ScheduleError::LiveLock { remaining } => write!(
+                f,
+                "live-lock: no ready atoms but {remaining} atoms remain unscheduled"
+            ),
+            ScheduleError::MaskMismatch { expected, got } => write!(
+                f,
+                "completed-atom mask covers {got} atoms but the DAG has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// Search strategy for choosing each round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScheduleMode {
     /// Strict layer-topological order: each layer's atoms run in waves
     /// before the next layer starts (no cross-layer mixing). This is the
@@ -77,7 +117,7 @@ pub enum ScheduleMode {
 }
 
 /// Scheduler configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedulerConfig {
     /// Number of engines `N` (atoms per round).
     pub engines: usize,
@@ -88,12 +128,21 @@ pub struct SchedulerConfig {
 impl SchedulerConfig {
     /// Paper-style DP scheduling on `engines` engines.
     pub fn dp(engines: usize) -> Self {
-        Self { engines, mode: ScheduleMode::Dp { lookahead: 2, branch: 3 } }
+        Self {
+            engines,
+            mode: ScheduleMode::Dp {
+                lookahead: 2,
+                branch: 3,
+            },
+        }
     }
 
     /// Greedy priority scheduling on `engines` engines.
     pub fn greedy(engines: usize) -> Self {
-        Self { engines, mode: ScheduleMode::PriorityGreedy }
+        Self {
+            engines,
+            mode: ScheduleMode::PriorityGreedy,
+        }
     }
 }
 
@@ -129,6 +178,10 @@ struct State<'a> {
     remaining: usize,
     /// Sum of compute cycles of remaining atoms (lower-bound heuristic).
     remaining_cycles: u64,
+    /// Atoms already executed before this scheduling pass (recovery:
+    /// re-scheduling the remainder of a partially run DAG). Never entered
+    /// into ready queues.
+    done: Vec<bool>,
 }
 
 /// Journal entry for undoing one applied round.
@@ -143,12 +196,20 @@ struct Applied {
 }
 
 impl<'a> State<'a> {
-    fn new(dag: &'a AtomicDag) -> Self {
+    /// State over the not-yet-executed remainder of `dag`. `done[i]` marks
+    /// atoms that already ran (an empty slice marks none); their edges are
+    /// treated as satisfied and they are never scheduled again.
+    fn new_with_completed(dag: &'a AtomicDag, done: &[bool]) -> Self {
+        let is_done = |i: usize| done.get(i).copied().unwrap_or(false);
         let nl = dag.layer_count();
         let n_inst = nl * dag.batch();
         let mut indegree = vec![0u32; dag.atom_count()];
-        for i in 0..dag.atom_count() {
-            indegree[i] = dag.preds(AtomId(i as u32)).len() as u32;
+        for (i, deg) in indegree.iter_mut().enumerate() {
+            *deg = dag
+                .preds(AtomId(i as u32))
+                .iter()
+                .filter(|(p, _)| !is_done(p.index()))
+                .count() as u32;
         }
         let mut st = State {
             dag,
@@ -159,10 +220,16 @@ impl<'a> State<'a> {
             ready_started: BTreeSet::new(),
             ready_unstarted: BTreeSet::new(),
             remaining_per_batch: vec![0; dag.batch()],
-            remaining: dag.atom_count(),
-            remaining_cycles: dag.total_compute_cycles(),
+            remaining: 0,
+            remaining_cycles: 0,
+            done: (0..dag.atom_count()).map(is_done).collect(),
         };
         for (i, atom) in dag.atoms().iter().enumerate() {
+            if st.done[i] {
+                continue;
+            }
+            st.remaining += 1;
+            st.remaining_cycles += atom.cost.cycles;
             st.remaining_per_batch[atom.batch as usize] += 1;
             if st.indegree[i] == 0 {
                 let inst = st.inst_of(AtomId(i as u32));
@@ -283,12 +350,13 @@ impl<'a> State<'a> {
             self.remaining_cycles -= atom.cost.cycles;
             self.refresh(inst);
         }
-        // Release successors.
+        // Release successors (already-done successors never re-enter the
+        // ready queues — only possible when resuming a partial run).
         for &a in combo {
             for &s in self.dag.succs(a) {
                 let si = s.index();
                 self.indegree[si] -= 1;
-                if self.indegree[si] == 0 {
+                if self.indegree[si] == 0 && !self.done[si] {
                     let inst = self.inst_of(s);
                     self.ready[inst].push_back(s);
                     journal.pushed.push((inst, s));
@@ -351,18 +419,46 @@ impl<'a> State<'a> {
 impl<'a> Scheduler<'a> {
     /// Creates a scheduler over `dag`.
     pub fn new(dag: &'a AtomicDag, cfg: SchedulerConfig) -> Self {
-        assert!(cfg.engines > 0, "need at least one engine");
         Self { dag, cfg }
     }
 
     /// Runs the search and returns the round schedule.
-    pub fn schedule(&self) -> Schedule {
-        let mut state = State::new(self.dag);
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::NoEngines`] if the configuration has zero engines;
+    /// [`ScheduleError::LiveLock`] if no atom is ready while work remains
+    /// (only possible on a cyclic, hand-built DAG).
+    pub fn schedule(&self) -> Result<Schedule, ScheduleError> {
+        self.schedule_remaining(&[])
+    }
+
+    /// Schedules only the atoms not marked in `done` (an empty slice marks
+    /// none): the recovery path after an engine failure re-rounds the
+    /// unfinished remainder of the DAG, treating completed atoms' outputs
+    /// as satisfied dependencies.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::MaskMismatch`] when `done` is non-empty but does not
+    /// have exactly one flag per atom, plus everything
+    /// [`Scheduler::schedule`] can return.
+    pub fn schedule_remaining(&self, done: &[bool]) -> Result<Schedule, ScheduleError> {
+        if self.cfg.engines == 0 {
+            return Err(ScheduleError::NoEngines);
+        }
+        if !done.is_empty() && done.len() != self.dag.atom_count() {
+            return Err(ScheduleError::MaskMismatch {
+                expected: self.dag.atom_count(),
+                got: done.len(),
+            });
+        }
+        let mut state = State::new_with_completed(self.dag, done);
         let n = self.cfg.engines;
         let mut rounds = Vec::new();
 
         if self.cfg.mode == ScheduleMode::LayerOrder {
-            return self.schedule_layer_order();
+            return Ok(self.schedule_layer_order(done));
         }
         while state.remaining > 0 {
             let combo = match self.cfg.mode {
@@ -372,23 +468,32 @@ impl<'a> Scheduler<'a> {
                     self.best_combo(&mut state, n, lookahead, branch)
                 }
             };
-            assert!(!combo.is_empty(), "live-lock: no ready atoms but work remains");
+            if combo.is_empty() {
+                return Err(ScheduleError::LiveLock {
+                    remaining: state.remaining,
+                });
+            }
             state.apply(&combo);
             rounds.push(combo);
         }
-        Schedule { rounds }
+        Ok(Schedule { rounds })
     }
 
     /// Layer-topological wave schedule (no cross-layer mixing); atoms of a
     /// layer are pooled across batch samples, as in the LS baseline.
-    fn schedule_layer_order(&self) -> Schedule {
+    fn schedule_layer_order(&self, done: &[bool]) -> Schedule {
+        let is_done = |a: &AtomId| done.get(a.index()).copied().unwrap_or(false);
         let n = self.cfg.engines;
         let mut rounds = Vec::new();
         for layer in 0..self.dag.layer_count() {
             let mut pool: Vec<AtomId> = Vec::new();
             for b in 0..self.dag.batch() {
-                pool.extend_from_slice(
-                    self.dag.layer_atoms(b, dnn_graph::LayerId(layer as u32)),
+                pool.extend(
+                    self.dag
+                        .layer_atoms(b, dnn_graph::LayerId(layer as u32))
+                        .iter()
+                        .copied()
+                        .filter(|a| !is_done(a)),
                 );
             }
             for wave in pool.chunks(n) {
@@ -437,7 +542,10 @@ impl<'a> Scheduler<'a> {
                 Default::default();
             for &a in &pool {
                 let atom = self.dag.atom(a);
-                by_layer.entry((atom.batch, atom.layer.0)).or_default().push(a);
+                by_layer
+                    .entry((atom.batch, atom.layer.0))
+                    .or_default()
+                    .push(a);
             }
             let mut groups: Vec<Vec<AtomId>> = by_layer.into_values().collect();
             groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
@@ -529,9 +637,22 @@ mod tests {
         let g = models::tiny_branchy();
         let specs: Vec<AtomSpec> = g
             .layers()
-            .map(|l| AtomSpec { th: tile, tw: tile, tc: 1 << 20 }.clamped(l.out_shape()))
+            .map(|l| {
+                AtomSpec {
+                    th: tile,
+                    tw: tile,
+                    tc: 1 << 20,
+                }
+                .clamped(l.out_shape())
+            })
             .collect();
-        let d = AtomicDag::build(&g, &specs, batch, &EngineConfig::paper_default(), Dataflow::KcPartition);
+        let d = AtomicDag::build(
+            &g,
+            &specs,
+            batch,
+            &EngineConfig::paper_default(),
+            Dataflow::KcPartition,
+        );
         (g, d)
     }
 
@@ -554,14 +675,18 @@ mod tests {
     #[test]
     fn greedy_schedule_is_valid() {
         let (_, d) = dag(1, 8);
-        let s = Scheduler::new(&d, SchedulerConfig::greedy(4)).schedule();
+        let s = Scheduler::new(&d, SchedulerConfig::greedy(4))
+            .schedule()
+            .unwrap();
         check_valid(&d, &s, 4);
     }
 
     #[test]
     fn dp_schedule_is_valid() {
         let (_, d) = dag(2, 8);
-        let s = Scheduler::new(&d, SchedulerConfig::dp(4)).schedule();
+        let s = Scheduler::new(&d, SchedulerConfig::dp(4))
+            .schedule()
+            .unwrap();
         check_valid(&d, &s, 4);
     }
 
@@ -574,8 +699,12 @@ mod tests {
                 .map(|r| r.iter().map(|a| d.atom(*a).cost.cycles).max().unwrap_or(0))
                 .sum()
         };
-        let greedy = Scheduler::new(&d, SchedulerConfig::greedy(4)).schedule();
-        let dp = Scheduler::new(&d, SchedulerConfig::dp(4)).schedule();
+        let greedy = Scheduler::new(&d, SchedulerConfig::greedy(4))
+            .schedule()
+            .unwrap();
+        let dp = Scheduler::new(&d, SchedulerConfig::dp(4))
+            .schedule()
+            .unwrap();
         assert!(
             barrier_sum(&dp) <= barrier_sum(&greedy),
             "dp {} > greedy {}",
@@ -587,7 +716,9 @@ mod tests {
     #[test]
     fn rounds_prefer_current_sample() {
         let (_, d) = dag(3, 4);
-        let s = Scheduler::new(&d, SchedulerConfig::greedy(2)).schedule();
+        let s = Scheduler::new(&d, SchedulerConfig::greedy(2))
+            .schedule()
+            .unwrap();
         // The first time a sample-1 atom appears, sample 0 must be unable to
         // fill the round on its own (rule 4).
         let mut first_b1 = None;
@@ -599,21 +730,28 @@ mod tests {
         }
         let t = first_b1.expect("batch 1 must eventually run");
         // In that round, count sample-0 atoms: engines not filled by b0 alone.
-        let b0 = s.rounds[t].iter().filter(|a| d.atom(**a).batch == 0).count();
+        let b0 = s.rounds[t]
+            .iter()
+            .filter(|a| d.atom(**a).batch == 0)
+            .count();
         assert!(b0 < 2, "sample 0 still filled the round but sample 1 ran");
     }
 
     #[test]
     fn occupancy_high_for_parallel_dag() {
         let (_, d) = dag(2, 8);
-        let s = Scheduler::new(&d, SchedulerConfig::greedy(4)).schedule();
+        let s = Scheduler::new(&d, SchedulerConfig::greedy(4))
+            .schedule()
+            .unwrap();
         assert!(s.occupancy(4) > 0.5, "occupancy = {}", s.occupancy(4));
     }
 
     #[test]
     fn single_engine_schedules_serially() {
         let (_, d) = dag(1, 32);
-        let s = Scheduler::new(&d, SchedulerConfig::greedy(1)).schedule();
+        let s = Scheduler::new(&d, SchedulerConfig::greedy(1))
+            .schedule()
+            .unwrap();
         check_valid(&d, &s, 1);
         assert_eq!(s.len(), d.atom_count());
     }
@@ -621,7 +759,7 @@ mod tests {
     #[test]
     fn apply_undo_roundtrip() {
         let (_, d) = dag(1, 8);
-        let mut st = State::new(&d);
+        let mut st = State::new_with_completed(&d, &[]);
         let before_remaining = st.remaining;
         let before_ready: Vec<usize> = st.ready.iter().map(|q| q.len()).collect();
         let combo = st.select_priority(4);
@@ -644,7 +782,14 @@ mod tests {
         let g = models::tiny_cnn();
         let specs: Vec<AtomSpec> = g
             .layers()
-            .map(|l| AtomSpec { th: 8, tw: 8, tc: 1 << 20 }.clamped(l.out_shape()))
+            .map(|l| {
+                AtomSpec {
+                    th: 8,
+                    tw: 8,
+                    tc: 1 << 20,
+                }
+                .clamped(l.out_shape())
+            })
             .collect();
         let d = AtomicDag::build(
             &g,
@@ -655,7 +800,9 @@ mod tests {
         );
         // 6 engines so 16-atom layers leave a 4-atom tail that must be
         // topped up with ready atoms of the next layer.
-        let s = Scheduler::new(&d, SchedulerConfig::greedy(6)).schedule();
+        let s = Scheduler::new(&d, SchedulerConfig::greedy(6))
+            .schedule()
+            .unwrap();
         check_valid(&d, &s, 6);
         let mixed = s.rounds.iter().any(|r| {
             let layers: HashSet<u32> = r.iter().map(|a| d.atom(*a).layer.0).collect();
@@ -669,9 +816,13 @@ mod tests {
         let (_, d) = dag(2, 8);
         let s = Scheduler::new(
             &d,
-            SchedulerConfig { engines: 4, mode: ScheduleMode::LayerOrder },
+            SchedulerConfig {
+                engines: 4,
+                mode: ScheduleMode::LayerOrder,
+            },
         )
-        .schedule();
+        .schedule()
+        .unwrap();
         check_valid(&d, &s, 4);
         // No round mixes layers.
         for round in &s.rounds {
@@ -687,7 +838,14 @@ mod tests {
         let g = models::tiny_cnn();
         let specs: Vec<crate::atom::AtomSpec> = g
             .layers()
-            .map(|l| crate::atom::AtomSpec { th: 16, tw: 16, tc: 1 << 20 }.clamped(l.out_shape()))
+            .map(|l| {
+                crate::atom::AtomSpec {
+                    th: 16,
+                    tw: 16,
+                    tc: 1 << 20,
+                }
+                .clamped(l.out_shape())
+            })
             .collect();
         let d = AtomicDag::build(
             &g,
@@ -696,7 +854,9 @@ mod tests {
             &EngineConfig::paper_default(),
             Dataflow::KcPartition,
         );
-        let s = Scheduler::new(&d, SchedulerConfig::greedy(3)).schedule();
+        let s = Scheduler::new(&d, SchedulerConfig::greedy(3))
+            .schedule()
+            .unwrap();
         check_valid(&d, &s, 3);
         // Find the first round that contains conv1 atoms but not all of them:
         // the following round must start with the remaining conv1 atom(s).
@@ -704,6 +864,102 @@ mod tests {
         let first = &s.rounds[0];
         assert!(first.iter().all(|a| d.atom(*a).layer == conv1));
         assert_eq!(first.len(), 3);
-        assert_eq!(d.atom(s.rounds[1][0]).layer, conv1, "leftover conv1 atom first");
+        assert_eq!(
+            d.atom(s.rounds[1][0]).layer,
+            conv1,
+            "leftover conv1 atom first"
+        );
+    }
+
+    #[test]
+    fn zero_engines_is_a_typed_error() {
+        let (_, d) = dag(1, 8);
+        for mode in [
+            ScheduleMode::PriorityGreedy,
+            ScheduleMode::LayerOrder,
+            ScheduleMode::Dp {
+                lookahead: 1,
+                branch: 2,
+            },
+        ] {
+            let r = Scheduler::new(&d, SchedulerConfig { engines: 0, mode }).schedule();
+            assert_eq!(r, Err(ScheduleError::NoEngines), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_errors_display() {
+        assert!(ScheduleError::NoEngines
+            .to_string()
+            .contains("zero engines"));
+        let e = ScheduleError::LiveLock { remaining: 7 };
+        assert!(e.to_string().contains("7 atoms remain"));
+        let e = ScheduleError::MaskMismatch {
+            expected: 10,
+            got: 3,
+        };
+        assert!(e.to_string().contains("covers 3 atoms"));
+    }
+
+    #[test]
+    fn schedule_remaining_covers_exactly_the_unfinished_atoms() {
+        let (_, d) = dag(1, 8);
+        let full = Scheduler::new(&d, SchedulerConfig::greedy(4))
+            .schedule()
+            .unwrap();
+        // Mark everything in the first two rounds as done.
+        let mut done = vec![false; d.atom_count()];
+        for round in full.rounds.iter().take(2) {
+            for a in round {
+                done[a.index()] = true;
+            }
+        }
+        let done_count = done.iter().filter(|d| **d).count();
+        for cfg in [
+            SchedulerConfig::greedy(4),
+            SchedulerConfig::dp(4),
+            SchedulerConfig {
+                engines: 4,
+                mode: ScheduleMode::LayerOrder,
+            },
+        ] {
+            let rest = Scheduler::new(&d, cfg).schedule_remaining(&done).unwrap();
+            let mut seen: HashSet<AtomId> = HashSet::new();
+            for round in &rest.rounds {
+                assert!(round.len() <= 4);
+                for a in round {
+                    assert!(!done[a.index()], "done atom {a:?} rescheduled");
+                    // Every dependency is either pre-completed or scheduled
+                    // in an earlier round of the remainder.
+                    for (p, _) in d.preds(*a) {
+                        assert!(
+                            done[p.index()] || seen.contains(p),
+                            "dependency violated for {a:?} under {cfg:?}"
+                        );
+                    }
+                }
+                for a in round {
+                    assert!(seen.insert(*a));
+                }
+            }
+            assert_eq!(seen.len(), d.atom_count() - done_count, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_remaining_rejects_bad_mask_and_accepts_empty() {
+        let (_, d) = dag(1, 8);
+        let s = Scheduler::new(&d, SchedulerConfig::greedy(4));
+        assert_eq!(
+            s.schedule_remaining(&[true; 3]),
+            Err(ScheduleError::MaskMismatch {
+                expected: d.atom_count(),
+                got: 3
+            })
+        );
+        assert_eq!(s.schedule_remaining(&[]).unwrap(), s.schedule().unwrap());
+        // An all-done mask yields an empty schedule.
+        let all = vec![true; d.atom_count()];
+        assert!(s.schedule_remaining(&all).unwrap().is_empty());
     }
 }

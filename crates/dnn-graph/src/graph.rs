@@ -1,8 +1,6 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::layer::Layer;
 use crate::op::{Activation, ConvParams, OpKind, PoolParams};
 use crate::shape::TensorShape;
@@ -13,7 +11,7 @@ use crate::stats::GraphStats;
 /// Ids are dense (`0..layer_count()`) and assigned in insertion order, which
 /// is also a valid topological order because edges may only point to
 /// already-inserted layers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LayerId(pub u32);
 
 impl LayerId {
@@ -59,7 +57,10 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::UnknownLayer(id) => write!(f, "unknown producer layer {id}"),
             GraphError::ArityMismatch { op, expected, got } => {
-                write!(f, "operator {op} expects at least {expected} inputs, got {got}")
+                write!(
+                    f,
+                    "operator {op} expects at least {expected} inputs, got {got}"
+                )
             }
             GraphError::ShapeMismatch { layer, reason } => {
                 write!(f, "shape mismatch at layer `{layer}`: {reason}")
@@ -90,7 +91,7 @@ impl std::error::Error for GraphError {}
 /// assert_eq!(g.layer(f).out_shape().c, 10);
 /// assert!(g.validate().is_ok());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     name: String,
     layers: Vec<Layer>,
@@ -152,14 +153,18 @@ impl Graph {
 
     /// Every edge `(producer, consumer)` of the DAG.
     pub fn edges(&self) -> impl Iterator<Item = (LayerId, LayerId)> + '_ {
-        self.layers.iter().flat_map(move |l| {
-            self.preds(l.id()).iter().map(move |p| (*p, l.id()))
-        })
+        self.layers
+            .iter()
+            .flat_map(move |l| self.preds(l.id()).iter().map(move |p| (*p, l.id())))
     }
 
     /// Ids of all `Input` layers.
     pub fn inputs(&self) -> Vec<LayerId> {
-        self.layers.iter().filter(|l| l.op().is_input()).map(|l| l.id()).collect()
+        self.layers
+            .iter()
+            .filter(|l| l.op().is_input())
+            .map(|l| l.id())
+            .collect()
     }
 
     /// Ids of all sink layers (no consumers).
@@ -228,8 +233,11 @@ impl Graph {
             if l.op().is_input() {
                 continue; // Input shapes are user-supplied, not inferred.
             }
-            let shapes: Vec<TensorShape> =
-                self.preds(l.id()).iter().map(|p| self.layer(*p).out_shape()).collect();
+            let shapes: Vec<TensorShape> = self
+                .preds(l.id())
+                .iter()
+                .map(|p| self.layer(*p).out_shape())
+                .collect();
             let expect = infer_shape(l.name(), l.op(), &shapes)?;
             if expect != l.out_shape() {
                 return Err(GraphError::ShapeMismatch {
@@ -246,14 +254,13 @@ impl Graph {
     /// Adds a network input of the given shape.
     pub fn add_input(&mut self, shape: TensorShape) -> LayerId {
         let n = self.by_name.len();
-        self.try_add_layer(format!("input{n}"), OpKind::Input, &[])
-            .and_then(|id| {
-                // Patch the shape: Input has no producers to infer from.
-                self.layers[id.index()].in_shape = shape;
-                self.layers[id.index()].out_shape = shape;
-                Ok(id)
-            })
-            .expect("adding an input cannot fail")
+        let id = self
+            .try_add_layer(format!("input{n}"), OpKind::Input, &[])
+            .expect("adding an input cannot fail");
+        // Patch the shape: Input has no producers to infer from.
+        self.layers[id.index()].in_shape = shape;
+        self.layers[id.index()].out_shape = shape;
+        id
     }
 
     /// Adds any operator, inferring and validating shapes.
@@ -277,13 +284,18 @@ impl Graph {
                 return Err(GraphError::UnknownLayer(*p));
             }
         }
-        let shapes: Vec<TensorShape> =
-            inputs.iter().map(|p| self.layer(*p).out_shape()).collect();
+        let shapes: Vec<TensorShape> = inputs.iter().map(|p| self.layer(*p).out_shape()).collect();
         let out_shape = infer_shape(&name, op, &shapes)?;
         let in_shape = shapes.first().copied().unwrap_or(out_shape);
 
         let id = LayerId(self.layers.len() as u32);
-        self.layers.push(Layer { id, name: name.clone(), op, in_shape, out_shape });
+        self.layers.push(Layer {
+            id,
+            name: name.clone(),
+            op,
+            in_shape,
+            out_shape,
+        });
         self.preds.push(inputs.to_vec());
         self.succs.push(Vec::new());
         for p in inputs {
@@ -294,7 +306,8 @@ impl Graph {
     }
 
     fn add_unary(&mut self, name: impl Into<String>, op: OpKind, input: LayerId) -> LayerId {
-        self.try_add_layer(name, op, &[input]).expect("model builder wiring error")
+        self.try_add_layer(name, op, &[input])
+            .expect("model builder wiring error")
     }
 
     /// Adds a convolution. Panics on wiring errors (see [`Graph::try_add_layer`]).
@@ -329,12 +342,14 @@ impl Graph {
 
     /// Adds an element-wise addition over ≥ 2 equal-shaped producers.
     pub fn add_add(&mut self, name: impl Into<String>, inputs: &[LayerId]) -> LayerId {
-        self.try_add_layer(name, OpKind::Add, inputs).expect("model builder wiring error")
+        self.try_add_layer(name, OpKind::Add, inputs)
+            .expect("model builder wiring error")
     }
 
     /// Adds a channel concatenation over ≥ 2 producers with equal `H × W`.
     pub fn add_concat(&mut self, name: impl Into<String>, inputs: &[LayerId]) -> LayerId {
-        self.try_add_layer(name, OpKind::Concat, inputs).expect("model builder wiring error")
+        self.try_add_layer(name, OpKind::Concat, inputs)
+            .expect("model builder wiring error")
     }
 
     /// Adds a channel-wise scale: `inputs[0]` is the feature map, `inputs[1]`
@@ -369,10 +384,17 @@ impl Graph {
 
 /// Infers the output shape of `op` applied to producers with `shapes`.
 fn infer_shape(name: &str, op: OpKind, shapes: &[TensorShape]) -> Result<TensorShape, GraphError> {
-    let mismatch = |reason: String| GraphError::ShapeMismatch { layer: name.to_string(), reason };
+    let mismatch = |reason: String| GraphError::ShapeMismatch {
+        layer: name.to_string(),
+        reason,
+    };
     let need = |n: usize, op: &'static str| -> Result<(), GraphError> {
         if shapes.len() < n {
-            Err(GraphError::ArityMismatch { op, expected: n, got: shapes.len() })
+            Err(GraphError::ArityMismatch {
+                op,
+                expected: n,
+                got: shapes.len(),
+            })
         } else {
             Ok(())
         }
@@ -386,8 +408,11 @@ fn infer_shape(name: &str, op: OpKind, shapes: &[TensorShape]) -> Result<TensorS
         OpKind::Conv(p) => {
             need(1, "conv")?;
             let s = shapes[0];
-            if p.groups == 0 || s.c % p.groups != 0 {
-                return Err(mismatch(format!("groups {} do not divide C_i {}", p.groups, s.c)));
+            if p.groups == 0 || !s.c.is_multiple_of(p.groups) {
+                return Err(mismatch(format!(
+                    "groups {} do not divide C_i {}",
+                    p.groups, s.c
+                )));
             }
             if p.groups > 1 && p.out_channels % p.groups != 0 {
                 return Err(mismatch(format!(
@@ -424,7 +449,10 @@ fn infer_shape(name: &str, op: OpKind, shapes: &[TensorShape]) -> Result<TensorS
             need(1, "pool")?;
             let s = shapes[0];
             if s.h + 2 * p.pad < p.k || s.w + 2 * p.pad < p.k {
-                return Err(mismatch(format!("pool window {} larger than input {}", p.k, s)));
+                return Err(mismatch(format!(
+                    "pool window {} larger than input {}",
+                    p.k, s
+                )));
             }
             Ok(TensorShape::new(
                 ConvParams::out_extent(s.h, p.k, p.stride, p.pad),
@@ -556,7 +584,12 @@ mod tests {
         let p = g.add_pool(
             "p",
             x,
-            PoolParams { kind: PoolKind::Max, k: 3, stride: 2, pad: 1 },
+            PoolParams {
+                kind: PoolKind::Max,
+                k: 3,
+                stride: 2,
+                pad: 1,
+            },
         );
         assert_eq!(g.layer(p).out_shape(), TensorShape::new(112, 112, 64));
     }

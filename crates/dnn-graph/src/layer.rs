@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::graph::LayerId;
 use crate::op::OpKind;
 use crate::shape::TensorShape;
@@ -11,7 +9,7 @@ use crate::BYTES_PER_ELEM;
 /// Layers are created through [`crate::Graph`]'s builder methods, which
 /// compute `out_shape` from the operator and the producer shapes and validate
 /// wiring; fields are therefore read-only from outside the crate.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Layer {
     pub(crate) id: LayerId,
     pub(crate) name: String,
@@ -75,7 +73,10 @@ impl Layer {
             OpKind::Pool(p) => self.out_shape.elements() * (p.k * p.k) as u64,
             OpKind::GlobalAvgPool => self.in_shape.elements(),
             // Scale+shift / activation / add: one pass over the output.
-            OpKind::Add | OpKind::Concat | OpKind::Act(_) | OpKind::BatchNorm
+            OpKind::Add
+            | OpKind::Concat
+            | OpKind::Act(_)
+            | OpKind::BatchNorm
             | OpKind::ChannelScale => self.out_shape.elements(),
         }
     }

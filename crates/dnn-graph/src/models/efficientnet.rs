@@ -20,7 +20,11 @@ fn mbconv(
     if expand != 1 {
         cur = g.add_conv(format!("{n}_expand"), cur, ConvParams::new(1, 1, 0, mid));
     }
-    cur = g.add_conv(format!("{n}_dw"), cur, ConvParams::depthwise(k, stride, k / 2, mid));
+    cur = g.add_conv(
+        format!("{n}_dw"),
+        cur,
+        ConvParams::depthwise(k, stride, k / 2, mid),
+    );
 
     // Squeeze-and-excitation: gap -> fc(reduce) -> fc(expand) -> scale.
     let squeezed = g.add_gap(format!("{n}_se_gap"), cur);
@@ -62,7 +66,16 @@ pub fn efficientnet() -> Graph {
     for (si, (e, k, c, reps, s0)) in stages.iter().enumerate() {
         for r in 0..*reps {
             let stride = if r == 0 { *s0 } else { 1 };
-            cur = mbconv(&mut g, &format!("mb{}_{}", si + 1, r), cur, *e, *k, *c, stride, 4);
+            cur = mbconv(
+                &mut g,
+                &format!("mb{}_{}", si + 1, r),
+                cur,
+                *e,
+                *k,
+                *c,
+                stride,
+                4,
+            );
         }
     }
 
@@ -83,14 +96,25 @@ mod tests {
         assert!(g.validate().is_ok());
         let s = g.stats();
         // B0 class: a few hundred MMACs, single-digit M params.
-        assert!(s.macs > 200_000_000 && s.macs < 900_000_000, "macs={}", s.macs);
-        assert!(s.params > 2_000_000 && s.params < 9_000_000, "params={}", s.params);
+        assert!(
+            s.macs > 200_000_000 && s.macs < 900_000_000,
+            "macs={}",
+            s.macs
+        );
+        assert!(
+            s.params > 2_000_000 && s.params < 9_000_000,
+            "params={}",
+            s.params
+        );
     }
 
     #[test]
     fn se_blocks_present() {
         let g = efficientnet();
-        let scales = g.layers().filter(|l| matches!(l.op(), OpKind::ChannelScale)).count();
+        let scales = g
+            .layers()
+            .filter(|l| matches!(l.op(), OpKind::ChannelScale))
+            .count();
         assert_eq!(scales, 16, "one SE scale per MBConv block");
     }
 

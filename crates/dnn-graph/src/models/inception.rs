@@ -1,13 +1,29 @@
 use crate::{ConvParams, Graph, LayerId, PoolParams, TensorShape};
 
-fn conv(g: &mut Graph, name: String, x: LayerId, k: usize, s: usize, p: usize, c: usize) -> LayerId {
+fn conv(
+    g: &mut Graph,
+    name: String,
+    x: LayerId,
+    k: usize,
+    s: usize,
+    p: usize,
+    c: usize,
+) -> LayerId {
     g.add_conv(name, x, ConvParams::new(k, s, p, c))
 }
 
 /// 1×7 followed by 7×1 factorized convolution pair (stride-1, "same").
 fn conv_1x7_7x1(g: &mut Graph, prefix: &str, x: LayerId, mid: usize, out: usize) -> LayerId {
-    let a = g.add_conv(format!("{prefix}_1x7"), x, ConvParams::rect(1, 7, 1, 0, mid));
-    g.add_conv(format!("{prefix}_7x1"), a, ConvParams::rect(7, 1, 1, 3, out))
+    let a = g.add_conv(
+        format!("{prefix}_1x7"),
+        x,
+        ConvParams::rect(1, 7, 1, 0, mid),
+    );
+    g.add_conv(
+        format!("{prefix}_7x1"),
+        a,
+        ConvParams::rect(7, 1, 1, 3, out),
+    )
 }
 
 /// Inception-A block (35×35 grid): 1×1 / 5×5 / double-3×3 / pool branches.
@@ -76,14 +92,30 @@ fn block_e(g: &mut Graph, n: &str, x: LayerId) -> LayerId {
     let b1 = conv(g, format!("{n}_1x1"), x, 1, 1, 0, 320);
 
     let b3 = conv(g, format!("{n}_3x3_reduce"), x, 1, 1, 0, 384);
-    let b3a = g.add_conv(format!("{n}_3x3_1x3"), b3, ConvParams::rect(1, 3, 1, 0, 384));
-    let b3b = g.add_conv(format!("{n}_3x3_3x1"), b3, ConvParams::rect(3, 1, 1, 1, 384));
+    let b3a = g.add_conv(
+        format!("{n}_3x3_1x3"),
+        b3,
+        ConvParams::rect(1, 3, 1, 0, 384),
+    );
+    let b3b = g.add_conv(
+        format!("{n}_3x3_3x1"),
+        b3,
+        ConvParams::rect(3, 1, 1, 1, 384),
+    );
     let b3 = g.add_concat(format!("{n}_3x3_cat"), &[b3a, b3b]);
 
     let bd = conv(g, format!("{n}_dbl_reduce"), x, 1, 1, 0, 448);
     let bd = conv(g, format!("{n}_dbl_3x3"), bd, 3, 1, 1, 384);
-    let bda = g.add_conv(format!("{n}_dbl_1x3"), bd, ConvParams::rect(1, 3, 1, 0, 384));
-    let bdb = g.add_conv(format!("{n}_dbl_3x1"), bd, ConvParams::rect(3, 1, 1, 1, 384));
+    let bda = g.add_conv(
+        format!("{n}_dbl_1x3"),
+        bd,
+        ConvParams::rect(1, 3, 1, 0, 384),
+    );
+    let bdb = g.add_conv(
+        format!("{n}_dbl_3x1"),
+        bd,
+        ConvParams::rect(3, 1, 1, 1, 384),
+    );
     let bd = g.add_concat(format!("{n}_dbl_cat"), &[bda, bdb]);
 
     let bp = g.add_pool(format!("{n}_pool"), x, PoolParams::avg(3, 1).with_pad(1));
@@ -152,8 +184,16 @@ mod tests {
     fn inception_scale() {
         let g = inception_v3();
         let s = g.stats();
-        assert!(s.params > 18_000_000 && s.params < 30_000_000, "params={}", s.params);
-        assert!(s.macs > 4_000_000_000 && s.macs < 8_000_000_000, "macs={}", s.macs);
+        assert!(
+            s.params > 18_000_000 && s.params < 30_000_000,
+            "params={}",
+            s.params
+        );
+        assert!(
+            s.macs > 4_000_000_000 && s.macs < 8_000_000_000,
+            "macs={}",
+            s.macs
+        );
     }
 
     #[test]
@@ -163,7 +203,13 @@ mod tests {
         let g = inception_v3();
         let max_fanout = g.layers().map(|l| g.succs(l.id()).len()).max().unwrap();
         assert!(max_fanout >= 3, "max fanout {max_fanout}");
-        let cats = g.layers().filter(|l| matches!(l.op(), OpKind::Concat)).count();
-        assert!(cats >= 11, "expected one concat per mixed block, got {cats}");
+        let cats = g
+            .layers()
+            .filter(|l| matches!(l.op(), OpKind::Concat))
+            .count();
+        assert!(
+            cats >= 11,
+            "expected one concat per mixed block, got {cats}"
+        );
     }
 }

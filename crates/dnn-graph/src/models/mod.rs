@@ -59,7 +59,10 @@ pub fn by_name(name: &str) -> Option<Graph> {
 
 /// All eight paper workloads (expensive to build for the NAS networks).
 pub fn all_paper_workloads() -> Vec<Graph> {
-    PAPER_WORKLOADS.iter().map(|n| by_name(n).expect("known name")).collect()
+    PAPER_WORKLOADS
+        .iter()
+        .map(|n| by_name(n).expect("known name"))
+        .collect()
 }
 
 /// A small strictly-linear CNN (VGG-like) for fast tests: 4 convolutions,
@@ -119,13 +122,29 @@ mod tests {
         // architectures (±~40%): VGG-19 ≈ 19.6G, ResNet-50 ≈ 4.1G.
         let vgg = vgg19();
         let s = vgg.stats();
-        assert!(s.macs > 15_000_000_000 && s.macs < 25_000_000_000, "vgg19 macs={}", s.macs);
-        assert!(s.params > 120_000_000 && s.params < 160_000_000, "vgg19 params={}", s.params);
+        assert!(
+            s.macs > 15_000_000_000 && s.macs < 25_000_000_000,
+            "vgg19 macs={}",
+            s.macs
+        );
+        assert!(
+            s.params > 120_000_000 && s.params < 160_000_000,
+            "vgg19 params={}",
+            s.params
+        );
 
         let r50 = resnet50();
         let s = r50.stats();
-        assert!(s.macs > 3_000_000_000 && s.macs < 5_500_000_000, "r50 macs={}", s.macs);
-        assert!(s.params > 20_000_000 && s.params < 30_000_000, "r50 params={}", s.params);
+        assert!(
+            s.macs > 3_000_000_000 && s.macs < 5_500_000_000,
+            "r50 macs={}",
+            s.macs
+        );
+        assert!(
+            s.params > 20_000_000 && s.params < 30_000_000,
+            "r50 params={}",
+            s.params
+        );
     }
 
     #[test]
@@ -136,7 +155,9 @@ mod tests {
         assert!(has_add, "resnet50 must contain residual adds");
 
         let inc = inception_v3();
-        let has_cat = inc.layers().any(|l| matches!(l.op(), crate::OpKind::Concat));
+        let has_cat = inc
+            .layers()
+            .any(|l| matches!(l.op(), crate::OpKind::Concat));
         assert!(has_cat, "inception must contain concats");
 
         // VGG is strictly layer-cascaded: every non-input layer has 1 pred.

@@ -14,9 +14,17 @@ use crate::{ConvParams, Graph, LayerId, PoolParams, TensorShape};
 /// twice, i.e. `dw(k,stride) → pw(f) → dw(k,1) → pw(f)`.
 fn sep(g: &mut Graph, n: String, x: LayerId, k: usize, f: usize, stride: usize) -> LayerId {
     let c_in = g.layer(x).out_shape().c;
-    let d1 = g.add_conv(format!("{n}_dw1"), x, ConvParams::depthwise(k, stride, k / 2, c_in));
+    let d1 = g.add_conv(
+        format!("{n}_dw1"),
+        x,
+        ConvParams::depthwise(k, stride, k / 2, c_in),
+    );
     let p1 = g.add_conv(format!("{n}_pw1"), d1, ConvParams::new(1, 1, 0, f));
-    let d2 = g.add_conv(format!("{n}_dw2"), p1, ConvParams::depthwise(k, 1, k / 2, f));
+    let d2 = g.add_conv(
+        format!("{n}_dw2"),
+        p1,
+        ConvParams::depthwise(k, 1, k / 2, f),
+    );
     g.add_conv(format!("{n}_pw2"), d2, ConvParams::new(1, 1, 0, f))
 }
 

@@ -10,12 +10,20 @@ fn bottleneck(
     out: usize,
     stride: usize,
 ) -> LayerId {
-    let a = g.add_conv(format!("{prefix}_a"), input, ConvParams::new(1, stride, 0, mid));
+    let a = g.add_conv(
+        format!("{prefix}_a"),
+        input,
+        ConvParams::new(1, stride, 0, mid),
+    );
     let b = g.add_conv(format!("{prefix}_b"), a, ConvParams::new(3, 1, 1, mid));
     let c = g.add_conv(format!("{prefix}_c"), b, ConvParams::new(1, 1, 0, out));
     let in_shape = g.layer(input).out_shape();
     let shortcut = if stride != 1 || in_shape.c != out {
-        g.add_conv(format!("{prefix}_sc"), input, ConvParams::new(1, stride, 0, out))
+        g.add_conv(
+            format!("{prefix}_sc"),
+            input,
+            ConvParams::new(1, stride, 0, out),
+        )
     } else {
         input
     };
@@ -97,7 +105,10 @@ mod tests {
         let g = resnet50();
         // 53 convs + 16 adds + maxpool + gap + fc + input = 73.
         assert_eq!(g.layer_count(), 73);
-        let convs = g.layers().filter(|l| matches!(l.op(), OpKind::Conv(_))).count();
+        let convs = g
+            .layers()
+            .filter(|l| matches!(l.op(), OpKind::Conv(_)))
+            .count();
         assert_eq!(convs, 53);
         let adds = g.layers().filter(|l| matches!(l.op(), OpKind::Add)).count();
         assert_eq!(adds, 16);

@@ -45,8 +45,14 @@ mod tests {
     #[test]
     fn vgg19_counts() {
         let g = vgg19();
-        let convs = g.layers().filter(|l| matches!(l.op(), crate::OpKind::Conv(_))).count();
-        let fcs = g.layers().filter(|l| matches!(l.op(), crate::OpKind::Fc { .. })).count();
+        let convs = g
+            .layers()
+            .filter(|l| matches!(l.op(), crate::OpKind::Conv(_)))
+            .count();
+        let fcs = g
+            .layers()
+            .filter(|l| matches!(l.op(), crate::OpKind::Fc { .. }))
+            .count();
         assert_eq!(convs, 16);
         assert_eq!(fcs, 3);
         // fc6 dominates params: 7*7*512*4096 ≈ 102.8M.

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Convolution hyper-parameters (Fig. 1(b) of the paper).
@@ -6,7 +5,7 @@ use std::fmt;
 /// `groups > 1` expresses grouped convolution; `groups == in_channels`
 /// (with `out == in`) is a depthwise convolution as used by EfficientNet and
 /// the NASNet-family separable convolutions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvParams {
     /// Kernel height `K_h`.
     pub kh: usize,
@@ -26,7 +25,14 @@ impl ConvParams {
     /// Dense convolution with square kernel `k`, stride `s` and "same"-style
     /// padding `pad`.
     pub fn new(k: usize, stride: usize, pad: usize, out_channels: usize) -> Self {
-        Self { kh: k, kw: k, stride, pad, out_channels, groups: 1 }
+        Self {
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+            out_channels,
+            groups: 1,
+        }
     }
 
     /// Non-square dense convolution (used by Inception's 1×7 / 7×1 factorized
@@ -34,12 +40,26 @@ impl ConvParams {
     pub fn rect(kh: usize, kw: usize, stride: usize, pad_h: usize, out_channels: usize) -> Self {
         // Rectangular kernels in Inception use "same" padding; we store the
         // larger padding and let the shape rule below recompute per-axis.
-        Self { kh, kw, stride, pad: pad_h, out_channels, groups: 1 }
+        Self {
+            kh,
+            kw,
+            stride,
+            pad: pad_h,
+            out_channels,
+            groups: 1,
+        }
     }
 
     /// Depthwise convolution over `channels` input channels.
     pub fn depthwise(k: usize, stride: usize, pad: usize, channels: usize) -> Self {
-        Self { kh: k, kw: k, stride, pad, out_channels: channels, groups: channels }
+        Self {
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+            out_channels: channels,
+            groups: channels,
+        }
     }
 
     /// Output spatial size along one axis for input extent `i`, kernel `k`.
@@ -50,7 +70,7 @@ impl ConvParams {
 }
 
 /// Pooling flavor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PoolKind {
     /// Max pooling.
     Max,
@@ -59,7 +79,7 @@ pub enum PoolKind {
 }
 
 /// Pooling hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PoolParams {
     /// Max or average.
     pub kind: PoolKind,
@@ -74,12 +94,22 @@ pub struct PoolParams {
 impl PoolParams {
     /// Max pooling with window `k` and stride `stride` (no padding).
     pub fn max(k: usize, stride: usize) -> Self {
-        Self { kind: PoolKind::Max, k, stride, pad: 0 }
+        Self {
+            kind: PoolKind::Max,
+            k,
+            stride,
+            pad: 0,
+        }
     }
 
     /// Average pooling with window `k` and stride `stride` (no padding).
     pub fn avg(k: usize, stride: usize) -> Self {
-        Self { kind: PoolKind::Avg, k, stride, pad: 0 }
+        Self {
+            kind: PoolKind::Avg,
+            k,
+            stride,
+            pad: 0,
+        }
     }
 
     /// Adds symmetric padding.
@@ -90,7 +120,7 @@ impl PoolParams {
 }
 
 /// Element-wise activation functions executed on the engine's vector unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Activation {
     /// Rectified linear unit.
     Relu,
@@ -104,7 +134,7 @@ pub enum Activation {
 ///
 /// Tensor operators (`Conv`, `Fc`) run on the PE array; all others run on
 /// the per-engine vector unit (Fig. 1(a) of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Network input placeholder (no computation).
     Input,
@@ -202,7 +232,10 @@ mod tests {
 
     #[test]
     fn mnemonics() {
-        assert_eq!(OpKind::Conv(ConvParams::depthwise(3, 1, 1, 8)).mnemonic(), "dwconv");
+        assert_eq!(
+            OpKind::Conv(ConvParams::depthwise(3, 1, 1, 8)).mnemonic(),
+            "dwconv"
+        );
         assert_eq!(OpKind::Pool(PoolParams::avg(3, 1)).mnemonic(), "avgpool");
     }
 }

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::BYTES_PER_ELEM;
@@ -15,7 +14,7 @@ use crate::BYTES_PER_ELEM;
 /// let s = TensorShape::new(56, 56, 64);
 /// assert_eq!(s.elements(), 56 * 56 * 64);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TensorShape {
     /// Feature-map height (`H`).
     pub h: usize,
@@ -32,7 +31,10 @@ impl TensorShape {
     ///
     /// Panics if any dimension is zero.
     pub fn new(h: usize, w: usize, c: usize) -> Self {
-        assert!(h > 0 && w > 0 && c > 0, "tensor dimensions must be non-zero");
+        assert!(
+            h > 0 && w > 0 && c > 0,
+            "tensor dimensions must be non-zero"
+        );
         Self { h, w, c }
     }
 

@@ -1,11 +1,10 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::graph::Graph;
 
 /// Aggregate statistics of a workload, mirroring the paper's Table I
 /// characterization (layer count, parameter count, structure).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GraphStats {
     /// Total graph nodes, inputs included.
     pub layers: usize,

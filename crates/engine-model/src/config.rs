@@ -1,11 +1,9 @@
-use serde::{Deserialize, Serialize};
-
 use crate::cost::CostEstimate;
 use crate::energy::EnergyModel;
 use crate::task::ConvTask;
 
 /// Spatial mapping strategy of the 2-D PE array (Sec. IV-A / Sec. V-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataflow {
     /// *KC-Partition* (NVDLA-like): input channels unrolled along PE rows,
     /// output channels along PE columns; weights stationary.
@@ -33,7 +31,7 @@ impl Dataflow {
 }
 
 /// Micro-architecture of one tensor engine (Fig. 1(a)).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     /// PE rows (`PE_x`).
     pub pe_x: usize,
@@ -136,7 +134,9 @@ mod tests {
 
     #[test]
     fn sweeps_preserve_other_fields() {
-        let c = EngineConfig::paper_default().with_pe_array(32, 32).with_buffer_bytes(1 << 20);
+        let c = EngineConfig::paper_default()
+            .with_pe_array(32, 32)
+            .with_buffer_bytes(1 << 20);
         assert_eq!(c.pe_count(), 1024);
         assert_eq!(c.buffer_bytes, 1 << 20);
         assert_eq!(c.freq_mhz, 500);

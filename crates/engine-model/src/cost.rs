@@ -1,12 +1,10 @@
-use serde::{Deserialize, Serialize};
-
 use crate::config::{Dataflow, EngineConfig};
 use crate::task::ConvTask;
 
 use dnn_graph::BYTES_PER_ELEM;
 
 /// Result of analytically evaluating a [`ConvTask`] on one engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostEstimate {
     /// Execution cycles on the PE array (compute only; no NoC/DRAM delay —
     /// those are the simulator's job).
@@ -41,7 +39,11 @@ pub(crate) fn estimate(cfg: &EngineConfig, task: &ConvTask, dataflow: Dataflow) 
 
     // Effective dataflow: YX has no spatial loops to unroll for 1x1 output
     // tiles, so FC-shaped tasks use channel-parallel mapping either way.
-    let df = if task.is_vector_shaped() { Dataflow::KcPartition } else { dataflow };
+    let df = if task.is_vector_shaped() {
+        Dataflow::KcPartition
+    } else {
+        dataflow
+    };
 
     let (tiles, steps_per_tile, ifmap_repeat, weight_repeat) = match df {
         Dataflow::KcPartition => {
@@ -69,8 +71,7 @@ pub(crate) fn estimate(cfg: &EngineConfig, task: &ConvTask, dataflow: Dataflow) 
         }
         Dataflow::YxPartition => {
             let ci_g = (task.ci / task.groups).max(1);
-            let tiles =
-                div_ceil(task.ho, cfg.pe_x) as u64 * div_ceil(task.wo, cfg.pe_y) as u64;
+            let tiles = div_ceil(task.ho, cfg.pe_x) as u64 * div_ceil(task.wo, cfg.pe_y) as u64;
             // Each PE owns one output pixel; temporal loops run over kernel
             // positions, input channels (per group) and output channels.
             let steps = (task.kh * task.kw) as u64 * ci_g as u64 * task.co as u64;
@@ -89,11 +90,14 @@ pub(crate) fn estimate(cfg: &EngineConfig, task: &ConvTask, dataflow: Dataflow) 
     let r = ramp(cfg);
     let cycles = tiles * (steps_per_tile + r) + r;
     let pe = cfg.pe_count();
-    let utilization = if cycles == 0 { 0.0 } else { macs as f64 / (cycles * pe) as f64 };
+    let utilization = if cycles == 0 {
+        0.0
+    } else {
+        macs as f64 / (cycles * pe) as f64
+    };
 
     let e = &cfg.energy;
-    let sram_reads =
-        (ifmap_bytes * ifmap_repeat + weight_bytes * weight_repeat) as f64;
+    let sram_reads = (ifmap_bytes * ifmap_repeat + weight_bytes * weight_repeat) as f64;
     let energy_pj = macs as f64 * e.mac_pj
         + sram_reads * e.sram_read_pj_per_byte
         + ofmap_bytes as f64 * e.sram_write_pj_per_byte;
@@ -137,7 +141,12 @@ mod tests {
         let misfit = ConvTask::conv(28, 28, 17, 16, 3, 3, 1);
         let cf = cfg().estimate(&fit, Dataflow::KcPartition);
         let cm = cfg().estimate(&misfit, Dataflow::KcPartition);
-        assert!(cm.utilization < 0.62 * cf.utilization, "{} vs {}", cm.utilization, cf.utilization);
+        assert!(
+            cm.utilization < 0.62 * cf.utilization,
+            "{} vs {}",
+            cm.utilization,
+            cf.utilization
+        );
     }
 
     #[test]
@@ -148,7 +157,11 @@ mod tests {
         let cs = cfg().estimate(&small, Dataflow::YxPartition);
         assert!(cb.utilization > 0.9, "big fmap util = {}", cb.utilization);
         // 7x7 of a 16x16 array: at most 49/256 PEs active.
-        assert!(cs.utilization < 0.25, "small fmap util = {}", cs.utilization);
+        assert!(
+            cs.utilization < 0.25,
+            "small fmap util = {}",
+            cs.utilization
+        );
     }
 
     #[test]
@@ -195,13 +208,20 @@ mod tests {
 
     #[test]
     fn utilization_never_exceeds_one() {
-        for (ho, wo, ci, co, k) in
-            [(1, 1, 16, 16, 1), (16, 16, 16, 16, 1), (33, 7, 48, 96, 3), (224, 224, 3, 64, 7)]
-        {
+        for (ho, wo, ci, co, k) in [
+            (1, 1, 16, 16, 1),
+            (16, 16, 16, 16, 1),
+            (33, 7, 48, 96, 3),
+            (224, 224, 3, 64, 7),
+        ] {
             for df in Dataflow::ALL {
                 let t = ConvTask::conv(ho, wo, ci, co, k, k, 1);
                 let c = cfg().estimate(&t, df);
-                assert!(c.utilization <= 1.0 + 1e-9, "{t:?} {df:?} -> {}", c.utilization);
+                assert!(
+                    c.utilization <= 1.0 + 1e-9,
+                    "{t:?} {df:?} -> {}",
+                    c.utilization
+                );
                 assert!(c.cycles > 0);
             }
         }

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// Energy coefficients for on-engine activity, in picojoules.
 ///
 /// Values follow the paper's Sec. V-A technology point (TSMC 28 nm, INT8):
@@ -7,7 +5,7 @@ use serde::{Deserialize, Serialize};
 /// works out to ≈ 2.74 pJ/byte; MAC energy is a standard 28 nm INT8 figure.
 /// NoC (0.61 pJ/bit/hop) and HBM (7 pJ/bit) energy are owned by the
 /// `noc-model` / `mem-model` crates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Energy per INT8 multiply-accumulate.
     pub mac_pj: f64,

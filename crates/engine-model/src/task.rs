@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use dnn_graph::{Layer, OpKind};
 
 /// A tensor sub-computation executed on one engine: the CONV-shaped work of
@@ -8,7 +6,7 @@ use dnn_graph::{Layer, OpKind};
 /// All six loop variables of Fig. 1(b) are captured; FC layers use the
 /// degenerate form `H_o = W_o = K_h = K_w = 1` (paper footnote 2), grouped /
 /// depthwise convolutions carry `groups > 1`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvTask {
     /// Output tile height `h_p`.
     pub ho: usize,
@@ -30,18 +28,53 @@ pub struct ConvTask {
 
 impl ConvTask {
     /// Dense convolution task.
-    pub fn conv(ho: usize, wo: usize, ci: usize, co: usize, kh: usize, kw: usize, stride: usize) -> Self {
-        Self { ho, wo, ci, co, kh, kw, stride, groups: 1 }
+    pub fn conv(
+        ho: usize,
+        wo: usize,
+        ci: usize,
+        co: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+    ) -> Self {
+        Self {
+            ho,
+            wo,
+            ci,
+            co,
+            kh,
+            kw,
+            stride,
+            groups: 1,
+        }
     }
 
     /// Fully-connected task: `ci` input features, `co` output features.
     pub fn fc(ci: usize, co: usize) -> Self {
-        Self { ho: 1, wo: 1, ci, co, kh: 1, kw: 1, stride: 1, groups: 1 }
+        Self {
+            ho: 1,
+            wo: 1,
+            ci,
+            co,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            groups: 1,
+        }
     }
 
     /// Depthwise convolution over `c` channels.
     pub fn depthwise(ho: usize, wo: usize, c: usize, k: usize, stride: usize) -> Self {
-        Self { ho, wo, ci: c, co: c, kh: k, kw: k, stride, groups: c }
+        Self {
+            ho,
+            wo,
+            ci: c,
+            co: c,
+            kh: k,
+            kw: k,
+            stride,
+            groups: c,
+        }
     }
 
     /// The full-layer task of a CONV/FC layer, or `None` for layers that run
@@ -68,7 +101,9 @@ impl ConvTask {
     /// Multiply-accumulate operations of this task.
     pub fn macs(&self) -> u64 {
         let ci_per_group = (self.ci / self.groups).max(1) as u64;
-        self.ho as u64 * self.wo as u64 * self.co as u64
+        self.ho as u64
+            * self.wo as u64
+            * self.co as u64
             * self.kh as u64
             * self.kw as u64
             * ci_per_group

@@ -21,10 +21,8 @@
 //! assert_eq!(hbm.read_bytes(), 4096);
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 /// Capacity, timing and energy parameters of the HBM stack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HbmConfig {
     /// Total capacity in bytes (paper: 4 GB).
     pub capacity_bytes: u64,
@@ -77,11 +75,14 @@ impl Default for HbmConfig {
 }
 
 /// Stateful HBM channel: serializes requests, accumulates traffic statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HbmModel {
     cfg: HbmConfig,
     /// Per-channel busy pointers; requests take the earliest-free channel.
     busy_until: Vec<u64>,
+    /// Effective-bandwidth derate in `(0, 1]`: 1.0 = healthy, 0.5 = half
+    /// the peak bandwidth (fault injection; latency is unaffected).
+    derate: f64,
     read_bytes: u64,
     write_bytes: u64,
     accesses: u64,
@@ -92,11 +93,16 @@ impl HbmModel {
     /// Transfers above this size stripe across all channels.
     const STRIPE_THRESHOLD: u64 = 16 * 1024;
 
+    /// Smallest accepted derate factor (guards against divide-by-zero and
+    /// effectively-infinite service times).
+    pub const MIN_DERATE: f64 = 0.01;
+
     /// Creates an idle stack.
     pub fn new(cfg: HbmConfig) -> Self {
         Self {
             busy_until: vec![0; cfg.channels.max(1)],
             cfg,
+            derate: 1.0,
             read_bytes: 0,
             write_bytes: 0,
             accesses: 0,
@@ -107,6 +113,28 @@ impl HbmModel {
     /// The configuration.
     pub fn config(&self) -> &HbmConfig {
         &self.cfg
+    }
+
+    /// Derates the effective bandwidth to `factor` of peak (clamped to
+    /// `[MIN_DERATE, 1.0]`). Subsequent accesses serialize proportionally
+    /// slower; in-flight channel occupancy and access latency are
+    /// unaffected. Models partial HBM channel/TSV failures.
+    pub fn set_bandwidth_derate(&mut self, factor: f64) {
+        self.derate = factor.clamp(Self::MIN_DERATE, 1.0);
+    }
+
+    /// The current bandwidth derate factor (1.0 = healthy).
+    pub fn bandwidth_derate(&self) -> f64 {
+        self.derate
+    }
+
+    /// Channel-occupancy cycles under the current derate.
+    fn derated(&self, cycles: u64) -> u64 {
+        if self.derate >= 1.0 {
+            cycles
+        } else {
+            (cycles as f64 / self.derate).ceil() as u64
+        }
     }
 
     /// Issues a read of `bytes` at cycle `now`; returns the completion cycle.
@@ -132,7 +160,7 @@ impl HbmModel {
             // whole stack.
             let start = now.max(self.busy_until.iter().copied().max().unwrap_or(0));
             self.stall_cycles += start - now;
-            let occupancy = bytes.div_ceil(self.cfg.peak_bytes_per_cycle);
+            let occupancy = self.derated(bytes.div_ceil(self.cfg.peak_bytes_per_cycle));
             for b in &mut self.busy_until {
                 *b = start + occupancy;
             }
@@ -145,7 +173,7 @@ impl HbmModel {
                 .expect("at least one channel");
             let start = now.max(self.busy_until[ch]);
             self.stall_cycles += start - now;
-            self.busy_until[ch] = start + self.cfg.occupancy_cycles(bytes);
+            self.busy_until[ch] = start + self.derated(self.cfg.occupancy_cycles(bytes));
             self.busy_until[ch] + self.cfg.access_latency_cycles
         }
     }
@@ -180,9 +208,12 @@ impl HbmModel {
         self.total_bytes() as f64 * self.cfg.energy_pj_per_byte
     }
 
-    /// Resets the channel to idle and zeroes all statistics.
+    /// Resets the channel to idle and zeroes all statistics. The bandwidth
+    /// derate persists: it models a hardware condition, not a statistic.
     pub fn reset(&mut self) {
+        let derate = self.derate;
         *self = Self::new(self.cfg);
+        self.derate = derate;
     }
 }
 
@@ -249,5 +280,41 @@ mod tests {
         m.reset();
         assert_eq!(m.total_bytes(), 0);
         assert_eq!(m.read(0, 32), 101);
+    }
+
+    #[test]
+    fn derate_scales_serialization_not_latency() {
+        let mut m = model();
+        m.set_bandwidth_derate(0.5);
+        // 2560 B = 80 occupancy cycles healthy → 160 at half bandwidth;
+        // the 100-cycle access latency is unchanged.
+        assert_eq!(m.read(0, 2560), 160 + 100);
+
+        let mut big = model();
+        big.set_bandwidth_derate(0.25);
+        // Striped transfer: 64 KiB / 256 B/cycle = 256 cycles → 1024.
+        assert_eq!(big.read(0, 64 * 1024), 1024 + 100);
+    }
+
+    #[test]
+    fn derate_is_clamped_and_survives_reset() {
+        let mut m = model();
+        m.set_bandwidth_derate(0.0);
+        assert_eq!(m.bandwidth_derate(), HbmModel::MIN_DERATE);
+        m.set_bandwidth_derate(7.0);
+        assert_eq!(m.bandwidth_derate(), 1.0);
+        m.set_bandwidth_derate(0.5);
+        m.reset();
+        assert_eq!(m.bandwidth_derate(), 0.5);
+    }
+
+    #[test]
+    fn healthy_derate_is_exact_passthrough() {
+        let mut a = model();
+        let mut b = model();
+        b.set_bandwidth_derate(1.0);
+        for i in 0..20u64 {
+            assert_eq!(a.read(i * 7, 1000 + i), b.read(i * 7, 1000 + i));
+        }
     }
 }

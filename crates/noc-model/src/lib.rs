@@ -20,8 +20,10 @@
 //! assert!(cycles > 0);
 //! ```
 
+mod fault;
 mod mesh;
 mod traffic;
 
+pub use fault::LinkFaults;
 pub use mesh::{EngineCoord, MeshConfig};
 pub use traffic::TrafficTracker;

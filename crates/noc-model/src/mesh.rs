@@ -1,7 +1,5 @@
-use serde::{Deserialize, Serialize};
-
 /// Position of an engine on the 2-D mesh: `x` is the column, `y` the row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EngineCoord {
     /// Column index.
     pub x: usize,
@@ -10,7 +8,7 @@ pub struct EngineCoord {
 }
 
 /// Geometry and cost coefficients of the 2-D mesh NoC.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeshConfig {
     /// Mesh columns.
     pub cols: usize,
@@ -55,12 +53,18 @@ impl MeshConfig {
     /// Panics if `idx` is out of range.
     pub fn coord(&self, idx: usize) -> EngineCoord {
         assert!(idx < self.engines(), "engine {idx} out of range");
-        EngineCoord { x: idx % self.cols, y: idx / self.cols }
+        EngineCoord {
+            x: idx % self.cols,
+            y: idx / self.cols,
+        }
     }
 
     /// Engine index of a coordinate.
     pub fn index(&self, c: EngineCoord) -> usize {
-        assert!(c.x < self.cols && c.y < self.rows, "coordinate out of range");
+        assert!(
+            c.x < self.cols && c.y < self.rows,
+            "coordinate out of range"
+        );
         c.y * self.cols + c.x
     }
 
@@ -180,7 +184,7 @@ mod tests {
         let m = MeshConfig::paper_default();
         assert_eq!(m.transfer_cycles(0, 5), 0);
         assert_eq!(m.transfer_cycles(100, 0), 0); // local reuse is free
-        // 2 hops + ceil(100/64)=2 serialization cycles.
+                                                  // 2 hops + ceil(100/64)=2 serialization cycles.
         assert_eq!(m.transfer_cycles(100, 2), 4);
         let e = m.transfer_energy_pj(100, 2);
         assert!((e - 100.0 * 2.0 * 4.88).abs() < 1e-9);
@@ -195,7 +199,7 @@ mod tests {
             assert_eq!(m.hops(pair[0], pair[1]), 1, "{pair:?} not adjacent");
         }
         // Every engine appears exactly once.
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for &e in &order {
             assert!(!seen[e]);
             seen[e] = true;

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::mesh::MeshConfig;
 
 /// Accumulates inter-engine traffic and attributes it to directed mesh links
@@ -8,7 +6,7 @@ use crate::mesh::MeshConfig;
 /// Links are identified by their source engine and direction; since XY
 /// routes only step to one of four neighbours, a directed link is keyed as
 /// `(from_engine, to_engine)` with `hops(from, to) == 1`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrafficTracker {
     mesh: MeshConfig,
     /// Bytes forwarded per directed link, keyed by `from * engines + to`.
@@ -22,7 +20,13 @@ impl TrafficTracker {
     /// Creates an empty tracker for the given mesh.
     pub fn new(mesh: MeshConfig) -> Self {
         let n = mesh.engines();
-        Self { mesh, link_bytes: vec![0; n * n], total_bytes: 0, total_byte_hops: 0, transfers: 0 }
+        Self {
+            mesh,
+            link_bytes: vec![0; n * n],
+            total_bytes: 0,
+            total_byte_hops: 0,
+            transfers: 0,
+        }
     }
 
     /// Records a `bytes`-sized transfer from engine `src` to engine `dst`.

@@ -1,0 +1,19 @@
+//! Dependency-free utilities shared across the workspace.
+//!
+//! The reproduction is built to compile in hermetic environments with no
+//! registry access, so the two pieces of third-party functionality the
+//! workspace needs — JSON interchange and a seeded random source — live
+//! here as small, fully-deterministic implementations:
+//!
+//! - [`json`] — a strict JSON value type with a position-reporting parser
+//!   and compact/pretty writers, used by the model importer and the
+//!   experiment harness's `--json` dumps.
+//! - [`rng`] — a splitmix64-based PRNG with the handful of range helpers the
+//!   annealing/genetic generators and the seeded-loop tests need. Streams
+//!   are reproducible across platforms given the seed.
+
+pub mod json;
+pub mod rng;
+
+pub use json::{Json, JsonError};
+pub use rng::Rng64;

@@ -64,7 +64,10 @@ fn main() {
     let mut cfg = OptimizerConfig::paper_default();
     cfg.sim.mesh = noc_model::MeshConfig::grid(4, 4);
 
-    println!("{:<10} {:>12} {:>10} {:>9} {:>8}", "strategy", "cycles", "PE util", "reuse", "mJ");
+    println!(
+        "{:<10} {:>12} {:>10} {:>9} {:>8}",
+        "strategy", "cycles", "PE util", "reuse", "mJ"
+    );
     for s in [
         Strategy::LayerSequential,
         Strategy::IlPipe,

@@ -36,7 +36,9 @@ fn main() {
             .with_pe_array(pe_side, pe_side)
             .with_buffer_bytes(TOTAL_BUFFER / engines as u64);
 
-        let r = Optimizer::new(cfg).optimize(&net).expect("optimization succeeds");
+        let r = Optimizer::new(cfg)
+            .optimize(&net)
+            .expect("optimization succeeds");
         println!(
             "{:>4}x{:<2} | {:>9}x{:<4} {:>12} | {:>12} {:>8.1}% {:>8.2}",
             side,

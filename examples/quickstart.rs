@@ -26,7 +26,9 @@ fn main() {
     // 3. Run the three-stage pipeline: SA atom generation -> DP atomic-DAG
     //    scheduling -> atom-engine mapping, evaluated on the event-driven
     //    simulator (the paper's Fig. 4 flow).
-    let result = Optimizer::new(cfg).optimize(&net).expect("optimization succeeds");
+    let result = Optimizer::new(cfg)
+        .optimize(&net)
+        .expect("optimization succeeds");
 
     println!("\natomic dataflow solution:");
     println!("  atoms          : {}", result.atoms);
@@ -37,10 +39,16 @@ fn main() {
 
     let s = &result.stats;
     println!("\nsimulated execution:");
-    println!("  latency        : {:.3} ms", s.latency_ms(cfg.sim.engine.freq_mhz));
+    println!(
+        "  latency        : {:.3} ms",
+        s.latency_ms(cfg.sim.engine.freq_mhz)
+    );
     println!("  PE utilization : {:.1}%", s.pe_utilization * 100.0);
     println!("  on-chip reuse  : {:.1}%", s.onchip_reuse_ratio * 100.0);
-    println!("  DRAM traffic   : {:.1} MB", (s.dram_read_bytes + s.dram_write_bytes) as f64 / 1e6);
+    println!(
+        "  DRAM traffic   : {:.1} MB",
+        (s.dram_read_bytes + s.dram_write_bytes) as f64 / 1e6
+    );
     println!("  energy         : {:.2} mJ", s.energy.total_mj());
 
     // 4. Compare against the Layer-Sequential baseline on the same platform.

@@ -19,9 +19,13 @@ pub use noc_model;
 
 /// Commonly used items from across the workspace.
 pub mod prelude {
-    pub use accel_sim::{EvictionKind, Program, SimConfig, SimStats, Simulator};
+    pub use accel_sim::{
+        DegradationStats, EvictionKind, FaultKind, FaultPlan, FaultRates, Program, SimConfig,
+        SimError, SimStats, Simulator,
+    };
     pub use atomic_dataflow::{
-        baselines, AtomGenConfig, MappingConfig, Optimizer, OptimizerConfig, ScheduleMode,
+        baselines, run_with_recovery, AtomGenConfig, AtomGenMode, MappingConfig, Optimizer,
+        OptimizerConfig, PipelineError, RecoveryConfig, RecoveryOutcome, ScheduleMode,
         SchedulerConfig, Strategy,
     };
     pub use dnn_graph::{models, Graph, Layer, LayerId, OpKind};

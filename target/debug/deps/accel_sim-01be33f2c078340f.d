@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/accel_sim-01be33f2c078340f.d: crates/accel-sim/src/lib.rs crates/accel-sim/src/buffer.rs crates/accel-sim/src/fault.rs crates/accel-sim/src/program.rs crates/accel-sim/src/sim.rs crates/accel-sim/src/stats.rs
+
+/root/repo/target/debug/deps/accel_sim-01be33f2c078340f: crates/accel-sim/src/lib.rs crates/accel-sim/src/buffer.rs crates/accel-sim/src/fault.rs crates/accel-sim/src/program.rs crates/accel-sim/src/sim.rs crates/accel-sim/src/stats.rs
+
+crates/accel-sim/src/lib.rs:
+crates/accel-sim/src/buffer.rs:
+crates/accel-sim/src/fault.rs:
+crates/accel-sim/src/program.rs:
+crates/accel-sim/src/sim.rs:
+crates/accel-sim/src/stats.rs:

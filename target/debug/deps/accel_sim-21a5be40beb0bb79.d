@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/accel_sim-21a5be40beb0bb79.d: crates/accel-sim/src/lib.rs crates/accel-sim/src/buffer.rs crates/accel-sim/src/fault.rs crates/accel-sim/src/program.rs crates/accel-sim/src/sim.rs crates/accel-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libaccel_sim-21a5be40beb0bb79.rlib: crates/accel-sim/src/lib.rs crates/accel-sim/src/buffer.rs crates/accel-sim/src/fault.rs crates/accel-sim/src/program.rs crates/accel-sim/src/sim.rs crates/accel-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libaccel_sim-21a5be40beb0bb79.rmeta: crates/accel-sim/src/lib.rs crates/accel-sim/src/buffer.rs crates/accel-sim/src/fault.rs crates/accel-sim/src/program.rs crates/accel-sim/src/sim.rs crates/accel-sim/src/stats.rs
+
+crates/accel-sim/src/lib.rs:
+crates/accel-sim/src/buffer.rs:
+crates/accel-sim/src/fault.rs:
+crates/accel-sim/src/program.rs:
+crates/accel-sim/src/sim.rs:
+crates/accel-sim/src/stats.rs:

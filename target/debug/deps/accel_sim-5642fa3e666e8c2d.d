@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/accel_sim-5642fa3e666e8c2d.d: crates/accel-sim/src/lib.rs crates/accel-sim/src/buffer.rs crates/accel-sim/src/fault.rs crates/accel-sim/src/program.rs crates/accel-sim/src/sim.rs crates/accel-sim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccel_sim-5642fa3e666e8c2d.rmeta: crates/accel-sim/src/lib.rs crates/accel-sim/src/buffer.rs crates/accel-sim/src/fault.rs crates/accel-sim/src/program.rs crates/accel-sim/src/sim.rs crates/accel-sim/src/stats.rs Cargo.toml
+
+crates/accel-sim/src/lib.rs:
+crates/accel-sim/src/buffer.rs:
+crates/accel-sim/src/fault.rs:
+crates/accel-sim/src/program.rs:
+crates/accel-sim/src/sim.rs:
+crates/accel-sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

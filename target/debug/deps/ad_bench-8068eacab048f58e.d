@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ad_bench-8068eacab048f58e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libad_bench-8068eacab048f58e.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libad_bench-8068eacab048f58e.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ad_bench-a62383d193d99028.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libad_bench-a62383d193d99028.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ad_bench-ac7fcf510560e261.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/ad_bench-ac7fcf510560e261: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ad_repro-087b8b713c5bf6c9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libad_repro-087b8b713c5bf6c9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ad_repro-5f016cf62099bd39.d: src/lib.rs
+
+/root/repo/target/debug/deps/ad_repro-5f016cf62099bd39: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ad_repro-baff8879db4f020d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libad_repro-baff8879db4f020d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libad_repro-baff8879db4f020d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ad_util-0a341432524365c2.d: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/debug/deps/ad_util-0a341432524365c2: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+crates/util/src/lib.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ad_util-9de0d75a3eb7267a.d: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libad_util-9de0d75a3eb7267a.rmeta: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

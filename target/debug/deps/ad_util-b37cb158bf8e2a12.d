@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ad_util-b37cb158bf8e2a12.d: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libad_util-b37cb158bf8e2a12.rmeta: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

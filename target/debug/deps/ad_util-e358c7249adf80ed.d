@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ad_util-e358c7249adf80ed.d: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/debug/deps/libad_util-e358c7249adf80ed.rlib: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/debug/deps/libad_util-e358c7249adf80ed.rmeta: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+crates/util/src/lib.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:

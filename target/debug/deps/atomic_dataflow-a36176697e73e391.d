@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/atomic_dataflow-a36176697e73e391.d: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/atomgen.rs crates/core/src/atomic_dag.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/cnn_p.rs crates/core/src/baselines/ideal.rs crates/core/src/baselines/il_pipe.rs crates/core/src/baselines/ls.rs crates/core/src/baselines/rammer.rs crates/core/src/error.rs crates/core/src/lower.rs crates/core/src/mapping.rs crates/core/src/optimizer.rs crates/core/src/recovery.rs crates/core/src/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libatomic_dataflow-a36176697e73e391.rmeta: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/atomgen.rs crates/core/src/atomic_dag.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/cnn_p.rs crates/core/src/baselines/ideal.rs crates/core/src/baselines/il_pipe.rs crates/core/src/baselines/ls.rs crates/core/src/baselines/rammer.rs crates/core/src/error.rs crates/core/src/lower.rs crates/core/src/mapping.rs crates/core/src/optimizer.rs crates/core/src/recovery.rs crates/core/src/scheduler.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/atom.rs:
+crates/core/src/atomgen.rs:
+crates/core/src/atomic_dag.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/cnn_p.rs:
+crates/core/src/baselines/ideal.rs:
+crates/core/src/baselines/il_pipe.rs:
+crates/core/src/baselines/ls.rs:
+crates/core/src/baselines/rammer.rs:
+crates/core/src/error.rs:
+crates/core/src/lower.rs:
+crates/core/src/mapping.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/recovery.rs:
+crates/core/src/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_timing-00fd9ca22caadfc9.d: crates/bench/src/bin/bench_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_timing-00fd9ca22caadfc9.rmeta: crates/bench/src/bin/bench_timing.rs Cargo.toml
+
+crates/bench/src/bin/bench_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_timing-166fe1b0e099f5eb.d: crates/bench/src/bin/bench_timing.rs
+
+/root/repo/target/debug/deps/bench_timing-166fe1b0e099f5eb: crates/bench/src/bin/bench_timing.rs
+
+crates/bench/src/bin/bench_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_timing-26569207f7ffb360.d: crates/bench/src/bin/bench_timing.rs
+
+/root/repo/target/debug/deps/bench_timing-26569207f7ffb360: crates/bench/src/bin/bench_timing.rs
+
+crates/bench/src/bin/bench_timing.rs:

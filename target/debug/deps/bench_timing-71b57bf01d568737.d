@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_timing-71b57bf01d568737.d: crates/bench/src/bin/bench_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_timing-71b57bf01d568737.rmeta: crates/bench/src/bin/bench_timing.rs Cargo.toml
+
+crates/bench/src/bin/bench_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

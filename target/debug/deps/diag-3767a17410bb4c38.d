@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-3767a17410bb4c38.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-3767a17410bb4c38: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

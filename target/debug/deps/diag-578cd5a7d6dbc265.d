@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-578cd5a7d6dbc265.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-578cd5a7d6dbc265: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dnn_graph-0914c3fe257d0161.d: crates/dnn-graph/src/lib.rs crates/dnn-graph/src/graph.rs crates/dnn-graph/src/import.rs crates/dnn-graph/src/layer.rs crates/dnn-graph/src/models/mod.rs crates/dnn-graph/src/models/efficientnet.rs crates/dnn-graph/src/models/inception.rs crates/dnn-graph/src/models/nasnet.rs crates/dnn-graph/src/models/resnet.rs crates/dnn-graph/src/models/vgg.rs crates/dnn-graph/src/op.rs crates/dnn-graph/src/shape.rs crates/dnn-graph/src/stats.rs
+
+/root/repo/target/debug/deps/dnn_graph-0914c3fe257d0161: crates/dnn-graph/src/lib.rs crates/dnn-graph/src/graph.rs crates/dnn-graph/src/import.rs crates/dnn-graph/src/layer.rs crates/dnn-graph/src/models/mod.rs crates/dnn-graph/src/models/efficientnet.rs crates/dnn-graph/src/models/inception.rs crates/dnn-graph/src/models/nasnet.rs crates/dnn-graph/src/models/resnet.rs crates/dnn-graph/src/models/vgg.rs crates/dnn-graph/src/op.rs crates/dnn-graph/src/shape.rs crates/dnn-graph/src/stats.rs
+
+crates/dnn-graph/src/lib.rs:
+crates/dnn-graph/src/graph.rs:
+crates/dnn-graph/src/import.rs:
+crates/dnn-graph/src/layer.rs:
+crates/dnn-graph/src/models/mod.rs:
+crates/dnn-graph/src/models/efficientnet.rs:
+crates/dnn-graph/src/models/inception.rs:
+crates/dnn-graph/src/models/nasnet.rs:
+crates/dnn-graph/src/models/resnet.rs:
+crates/dnn-graph/src/models/vgg.rs:
+crates/dnn-graph/src/op.rs:
+crates/dnn-graph/src/shape.rs:
+crates/dnn-graph/src/stats.rs:

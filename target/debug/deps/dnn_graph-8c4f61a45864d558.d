@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dnn_graph-8c4f61a45864d558.d: crates/dnn-graph/src/lib.rs crates/dnn-graph/src/graph.rs crates/dnn-graph/src/import.rs crates/dnn-graph/src/layer.rs crates/dnn-graph/src/models/mod.rs crates/dnn-graph/src/models/efficientnet.rs crates/dnn-graph/src/models/inception.rs crates/dnn-graph/src/models/nasnet.rs crates/dnn-graph/src/models/resnet.rs crates/dnn-graph/src/models/vgg.rs crates/dnn-graph/src/op.rs crates/dnn-graph/src/shape.rs crates/dnn-graph/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdnn_graph-8c4f61a45864d558.rmeta: crates/dnn-graph/src/lib.rs crates/dnn-graph/src/graph.rs crates/dnn-graph/src/import.rs crates/dnn-graph/src/layer.rs crates/dnn-graph/src/models/mod.rs crates/dnn-graph/src/models/efficientnet.rs crates/dnn-graph/src/models/inception.rs crates/dnn-graph/src/models/nasnet.rs crates/dnn-graph/src/models/resnet.rs crates/dnn-graph/src/models/vgg.rs crates/dnn-graph/src/op.rs crates/dnn-graph/src/shape.rs crates/dnn-graph/src/stats.rs Cargo.toml
+
+crates/dnn-graph/src/lib.rs:
+crates/dnn-graph/src/graph.rs:
+crates/dnn-graph/src/import.rs:
+crates/dnn-graph/src/layer.rs:
+crates/dnn-graph/src/models/mod.rs:
+crates/dnn-graph/src/models/efficientnet.rs:
+crates/dnn-graph/src/models/inception.rs:
+crates/dnn-graph/src/models/nasnet.rs:
+crates/dnn-graph/src/models/resnet.rs:
+crates/dnn-graph/src/models/vgg.rs:
+crates/dnn-graph/src/op.rs:
+crates/dnn-graph/src/shape.rs:
+crates/dnn-graph/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

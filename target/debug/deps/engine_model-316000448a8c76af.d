@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/engine_model-316000448a8c76af.d: crates/engine-model/src/lib.rs crates/engine-model/src/config.rs crates/engine-model/src/cost.rs crates/engine-model/src/energy.rs crates/engine-model/src/task.rs
+
+/root/repo/target/debug/deps/libengine_model-316000448a8c76af.rlib: crates/engine-model/src/lib.rs crates/engine-model/src/config.rs crates/engine-model/src/cost.rs crates/engine-model/src/energy.rs crates/engine-model/src/task.rs
+
+/root/repo/target/debug/deps/libengine_model-316000448a8c76af.rmeta: crates/engine-model/src/lib.rs crates/engine-model/src/config.rs crates/engine-model/src/cost.rs crates/engine-model/src/energy.rs crates/engine-model/src/task.rs
+
+crates/engine-model/src/lib.rs:
+crates/engine-model/src/config.rs:
+crates/engine-model/src/cost.rs:
+crates/engine-model/src/energy.rs:
+crates/engine-model/src/task.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/engine_model-35ef34026fd7d451.d: crates/engine-model/src/lib.rs crates/engine-model/src/config.rs crates/engine-model/src/cost.rs crates/engine-model/src/energy.rs crates/engine-model/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_model-35ef34026fd7d451.rmeta: crates/engine-model/src/lib.rs crates/engine-model/src/config.rs crates/engine-model/src/cost.rs crates/engine-model/src/energy.rs crates/engine-model/src/task.rs Cargo.toml
+
+crates/engine-model/src/lib.rs:
+crates/engine-model/src/config.rs:
+crates/engine-model/src/cost.rs:
+crates/engine-model/src/energy.rs:
+crates/engine-model/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

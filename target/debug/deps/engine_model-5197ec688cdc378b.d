@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_model-5197ec688cdc378b.d: crates/engine-model/src/lib.rs crates/engine-model/src/config.rs crates/engine-model/src/cost.rs crates/engine-model/src/energy.rs crates/engine-model/src/task.rs
+
+/root/repo/target/debug/deps/engine_model-5197ec688cdc378b: crates/engine-model/src/lib.rs crates/engine-model/src/config.rs crates/engine-model/src/cost.rs crates/engine-model/src/energy.rs crates/engine-model/src/task.rs
+
+crates/engine-model/src/lib.rs:
+crates/engine-model/src/config.rs:
+crates/engine-model/src/cost.rs:
+crates/engine-model/src/energy.rs:
+crates/engine-model/src/task.rs:

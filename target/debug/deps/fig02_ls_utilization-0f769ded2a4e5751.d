@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_ls_utilization-0f769ded2a4e5751.d: crates/bench/src/bin/fig02_ls_utilization.rs
+
+/root/repo/target/debug/deps/fig02_ls_utilization-0f769ded2a4e5751: crates/bench/src/bin/fig02_ls_utilization.rs
+
+crates/bench/src/bin/fig02_ls_utilization.rs:

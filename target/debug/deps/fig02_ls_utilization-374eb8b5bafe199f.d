@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_ls_utilization-374eb8b5bafe199f.d: crates/bench/src/bin/fig02_ls_utilization.rs
+
+/root/repo/target/debug/deps/fig02_ls_utilization-374eb8b5bafe199f: crates/bench/src/bin/fig02_ls_utilization.rs
+
+crates/bench/src/bin/fig02_ls_utilization.rs:

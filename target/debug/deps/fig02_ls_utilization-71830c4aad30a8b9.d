@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_ls_utilization-71830c4aad30a8b9.d: crates/bench/src/bin/fig02_ls_utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_ls_utilization-71830c4aad30a8b9.rmeta: crates/bench/src/bin/fig02_ls_utilization.rs Cargo.toml
+
+crates/bench/src/bin/fig02_ls_utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

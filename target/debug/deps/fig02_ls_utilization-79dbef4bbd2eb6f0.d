@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_ls_utilization-79dbef4bbd2eb6f0.d: crates/bench/src/bin/fig02_ls_utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_ls_utilization-79dbef4bbd2eb6f0.rmeta: crates/bench/src/bin/fig02_ls_utilization.rs Cargo.toml
+
+crates/bench/src/bin/fig02_ls_utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

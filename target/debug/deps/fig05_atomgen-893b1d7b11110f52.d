@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_atomgen-893b1d7b11110f52.d: crates/bench/src/bin/fig05_atomgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_atomgen-893b1d7b11110f52.rmeta: crates/bench/src/bin/fig05_atomgen.rs Cargo.toml
+
+crates/bench/src/bin/fig05_atomgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

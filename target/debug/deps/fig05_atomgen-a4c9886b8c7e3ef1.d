@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_atomgen-a4c9886b8c7e3ef1.d: crates/bench/src/bin/fig05_atomgen.rs
+
+/root/repo/target/debug/deps/fig05_atomgen-a4c9886b8c7e3ef1: crates/bench/src/bin/fig05_atomgen.rs
+
+crates/bench/src/bin/fig05_atomgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_atomgen-ab5d14d5b272027e.d: crates/bench/src/bin/fig05_atomgen.rs
+
+/root/repo/target/debug/deps/fig05_atomgen-ab5d14d5b272027e: crates/bench/src/bin/fig05_atomgen.rs
+
+crates/bench/src/bin/fig05_atomgen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_atomgen-ce244aedc0153e3f.d: crates/bench/src/bin/fig05_atomgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_atomgen-ce244aedc0153e3f.rmeta: crates/bench/src/bin/fig05_atomgen.rs Cargo.toml
+
+crates/bench/src/bin/fig05_atomgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_latency-3c8baefae03b8088.d: crates/bench/src/bin/fig08_latency.rs
+
+/root/repo/target/debug/deps/fig08_latency-3c8baefae03b8088: crates/bench/src/bin/fig08_latency.rs
+
+crates/bench/src/bin/fig08_latency.rs:

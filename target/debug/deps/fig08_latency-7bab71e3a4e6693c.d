@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_latency-7bab71e3a4e6693c.d: crates/bench/src/bin/fig08_latency.rs
+
+/root/repo/target/debug/deps/fig08_latency-7bab71e3a4e6693c: crates/bench/src/bin/fig08_latency.rs
+
+crates/bench/src/bin/fig08_latency.rs:

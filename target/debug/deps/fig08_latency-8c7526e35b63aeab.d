@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_latency-8c7526e35b63aeab.d: crates/bench/src/bin/fig08_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_latency-8c7526e35b63aeab.rmeta: crates/bench/src/bin/fig08_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig08_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

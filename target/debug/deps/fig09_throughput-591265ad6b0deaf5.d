@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_throughput-591265ad6b0deaf5.d: crates/bench/src/bin/fig09_throughput.rs
+
+/root/repo/target/debug/deps/fig09_throughput-591265ad6b0deaf5: crates/bench/src/bin/fig09_throughput.rs
+
+crates/bench/src/bin/fig09_throughput.rs:

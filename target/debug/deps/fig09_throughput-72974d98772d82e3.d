@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_throughput-72974d98772d82e3.d: crates/bench/src/bin/fig09_throughput.rs
+
+/root/repo/target/debug/deps/fig09_throughput-72974d98772d82e3: crates/bench/src/bin/fig09_throughput.rs
+
+crates/bench/src/bin/fig09_throughput.rs:

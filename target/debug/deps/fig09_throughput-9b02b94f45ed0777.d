@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_throughput-9b02b94f45ed0777.d: crates/bench/src/bin/fig09_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_throughput-9b02b94f45ed0777.rmeta: crates/bench/src/bin/fig09_throughput.rs Cargo.toml
+
+crates/bench/src/bin/fig09_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

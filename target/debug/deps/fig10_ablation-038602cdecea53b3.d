@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_ablation-038602cdecea53b3.d: crates/bench/src/bin/fig10_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_ablation-038602cdecea53b3.rmeta: crates/bench/src/bin/fig10_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig10_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_ablation-b7e7e54351a1ec09.d: crates/bench/src/bin/fig10_ablation.rs
+
+/root/repo/target/debug/deps/fig10_ablation-b7e7e54351a1ec09: crates/bench/src/bin/fig10_ablation.rs
+
+crates/bench/src/bin/fig10_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_ablation-d4c465540c5d9188.d: crates/bench/src/bin/fig10_ablation.rs
+
+/root/repo/target/debug/deps/fig10_ablation-d4c465540c5d9188: crates/bench/src/bin/fig10_ablation.rs
+
+crates/bench/src/bin/fig10_ablation.rs:

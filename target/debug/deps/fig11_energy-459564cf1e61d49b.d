@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_energy-459564cf1e61d49b.d: crates/bench/src/bin/fig11_energy.rs
+
+/root/repo/target/debug/deps/fig11_energy-459564cf1e61d49b: crates/bench/src/bin/fig11_energy.rs
+
+crates/bench/src/bin/fig11_energy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_energy-6aa807d57957cba7.d: crates/bench/src/bin/fig11_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_energy-6aa807d57957cba7.rmeta: crates/bench/src/bin/fig11_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig11_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

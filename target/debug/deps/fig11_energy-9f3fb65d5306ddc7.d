@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_energy-9f3fb65d5306ddc7.d: crates/bench/src/bin/fig11_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_energy-9f3fb65d5306ddc7.rmeta: crates/bench/src/bin/fig11_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig11_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

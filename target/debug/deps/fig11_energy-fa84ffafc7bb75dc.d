@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_energy-fa84ffafc7bb75dc.d: crates/bench/src/bin/fig11_energy.rs
+
+/root/repo/target/debug/deps/fig11_energy-fa84ffafc7bb75dc: crates/bench/src/bin/fig11_energy.rs
+
+crates/bench/src/bin/fig11_energy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_engine_sweep-0a92871e1b847568.d: crates/bench/src/bin/fig12_engine_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_engine_sweep-0a92871e1b847568.rmeta: crates/bench/src/bin/fig12_engine_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig12_engine_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_engine_sweep-adce18ff0aeace57.d: crates/bench/src/bin/fig12_engine_sweep.rs
+
+/root/repo/target/debug/deps/fig12_engine_sweep-adce18ff0aeace57: crates/bench/src/bin/fig12_engine_sweep.rs
+
+crates/bench/src/bin/fig12_engine_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_engine_sweep-ed93c640af3d3023.d: crates/bench/src/bin/fig12_engine_sweep.rs
+
+/root/repo/target/debug/deps/fig12_engine_sweep-ed93c640af3d3023: crates/bench/src/bin/fig12_engine_sweep.rs
+
+crates/bench/src/bin/fig12_engine_sweep.rs:

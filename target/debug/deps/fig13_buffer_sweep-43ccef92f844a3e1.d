@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_buffer_sweep-43ccef92f844a3e1.d: crates/bench/src/bin/fig13_buffer_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_buffer_sweep-43ccef92f844a3e1.rmeta: crates/bench/src/bin/fig13_buffer_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig13_buffer_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

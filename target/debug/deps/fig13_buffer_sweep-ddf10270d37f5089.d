@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_buffer_sweep-ddf10270d37f5089.d: crates/bench/src/bin/fig13_buffer_sweep.rs
+
+/root/repo/target/debug/deps/fig13_buffer_sweep-ddf10270d37f5089: crates/bench/src/bin/fig13_buffer_sweep.rs
+
+crates/bench/src/bin/fig13_buffer_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_prototype-a2d015181306dac6.d: crates/bench/src/bin/fig14_prototype.rs
+
+/root/repo/target/debug/deps/fig14_prototype-a2d015181306dac6: crates/bench/src/bin/fig14_prototype.rs
+
+crates/bench/src/bin/fig14_prototype.rs:

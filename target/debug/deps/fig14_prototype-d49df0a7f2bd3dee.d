@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_prototype-d49df0a7f2bd3dee.d: crates/bench/src/bin/fig14_prototype.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_prototype-d49df0a7f2bd3dee.rmeta: crates/bench/src/bin/fig14_prototype.rs Cargo.toml
+
+crates/bench/src/bin/fig14_prototype.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_prototype-d9937892f12ccbb2.d: crates/bench/src/bin/fig14_prototype.rs
+
+/root/repo/target/debug/deps/fig14_prototype-d9937892f12ccbb2: crates/bench/src/bin/fig14_prototype.rs
+
+crates/bench/src/bin/fig14_prototype.rs:

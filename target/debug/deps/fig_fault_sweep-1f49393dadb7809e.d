@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_fault_sweep-1f49393dadb7809e.d: crates/bench/src/bin/fig_fault_sweep.rs
+
+/root/repo/target/debug/deps/fig_fault_sweep-1f49393dadb7809e: crates/bench/src/bin/fig_fault_sweep.rs
+
+crates/bench/src/bin/fig_fault_sweep.rs:

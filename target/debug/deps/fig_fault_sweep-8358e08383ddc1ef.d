@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_fault_sweep-8358e08383ddc1ef.d: crates/bench/src/bin/fig_fault_sweep.rs
+
+/root/repo/target/debug/deps/fig_fault_sweep-8358e08383ddc1ef: crates/bench/src/bin/fig_fault_sweep.rs
+
+crates/bench/src/bin/fig_fault_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_fault_sweep-e1bd1892de0e79ab.d: crates/bench/src/bin/fig_fault_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_fault_sweep-e1bd1892de0e79ab.rmeta: crates/bench/src/bin/fig_fault_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig_fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

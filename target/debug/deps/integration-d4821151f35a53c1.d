@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-d4821151f35a53c1.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-d4821151f35a53c1: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mem_model-6cb8a8c3225a931c.d: crates/mem-model/src/lib.rs
+
+/root/repo/target/debug/deps/mem_model-6cb8a8c3225a931c: crates/mem-model/src/lib.rs
+
+crates/mem-model/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mem_model-800f5ca31bd27572.d: crates/mem-model/src/lib.rs
+
+/root/repo/target/debug/deps/libmem_model-800f5ca31bd27572.rlib: crates/mem-model/src/lib.rs
+
+/root/repo/target/debug/deps/libmem_model-800f5ca31bd27572.rmeta: crates/mem-model/src/lib.rs
+
+crates/mem-model/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/noc_model-bd4cc1b7ba7a9293.d: crates/noc-model/src/lib.rs crates/noc-model/src/fault.rs crates/noc-model/src/mesh.rs crates/noc-model/src/traffic.rs
+
+/root/repo/target/debug/deps/libnoc_model-bd4cc1b7ba7a9293.rlib: crates/noc-model/src/lib.rs crates/noc-model/src/fault.rs crates/noc-model/src/mesh.rs crates/noc-model/src/traffic.rs
+
+/root/repo/target/debug/deps/libnoc_model-bd4cc1b7ba7a9293.rmeta: crates/noc-model/src/lib.rs crates/noc-model/src/fault.rs crates/noc-model/src/mesh.rs crates/noc-model/src/traffic.rs
+
+crates/noc-model/src/lib.rs:
+crates/noc-model/src/fault.rs:
+crates/noc-model/src/mesh.rs:
+crates/noc-model/src/traffic.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/noc_model-bf8e7a165557a73e.d: crates/noc-model/src/lib.rs crates/noc-model/src/fault.rs crates/noc-model/src/mesh.rs crates/noc-model/src/traffic.rs
+
+/root/repo/target/debug/deps/noc_model-bf8e7a165557a73e: crates/noc-model/src/lib.rs crates/noc-model/src/fault.rs crates/noc-model/src/mesh.rs crates/noc-model/src/traffic.rs
+
+crates/noc-model/src/lib.rs:
+crates/noc-model/src/fault.rs:
+crates/noc-model/src/mesh.rs:
+crates/noc-model/src/traffic.rs:

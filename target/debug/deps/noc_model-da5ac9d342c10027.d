@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/noc_model-da5ac9d342c10027.d: crates/noc-model/src/lib.rs crates/noc-model/src/fault.rs crates/noc-model/src/mesh.rs crates/noc-model/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_model-da5ac9d342c10027.rmeta: crates/noc-model/src/lib.rs crates/noc-model/src/fault.rs crates/noc-model/src/mesh.rs crates/noc-model/src/traffic.rs Cargo.toml
+
+crates/noc-model/src/lib.rs:
+crates/noc-model/src/fault.rs:
+crates/noc-model/src/mesh.rs:
+crates/noc-model/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

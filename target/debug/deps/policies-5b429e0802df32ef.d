@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policies-5b429e0802df32ef.d: crates/accel-sim/tests/policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicies-5b429e0802df32ef.rmeta: crates/accel-sim/tests/policies.rs Cargo.toml
+
+crates/accel-sim/tests/policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

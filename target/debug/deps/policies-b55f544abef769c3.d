@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policies-b55f544abef769c3.d: crates/accel-sim/tests/policies.rs
+
+/root/repo/target/debug/deps/policies-b55f544abef769c3: crates/accel-sim/tests/policies.rs
+
+crates/accel-sim/tests/policies.rs:

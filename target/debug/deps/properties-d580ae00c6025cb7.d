@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d580ae00c6025cb7.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d580ae00c6025cb7: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab2_utilization-024e0586888ccab2.d: crates/bench/src/bin/tab2_utilization.rs
+
+/root/repo/target/debug/deps/tab2_utilization-024e0586888ccab2: crates/bench/src/bin/tab2_utilization.rs
+
+crates/bench/src/bin/tab2_utilization.rs:

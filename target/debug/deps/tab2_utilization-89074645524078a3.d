@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab2_utilization-89074645524078a3.d: crates/bench/src/bin/tab2_utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab2_utilization-89074645524078a3.rmeta: crates/bench/src/bin/tab2_utilization.rs Cargo.toml
+
+crates/bench/src/bin/tab2_utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

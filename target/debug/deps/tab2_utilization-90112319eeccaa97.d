@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab2_utilization-90112319eeccaa97.d: crates/bench/src/bin/tab2_utilization.rs
+
+/root/repo/target/debug/deps/tab2_utilization-90112319eeccaa97: crates/bench/src/bin/tab2_utilization.rs
+
+crates/bench/src/bin/tab2_utilization.rs:

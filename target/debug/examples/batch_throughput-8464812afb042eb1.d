@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_throughput-8464812afb042eb1.d: examples/batch_throughput.rs
+
+/root/repo/target/debug/examples/batch_throughput-8464812afb042eb1: examples/batch_throughput.rs
+
+examples/batch_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_network-395770863d4f42c7.d: examples/custom_network.rs
+
+/root/repo/target/debug/examples/custom_network-395770863d4f42c7: examples/custom_network.rs
+
+examples/custom_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_network-bb4319d4acace2af.d: examples/custom_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_network-bb4319d4acace2af.rmeta: examples/custom_network.rs Cargo.toml
+
+examples/custom_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

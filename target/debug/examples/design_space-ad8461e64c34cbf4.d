@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-ad8461e64c34cbf4.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-ad8461e64c34cbf4: examples/design_space.rs
+
+examples/design_space.rs:

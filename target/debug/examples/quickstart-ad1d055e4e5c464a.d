@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ad1d055e4e5c464a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ad1d055e4e5c464a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/accel_sim-e835c86ba61faae9.d: crates/accel-sim/src/lib.rs crates/accel-sim/src/buffer.rs crates/accel-sim/src/fault.rs crates/accel-sim/src/program.rs crates/accel-sim/src/sim.rs crates/accel-sim/src/stats.rs
+
+/root/repo/target/release/deps/libaccel_sim-e835c86ba61faae9.rlib: crates/accel-sim/src/lib.rs crates/accel-sim/src/buffer.rs crates/accel-sim/src/fault.rs crates/accel-sim/src/program.rs crates/accel-sim/src/sim.rs crates/accel-sim/src/stats.rs
+
+/root/repo/target/release/deps/libaccel_sim-e835c86ba61faae9.rmeta: crates/accel-sim/src/lib.rs crates/accel-sim/src/buffer.rs crates/accel-sim/src/fault.rs crates/accel-sim/src/program.rs crates/accel-sim/src/sim.rs crates/accel-sim/src/stats.rs
+
+crates/accel-sim/src/lib.rs:
+crates/accel-sim/src/buffer.rs:
+crates/accel-sim/src/fault.rs:
+crates/accel-sim/src/program.rs:
+crates/accel-sim/src/sim.rs:
+crates/accel-sim/src/stats.rs:

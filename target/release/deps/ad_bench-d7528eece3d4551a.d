@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ad_bench-d7528eece3d4551a.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libad_bench-d7528eece3d4551a.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libad_bench-d7528eece3d4551a.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

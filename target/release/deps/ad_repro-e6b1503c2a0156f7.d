@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ad_repro-e6b1503c2a0156f7.d: src/lib.rs
+
+/root/repo/target/release/deps/libad_repro-e6b1503c2a0156f7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libad_repro-e6b1503c2a0156f7.rmeta: src/lib.rs
+
+src/lib.rs:

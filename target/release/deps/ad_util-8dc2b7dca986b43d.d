@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ad_util-8dc2b7dca986b43d.d: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/release/deps/libad_util-8dc2b7dca986b43d.rlib: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/release/deps/libad_util-8dc2b7dca986b43d.rmeta: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+crates/util/src/lib.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:

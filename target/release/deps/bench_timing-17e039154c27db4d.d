@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_timing-17e039154c27db4d.d: crates/bench/src/bin/bench_timing.rs
+
+/root/repo/target/release/deps/bench_timing-17e039154c27db4d: crates/bench/src/bin/bench_timing.rs
+
+crates/bench/src/bin/bench_timing.rs:

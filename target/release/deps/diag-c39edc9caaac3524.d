@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diag-c39edc9caaac3524.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/release/deps/diag-c39edc9caaac3524: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/dnn_graph-07b64177fca69d0e.d: crates/dnn-graph/src/lib.rs crates/dnn-graph/src/graph.rs crates/dnn-graph/src/import.rs crates/dnn-graph/src/layer.rs crates/dnn-graph/src/models/mod.rs crates/dnn-graph/src/models/efficientnet.rs crates/dnn-graph/src/models/inception.rs crates/dnn-graph/src/models/nasnet.rs crates/dnn-graph/src/models/resnet.rs crates/dnn-graph/src/models/vgg.rs crates/dnn-graph/src/op.rs crates/dnn-graph/src/shape.rs crates/dnn-graph/src/stats.rs
+
+/root/repo/target/release/deps/libdnn_graph-07b64177fca69d0e.rlib: crates/dnn-graph/src/lib.rs crates/dnn-graph/src/graph.rs crates/dnn-graph/src/import.rs crates/dnn-graph/src/layer.rs crates/dnn-graph/src/models/mod.rs crates/dnn-graph/src/models/efficientnet.rs crates/dnn-graph/src/models/inception.rs crates/dnn-graph/src/models/nasnet.rs crates/dnn-graph/src/models/resnet.rs crates/dnn-graph/src/models/vgg.rs crates/dnn-graph/src/op.rs crates/dnn-graph/src/shape.rs crates/dnn-graph/src/stats.rs
+
+/root/repo/target/release/deps/libdnn_graph-07b64177fca69d0e.rmeta: crates/dnn-graph/src/lib.rs crates/dnn-graph/src/graph.rs crates/dnn-graph/src/import.rs crates/dnn-graph/src/layer.rs crates/dnn-graph/src/models/mod.rs crates/dnn-graph/src/models/efficientnet.rs crates/dnn-graph/src/models/inception.rs crates/dnn-graph/src/models/nasnet.rs crates/dnn-graph/src/models/resnet.rs crates/dnn-graph/src/models/vgg.rs crates/dnn-graph/src/op.rs crates/dnn-graph/src/shape.rs crates/dnn-graph/src/stats.rs
+
+crates/dnn-graph/src/lib.rs:
+crates/dnn-graph/src/graph.rs:
+crates/dnn-graph/src/import.rs:
+crates/dnn-graph/src/layer.rs:
+crates/dnn-graph/src/models/mod.rs:
+crates/dnn-graph/src/models/efficientnet.rs:
+crates/dnn-graph/src/models/inception.rs:
+crates/dnn-graph/src/models/nasnet.rs:
+crates/dnn-graph/src/models/resnet.rs:
+crates/dnn-graph/src/models/vgg.rs:
+crates/dnn-graph/src/op.rs:
+crates/dnn-graph/src/shape.rs:
+crates/dnn-graph/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/engine_model-1191cfd4894abeb3.d: crates/engine-model/src/lib.rs crates/engine-model/src/config.rs crates/engine-model/src/cost.rs crates/engine-model/src/energy.rs crates/engine-model/src/task.rs
+
+/root/repo/target/release/deps/libengine_model-1191cfd4894abeb3.rlib: crates/engine-model/src/lib.rs crates/engine-model/src/config.rs crates/engine-model/src/cost.rs crates/engine-model/src/energy.rs crates/engine-model/src/task.rs
+
+/root/repo/target/release/deps/libengine_model-1191cfd4894abeb3.rmeta: crates/engine-model/src/lib.rs crates/engine-model/src/config.rs crates/engine-model/src/cost.rs crates/engine-model/src/energy.rs crates/engine-model/src/task.rs
+
+crates/engine-model/src/lib.rs:
+crates/engine-model/src/config.rs:
+crates/engine-model/src/cost.rs:
+crates/engine-model/src/energy.rs:
+crates/engine-model/src/task.rs:

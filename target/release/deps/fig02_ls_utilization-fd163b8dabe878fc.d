@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_ls_utilization-fd163b8dabe878fc.d: crates/bench/src/bin/fig02_ls_utilization.rs
+
+/root/repo/target/release/deps/fig02_ls_utilization-fd163b8dabe878fc: crates/bench/src/bin/fig02_ls_utilization.rs
+
+crates/bench/src/bin/fig02_ls_utilization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_atomgen-1c05cbc4f686ad92.d: crates/bench/src/bin/fig05_atomgen.rs
+
+/root/repo/target/release/deps/fig05_atomgen-1c05cbc4f686ad92: crates/bench/src/bin/fig05_atomgen.rs
+
+crates/bench/src/bin/fig05_atomgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_latency-6e7c7ed937ec0591.d: crates/bench/src/bin/fig08_latency.rs
+
+/root/repo/target/release/deps/fig08_latency-6e7c7ed937ec0591: crates/bench/src/bin/fig08_latency.rs
+
+crates/bench/src/bin/fig08_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_throughput-2e7e18cfe8168a24.d: crates/bench/src/bin/fig09_throughput.rs
+
+/root/repo/target/release/deps/fig09_throughput-2e7e18cfe8168a24: crates/bench/src/bin/fig09_throughput.rs
+
+crates/bench/src/bin/fig09_throughput.rs:

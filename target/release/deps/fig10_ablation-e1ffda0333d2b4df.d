@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_ablation-e1ffda0333d2b4df.d: crates/bench/src/bin/fig10_ablation.rs
+
+/root/repo/target/release/deps/fig10_ablation-e1ffda0333d2b4df: crates/bench/src/bin/fig10_ablation.rs
+
+crates/bench/src/bin/fig10_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_energy-c43e9af1aa2048b5.d: crates/bench/src/bin/fig11_energy.rs
+
+/root/repo/target/release/deps/fig11_energy-c43e9af1aa2048b5: crates/bench/src/bin/fig11_energy.rs
+
+crates/bench/src/bin/fig11_energy.rs:

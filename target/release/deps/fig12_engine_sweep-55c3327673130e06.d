@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_engine_sweep-55c3327673130e06.d: crates/bench/src/bin/fig12_engine_sweep.rs
+
+/root/repo/target/release/deps/fig12_engine_sweep-55c3327673130e06: crates/bench/src/bin/fig12_engine_sweep.rs
+
+crates/bench/src/bin/fig12_engine_sweep.rs:

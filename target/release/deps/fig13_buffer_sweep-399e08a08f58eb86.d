@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_buffer_sweep-399e08a08f58eb86.d: crates/bench/src/bin/fig13_buffer_sweep.rs
+
+/root/repo/target/release/deps/fig13_buffer_sweep-399e08a08f58eb86: crates/bench/src/bin/fig13_buffer_sweep.rs
+
+crates/bench/src/bin/fig13_buffer_sweep.rs:

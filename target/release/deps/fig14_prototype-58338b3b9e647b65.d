@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_prototype-58338b3b9e647b65.d: crates/bench/src/bin/fig14_prototype.rs
+
+/root/repo/target/release/deps/fig14_prototype-58338b3b9e647b65: crates/bench/src/bin/fig14_prototype.rs
+
+crates/bench/src/bin/fig14_prototype.rs:

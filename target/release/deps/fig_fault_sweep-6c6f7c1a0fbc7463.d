@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_fault_sweep-6c6f7c1a0fbc7463.d: crates/bench/src/bin/fig_fault_sweep.rs
+
+/root/repo/target/release/deps/fig_fault_sweep-6c6f7c1a0fbc7463: crates/bench/src/bin/fig_fault_sweep.rs
+
+crates/bench/src/bin/fig_fault_sweep.rs:

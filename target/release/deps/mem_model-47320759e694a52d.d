@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mem_model-47320759e694a52d.d: crates/mem-model/src/lib.rs
+
+/root/repo/target/release/deps/libmem_model-47320759e694a52d.rlib: crates/mem-model/src/lib.rs
+
+/root/repo/target/release/deps/libmem_model-47320759e694a52d.rmeta: crates/mem-model/src/lib.rs
+
+crates/mem-model/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/noc_model-2122519378719c7f.d: crates/noc-model/src/lib.rs crates/noc-model/src/fault.rs crates/noc-model/src/mesh.rs crates/noc-model/src/traffic.rs
+
+/root/repo/target/release/deps/libnoc_model-2122519378719c7f.rlib: crates/noc-model/src/lib.rs crates/noc-model/src/fault.rs crates/noc-model/src/mesh.rs crates/noc-model/src/traffic.rs
+
+/root/repo/target/release/deps/libnoc_model-2122519378719c7f.rmeta: crates/noc-model/src/lib.rs crates/noc-model/src/fault.rs crates/noc-model/src/mesh.rs crates/noc-model/src/traffic.rs
+
+crates/noc-model/src/lib.rs:
+crates/noc-model/src/fault.rs:
+crates/noc-model/src/mesh.rs:
+crates/noc-model/src/traffic.rs:

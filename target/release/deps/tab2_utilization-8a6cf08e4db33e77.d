@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab2_utilization-8a6cf08e4db33e77.d: crates/bench/src/bin/tab2_utilization.rs
+
+/root/repo/target/release/deps/tab2_utilization-8a6cf08e4db33e77: crates/bench/src/bin/tab2_utilization.rs
+
+crates/bench/src/bin/tab2_utilization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f698e818721449ca.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f698e818721449ca: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libmem_model.rlib: /root/repo/crates/mem-model/src/lib.rs

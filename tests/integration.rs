@@ -78,7 +78,11 @@ fn ideal_lower_bounds_everything() {
         Strategy::AtomicDataflow,
     ] {
         let c = s.run(&g, &cfg).unwrap().total_cycles;
-        assert!(c >= ideal, "{} ({c}) beat the ideal bound ({ideal})", s.label());
+        assert!(
+            c >= ideal,
+            "{} ({c}) beat the ideal bound ({ideal})",
+            s.label()
+        );
     }
 }
 
@@ -91,7 +95,7 @@ fn lowered_programs_validate_for_every_topology_class() {
         let cfg = small_cfg().with_batch(2);
         let opt = Optimizer::new(cfg);
         let (_, dag) = opt.build_dag(&g);
-        let (sched, mapped) = opt.schedule_and_map(&dag);
+        let (sched, mapped) = opt.schedule_and_map(&dag).unwrap();
         assert_eq!(sched.len(), mapped.len());
         let p = lower_to_program(&dag, &mapped, &LowerOptions::default());
         assert!(p.validate(cfg.engines()).is_ok(), "{name}");
@@ -111,8 +115,13 @@ fn energy_components_consistent() {
     assert!(e.compute_pj > 0.0);
     assert!(e.static_pj > 0.0);
 
-    let r4 = Strategy::AtomicDataflow.run(&g, &cfg.with_batch(4)).unwrap();
-    assert!(r4.energy.compute_pj > 3.0 * e.compute_pj, "compute energy must scale with batch");
+    let r4 = Strategy::AtomicDataflow
+        .run(&g, &cfg.with_batch(4))
+        .unwrap();
+    assert!(
+        r4.energy.compute_pj > 3.0 * e.compute_pj,
+        "compute energy must scale with batch"
+    );
 }
 
 /// Bigger on-chip buffers never make AD slower on a memory-pressured
@@ -125,8 +134,16 @@ fn larger_buffers_do_not_hurt() {
     let mut large = small;
     large.sim.engine = large.sim.engine.with_buffer_bytes(512 * 1024);
 
-    let c_small = Optimizer::new(small).optimize(&g).unwrap().stats.total_cycles;
-    let c_large = Optimizer::new(large).optimize(&g).unwrap().stats.total_cycles;
+    let c_small = Optimizer::new(small)
+        .optimize(&g)
+        .unwrap()
+        .stats
+        .total_cycles;
+    let c_large = Optimizer::new(large)
+        .optimize(&g)
+        .unwrap()
+        .stats
+        .total_cycles;
     assert!(
         c_large <= c_small * 11 / 10,
         "512KB ({c_large}) much slower than 8KB ({c_small})"
@@ -142,7 +159,69 @@ fn cnn_p_offchip_traffic_exceeds_ad() {
     let cp = Strategy::CnnPartition.run(&g, &cfg).unwrap();
     let ad = Strategy::AtomicDataflow.run(&g, &cfg).unwrap();
     let total = |s: &SimStats| s.dram_read_bytes + s.dram_write_bytes;
-    assert!(total(&cp) > total(&ad), "cnn-p {} <= ad {}", total(&cp), total(&ad));
+    assert!(
+        total(&cp) > total(&ad),
+        "cnn-p {} <= ad {}",
+        total(&cp),
+        total(&ad)
+    );
+}
+
+/// Acceptance scenario for the fault subsystem: engine 0 dies mid-run on an
+/// 8×8 mesh running ResNet. With recovery enabled the run completes by
+/// remapping the remainder onto the 63 survivors — degradation counters
+/// populated, bit-identical across two runs. With recovery disabled the
+/// same scenario is a typed error, never a panic.
+#[test]
+fn engine_death_on_resnet_recovers_via_remap() {
+    use atomic_dataflow::{run_with_recovery, AtomGenMode, PipelineError, RecoveryConfig};
+
+    let g = models::resnet50();
+    let mut cfg = OptimizerConfig::paper_default(); // 8×8 mesh
+                                                    // Uniform atomization + greedy rounds keep the test cheap and exercise
+                                                    // the identical recovery machinery.
+    cfg.atomgen.mode = AtomGenMode::Uniform { parts: 4 };
+    cfg.schedule_mode = ScheduleMode::PriorityGreedy;
+    let (_, dag) = Optimizer::new(cfg).build_dag(&g);
+
+    let healthy =
+        run_with_recovery(&dag, &cfg, &FaultPlan::none(), &RecoveryConfig::auto()).unwrap();
+    assert!(healthy.stats.degradation.is_healthy());
+    let plan = FaultPlan::engine_fail(0, healthy.stats.total_cycles / 2);
+
+    let a = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto()).unwrap();
+    let b = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto()).unwrap();
+    assert_eq!(a, b, "recovery must replay identically for the same plan");
+    assert_eq!(a.failed_engines, vec![0]);
+    assert!(
+        a.attempts >= 2,
+        "a mid-run death of engine 0 must force a re-plan"
+    );
+
+    let d = &a.stats.degradation;
+    assert_eq!(d.engine_failures, 1);
+    assert!(d.remap_rounds > 0, "re-planned rounds must be counted");
+    assert!(
+        d.lost_tasks > 0,
+        "the failed round's in-flight work is lost"
+    );
+    // Every MAC executed at least once; reruns can only add.
+    assert!(a.stats.total_macs >= dag.total_macs());
+    assert!(
+        a.stats.total_cycles > healthy.stats.total_cycles,
+        "recovery is not free: {} vs healthy {}",
+        a.stats.total_cycles,
+        healthy.stats.total_cycles
+    );
+
+    let err = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::disabled()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            PipelineError::Sim(SimError::EngineFailed { engine: 0, .. })
+        ),
+        "recovery off must yield a typed engine failure, got {err:?}"
+    );
 }
 
 /// The full 8-workload model zoo builds, validates, and atomizes under the
