@@ -118,7 +118,7 @@ impl FaultPlan {
         let mut plan = Self::none();
         for engine in 0..mesh.engines() {
             if rng.chance(rates.engine_fail_prob) {
-                let cycle = rng.below(horizon as usize) as u64;
+                let cycle = rng.below_u64(horizon);
                 plan.events.push(FaultEvent {
                     cycle,
                     kind: FaultKind::EngineFail { engine },
@@ -128,7 +128,7 @@ impl FaultPlan {
         for a in 0..mesh.engines() {
             for b in mesh.neighbors(a) {
                 if b > a && rng.chance(rates.link_fail_prob) {
-                    let cycle = rng.below(horizon as usize) as u64;
+                    let cycle = rng.below_u64(horizon);
                     plan.events.push(FaultEvent {
                         cycle,
                         kind: FaultKind::LinkFail { a, b },
@@ -137,7 +137,7 @@ impl FaultPlan {
             }
         }
         if rng.chance(rates.hbm_derate_prob) {
-            let cycle = rng.below(horizon as usize) as u64;
+            let cycle = rng.below_u64(horizon);
             plan.events.push(FaultEvent {
                 cycle,
                 kind: FaultKind::HbmDerate {

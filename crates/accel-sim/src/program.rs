@@ -1,5 +1,6 @@
-use std::collections::HashSet;
 use std::fmt;
+
+use ad_util::cast::u32_from_usize;
 
 /// Identifier of a task within a [`Program`] (dense, insertion-ordered).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -210,7 +211,7 @@ impl Program {
     /// Adds a task and returns its id. Tasks may be added in any order; only
     /// rounds define execution order.
     pub fn push_task(&mut self, task: Task) -> TaskId {
-        let id = TaskId(self.tasks.len() as u32);
+        let id = TaskId(u32_from_usize(self.tasks.len()));
         self.tasks.push(task);
         id
     }
@@ -254,7 +255,7 @@ impl Program {
     pub fn validate(&self, engines: usize) -> Result<(), ProgramError> {
         let mut scheduled_round = vec![usize::MAX; self.tasks.len()];
         for (r, round) in self.rounds.iter().enumerate() {
-            let mut used: HashSet<usize> = HashSet::new();
+            let mut used = vec![false; engines];
             for (tid, engine) in round {
                 if tid.index() >= self.tasks.len() {
                     return Err(ProgramError::UnknownTask {
@@ -272,18 +273,19 @@ impl Program {
                     return Err(ProgramError::DoubleScheduled(*tid));
                 }
                 scheduled_round[tid.index()] = r;
-                if !used.insert(*engine) {
+                if used[*engine] {
                     return Err(ProgramError::EngineConflict {
                         round: r,
                         engine: *engine,
                     });
                 }
+                used[*engine] = true;
             }
         }
         for (i, task) in self.tasks.iter().enumerate() {
             let me = scheduled_round[i];
             if me == usize::MAX {
-                return Err(ProgramError::Unscheduled(TaskId(i as u32)));
+                return Err(ProgramError::Unscheduled(TaskId(u32_from_usize(i))));
             }
             for op in &task.inputs {
                 if let Operand::Task { producer, .. } = op {
@@ -293,7 +295,7 @@ impl Program {
                         .unwrap_or(usize::MAX);
                     if pr == usize::MAX || pr >= me {
                         return Err(ProgramError::DependencyViolation {
-                            consumer: TaskId(i as u32),
+                            consumer: TaskId(u32_from_usize(i)),
                             producer: *producer,
                         });
                     }

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use engine_model::EngineConfig;
 use mem_model::{HbmConfig, HbmModel};
@@ -200,10 +200,13 @@ impl Simulator {
     pub fn run(&self, program: &Program) -> Result<SimStats, SimError> {
         match self.run_faulted(program, &FaultPlan::none())? {
             FaultedOutcome::Completed(stats) => Ok(stats),
-            // An empty plan kills no engine, so no round can fail.
-            FaultedOutcome::Failed(r) => {
-                unreachable!("healthy run reported an engine failure: {r:?}")
-            }
+            // An empty plan kills no engine, so no round can fail; surfaced
+            // as a typed error rather than a panic should that ever change.
+            FaultedOutcome::Failed(r) => Err(SimError::EngineFailed {
+                engine: r.engine,
+                cycle: r.cycle,
+                round: r.round,
+            }),
         }
     }
 
@@ -258,11 +261,11 @@ struct Runtime<'p> {
     cfg: &'p SimConfig,
     program: &'p Program,
     buffers: Vec<BufferState>,
-    locations: HashMap<Datum, Location>,
+    locations: BTreeMap<Datum, Location>,
     /// Remaining consumer references per datum.
-    remaining_uses: HashMap<Datum, u32>,
+    remaining_uses: BTreeMap<Datum, u32>,
     /// Sorted list of rounds in which each datum is consumed.
-    use_rounds: HashMap<Datum, Vec<u64>>,
+    use_rounds: BTreeMap<Datum, Vec<u64>>,
     hbm: HbmModel,
     traffic: TrafficTracker,
     now: u64,
@@ -297,8 +300,8 @@ struct Runtime<'p> {
 impl<'p> Runtime<'p> {
     fn new(cfg: &'p SimConfig, program: &'p Program, plan: &FaultPlan) -> Self {
         let engines = cfg.engines();
-        let mut remaining_uses: HashMap<Datum, u32> = HashMap::new();
-        let mut use_rounds: HashMap<Datum, Vec<u64>> = HashMap::new();
+        let mut remaining_uses: BTreeMap<Datum, u32> = BTreeMap::new();
+        let mut use_rounds: BTreeMap<Datum, Vec<u64>> = BTreeMap::new();
 
         // Which round does each task run in? (Validated: exactly one.)
         let mut task_round = vec![0u64; program.tasks().len()];
@@ -328,7 +331,7 @@ impl<'p> Runtime<'p> {
         }
 
         // External data starts in DRAM.
-        let mut locations: HashMap<Datum, Location> = HashMap::new();
+        let mut locations: BTreeMap<Datum, Location> = BTreeMap::new();
         for d in remaining_uses.keys() {
             if matches!(d, Datum::Ext(_)) {
                 locations.insert(

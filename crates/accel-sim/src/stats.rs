@@ -1,5 +1,7 @@
 use std::fmt;
 
+use ad_util::Json;
+
 /// Energy breakdown of one simulated run, in picojoules (Fig. 11's stacked
 /// components).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -228,6 +230,90 @@ impl SimStats {
             },
             degradation: self.degradation.merge(&other.degradation),
         }
+    }
+}
+
+impl SimStats {
+    /// Serializes every field to a JSON object with a fixed member order,
+    /// so two equal runs produce byte-identical output. The determinism
+    /// regression suite diffs this serialization across repeated
+    /// identically-seeded pipeline runs.
+    pub fn to_json(&self) -> Json {
+        let u64s = |v: &[u64]| Json::Arr(v.iter().map(|&x| Json::from(x)).collect());
+        Json::Obj(vec![
+            ("total_cycles".into(), Json::from(self.total_cycles)),
+            ("rounds".into(), Json::from(self.rounds)),
+            ("tasks".into(), Json::from(self.tasks)),
+            ("engine_busy_cycles".into(), u64s(&self.engine_busy_cycles)),
+            (
+                "engine_blocked_cycles".into(),
+                u64s(&self.engine_blocked_cycles),
+            ),
+            ("total_macs".into(), Json::from(self.total_macs)),
+            ("pe_utilization".into(), Json::from(self.pe_utilization)),
+            (
+                "compute_utilization".into(),
+                Json::from(self.compute_utilization),
+            ),
+            (
+                "noc_blocked_cycles".into(),
+                Json::from(self.noc_blocked_cycles),
+            ),
+            (
+                "dram_blocked_cycles".into(),
+                Json::from(self.dram_blocked_cycles),
+            ),
+            ("noc_overhead".into(), Json::from(self.noc_overhead)),
+            ("dram_read_bytes".into(), Json::from(self.dram_read_bytes)),
+            ("dram_write_bytes".into(), Json::from(self.dram_write_bytes)),
+            (
+                "onchip_served_bytes".into(),
+                Json::from(self.onchip_served_bytes),
+            ),
+            (
+                "dram_served_bytes".into(),
+                Json::from(self.dram_served_bytes),
+            ),
+            (
+                "onchip_reuse_ratio".into(),
+                Json::from(self.onchip_reuse_ratio),
+            ),
+            ("noc_bytes".into(), Json::from(self.noc_bytes)),
+            ("noc_byte_hops".into(), Json::from(self.noc_byte_hops)),
+            (
+                "energy_pj".into(),
+                Json::Obj(vec![
+                    ("compute".into(), Json::from(self.energy.compute_pj)),
+                    ("noc".into(), Json::from(self.energy.noc_pj)),
+                    ("dram".into(), Json::from(self.energy.dram_pj)),
+                    ("static".into(), Json::from(self.energy.static_pj)),
+                ]),
+            ),
+            (
+                "degradation".into(),
+                Json::Obj(vec![
+                    (
+                        "engine_failures".into(),
+                        Json::from(self.degradation.engine_failures),
+                    ),
+                    ("dead_links".into(), Json::from(self.degradation.dead_links)),
+                    ("hbm_derate".into(), Json::from(self.degradation.hbm_derate)),
+                    ("lost_tasks".into(), Json::from(self.degradation.lost_tasks)),
+                    (
+                        "rerun_tasks".into(),
+                        Json::from(self.degradation.rerun_tasks),
+                    ),
+                    (
+                        "remap_rounds".into(),
+                        Json::from(self.degradation.remap_rounds),
+                    ),
+                    (
+                        "rerouted_transfers".into(),
+                        Json::from(self.degradation.rerouted_transfers),
+                    ),
+                ]),
+            ),
+        ])
     }
 }
 

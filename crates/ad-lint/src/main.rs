@@ -1,0 +1,75 @@
+//! CLI for the workspace linter. See the library docs for the rule set.
+//!
+//! ```text
+//! cargo run -p ad-lint --              # report violations, exit 0
+//! cargo run -p ad-lint -- --deny       # exit 1 on any violation (CI)
+//! cargo run -p ad-lint -- --json       # machine-readable report
+//! cargo run -p ad-lint -- --root PATH  # lint a different workspace root
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("ad-lint: --root requires a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: ad-lint [--root PATH] [--json] [--deny]");
+                eprintln!("rules: D1 hash-container, D2 nondeterminism, P1 panic, C1 lossy-cast");
+                eprintln!("suppress with `// ad-lint: allow(<rule>)`");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ad-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let diags = match ad_lint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ad-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", ad_lint::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        let mut per_rule = String::new();
+        for rule in ad_lint::Rule::ALL {
+            let n = diags.iter().filter(|d| d.rule == rule).count();
+            if n > 0 {
+                per_rule.push_str(&format!(" {}={n}", rule.code()));
+            }
+        }
+        if diags.is_empty() {
+            println!("ad-lint: clean");
+        } else {
+            println!("ad-lint: {} violation(s){per_rule}", diags.len());
+        }
+    }
+
+    if deny && !diags.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

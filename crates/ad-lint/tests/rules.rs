@@ -1,0 +1,317 @@
+//! Per-rule fixture tests for the workspace linter.
+//!
+//! Every rule gets a planted violation (positive), an equivalent clean
+//! construct (negative), and an `ad-lint: allow(...)` suppression check,
+//! plus path-scoping and masking fixtures. The final test lints the real
+//! workspace and demands zero findings — the same gate CI enforces with
+//! `ad-lint --deny`.
+
+use std::path::Path;
+
+use ad_lint::{lint_file, lint_workspace, to_json, Diagnostic, Rule};
+
+/// A source path inside the planning/sim scope (D1 + C1 + D2 + P1 apply).
+const CORE_LIB: &str = "crates/core/src/mapping.rs";
+/// A model-crate path outside the planning scope (D2 + P1 apply).
+const MODEL_LIB: &str = "crates/engine-model/src/lib.rs";
+/// A library path outside every determinism scope (only P1 applies).
+const GRAPH_LIB: &str = "crates/dnn-graph/src/graph.rs";
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<Rule> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_flags_hash_containers_in_planning_crates() {
+    let src = "use std::collections::HashMap;\n\
+               use std::collections::HashSet;\n";
+    let diags = lint_file(CORE_LIB, src);
+    assert_eq!(
+        rules_of(&diags),
+        vec![Rule::HashContainer, Rule::HashContainer]
+    );
+    assert_eq!(diags[0].line, 1);
+    assert_eq!(diags[1].line, 2);
+    assert_eq!(diags[0].file, CORE_LIB);
+}
+
+#[test]
+fn d1_applies_inside_test_modules_too() {
+    // Hash-ordered assertions are as non-reproducible as hash-ordered
+    // planning, so D1 — unlike every other rule — reaches into test code.
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               \x20   use std::collections::HashSet;\n\
+               }\n";
+    let diags = lint_file(CORE_LIB, src);
+    assert_eq!(rules_of(&diags), vec![Rule::HashContainer]);
+    assert_eq!(diags[0].line, 3);
+}
+
+#[test]
+fn d1_ignores_btree_and_out_of_scope_crates() {
+    let clean = "use std::collections::BTreeMap;\nuse std::collections::BTreeSet;\n";
+    assert!(lint_file(CORE_LIB, clean).is_empty());
+    // dnn-graph is not a planning crate; hashing its layer names is fine.
+    let hashy = "use std::collections::HashMap;\n";
+    assert!(lint_file(GRAPH_LIB, hashy).is_empty());
+}
+
+#[test]
+fn d1_respects_identifier_boundaries() {
+    // `HashMapLike` / `MyHashSet` are different identifiers, not the type.
+    let src = "struct HashMapLike;\ntype MyHashSet = ();\n";
+    assert!(lint_file(CORE_LIB, src).is_empty());
+}
+
+#[test]
+fn d1_allow_comment_suppresses() {
+    let src = "use std::collections::HashMap; // ad-lint: allow(hash-container)\n";
+    assert!(lint_file(CORE_LIB, src).is_empty());
+    // Codes work too, case-insensitively.
+    let src = "use std::collections::HashMap; // ad-lint: allow(D1)\n";
+    assert!(lint_file(CORE_LIB, src).is_empty());
+    // An unrelated allow does not.
+    let src = "use std::collections::HashMap; // ad-lint: allow(panic)\n";
+    assert_eq!(
+        rules_of(&lint_file(CORE_LIB, src)),
+        vec![Rule::HashContainer]
+    );
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_flags_entropy_and_wall_clock_in_model_crates() {
+    let src = "fn seed() { let r = thread_rng(); }\n\
+               fn t0() -> Instant { Instant::now() }\n\
+               fn t1() { let _ = SystemTime::now(); }\n\
+               fn s() { let g = StdRng::from_entropy(); }\n";
+    let diags = lint_file(MODEL_LIB, src);
+    assert_eq!(diags.len(), 4);
+    assert!(diags.iter().all(|d| d.rule == Rule::Nondeterminism));
+    assert_eq!(
+        diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+        vec![1, 2, 3, 4]
+    );
+}
+
+#[test]
+fn d2_does_not_reach_test_code_or_unscoped_crates() {
+    let src = "fn t() { let _ = Instant::now(); }\n";
+    // Integration tests of a model crate may time things.
+    assert!(lint_file("crates/core/tests/perf.rs", src).is_empty());
+    // #[cfg(test)] blocks are blanked for D2.
+    let gated = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = Instant::now(); }\n}\n";
+    assert!(lint_file(MODEL_LIB, gated).is_empty());
+    // dnn-graph has no cost model; the rule does not apply there.
+    assert!(lint_file(GRAPH_LIB, src).is_empty());
+}
+
+#[test]
+fn d2_allow_comment_suppresses() {
+    let src = "fn t0() -> Instant { Instant::now() } // ad-lint: allow(nondeterminism)\n";
+    assert!(lint_file(MODEL_LIB, src).is_empty());
+}
+
+// ---------------------------------------------------------------- P1
+
+#[test]
+fn p1_flags_every_panicking_shortcut() {
+    let src = "fn a(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               fn b(x: Option<u32>) -> u32 { x.expect(\"present\") }\n\
+               fn c() { panic!(\"boom\"); }\n\
+               fn d() { unreachable!(); }\n\
+               fn e() { todo!(); }\n\
+               fn f() { unimplemented!(); }\n";
+    let diags = lint_file(GRAPH_LIB, src);
+    assert_eq!(diags.len(), 6);
+    assert!(diags.iter().all(|d| d.rule == Rule::Panic));
+    assert_eq!(
+        diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+        vec![1, 2, 3, 4, 5, 6]
+    );
+}
+
+#[test]
+fn p1_sanctions_asserts_and_non_panicking_unwraps() {
+    let src = "fn a(v: usize) { assert!(v < 10, \"contract\"); }\n\
+               fn b(v: usize) { debug_assert!(v < 10); }\n\
+               fn c(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
+               fn d(x: Option<u32>) -> u32 { x.unwrap_or_default() }\n\
+               fn e(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 1) }\n";
+    assert!(lint_file(GRAPH_LIB, src).is_empty());
+}
+
+#[test]
+fn p1_exempts_tests_bins_and_the_bench_crate() {
+    let src = "fn a(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    for rel in [
+        "crates/core/tests/integration.rs",
+        "crates/core/benches/mapping.rs",
+        "crates/core/examples/demo.rs",
+        "crates/core/src/bin/tool.rs",
+        "crates/ad-lint/src/main.rs",
+        "crates/core/build.rs",
+        "crates/bench/src/lib.rs",
+    ] {
+        assert!(lint_file(rel, src).is_empty(), "{rel} should be P1-exempt");
+    }
+    // ...but library code of any other crate, including the root package,
+    // is in scope.
+    assert_eq!(rules_of(&lint_file("src/lib.rs", src)), vec![Rule::Panic]);
+}
+
+#[test]
+fn p1_skips_cfg_test_modules() {
+    let src = "pub fn lib() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   #[test]\n\
+               \x20   fn t() { super::lib(); Some(1).unwrap(); }\n\
+               }\n";
+    assert!(lint_file(GRAPH_LIB, src).is_empty());
+}
+
+#[test]
+fn p1_allow_comment_suppresses_trailing_and_preceding() {
+    let trailing = "fn a(x: Option<u32>) -> u32 { x.unwrap() } // ad-lint: allow(panic)\n";
+    assert!(lint_file(GRAPH_LIB, trailing).is_empty());
+    // A directive on its own line covers the next code line (rustfmt can
+    // reflow trailing comments, so the standalone form must work too).
+    let preceding = "// ad-lint: allow(panic)\n\
+                     fn a(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(lint_file(GRAPH_LIB, preceding).is_empty());
+    // The carried directive covers only that next line.
+    let two = "// ad-lint: allow(panic)\n\
+               fn a(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               fn b(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let diags = lint_file(GRAPH_LIB, two);
+    assert_eq!(rules_of(&diags), vec![Rule::Panic]);
+    assert_eq!(diags[0].line, 3);
+}
+
+// ---------------------------------------------------------------- C1
+
+#[test]
+fn c1_flags_narrowing_casts_in_planning_crates() {
+    let src = "fn a(v: usize) -> u32 { v as u32 }\n\
+               fn b(v: u64) -> u16 { v as u16 }\n\
+               fn c(v: i64) -> i32 { v as i32 }\n\
+               fn d(v: u32) -> u8 { v as u8 }\n";
+    let diags = lint_file(CORE_LIB, src);
+    assert_eq!(diags.len(), 4);
+    assert!(diags.iter().all(|d| d.rule == Rule::LossyCast));
+    assert!(diags[0].message.contains("as u32"));
+}
+
+#[test]
+fn c1_ignores_widening_casts_use_aliases_and_unscoped_crates() {
+    let widening = "fn a(v: u32) -> u64 { v as u64 }\n\
+                    fn b(v: u32) -> usize { v as usize }\n\
+                    fn c(v: u32) -> f64 { v as f64 }\n";
+    assert!(lint_file(CORE_LIB, widening).is_empty());
+    // `use x as y` renames, it never casts.
+    let alias = "use crate::table as u32_table;\n";
+    assert!(lint_file(CORE_LIB, alias).is_empty());
+    // dnn-graph is out of C1 scope.
+    let narrow = "fn a(v: usize) -> u32 { v as u32 }\n";
+    assert!(lint_file(GRAPH_LIB, narrow).is_empty());
+    // Test code of planning crates may truncate in fixtures.
+    assert!(lint_file("crates/core/tests/fixtures.rs", narrow).is_empty());
+}
+
+#[test]
+fn c1_allow_comment_suppresses() {
+    let src = "fn a(v: usize) -> u32 { v as u32 } // ad-lint: allow(lossy-cast)\n";
+    assert!(lint_file(CORE_LIB, src).is_empty());
+}
+
+// ------------------------------------------------------- masking & allow
+
+#[test]
+fn strings_and_comments_are_not_code() {
+    let src = "// HashMap in a comment, x.unwrap() too\n\
+               /* thread_rng() in a block comment */\n\
+               const DOC: &str = \"HashMap and Instant::now() and v as u32\";\n\
+               const RAW: &str = r#\"panic! unreachable! .unwrap()\"#;\n";
+    assert!(lint_file(CORE_LIB, src).is_empty());
+}
+
+#[test]
+fn allow_all_and_multi_rule_lists() {
+    let src = "use std::collections::HashMap; // ad-lint: allow(all)\n";
+    assert!(lint_file(CORE_LIB, src).is_empty());
+    let src = "fn a(m: &HashMap<u32, u32>) -> u32 { m.len() as u32 } \
+               // ad-lint: allow(hash-container, lossy-cast)\n";
+    assert!(lint_file(CORE_LIB, src).is_empty());
+    // One listed rule does not excuse the other.
+    let src = "fn a(m: &HashMap<u32, u32>) -> u32 { m.len() as u32 } \
+               // ad-lint: allow(lossy-cast)\n";
+    assert_eq!(
+        rules_of(&lint_file(CORE_LIB, src)),
+        vec![Rule::HashContainer]
+    );
+}
+
+#[test]
+fn rule_parsing_accepts_slugs_and_codes() {
+    for (name, rule) in [
+        ("hash-container", Rule::HashContainer),
+        ("d1", Rule::HashContainer),
+        ("D2", Rule::Nondeterminism),
+        ("panic", Rule::Panic),
+        ("P1", Rule::Panic),
+        ("lossy-cast", Rule::LossyCast),
+        ("C1", Rule::LossyCast),
+    ] {
+        assert_eq!(Rule::parse(name), Some(rule), "{name}");
+    }
+    assert_eq!(Rule::parse("no-such-rule"), None);
+}
+
+// ---------------------------------------------------------------- output
+
+#[test]
+fn json_output_is_escaped_and_structured() {
+    let src = "fn a() { panic!(\"boom\"); }\n";
+    let diags = lint_file(GRAPH_LIB, src);
+    let json = to_json(&diags);
+    assert!(json.starts_with('['));
+    assert!(json.contains("\"rule\":\"panic\""));
+    assert!(json.contains("\"code\":\"P1\""));
+    assert!(json.contains("\"line\":1"));
+    // The snippet's interior quotes must arrive escaped.
+    assert!(json.contains("panic!(\\\"boom\\\")"));
+    assert_eq!(to_json(&[]), "[]");
+}
+
+#[test]
+fn diagnostics_render_as_file_line_rule() {
+    let src = "use std::collections::HashMap;\n";
+    let d = &lint_file(CORE_LIB, src)[0];
+    let line = d.to_string();
+    assert!(line.starts_with("crates/core/src/mapping.rs:1: [D1(hash-container)]"));
+}
+
+// ---------------------------------------------------------- self-check
+
+/// The workspace itself must be clean — the same invariant CI enforces
+/// with `cargo run -p ad-lint -- --deny`.
+#[test]
+fn workspace_self_check_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = lint_workspace(&root).expect("workspace sources are readable");
+    assert!(
+        diags.is_empty(),
+        "ad-lint found {} violation(s) in the workspace:\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -286,7 +286,7 @@ pub fn atom_cost(
             }
         }
         OpKind::Fc { .. } => {
-            let ci = layer.in_shape().elements() as usize;
+            let ci = ad_util::cast::usize_from_u64(layer.in_shape().elements());
             let task = ConvTask::fc(ci, coords.c.len());
             let est = cfg.estimate(&task, dataflow);
             AtomCost {

@@ -200,6 +200,8 @@ fn enumerate_candidates(
     engine: &EngineConfig,
     dataflow: Dataflow,
 ) -> CandidateTable {
+    // `max_working_set_frac` ∈ [0, 1], so the product stays ≤ buffer_bytes.
+    #[allow(clippy::cast_possible_truncation)]
     let budget = (engine.buffer_bytes as f64 * cfg.max_working_set_frac) as u64;
     let mut layers = Vec::with_capacity(graph.layer_count());
     let mut is_array = Vec::with_capacity(graph.layer_count());
@@ -214,7 +216,7 @@ fn enumerate_candidates(
         }
         let out = layer.out_shape();
         let mut cands: Vec<Candidate> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
 
         for &fh in &SPLITS {
             if fh > out.h && fh != 1 {
@@ -641,7 +643,7 @@ pub fn grid_split(
     let out = layer.out_shape();
     let parts = parts.max(1);
     let mut best: Option<((usize, u64), AtomSpec)> = None;
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for &fh in &SPLITS {
         if fh > out.h && fh != 1 {
             break;
@@ -729,7 +731,7 @@ mod tests {
             let out = layer.out_shape();
             // Either a PE_y multiple or capped at the layer's channel count.
             assert!(
-                spec.tc.is_multiple_of(e.pe_y) || spec.tc == out.c,
+                spec.tc % e.pe_y == 0 || spec.tc == out.c,
                 "layer {} tc={} not snapped",
                 layer.name(),
                 spec.tc

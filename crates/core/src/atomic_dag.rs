@@ -8,9 +8,10 @@
 //! DAG — `#Batch` identical sub-DAGs sharing weight data — exactly as the
 //! paper's framework does.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use accel_sim::DataId;
+use ad_util::cast::{u16_from_usize, u32_from_usize};
 use dnn_graph::{Graph, LayerId, OpKind, BYTES_PER_ELEM};
 use engine_model::{Dataflow, EngineConfig};
 
@@ -126,9 +127,9 @@ impl AtomicDag {
         }
 
         // Cost cache: tiles of equal extent share a cost.
-        let mut cost_cache: HashMap<(u32, usize, usize, usize), AtomCost> = HashMap::new();
+        let mut cost_cache: BTreeMap<(u32, usize, usize, usize), AtomCost> = BTreeMap::new();
 
-        for b in 0..batch as u16 {
+        for b in 0..u16_from_usize(batch) {
             for layer in graph.layers() {
                 if layer.op().is_input() {
                     continue;
@@ -140,7 +141,7 @@ impl AtomicDag {
                     let cost = *cost_cache
                         .entry(key)
                         .or_insert_with(|| atom_cost(layer, coords, engine, dataflow));
-                    let id = AtomId(dag.atoms.len() as u32);
+                    let id = AtomId(u32_from_usize(dag.atoms.len()));
                     dag.atoms.push(Atom {
                         layer: lid,
                         batch: b,
@@ -156,7 +157,7 @@ impl AtomicDag {
         }
 
         // Edges and externals.
-        for b in 0..batch as u16 {
+        for b in 0..u16_from_usize(batch) {
             for layer in graph.layers() {
                 if layer.op().is_input() {
                     continue;
@@ -559,7 +560,7 @@ mod tests {
             2,
         );
         for (i, _) in dag.atoms().iter().enumerate() {
-            let id = AtomId(i as u32);
+            let id = AtomId(u32_from_usize(i));
             for (p, bytes) in dag.preds(id) {
                 assert!(p.index() < dag.atom_count());
                 assert!(*bytes > 0);

@@ -10,7 +10,8 @@ use crate::optimizer::OptimizerConfig;
 /// every MAC executes at full array occupancy, every vector op at full
 /// vector-unit occupancy, and data movement is free.
 pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> SimStats {
-    let engines = cfg.engines() as u64;
+    let engine_count = cfg.engines();
+    let engines = engine_count as u64;
     let pes = cfg.sim.engine.pe_count();
     let batch = cfg.batch.max(1) as u64;
     let macs: u64 = graph.layers().map(|l| l.macs()).sum::<u64>() * batch;
@@ -25,8 +26,8 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> SimStats {
         total_cycles,
         rounds: 0,
         tasks: 0,
-        engine_busy_cycles: vec![total_cycles; engines as usize],
-        engine_blocked_cycles: vec![0; engines as usize],
+        engine_busy_cycles: vec![total_cycles; engine_count],
+        engine_blocked_cycles: vec![0; engine_count],
         total_macs: macs,
         pe_utilization: macs as f64 / (total_cycles * engines * pes) as f64,
         compute_utilization: 1.0,

@@ -13,7 +13,7 @@
 //! utilization. Segment boundaries spill to DRAM (regions are re-allocated
 //! between segments).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use accel_sim::{SimStats, Simulator};
 use dnn_graph::{Graph, LayerId};
@@ -77,7 +77,7 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineErr
         let layer = graph.layer(*l);
         layer.macs().max(layer.vector_ops() * vector_weight).max(1)
     };
-    let mut region_of: HashMap<LayerId, Vec<usize>> = HashMap::new();
+    let mut region_of: BTreeMap<LayerId, Vec<usize>> = BTreeMap::new();
     for seg in &segments {
         let total: u64 = seg.iter().map(time_weight).sum();
         let mut sizes: Vec<usize> = seg
@@ -92,7 +92,7 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineErr
             }
             if sum > n {
                 // Shrink the largest shrinkable region.
-                let i = (0..sizes.len()).max_by_key(|i| sizes[*i]).unwrap();
+                let i = (0..sizes.len()).max_by_key(|i| sizes[*i]).unwrap_or(0);
                 assert!(
                     sizes[i] > 1,
                     "cannot fit {} layers on {} engines",
@@ -104,7 +104,7 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineErr
                 // Grow the region of the most compute-heavy layer.
                 let i = (0..sizes.len())
                     .max_by_key(|i| time_weight(&seg[*i]) / sizes[*i] as u64)
-                    .unwrap();
+                    .unwrap_or(0);
                 sizes[i] += 1;
             }
         }
@@ -122,8 +122,8 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineErr
     });
 
     // --- Pipelined schedule with legalization.
-    let mut atom_step: HashMap<AtomId, usize> = HashMap::new();
-    let mut rounds_by_step: HashMap<usize, Vec<(AtomId, usize)>> = HashMap::new();
+    let mut atom_step: BTreeMap<AtomId, usize> = BTreeMap::new();
+    let mut rounds_by_step: BTreeMap<usize, Vec<(AtomId, usize)>> = BTreeMap::new();
     let mut base_step = 0usize;
 
     for seg in &segments {
@@ -161,12 +161,9 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineErr
         base_step = seg_max_step + 1;
     }
 
-    let mut steps: Vec<usize> = rounds_by_step.keys().copied().collect();
-    steps.sort_unstable();
-    let rounds: Vec<Vec<(AtomId, usize)>> = steps
-        .into_iter()
-        .map(|s| rounds_by_step.remove(&s).unwrap())
-        .collect();
+    // `BTreeMap` iterates in ascending step order, so the rounds come out
+    // already sorted by pipeline step.
+    let rounds: Vec<Vec<(AtomId, usize)>> = rounds_by_step.into_values().collect();
 
     // Segment-boundary tensors stay in the distributed buffers and are
     // pulled by the next segment's regions over the NoC; the buffering

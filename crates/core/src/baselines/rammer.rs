@@ -10,6 +10,8 @@
 
 use std::collections::VecDeque;
 
+use ad_util::cast::u32_from_usize;
+
 use accel_sim::{EvictionKind, SimStats, Simulator};
 use dnn_graph::Graph;
 
@@ -31,9 +33,9 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineErr
     // FIFO topological packing: take up to N ready tasks per round, in plain
     // discovery order.
     let mut indegree: Vec<u32> = (0..dag.atom_count())
-        .map(|i| dag.preds(AtomId(i as u32)).len() as u32)
+        .map(|i| u32_from_usize(dag.preds(AtomId(u32_from_usize(i))).len()))
         .collect();
-    let mut queue: VecDeque<AtomId> = (0..dag.atom_count() as u32)
+    let mut queue: VecDeque<AtomId> = (0..u32_from_usize(dag.atom_count()))
         .map(AtomId)
         .filter(|a| indegree[a.index()] == 0)
         .collect();
@@ -45,7 +47,7 @@ pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineErr
         let take = queue.len().min(n);
         let mut round = Vec::with_capacity(take);
         for &engine in zig.iter().take(take) {
-            let a = queue.pop_front().expect("queue sized above");
+            let Some(a) = queue.pop_front() else { break };
             round.push((a, engine));
         }
         scheduled += round.len();

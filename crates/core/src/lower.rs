@@ -3,7 +3,9 @@
 //! baselines — goes through this same function, so the event-driven
 //! simulator measures them identically.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
+
+use ad_util::cast::u32_from_usize;
 
 use accel_sim::{DataId, Operand, Program, Task, TaskId};
 use dnn_graph::LayerId;
@@ -24,7 +26,7 @@ pub struct LowerOptions {
     /// Layers whose atom outputs are forced straight to DRAM (consumers then
     /// read them back from DRAM). The CNN-Partition baseline marks every
     /// CLP-boundary layer this way; `None` means fully buffered.
-    pub dram_output_layers: Option<HashSet<LayerId>>,
+    pub dram_output_layers: Option<BTreeSet<LayerId>>,
     /// Force *every* output to DRAM (the strictest CNN-P reading, where
     /// each ifmap/ofmap "inevitably introduces off-chip memory access").
     pub all_outputs_to_dram: bool,
@@ -73,7 +75,7 @@ pub fn lower_remaining(
         if is_done(i) {
             continue;
         }
-        let id = AtomId(i as u32);
+        let id = AtomId(u32_from_usize(i));
         let mut inputs: Vec<Operand> = dag
             .preds(id)
             .iter()

@@ -10,7 +10,7 @@
 //! last held each weight slice, so weight multicast distance is part of the
 //! cost as well.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use accel_sim::DataId;
 use noc_model::MeshConfig;
@@ -88,10 +88,11 @@ pub struct Mapper {
     mesh: MeshConfig,
     cfg: MappingConfig,
     zigzag: Vec<usize>,
-    /// Engine where each atom's output was produced.
-    residency: HashMap<AtomId, usize>,
+    /// Engine where each atom's output was produced. Ordered so that every
+    /// iteration-dependent decision downstream is reproducible.
+    residency: BTreeMap<AtomId, usize>,
     /// Engine that most recently used each weight slice.
-    weight_home: HashMap<DataId, usize>,
+    weight_home: BTreeMap<DataId, usize>,
     /// Engines still operational; dead engines receive no atoms (fault
     /// recovery maps rounds onto the survivors).
     alive: Vec<bool>,
@@ -106,8 +107,8 @@ impl Mapper {
             mesh,
             cfg,
             zigzag,
-            residency: HashMap::new(),
-            weight_home: HashMap::new(),
+            residency: BTreeMap::new(),
+            weight_home: BTreeMap::new(),
             alive,
         }
     }
@@ -154,9 +155,9 @@ impl Mapper {
             return Ok(Vec::new());
         }
         let assignment = match self.cfg.algo {
-            MappingAlgo::Affinity => self.place_affinity(dag, round),
+            MappingAlgo::Affinity => self.place_affinity(dag, round)?,
             MappingAlgo::ZigzagIdentity | MappingAlgo::LayerPermutation => {
-                self.place_permutation(dag, round)
+                self.place_permutation(dag, round)?
             }
         };
 
@@ -194,7 +195,15 @@ impl Mapper {
     /// Greedy affinity placement: atoms with the most resident input bytes
     /// choose first; each takes the free engine minimizing its transfer
     /// cost, with zig-zag order breaking ties.
-    fn place_affinity(&self, dag: &AtomicDag, round: &[AtomId]) -> Vec<(AtomId, usize)> {
+    fn place_affinity(
+        &self,
+        dag: &AtomicDag,
+        round: &[AtomId],
+    ) -> Result<Vec<(AtomId, usize)>, MappingError> {
+        let oversize = || MappingError::RoundTooLarge {
+            round_len: round.len(),
+            engines: self.alive_engines(),
+        };
         let n = self.mesh.engines();
         let mut zig_rank = vec![0usize; n];
         for (r, &e) in self.zigzag.iter().enumerate() {
@@ -227,7 +236,7 @@ impl Mapper {
             let e = (0..n)
                 .filter(|e| !used[*e] && self.alive[*e])
                 .min_by_key(|e| (self.atom_cost_at(dag, a, *e), zig_rank[*e]))
-                .expect("round fits the mesh");
+                .ok_or_else(oversize)?;
             used[e] = true;
             placed.push((a, e));
         }
@@ -238,21 +247,25 @@ impl Mapper {
             .copied()
             .filter(|e| !used[*e] && self.alive[*e]);
         for a in deferred {
-            let e = free.next().expect("round fits the mesh");
+            let e = free.next().ok_or_else(oversize)?;
             placed.push((a, e));
         }
         // Restore round order for readability of the schedule.
-        let pos: HashMap<AtomId, usize> = round.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+        let pos: BTreeMap<AtomId, usize> = round.iter().enumerate().map(|(i, a)| (*a, i)).collect();
         placed.sort_by_key(|(a, _)| pos[a]);
-        placed
+        Ok(placed)
     }
 
     /// Zig-zag placement with the Sec. IV-C layer-permutation search (or
     /// the identity order for [`MappingAlgo::ZigzagIdentity`]).
-    fn place_permutation(&self, dag: &AtomicDag, round: &[AtomId]) -> Vec<(AtomId, usize)> {
+    fn place_permutation(
+        &self,
+        dag: &AtomicDag,
+        round: &[AtomId],
+    ) -> Result<Vec<(AtomId, usize)>, MappingError> {
         // Group atoms by (batch, layer) in first-appearance order.
         let mut order: Vec<(u16, u32)> = Vec::new();
-        let mut groups: HashMap<(u16, u32), Vec<AtomId>> = HashMap::new();
+        let mut groups: BTreeMap<(u16, u32), Vec<AtomId>> = BTreeMap::new();
         for &a in round {
             let atom = dag.atom(a);
             let key = (atom.batch, atom.layer.0);
@@ -265,13 +278,15 @@ impl Mapper {
         let candidate_orders = self.candidate_orders(order.len());
         let mut best: Option<(u64, Vec<(AtomId, usize)>)> = None;
         for perm in &candidate_orders {
-            let assignment = self.place(&order, &groups, perm);
+            let assignment = self.place(&order, &groups, perm)?;
             let cost = self.transfer_cost(dag, &assignment);
             if best.as_ref().is_none_or(|(b, _)| cost < *b) {
                 best = Some((cost, assignment));
             }
         }
-        best.expect("at least the identity order").1
+        // `candidate_orders` always contains at least the identity, so a
+        // non-empty round always produces a candidate.
+        Ok(best.map(|(_, a)| a).unwrap_or_default())
     }
 
     /// Permutations of `0..m` to evaluate.
@@ -300,17 +315,21 @@ impl Mapper {
     fn place(
         &self,
         order: &[(u16, u32)],
-        groups: &HashMap<(u16, u32), Vec<AtomId>>,
+        groups: &BTreeMap<(u16, u32), Vec<AtomId>>,
         perm: &[usize],
-    ) -> Vec<(AtomId, usize)> {
+    ) -> Result<Vec<(AtomId, usize)>, MappingError> {
         let mut out = Vec::new();
         let mut slots = self.zigzag.iter().copied().filter(|e| self.alive[*e]);
         for &gi in perm {
             for &a in &groups[&order[gi]] {
-                out.push((a, slots.next().expect("round fits the surviving mesh")));
+                let e = slots.next().ok_or(MappingError::RoundTooLarge {
+                    round_len: groups.values().map(Vec::len).sum(),
+                    engines: self.alive_engines(),
+                })?;
+                out.push((a, e));
             }
         }
-        out
+        Ok(out)
     }
 
     /// `TransferCost(P)`: hop-weighted bytes pulled from resident producers
@@ -405,14 +424,14 @@ mod tests {
         let mesh = MeshConfig::grid(4, 4);
         let mut m = Mapper::new(mesh, MappingConfig::default());
         // Take the first 8 roots as a synthetic round.
-        let round: Vec<AtomId> = (0..d.atom_count() as u32)
+        let round: Vec<AtomId> = (0..ad_util::cast::u32_from_usize(d.atom_count()))
             .map(AtomId)
             .filter(|a| d.preds(*a).is_empty())
             .take(8)
             .collect();
         let asg = m.map_round(&d, &round).unwrap();
         assert_eq!(asg.len(), round.len());
-        let engines: std::collections::HashSet<usize> = asg.iter().map(|(_, e)| *e).collect();
+        let engines: std::collections::BTreeSet<usize> = asg.iter().map(|(_, e)| *e).collect();
         assert_eq!(engines.len(), asg.len(), "engines must be distinct");
     }
 
@@ -435,7 +454,7 @@ mod tests {
         for round in &sched.rounds {
             // Identity cost with the *same* pre-round state.
             let mut order: Vec<(u16, u32)> = Vec::new();
-            let mut groups: HashMap<(u16, u32), Vec<AtomId>> = HashMap::new();
+            let mut groups: BTreeMap<(u16, u32), Vec<AtomId>> = BTreeMap::new();
             for &a in round.iter() {
                 let atom = d.atom(a);
                 let key = (atom.batch, atom.layer.0);
@@ -445,7 +464,8 @@ mod tests {
                 groups.entry(key).or_default().push(a);
             }
             let identity: Vec<usize> = (0..order.len()).collect();
-            let id_cost = mapper.transfer_cost(&d, &mapper.place(&order, &groups, &identity));
+            let id_cost =
+                mapper.transfer_cost(&d, &mapper.place(&order, &groups, &identity).unwrap());
 
             // The committed (optimized) choice, evaluated pre-commit.
             let mut probe = mapper.clone();
@@ -463,7 +483,7 @@ mod tests {
     fn residency_tracks_mapped_engine() {
         let d = dag();
         let mut m = Mapper::new(MeshConfig::grid(4, 4), MappingConfig::default());
-        let roots: Vec<AtomId> = (0..d.atom_count() as u32)
+        let roots: Vec<AtomId> = (0..ad_util::cast::u32_from_usize(d.atom_count()))
             .map(AtomId)
             .filter(|a| d.preds(*a).is_empty())
             .take(3)
@@ -478,7 +498,7 @@ mod tests {
     fn non_optimizing_mapper_uses_identity_order() {
         let d = dag();
         let mesh = MeshConfig::grid(4, 4);
-        let round: Vec<AtomId> = (0..d.atom_count() as u32)
+        let round: Vec<AtomId> = (0..ad_util::cast::u32_from_usize(d.atom_count()))
             .map(AtomId)
             .filter(|a| d.preds(*a).is_empty())
             .take(6)
@@ -506,7 +526,7 @@ mod tests {
         let mut m = Mapper::new(mesh, MappingConfig::default());
         // Find a producer/consumer pair where the consumer has a dominant
         // producer, map the producer alone, then the consumer alone.
-        let consumer = (0..d.atom_count() as u32)
+        let consumer = (0..ad_util::cast::u32_from_usize(d.atom_count()))
             .map(AtomId)
             .find(|a| d.preds(*a).len() == 1)
             .expect("some single-pred atom exists");
@@ -537,7 +557,7 @@ mod tests {
             m.kill_engine(0);
             m.kill_engine(3);
             assert_eq!(m.alive_engines(), 2);
-            let round: Vec<AtomId> = (0..d.atom_count() as u32)
+            let round: Vec<AtomId> = (0..ad_util::cast::u32_from_usize(d.atom_count()))
                 .map(AtomId)
                 .filter(|a| d.preds(*a).is_empty())
                 .take(2)
@@ -566,7 +586,7 @@ mod tests {
     fn kill_engine_drops_residency_hints() {
         let d = dag();
         let mut m = Mapper::new(MeshConfig::grid(2, 2), MappingConfig::default());
-        let root = (0..d.atom_count() as u32)
+        let root = (0..ad_util::cast::u32_from_usize(d.atom_count()))
             .map(AtomId)
             .find(|a| d.preds(*a).is_empty())
             .unwrap();

@@ -347,7 +347,7 @@ mod tests {
 
     #[test]
     fn strategy_labels_unique() {
-        let labels: std::collections::HashSet<&str> =
+        let labels: std::collections::BTreeSet<&str> =
             Strategy::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), Strategy::ALL.len());
     }

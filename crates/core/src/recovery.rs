@@ -14,7 +14,7 @@
 //! recovery is exhausted. Statistics of every attempt, including the wasted
 //! partial runs, are merged so latency/energy overheads are honest.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use accel_sim::{FaultEvent, FaultKind, FaultPlan, FaultedOutcome, SimError, SimStats, Simulator};
 
@@ -165,7 +165,7 @@ pub fn run_with_recovery(
                         round: report.round,
                     }));
                 }
-                let lost: HashSet<_> = report.lost.iter().copied().collect();
+                let lost: BTreeSet<_> = report.lost.iter().copied().collect();
                 for t in &report.completed {
                     if !lost.contains(t) {
                         done[atom_of[t.0 as usize]] = true;

@@ -23,6 +23,8 @@
 
 use std::collections::BTreeSet;
 
+use ad_util::cast::{u16_from_usize, u32_from_usize};
+
 use crate::atomic_dag::{AtomId, AtomicDag};
 
 /// The scheduling result: atoms to launch at each round (`Schedule[t]`).
@@ -205,11 +207,12 @@ impl<'a> State<'a> {
         let n_inst = nl * dag.batch();
         let mut indegree = vec![0u32; dag.atom_count()];
         for (i, deg) in indegree.iter_mut().enumerate() {
-            *deg = dag
-                .preds(AtomId(i as u32))
+            let live_preds = dag
+                .preds(AtomId(u32_from_usize(i)))
                 .iter()
                 .filter(|(p, _)| !is_done(p.index()))
-                .count() as u32;
+                .count();
+            *deg = u32_from_usize(live_preds);
         }
         let mut st = State {
             dag,
@@ -232,8 +235,9 @@ impl<'a> State<'a> {
             st.remaining_cycles += atom.cost.cycles;
             st.remaining_per_batch[atom.batch as usize] += 1;
             if st.indegree[i] == 0 {
-                let inst = st.inst_of(AtomId(i as u32));
-                st.ready[inst].push_back(AtomId(i as u32));
+                let id = AtomId(u32_from_usize(i));
+                let inst = st.inst_of(id);
+                st.ready[inst].push_back(id);
             }
         }
         for inst in 0..n_inst {
@@ -248,9 +252,9 @@ impl<'a> State<'a> {
     }
 
     fn key_of(&self, inst: Inst) -> InstKey {
-        let batch = (inst / self.nl) as u16;
-        let layer = (inst % self.nl) as u32;
-        let depth = self.dag.layer_depth(dnn_graph::LayerId(layer)) as u32;
+        let batch = u16_from_usize(inst / self.nl);
+        let layer = u32_from_usize(inst % self.nl);
+        let depth = u32_from_usize(self.dag.layer_depth(dnn_graph::LayerId(layer)));
         (batch, depth, layer)
     }
 
@@ -283,7 +287,7 @@ impl<'a> State<'a> {
         let mut out = Vec::with_capacity(n);
         let batch = self.dag.batch();
         let mut opened = 0usize;
-        for b in 0..batch as u16 {
+        for b in 0..u16_from_usize(batch) {
             if out.len() == n {
                 break;
             }
@@ -334,10 +338,13 @@ impl<'a> State<'a> {
         // Remove the chosen atoms from their ready queues.
         for &a in combo {
             let inst = self.inst_of(a);
-            let pos = self.ready[inst]
-                .iter()
-                .position(|x| *x == a)
-                .expect("scheduled atom must be ready");
+            let Some(pos) = self.ready[inst].iter().position(|x| *x == a) else {
+                // Combos are always drawn from the ready queues; if that
+                // contract is ever broken, skipping the atom keeps the
+                // journal consistent instead of aborting the search.
+                debug_assert!(false, "scheduled atom {a:?} must be in its ready queue");
+                continue;
+            };
             self.ready[inst].remove(pos);
             journal.removed.push((inst, pos, a));
             if !self.started[inst] {
@@ -462,11 +469,12 @@ impl<'a> Scheduler<'a> {
         }
         while state.remaining > 0 {
             let combo = match self.cfg.mode {
-                ScheduleMode::LayerOrder => unreachable!("handled above"),
-                ScheduleMode::PriorityGreedy => state.select_priority(n),
                 ScheduleMode::Dp { lookahead, branch } => {
                     self.best_combo(&mut state, n, lookahead, branch)
                 }
+                // `LayerOrder` returned above; greedy selection covers it
+                // and `PriorityGreedy` alike.
+                _ => state.select_priority(n),
             };
             if combo.is_empty() {
                 return Err(ScheduleError::LiveLock {
@@ -490,7 +498,7 @@ impl<'a> Scheduler<'a> {
             for b in 0..self.dag.batch() {
                 pool.extend(
                     self.dag
-                        .layer_atoms(b, dnn_graph::LayerId(layer as u32))
+                        .layer_atoms(b, dnn_graph::LayerId(u32_from_usize(layer)))
                         .iter()
                         .copied()
                         .filter(|a| !is_done(a)),
@@ -578,7 +586,7 @@ impl<'a> Scheduler<'a> {
     ) -> Vec<AtomId> {
         let variants = self.variants(state, n, branch);
         if variants.len() == 1 {
-            return variants.into_iter().next().unwrap();
+            return variants.into_iter().next().unwrap_or_default();
         }
         let mut best: Option<(u64, Vec<AtomId>)> = None;
         for combo in variants {
@@ -593,7 +601,9 @@ impl<'a> Scheduler<'a> {
                 best = Some((cost, combo));
             }
         }
-        best.expect("at least one variant").1
+        // `variants` is never empty, so `best` is always set; an (impossible)
+        // empty result degrades to the caller's live-lock error path.
+        best.map(|(_, combo)| combo).unwrap_or_default()
     }
 
     /// Cost-to-go estimate: recurse while lookahead remains, then fall back
@@ -631,7 +641,7 @@ mod tests {
     use crate::atom::AtomSpec;
     use dnn_graph::models;
     use engine_model::{Dataflow, EngineConfig};
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     fn dag(batch: usize, tile: usize) -> (dnn_graph::Graph, AtomicDag) {
         let g = models::tiny_branchy();
@@ -657,7 +667,7 @@ mod tests {
     }
 
     fn check_valid(dag: &AtomicDag, s: &Schedule, engines: usize) {
-        let mut done: HashSet<AtomId> = HashSet::new();
+        let mut done: BTreeSet<AtomId> = BTreeSet::new();
         for round in &s.rounds {
             assert!(round.len() <= engines, "round exceeds engine count");
             for a in round {
@@ -805,7 +815,7 @@ mod tests {
             .unwrap();
         check_valid(&d, &s, 6);
         let mixed = s.rounds.iter().any(|r| {
-            let layers: HashSet<u32> = r.iter().map(|a| d.atom(*a).layer.0).collect();
+            let layers: BTreeSet<u32> = r.iter().map(|a| d.atom(*a).layer.0).collect();
             layers.len() > 1
         });
         assert!(mixed, "expected layer-fused rounds in a cascaded network");
@@ -826,7 +836,7 @@ mod tests {
         check_valid(&d, &s, 4);
         // No round mixes layers.
         for round in &s.rounds {
-            let layers: HashSet<u32> = round.iter().map(|a| d.atom(*a).layer.0).collect();
+            let layers: BTreeSet<u32> = round.iter().map(|a| d.atom(*a).layer.0).collect();
             assert_eq!(layers.len(), 1);
         }
     }
@@ -924,7 +934,7 @@ mod tests {
             },
         ] {
             let rest = Scheduler::new(&d, cfg).schedule_remaining(&done).unwrap();
-            let mut seen: HashSet<AtomId> = HashSet::new();
+            let mut seen: BTreeSet<AtomId> = BTreeSet::new();
             for round in &rest.rounds {
                 assert!(round.len() <= 4);
                 for a in round {

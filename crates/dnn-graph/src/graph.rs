@@ -1,6 +1,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use ad_util::cast::u32_from_usize;
+
 use crate::layer::Layer;
 use crate::op::{Activation, ConvParams, OpKind, PoolParams};
 use crate::shape::TensorShape;
@@ -179,7 +181,9 @@ impl Graph {
     /// A topological order of layer ids. Insertion order already is one, so
     /// this is simply `0..n`, but callers should not rely on that detail.
     pub fn topo_order(&self) -> Vec<LayerId> {
-        (0..self.layers.len() as u32).map(LayerId).collect()
+        (0..u32_from_usize(self.layers.len()))
+            .map(LayerId)
+            .collect()
     }
 
     /// Longest-path depth of every layer from the graph sources, as defined
@@ -252,10 +256,13 @@ impl Graph {
     // ---- builders ---------------------------------------------------------
 
     /// Adds a network input of the given shape.
+    #[allow(clippy::expect_used)] // documented infallible wiring
     pub fn add_input(&mut self, shape: TensorShape) -> LayerId {
         let n = self.by_name.len();
         let id = self
             .try_add_layer(format!("input{n}"), OpKind::Input, &[])
+            // Input layers have no producers, so wiring cannot fail.
+            // ad-lint: allow(panic)
             .expect("adding an input cannot fail");
         // Patch the shape: Input has no producers to infer from.
         self.layers[id.index()].in_shape = shape;
@@ -288,7 +295,7 @@ impl Graph {
         let out_shape = infer_shape(&name, op, &shapes)?;
         let in_shape = shapes.first().copied().unwrap_or(out_shape);
 
-        let id = LayerId(self.layers.len() as u32);
+        let id = LayerId(u32_from_usize(self.layers.len()));
         self.layers.push(Layer {
             id,
             name: name.clone(),
@@ -305,9 +312,10 @@ impl Graph {
         Ok(id)
     }
 
+    #[allow(clippy::expect_used)] // documented panicking contract
     fn add_unary(&mut self, name: impl Into<String>, op: OpKind, input: LayerId) -> LayerId {
         self.try_add_layer(name, op, &[input])
-            .expect("model builder wiring error")
+            .expect("model builder wiring error") // ad-lint: allow(panic)
     }
 
     /// Adds a convolution. Panics on wiring errors (see [`Graph::try_add_layer`]).
@@ -341,22 +349,25 @@ impl Graph {
     }
 
     /// Adds an element-wise addition over ≥ 2 equal-shaped producers.
+    #[allow(clippy::expect_used)] // documented panicking contract
     pub fn add_add(&mut self, name: impl Into<String>, inputs: &[LayerId]) -> LayerId {
         self.try_add_layer(name, OpKind::Add, inputs)
-            .expect("model builder wiring error")
+            .expect("model builder wiring error") // ad-lint: allow(panic)
     }
 
     /// Adds a channel concatenation over ≥ 2 producers with equal `H × W`.
+    #[allow(clippy::expect_used)] // documented panicking contract
     pub fn add_concat(&mut self, name: impl Into<String>, inputs: &[LayerId]) -> LayerId {
         self.try_add_layer(name, OpKind::Concat, inputs)
-            .expect("model builder wiring error")
+            .expect("model builder wiring error") // ad-lint: allow(panic)
     }
 
     /// Adds a channel-wise scale: `inputs[0]` is the feature map, `inputs[1]`
     /// a `1×1×C` gating vector (squeeze-and-excitation multiply).
+    #[allow(clippy::expect_used)] // documented panicking contract
     pub fn add_scale(&mut self, name: impl Into<String>, fmap: LayerId, gate: LayerId) -> LayerId {
         self.try_add_layer(name, OpKind::ChannelScale, &[fmap, gate])
-            .expect("model builder wiring error")
+            .expect("model builder wiring error") // ad-lint: allow(panic)
     }
 
     /// Renders the graph in Graphviz DOT format (node label: name, op and
@@ -408,7 +419,7 @@ fn infer_shape(name: &str, op: OpKind, shapes: &[TensorShape]) -> Result<TensorS
         OpKind::Conv(p) => {
             need(1, "conv")?;
             let s = shapes[0];
-            if p.groups == 0 || !s.c.is_multiple_of(p.groups) {
+            if p.groups == 0 || s.c % p.groups != 0 {
                 return Err(mismatch(format!(
                     "groups {} do not divide C_i {}",
                     p.groups, s.c

@@ -58,10 +58,12 @@ pub fn by_name(name: &str) -> Option<Graph> {
 }
 
 /// All eight paper workloads (expensive to build for the NAS networks).
+#[allow(clippy::expect_used)] // the list only names registered models
 pub fn all_paper_workloads() -> Vec<Graph> {
     PAPER_WORKLOADS
         .iter()
-        .map(|n| by_name(n).expect("known name"))
+        // `PAPER_WORKLOADS` only lists names `by_name` resolves.
+        .map(|n| by_name(n).expect("known name")) // ad-lint: allow(panic)
         .collect()
 }
 

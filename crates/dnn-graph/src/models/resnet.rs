@@ -60,6 +60,7 @@ fn resnet_imagenet(name: &str, units: [usize; 4]) -> Graph {
 }
 
 /// Spreadsheet-style unit labels: a, b, c, …, z, a1, b1, …
+#[allow(clippy::cast_possible_truncation)] // i % 26 < 26
 fn unit_label(i: usize) -> String {
     let letter = (b'a' + (i % 26) as u8) as char;
     if i < 26 {

@@ -91,9 +91,10 @@ impl ConvTask {
                 stride: p.stride,
                 groups: p.groups,
             }),
-            OpKind::Fc { out_features } => {
-                Some(Self::fc(layer.in_shape().elements() as usize, out_features))
-            }
+            OpKind::Fc { out_features } => Some(Self::fc(
+                ad_util::cast::usize_from_u64(layer.in_shape().elements()),
+                out_features,
+            )),
             _ => None,
         }
     }

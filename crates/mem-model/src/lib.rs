@@ -133,7 +133,11 @@ impl HbmModel {
         if self.derate >= 1.0 {
             cycles
         } else {
-            (cycles as f64 / self.derate).ceil() as u64
+            // Derate is clamped to ≥ MIN_DERATE, so the quotient stays far
+            // below 2^63 for any physical cycle count; ceil() is integral.
+            #[allow(clippy::cast_possible_truncation)]
+            let slowed = (cycles as f64 / self.derate).ceil() as u64;
+            slowed
         }
     }
 
@@ -168,9 +172,10 @@ impl HbmModel {
         } else {
             // Small transfers take the earliest-free channel at the
             // per-channel bandwidth share; independent requests overlap.
+            // `busy_until` always has ≥ 1 channel (see `HbmModel::new`).
             let ch = (0..self.busy_until.len())
                 .min_by_key(|c| self.busy_until[*c])
-                .expect("at least one channel");
+                .unwrap_or(0);
             let start = now.max(self.busy_until[ch]);
             self.stall_cycles += start - now;
             self.busy_until[ch] = start + self.derated(self.cfg.occupancy_cycles(bytes));

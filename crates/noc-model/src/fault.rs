@@ -6,7 +6,7 @@
 //! `None` means the endpoints are disconnected and the caller must surface
 //! a typed error instead of silently shipping data over a dead wire.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::collections::VecDeque;
 
 use crate::mesh::MeshConfig;
@@ -15,7 +15,7 @@ use crate::mesh::MeshConfig;
 /// pair of adjacent engine indices.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LinkFaults {
-    dead: HashSet<(usize, usize)>,
+    dead: BTreeSet<(usize, usize)>,
 }
 
 impl LinkFaults {

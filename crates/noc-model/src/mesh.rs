@@ -79,7 +79,8 @@ impl MeshConfig {
     /// deadlock-free routing policy.
     pub fn route(&self, a: usize, b: usize) -> Vec<usize> {
         let (ca, cb) = (self.coord(a), self.coord(b));
-        let mut path = Vec::with_capacity(self.hops(a, b) as usize + 1);
+        let manhattan = ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y);
+        let mut path = Vec::with_capacity(manhattan + 1);
         let mut cur = ca;
         path.push(self.index(cur));
         while cur.x != cb.x {

@@ -1,0 +1,78 @@
+//! Contract-checked narrowing casts.
+//!
+//! The planning/sim crates are forbidden (ad-lint rule C1) from writing
+//! bare narrowing `as` casts: cycle and byte accounting is 64-bit, and a
+//! silent truncation corrupts results instead of failing. Index-shaped
+//! values (atom ids, batch indices, layer ids) genuinely live in `u32`/
+//! `u16`, so these helpers perform the cast behind a range assertion — the
+//! sanctioned contract mechanism — and document the invariant at the call
+//! site by their name.
+//!
+//! All helpers panic with a clear message when the contract is violated;
+//! that is the point — an out-of-range index is a construction bug, not a
+//! recoverable condition, and must never wrap quietly into a wrong-but-
+//! plausible id.
+
+/// `usize → u32` under the contract that `v` is a dense index bounded by a
+/// `u32`-typed id space (e.g. atom or task counts).
+///
+/// # Panics
+///
+/// If `v` exceeds `u32::MAX`.
+#[allow(clippy::cast_possible_truncation)] // range-asserted above
+pub fn u32_from_usize(v: usize) -> u32 {
+    assert!(v <= u32::MAX as usize, "index {v} exceeds u32 id space");
+    v as u32
+}
+
+/// `usize → u16` under the contract that `v` is a small count (e.g. a
+/// batch-sample index).
+///
+/// # Panics
+///
+/// If `v` exceeds `u16::MAX`.
+#[allow(clippy::cast_possible_truncation)] // range-asserted above
+pub fn u16_from_usize(v: usize) -> u16 {
+    assert!(v <= u16::MAX as usize, "index {v} exceeds u16 id space");
+    v as u16
+}
+
+/// `u64 → usize` under the contract that `v` is an in-memory quantity
+/// (e.g. a tensor element count) and therefore addressable on the host.
+///
+/// # Panics
+///
+/// If `v` exceeds `usize::MAX` (only possible on 32-bit hosts).
+#[allow(clippy::cast_possible_truncation)] // range-asserted above
+pub fn usize_from_u64(v: u64) -> usize {
+    assert!(
+        usize::try_from(v).is_ok(),
+        "value {v} exceeds the host address space"
+    );
+    v as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_round_trip() {
+        assert_eq!(u32_from_usize(0), 0);
+        assert_eq!(u32_from_usize(u32::MAX as usize), u32::MAX);
+        assert_eq!(u16_from_usize(65_535), u16::MAX);
+        assert_eq!(usize_from_u64(123), 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32 id space")]
+    fn out_of_range_u32_panics() {
+        let _ = u32_from_usize(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u16 id space")]
+    fn out_of_range_u16_panics() {
+        let _ = u16_from_usize(70_000);
+    }
+}

@@ -98,6 +98,8 @@ impl Json {
     }
 
     /// The payload as a non-negative integer, if it is one exactly.
+    // Guarded: only integral values within 2^53 are cast.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
@@ -106,6 +108,7 @@ impl Json {
     }
 
     /// [`Json::as_u64`] narrowed to `usize`.
+    #[allow(clippy::cast_possible_truncation)] // 2^53-bounded, see `as_u64`
     pub fn as_usize(&self) -> Option<usize> {
         self.as_u64().map(|v| v as usize)
     }
@@ -247,6 +250,8 @@ fn write_seq(
     out.push(close);
 }
 
+// Guarded: the integral branch only fires within ±2^53.
+#[allow(clippy::cast_possible_truncation)]
 fn write_number(out: &mut String, n: f64) {
     if !n.is_finite() {
         // JSON has no NaN/Inf; clamp to null, the least-surprising encoding.

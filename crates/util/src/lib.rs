@@ -11,7 +11,10 @@
 //! - [`rng`] — a splitmix64-based PRNG with the handful of range helpers the
 //!   annealing/genetic generators and the seeded-loop tests need. Streams
 //!   are reproducible across platforms given the seed.
+//! - [`cast`] — contract-checked narrowing casts for index-shaped values,
+//!   replacing bare `as` casts in the planning/sim crates (ad-lint C1).
 
+pub mod cast;
 pub mod json;
 pub mod rng;
 

@@ -46,6 +46,20 @@ impl Rng64 {
         (((self.next_u64() >> 32) * n as u64) >> 32) as usize
     }
 
+    /// Uniform in `[0, n)` over the full 64-bit domain. Panics if `n == 0`.
+    ///
+    /// 128-bit widening-multiply reduction; used where the range is a
+    /// cycle count and may exceed the 32-bit resolution of [`below`].
+    ///
+    /// [`below`]: Rng64::below
+    pub fn below_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty u64 range");
+        // The product is < n · 2^64, so the high half is < n by construction.
+        #[allow(clippy::cast_possible_truncation)]
+        let hi = ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64;
+        hi
+    }
+
     /// Uniform in `[lo, hi)`. Panics if `lo >= hi`.
     pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo < hi, "empty usize range");
@@ -95,6 +109,24 @@ mod tests {
             seen[rng.below(8)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_u64_respects_bound_and_large_ranges() {
+        let mut rng = Rng64::new(11);
+        for _ in 0..1_000 {
+            assert!(rng.below_u64(7) < 7);
+        }
+        // Beyond 32-bit resolution, draws still land in range and are not
+        // all stuck in the low half.
+        let n = u64::MAX / 3;
+        let mut high = false;
+        for _ in 0..1_000 {
+            let x = rng.below_u64(n);
+            assert!(x < n);
+            high |= x > n / 2;
+        }
+        assert!(high);
     }
 
     #[test]

@@ -9,6 +9,14 @@
 //! cargo run --release --example custom_network
 //! ```
 
+// Examples are demonstration CLIs: they abort loudly by design
+// (ad-lint rule P1 exempts example paths for the same reason).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation
+)]
+
 use ad_repro::prelude::*;
 use dnn_graph::{ConvParams, PoolParams};
 

@@ -6,6 +6,14 @@
 //! cargo run --release --example design_space
 //! ```
 
+// Examples are demonstration CLIs: they abort loudly by design
+// (ad-lint rule P1 exempts example paths for the same reason).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation
+)]
+
 use ad_repro::prelude::*;
 
 const TOTAL_PES: usize = 4096; // scaled-down budget so the example is quick

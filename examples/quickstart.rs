@@ -5,6 +5,14 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Examples are demonstration CLIs: they abort loudly by design
+// (ad-lint rule P1 exempts example paths for the same reason).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation
+)]
+
 use ad_repro::prelude::*;
 
 fn main() {

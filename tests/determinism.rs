@@ -1,0 +1,65 @@
+//! Determinism regression suite (ad-lint rule D2's runtime counterpart).
+//!
+//! The planning pipeline (SA atom generation → DP scheduling → permutation
+//! mapping → simulation) is specified to be a pure function of the workload,
+//! the configuration and the RNG seed. Historically, hash-map iteration
+//! order leaked into tie-breaking decisions (scheduler ready pools, mapper
+//! residency scans, IL-Pipe round assembly), so two runs of the same seed
+//! could produce different — though individually valid — schedules. These
+//! tests pin the ordered-container fix: every statistic of two
+//! identically-seeded runs must match to the last byte of its JSON
+//! serialization.
+
+use ad_repro::prelude::*;
+use atomic_dataflow::run_with_recovery;
+
+/// Two full optimizer runs with the same seed must serialize to
+/// byte-identical statistics.
+#[test]
+fn optimizer_is_deterministic_across_runs() {
+    let g = models::tiny_branchy();
+    let cfg = OptimizerConfig::fast_test().with_batch(2);
+    let a = Optimizer::new(cfg).optimize(&g).unwrap();
+    let b = Optimizer::new(cfg).optimize(&g).unwrap();
+    assert_eq!(
+        a.stats.to_json().to_compact(),
+        b.stats.to_json().to_compact(),
+        "identically-seeded optimizer runs diverged"
+    );
+    // The schedules themselves must agree too, not just the aggregates.
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.atoms, b.atoms);
+    assert_eq!(a.program.rounds(), b.program.rounds());
+}
+
+/// The IL-Pipe baseline assembled its rounds from a hash map keyed by
+/// pipeline step; this pins the ordered-container fix.
+#[test]
+fn il_pipe_baseline_is_deterministic_across_runs() {
+    let g = models::tiny_cnn();
+    let mut cfg = OptimizerConfig::fast_test().with_batch(3);
+    cfg.sim.mesh = MeshConfig::grid(4, 4);
+    let a = atomic_dataflow::baselines::il_pipe::run(&g, &cfg).unwrap();
+    let b = atomic_dataflow::baselines::il_pipe::run(&g, &cfg).unwrap();
+    assert_eq!(a.to_json().to_compact(), b.to_json().to_compact());
+}
+
+/// Recovery replans after an injected engine failure; the replan path
+/// (schedule_remaining + remapping onto survivors) must be reproducible.
+#[test]
+fn fault_recovery_is_deterministic_across_runs() {
+    let g = models::tiny_cnn();
+    let cfg = OptimizerConfig::fast_test();
+    let (_, dag) = Optimizer::new(cfg).build_dag(&g);
+    let healthy = run_with_recovery(&dag, &cfg, &FaultPlan::none(), &RecoveryConfig::auto())
+        .unwrap()
+        .stats;
+    let plan = FaultPlan::engine_fail(3, healthy.total_cycles / 2);
+    let a = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto()).unwrap();
+    let b = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto()).unwrap();
+    assert_eq!(
+        a.stats.to_json().to_compact(),
+        b.stats.to_json().to_compact(),
+        "identically-seeded recovery runs diverged"
+    );
+}

@@ -248,7 +248,7 @@ fn atomic_dag_edges_conserve_input_volume() {
             Dataflow::KcPartition,
         );
         for (i, atom) in dag.atoms().iter().enumerate() {
-            let id = atomic_dataflow::AtomId(i as u32);
+            let id = atomic_dataflow::AtomId(ad_util::cast::u32_from_usize(i));
             let layer = g.layer(atom.layer);
             // Only check ops with a single producer and channel-complete
             // reads (dense conv): the window volume is exact there.
@@ -297,7 +297,7 @@ fn weight_slices_are_consistent() {
         );
         let mut sizes: std::collections::HashMap<u64, u64> = Default::default();
         for (i, _) in dag.atoms().iter().enumerate() {
-            for (d, b) in dag.externals(atomic_dataflow::AtomId(i as u32)) {
+            for (d, b) in dag.externals(atomic_dataflow::AtomId(ad_util::cast::u32_from_usize(i))) {
                 if d.0 >> 62 == 0 {
                     let prev = sizes.insert(d.0, *b);
                     if let Some(prev) = prev {
