@@ -151,6 +151,15 @@ impl SimStats {
         batch as f64 / (self.latency_ms(freq_mhz) / 1e3)
     }
 
+    /// One-line human-readable digest, used by the planning pipeline's
+    /// stage reports: cycles, rounds/tasks and PE utilization.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cycles, {} rounds, {} tasks, PE util {:.3}",
+            self.total_cycles, self.rounds, self.tasks, self.pe_utilization
+        )
+    }
+
     /// Concatenates two run segments (recovery: the partial run up to a
     /// failure plus the re-scheduled remainder). Raw counters add; ratios
     /// are re-derived — utilization and NoC overhead as cycle-weighted

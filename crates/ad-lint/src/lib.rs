@@ -20,6 +20,11 @@
 //! * **D2 `nondeterminism`** — no unseeded randomness (`thread_rng`,
 //!   `from_entropy`, `rand::random`) and no `Instant`/`SystemTime` in
 //!   cost/cycle-model crates. Seeded `ad_util::Rng64` only.
+//! * **D3 `unscoped-thread`** — no detached `thread::spawn` in the model
+//!   crates: the parallel candidate search joins every worker inside
+//!   `std::thread::scope` (via `ad_util::scoped_map`) and reduces in fixed
+//!   index order, so a free-running thread is a determinism (and panic-
+//!   propagation) hole by construction.
 //! * **P1 `panic`** — no `.unwrap()` / `.expect("…")` / `panic!` /
 //!   `unreachable!` / `todo!` / `unimplemented!` in library code outside
 //!   `#[cfg(test)]` modules, `tests/` trees and binary targets. Contract
@@ -44,6 +49,8 @@ pub enum Rule {
     HashContainer,
     /// D2: unseeded randomness or wall-clock reads in model crates.
     Nondeterminism,
+    /// D3: detached `thread::spawn` in model crates (scoped threads only).
+    UnscopedThread,
     /// P1: panicking shortcuts in library code.
     Panic,
     /// C1: narrowing `as` casts on accounting types.
@@ -52,9 +59,10 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 5] = [
         Rule::HashContainer,
         Rule::Nondeterminism,
+        Rule::UnscopedThread,
         Rule::Panic,
         Rule::LossyCast,
     ];
@@ -64,6 +72,7 @@ impl Rule {
         match self {
             Rule::HashContainer => "hash-container",
             Rule::Nondeterminism => "nondeterminism",
+            Rule::UnscopedThread => "unscoped-thread",
             Rule::Panic => "panic",
             Rule::LossyCast => "lossy-cast",
         }
@@ -74,6 +83,7 @@ impl Rule {
         match self {
             Rule::HashContainer => "D1",
             Rule::Nondeterminism => "D2",
+            Rule::UnscopedThread => "D3",
             Rule::Panic => "P1",
             Rule::LossyCast => "C1",
         }
@@ -205,9 +215,10 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Diagnostic> {
     let krate = crate_of(rel);
     let d1 = PLANNING_CRATES.contains(&krate);
     let d2 = MODEL_CRATES.contains(&krate) && !is_test_path(rel);
+    let d3 = MODEL_CRATES.contains(&krate) && !is_test_path(rel);
     let p1 = !PANIC_EXEMPT_CRATES.contains(&krate) && !is_test_path(rel) && !is_bin_path(rel);
     let c1 = PLANNING_CRATES.contains(&krate) && !is_test_path(rel) && !is_bin_path(rel);
-    if !(d1 || d2 || p1 || c1) {
+    if !(d1 || d2 || d3 || p1 || c1) {
         return Vec::new();
     }
 
@@ -258,6 +269,21 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Diagnostic> {
             ] {
                 if find_word(masked_line, word).is_some() {
                     findings.push((Rule::Nondeterminism, format!("`{word}`: {why}")));
+                }
+            }
+        }
+        if d3 {
+            // `thread::spawn` (std-qualified or not) detaches; scoped
+            // spawns appear as `s.spawn(...)` and never match.
+            if let Some(pos) = masked_line.find("thread::spawn") {
+                let left_ok = pos == 0 || !is_ident_byte(masked_line.as_bytes()[pos - 1]);
+                if left_ok {
+                    findings.push((
+                        Rule::UnscopedThread,
+                        "detached `thread::spawn`; use `ad_util::scoped_map` \
+                         (std::thread::scope) so workers join deterministically"
+                            .to_string(),
+                    ));
                 }
             }
         }

@@ -28,7 +28,10 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 eprintln!("usage: ad-lint [--root PATH] [--json] [--deny]");
-                eprintln!("rules: D1 hash-container, D2 nondeterminism, P1 panic, C1 lossy-cast");
+                eprintln!(
+                    "rules: D1 hash-container, D2 nondeterminism, \
+                     D3 unscoped-thread, P1 panic, C1 lossy-cast"
+                );
                 eprintln!("suppress with `// ad-lint: allow(<rule>)`");
                 return ExitCode::SUCCESS;
             }

@@ -116,6 +116,44 @@ fn d2_allow_comment_suppresses() {
     assert!(lint_file(MODEL_LIB, src).is_empty());
 }
 
+// ---------------------------------------------------------------- D3
+
+#[test]
+fn d3_flags_detached_spawns_in_model_crates() {
+    let src = "fn a() { std::thread::spawn(|| {}); }\n\
+               fn b() { thread::spawn(worker); }\n";
+    let diags = lint_file(MODEL_LIB, src);
+    assert_eq!(
+        rules_of(&diags),
+        vec![Rule::UnscopedThread, Rule::UnscopedThread]
+    );
+    assert_eq!(diags[0].line, 1);
+    assert!(diags[0].message.contains("scoped_map"));
+}
+
+#[test]
+fn d3_sanctions_scoped_spawns_and_unscoped_crates() {
+    // The workspace idiom: workers spawned on a scope handle and joined
+    // before the scope returns.
+    let scoped = "fn a() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+    assert!(lint_file(CORE_LIB, scoped).is_empty());
+    // dnn-graph is outside the model scope.
+    let detached = "fn a() { std::thread::spawn(|| {}); }\n";
+    assert!(lint_file(GRAPH_LIB, detached).is_empty());
+    // Test code may detach (e.g. watchdog timers).
+    assert!(lint_file("crates/core/tests/stress.rs", detached).is_empty());
+    let gated = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
+    assert!(lint_file(MODEL_LIB, gated).is_empty());
+}
+
+#[test]
+fn d3_allow_comment_suppresses() {
+    let src = "fn a() { std::thread::spawn(|| {}); } // ad-lint: allow(unscoped-thread)\n";
+    assert!(lint_file(MODEL_LIB, src).is_empty());
+    let src = "fn a() { std::thread::spawn(|| {}); } // ad-lint: allow(D3)\n";
+    assert!(lint_file(MODEL_LIB, src).is_empty());
+}
+
 // ---------------------------------------------------------------- P1
 
 #[test]
@@ -262,6 +300,8 @@ fn rule_parsing_accepts_slugs_and_codes() {
         ("hash-container", Rule::HashContainer),
         ("d1", Rule::HashContainer),
         ("D2", Rule::Nondeterminism),
+        ("unscoped-thread", Rule::UnscopedThread),
+        ("D3", Rule::UnscopedThread),
         ("panic", Rule::Panic),
         ("P1", Rule::Panic),
         ("lossy-cast", Rule::LossyCast),

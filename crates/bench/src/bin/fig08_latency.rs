@@ -8,63 +8,31 @@
 //! Reproduction target (paper): AD latency speedup over CNN-P/LS of
 //! 1.45–2.30× and over IL-Pipe of 1.42–3.78× on KC-Partition.
 
-use ad_bench::{run_strategy, ExpRecord, Table, Workloads};
+use ad_bench::{run_grid, BatchPolicy, GridScenario, Metric, Workloads};
 use atomic_dataflow::Strategy;
 use engine_model::Dataflow;
 
 fn main() {
     let w = Workloads::from_args();
     let batch = w.batch_override.unwrap_or(1);
-    let strategies = [
-        Strategy::LayerSequential,
-        Strategy::IlPipe,
-        Strategy::Rammer,
-        Strategy::AtomicDataflow,
-        Strategy::Ideal,
-    ];
-
-    let mut records: Vec<ExpRecord> = Vec::new();
-    for dataflow in [Dataflow::KcPartition, Dataflow::YxPartition] {
-        let mut table = Table::new(
-            format!(
-                "Fig. 8 — inference latency (ms), batch={batch}, {}",
-                dataflow.label()
-            ),
-            &[
-                "workload",
-                "LS",
-                "IL-Pipe",
-                "Rammer",
-                "AD",
-                "Ideal",
-                "AD/LS",
-                "AD/IL-Pipe",
-            ],
-        );
-        for (name, graph) in &w.list {
-            let cfg = ad_bench::harness::paper_config(dataflow, batch);
-            let mut row = vec![name.clone()];
-            let mut lat = std::collections::HashMap::new();
-            for s in strategies {
-                let r = run_strategy(s, name, graph, &cfg);
-                eprintln!(
-                    "  [{} {} {}] {} cycles, {:.3} ms ({:.1}s host)",
-                    name,
-                    dataflow.label(),
-                    s.label(),
-                    r.cycles,
-                    r.latency_ms,
-                    r.search_secs
-                );
-                lat.insert(s.label(), r.latency_ms);
-                row.push(format!("{:.3}", r.latency_ms));
-                records.push(r);
-            }
-            row.push(format!("{:.2}x", lat["LS"] / lat["AD"]));
-            row.push(format!("{:.2}x", lat["IL-Pipe"] / lat["AD"]));
-            table.add_row(row);
-        }
-        table.print();
-    }
+    let scenario = GridScenario {
+        title: format!("Fig. 8 — inference latency (ms), batch={batch}, {{df}}"),
+        strategies: vec![
+            Strategy::LayerSequential,
+            Strategy::IlPipe,
+            Strategy::Rammer,
+            Strategy::AtomicDataflow,
+            Strategy::Ideal,
+        ],
+        dataflows: vec![Dataflow::KcPartition, Dataflow::YxPartition],
+        batch: BatchPolicy::Fixed(1),
+        metric: Metric::LatencyMs,
+        speedups: vec![
+            (Strategy::AtomicDataflow, Strategy::LayerSequential),
+            (Strategy::AtomicDataflow, Strategy::IlPipe),
+        ],
+        extra_headers: vec![],
+    };
+    let records = run_grid(&w, &scenario);
     w.dump_json(&records);
 }

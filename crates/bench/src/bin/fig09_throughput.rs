@@ -7,56 +7,27 @@
 //! KC-P (1.08–1.42× on YX-P); CNN-P exceeds LS in all cases; IL-Pipe can
 //! fall below LS on the NAS networks.
 
-use ad_bench::{run_strategy, ExpRecord, Table, Workloads};
+use ad_bench::{run_grid, BatchPolicy, GridScenario, Metric, Workloads};
 use atomic_dataflow::Strategy;
 use engine_model::Dataflow;
 
 fn main() {
     let w = Workloads::from_args();
-    let strategies = [
-        Strategy::LayerSequential,
-        Strategy::CnnPartition,
-        Strategy::IlPipe,
-        Strategy::Rammer,
-        Strategy::AtomicDataflow,
-    ];
-
-    let mut records: Vec<ExpRecord> = Vec::new();
-    for dataflow in [Dataflow::KcPartition, Dataflow::YxPartition] {
-        let mut table = Table::new(
-            format!(
-                "Fig. 9 — inference throughput (inferences/s), {}",
-                dataflow.label()
-            ),
-            &[
-                "workload", "batch", "LS", "CNN-P", "IL-Pipe", "Rammer", "AD", "AD/CNN-P",
-            ],
-        );
-        for (name, graph) in &w.list {
-            let batch = w
-                .batch_override
-                .unwrap_or_else(|| Workloads::default_throughput_batch(name));
-            let cfg = ad_bench::harness::paper_config(dataflow, batch);
-            let mut row = vec![name.clone(), batch.to_string()];
-            let mut fps = std::collections::HashMap::new();
-            for s in strategies {
-                let r = run_strategy(s, name, graph, &cfg);
-                eprintln!(
-                    "  [{} {} {}] {:.1} fps ({:.1}s host)",
-                    name,
-                    dataflow.label(),
-                    s.label(),
-                    r.fps,
-                    r.search_secs
-                );
-                fps.insert(s.label(), r.fps);
-                row.push(format!("{:.1}", r.fps));
-                records.push(r);
-            }
-            row.push(format!("{:.2}x", fps["AD"] / fps["CNN-P"]));
-            table.add_row(row);
-        }
-        table.print();
-    }
+    let scenario = GridScenario {
+        title: "Fig. 9 — inference throughput (inferences/s), {df}".into(),
+        strategies: vec![
+            Strategy::LayerSequential,
+            Strategy::CnnPartition,
+            Strategy::IlPipe,
+            Strategy::Rammer,
+            Strategy::AtomicDataflow,
+        ],
+        dataflows: vec![Dataflow::KcPartition, Dataflow::YxPartition],
+        batch: BatchPolicy::PerWorkloadThroughput,
+        metric: Metric::Fps,
+        speedups: vec![(Strategy::AtomicDataflow, Strategy::CnnPartition)],
+        extra_headers: vec![],
+    };
+    let records = run_grid(&w, &scenario);
     w.dump_json(&records);
 }

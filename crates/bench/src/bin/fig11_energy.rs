@@ -8,63 +8,29 @@
 //! inter-engine transfers) but wins on others through Alg. 3 buffering and
 //! hop-minimizing mapping, plus lower static energy from shorter runtime.
 
-use ad_bench::{run_strategy, ExpRecord, Table, Workloads};
+use ad_bench::{run_grid_with, BatchPolicy, GridScenario, Metric, Workloads};
 use atomic_dataflow::Strategy;
 use engine_model::Dataflow;
 
 fn main() {
     let w = Workloads::from_args();
-    let strategies = [
-        Strategy::LayerSequential,
-        Strategy::CnnPartition,
-        Strategy::IlPipe,
-        Strategy::AtomicDataflow,
-    ];
-
-    let mut records: Vec<ExpRecord> = Vec::new();
-    let mut table = Table::new(
-        "Fig. 11 — inference energy (mJ for the whole batch), KC-P",
-        &[
-            "workload",
-            "batch",
-            "LS",
-            "CNN-P",
-            "IL-Pipe",
-            "AD",
-            "AD breakdown c/n/d/s",
+    let scenario = GridScenario {
+        title: "Fig. 11 — inference energy (mJ for the whole batch), {df}".into(),
+        strategies: vec![
+            Strategy::LayerSequential,
+            Strategy::CnnPartition,
+            Strategy::IlPipe,
+            Strategy::AtomicDataflow,
         ],
-    );
-    for (name, graph) in &w.list {
-        let batch = w
-            .batch_override
-            .unwrap_or_else(|| Workloads::default_throughput_batch(name));
-        let cfg = ad_bench::harness::paper_config(Dataflow::KcPartition, batch);
-        let mut row = vec![name.clone(), batch.to_string()];
-        let mut ad_parts = [0.0f64; 4];
-        for s in strategies {
-            let r = run_strategy(s, name, graph, &cfg);
-            eprintln!(
-                "  [{} {}] {:.2} mJ (compute {:.2} / noc {:.2} / dram {:.2} / static {:.2})",
-                name,
-                s.label(),
-                r.energy_mj,
-                r.energy_parts_mj[0],
-                r.energy_parts_mj[1],
-                r.energy_parts_mj[2],
-                r.energy_parts_mj[3]
-            );
-            row.push(format!("{:.2}", r.energy_mj));
-            if s == Strategy::AtomicDataflow {
-                ad_parts = r.energy_parts_mj;
-            }
-            records.push(r);
-        }
-        row.push(format!(
-            "{:.1}/{:.1}/{:.1}/{:.1}",
-            ad_parts[0], ad_parts[1], ad_parts[2], ad_parts[3]
-        ));
-        table.add_row(row);
-    }
-    table.print();
+        dataflows: vec![Dataflow::KcPartition],
+        batch: BatchPolicy::PerWorkloadThroughput,
+        metric: Metric::EnergyMj,
+        speedups: vec![],
+        extra_headers: vec!["AD breakdown c/n/d/s"],
+    };
+    let records = run_grid_with(&w, &scenario, |_, by_label| {
+        let p = by_label[Strategy::AtomicDataflow.label()].energy_parts_mj;
+        vec![format!("{:.1}/{:.1}/{:.1}/{:.1}", p[0], p[1], p[2], p[3])]
+    });
     w.dump_json(&records);
 }

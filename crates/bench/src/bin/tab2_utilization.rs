@@ -6,57 +6,39 @@
 //! LS 49.0–69.2%, CNN-P 57.4–79.8%, IL-Pipe 45.7–67.7%; AD NoC overhead
 //! 9.4–17.6%; AD on-chip reuse 54.1–90.8%.
 
-use ad_bench::{run_strategy, ExpRecord, Table, Workloads};
+use ad_bench::{run_grid_with, BatchPolicy, GridScenario, Metric, Table, Workloads};
 use atomic_dataflow::Strategy;
 use engine_model::Dataflow;
 
 fn main() {
     let w = Workloads::from_args();
-    let strategies = [
-        Strategy::LayerSequential,
-        Strategy::CnnPartition,
-        Strategy::IlPipe,
-        Strategy::AtomicDataflow,
-    ];
-
-    let mut records: Vec<ExpRecord> = Vec::new();
-    let mut util = Table::new(
-        "Table II(1) — compute PE utilization (w/o memory access delay), KC-P",
-        &["workload", "batch", "LS", "CNN-P", "IL-Pipe", "AD"],
-    );
+    let scenario = GridScenario {
+        title: "Table II(1) — compute PE utilization (w/o memory access delay), {df}".into(),
+        strategies: vec![
+            Strategy::LayerSequential,
+            Strategy::CnnPartition,
+            Strategy::IlPipe,
+            Strategy::AtomicDataflow,
+        ],
+        dataflows: vec![Dataflow::KcPartition],
+        batch: BatchPolicy::PerWorkloadThroughput,
+        metric: Metric::ComputeUtilization,
+        speedups: vec![],
+        extra_headers: vec![],
+    };
     let mut over = Table::new(
         "Table II(2) — AD NoC overhead and on-chip data reuse",
         &["workload", "NoC overhead", "on-chip reuse ratio"],
     );
-    for (name, graph) in &w.list {
-        let batch = w
-            .batch_override
-            .unwrap_or_else(|| Workloads::default_throughput_batch(name));
-        let cfg = ad_bench::harness::paper_config(Dataflow::KcPartition, batch);
-        let mut row = vec![name.clone(), batch.to_string()];
-        for s in strategies {
-            let r = run_strategy(s, name, graph, &cfg);
-            eprintln!(
-                "  [{} {}] cu {:.1}% noc {:.1}% reuse {:.1}%",
-                name,
-                s.label(),
-                r.compute_utilization * 100.0,
-                r.noc_overhead * 100.0,
-                r.onchip_reuse * 100.0
-            );
-            row.push(format!("{:.1}%", r.compute_utilization * 100.0));
-            if s == Strategy::AtomicDataflow {
-                over.add_row(vec![
-                    name.clone(),
-                    format!("{:.1}%", r.noc_overhead * 100.0),
-                    format!("{:.1}%", r.onchip_reuse * 100.0),
-                ]);
-            }
-            records.push(r);
-        }
-        util.add_row(row);
-    }
-    util.print();
+    let records = run_grid_with(&w, &scenario, |name, by_label| {
+        let ad = &by_label[Strategy::AtomicDataflow.label()];
+        over.add_row(vec![
+            name.to_string(),
+            format!("{:.1}%", ad.noc_overhead * 100.0),
+            format!("{:.1}%", ad.onchip_reuse * 100.0),
+        ]);
+        vec![]
+    });
     over.print();
     w.dump_json(&records);
 }

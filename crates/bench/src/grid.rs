@@ -1,0 +1,255 @@
+//! Declarative scenario grids: the dataflow × workload × strategy sweep
+//! shared by the figure/table binaries.
+//!
+//! Every paper figure that compares strategies over the workload suite is
+//! the same loop — pick a config, run each strategy through the shared
+//! planning [`Pipeline`](atomic_dataflow::Pipeline), print a progress line
+//! plus the per-stage reports, tabulate one metric, and append speedup
+//! ratios. [`GridScenario`] captures the parts that differ (title,
+//! strategy set, dataflows, batch policy, metric, ratio columns) so each
+//! binary is a scenario description plus `run_grid`.
+
+use std::collections::BTreeMap;
+
+use atomic_dataflow::Strategy;
+use engine_model::Dataflow;
+
+use crate::harness::{run_strategy, ExpRecord, Workloads};
+use crate::table::Table;
+
+/// The scalar a scenario tabulates per strategy, with its formatting and
+/// its improvement direction (latency/energy: lower is better; throughput/
+/// utilization: higher is better).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// End-to-end latency in milliseconds (Fig. 8).
+    LatencyMs,
+    /// Inferences per second (Fig. 9).
+    Fps,
+    /// Total energy in millijoules (Fig. 11).
+    EnergyMj,
+    /// Compute-only PE utilization (Table II).
+    ComputeUtilization,
+}
+
+impl Metric {
+    /// The raw value of this metric on a record.
+    pub fn value(self, r: &ExpRecord) -> f64 {
+        match self {
+            Metric::LatencyMs => r.latency_ms,
+            Metric::Fps => r.fps,
+            Metric::EnergyMj => r.energy_mj,
+            Metric::ComputeUtilization => r.compute_utilization,
+        }
+    }
+
+    /// The formatted table cell for a record.
+    pub fn cell(self, r: &ExpRecord) -> String {
+        match self {
+            Metric::LatencyMs => format!("{:.3}", r.latency_ms),
+            Metric::Fps => format!("{:.1}", r.fps),
+            Metric::EnergyMj => format!("{:.2}", r.energy_mj),
+            Metric::ComputeUtilization => format!("{:.1}%", r.compute_utilization * 100.0),
+        }
+    }
+
+    /// The per-run progress line body (metric-appropriate detail).
+    pub fn progress(self, r: &ExpRecord) -> String {
+        match self {
+            Metric::LatencyMs => format!("{} cycles, {:.3} ms", r.cycles, r.latency_ms),
+            Metric::Fps => format!("{:.1} fps", r.fps),
+            Metric::EnergyMj => format!(
+                "{:.2} mJ (compute {:.2} / noc {:.2} / dram {:.2} / static {:.2})",
+                r.energy_mj,
+                r.energy_parts_mj[0],
+                r.energy_parts_mj[1],
+                r.energy_parts_mj[2],
+                r.energy_parts_mj[3]
+            ),
+            Metric::ComputeUtilization => format!(
+                "cu {:.1}% noc {:.1}% reuse {:.1}%",
+                r.compute_utilization * 100.0,
+                r.noc_overhead * 100.0,
+                r.onchip_reuse * 100.0
+            ),
+        }
+    }
+
+    /// How many times better `a` is than `b` on this metric (direction
+    /// aware: `2.0` always means "a is twice as good").
+    pub fn advantage(self, a: &ExpRecord, b: &ExpRecord) -> f64 {
+        match self {
+            Metric::LatencyMs | Metric::EnergyMj => self.value(b) / self.value(a),
+            Metric::Fps | Metric::ComputeUtilization => self.value(a) / self.value(b),
+        }
+    }
+}
+
+/// How a scenario picks each workload's batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// One batch size for every workload (a `--batch=` override still
+    /// wins); the batch is part of the scenario title, not a column.
+    Fixed(usize),
+    /// Per-workload throughput batch
+    /// ([`Workloads::default_throughput_batch`]), shown as a table column.
+    PerWorkloadThroughput,
+}
+
+/// One figure/table as data: everything `run_grid` needs to reproduce it.
+#[derive(Debug, Clone)]
+pub struct GridScenario {
+    /// Table title; the substring `{df}` is replaced with the dataflow
+    /// label of each sweep.
+    pub title: String,
+    /// Strategies compared, in column order.
+    pub strategies: Vec<Strategy>,
+    /// Dataflows swept (one table each).
+    pub dataflows: Vec<Dataflow>,
+    /// Batch selection policy.
+    pub batch: BatchPolicy,
+    /// The tabulated metric.
+    pub metric: Metric,
+    /// Extra ratio columns: `(a, b)` prints a column `a/b` holding
+    /// [`Metric::advantage`] of `a` over `b`.
+    pub speedups: Vec<(Strategy, Strategy)>,
+    /// Headers for columns filled by the `row_extra` hook of
+    /// [`run_grid_with`].
+    pub extra_headers: Vec<&'static str>,
+}
+
+/// Runs a scenario over the selected workloads and returns every record.
+pub fn run_grid(w: &Workloads, sc: &GridScenario) -> Vec<ExpRecord> {
+    run_grid_with(w, sc, |_, _| Vec::new())
+}
+
+/// Like [`run_grid`], with a per-row hook: after a workload's strategies
+/// finish, `row_extra(workload, records_by_strategy_label)` supplies the
+/// cells for the scenario's `extra_headers` (and may feed side tables).
+pub fn run_grid_with(
+    w: &Workloads,
+    sc: &GridScenario,
+    mut row_extra: impl FnMut(&str, &BTreeMap<&'static str, ExpRecord>) -> Vec<String>,
+) -> Vec<ExpRecord> {
+    let batch_column = matches!(sc.batch, BatchPolicy::PerWorkloadThroughput);
+    let mut records: Vec<ExpRecord> = Vec::new();
+    for &dataflow in &sc.dataflows {
+        let mut headers: Vec<String> = vec!["workload".into()];
+        if batch_column {
+            headers.push("batch".into());
+        }
+        headers.extend(sc.strategies.iter().map(|s| s.label().to_string()));
+        headers.extend(
+            sc.speedups
+                .iter()
+                .map(|(a, b)| format!("{}/{}", a.label(), b.label())),
+        );
+        headers.extend(sc.extra_headers.iter().map(|h| h.to_string()));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(sc.title.replace("{df}", dataflow.label()), &header_refs);
+
+        for (name, graph) in &w.list {
+            let batch = match sc.batch {
+                BatchPolicy::Fixed(b) => w.batch_override.unwrap_or(b),
+                BatchPolicy::PerWorkloadThroughput => w
+                    .batch_override
+                    .unwrap_or_else(|| Workloads::default_throughput_batch(name)),
+            };
+            let cfg = w.config(dataflow, batch);
+            let mut row = vec![name.clone()];
+            if batch_column {
+                row.push(batch.to_string());
+            }
+            let mut by_label: BTreeMap<&'static str, ExpRecord> = BTreeMap::new();
+            for &s in &sc.strategies {
+                let r = run_strategy(s, name, graph, &cfg);
+                eprintln!(
+                    "  [{} {} {}] {} ({:.1}s host)",
+                    name,
+                    dataflow.label(),
+                    s.label(),
+                    sc.metric.progress(&r),
+                    r.search_secs
+                );
+                if !r.stages.is_empty() {
+                    eprintln!("      stages: {}", r.stage_line());
+                }
+                row.push(sc.metric.cell(&r));
+                by_label.insert(s.label(), r.clone());
+                records.push(r);
+            }
+            for (a, b) in &sc.speedups {
+                row.push(format!(
+                    "{:.2}x",
+                    sc.metric
+                        .advantage(&by_label[a.label()], &by_label[b.label()])
+                ));
+            }
+            row.extend(row_extra(name, &by_label));
+            table.add_row(row);
+        }
+        table.print();
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workloads() -> Workloads {
+        Workloads::from_arg_slice(&["--workloads=tiny_cnn".into(), "--fast".into()])
+    }
+
+    #[test]
+    fn grid_runs_all_cells_and_speedups() {
+        let w = tiny_workloads();
+        let sc = GridScenario {
+            title: "test grid, {df}".into(),
+            strategies: vec![Strategy::LayerSequential, Strategy::AtomicDataflow],
+            dataflows: vec![Dataflow::KcPartition],
+            batch: BatchPolicy::Fixed(1),
+            metric: Metric::LatencyMs,
+            speedups: vec![(Strategy::AtomicDataflow, Strategy::LayerSequential)],
+            extra_headers: vec![],
+        };
+        let records = run_grid(&w, &sc);
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.cycles > 0));
+        // Every record carries the staged pipeline's reports.
+        assert!(records.iter().all(|r| !r.stages.is_empty()));
+    }
+
+    #[test]
+    fn row_extra_hook_sees_each_strategy_record() {
+        let w = tiny_workloads();
+        let sc = GridScenario {
+            title: "hooked".into(),
+            strategies: vec![Strategy::LayerSequential],
+            dataflows: vec![Dataflow::KcPartition],
+            batch: BatchPolicy::PerWorkloadThroughput,
+            metric: Metric::ComputeUtilization,
+            speedups: vec![],
+            extra_headers: vec!["seen"],
+        };
+        let mut seen = Vec::new();
+        run_grid_with(&w, &sc, |name, by_label| {
+            seen.push((name.to_string(), by_label.contains_key("LS")));
+            vec!["ok".into()]
+        });
+        assert_eq!(seen, vec![("tiny_cnn".to_string(), true)]);
+    }
+
+    #[test]
+    fn metric_advantage_is_direction_aware() {
+        let w = tiny_workloads();
+        let (name, graph) = &w.list[0];
+        let cfg = w.config(Dataflow::KcPartition, 1);
+        let a = run_strategy(Strategy::LayerSequential, name, graph, &cfg);
+        let mut b = a.clone();
+        b.latency_ms *= 2.0;
+        b.fps /= 2.0;
+        assert!((Metric::LatencyMs.advantage(&a, &b) - 2.0).abs() < 1e-9);
+        assert!((Metric::Fps.advantage(&a, &b) - 2.0).abs() < 1e-9);
+    }
+}

@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use accel_sim::{FaultKind, FaultPlan, SimStats};
 use ad_util::Json;
-use atomic_dataflow::{baselines, Optimizer, OptimizerConfig, Strategy};
+use atomic_dataflow::{baselines, Optimizer, OptimizerConfig, StageReport, Strategy};
 use dnn_graph::{models, Graph};
 use engine_model::Dataflow;
 
@@ -42,6 +42,9 @@ pub struct ExpRecord {
     pub energy_parts_mj: [f64; 4],
     /// Host-side search/simulation time in seconds.
     pub search_secs: f64,
+    /// Per-stage wall times and summaries of the strategy's planning
+    /// pipeline (the winning candidate where the strategy searches).
+    pub stages: Vec<StageReport>,
 }
 
 impl ExpRecord {
@@ -74,7 +77,27 @@ impl ExpRecord {
                 ),
             ),
             ("search_secs".into(), Json::from(self.search_secs)),
+            (
+                "stages".into(),
+                Json::Arr(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("stage".into(), Json::from(s.stage)),
+                                ("wall_ms".into(), Json::from(s.wall_ms)),
+                                ("summary".into(), Json::from(s.summary.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
+    }
+
+    /// The stage reports as one compact printable line.
+    pub fn stage_line(&self) -> String {
+        atomic_dataflow::pipeline::format_reports(&self.stages)
     }
 }
 
@@ -91,10 +114,11 @@ pub fn run_strategy(
     cfg: &OptimizerConfig,
 ) -> ExpRecord {
     let start = Instant::now();
-    let stats = strategy
-        .run(graph, cfg)
+    let outcome = strategy
+        .run_detailed(graph, cfg)
         .expect("strategy produced an invalid schedule");
     let secs = start.elapsed().as_secs_f64();
+    let stats = outcome.stats;
     let freq = cfg.sim.engine.freq_mhz;
     let e = &stats.energy;
     ExpRecord {
@@ -118,6 +142,7 @@ pub fn run_strategy(
             e.static_pj / 1e9,
         ],
         search_secs: secs,
+        stages: outcome.reports,
     }
 }
 
@@ -234,6 +259,10 @@ pub fn ls_layer_utilizations(graph: &Graph, cfg: &OptimizerConfig) -> Vec<(Strin
 /// Flags understood by every experiment binary:
 /// - `--workloads=a,b,c` — subset by name (see [`models::PAPER_WORKLOADS`]);
 /// - `--quick` — the four mid-size workloads (fast smoke run);
+/// - `--fast` — use [`OptimizerConfig::fast_test`] instead of the paper
+///   platform (CI smoke runs);
+/// - `--par=N` — worker threads for the candidate search (results are
+///   byte-identical for every value);
 /// - `--batch=N` — override the experiment's default batch size;
 /// - `--json=PATH` — also dump records as JSON.
 #[derive(Debug, Clone)]
@@ -244,6 +273,10 @@ pub struct Workloads {
     pub batch_override: Option<usize>,
     /// JSON dump path, if any.
     pub json_path: Option<String>,
+    /// Run on the small fast-test platform instead of the paper's.
+    pub fast: bool,
+    /// Candidate-search worker threads, if overridden.
+    pub parallelism: Option<usize>,
 }
 
 impl Workloads {
@@ -258,6 +291,8 @@ impl Workloads {
         let mut names: Option<Vec<String>> = None;
         let mut batch_override = None;
         let mut json_path = None;
+        let mut fast = false;
+        let mut parallelism = None;
         for a in args {
             if let Some(v) = a.strip_prefix("--workloads=") {
                 names = Some(v.split(',').map(|s| s.trim().to_string()).collect());
@@ -268,6 +303,10 @@ impl Workloads {
                         .map(|s| s.to_string())
                         .collect(),
                 );
+            } else if a == "--fast" {
+                fast = true;
+            } else if let Some(v) = a.strip_prefix("--par=") {
+                parallelism = v.parse().ok();
             } else if let Some(v) = a.strip_prefix("--batch=") {
                 batch_override = v.parse().ok();
             } else if let Some(v) = a.strip_prefix("--json=") {
@@ -291,7 +330,23 @@ impl Workloads {
             list,
             batch_override,
             json_path,
+            fast,
+            parallelism,
         }
+    }
+
+    /// The platform configuration selected by the flags: the paper default
+    /// (or [`OptimizerConfig::fast_test`] under `--fast`) with the given
+    /// dataflow, batch, and any `--par=` override applied.
+    pub fn config(&self, dataflow: Dataflow, batch: usize) -> OptimizerConfig {
+        let base = if self.fast {
+            OptimizerConfig::fast_test()
+        } else {
+            OptimizerConfig::paper_default()
+        };
+        base.with_dataflow(dataflow)
+            .with_batch(batch)
+            .with_parallelism(self.parallelism.unwrap_or(1))
     }
 
     /// Default batch size for throughput experiments on this workload: the

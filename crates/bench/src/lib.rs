@@ -2,11 +2,13 @@
 //!
 //! Each table/figure has a dedicated binary in `src/bin/` (see `DESIGN.md`
 //! §4 for the index); this library holds the shared plumbing: workload
-//! selection, strategy runners, result records, aligned-table printing and
-//! JSON dumps.
+//! selection, strategy runners, result records, declarative scenario grids
+//! ([`grid`]), aligned-table printing and JSON dumps.
 
+pub mod grid;
 pub mod harness;
 pub mod table;
 
+pub use grid::{run_grid, run_grid_with, BatchPolicy, GridScenario, Metric};
 pub use harness::{restart_after_faults, run_strategy, ExpRecord, FaultRecord, Workloads};
 pub use table::Table;

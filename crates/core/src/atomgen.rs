@@ -37,6 +37,13 @@ pub struct SaParams {
     pub lambda: f64,
     /// RNG seed (searches are deterministic given the seed).
     pub seed: u64,
+    /// Independently seeded annealing chains. Chain `i` runs with seed
+    /// [`chain_seed`]`(seed, i)` (chain 0 = the base seed, so `chains = 1`
+    /// reproduces the single-chain search exactly); the minimum-variance
+    /// chain wins, earliest chain index breaking ties. The chain *set* is
+    /// part of the search configuration — [`AtomGenConfig::parallelism`]
+    /// only controls how many threads evaluate it.
+    pub chains: usize,
 }
 
 impl Default for SaParams {
@@ -48,6 +55,7 @@ impl Default for SaParams {
             temp: 0.5,
             lambda: 0.97,
             seed: 7,
+            chains: 1,
         }
     }
 }
@@ -115,6 +123,11 @@ pub struct AtomGenConfig {
     /// waves, so both PE utilization *and* intra-layer parallelism shape
     /// the preferred tile.
     pub engines: usize,
+    /// Worker threads used to evaluate independent SA chains
+    /// ([`SaParams::chains`]). Purely an *execution* knob: results are
+    /// reduced in fixed chain order regardless of the thread count, so any
+    /// value produces byte-identical output (1 = fully sequential).
+    pub parallelism: usize,
 }
 
 impl Default for AtomGenConfig {
@@ -125,6 +138,7 @@ impl Default for AtomGenConfig {
             max_atoms_per_layer: 4096,
             target_atoms_per_layer: 128,
             engines: 64,
+            parallelism: 1,
         }
     }
 }
@@ -179,10 +193,24 @@ pub fn generate(
 ) -> GenReport {
     let table = enumerate_candidates(graph, cfg, engine, dataflow);
     match cfg.mode {
-        AtomGenMode::Sa(p) => run_sa(graph, &table, p, cfg.target_atoms_per_layer),
+        AtomGenMode::Sa(p) => run_sa(
+            graph,
+            &table,
+            p,
+            cfg.target_atoms_per_layer,
+            cfg.parallelism,
+        ),
         AtomGenMode::Ga(p) => run_ga(graph, &table, p),
         AtomGenMode::Uniform { parts } => run_uniform(graph, &table, parts),
     }
+}
+
+/// Seed of SA chain `chain` under base seed `seed`: splitmix64's golden
+/// gamma keeps the chain streams decorrelated while chain 0 stays exactly
+/// the base seed (so `chains = 1` is byte-identical to the single-chain
+/// generator).
+pub fn chain_seed(seed: u64, chain: usize) -> u64 {
+    seed.wrapping_add((chain as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// Split-factor menu used for candidate enumeration.
@@ -411,7 +439,44 @@ fn report_from_choices(
 // Simulated annealing (Algorithm 1)
 // ---------------------------------------------------------------------------
 
-fn run_sa(graph: &Graph, table: &CandidateTable, p: SaParams, target_count: usize) -> GenReport {
+/// Runs [`SaParams::chains`] independently seeded annealing chains — up to
+/// `parallelism` of them concurrently via [`ad_util::scoped_map`] — and
+/// keeps the minimum-variance chain, the earliest chain index breaking
+/// ties. The reduction visits chains in fixed index order, so the result is
+/// a pure function of the search configuration, never of the thread count.
+fn run_sa(
+    graph: &Graph,
+    table: &CandidateTable,
+    p: SaParams,
+    target_count: usize,
+    parallelism: usize,
+) -> GenReport {
+    let chains = p.chains.max(1);
+    if chains == 1 {
+        return run_sa_chain(graph, table, p, target_count);
+    }
+    let reports = ad_util::scoped_map(chains, parallelism, |i| {
+        let mut pi = p;
+        pi.seed = chain_seed(p.seed, i);
+        run_sa_chain(graph, table, pi, target_count)
+    });
+    let mut best: Option<GenReport> = None;
+    for r in reports {
+        if best.as_ref().is_none_or(|b| r.variance < b.variance) {
+            best = Some(r);
+        }
+    }
+    // `chains >= 1`, so at least one report exists.
+    best.unwrap_or_else(|| run_sa_chain(graph, table, p, target_count))
+}
+
+/// One annealing chain (Algorithm 1), deterministic given `p.seed`.
+fn run_sa_chain(
+    graph: &Graph,
+    table: &CandidateTable,
+    p: SaParams,
+    target_count: usize,
+) -> GenReport {
     let mut rng = Rng64::new(p.seed);
     let nl = graph.layer_count();
 

@@ -14,156 +14,214 @@
 //! (Sec. V-B: "CNN-P cannot pipeline layers among CLPs, and its mapping
 //! strategy is the same with LS").
 
-use accel_sim::{SimStats, Simulator};
+use accel_sim::SimStats;
+use ad_util::scoped_map;
 use dnn_graph::{Graph, LayerId};
 
 use crate::atomic_dag::AtomId;
 use crate::error::PipelineError;
-use crate::lower::{lower_to_program, LowerOptions};
 use crate::optimizer::OptimizerConfig;
+use crate::pipeline::{
+    LowerStage, Pipeline, PlanContext, PlanOutcome, SimulateStage, Stage, StageReport,
+};
 
 /// Runs CNN-P on `graph` under `cfg`, auto-selecting the CLP count among
 /// `{2, 4, 8}` by simulated cycles (the original work explores partitions
-/// offline too).
+/// offline too). The CLP candidates are evaluated by up to
+/// [`OptimizerConfig::parallelism`] worker threads; the reduction visits
+/// them in fixed index order, so the winner is thread-count independent.
 ///
 /// # Errors
 ///
 /// Propagates schedule-integrity errors (a bug if it fires).
 pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineError> {
+    Ok(run_detailed(graph, cfg)?.stats)
+}
+
+/// Like [`run`], but also returns the per-stage reports of the winning
+/// CLP-count candidate.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_detailed(graph: &Graph, cfg: &OptimizerConfig) -> Result<PlanOutcome, PipelineError> {
     if cfg.batch <= 1 {
-        return super::ls::run(graph, cfg);
+        return super::ls::run_detailed(graph, cfg);
     }
     let compute_layers = graph
         .topo_order()
         .into_iter()
         .filter(|l| !graph.layer(*l).op().is_input())
         .count();
-    let mut best: Option<SimStats> = None;
-    for k in [2usize, 4, 8] {
-        if k > cfg.engines() || k > compute_layers || k > cfg.batch {
-            continue;
-        }
-        let stats = run_with_clps(graph, cfg, k)?;
+    let ks: Vec<usize> = [2usize, 4, 8]
+        .into_iter()
+        .filter(|&k| k <= cfg.engines() && k <= compute_layers && k <= cfg.batch)
+        .collect();
+    let candidates = scoped_map(ks.len(), cfg.parallelism, |i| {
+        pipeline(ks[i]).execute(graph, cfg)
+    });
+    let mut best: Option<PlanOutcome> = None;
+    for candidate in candidates {
+        let candidate = candidate?;
         if best
             .as_ref()
-            .is_none_or(|b| stats.total_cycles < b.total_cycles)
+            .is_none_or(|b| candidate.stats.total_cycles < b.stats.total_cycles)
         {
-            best = Some(stats);
+            best = Some(candidate);
         }
     }
     match best {
         Some(s) => Ok(s),
-        None => super::ls::run(graph, cfg),
+        None => super::ls::run_detailed(graph, cfg),
     }
 }
 
+/// CNN-P with exactly `k` CLPs as a stage list: plan → lower → simulate.
+pub fn pipeline(k: usize) -> Pipeline {
+    Pipeline::new(vec![
+        Box::new(CnnPPlanStage { k }),
+        Box::new(LowerStage),
+        Box::new(SimulateStage),
+    ])
+}
+
 /// Runs CNN-P with exactly `k` CLPs.
+///
+/// # Errors
+///
+/// Propagates schedule-integrity errors (a bug if it fires).
 pub fn run_with_clps(
     graph: &Graph,
     cfg: &OptimizerConfig,
     k: usize,
 ) -> Result<SimStats, PipelineError> {
-    let n = cfg.engines();
-    let batch = cfg.batch.max(1);
-    let zig = cfg.sim.mesh.zigzag_order();
+    Ok(pipeline(k).execute(graph, cfg)?.stats)
+}
 
-    // Contiguous engine spans along the zig-zag enumeration: CLP regions
-    // are spatially compact.
-    let base = n / k;
-    let mut spans: Vec<&[usize]> = Vec::with_capacity(k);
-    let mut off = 0;
-    for c in 0..k {
-        let extra = usize::from(c < n % k);
-        spans.push(&zig[off..off + base + extra]);
-        off += base + extra;
+/// The CNN-P planning stage for a fixed CLP count: fixed engine spans,
+/// MAC-balanced contiguous layer ranges, batch pipelining, and the
+/// everything-through-DRAM lowering rule.
+///
+/// Consumes: graph. Produces: `dag`, `mapped`, `lower` (all ofmaps to
+/// DRAM).
+#[derive(Debug, Clone, Copy)]
+pub struct CnnPPlanStage {
+    /// Number of convolutional layer processors.
+    pub k: usize,
+}
+
+impl Stage for CnnPPlanStage {
+    fn name(&self) -> &'static str {
+        "cnn-p-plan"
     }
 
-    // Contiguous layer ranges balanced by MACs.
-    let layers: Vec<LayerId> = graph
-        .topo_order()
-        .into_iter()
-        .filter(|l| !graph.layer(*l).op().is_input())
-        .collect();
-    let total_macs: u64 = layers.iter().map(|l| graph.layer(*l).macs().max(1)).sum();
-    let mut clp_of = vec![0usize; graph.layer_count()];
-    let mut acc = 0u64;
-    let mut clp = 0usize;
-    for (i, lid) in layers.iter().enumerate() {
-        clp_of[lid.index()] = clp;
-        acc += graph.layer(*lid).macs().max(1);
-        // Cut when this CLP reached its share, keeping enough layers for the
-        // remaining CLPs.
-        let remaining_layers = layers.len() - i - 1;
-        let remaining_clps = k - clp - 1;
-        if clp + 1 < k
-            && acc * k as u64 >= total_macs * (clp as u64 + 1)
-            && remaining_layers >= remaining_clps
-        {
-            clp += 1;
+    fn run(&self, ctx: &mut PlanContext<'_>) -> Result<StageReport, PipelineError> {
+        let graph = ctx.require_graph(self.name())?;
+        let k = self.k;
+        let n = ctx.cfg.engines();
+        let batch = ctx.cfg.batch.max(1);
+        let zig = ctx.cfg.sim.mesh.zigzag_order();
+        let cfg = &ctx.cfg;
+
+        // Contiguous engine spans along the zig-zag enumeration: CLP regions
+        // are spatially compact.
+        let base = n / k;
+        let mut spans: Vec<&[usize]> = Vec::with_capacity(k);
+        let mut off = 0;
+        for c in 0..k {
+            let extra = usize::from(c < n % k);
+            spans.push(&zig[off..off + base + extra]);
+            off += base + extra;
         }
-    }
 
-    // Each layer is split across its CLP's engines.
-    let dag = super::uniform_dag(graph, batch, &cfg.sim.engine, cfg.dataflow, |l| {
-        spans[clp_of[l.id().index()]].len()
-    });
-
-    // Pipeline steps: CLP c handles sample (s - c) at step s. Within a
-    // step, each CLP runs its layer range sequentially in engine-sized
-    // waves; waves of different CLPs are interleaved into shared rounds.
-    let mut rounds: Vec<Vec<(AtomId, usize)>> = Vec::new();
-    for s in 0..(batch + k - 1) {
-        // Per-CLP wave lists for this step.
-        let mut clp_waves: Vec<Vec<Vec<(AtomId, usize)>>> = Vec::with_capacity(k);
-        for (c, span) in spans.iter().enumerate() {
-            let mut waves: Vec<Vec<(AtomId, usize)>> = Vec::new();
-            let Some(sample) = s.checked_sub(c) else {
-                clp_waves.push(waves);
-                continue;
-            };
-            if sample >= batch {
-                clp_waves.push(waves);
-                continue;
+        // Contiguous layer ranges balanced by MACs.
+        let layers: Vec<LayerId> = graph
+            .topo_order()
+            .into_iter()
+            .filter(|l| !graph.layer(*l).op().is_input())
+            .collect();
+        let total_macs: u64 = layers.iter().map(|l| graph.layer(*l).macs().max(1)).sum();
+        let mut clp_of = vec![0usize; graph.layer_count()];
+        let mut acc = 0u64;
+        let mut clp = 0usize;
+        for (i, lid) in layers.iter().enumerate() {
+            clp_of[lid.index()] = clp;
+            acc += graph.layer(*lid).macs().max(1);
+            // Cut when this CLP reached its share, keeping enough layers for the
+            // remaining CLPs.
+            let remaining_layers = layers.len() - i - 1;
+            let remaining_clps = k - clp - 1;
+            if clp + 1 < k
+                && acc * k as u64 >= total_macs * (clp as u64 + 1)
+                && remaining_layers >= remaining_clps
+            {
+                clp += 1;
             }
-            for lid in &layers {
-                if clp_of[lid.index()] != c {
+        }
+
+        // Each layer is split across its CLP's engines.
+        let dag = super::uniform_dag(graph, batch, &cfg.sim.engine, cfg.dataflow, |l| {
+            spans[clp_of[l.id().index()]].len()
+        });
+
+        // Pipeline steps: CLP c handles sample (s - c) at step s. Within a
+        // step, each CLP runs its layer range sequentially in engine-sized
+        // waves; waves of different CLPs are interleaved into shared rounds.
+        let mut rounds: Vec<Vec<(AtomId, usize)>> = Vec::new();
+        for s in 0..(batch + k - 1) {
+            // Per-CLP wave lists for this step.
+            let mut clp_waves: Vec<Vec<Vec<(AtomId, usize)>>> = Vec::with_capacity(k);
+            for (c, span) in spans.iter().enumerate() {
+                let mut waves: Vec<Vec<(AtomId, usize)>> = Vec::new();
+                let Some(sample) = s.checked_sub(c) else {
+                    clp_waves.push(waves);
+                    continue;
+                };
+                if sample >= batch {
+                    clp_waves.push(waves);
                     continue;
                 }
-                for wave in dag.layer_atoms(sample, *lid).chunks(span.len()) {
-                    waves.push(
-                        wave.iter()
-                            .enumerate()
-                            .map(|(i, a)| (*a, span[i]))
-                            .collect(),
-                    );
+                for lid in &layers {
+                    if clp_of[lid.index()] != c {
+                        continue;
+                    }
+                    for wave in dag.layer_atoms(sample, *lid).chunks(span.len()) {
+                        waves.push(
+                            wave.iter()
+                                .enumerate()
+                                .map(|(i, a)| (*a, span[i]))
+                                .collect(),
+                        );
+                    }
+                }
+                clp_waves.push(waves);
+            }
+            let depth = clp_waves.iter().map(Vec::len).max().unwrap_or(0);
+            for j in 0..depth {
+                let mut round = Vec::new();
+                for waves in &clp_waves {
+                    if let Some(w) = waves.get(j) {
+                        round.extend_from_slice(w);
+                    }
+                }
+                if !round.is_empty() {
+                    rounds.push(round);
                 }
             }
-            clp_waves.push(waves);
         }
-        let depth = clp_waves.iter().map(Vec::len).max().unwrap_or(0);
-        for j in 0..depth {
-            let mut round = Vec::new();
-            for waves in &clp_waves {
-                if let Some(w) = waves.get(j) {
-                    round.extend_from_slice(w);
-                }
-            }
-            if !round.is_empty() {
-                rounds.push(round);
-            }
-        }
-    }
 
-    // Every ifmap/ofmap goes through DRAM (Sec. II-B).
-    let program = lower_to_program(
-        &dag,
-        &rounds,
-        &LowerOptions {
-            dram_output_layers: None,
-            all_outputs_to_dram: true,
-        },
-    );
-    Ok(Simulator::new(cfg.sim).run(&program)?)
+        // Every ifmap/ofmap goes through DRAM (Sec. II-B).
+        ctx.lower.all_outputs_to_dram = true;
+        let summary = format!(
+            "{} CLPs, {} atoms in {} rounds",
+            k,
+            dag.atom_count(),
+            rounds.len()
+        );
+        ctx.dag = Some(dag);
+        ctx.mapped = Some(rounds);
+        Ok(StageReport::new(self.name(), summary))
+    }
 }
 
 #[cfg(test)]

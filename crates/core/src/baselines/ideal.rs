@@ -4,7 +4,47 @@
 use accel_sim::{DegradationStats, EnergyBreakdown, SimStats};
 use dnn_graph::Graph;
 
+use crate::error::PipelineError;
 use crate::optimizer::OptimizerConfig;
+use crate::pipeline::{Pipeline, PlanContext, PlanOutcome, Stage, StageReport};
+
+/// Ideal as a (single-stage) list over the shared machinery: the analytic
+/// bound needs no lowering or simulation.
+pub fn pipeline() -> Pipeline {
+    Pipeline::new(vec![Box::new(IdealStage)])
+}
+
+/// Like [`run`], but routed through the shared [`Pipeline`] machinery so
+/// the bench harness gets a [`StageReport`] like every other strategy.
+///
+/// # Errors
+///
+/// [`PipelineError::StageOrder`] only if invoked on a graph-less context
+/// (never through this entry point).
+pub fn run_detailed(graph: &Graph, cfg: &OptimizerConfig) -> Result<PlanOutcome, PipelineError> {
+    pipeline().execute(graph, cfg)
+}
+
+/// The analytic roofline stage.
+///
+/// Consumes: graph. Produces: `stats` directly — no DAG, schedule, or
+/// program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdealStage;
+
+impl Stage for IdealStage {
+    fn name(&self) -> &'static str {
+        "ideal"
+    }
+
+    fn run(&self, ctx: &mut PlanContext<'_>) -> Result<StageReport, PipelineError> {
+        let graph = ctx.require_graph(self.name())?;
+        let stats = run(graph, &ctx.cfg);
+        let summary = stats.summary();
+        ctx.stats = Some(stats);
+        Ok(StageReport::new(self.name(), summary))
+    }
+}
 
 /// Computes the ideal-execution statistics for `graph` under `cfg`:
 /// every MAC executes at full array occupancy, every vector op at full

@@ -15,13 +15,15 @@
 
 use std::collections::BTreeMap;
 
-use accel_sim::{SimStats, Simulator};
+use accel_sim::SimStats;
 use dnn_graph::{Graph, LayerId};
 
 use crate::atomic_dag::AtomId;
 use crate::error::PipelineError;
-use crate::lower::{lower_to_program, LowerOptions};
 use crate::optimizer::OptimizerConfig;
+use crate::pipeline::{
+    LowerStage, Pipeline, PlanContext, PlanOutcome, SimulateStage, Stage, StageReport,
+};
 
 /// Chunks each layer is split into along the pipeline (ALLO granularity).
 /// Pipeline fill/drain costs ≈ `2·m/P` of one sample per segment, so chunks
@@ -32,145 +34,191 @@ const PIPELINE_CHUNKS: usize = 4;
 /// consecutive layers); long segments explode the fill/drain skew.
 const MAX_SEGMENT_LAYERS: usize = 8;
 
+/// IL-Pipe as a stage list over the shared machinery: plan → lower →
+/// simulate.
+pub fn pipeline() -> Pipeline {
+    Pipeline::new(vec![
+        Box::new(IlPipePlanStage),
+        Box::new(LowerStage),
+        Box::new(SimulateStage),
+    ])
+}
+
 /// Runs IL-Pipe on `graph` under `cfg`.
 ///
 /// # Errors
 ///
 /// Propagates schedule-integrity errors (a bug if it fires).
 pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineError> {
-    let n = cfg.engines();
-    let batch = cfg.batch.max(1);
-    let zig = cfg.sim.mesh.zigzag_order();
+    Ok(run_detailed(graph, cfg)?.stats)
+}
 
-    let layers: Vec<LayerId> = graph
-        .topo_order()
-        .into_iter()
-        .filter(|l| !graph.layer(*l).op().is_input())
-        .collect();
+/// Like [`run`], but also returns the per-stage reports.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_detailed(graph: &Graph, cfg: &OptimizerConfig) -> Result<PlanOutcome, PipelineError> {
+    pipeline().execute(graph, cfg)
+}
 
-    // --- Segment formation: consecutive layers while weights fit on-chip
-    // and every layer can get an engine.
-    let weight_budget = cfg.sim.engine.buffer_bytes * n as u64 / 2;
-    let mut segments: Vec<Vec<LayerId>> = Vec::new();
-    let mut cur: Vec<LayerId> = Vec::new();
-    let mut cur_weights = 0u64;
-    for lid in &layers {
-        let w = graph.layer(*lid).weight_bytes();
-        if !cur.is_empty()
-            && (cur.len() >= MAX_SEGMENT_LAYERS.min(n) || cur_weights + w > weight_budget)
-        {
-            segments.push(std::mem::take(&mut cur));
-            cur_weights = 0;
-        }
-        cur.push(*lid);
-        cur_weights += w;
-    }
-    if !cur.is_empty() {
-        segments.push(cur);
+/// The IL-Pipe planning stage: segment formation, proportional region
+/// allocation, chunk-pipelined schedule with legalization.
+///
+/// Consumes: graph. Produces: `dag`, `mapped`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IlPipePlanStage;
+
+impl Stage for IlPipePlanStage {
+    fn name(&self) -> &'static str {
+        "il-pipe-plan"
     }
 
-    // --- Region allocation per segment: engines proportional to each
-    // layer's engine-time (MACs on the array; vector ops weighted by the
-    // PE-to-vector-lane throughput ratio), ≥ 1 each.
-    let vector_weight = (cfg.sim.engine.pe_count() / cfg.sim.engine.vector_lanes as u64).max(1);
-    let time_weight = |l: &LayerId| -> u64 {
-        let layer = graph.layer(*l);
-        layer.macs().max(layer.vector_ops() * vector_weight).max(1)
-    };
-    let mut region_of: BTreeMap<LayerId, Vec<usize>> = BTreeMap::new();
-    for seg in &segments {
-        let total: u64 = seg.iter().map(time_weight).sum();
-        let mut sizes: Vec<usize> = seg
-            .iter()
-            .map(|l| (((time_weight(l) as u128 * n as u128) / total as u128) as usize).max(1))
+    fn run(&self, ctx: &mut PlanContext<'_>) -> Result<StageReport, PipelineError> {
+        let graph = ctx.require_graph(self.name())?;
+        let cfg = &ctx.cfg;
+        let n = cfg.engines();
+        let batch = cfg.batch.max(1);
+        let zig = cfg.sim.mesh.zigzag_order();
+
+        let layers: Vec<LayerId> = graph
+            .topo_order()
+            .into_iter()
+            .filter(|l| !graph.layer(*l).op().is_input())
             .collect();
-        // Fix the sum to exactly n.
-        loop {
-            let sum: usize = sizes.iter().sum();
-            if sum == n {
-                break;
+
+        // --- Segment formation: consecutive layers while weights fit on-chip
+        // and every layer can get an engine.
+        let weight_budget = cfg.sim.engine.buffer_bytes * n as u64 / 2;
+        let mut segments: Vec<Vec<LayerId>> = Vec::new();
+        let mut cur: Vec<LayerId> = Vec::new();
+        let mut cur_weights = 0u64;
+        for lid in &layers {
+            let w = graph.layer(*lid).weight_bytes();
+            if !cur.is_empty()
+                && (cur.len() >= MAX_SEGMENT_LAYERS.min(n) || cur_weights + w > weight_budget)
+            {
+                segments.push(std::mem::take(&mut cur));
+                cur_weights = 0;
             }
-            if sum > n {
-                // Shrink the largest shrinkable region.
-                let i = (0..sizes.len()).max_by_key(|i| sizes[*i]).unwrap_or(0);
-                assert!(
-                    sizes[i] > 1,
-                    "cannot fit {} layers on {} engines",
-                    seg.len(),
-                    n
-                );
-                sizes[i] -= 1;
-            } else {
-                // Grow the region of the most compute-heavy layer.
-                let i = (0..sizes.len())
-                    .max_by_key(|i| time_weight(&seg[*i]) / sizes[*i] as u64)
-                    .unwrap_or(0);
-                sizes[i] += 1;
+            cur.push(*lid);
+            cur_weights += w;
+        }
+        if !cur.is_empty() {
+            segments.push(cur);
+        }
+
+        // --- Region allocation per segment: engines proportional to each
+        // layer's engine-time (MACs on the array; vector ops weighted by the
+        // PE-to-vector-lane throughput ratio), ≥ 1 each.
+        let vector_weight = (cfg.sim.engine.pe_count() / cfg.sim.engine.vector_lanes as u64).max(1);
+        let time_weight = |l: &LayerId| -> u64 {
+            let layer = graph.layer(*l);
+            layer.macs().max(layer.vector_ops() * vector_weight).max(1)
+        };
+        let mut region_of: BTreeMap<LayerId, Vec<usize>> = BTreeMap::new();
+        for seg in &segments {
+            let total: u64 = seg.iter().map(time_weight).sum();
+            let mut sizes: Vec<usize> = seg
+                .iter()
+                .map(|l| (((time_weight(l) as u128 * n as u128) / total as u128) as usize).max(1))
+                .collect();
+            // Fix the sum to exactly n.
+            loop {
+                let sum: usize = sizes.iter().sum();
+                if sum == n {
+                    break;
+                }
+                if sum > n {
+                    // Shrink the largest shrinkable region.
+                    let i = (0..sizes.len()).max_by_key(|i| sizes[*i]).unwrap_or(0);
+                    assert!(
+                        sizes[i] > 1,
+                        "cannot fit {} layers on {} engines",
+                        seg.len(),
+                        n
+                    );
+                    sizes[i] -= 1;
+                } else {
+                    // Grow the region of the most compute-heavy layer.
+                    let i = (0..sizes.len())
+                        .max_by_key(|i| time_weight(&seg[*i]) / sizes[*i] as u64)
+                        .unwrap_or(0);
+                    sizes[i] += 1;
+                }
+            }
+            let mut off = 0;
+            for (l, sz) in seg.iter().zip(&sizes) {
+                region_of.insert(*l, zig[off..off + sz].to_vec());
+                off += sz;
             }
         }
-        let mut off = 0;
-        for (l, sz) in seg.iter().zip(&sizes) {
-            region_of.insert(*l, zig[off..off + sz].to_vec());
-            off += sz;
-        }
-    }
 
-    // --- Atomization: each layer split into region_size × PIPELINE_CHUNKS
-    // tiles so one chunk occupies the whole region.
-    let dag = super::uniform_dag(graph, batch, &cfg.sim.engine, cfg.dataflow, |l| {
-        region_of[&l.id()].len() * PIPELINE_CHUNKS
-    });
+        // --- Atomization: each layer split into region_size × PIPELINE_CHUNKS
+        // tiles so one chunk occupies the whole region.
+        let dag = super::uniform_dag(graph, batch, &cfg.sim.engine, cfg.dataflow, |l| {
+            region_of[&l.id()].len() * PIPELINE_CHUNKS
+        });
 
-    // --- Pipelined schedule with legalization.
-    let mut atom_step: BTreeMap<AtomId, usize> = BTreeMap::new();
-    let mut rounds_by_step: BTreeMap<usize, Vec<(AtomId, usize)>> = BTreeMap::new();
-    let mut base_step = 0usize;
+        // --- Pipelined schedule with legalization.
+        let mut atom_step: BTreeMap<AtomId, usize> = BTreeMap::new();
+        let mut rounds_by_step: BTreeMap<usize, Vec<(AtomId, usize)>> = BTreeMap::new();
+        let mut base_step = 0usize;
 
-    for seg in &segments {
-        let mut seg_max_step = base_step;
-        for (j, lid) in seg.iter().enumerate() {
-            let region = &region_of[lid];
-            let mut prev_chunk_step: Option<usize> = None;
-            for b in 0..batch {
-                let atoms = dag.layer_atoms(b, *lid);
-                let chunks_per_sample = atoms.len().div_ceil(region.len());
-                for (ci, chunk) in atoms.chunks(region.len()).enumerate() {
-                    let c_global = b * chunks_per_sample + ci;
-                    let nominal = base_step + c_global + j;
-                    let mut step = nominal;
-                    if let Some(p) = prev_chunk_step {
-                        step = step.max(p + 1);
-                    }
-                    for a in chunk {
-                        for (p, _) in dag.preds(*a) {
-                            if let Some(ps) = atom_step.get(p) {
-                                step = step.max(ps + 1);
+        for seg in &segments {
+            let mut seg_max_step = base_step;
+            for (j, lid) in seg.iter().enumerate() {
+                let region = &region_of[lid];
+                let mut prev_chunk_step: Option<usize> = None;
+                for b in 0..batch {
+                    let atoms = dag.layer_atoms(b, *lid);
+                    let chunks_per_sample = atoms.len().div_ceil(region.len());
+                    for (ci, chunk) in atoms.chunks(region.len()).enumerate() {
+                        let c_global = b * chunks_per_sample + ci;
+                        let nominal = base_step + c_global + j;
+                        let mut step = nominal;
+                        if let Some(p) = prev_chunk_step {
+                            step = step.max(p + 1);
+                        }
+                        for a in chunk {
+                            for (p, _) in dag.preds(*a) {
+                                if let Some(ps) = atom_step.get(p) {
+                                    step = step.max(ps + 1);
+                                }
                             }
                         }
-                    }
-                    prev_chunk_step = Some(step);
-                    seg_max_step = seg_max_step.max(step);
-                    let entry = rounds_by_step.entry(step).or_default();
-                    for (i, a) in chunk.iter().enumerate() {
-                        atom_step.insert(*a, step);
-                        entry.push((*a, region[i]));
+                        prev_chunk_step = Some(step);
+                        seg_max_step = seg_max_step.max(step);
+                        let entry = rounds_by_step.entry(step).or_default();
+                        for (i, a) in chunk.iter().enumerate() {
+                            atom_step.insert(*a, step);
+                            entry.push((*a, region[i]));
+                        }
                     }
                 }
             }
+            base_step = seg_max_step + 1;
         }
-        base_step = seg_max_step + 1;
+
+        // `BTreeMap` iterates in ascending step order, so the rounds come out
+        // already sorted by pipeline step.
+        let rounds: Vec<Vec<(AtomId, usize)>> = rounds_by_step.into_values().collect();
+
+        // Segment-boundary tensors stay in the distributed buffers and are
+        // pulled by the next segment's regions over the NoC; the buffering
+        // policy spills them only under pressure (Tangram's design goal is
+        // precisely to avoid off-chip round-trips): the default lowering
+        // options already express that, so the stage leaves `ctx.lower` alone.
+        let summary = format!(
+            "{} segments, {} atoms in {} rounds",
+            segments.len(),
+            dag.atom_count(),
+            rounds.len()
+        );
+        ctx.dag = Some(dag);
+        ctx.mapped = Some(rounds);
+        Ok(StageReport::new(self.name(), summary))
     }
-
-    // `BTreeMap` iterates in ascending step order, so the rounds come out
-    // already sorted by pipeline step.
-    let rounds: Vec<Vec<(AtomId, usize)>> = rounds_by_step.into_values().collect();
-
-    // Segment-boundary tensors stay in the distributed buffers and are
-    // pulled by the next segment's regions over the NoC; the buffering
-    // policy spills them only under pressure (Tangram's design goal is
-    // precisely to avoid off-chip round-trips).
-    let program = lower_to_program(&dag, &rounds, &LowerOptions::default());
-    Ok(Simulator::new(cfg.sim).run(&program)?)
 }
 
 #[cfg(test)]

@@ -7,13 +7,70 @@
 //! is split into `N / k` partitions, which keeps per-engine sub-tasks larger
 //! than a 1-sample `N`-way split would.
 
-use accel_sim::{SimStats, Simulator};
+use accel_sim::SimStats;
 use dnn_graph::Graph;
 
 use crate::atomic_dag::AtomId;
 use crate::error::PipelineError;
-use crate::lower::{lower_to_program, LowerOptions};
 use crate::optimizer::OptimizerConfig;
+use crate::pipeline::{
+    LowerStage, Pipeline, PlanContext, PlanOutcome, SimulateStage, Stage, StageReport,
+};
+
+/// The LS planning stage: builds the naive N-way DAG and the
+/// layer-sequential wave mapping (fused scheduling + placement, since LS
+/// has no search in either).
+///
+/// Consumes: graph. Produces: `dag`, `mapped`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LsPlanStage;
+
+impl Stage for LsPlanStage {
+    fn name(&self) -> &'static str {
+        "ls-plan"
+    }
+
+    fn run(&self, ctx: &mut PlanContext<'_>) -> Result<StageReport, PipelineError> {
+        let graph = ctx.require_graph(self.name())?;
+        let n = ctx.cfg.engines();
+        let batch = ctx.cfg.batch.max(1);
+
+        // Naive N-way even partitioning of every layer (Sec. II-B); the
+        // batch enhancement of Sec. V-A pools all samples' partitions of a
+        // layer so no wave slot is left empty — the tile size itself stays
+        // naive.
+        let dag = super::naive_dag(graph, batch, &ctx.cfg.sim.engine, ctx.cfg.dataflow, n);
+
+        let zig = ctx.cfg.sim.mesh.zigzag_order();
+        let mut rounds: Vec<Vec<(AtomId, usize)>> = Vec::new();
+        for lid in graph.topo_order() {
+            if graph.layer(lid).op().is_input() {
+                continue;
+            }
+            let mut pool: Vec<AtomId> = Vec::new();
+            for b in 0..batch {
+                pool.extend_from_slice(dag.layer_atoms(b, lid));
+            }
+            for wave in pool.chunks(n) {
+                rounds.push(wave.iter().enumerate().map(|(i, a)| (*a, zig[i])).collect());
+            }
+        }
+
+        let summary = format!("{} atoms in {} waves", dag.atom_count(), rounds.len());
+        ctx.dag = Some(dag);
+        ctx.mapped = Some(rounds);
+        Ok(StageReport::new(self.name(), summary))
+    }
+}
+
+/// LS as a stage list over the shared machinery: plan → lower → simulate.
+pub fn pipeline() -> Pipeline {
+    Pipeline::new(vec![
+        Box::new(LsPlanStage),
+        Box::new(LowerStage),
+        Box::new(SimulateStage),
+    ])
+}
 
 /// Runs LS on `graph` under `cfg` and simulates it.
 ///
@@ -21,31 +78,16 @@ use crate::optimizer::OptimizerConfig;
 ///
 /// Propagates schedule-integrity errors (a bug if it fires).
 pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineError> {
-    let n = cfg.engines();
-    let batch = cfg.batch.max(1);
+    Ok(run_detailed(graph, cfg)?.stats)
+}
 
-    // Naive N-way even partitioning of every layer (Sec. II-B); the batch
-    // enhancement of Sec. V-A pools all samples' partitions of a layer so
-    // no wave slot is left empty — the tile size itself stays naive.
-    let dag = super::naive_dag(graph, batch, &cfg.sim.engine, cfg.dataflow, n);
-
-    let zig = cfg.sim.mesh.zigzag_order();
-    let mut rounds: Vec<Vec<(AtomId, usize)>> = Vec::new();
-    for lid in graph.topo_order() {
-        if graph.layer(lid).op().is_input() {
-            continue;
-        }
-        let mut pool: Vec<AtomId> = Vec::new();
-        for b in 0..batch {
-            pool.extend_from_slice(dag.layer_atoms(b, lid));
-        }
-        for wave in pool.chunks(n) {
-            rounds.push(wave.iter().enumerate().map(|(i, a)| (*a, zig[i])).collect());
-        }
-    }
-
-    let program = lower_to_program(&dag, &rounds, &LowerOptions::default());
-    Ok(Simulator::new(cfg.sim).run(&program)?)
+/// Like [`run`], but also returns the per-stage reports.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_detailed(graph: &Graph, cfg: &OptimizerConfig) -> Result<PlanOutcome, PipelineError> {
+    pipeline().execute(graph, cfg)
 }
 
 /// The Fig. 2 experiment: per-layer PE utilization of LS with each layer

@@ -12,13 +12,26 @@ use std::collections::VecDeque;
 
 use ad_util::cast::u32_from_usize;
 
-use accel_sim::{EvictionKind, SimStats, Simulator};
+use accel_sim::{EvictionKind, SimStats};
 use dnn_graph::Graph;
 
 use crate::atomic_dag::AtomId;
 use crate::error::PipelineError;
-use crate::lower::{lower_to_program, LowerOptions};
 use crate::optimizer::OptimizerConfig;
+use crate::pipeline::{
+    LowerStage, Pipeline, PlanContext, PlanOutcome, SimulateStage, Stage, StageReport,
+};
+
+/// Rammer as a stage list over the shared machinery: plan → lower →
+/// simulate (the plan stage switches the simulated eviction policy to
+/// FIFO, so the shared [`SimulateStage`] needs no special casing).
+pub fn pipeline() -> Pipeline {
+    Pipeline::new(vec![
+        Box::new(RammerPlanStage),
+        Box::new(LowerStage),
+        Box::new(SimulateStage),
+    ])
+}
 
 /// Runs the Rammer-like strategy on `graph` under `cfg`.
 ///
@@ -26,47 +39,80 @@ use crate::optimizer::OptimizerConfig;
 ///
 /// Propagates schedule-integrity errors (a bug if it fires).
 pub fn run(graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineError> {
-    let n = cfg.engines();
-    // Fixed-granularity rTasks: every layer split into ≈ N uniform pieces.
-    let dag = super::naive_dag(graph, cfg.batch.max(1), &cfg.sim.engine, cfg.dataflow, n);
+    Ok(run_detailed(graph, cfg)?.stats)
+}
 
-    // FIFO topological packing: take up to N ready tasks per round, in plain
-    // discovery order.
-    let mut indegree: Vec<u32> = (0..dag.atom_count())
-        .map(|i| u32_from_usize(dag.preds(AtomId(u32_from_usize(i))).len()))
-        .collect();
-    let mut queue: VecDeque<AtomId> = (0..u32_from_usize(dag.atom_count()))
-        .map(AtomId)
-        .filter(|a| indegree[a.index()] == 0)
-        .collect();
+/// Like [`run`], but also returns the per-stage reports.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_detailed(graph: &Graph, cfg: &OptimizerConfig) -> Result<PlanOutcome, PipelineError> {
+    pipeline().execute(graph, cfg)
+}
 
-    let zig = cfg.sim.mesh.zigzag_order();
-    let mut rounds: Vec<Vec<(AtomId, usize)>> = Vec::new();
-    let mut scheduled = 0usize;
-    while scheduled < dag.atom_count() {
-        let take = queue.len().min(n);
-        let mut round = Vec::with_capacity(take);
-        for &engine in zig.iter().take(take) {
-            let Some(a) = queue.pop_front() else { break };
-            round.push((a, engine));
-        }
-        scheduled += round.len();
-        for (a, _) in &round {
-            for &s in dag.succs(*a) {
-                indegree[s.index()] -= 1;
-                if indegree[s.index()] == 0 {
-                    queue.push_back(s);
-                }
-            }
-        }
-        assert!(!round.is_empty(), "live-lock in rammer packing");
-        rounds.push(round);
+/// The Rammer planning stage: uniform rTask generation, FIFO ready-queue
+/// packing, slot-order placement, and the FIFO-eviction configuration
+/// refinement.
+///
+/// Consumes: graph. Produces: `dag`, `mapped`, and sets
+/// `cfg.sim.eviction = FIFO`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RammerPlanStage;
+
+impl Stage for RammerPlanStage {
+    fn name(&self) -> &'static str {
+        "rammer-plan"
     }
 
-    let program = lower_to_program(&dag, &rounds, &LowerOptions::default());
-    let mut sim_cfg = cfg.sim;
-    sim_cfg.eviction = EvictionKind::Fifo;
-    Ok(Simulator::new(sim_cfg).run(&program)?)
+    fn run(&self, ctx: &mut PlanContext<'_>) -> Result<StageReport, PipelineError> {
+        let graph = ctx.require_graph(self.name())?;
+        let cfg = &ctx.cfg;
+        let n = cfg.engines();
+        // Fixed-granularity rTasks: every layer split into ≈ N uniform
+        // pieces.
+        let dag = super::naive_dag(graph, cfg.batch.max(1), &cfg.sim.engine, cfg.dataflow, n);
+
+        // FIFO topological packing: take up to N ready tasks per round, in
+        // plain discovery order.
+        let mut indegree: Vec<u32> = (0..dag.atom_count())
+            .map(|i| u32_from_usize(dag.preds(AtomId(u32_from_usize(i))).len()))
+            .collect();
+        let mut queue: VecDeque<AtomId> = (0..u32_from_usize(dag.atom_count()))
+            .map(AtomId)
+            .filter(|a| indegree[a.index()] == 0)
+            .collect();
+
+        let zig = cfg.sim.mesh.zigzag_order();
+        let mut rounds: Vec<Vec<(AtomId, usize)>> = Vec::new();
+        let mut scheduled = 0usize;
+        while scheduled < dag.atom_count() {
+            let take = queue.len().min(n);
+            let mut round = Vec::with_capacity(take);
+            for &engine in zig.iter().take(take) {
+                let Some(a) = queue.pop_front() else { break };
+                round.push((a, engine));
+            }
+            scheduled += round.len();
+            for (a, _) in &round {
+                for &s in dag.succs(*a) {
+                    indegree[s.index()] -= 1;
+                    if indegree[s.index()] == 0 {
+                        queue.push_back(s);
+                    }
+                }
+            }
+            assert!(!round.is_empty(), "live-lock in rammer packing");
+            rounds.push(round);
+        }
+
+        // No Alg. 3 buffering: Rammer evicts FIFO.
+        ctx.cfg.sim.eviction = EvictionKind::Fifo;
+        let summary = format!("{} rTasks in {} rounds", dag.atom_count(), rounds.len());
+        ctx.dag = Some(dag);
+        ctx.mapped = Some(rounds);
+        Ok(StageReport::new(self.name(), summary))
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,15 @@ pub enum PipelineError {
     Mapping(MappingError),
     /// The simulator rejected or aborted the lowered program.
     Sim(SimError),
+    /// A [`crate::pipeline::Stage`] ran before a prerequisite stage
+    /// deposited the artifact it consumes (e.g. mapping before scheduling):
+    /// the composed stage list itself is malformed.
+    StageOrder {
+        /// The stage that could not run.
+        stage: &'static str,
+        /// The missing [`crate::pipeline::PlanContext`] artifact.
+        missing: &'static str,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -31,6 +40,10 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Schedule(e) => write!(f, "scheduling failed: {e}"),
             PipelineError::Mapping(e) => write!(f, "mapping failed: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation failed: {e}"),
+            PipelineError::StageOrder { stage, missing } => write!(
+                f,
+                "stage `{stage}` ran before the stage that produces `{missing}`"
+            ),
         }
     }
 }
@@ -41,6 +54,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Schedule(e) => Some(e),
             PipelineError::Mapping(e) => Some(e),
             PipelineError::Sim(e) => Some(e),
+            PipelineError::StageOrder { .. } => None,
         }
     }
 }

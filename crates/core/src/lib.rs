@@ -20,10 +20,17 @@
 //!    the buffering strategy (Alg. 3) is the `accel-sim` crate's
 //!    `EvictionKind::InvalidOccupation` policy, configured from here.
 //!
-//! [`Optimizer`] drives all three and lowers the result to an
-//! [`accel_sim::Program`] for evaluation; [`baselines`] implements the
-//! paper's comparison points (LS, CNN-P, IL-Pipe, Rammer, Ideal) on the same
-//! machinery so every strategy is measured identically.
+//! The stages are composed by the [`pipeline`] module: a [`PlanContext`]
+//! IR accumulates the artifacts (graph → DAG → schedule → mapping →
+//! program → stats) and each stage is a [`pipeline::Stage`] that records a
+//! wall-time + summary [`StageReport`]. [`Optimizer`] runs one
+//! [`pipeline::Pipeline`] per candidate granularity — up to
+//! [`OptimizerConfig::parallelism`] of them on concurrent scoped threads,
+//! with reductions in fixed candidate order so results are byte-identical
+//! for every thread count — and [`baselines`] expresses the paper's
+//! comparison points (LS, CNN-P, IL-Pipe, Rammer, Ideal) as different
+//! stage lists over the same machinery, so every strategy is measured
+//! identically.
 //!
 //! ```rust
 //! use atomic_dataflow::{Optimizer, OptimizerConfig};
@@ -43,6 +50,7 @@ mod error;
 mod lower;
 pub mod mapping;
 mod optimizer;
+pub mod pipeline;
 mod recovery;
 pub mod scheduler;
 
@@ -53,5 +61,6 @@ pub use error::PipelineError;
 pub use lower::{lower_remaining, lower_to_program, recovered_data_id, LowerOptions};
 pub use mapping::{Mapper, MappingConfig, MappingError};
 pub use optimizer::{OptimizeResult, Optimizer, OptimizerConfig, Strategy};
+pub use pipeline::{Pipeline, PlanContext, PlanOutcome, Stage, StageReport};
 pub use recovery::{run_with_recovery, RecoveryConfig, RecoveryOutcome};
 pub use scheduler::{Schedule, ScheduleError, ScheduleMode, Scheduler, SchedulerConfig};

@@ -1,7 +1,8 @@
 //! The end-to-end atomic-dataflow optimization pipeline (paper Fig. 4) and
 //! the [`Strategy`] dispatcher used by the experiment harness.
 
-use accel_sim::{Program, SimConfig, SimStats, Simulator};
+use accel_sim::{Program, SimConfig, SimStats};
+use ad_util::scoped_map;
 use dnn_graph::Graph;
 use engine_model::Dataflow;
 
@@ -9,8 +10,8 @@ use crate::atomgen::{self, AtomGenConfig, GenReport};
 use crate::atomic_dag::AtomicDag;
 use crate::baselines;
 use crate::error::PipelineError;
-use crate::lower::{lower_to_program, LowerOptions};
 use crate::mapping::{Mapper, MappingConfig};
+use crate::pipeline::{Pipeline, PlanContext, PlanOutcome, StageReport};
 use crate::scheduler::{Schedule, ScheduleMode, Scheduler, SchedulerConfig};
 
 /// Configuration of the full pipeline. Also consumed by the baselines so
@@ -34,6 +35,12 @@ pub struct OptimizerConfig {
     /// the full pipeline runs per scale, and the cheapest simulated solution
     /// is kept. Zero entries are skipped.
     pub search_targets: [usize; 3],
+    /// Worker threads for the candidate search (granularity-scale
+    /// pipelines, SA chains, baseline sub-searches). Purely an *execution*
+    /// knob: the candidate set is fixed by the configuration and reductions
+    /// always visit candidates in index order, so every value of this field
+    /// produces byte-identical results (1 = fully sequential, the default).
+    pub parallelism: usize,
 }
 
 impl OptimizerConfig {
@@ -52,6 +59,7 @@ impl OptimizerConfig {
             },
             mapping: MappingConfig::default(),
             search_targets: [24, 64, 160],
+            parallelism: 1,
         }
     }
 
@@ -83,6 +91,13 @@ impl OptimizerConfig {
         self
     }
 
+    /// Returns a copy with a different worker-thread count for the
+    /// candidate search (results are identical for every value).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Number of engines in the configured mesh.
     pub fn engines(&self) -> usize {
         self.sim.engines()
@@ -110,6 +125,9 @@ pub struct OptimizeResult {
     pub atoms: usize,
     /// Mean engine occupancy of the schedule.
     pub occupancy: f64,
+    /// Per-stage wall times and summaries of the winning candidate's
+    /// pipeline run (reporting only — never an input to planning).
+    pub stage_reports: Vec<StageReport>,
 }
 
 /// Drives atom generation → DAG scheduling → atom–engine mapping →
@@ -135,6 +153,7 @@ impl Optimizer {
     pub fn build_dag(&self, graph: &Graph) -> (GenReport, AtomicDag) {
         let mut gen_cfg = self.cfg.atomgen;
         gen_cfg.engines = self.cfg.engines();
+        gen_cfg.parallelism = self.cfg.parallelism;
         let report = atomgen::generate(graph, &gen_cfg, &self.cfg.sim.engine, self.cfg.dataflow);
         let dag = AtomicDag::build(
             graph,
@@ -185,17 +204,29 @@ impl Optimizer {
     /// or simulation of an inconsistent lowered schedule (the latter a bug,
     /// not a user error — surfaced rather than panicked for diagnosability).
     pub fn optimize(&self, graph: &Graph) -> Result<OptimizeResult, PipelineError> {
+        let targets: Vec<usize> = self
+            .cfg
+            .search_targets
+            .iter()
+            .copied()
+            .filter(|&t| t != 0)
+            .collect();
+        // One full candidate pipeline per granularity scale, evaluated by up
+        // to `parallelism` worker threads. The candidate set is fixed by the
+        // config and the reduction below visits candidates in index order
+        // (strictly-cheaper wins, earliest index breaks ties), so the result
+        // is byte-identical for every thread count.
+        let candidates = scoped_map(targets.len(), self.cfg.parallelism, |i| {
+            self.optimize_at(graph, targets[i], self.cfg.schedule_mode)
+        });
         let mut best: Option<(usize, OptimizeResult)> = None;
-        for target in self.cfg.search_targets {
-            if target == 0 {
-                continue;
-            }
-            let candidate = self.optimize_at(graph, target, self.cfg.schedule_mode)?;
+        for (target, candidate) in targets.iter().zip(candidates) {
+            let candidate = candidate?;
             if best
                 .as_ref()
                 .is_none_or(|(_, b)| candidate.stats.total_cycles < b.stats.total_cycles)
             {
-                best = Some((target, candidate));
+                best = Some((*target, candidate));
             }
         }
         let Some((best_target, mut best)) = best else {
@@ -218,21 +249,25 @@ impl Optimizer {
         Ok(best)
     }
 
-    /// One pass of the pipeline at a fixed granularity scale and ordering.
+    /// One pass of the staged pipeline ([`Pipeline::standard`]) at a fixed
+    /// granularity scale and ordering.
     fn optimize_at(
         &self,
         graph: &Graph,
         target: usize,
         mode: ScheduleMode,
     ) -> Result<OptimizeResult, PipelineError> {
-        let mut sub = self.cfg;
-        sub.atomgen.target_atoms_per_layer = target;
-        sub.schedule_mode = mode;
-        let inner = Optimizer::new(sub);
-        let (gen_report, dag) = inner.build_dag(graph);
-        let (sched, mapped) = inner.schedule_and_map(&dag)?;
-        let program = lower_to_program(&dag, &mapped, &LowerOptions::default());
-        let stats = Simulator::new(self.cfg.sim).run(&program)?;
+        let mut ctx = PlanContext::new(graph, self.cfg);
+        Pipeline::standard(Some(target), Some(mode)).run(&mut ctx)?;
+        let missing = |m: &'static str| PipelineError::StageOrder {
+            stage: "optimize",
+            missing: m,
+        };
+        let gen_report = ctx.gen_report.take().ok_or_else(|| missing("gen report"))?;
+        let dag = ctx.dag.take().ok_or_else(|| missing("dag"))?;
+        let sched = ctx.schedule.take().ok_or_else(|| missing("schedule"))?;
+        let program = ctx.program.take().ok_or_else(|| missing("program"))?;
+        let stats = ctx.stats.take().ok_or_else(|| missing("stats"))?;
         Ok(OptimizeResult {
             occupancy: sched.occupancy(self.cfg.engines()),
             rounds: sched.len(),
@@ -240,6 +275,7 @@ impl Optimizer {
             program,
             stats,
             gen_report,
+            stage_reports: ctx.reports,
         })
     }
 }
@@ -297,13 +333,34 @@ impl Strategy {
     /// Propagates a [`PipelineError`] from the strategy implementations
     /// (schedule-integrity failures are bugs if they ever fire).
     pub fn run(&self, graph: &Graph, cfg: &OptimizerConfig) -> Result<SimStats, PipelineError> {
+        Ok(self.run_detailed(graph, cfg)?.stats)
+    }
+
+    /// Like [`Strategy::run`], but also returns the per-stage wall times
+    /// and summaries of the strategy's pipeline (for the winning candidate,
+    /// where the strategy searches over candidates).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Strategy::run`].
+    pub fn run_detailed(
+        &self,
+        graph: &Graph,
+        cfg: &OptimizerConfig,
+    ) -> Result<PlanOutcome, PipelineError> {
         match self {
-            Strategy::AtomicDataflow => Ok(Optimizer::new(*cfg).optimize(graph)?.stats),
-            Strategy::LayerSequential => baselines::ls::run(graph, cfg),
-            Strategy::CnnPartition => baselines::cnn_p::run(graph, cfg),
-            Strategy::IlPipe => baselines::il_pipe::run(graph, cfg),
-            Strategy::Rammer => baselines::rammer::run(graph, cfg),
-            Strategy::Ideal => Ok(baselines::ideal::run(graph, cfg)),
+            Strategy::AtomicDataflow => {
+                let r = Optimizer::new(*cfg).optimize(graph)?;
+                Ok(PlanOutcome {
+                    stats: r.stats,
+                    reports: r.stage_reports,
+                })
+            }
+            Strategy::LayerSequential => baselines::ls::run_detailed(graph, cfg),
+            Strategy::CnnPartition => baselines::cnn_p::run_detailed(graph, cfg),
+            Strategy::IlPipe => baselines::il_pipe::run_detailed(graph, cfg),
+            Strategy::Rammer => baselines::rammer::run_detailed(graph, cfg),
+            Strategy::Ideal => baselines::ideal::run_detailed(graph, cfg),
         }
     }
 }

@@ -6,24 +6,22 @@
 //! while the dead engine owes no tasks and held no datum's last copy. When
 //! a death *is* fatal it stops at the round barrier and hands back a
 //! [`FailureReport`](accel_sim::FailureReport). This module is the layer
-//! above that report: it marks the surviving results done, retires the dead
-//! engine from the [`Mapper`], re-rounds the remaining atoms with
-//! [`Scheduler::schedule_remaining`] at the reduced engine count, re-lowers
-//! them with [`lower_remaining`] (completed producers become DRAM-resident
-//! externals) and re-runs — repeating until the workload completes or
-//! recovery is exhausted. Statistics of every attempt, including the wasted
-//! partial runs, are merged so latency/energy overheads are honest.
+//! above that report: it marks the surviving results done in a shared
+//! [`PlanContext`], retires the dead engine, and re-runs the optimizer's
+//! own [`Pipeline::replan`] stage suffix (schedule → map → lower) over the
+//! surviving engine count — completed producers become DRAM-resident
+//! externals — repeating until the workload completes or recovery is
+//! exhausted. Statistics of every attempt, including the wasted partial
+//! runs, are merged so latency/energy overheads are honest.
 
 use std::collections::BTreeSet;
 
 use accel_sim::{FaultEvent, FaultKind, FaultPlan, FaultedOutcome, SimError, SimStats, Simulator};
 
-use crate::atomic_dag::{AtomId, AtomicDag};
+use crate::atomic_dag::AtomicDag;
 use crate::error::PipelineError;
-use crate::lower::{lower_remaining, LowerOptions};
-use crate::mapping::Mapper;
 use crate::optimizer::OptimizerConfig;
-use crate::scheduler::{Scheduler, SchedulerConfig};
+use crate::pipeline::{Pipeline, PlanContext};
 
 /// Recovery policy for fault-injected runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,8 +100,12 @@ pub fn run_with_recovery(
 ) -> Result<RecoveryOutcome, PipelineError> {
     let n = dag.atom_count();
     let sim = Simulator::new(cfg.sim);
-    let mut done = vec![false; n];
-    let mut dead: Vec<usize> = Vec::new();
+    // One shared context re-planned per attempt through the optimizer's own
+    // schedule → map → lower stage suffix: the `done` mask and the
+    // dead-engine list persist across attempts, the plan artifacts reset.
+    let mut ctx = PlanContext::for_dag(dag.clone(), *cfg);
+    ctx.done = vec![false; n];
+    let replan = Pipeline::replan();
     let mut merged: Option<SimStats> = None;
     let mut attempts = 0usize;
     let mut remap_rounds = 0u64;
@@ -111,32 +113,16 @@ pub fn run_with_recovery(
 
     loop {
         attempts += 1;
-        let alive = cfg.engines() - dead.len();
-        let sched = Scheduler::new(
-            dag,
-            SchedulerConfig {
-                engines: alive,
-                mode: cfg.schedule_mode,
-            },
-        )
-        .schedule_remaining(&done)?;
+        ctx.reset_plan();
+        replan.run(&mut ctx)?;
         if attempts > 1 {
-            remap_rounds += sched.len() as u64;
+            remap_rounds += ctx.require_schedule("recovery")?.len() as u64;
         }
-        let mut mapper = Mapper::new(cfg.sim.mesh, cfg.mapping);
-        for &e in &dead {
-            mapper.kill_engine(e);
-        }
-        let mapped: Vec<Vec<(AtomId, usize)>> = sched
-            .rounds
-            .iter()
-            .map(|r| mapper.map_round(dag, r))
-            .collect::<Result<_, _>>()?;
-        let program = lower_remaining(dag, &mapped, &LowerOptions::default(), &done);
+        let program = ctx.require_program("recovery")?;
         // Atom behind each of this attempt's (dense, re-assigned) task ids.
-        let atom_of: Vec<usize> = (0..n).filter(|i| !done[*i]).collect();
+        let atom_of: Vec<usize> = (0..n).filter(|i| !ctx.done[*i]).collect();
 
-        match sim.run_faulted(&program, &attempt_plan(plan, elapsed, &dead))? {
+        match sim.run_faulted(program, &attempt_plan(plan, elapsed, &ctx.dead_engines))? {
             FaultedOutcome::Completed(stats) => {
                 let final_deg = stats.degradation;
                 let mut total = match merged.take() {
@@ -146,19 +132,20 @@ pub fn run_with_recovery(
                 // Merging sums per-attempt counters, but persistent faults
                 // are re-injected into every retry; rebuild the structural
                 // counts from the final attempt + the retired-engine list.
-                total.degradation.engine_failures = dead.len() as u64 + final_deg.engine_failures;
+                total.degradation.engine_failures =
+                    ctx.dead_engines.len() as u64 + final_deg.engine_failures;
                 total.degradation.dead_links = final_deg.dead_links;
                 total.degradation.remap_rounds = remap_rounds;
                 total.degradation.rerun_tasks = (total.tasks as u64).saturating_sub(n as u64);
                 return Ok(RecoveryOutcome {
                     stats: total,
                     attempts,
-                    failed_engines: dead,
+                    failed_engines: ctx.dead_engines,
                 });
             }
             FaultedOutcome::Failed(report) => {
                 let exhausted = recovery.max_attempts != 0 && attempts >= recovery.max_attempts;
-                if !recovery.enabled || exhausted || dead.contains(&report.engine) {
+                if !recovery.enabled || exhausted || ctx.dead_engines.contains(&report.engine) {
                     return Err(PipelineError::Sim(SimError::EngineFailed {
                         engine: report.engine,
                         cycle: report.cycle,
@@ -168,11 +155,11 @@ pub fn run_with_recovery(
                 let lost: BTreeSet<_> = report.lost.iter().copied().collect();
                 for t in &report.completed {
                     if !lost.contains(t) {
-                        done[atom_of[t.0 as usize]] = true;
+                        ctx.done[atom_of[t.0 as usize]] = true;
                     }
                 }
                 elapsed += report.cycle;
-                dead.push(report.engine);
+                ctx.dead_engines.push(report.engine);
                 merged = Some(match merged.take() {
                     Some(m) => m.merge(&report.partial),
                     None => report.partial,

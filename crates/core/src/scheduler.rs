@@ -972,4 +972,41 @@ mod tests {
         let all = vec![true; d.atom_count()];
         assert!(s.schedule_remaining(&all).unwrap().is_empty());
     }
+
+    #[test]
+    fn schedule_remaining_edge_masks_hold_in_every_mode() {
+        // Regression: the recovery pipeline calls `schedule_remaining` with
+        // whatever mask the previous attempt left behind; the empty and
+        // all-done extremes must stay well-formed in every search mode.
+        let (_, d) = dag(1, 8);
+        let all = vec![true; d.atom_count()];
+        for cfg in [
+            SchedulerConfig::greedy(4),
+            SchedulerConfig::dp(4),
+            SchedulerConfig {
+                engines: 4,
+                mode: ScheduleMode::LayerOrder,
+            },
+        ] {
+            let s = Scheduler::new(&d, cfg);
+            // Empty mask ≡ a fresh full schedule.
+            let fresh = s.schedule_remaining(&[]).unwrap();
+            assert_eq!(fresh, s.schedule().unwrap(), "{cfg:?}");
+            check_valid(&d, &fresh, 4);
+            // All-done mask: a valid empty schedule, not an error.
+            let none = s.schedule_remaining(&all).unwrap();
+            assert!(none.is_empty(), "{cfg:?}");
+            assert_eq!(none.len(), 0);
+            assert_eq!(none.occupancy(4), 0.0, "empty occupancy must be finite");
+        }
+        // Zero engines is still a typed error regardless of the mask.
+        let zero = Scheduler::new(
+            &d,
+            SchedulerConfig {
+                engines: 0,
+                mode: ScheduleMode::PriorityGreedy,
+            },
+        );
+        assert_eq!(zero.schedule_remaining(&all), Err(ScheduleError::NoEngines));
+    }
 }

@@ -13,10 +13,15 @@
 //!   are reproducible across platforms given the seed.
 //! - [`cast`] — contract-checked narrowing casts for index-shaped values,
 //!   replacing bare `as` casts in the planning/sim crates (ad-lint C1).
+//! - [`par`] — deterministic scoped fan-out ([`par::scoped_map`]) for the
+//!   planning pipeline's parallel candidate search: results come back in
+//!   index order regardless of the worker-thread count.
 
 pub mod cast;
 pub mod json;
+pub mod par;
 pub mod rng;
 
 pub use json::{Json, JsonError};
+pub use par::scoped_map;
 pub use rng::Rng64;

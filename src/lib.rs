@@ -25,8 +25,8 @@ pub mod prelude {
     };
     pub use atomic_dataflow::{
         baselines, run_with_recovery, AtomGenConfig, AtomGenMode, MappingConfig, Optimizer,
-        OptimizerConfig, PipelineError, RecoveryConfig, RecoveryOutcome, ScheduleMode,
-        SchedulerConfig, Strategy,
+        OptimizerConfig, Pipeline, PipelineError, PlanContext, PlanOutcome, RecoveryConfig,
+        RecoveryOutcome, ScheduleMode, SchedulerConfig, Stage, StageReport, Strategy,
     };
     pub use dnn_graph::{models, Graph, Layer, LayerId, OpKind};
     pub use engine_model::{ConvTask, CostEstimate, Dataflow, EngineConfig};

@@ -44,6 +44,29 @@ fn il_pipe_baseline_is_deterministic_across_runs() {
     assert_eq!(a.to_json().to_compact(), b.to_json().to_compact());
 }
 
+/// Threaded candidate search is an execution detail: the same seed at
+/// `parallelism = 4` must serialize byte-identically to the sequential
+/// run, schedules included.
+#[test]
+fn optimizer_is_deterministic_across_thread_counts() {
+    let g = models::tiny_branchy();
+    let cfg = OptimizerConfig::fast_test().with_batch(2);
+    let a = Optimizer::new(cfg.with_parallelism(1))
+        .optimize(&g)
+        .unwrap();
+    let b = Optimizer::new(cfg.with_parallelism(4))
+        .optimize(&g)
+        .unwrap();
+    assert_eq!(
+        a.stats.to_json().to_compact(),
+        b.stats.to_json().to_compact(),
+        "thread count leaked into the statistics"
+    );
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.atoms, b.atoms);
+    assert_eq!(a.program.rounds(), b.program.rounds());
+}
+
 /// Recovery replans after an injected engine failure; the replan path
 /// (schedule_remaining + remapping onto survivors) must be reproducible.
 #[test]
