@@ -1,9 +1,13 @@
-use std::collections::BTreeMap;
-
 use crate::program::{DataId, TaskId};
 
 /// Identity of a datum that can reside in an engine's global buffer: either
 /// a task output (an atom's ofmap) or an external datum (weights, inputs).
+///
+/// The simulator interns every datum a program touches into a dense *slot*
+/// (`u32`): task outputs first (slot = task index), then external data in
+/// ascending [`DataId`] order. That numbering is exactly this enum's derived
+/// `Ord` (all `Task` sort before all `Ext`), so slot order reproduces the
+/// ordered-map iteration the runtime previously relied on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Datum {
     /// Output of a task.
@@ -38,13 +42,16 @@ struct Entry {
 
 /// Contents of one engine's global buffer.
 ///
-/// Entries are keyed by [`Datum`] in a deterministic (ordered) map so victim
-/// selection is reproducible across runs.
+/// Entries are keyed by the runtime's dense datum slot (see [`Datum`]) and
+/// kept sorted by slot, so iteration and victim tie-breaking are
+/// deterministic and identical to the ordered-map layout this replaced,
+/// while lookups are allocation-free binary searches over a small, hot
+/// vector (buffers hold at most a few dozen tensors).
 #[derive(Debug, Clone)]
 pub struct BufferState {
     capacity: u64,
     used: u64,
-    entries: BTreeMap<Datum, Entry>,
+    entries: Vec<(u32, Entry)>,
 }
 
 impl BufferState {
@@ -53,8 +60,12 @@ impl BufferState {
         Self {
             capacity,
             used: 0,
-            entries: BTreeMap::new(),
+            entries: Vec::new(),
         }
+    }
+
+    fn find(&self, slot: u32) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&slot, |(s, _)| *s)
     }
 
     /// Capacity in bytes.
@@ -72,9 +83,9 @@ impl BufferState {
         self.capacity - self.used
     }
 
-    /// Whether the buffer holds `datum`.
-    pub fn contains(&self, datum: &Datum) -> bool {
-        self.entries.contains_key(datum)
+    /// Whether the buffer holds `slot`.
+    pub fn contains(&self, slot: u32) -> bool {
+        self.find(slot).is_ok()
     }
 
     /// Number of resident entries.
@@ -87,12 +98,12 @@ impl BufferState {
         self.entries.is_empty()
     }
 
-    /// Iterates over resident data.
-    pub fn data(&self) -> impl Iterator<Item = (&Datum, u64)> {
-        self.entries.iter().map(|(d, e)| (d, e.bytes))
+    /// Iterates over resident data in ascending slot order.
+    pub fn data(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.entries.iter().map(|(s, e)| (*s, e.bytes))
     }
 
-    /// Inserts `datum`; the caller must have made room first. `next_use` is
+    /// Inserts `slot`; the caller must have made room first. `next_use` is
     /// the round of the datum's next anticipated consumption (`u64::MAX`
     /// when unknown/never).
     ///
@@ -100,60 +111,67 @@ impl BufferState {
     ///
     /// Panics (debug) if the entry does not fit — the simulator always calls
     /// [`BufferState::pick_victims`] until it does.
-    pub fn insert(&mut self, datum: Datum, bytes: u64, round: u64, next_use: u64) {
+    pub fn insert(&mut self, slot: u32, bytes: u64, round: u64, next_use: u64) {
         debug_assert!(
             self.used + bytes <= self.capacity,
             "buffer overflow on insert"
         );
-        if let Some(prev) = self.entries.insert(
-            datum,
-            Entry {
-                bytes,
-                inserted_at: round,
-                last_used: round,
-                next_use,
-            },
-        ) {
-            self.used -= prev.bytes;
+        let entry = Entry {
+            bytes,
+            inserted_at: round,
+            last_used: round,
+            next_use,
+        };
+        match self.find(slot) {
+            Ok(i) => {
+                self.used -= self.entries[i].1.bytes;
+                self.entries[i].1 = entry;
+            }
+            Err(i) => self.entries.insert(i, (slot, entry)),
         }
         self.used += bytes;
     }
 
-    /// Marks `datum` as used at `round` and refreshes its next-use estimate
+    /// Marks `slot` as used at `round` and refreshes its next-use estimate
     /// (for LRU and invalid-occupation bookkeeping).
-    pub fn touch(&mut self, datum: &Datum, round: u64, next_use: u64) {
-        if let Some(e) = self.entries.get_mut(datum) {
+    pub fn touch(&mut self, slot: u32, round: u64, next_use: u64) {
+        if let Ok(i) = self.find(slot) {
+            let e = &mut self.entries[i].1;
             e.last_used = round;
             e.next_use = next_use;
         }
     }
 
-    /// Removes `datum`, returning its size if it was resident.
-    pub fn remove(&mut self, datum: &Datum) -> Option<u64> {
-        self.entries.remove(datum).map(|e| {
-            self.used -= e.bytes;
-            e.bytes
-        })
+    /// Removes `slot`, returning its size if it was resident.
+    pub fn remove(&mut self, slot: u32) -> Option<u64> {
+        match self.find(slot) {
+            Ok(i) => {
+                let (_, e) = self.entries.remove(i);
+                self.used -= e.bytes;
+                Some(e.bytes)
+            }
+            Err(_) => None,
+        }
     }
 
     /// Selects victims freeing at least `deficit` bytes, in eviction order,
     /// according to `kind` (one scan — Alg. 3 evaluated over the buffer).
     ///
-    /// `now` is the current round; `pinned(d)` marks entries that must stay
-    /// (operands/outputs of the executing round). May free fewer bytes than
-    /// requested when everything else is pinned.
+    /// `now` is the current round; `pinned(slot)` marks entries that must
+    /// stay (operands/outputs of the executing round). May free fewer bytes
+    /// than requested when everything else is pinned.
     pub fn pick_victims(
         &self,
         kind: EvictionKind,
         now: u64,
         deficit: u64,
-        pinned: &dyn Fn(&Datum) -> bool,
-    ) -> Vec<Datum> {
-        let mut scored: Vec<(u128, Datum, u64)> = self
+        pinned: &dyn Fn(u32) -> bool,
+    ) -> Vec<u32> {
+        let mut scored: Vec<(u128, u32, u64)> = self
             .entries
             .iter()
-            .filter(|(d, _)| !pinned(d))
-            .map(|(d, e)| {
+            .filter(|(s, _)| !pinned(*s))
+            .map(|(s, e)| {
                 let score: u128 = match kind {
                     EvictionKind::InvalidOccupation => {
                         // Alg. 3: invalid occupation = wait-time × size.
@@ -169,18 +187,18 @@ impl BufferState {
                     EvictionKind::Lru => u128::MAX - e.last_used as u128,
                     EvictionKind::Fifo => u128::MAX - e.inserted_at as u128,
                 };
-                (score, *d, e.bytes)
+                (score, *s, e.bytes)
             })
             .collect();
         scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         let mut out = Vec::new();
         let mut freed = 0u64;
-        for (_, d, bytes) in scored {
+        for (_, s, bytes) in scored {
             if freed >= deficit {
                 break;
             }
             freed += bytes;
-            out.push(d);
+            out.push(s);
         }
         out
     }
@@ -190,82 +208,88 @@ impl BufferState {
 mod tests {
     use super::*;
 
-    fn td(i: u32) -> Datum {
-        Datum::Task(TaskId(i))
-    }
-
     const NEVER: u64 = u64::MAX;
 
     #[test]
     fn insert_remove_accounting() {
         let mut b = BufferState::new(100);
-        b.insert(td(0), 40, 0, NEVER);
-        b.insert(td(1), 30, 1, NEVER);
+        b.insert(0, 40, 0, NEVER);
+        b.insert(1, 30, 1, NEVER);
         assert_eq!(b.used(), 70);
         assert_eq!(b.free(), 30);
-        assert_eq!(b.remove(&td(0)), Some(40));
+        assert_eq!(b.remove(0), Some(40));
         assert_eq!(b.used(), 30);
-        assert_eq!(b.remove(&td(0)), None);
+        assert_eq!(b.remove(0), None);
     }
 
     #[test]
     fn reinsert_replaces() {
         let mut b = BufferState::new(100);
-        b.insert(td(0), 40, 0, NEVER);
-        b.insert(td(0), 60, 1, NEVER);
+        b.insert(0, 40, 0, NEVER);
+        b.insert(0, 60, 1, NEVER);
         assert_eq!(b.used(), 60);
         assert_eq!(b.len(), 1);
     }
 
     #[test]
+    fn entries_iterate_in_slot_order() {
+        let mut b = BufferState::new(100);
+        b.insert(7, 10, 0, NEVER);
+        b.insert(2, 10, 0, NEVER);
+        b.insert(5, 10, 0, NEVER);
+        let slots: Vec<u32> = b.data().map(|(s, _)| s).collect();
+        assert_eq!(slots, vec![2, 5, 7]);
+    }
+
+    #[test]
     fn invalid_occupation_prefers_long_wait_large_size() {
         let mut b = BufferState::new(1000);
-        b.insert(td(0), 100, 0, 1); // occupation ~ 2*100
-        b.insert(td(1), 100, 0, 9); // occupation ~ 10*100
-        b.insert(td(2), 10, 0, 9); // occupation ~ 10*10
+        b.insert(0, 100, 0, 1); // occupation ~ 2*100
+        b.insert(1, 100, 0, 9); // occupation ~ 10*100
+        b.insert(2, 10, 0, 9); // occupation ~ 10*10
         let v = b.pick_victims(EvictionKind::InvalidOccupation, 0, 1, &|_| false);
-        assert_eq!(v, vec![td(1)]);
+        assert_eq!(v, vec![1]);
     }
 
     #[test]
     fn never_used_again_evicted_first() {
         let mut b = BufferState::new(1000);
-        b.insert(td(0), 500, 0, 1);
-        b.insert(td(1), 1, 0, NEVER); // tiny, but dead
+        b.insert(0, 500, 0, 1);
+        b.insert(1, 1, 0, NEVER); // tiny, but dead
         let v = b.pick_victims(EvictionKind::InvalidOccupation, 0, 1, &|_| false);
-        assert_eq!(v, vec![td(1)]);
+        assert_eq!(v, vec![1]);
     }
 
     #[test]
     fn batch_eviction_frees_enough() {
         let mut b = BufferState::new(1000);
-        for i in 0..5 {
-            b.insert(td(i), 100, 0, 5 + i as u64);
+        for i in 0..5u32 {
+            b.insert(i, 100, 0, 5 + u64::from(i));
         }
         let v = b.pick_victims(EvictionKind::InvalidOccupation, 0, 250, &|_| false);
         // 3 victims of 100 bytes each cover the 250-byte deficit.
         assert_eq!(v.len(), 3);
         // Longest-wait entries go first.
-        assert_eq!(v[0], td(4));
+        assert_eq!(v[0], 4);
     }
 
     #[test]
     fn lru_and_fifo_orders() {
         let mut b = BufferState::new(1000);
-        b.insert(td(0), 10, 0, NEVER);
-        b.insert(td(1), 10, 1, NEVER);
-        b.touch(&td(0), 5, NEVER);
+        b.insert(0, 10, 0, NEVER);
+        b.insert(1, 10, 1, NEVER);
+        b.touch(0, 5, NEVER);
         let lru = b.pick_victims(EvictionKind::Lru, 6, 1, &|_| false);
-        assert_eq!(lru, vec![td(1)]); // td(0) touched more recently
+        assert_eq!(lru, vec![1]); // slot 0 touched more recently
         let fifo = b.pick_victims(EvictionKind::Fifo, 6, 1, &|_| false);
-        assert_eq!(fifo, vec![td(0)]); // inserted first
+        assert_eq!(fifo, vec![0]); // inserted first
     }
 
     #[test]
     fn pinned_entries_never_chosen() {
         let mut b = BufferState::new(1000);
-        b.insert(td(0), 10, 0, NEVER);
-        let v = b.pick_victims(EvictionKind::Lru, 1, 1, &|d| *d == td(0));
+        b.insert(0, 10, 0, NEVER);
+        let v = b.pick_victims(EvictionKind::Lru, 1, 1, &|s| s == 0);
         assert!(v.is_empty());
     }
 
@@ -279,9 +303,9 @@ mod tests {
         assert!(b
             .pick_victims(EvictionKind::InvalidOccupation, 0, 1, &|_| false)
             .is_empty());
-        assert_eq!(b.remove(&td(0)), None);
-        assert!(!b.contains(&td(0)));
-        b.touch(&td(0), 0, NEVER); // no-op, must not panic
+        assert_eq!(b.remove(0), None);
+        assert!(!b.contains(0));
+        b.touch(0, 0, NEVER); // no-op, must not panic
         assert_eq!(b.used(), 0);
     }
 
@@ -292,14 +316,14 @@ mod tests {
         // unpinned entry (and no more), leaving the shortfall to the
         // caller's spill path.
         let mut b = BufferState::new(100);
-        b.insert(td(0), 40, 0, 5);
-        b.insert(td(1), 30, 0, 9);
-        b.insert(td(2), 20, 0, NEVER);
-        let v = b.pick_victims(EvictionKind::InvalidOccupation, 0, 10_000, &|d| *d == td(1));
+        b.insert(0, 40, 0, 5);
+        b.insert(1, 30, 0, 9);
+        b.insert(2, 20, 0, NEVER);
+        let v = b.pick_victims(EvictionKind::InvalidOccupation, 0, 10_000, &|s| s == 1);
         assert_eq!(v.len(), 2);
-        assert!(v.contains(&td(0)) && v.contains(&td(2)));
+        assert!(v.contains(&0) && v.contains(&2));
         assert!(
-            !v.contains(&td(1)),
+            !v.contains(&1),
             "pinned entries stay even under an impossible deficit"
         );
     }
@@ -307,23 +331,32 @@ mod tests {
     #[test]
     fn exact_fit_insert_uses_full_capacity() {
         let mut b = BufferState::new(100);
-        b.insert(td(0), 100, 0, NEVER);
+        b.insert(0, 100, 0, NEVER);
         assert_eq!(b.free(), 0);
         assert_eq!(b.used(), 100);
         // Evicting it restores the full capacity.
-        assert_eq!(b.remove(&td(0)), Some(100));
+        assert_eq!(b.remove(0), Some(100));
         assert_eq!(b.free(), 100);
     }
 
     #[test]
     fn touch_refreshes_next_use() {
         let mut b = BufferState::new(1000);
-        b.insert(td(0), 10, 0, 2);
-        b.insert(td(1), 10, 0, 50);
-        // After round 2, td(0)'s next use moves out to round 100: it now
-        // out-waits td(1).
-        b.touch(&td(0), 2, 100);
+        b.insert(0, 10, 0, 2);
+        b.insert(1, 10, 0, 50);
+        // After round 2, slot 0's next use moves out to round 100: it now
+        // out-waits slot 1.
+        b.touch(0, 2, 100);
         let v = b.pick_victims(EvictionKind::InvalidOccupation, 3, 1, &|_| false);
-        assert_eq!(v, vec![td(0)]);
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn datum_order_matches_slot_numbering() {
+        // The runtime numbers task outputs before externals; the enum's
+        // derived order must agree so slot order == former map order.
+        assert!(Datum::Task(TaskId(u32::MAX)) < Datum::Ext(DataId(0)));
+        assert!(Datum::Task(TaskId(1)) < Datum::Task(TaskId(2)));
+        assert!(Datum::Ext(DataId(1)) < Datum::Ext(DataId(2)));
     }
 }

@@ -1,10 +1,9 @@
-use std::collections::BTreeMap;
-
+use ad_util::cast::u32_from_usize;
 use engine_model::EngineConfig;
 use mem_model::{HbmConfig, HbmModel};
 use noc_model::{LinkFaults, MeshConfig, TrafficTracker};
 
-use crate::buffer::{BufferState, Datum, EvictionKind};
+use crate::buffer::{BufferState, EvictionKind};
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::program::{Operand, Program, ProgramError, TaskId};
 use crate::stats::{DegradationStats, EnergyBreakdown, SimStats};
@@ -257,15 +256,32 @@ impl Simulator {
 }
 
 /// Mutable simulation state for one run.
+///
+/// Every datum the program touches is interned into a dense *slot* at
+/// construction: task outputs first (slot = task index), then external data
+/// in ascending `DataId` order. Slot order therefore matches
+/// [`crate::buffer::Datum`]'s derived `Ord`, so the flat tables below
+/// iterate in exactly the order the former ordered maps did — determinism
+/// is preserved by construction while lookups become O(1) indexing.
 struct Runtime<'p> {
     cfg: &'p SimConfig,
     program: &'p Program,
     buffers: Vec<BufferState>,
-    locations: BTreeMap<Datum, Location>,
-    /// Remaining consumer references per datum.
-    remaining_uses: BTreeMap<Datum, u32>,
-    /// Sorted list of rounds in which each datum is consumed.
-    use_rounds: BTreeMap<Datum, Vec<u64>>,
+    /// Number of tasks = first external slot.
+    n_tasks: usize,
+    /// Where each slot's datum currently lives; meaningful only where
+    /// `loc_present` is set (a cleared slot keeps its allocation).
+    locations: Vec<Location>,
+    loc_present: Vec<bool>,
+    /// Remaining consumer references per slot.
+    remaining_uses: Vec<u32>,
+    /// Sorted list of rounds in which each slot is consumed.
+    use_rounds: Vec<Vec<u64>>,
+    /// Per-task operand list as `(slot, bytes)`, precomputed once so the
+    /// hot path never re-resolves `Operand`s or clones input vectors.
+    inputs_dense: Vec<Vec<(u32, u64)>>,
+    /// Reusable pin list for the task being issued.
+    pinned_scratch: Vec<u32>,
     hbm: HbmModel,
     traffic: TrafficTracker,
     now: u64,
@@ -300,47 +316,72 @@ struct Runtime<'p> {
 impl<'p> Runtime<'p> {
     fn new(cfg: &'p SimConfig, program: &'p Program, plan: &FaultPlan) -> Self {
         let engines = cfg.engines();
-        let mut remaining_uses: BTreeMap<Datum, u32> = BTreeMap::new();
-        let mut use_rounds: BTreeMap<Datum, Vec<u64>> = BTreeMap::new();
+        let n_tasks = program.tasks().len();
+
+        // Intern external data ids: sorted ascending, so external slots
+        // (n_tasks..) preserve the `DataId` ordering of the former maps.
+        let mut ext_ids: Vec<u64> = Vec::new();
+        for task in program.tasks() {
+            for op in &task.inputs {
+                if let Operand::External { id, .. } = op {
+                    ext_ids.push(id.0);
+                }
+            }
+        }
+        ext_ids.sort_unstable();
+        ext_ids.dedup();
+        let slots = n_tasks + ext_ids.len();
+
+        let slot_of = |op: &Operand| -> u32 {
+            match op {
+                Operand::Task { producer, .. } => producer.0,
+                Operand::External { id, .. } => {
+                    // Present by construction: every external id was
+                    // collected into `ext_ids` above.
+                    let rank = ext_ids.binary_search(&id.0).unwrap_or(0);
+                    u32_from_usize(n_tasks + rank)
+                }
+            }
+        };
+        let inputs_dense: Vec<Vec<(u32, u64)>> = program
+            .tasks()
+            .iter()
+            .map(|t| {
+                t.inputs
+                    .iter()
+                    .map(|op| (slot_of(op), op.bytes()))
+                    .collect()
+            })
+            .collect();
 
         // Which round does each task run in? (Validated: exactly one.)
-        let mut task_round = vec![0u64; program.tasks().len()];
+        let mut task_round = vec![0u64; n_tasks];
         for (r, round) in program.rounds().iter().enumerate() {
             for (tid, _) in round {
                 task_round[tid.index()] = r as u64;
             }
         }
-        for (r, round) in program.rounds().iter().enumerate() {
-            let _ = r;
+        let mut remaining_uses = vec![0u32; slots];
+        let mut use_rounds: Vec<Vec<u64>> = vec![Vec::new(); slots];
+        for round in program.rounds() {
             for (tid, _) in round {
-                for op in &program.task(*tid).inputs {
-                    let datum = match op {
-                        Operand::Task { producer, .. } => Datum::Task(*producer),
-                        Operand::External { id, .. } => Datum::Ext(*id),
-                    };
-                    *remaining_uses.entry(datum).or_insert(0) += 1;
-                    use_rounds
-                        .entry(datum)
-                        .or_default()
-                        .push(task_round[tid.index()]);
+                for &(slot, _) in &inputs_dense[tid.index()] {
+                    remaining_uses[slot as usize] += 1;
+                    use_rounds[slot as usize].push(task_round[tid.index()]);
                 }
             }
         }
-        for rounds in use_rounds.values_mut() {
+        for rounds in &mut use_rounds {
             rounds.sort_unstable();
         }
 
         // External data starts in DRAM.
-        let mut locations: BTreeMap<Datum, Location> = BTreeMap::new();
-        for d in remaining_uses.keys() {
-            if matches!(d, Datum::Ext(_)) {
-                locations.insert(
-                    *d,
-                    Location {
-                        engines: Vec::new(),
-                        in_dram: true,
-                    },
-                );
+        let mut locations = vec![Location::default(); slots];
+        let mut loc_present = vec![false; slots];
+        for slot in n_tasks..slots {
+            if remaining_uses[slot] > 0 {
+                loc_present[slot] = true;
+                locations[slot].in_dram = true;
             }
         }
 
@@ -350,9 +391,13 @@ impl<'p> Runtime<'p> {
             buffers: (0..engines)
                 .map(|_| BufferState::new(cfg.engine.buffer_bytes))
                 .collect(),
+            n_tasks,
             locations,
+            loc_present,
             remaining_uses,
             use_rounds,
+            inputs_dense,
+            pinned_scratch: Vec::new(),
             hbm: HbmModel::new(cfg.hbm),
             traffic: TrafficTracker::new(cfg.mesh),
             now: 0,
@@ -418,22 +463,32 @@ impl<'p> Runtime<'p> {
     /// whose only copy lived here are returned as lost.
     fn kill_engine_copies(&mut self, engine: usize) -> Vec<TaskId> {
         let mut lost = Vec::new();
-        let resident: Vec<Datum> = self.buffers[engine].data().map(|(d, _)| *d).collect();
-        for datum in resident {
-            self.buffers[engine].remove(&datum);
-            if let Some(loc) = self.locations.get_mut(&datum) {
+        let resident: Vec<u32> = self.buffers[engine].data().map(|(s, _)| s).collect();
+        for slot in resident {
+            self.buffers[engine].remove(slot);
+            let s = slot as usize;
+            if self.loc_present[s] {
+                let loc = &mut self.locations[s];
                 loc.engines.retain(|e| *e != engine);
                 let gone = loc.engines.is_empty() && !loc.in_dram;
-                let needed = self.remaining_uses.get(&datum).copied().unwrap_or(0) > 0;
+                let needed = self.remaining_uses[s] > 0;
                 if gone && needed {
-                    if let Datum::Task(tid) = datum {
-                        lost.push(tid);
+                    if s < self.n_tasks {
+                        lost.push(TaskId(slot));
                     }
-                    self.locations.remove(&datum);
+                    self.clear_location(slot);
                 }
             }
         }
         lost
+    }
+
+    /// Drops slot `slot`'s location entry, keeping its allocation for reuse.
+    fn clear_location(&mut self, slot: u32) {
+        let s = slot as usize;
+        self.loc_present[s] = false;
+        self.locations[s].engines.clear();
+        self.locations[s].in_dram = false;
     }
 
     fn failure_report(&self, engine: usize, round: usize, lost: Vec<TaskId>) -> FailureReport {
@@ -448,12 +503,13 @@ impl<'p> Runtime<'p> {
     }
 
     fn execute(&mut self) -> Result<Option<FailureReport>, SimError> {
-        for r in 0..self.program.rounds().len() {
+        // Copy of the shared reference so round iteration does not hold a
+        // borrow of `self`.
+        let program = self.program;
+        for (r, assignments) in program.rounds().iter().enumerate() {
             self.round_idx = r as u64;
             let round_start = self.now;
             let mut round_end = round_start;
-
-            let assignments = self.program.rounds()[r].clone();
 
             // Faults land on round barriers. An engine failure stops the
             // run when it destroyed a needed datum's last copy, or when the
@@ -478,24 +534,23 @@ impl<'p> Runtime<'p> {
                 return Ok(Some(self.failure_report(engine, r, lost)));
             }
 
-            for (tid, engine) in &assignments {
-                let end = self.run_task(*tid, *engine, round_start)?;
+            for &(tid, engine) in assignments {
+                let end = self.run_task(tid, engine, round_start)?;
                 round_end = round_end.max(end);
             }
 
             // Consume references and release dead data (Alg. 3 lines 8-12:
             // atoms no longer needed leave the buffers without write-back).
-            for (tid, _) in &assignments {
-                let inputs = self.program.task(*tid).inputs.clone();
-                for op in inputs {
-                    let datum = match op {
-                        Operand::Task { producer, .. } => Datum::Task(producer),
-                        Operand::External { id, .. } => Datum::Ext(id),
-                    };
-                    if let Some(uses) = self.remaining_uses.get_mut(&datum) {
-                        *uses = uses.saturating_sub(1);
+            // A slot at zero has already been released (the maps used to
+            // drop the key entirely), so it is skipped, never re-released.
+            for &(tid, _) in assignments {
+                for k in 0..self.inputs_dense[tid.index()].len() {
+                    let slot = self.inputs_dense[tid.index()][k].0;
+                    let uses = &mut self.remaining_uses[slot as usize];
+                    if *uses > 0 {
+                        *uses -= 1;
                         if *uses == 0 {
-                            self.release(&datum);
+                            self.release(slot);
                         }
                     }
                 }
@@ -509,33 +564,34 @@ impl<'p> Runtime<'p> {
         Ok(None)
     }
 
-    /// Round of `datum`'s next consumption strictly after the current
+    /// Round of slot `slot`'s next consumption strictly after the current
     /// round (`u64::MAX` when never used again).
-    fn next_use(&self, datum: &Datum) -> u64 {
-        self.use_rounds
-            .get(datum)
-            .and_then(|rounds| {
-                let idx = rounds.partition_point(|&r| r <= self.round_idx);
-                rounds.get(idx).copied()
-            })
-            .unwrap_or(u64::MAX)
+    fn next_use(&self, slot: u32) -> u64 {
+        let rounds = &self.use_rounds[slot as usize];
+        let idx = rounds.partition_point(|&r| r <= self.round_idx);
+        rounds.get(idx).copied().unwrap_or(u64::MAX)
     }
 
     /// Releases every copy of a dead datum (no write-back).
-    fn release(&mut self, datum: &Datum) {
-        if let Some(loc) = self.locations.remove(datum) {
-            for e in loc.engines {
-                self.buffers[e].remove(datum);
+    fn release(&mut self, slot: u32) {
+        let s = slot as usize;
+        if self.loc_present[s] {
+            self.loc_present[s] = false;
+            self.locations[s].in_dram = false;
+            let mut engines = std::mem::take(&mut self.locations[s].engines);
+            for &e in &engines {
+                self.buffers[e].remove(slot);
             }
+            engines.clear();
+            self.locations[s].engines = engines;
         }
-        self.remaining_uses.remove(datum);
-        self.use_rounds.remove(datum);
+        self.remaining_uses[s] = 0;
+        self.use_rounds[s].clear();
     }
 
     /// Gathers operands and computes one task; returns its completion time.
     fn run_task(&mut self, tid: TaskId, engine: usize, round_start: u64) -> Result<u64, SimError> {
         let task = self.program.task(tid);
-        let inputs = task.inputs.clone();
         let compute_cycles = task.compute_cycles;
         let output_bytes = task.output_bytes;
         let dram_output = task.dram_output;
@@ -543,15 +599,12 @@ impl<'p> Runtime<'p> {
         self.macs_done += task.macs;
 
         // Pinned: this task's operands and its output must stay resident
-        // while the task runs.
-        let mut pinned: Vec<Datum> = inputs
-            .iter()
-            .map(|op| match op {
-                Operand::Task { producer, .. } => Datum::Task(*producer),
-                Operand::External { id, .. } => Datum::Ext(*id),
-            })
-            .collect();
-        pinned.push(Datum::Task(tid));
+        // while the task runs. Both lists are reused allocations.
+        let inputs = std::mem::take(&mut self.inputs_dense[tid.index()]);
+        let mut pinned = std::mem::take(&mut self.pinned_scratch);
+        pinned.clear();
+        pinned.extend(inputs.iter().map(|&(slot, _)| slot));
+        pinned.push(tid.0);
 
         self.task_noc_cycles = 0;
         self.task_dram_cycles = 0;
@@ -561,25 +614,26 @@ impl<'p> Runtime<'p> {
         // `max(last DRAM completion, end of NoC streaming)`.
         let mut noc_t = round_start;
         let mut dram_ready = round_start;
-        for op in &inputs {
-            let (datum, bytes) = match op {
-                Operand::Task { producer, bytes } => (Datum::Task(*producer), *bytes),
-                Operand::External { id, bytes } => (Datum::Ext(*id), *bytes),
-            };
+        let mut gather_err = None;
+        for &(slot, bytes) in &inputs {
             if bytes == 0 {
                 continue;
             }
-            let (new_noc_t, new_dram_ready) = self.gather(
-                datum,
-                bytes,
-                engine,
-                round_start,
-                noc_t,
-                dram_ready,
-                &pinned,
-            )?;
-            noc_t = new_noc_t;
-            dram_ready = new_dram_ready;
+            match self.gather(slot, bytes, engine, round_start, noc_t, dram_ready, &pinned) {
+                Ok((new_noc_t, new_dram_ready)) => {
+                    noc_t = new_noc_t;
+                    dram_ready = new_dram_ready;
+                }
+                Err(e) => {
+                    gather_err = Some(e);
+                    break;
+                }
+            }
+        }
+        self.inputs_dense[tid.index()] = inputs;
+        if let Some(e) = gather_err {
+            self.pinned_scratch = pinned;
+            return Err(e);
         }
 
         let gather_cycles = noc_t.max(dram_ready) - round_start;
@@ -603,61 +657,56 @@ impl<'p> Runtime<'p> {
 
         // Produce the output.
         if output_bytes > 0 {
-            let datum = Datum::Task(tid);
-            let has_consumers = self.remaining_uses.get(&datum).copied().unwrap_or(0) > 0;
+            let slot = tid.0;
+            let s = slot as usize;
+            let has_consumers = self.remaining_uses[s] > 0;
             if dram_output || !has_consumers {
                 // Straight to DRAM: CNN-P semantics, or a network output.
                 self.hbm.write(compute_end, output_bytes);
-                self.locations.insert(
-                    datum,
-                    Location {
-                        engines: Vec::new(),
-                        in_dram: true,
-                    },
-                );
+                self.set_location_dram(slot);
             } else if self.make_room(engine, output_bytes, compute_end, &pinned) {
-                let nu = self.next_use(&datum);
-                self.buffers[engine].insert(datum, output_bytes, self.round_idx, nu);
-                self.locations.insert(
-                    datum,
-                    Location {
-                        engines: vec![engine],
-                        in_dram: false,
-                    },
-                );
+                let nu = self.next_use(slot);
+                self.buffers[engine].insert(slot, output_bytes, self.round_idx, nu);
+                self.loc_present[s] = true;
+                self.locations[s].engines.clear();
+                self.locations[s].engines.push(engine);
+                self.locations[s].in_dram = false;
             } else {
                 // Does not fit even after eviction: spill to DRAM.
                 self.hbm.write(compute_end, output_bytes);
-                self.locations.insert(
-                    datum,
-                    Location {
-                        engines: Vec::new(),
-                        in_dram: true,
-                    },
-                );
+                self.set_location_dram(slot);
             }
         }
+        self.pinned_scratch = pinned;
         Ok(compute_end)
     }
 
-    /// Fetches `datum` to `engine`. `noc_t` is the engine port's streaming
-    /// frontier, `dram_ready` the latest DRAM completion; returns both
-    /// updated.
+    /// Marks slot `slot` as living only in DRAM.
+    fn set_location_dram(&mut self, slot: u32) {
+        let s = slot as usize;
+        self.loc_present[s] = true;
+        self.locations[s].engines.clear();
+        self.locations[s].in_dram = true;
+    }
+
+    /// Fetches slot `slot` to `engine`. `noc_t` is the engine port's
+    /// streaming frontier, `dram_ready` the latest DRAM completion; returns
+    /// both updated.
     #[allow(clippy::too_many_arguments)]
     fn gather(
         &mut self,
-        datum: Datum,
+        slot: u32,
         bytes: u64,
         engine: usize,
         round_start: u64,
         noc_t: u64,
         dram_ready: u64,
-        pinned: &[Datum],
+        pinned: &[u32],
     ) -> Result<(u64, u64), SimError> {
         // Local hit: free.
-        if self.buffers[engine].contains(&datum) {
-            let nu = self.next_use(&datum);
-            self.buffers[engine].touch(&datum, self.round_idx, nu);
+        if self.buffers[engine].contains(slot) {
+            let nu = self.next_use(slot);
+            self.buffers[engine].touch(slot, self.round_idx, nu);
             self.onchip_served += bytes;
             return Ok((noc_t, dram_ready));
         }
@@ -666,27 +715,32 @@ impl<'p> Runtime<'p> {
         // (unknown data is assumed DRAM-resident). Copies behind dead links
         // are skipped; if every copy is unreachable and there is no DRAM
         // fallback, the transfer is impossible.
-        let loc = self.locations.get(&datum);
-        let src = loc.and_then(|loc| {
-            loc.engines
+        let s = slot as usize;
+        let (src, stranded) = if self.loc_present[s] {
+            let loc = &self.locations[s];
+            let src = loc
+                .engines
                 .iter()
                 .copied()
-                .filter_map(|s| {
+                .filter_map(|src| {
                     self.cfg
                         .mesh
-                        .hops_avoiding(s, engine, &self.link_faults)
-                        .map(|h| (h, s))
+                        .hops_avoiding(src, engine, &self.link_faults)
+                        .map(|h| (h, src))
                 })
-                .min()
-        });
+                .min();
+            let stranded = if !loc.engines.is_empty() && !loc.in_dram {
+                Some(loc.engines[0])
+            } else {
+                None
+            };
+            (src, stranded)
+        } else {
+            (None, None)
+        };
         if src.is_none() {
-            if let Some(loc) = loc {
-                if !loc.engines.is_empty() && !loc.in_dram {
-                    return Err(SimError::Unroutable {
-                        from: loc.engines[0],
-                        to: engine,
-                    });
-                }
+            if let Some(from) = stranded {
+                return Err(SimError::Unroutable { from, to: engine });
             }
         }
 
@@ -696,8 +750,8 @@ impl<'p> Runtime<'p> {
             }
             let cycles = self.cfg.mesh.transfer_cycles(bytes, hops);
             self.traffic.record(src, engine, bytes);
-            let nu = self.next_use(&datum);
-            self.buffers[src].touch(&datum, self.round_idx, nu);
+            let nu = self.next_use(slot);
+            self.buffers[src].touch(slot, self.round_idx, nu);
             self.onchip_served += bytes;
             self.task_noc_cycles += cycles;
             (noc_t + cycles, dram_ready, noc_t + cycles)
@@ -711,11 +765,16 @@ impl<'p> Runtime<'p> {
         // Cache the copy locally only when the datum has uses beyond this
         // task (on this engine or as a NoC source for peers); last-use data
         // is streamed so it cannot evict reusable tensors.
-        let reused_later = self.remaining_uses.get(&datum).copied().unwrap_or(0) > 1;
+        let reused_later = self.remaining_uses[s] > 1;
         if reused_later && self.make_room(engine, bytes, ready, pinned) {
-            let nu = self.next_use(&datum);
-            self.buffers[engine].insert(datum, bytes, self.round_idx, nu);
-            let loc = self.locations.entry(datum).or_default();
+            let nu = self.next_use(slot);
+            self.buffers[engine].insert(slot, bytes, self.round_idx, nu);
+            if !self.loc_present[s] {
+                self.loc_present[s] = true;
+                self.locations[s].engines.clear();
+                self.locations[s].in_dram = false;
+            }
+            let loc = &mut self.locations[s];
             if !loc.engines.contains(&engine) {
                 loc.engines.push(engine);
             }
@@ -725,7 +784,7 @@ impl<'p> Runtime<'p> {
 
     /// Evicts until `bytes` fit in `engine`'s buffer. Returns `false` when
     /// the data cannot fit (streamed instead of cached).
-    fn make_room(&mut self, engine: usize, bytes: u64, t: u64, pinned: &[Datum]) -> bool {
+    fn make_room(&mut self, engine: usize, bytes: u64, t: u64, pinned: &[u32]) -> bool {
         if bytes > self.buffers[engine].capacity() {
             return false;
         }
@@ -734,7 +793,7 @@ impl<'p> Runtime<'p> {
             return true;
         }
         let victims = {
-            let pinned_fn = |d: &Datum| pinned.contains(d);
+            let pinned_fn = |s: u32| pinned.contains(&s);
             self.buffers[engine].pick_victims(
                 self.cfg.eviction,
                 self.round_idx,
@@ -750,20 +809,22 @@ impl<'p> Runtime<'p> {
 
     /// Removes `victim` from `engine`, writing it back to DRAM when it is
     /// the last copy of dirty, still-needed data.
-    fn evict(&mut self, victim: Datum, engine: usize, t: u64) {
-        let bytes = self.buffers[engine].remove(&victim).unwrap_or(0);
-        let Some(loc) = self.locations.get_mut(&victim) else {
+    fn evict(&mut self, victim: u32, engine: usize, t: u64) {
+        let bytes = self.buffers[engine].remove(victim).unwrap_or(0);
+        let v = victim as usize;
+        if !self.loc_present[v] {
             return;
-        };
+        }
+        let loc = &mut self.locations[v];
         loc.engines.retain(|e| *e != engine);
-        let still_needed = self.remaining_uses.get(&victim).copied().unwrap_or(0) > 0;
+        let still_needed = self.remaining_uses[v] > 0;
         if loc.engines.is_empty() && !loc.in_dram {
             if still_needed {
                 // Dirty write-back (does not block the engine: write-behind,
                 // but occupies the shared channel).
                 self.hbm.write(t, bytes);
             }
-            loc.in_dram = true;
+            self.locations[v].in_dram = true;
         }
     }
 

@@ -16,7 +16,12 @@
 //!
 //! * **D1 `hash-container`** — no `std::collections::HashMap`/`HashSet` in
 //!   the planning/sim crates (`core`, `accel-sim`, `noc-model`): iteration
-//!   order can silently break tie-breaking. Use `BTreeMap`/`BTreeSet`.
+//!   order can silently break tie-breaking. The preferred replacement is
+//!   keyspace-dependent (DESIGN.md §11): dense ids (`TaskId`, `AtomId`,
+//!   `LayerId`, engine indices) index a flat `Vec` whose scan order is
+//!   explicit; `BTreeMap`/`BTreeSet` stay the sanctioned fallback for
+//!   genuinely sparse keys (e.g. bit-packed `DataId`s) and need no allow
+//!   comment — only hash containers are findings.
 //! * **D2 `nondeterminism`** — no unseeded randomness (`thread_rng`,
 //!   `from_entropy`, `rand::random`) and no `Instant`/`SystemTime` in
 //!   cost/cycle-model crates. Seeded `ad_util::Rng64` only.
@@ -255,7 +260,10 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Diagnostic> {
                 if find_word(code_line, word).is_some() {
                     findings.push((
                         Rule::HashContainer,
-                        format!("`{word}` iteration order is unstable; use the BTree equivalent"),
+                        format!(
+                            "`{word}` iteration order is unstable; index dense ids with a \
+                             `Vec` (DESIGN.md §11) or use the BTree equivalent for sparse keys"
+                        ),
                     ));
                 }
             }

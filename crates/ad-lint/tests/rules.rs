@@ -60,6 +60,23 @@ fn d1_ignores_btree_and_out_of_scope_crates() {
 }
 
 #[test]
+fn d1_dense_table_convention_fixture() {
+    // The dense-table convention (DESIGN.md §11): dense-id keys index a
+    // flat Vec, sparse keys (bit-packed DataIds, ad-hoc sets) keep BTree
+    // containers — both pass D1 without any allow comment. Only hash
+    // containers are findings, and the diagnostic points at the convention.
+    let dense = "struct T { step_of_atom: Vec<usize>, ext_rank: BTreeMap<u64, u32> }\n";
+    assert!(lint_file(CORE_LIB, dense).is_empty());
+    let diags = lint_file(CORE_LIB, "use std::collections::HashMap;\n");
+    assert_eq!(rules_of(&diags), vec![Rule::HashContainer]);
+    assert!(
+        diags[0].message.contains("DESIGN.md §11"),
+        "diagnostic should cite the dense-table convention: {}",
+        diags[0].message
+    );
+}
+
+#[test]
 fn d1_respects_identifier_boundaries() {
     // `HashMapLike` / `MyHashSet` are different identifiers, not the type.
     let src = "struct HashMapLike;\ntype MyHashSet = ();\n";

@@ -1,0 +1,213 @@
+//! Tracked perf baseline for the planning pipeline.
+//!
+//! Runs the full atomic-dataflow planner (all candidate granularities, the
+//! winning candidate's per-stage [`StageReport`]s included) on
+//! ResNet-50/`paper_default` at `parallelism` 1 and 4, and writes the
+//! measurements to `BENCH_planner.json` so every perf PR has a trajectory
+//! to compare against.
+//!
+//! Flags:
+//!
+//! * `--fast` — CI mode: `fast_test` configuration (4×4 mesh, short SA,
+//!   single candidate) instead of paper scale; seconds, not minutes.
+//! * `--iters=N` — timed passes per parallelism level (default 3 paper /
+//!   1 fast); the *minimum* total wall time is recorded.
+//! * `--out=PATH` — output path (default `BENCH_planner.json`).
+//! * `--set-baseline` — additionally record this run as the `baseline`
+//!   entry. Without it, a pre-existing `baseline` in the output file is
+//!   carried forward, so post-optimization runs keep the pre-optimization
+//!   reference they are measured against.
+//!
+//! After writing, the harness re-reads and validates its own output (every
+//! run must carry the five standard stages with finite, non-negative wall
+//! times) and exits non-zero on malformed output — CI runs it in `--fast`
+//! mode and fails only on that validation, never on a threshold.
+
+use std::time::Instant;
+
+use ad_util::Json;
+use atomic_dataflow::pipeline::StageReport;
+use atomic_dataflow::{OptimizerConfig, Strategy};
+use dnn_graph::models;
+
+const STAGES: [&str; 5] = ["atomgen", "schedule", "map", "lower", "simulate"];
+
+struct RunRecord {
+    parallelism: usize,
+    total_ms: f64,
+    total_cycles: u64,
+    stages: Vec<StageReport>,
+}
+
+fn measure(g: &dnn_graph::Graph, cfg: OptimizerConfig, iters: usize) -> RunRecord {
+    let mut best: Option<RunRecord> = None;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        let out = Strategy::AtomicDataflow
+            .run_detailed(g, &cfg)
+            .expect("planner runs");
+        let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if best.as_ref().is_none_or(|b| total_ms < b.total_ms) {
+            best = Some(RunRecord {
+                parallelism: cfg.parallelism,
+                total_ms,
+                total_cycles: out.stats.total_cycles,
+                stages: out.reports,
+            });
+        }
+    }
+    best.expect("at least one timed pass")
+}
+
+fn run_to_json(r: &RunRecord) -> Json {
+    Json::Obj(vec![
+        ("parallelism".into(), Json::Num(r.parallelism as f64)),
+        ("total_wall_ms".into(), Json::Num(r.total_ms)),
+        ("total_cycles".into(), Json::Num(r.total_cycles as f64)),
+        (
+            "stages".into(),
+            Json::Arr(
+                r.stages
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("stage".into(), Json::Str(s.stage.into())),
+                            ("wall_ms".into(), Json::Num(s.wall_ms)),
+                            ("summary".into(), Json::Str(s.summary.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Every run must carry each standard stage with a finite, non-negative
+/// wall time. Returns a description of the first malformation found.
+fn validate(doc: &Json) -> Result<(), String> {
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or("missing `runs` array")?;
+    if runs.is_empty() {
+        return Err("empty `runs` array".into());
+    }
+    for run in runs {
+        run.get("parallelism")
+            .and_then(Json::as_usize)
+            .ok_or("run missing `parallelism`")?;
+        let total = run
+            .get("total_wall_ms")
+            .and_then(Json::as_f64)
+            .ok_or("run missing `total_wall_ms`")?;
+        if !total.is_finite() || total < 0.0 {
+            return Err(format!("non-finite total_wall_ms {total}"));
+        }
+        let stages = run
+            .get("stages")
+            .and_then(Json::as_array)
+            .ok_or("run missing `stages`")?;
+        for want in STAGES {
+            let stage = stages
+                .iter()
+                .find(|s| s.get("stage").and_then(Json::as_str) == Some(want))
+                .ok_or_else(|| format!("stage `{want}` missing from run"))?;
+            let ms = stage
+                .get("wall_ms")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("stage `{want}` missing `wall_ms`"))?;
+            if !ms.is_finite() || ms < 0.0 {
+                return Err(format!("stage `{want}` has malformed wall_ms {ms}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let set_baseline = args.iter().any(|a| a == "--set-baseline");
+    let out_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out="))
+        .unwrap_or("BENCH_planner.json")
+        .to_string();
+    let iters = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--iters="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if fast { 1 } else { 3 });
+
+    let g = models::resnet50();
+    let base_cfg = if fast {
+        OptimizerConfig::fast_test()
+    } else {
+        OptimizerConfig::paper_default()
+    };
+
+    let mut runs = Vec::new();
+    for par in [1usize, 4] {
+        let rec = measure(&g, base_cfg.with_parallelism(par), iters);
+        println!(
+            "parallelism {par}: total {:.1} ms, {} cycles",
+            rec.total_ms, rec.total_cycles
+        );
+        println!(
+            "  {}",
+            atomic_dataflow::pipeline::format_reports(&rec.stages)
+        );
+        runs.push(rec);
+    }
+
+    let runs_json = Json::Arr(runs.iter().map(run_to_json).collect());
+    // Carry forward the recorded baseline unless this run (re)sets it.
+    let baseline = if set_baseline {
+        Some(runs_json.clone())
+    } else {
+        std::fs::read_to_string(&out_path)
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .and_then(|doc| doc.get("baseline").cloned())
+    };
+
+    let mut doc = vec![
+        ("schema".into(), Json::Str("planner_perf/v1".into())),
+        ("model".into(), Json::Str("resnet50".into())),
+        (
+            "config".into(),
+            Json::Str(if fast { "fast_test" } else { "paper_default" }.into()),
+        ),
+        ("iters".into(), Json::Num(iters as f64)),
+        ("runs".into(), runs_json),
+    ];
+    if let Some(base) = baseline {
+        // Speedup of the tracked headline number: end-to-end planning wall
+        // time at parallelism 1, baseline over current.
+        let base_p1 = base.as_array().and_then(|rs| {
+            rs.iter()
+                .find(|r| r.get("parallelism").and_then(Json::as_usize) == Some(1))
+                .and_then(|r| r.get("total_wall_ms"))
+                .and_then(Json::as_f64)
+        });
+        if let (Some(base_ms), Some(cur)) = (base_p1, runs.first()) {
+            doc.push((
+                "speedup_vs_baseline_p1".into(),
+                Json::Num(base_ms / cur.total_ms),
+            ));
+        }
+        doc.push(("baseline".into(), base));
+    }
+    let doc = Json::Obj(doc);
+    let text = doc.to_pretty();
+    std::fs::write(&out_path, format!("{text}\n")).expect("write perf json");
+    println!("wrote {out_path}");
+
+    let reread = std::fs::read_to_string(&out_path).expect("re-read perf json");
+    let parsed = Json::parse(&reread).expect("perf json parses");
+    if let Err(why) = validate(&parsed) {
+        eprintln!("malformed perf record: {why}");
+        std::process::exit(1);
+    }
+    println!("stage timings validated");
+}

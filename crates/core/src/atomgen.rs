@@ -384,6 +384,10 @@ fn weighted_stats(choices: &[(u64, usize, bool)]) -> (f64, f64) {
 /// loss of the tile relative to the layer's best tile — a term that captures
 /// both PE utilization (coarse layers) and intra-layer parallelism (layers
 /// too small to fill a round), so balancing never trades them away.
+///
+/// Reference implementation: the SA hot loop runs [`SaSoa::closest`], which
+/// a test pins bit-for-bit against this scan.
+#[allow(dead_code)] // exercised by tests as the equivalence reference
 fn closest_candidate(cands: &[Candidate], target: f64, min_wall: u64) -> usize {
     let mut best = 0usize;
     let mut best_score = f64::INFINITY;
@@ -397,6 +401,119 @@ fn closest_candidate(cands: &[Candidate], target: f64, min_wall: u64) -> usize {
         }
     }
     best
+}
+
+/// Structure-of-arrays mirror of a [`CandidateTable`], built once per SA
+/// run and shared read-only by every chain. All floats are the *same bits*
+/// the scalar path would produce (`cycles as f64`,
+/// `(est_wall - min_wall) as f64`, `count as f64` and its products with the
+/// same association), and the variance fold visits layers in the same
+/// ascending order — so the SoA hot loop is bit-identical to re-deriving
+/// everything from the AoS table each iteration, just without the struct
+/// loads, casts, and per-iteration allocation.
+struct SaSoa {
+    /// `cycles_f[layer][cand]` — candidate cycles, pre-cast to f64.
+    cycles_f: Vec<Vec<f64>>,
+    /// `quality[layer][cand]` — the wall-time penalty term of
+    /// [`closest_candidate`], pre-cast (always ≥ 0).
+    quality: Vec<Vec<f64>>,
+    /// Layers contributing to the variance objective (non-empty candidate
+    /// list and array op), ascending. Non-array layers are folded away
+    /// entirely: [`weighted_stats`] skips them anyway.
+    active: Vec<usize>,
+    /// `(w, w·c, (w·c)·c)` per candidate of each active layer (empty for
+    /// inactive layers).
+    weights: Vec<Vec<(f64, f64, f64)>>,
+}
+
+impl SaSoa {
+    fn build(table: &CandidateTable) -> Self {
+        let nl = table.layers.len();
+        let mut cycles_f = Vec::with_capacity(nl);
+        let mut quality = Vec::with_capacity(nl);
+        let mut weights = Vec::with_capacity(nl);
+        let mut active = Vec::new();
+        for li in 0..nl {
+            let cands = &table.layers[li];
+            cycles_f.push(cands.iter().map(|c| c.cycles as f64).collect());
+            quality.push(
+                cands
+                    .iter()
+                    .map(|c| (c.est_wall - table.min_wall[li]) as f64)
+                    .collect(),
+            );
+            if !cands.is_empty() && table.is_array[li] {
+                active.push(li);
+                weights.push(
+                    cands
+                        .iter()
+                        .map(|c| {
+                            let w = c.count as f64;
+                            let cf = c.cycles as f64;
+                            let wc = w * cf;
+                            (w, wc, wc * cf)
+                        })
+                        .collect(),
+                );
+            } else {
+                weights.push(Vec::new());
+            }
+        }
+        Self {
+            cycles_f,
+            quality,
+            active,
+            weights,
+        }
+    }
+
+    /// Weighted mean and normalized variance of `choice` — the same
+    /// arithmetic as [`weighted_stats`] over the full table, fold order and
+    /// association included, without building the intermediate stats `Vec`.
+    fn eval(&self, choice: &[usize]) -> (f64, f64) {
+        let mut n = 0.0;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for &li in &self.active {
+            let (w, wc, wcc) = self.weights[li][choice[li]];
+            n += w;
+            sum += wc;
+            sum2 += wcc;
+        }
+        if n == 0.0 {
+            return (0.0, 0.0);
+        }
+        let mean = sum / n;
+        let var = (sum2 / n - mean * mean).max(0.0);
+        (mean, if mean > 0.0 { var / (mean * mean) } else { 0.0 })
+    }
+
+    /// [`closest_candidate`] over the SoA arrays with an exact early exit:
+    /// candidates are sorted by cycles, so once `cycles ≥ target` the
+    /// distance term grows monotonically, and when it *alone* strictly
+    /// exceeds the best score no later candidate can win
+    /// (`score = dist + quality ≥ dist`, quality ≥ 0, IEEE addition of
+    /// non-negatives is monotone). Strict `>` means equal-score candidates
+    /// are still visited, preserving the first-minimum tie-break of the
+    /// scalar loop bit for bit.
+    fn closest(&self, li: usize, target: f64) -> usize {
+        let cycles = &self.cycles_f[li];
+        let quality = &self.quality[li];
+        let mut best = 0usize;
+        let mut best_score = f64::INFINITY;
+        for i in 0..cycles.len() {
+            let dist = (cycles[i] - target).abs();
+            if cycles[i] >= target && dist > best_score {
+                break;
+            }
+            let score = dist + quality[i];
+            if score < best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
 }
 
 fn report_from_choices(
@@ -451,14 +568,15 @@ fn run_sa(
     target_count: usize,
     parallelism: usize,
 ) -> GenReport {
+    let soa = SaSoa::build(table);
     let chains = p.chains.max(1);
     if chains == 1 {
-        return run_sa_chain(graph, table, p, target_count);
+        return run_sa_chain(graph, table, &soa, p, target_count);
     }
     let reports = ad_util::scoped_map(chains, parallelism, |i| {
         let mut pi = p;
         pi.seed = chain_seed(p.seed, i);
-        run_sa_chain(graph, table, pi, target_count)
+        run_sa_chain(graph, table, &soa, pi, target_count)
     });
     let mut best: Option<GenReport> = None;
     for r in reports {
@@ -467,13 +585,14 @@ fn run_sa(
         }
     }
     // `chains >= 1`, so at least one report exists.
-    best.unwrap_or_else(|| run_sa_chain(graph, table, p, target_count))
+    best.unwrap_or_else(|| run_sa_chain(graph, table, &soa, p, target_count))
 }
 
 /// One annealing chain (Algorithm 1), deterministic given `p.seed`.
 fn run_sa_chain(
     graph: &Graph,
     table: &CandidateTable,
+    soa: &SaSoa,
     p: SaParams,
     target_count: usize,
 ) -> GenReport {
@@ -495,21 +614,12 @@ fn run_sa_chain(
         })
         .collect();
 
-    let eval = |choice: &[usize]| -> (f64, f64) {
-        let stats: Vec<(u64, usize, bool)> = (0..nl)
-            .filter(|li| !table.layers[*li].is_empty())
-            .map(|li| {
-                let c = table.layers[li][choice[li]];
-                (c.cycles, c.count, table.is_array[li])
-            })
-            .collect();
-        weighted_stats(&stats)
-    };
-
-    let (mut s, mut e) = eval(&choice);
+    let (mut s, mut e) = soa.eval(&choice);
     let s0 = s.max(1.0);
     let mut temp = p.temp;
     let mut history = vec![e];
+    // Reusable neighbor buffer, refreshed from `choice` every iteration.
+    let mut cand_choice = choice.clone();
 
     for _ in 0..p.max_iters {
         if e <= p.epsilon {
@@ -520,19 +630,27 @@ fn run_sa_chain(
         // optimizer's outer loop (Fig. 4(b)) explores different scales and
         // picks the cheapest by full simulation.
         let s_move = (s + rng.range_f64(-1.0, 1.0) * p.move_len * s).clamp(s0 / 3.0, s0 * 6.0);
-        let mut cand_choice = choice.clone();
+        cand_choice.copy_from_slice(&choice);
+        let mut changed = false;
         for (li, slot) in cand_choice.iter_mut().enumerate() {
             if !table.layers[li].is_empty() {
-                *slot = closest_candidate(&table.layers[li], s_move, table.min_wall[li]);
+                let next = soa.closest(li, s_move);
+                if next != *slot {
+                    *slot = next;
+                    changed = true;
+                }
             }
         }
-        let (_, e_move) = eval(&cand_choice);
+        // The objective is a pure function of the choice vector, so a move
+        // that lands on the current vector re-uses the current energy
+        // instead of re-folding every layer (common once `S` settles).
+        let e_move = if changed { soa.eval(&cand_choice).1 } else { e };
 
         // Temperature update and transition probability (lines 16-22).
         temp = (temp * p.lambda).max(1e-6);
         let prob = ((e - e_move) / (p.lambda * temp)).exp();
         if rng.next_f64() <= prob {
-            choice = cand_choice;
+            std::mem::swap(&mut choice, &mut cand_choice);
             s = s_move;
             e = e_move;
         }
@@ -872,6 +990,40 @@ mod tests {
         fat.est_wall = 400;
         let cands = vec![c(90), fat];
         assert_eq!(closest_candidate(&cands, 100.0, 10), 0);
+    }
+
+    #[test]
+    fn soa_matches_reference_argmin_and_eval() {
+        // The SA hot loop runs on the SoA fast path; pin it bit-for-bit to
+        // the reference scan/fold it replaces, across targets spanning the
+        // candidate cycle range (including far outside it).
+        let g = models::vgg19();
+        let e = EngineConfig::paper_default();
+        let cfg = AtomGenConfig::default();
+        let table = enumerate_candidates(&g, &cfg, &e, Dataflow::KcPartition);
+        let soa = SaSoa::build(&table);
+        let nl = g.layer_count();
+        for &target in &[0.0, 1.0, 3e3, 5.5e4, 1.2e6, 9e7, 1e13] {
+            for li in 0..nl {
+                if table.layers[li].is_empty() {
+                    continue;
+                }
+                assert_eq!(
+                    soa.closest(li, target),
+                    closest_candidate(&table.layers[li], target, table.min_wall[li]),
+                    "layer {li} target {target}"
+                );
+            }
+        }
+        let choice: Vec<usize> = (0..nl).map(|li| table.layers[li].len() / 2).collect();
+        let stats: Vec<(u64, usize, bool)> = (0..nl)
+            .filter(|li| !table.layers[*li].is_empty())
+            .map(|li| {
+                let c = table.layers[li][choice[li]];
+                (c.cycles, c.count, table.is_array[li])
+            })
+            .collect();
+        assert_eq!(soa.eval(&choice), weighted_stats(&stats));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! paper's framework does.
 
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use accel_sim::DataId;
 use ad_util::cast::{u16_from_usize, u32_from_usize};
@@ -16,6 +17,41 @@ use dnn_graph::{Graph, LayerId, OpKind, BYTES_PER_ELEM};
 use engine_model::{Dataflow, EngineConfig};
 
 use crate::atom::{atom_cost, input_window, AtomCoords, AtomCost, AtomSpec, Range};
+
+/// Shared cost-oracle cache: [`atom_cost`] is a pure function of
+/// `(layer, extent, engine, dataflow)`, so candidate pipelines evaluating
+/// the same workload at different granularity scales can intern each
+/// extent's cost once instead of recomputing it per candidate. Keys are
+/// `(layer, h_len, w_len, c_len)`; the engine/dataflow pair is fixed by the
+/// optimization run that owns the interner. Safe to share across the
+/// candidate-search worker threads: a hit returns exactly what a
+/// recomputation would, so the fill order cannot influence any result.
+#[derive(Debug, Default)]
+pub struct CostInterner {
+    cache: Mutex<BTreeMap<(u32, usize, usize, usize), AtomCost>>,
+}
+
+impl CostInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `key`, computing and interning it via `compute` on a miss.
+    fn get_or_insert(
+        &self,
+        key: (u32, usize, usize, usize),
+        compute: impl FnOnce() -> AtomCost,
+    ) -> AtomCost {
+        // A poisoned mutex means a candidate thread panicked mid-insert;
+        // the map holds only fully-inserted pure values, so it stays usable.
+        let mut cache = match self.cache.lock() {
+            Ok(c) => c,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *cache.entry(key).or_insert_with(compute)
+    }
+}
 
 /// Identifier of an atom within its [`AtomicDag`] (dense).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,6 +101,12 @@ pub struct AtomicDag {
     preds: Vec<Vec<(AtomId, u64)>>,
     succs: Vec<Vec<AtomId>>,
     externals: Vec<Vec<(DataId, u64)>>,
+    /// Weight externals of each atom in *dense slot space*: weight slices
+    /// are interned at build time into slots `0..weight_slot_count`, so
+    /// per-slot state (e.g. the mapper's weight-home table) can live in a
+    /// flat `Vec` instead of a map keyed by the sparse [`DataId`] encoding.
+    weight_exts: Vec<Vec<(u32, u64)>>,
+    weight_slot_count: usize,
     /// Atom ids per `(batch, layer)`, indexed `batch * layers + layer`.
     layer_atoms: Vec<Vec<AtomId>>,
     layer_count: usize,
@@ -88,6 +130,24 @@ impl AtomicDag {
         engine: &EngineConfig,
         dataflow: Dataflow,
     ) -> Self {
+        Self::build_interned(graph, specs, batch, engine, dataflow, &CostInterner::new())
+    }
+
+    /// [`AtomicDag::build`] with a shared [`CostInterner`]: candidate
+    /// pipelines exploring different granularity scales of the same
+    /// workload reuse each other's per-extent cost-oracle results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs.len() != graph.layer_count()` or `batch == 0`.
+    pub fn build_interned(
+        graph: &Graph,
+        specs: &[AtomSpec],
+        batch: usize,
+        engine: &EngineConfig,
+        dataflow: Dataflow,
+        interner: &CostInterner,
+    ) -> Self {
         assert_eq!(
             specs.len(),
             graph.layer_count(),
@@ -101,6 +161,8 @@ impl AtomicDag {
             preds: Vec::new(),
             succs: Vec::new(),
             externals: Vec::new(),
+            weight_exts: Vec::new(),
+            weight_slot_count: 0,
             layer_atoms: vec![Vec::new(); nl * batch],
             layer_count: nl,
             batch,
@@ -126,8 +188,23 @@ impl AtomicDag {
             ));
         }
 
-        // Cost cache: tiles of equal extent share a cost.
-        let mut cost_cache: BTreeMap<(u32, usize, usize, usize), AtomCost> = BTreeMap::new();
+        // Dense weight slots: layer `l`'s output-channel tile `t` is slot
+        // `weight_slot_base[l] + t`. Derived from the (batch-independent)
+        // tile grids, so the slot space is fixed before any atom exists.
+        let mut weight_slot_base: Vec<usize> = Vec::with_capacity(nl);
+        let mut next_slot = 0usize;
+        for (_, _, nc) in &grid_dims {
+            weight_slot_base.push(next_slot);
+            next_slot += nc;
+        }
+        dag.weight_slot_count = next_slot;
+
+        // Cost cache: tiles of equal extent share a cost. Keys are dense in
+        // the layer id, so the cache is a per-layer `Vec` of the few edge
+        // extents each grid produces (interior tiles all share one entry);
+        // genuinely new extents fall through to the shared interner.
+        type CachedTileCost = ((usize, usize, usize), AtomCost);
+        let mut cost_cache: Vec<Vec<CachedTileCost>> = vec![Vec::new(); nl];
 
         for b in 0..u16_from_usize(batch) {
             for layer in graph.layers() {
@@ -136,11 +213,20 @@ impl AtomicDag {
                 }
                 let lid = layer.id();
                 let grid = &grids[lid.index()];
+                let layer_cache = &mut cost_cache[lid.index()];
                 for coords in grid {
-                    let key = (lid.0, coords.h.len(), coords.w.len(), coords.c.len());
-                    let cost = *cost_cache
-                        .entry(key)
-                        .or_insert_with(|| atom_cost(layer, coords, engine, dataflow));
+                    let extent = (coords.h.len(), coords.w.len(), coords.c.len());
+                    let cost = match layer_cache.iter().find(|(e, _)| *e == extent) {
+                        Some((_, c)) => *c,
+                        None => {
+                            let c = interner
+                                .get_or_insert((lid.0, extent.0, extent.1, extent.2), || {
+                                    atom_cost(layer, coords, engine, dataflow)
+                                });
+                            layer_cache.push((extent, c));
+                            c
+                        }
+                    };
                     let id = AtomId(u32_from_usize(dag.atoms.len()));
                     dag.atoms.push(Atom {
                         layer: lid,
@@ -151,6 +237,7 @@ impl AtomicDag {
                     dag.preds.push(Vec::new());
                     dag.succs.push(Vec::new());
                     dag.externals.push(Vec::new());
+                    dag.weight_exts.push(Vec::new());
                     dag.layer_atoms[b as usize * nl + lid.index()].push(id);
                 }
             }
@@ -173,6 +260,8 @@ impl AtomicDag {
                         let tc = specs[lid.index()].clamped(layer.out_shape()).tc;
                         let c_tile = coords.c.start / tc;
                         dag.externals[aid.index()].push((weight_data_id(lid, c_tile), wb));
+                        let slot = weight_slot_base[lid.index()] + c_tile;
+                        dag.weight_exts[aid.index()].push((u32_from_usize(slot), wb));
                     }
 
                     // Data dependencies on each producer.
@@ -261,6 +350,19 @@ impl AtomicDag {
     /// External operands (weights / network input) of an atom.
     pub fn externals(&self, id: AtomId) -> &[(DataId, u64)] {
         &self.externals[id.index()]
+    }
+
+    /// Weight externals of an atom as dense `(slot, bytes)` pairs, in the
+    /// order the weight operands appear in [`AtomicDag::externals`]. Slots
+    /// index `0..self.weight_slot_count()`.
+    pub fn weight_exts(&self, id: AtomId) -> &[(u32, u64)] {
+        &self.weight_exts[id.index()]
+    }
+
+    /// Size of the dense weight-slot space (one slot per
+    /// `(layer, output-channel tile)` pair of the build-time tile grids).
+    pub fn weight_slot_count(&self) -> usize {
+        self.weight_slot_count
     }
 
     /// Atoms of `layer` for batch sample `batch`.

@@ -13,8 +13,6 @@
 //! utilization. Segment boundaries spill to DRAM (regions are re-allocated
 //! between segments).
 
-use std::collections::BTreeMap;
-
 use accel_sim::SimStats;
 use dnn_graph::{Graph, LayerId};
 
@@ -116,7 +114,9 @@ impl Stage for IlPipePlanStage {
             let layer = graph.layer(*l);
             layer.macs().max(layer.vector_ops() * vector_weight).max(1)
         };
-        let mut region_of: BTreeMap<LayerId, Vec<usize>> = BTreeMap::new();
+        // Dense table: layer ids index contiguously (input layers keep an
+        // empty region and are never atomized).
+        let mut region_of: Vec<Vec<usize>> = vec![Vec::new(); graph.layer_count()];
         for seg in &segments {
             let total: u64 = seg.iter().map(time_weight).sum();
             let mut sizes: Vec<usize> = seg
@@ -149,7 +149,7 @@ impl Stage for IlPipePlanStage {
             }
             let mut off = 0;
             for (l, sz) in seg.iter().zip(&sizes) {
-                region_of.insert(*l, zig[off..off + sz].to_vec());
+                region_of[l.index()] = zig[off..off + sz].to_vec();
                 off += sz;
             }
         }
@@ -157,18 +157,22 @@ impl Stage for IlPipePlanStage {
         // --- Atomization: each layer split into region_size × PIPELINE_CHUNKS
         // tiles so one chunk occupies the whole region.
         let dag = super::uniform_dag(graph, batch, &cfg.sim.engine, cfg.dataflow, |l| {
-            region_of[&l.id()].len() * PIPELINE_CHUNKS
+            region_of[l.id().index()].len() * PIPELINE_CHUNKS
         });
 
-        // --- Pipelined schedule with legalization.
-        let mut atom_step: BTreeMap<AtomId, usize> = BTreeMap::new();
-        let mut rounds_by_step: BTreeMap<usize, Vec<(AtomId, usize)>> = BTreeMap::new();
+        // --- Pipelined schedule with legalization. Atom ids are dense, so
+        // the step of each scheduled atom lives in a flat table
+        // (`UNSCHEDULED` = not yet placed); steps are small integers, so the
+        // step → round bucket table is a Vec grown on demand.
+        const UNSCHEDULED: usize = usize::MAX;
+        let mut atom_step: Vec<usize> = vec![UNSCHEDULED; dag.atom_count()];
+        let mut rounds_by_step: Vec<Vec<(AtomId, usize)>> = Vec::new();
         let mut base_step = 0usize;
 
         for seg in &segments {
             let mut seg_max_step = base_step;
             for (j, lid) in seg.iter().enumerate() {
-                let region = &region_of[lid];
+                let region = &region_of[lid.index()];
                 let mut prev_chunk_step: Option<usize> = None;
                 for b in 0..batch {
                     let atoms = dag.layer_atoms(b, *lid);
@@ -182,16 +186,20 @@ impl Stage for IlPipePlanStage {
                         }
                         for a in chunk {
                             for (p, _) in dag.preds(*a) {
-                                if let Some(ps) = atom_step.get(p) {
+                                let ps = atom_step[p.index()];
+                                if ps != UNSCHEDULED {
                                     step = step.max(ps + 1);
                                 }
                             }
                         }
                         prev_chunk_step = Some(step);
                         seg_max_step = seg_max_step.max(step);
-                        let entry = rounds_by_step.entry(step).or_default();
+                        if step >= rounds_by_step.len() {
+                            rounds_by_step.resize_with(step + 1, Vec::new);
+                        }
+                        let entry = &mut rounds_by_step[step];
                         for (i, a) in chunk.iter().enumerate() {
-                            atom_step.insert(*a, step);
+                            atom_step[a.index()] = step;
                             entry.push((*a, region[i]));
                         }
                     }
@@ -200,9 +208,13 @@ impl Stage for IlPipePlanStage {
             base_step = seg_max_step + 1;
         }
 
-        // `BTreeMap` iterates in ascending step order, so the rounds come out
-        // already sorted by pipeline step.
-        let rounds: Vec<Vec<(AtomId, usize)>> = rounds_by_step.into_values().collect();
+        // Index order *is* ascending step order; legalization can leave a
+        // step empty (every chunk delayed past its nominal slot), and the
+        // round list carries only populated steps.
+        let rounds: Vec<Vec<(AtomId, usize)>> = rounds_by_step
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .collect();
 
         // Segment-boundary tensors stay in the distributed buffers and are
         // pulled by the next segment's regions over the NoC; the buffering

@@ -56,7 +56,7 @@ pub mod scheduler;
 
 pub use atom::{AtomCoords, AtomCost, AtomSpec, Range};
 pub use atomgen::{AtomGenConfig, AtomGenMode, GenReport, SaParams};
-pub use atomic_dag::{Atom, AtomId, AtomicDag};
+pub use atomic_dag::{Atom, AtomId, AtomicDag, CostInterner};
 pub use error::PipelineError;
 pub use lower::{lower_remaining, lower_to_program, recovered_data_id, LowerOptions};
 pub use mapping::{Mapper, MappingConfig, MappingError};

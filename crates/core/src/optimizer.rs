@@ -215,9 +215,13 @@ impl Optimizer {
         // to `parallelism` worker threads. The candidate set is fixed by the
         // config and the reduction below visits candidates in index order
         // (strictly-cheaper wins, earliest index breaks ties), so the result
-        // is byte-identical for every thread count.
+        // is byte-identical for every thread count. The candidates share one
+        // cost-oracle interner: atom costs are pure functions of
+        // (layer, extent), so each extent is evaluated once across the
+        // whole search instead of once per candidate.
+        let interner = std::sync::Arc::new(crate::atomic_dag::CostInterner::new());
         let candidates = scoped_map(targets.len(), self.cfg.parallelism, |i| {
-            self.optimize_at(graph, targets[i], self.cfg.schedule_mode)
+            self.optimize_at(graph, targets[i], self.cfg.schedule_mode, &interner)
         });
         let mut best: Option<(usize, OptimizeResult)> = None;
         for (target, candidate) in targets.iter().zip(candidates) {
@@ -235,13 +239,14 @@ impl Optimizer {
                 graph,
                 self.cfg.atomgen.target_atoms_per_layer,
                 self.cfg.schedule_mode,
+                &interner,
             );
         };
         // Layer-topological ordering is itself a point in Alg. 2's search
         // space; when DP search is enabled, evaluate it at the winning
         // granularity and keep whichever the simulator prefers.
         if matches!(self.cfg.schedule_mode, ScheduleMode::Dp { .. }) {
-            let lo = self.optimize_at(graph, best_target, ScheduleMode::LayerOrder)?;
+            let lo = self.optimize_at(graph, best_target, ScheduleMode::LayerOrder, &interner)?;
             if lo.stats.total_cycles < best.stats.total_cycles {
                 best = lo;
             }
@@ -256,8 +261,10 @@ impl Optimizer {
         graph: &Graph,
         target: usize,
         mode: ScheduleMode,
+        interner: &std::sync::Arc<crate::atomic_dag::CostInterner>,
     ) -> Result<OptimizeResult, PipelineError> {
         let mut ctx = PlanContext::new(graph, self.cfg);
+        ctx.cost_interner = Some(interner.clone());
         Pipeline::standard(Some(target), Some(mode)).run(&mut ctx)?;
         let missing = |m: &'static str| PipelineError::StageOrder {
             stage: "optimize",

@@ -30,7 +30,7 @@ use accel_sim::{Program, SimStats, Simulator};
 use dnn_graph::Graph;
 
 use crate::atomgen::{self, GenReport};
-use crate::atomic_dag::{AtomId, AtomicDag};
+use crate::atomic_dag::{AtomId, AtomicDag, CostInterner};
 use crate::error::PipelineError;
 use crate::lower::{lower_remaining, LowerOptions};
 use crate::mapping::Mapper;
@@ -101,6 +101,11 @@ pub struct PlanContext<'g> {
     pub stats: Option<SimStats>,
     /// Reports of every stage run on this context, in execution order.
     pub reports: Vec<StageReport>,
+    /// Shared per-extent cost-oracle cache: candidate pipelines exploring
+    /// the same workload at different granularity scales intern each
+    /// atom extent's [`crate::atom::AtomCost`] once instead of recomputing
+    /// it per candidate. `None` (the default) builds with a private cache.
+    pub cost_interner: Option<std::sync::Arc<CostInterner>>,
 }
 
 impl<'g> PlanContext<'g> {
@@ -119,6 +124,7 @@ impl<'g> PlanContext<'g> {
             program: None,
             stats: None,
             reports: Vec::new(),
+            cost_interner: None,
         }
     }
 
@@ -138,6 +144,7 @@ impl<'g> PlanContext<'g> {
             program: None,
             stats: None,
             reports: Vec::new(),
+            cost_interner: None,
         }
     }
 
@@ -354,13 +361,23 @@ impl Stage for AtomGenStage {
             gen_cfg.target_atoms_per_layer = t;
         }
         let report = atomgen::generate(graph, &gen_cfg, &ctx.cfg.sim.engine, ctx.cfg.dataflow);
-        let dag = AtomicDag::build(
-            graph,
-            &report.specs,
-            ctx.cfg.batch,
-            &ctx.cfg.sim.engine,
-            ctx.cfg.dataflow,
-        );
+        let dag = match &ctx.cost_interner {
+            Some(interner) => AtomicDag::build_interned(
+                graph,
+                &report.specs,
+                ctx.cfg.batch,
+                &ctx.cfg.sim.engine,
+                ctx.cfg.dataflow,
+                interner,
+            ),
+            None => AtomicDag::build(
+                graph,
+                &report.specs,
+                ctx.cfg.batch,
+                &ctx.cfg.sim.engine,
+                ctx.cfg.dataflow,
+            ),
+        };
         let summary = format!(
             "{} atoms, S={:.0}, E={:.4}",
             dag.atom_count(),

@@ -21,9 +21,7 @@
 //! remaining-work lower bound). The paper's own search is feasible only
 //! because of the same pruning — exhaustive `C(P, N)` enumeration explodes.
 
-use std::collections::BTreeSet;
-
-use ad_util::cast::{u16_from_usize, u32_from_usize};
+use ad_util::cast::u32_from_usize;
 
 use crate::atomic_dag::{AtomId, AtomicDag};
 
@@ -153,15 +151,114 @@ impl SchedulerConfig {
 pub struct Scheduler<'a> {
     dag: &'a AtomicDag,
     cfg: SchedulerConfig,
+    /// Whether the DP lookahead memoizes `estimate` results in a
+    /// transposition table (on by default; [`Scheduler::with_memo`]).
+    memo: bool,
 }
 
 /// Instance = one layer of one batch sample.
 type Inst = usize;
 
-/// Ordered key for ready-instance sets: `(batch, depth, layer)`.
-type InstKey = (u16, u32, u32);
+/// SplitMix64 finalizer: the deterministic per-atom keys of the scheduled-
+/// set hash and the probe mixing of [`MemoTable`].
+fn mix64(x: u64) -> u64 {
+    let mut x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Transposition-table key: (full state fingerprint, commutative hash of
+/// the scheduled set, remaining lookahead).
+type MemoKey = (u64, u64, u32);
+
+/// Transposition table for the DP lookahead: open addressing with linear
+/// probing. The workspace bans hash containers in planning crates (ad-lint
+/// D1) because their iteration order is nondeterministic — this table is
+/// never iterated, only probed with full-width keys, so determinism holds
+/// while lookups stay O(1).
+struct MemoTable {
+    enabled: bool,
+    /// Power-of-two slot array; `None` = empty.
+    slots: Vec<Option<(MemoKey, u64)>>,
+    len: usize,
+}
+
+impl MemoTable {
+    fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            slots: if enabled {
+                vec![None; 1024]
+            } else {
+                Vec::new()
+            },
+            len: 0,
+        }
+    }
+
+    fn slot_of(&self, key: &MemoKey) -> usize {
+        let h = key.0 ^ mix64(key.1 ^ u64::from(key.2));
+        // Masking by the power-of-two slot count first keeps the value in
+        // range on any pointer width.
+        ad_util::cast::usize_from_u64(h & (self.slots.len() as u64 - 1))
+    }
+
+    fn get(&self, key: &MemoKey) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        let mut i = self.slot_of(key);
+        loop {
+            match &self.slots[i] {
+                Some((k, v)) if k == key => return Some(*v),
+                Some(_) => i = (i + 1) & (self.slots.len() - 1),
+                None => return None,
+            }
+        }
+    }
+
+    fn insert(&mut self, key: MemoKey, val: u64) {
+        if !self.enabled {
+            return;
+        }
+        if self.len * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.slot_of(&key);
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if *k == key => break,
+                Some(_) => i = (i + 1) & (self.slots.len() - 1),
+                None => {
+                    self.len += 1;
+                    break;
+                }
+            }
+        }
+        self.slots[i] = Some((key, val));
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![None; doubled]);
+        for entry in old.into_iter().flatten() {
+            let mut i = self.slot_of(&entry.0);
+            while self.slots[i].is_some() {
+                i = (i + 1) & (self.slots.len() - 1);
+            }
+            self.slots[i] = Some(entry);
+        }
+    }
+}
 
 /// Mutable scheduling state with journal-based undo (for DP rollouts).
+///
+/// Ready-instance bookkeeping is fully dense: membership in the former
+/// ordered sets (`ready_started` / `ready_unstarted`) is derivable from
+/// `ready[inst].is_empty()` and `started[inst]`, and their `(batch, depth,
+/// layer)` iteration order is the static `layer_order` scan below — so the
+/// sets themselves are gone and `apply`/`undo` touch no tree structures.
 struct State<'a> {
     dag: &'a AtomicDag,
     nl: usize,
@@ -170,16 +267,18 @@ struct State<'a> {
     ready: Vec<std::collections::VecDeque<AtomId>>,
     /// Instances with ≥ 1 scheduled atom.
     started: Vec<bool>,
-    /// Ready instances that are started (priority rule 1).
-    ready_started: BTreeSet<InstKey>,
-    /// Ready instances not yet started, ordered by depth (rules 2-3).
-    ready_unstarted: BTreeSet<InstKey>,
+    /// Layers sorted by `(depth, layer)` — the per-batch iteration order
+    /// the ready-instance sets used to impose.
+    layer_order: Vec<u32>,
     /// Atoms left per batch sample (rule 4).
     remaining_per_batch: Vec<usize>,
     /// Total atoms left.
     remaining: usize,
     /// Sum of compute cycles of remaining atoms (lower-bound heuristic).
     remaining_cycles: u64,
+    /// Commutative (XOR) hash of the scheduled atom set, maintained
+    /// incrementally by `apply`/`undo` for the transposition table.
+    scheduled_hash: u64,
     /// Atoms already executed before this scheduling pass (recovery:
     /// re-scheduling the remainder of a partially run DAG). Never entered
     /// into ready queues.
@@ -214,17 +313,19 @@ impl<'a> State<'a> {
                 .count();
             *deg = u32_from_usize(live_preds);
         }
+        let mut layer_order: Vec<u32> = (0..u32_from_usize(nl)).collect();
+        layer_order.sort_by_key(|&l| (dag.layer_depth(dnn_graph::LayerId(l)), l));
         let mut st = State {
             dag,
             nl,
             indegree,
             ready: vec![std::collections::VecDeque::new(); n_inst],
             started: vec![false; n_inst],
-            ready_started: BTreeSet::new(),
-            ready_unstarted: BTreeSet::new(),
+            layer_order,
             remaining_per_batch: vec![0; dag.batch()],
             remaining: 0,
             remaining_cycles: 0,
+            scheduled_hash: 0,
             done: (0..dag.atom_count()).map(is_done).collect(),
         };
         for (i, atom) in dag.atoms().iter().enumerate() {
@@ -240,9 +341,6 @@ impl<'a> State<'a> {
                 st.ready[inst].push_back(id);
             }
         }
-        for inst in 0..n_inst {
-            st.refresh(inst);
-        }
         st
     }
 
@@ -251,27 +349,28 @@ impl<'a> State<'a> {
         atom.batch as usize * self.nl + atom.layer.index()
     }
 
-    fn key_of(&self, inst: Inst) -> InstKey {
-        let batch = u16_from_usize(inst / self.nl);
-        let layer = u32_from_usize(inst % self.nl);
-        let depth = u32_from_usize(self.dag.layer_depth(dnn_graph::LayerId(layer)));
-        (batch, depth, layer)
-    }
-
-    /// Reconciles the set membership of one instance with its queue/flag.
-    fn refresh(&mut self, inst: Inst) {
-        let key = self.key_of(inst);
-        let nonempty = !self.ready[inst].is_empty();
-        if nonempty && self.started[inst] {
-            self.ready_unstarted.remove(&key);
-            self.ready_started.insert(key);
-        } else if nonempty {
-            self.ready_started.remove(&key);
-            self.ready_unstarted.insert(key);
-        } else {
-            self.ready_started.remove(&key);
-            self.ready_unstarted.remove(&key);
+    /// Order-sensitive hash of everything `estimate` depends on: the ready
+    /// queues (contents *and* order — they are FIFO) and the started flags.
+    /// Together with the commutative `scheduled_hash` this forms the
+    /// transposition-table key.
+    fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let fold = |h: &mut u64, v: u64| {
+            *h = (*h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (inst, q) in self.ready.iter().enumerate() {
+            if q.is_empty() && !self.started[inst] {
+                continue;
+            }
+            fold(
+                &mut h,
+                u64::from(u32_from_usize(inst)) << 1 | u64::from(self.started[inst]),
+            );
+            for a in q {
+                fold(&mut h, u64::from(a.0).wrapping_add(1));
+            }
         }
+        h
     }
 
     /// Greedy priority-rule selection of up to `n` atoms (Alg. 2's pruned
@@ -287,32 +386,43 @@ impl<'a> State<'a> {
         let mut out = Vec::with_capacity(n);
         let batch = self.dag.batch();
         let mut opened = 0usize;
-        for b in 0..u16_from_usize(batch) {
+        for b in 0..batch {
             if out.len() == n {
                 break;
             }
-            if self.remaining_per_batch[b as usize] == 0 {
+            if self.remaining_per_batch[b] == 0 {
                 continue;
             }
-            // Rule 1: started layers of this sample, then rules 2-3 by depth.
-            for (si, set) in [&self.ready_started, &self.ready_unstarted]
-                .into_iter()
-                .enumerate()
-            {
-                for key in set.range((b, 0, 0)..=(b, u32::MAX, u32::MAX)) {
-                    if si == 1 {
-                        if opened >= MAX_NEW_INSTANCES {
-                            break;
-                        }
-                        opened += 1;
+            // Rule 1: started layers of this sample, then rules 2-3 by
+            // depth. `layer_order` scans instances in exactly the `(depth,
+            // layer)` order the ready sets used to be keyed by; instances
+            // outside the (derived) set are skipped.
+            for &layer in &self.layer_order {
+                let inst = b * self.nl + layer as usize;
+                if self.ready[inst].is_empty() || !self.started[inst] {
+                    continue;
+                }
+                for a in &self.ready[inst] {
+                    if out.len() == n {
+                        return out;
                     }
-                    let inst = key.0 as usize * self.nl + key.2 as usize;
-                    for a in &self.ready[inst] {
-                        if out.len() == n {
-                            return out;
-                        }
-                        out.push(*a);
+                    out.push(*a);
+                }
+            }
+            for &layer in &self.layer_order {
+                let inst = b * self.nl + layer as usize;
+                if self.ready[inst].is_empty() || self.started[inst] {
+                    continue;
+                }
+                if opened >= MAX_NEW_INSTANCES {
+                    break;
+                }
+                opened += 1;
+                for a in &self.ready[inst] {
+                    if out.len() == n {
+                        return out;
                     }
+                    out.push(*a);
                 }
             }
             // Rule 4: continue to the next sample only because this one
@@ -355,7 +465,7 @@ impl<'a> State<'a> {
             self.remaining -= 1;
             self.remaining_per_batch[atom.batch as usize] -= 1;
             self.remaining_cycles -= atom.cost.cycles;
-            self.refresh(inst);
+            self.scheduled_hash ^= mix64(u64::from(a.0));
         }
         // Release successors (already-done successors never re-enter the
         // ready queues — only possible when resuming a partial run).
@@ -367,7 +477,6 @@ impl<'a> State<'a> {
                     let inst = self.inst_of(s);
                     self.ready[inst].push_back(s);
                     journal.pushed.push((inst, s));
-                    self.refresh(inst);
                 }
             }
         }
@@ -379,7 +488,6 @@ impl<'a> State<'a> {
         for (inst, a) in journal.pushed.iter().rev() {
             let back = self.ready[*inst].pop_back();
             debug_assert_eq!(back, Some(*a));
-            self.refresh(*inst);
         }
         for &a in journal.combo.iter().rev() {
             for &s in self.dag.succs(a) {
@@ -392,11 +500,10 @@ impl<'a> State<'a> {
             self.remaining += 1;
             self.remaining_per_batch[atom.batch as usize] += 1;
             self.remaining_cycles += atom.cost.cycles;
-            self.refresh(inst);
+            self.scheduled_hash ^= mix64(u64::from(a.0));
         }
         for inst in journal.newly_started {
             self.started[inst] = false;
-            self.refresh(inst);
         }
     }
 
@@ -426,7 +533,23 @@ impl<'a> State<'a> {
 impl<'a> Scheduler<'a> {
     /// Creates a scheduler over `dag`.
     pub fn new(dag: &'a AtomicDag, cfg: SchedulerConfig) -> Self {
-        Self { dag, cfg }
+        Self {
+            dag,
+            cfg,
+            memo: true,
+        }
+    }
+
+    /// Enables or disables the DP transposition table (on by default).
+    ///
+    /// Memoization is a pure speedup: `estimate` is a deterministic
+    /// function of the search state, so a cached value equals what the
+    /// recursion would recompute and the resulting [`Schedule`] is
+    /// identical either way (the equivalence is pinned by a test). The
+    /// switch exists for that test and for profiling the raw search.
+    pub fn with_memo(mut self, enabled: bool) -> Self {
+        self.memo = enabled;
+        self
     }
 
     /// Runs the search and returns the round schedule.
@@ -463,6 +586,10 @@ impl<'a> Scheduler<'a> {
         let mut state = State::new_with_completed(self.dag, done);
         let n = self.cfg.engines;
         let mut rounds = Vec::new();
+        let mut memo = MemoTable::new(
+            self.memo
+                && matches!(self.cfg.mode, ScheduleMode::Dp { lookahead, .. } if lookahead > 0),
+        );
 
         if self.cfg.mode == ScheduleMode::LayerOrder {
             return Ok(self.schedule_layer_order(done));
@@ -470,7 +597,7 @@ impl<'a> Scheduler<'a> {
         while state.remaining > 0 {
             let combo = match self.cfg.mode {
                 ScheduleMode::Dp { lookahead, branch } => {
-                    self.best_combo(&mut state, n, lookahead, branch)
+                    self.best_combo(&mut state, &mut memo, n, lookahead, branch)
                 }
                 // `LayerOrder` returned above; greedy selection covers it
                 // and `PriorityGreedy` alike.
@@ -580,6 +707,7 @@ impl<'a> Scheduler<'a> {
     fn best_combo(
         &self,
         state: &mut State<'_>,
+        memo: &mut MemoTable,
         n: usize,
         lookahead: usize,
         branch: usize,
@@ -593,7 +721,7 @@ impl<'a> Scheduler<'a> {
             let cost = {
                 let rc = state.round_cost(&combo);
                 let journal = state.apply(&combo);
-                let future = self.estimate(state, n, lookahead, branch);
+                let future = self.estimate(state, memo, n, lookahead, branch);
                 state.undo(journal);
                 rc + future
             };
@@ -607,14 +735,37 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Cost-to-go estimate: recurse while lookahead remains, then fall back
-    /// to the remaining-work lower bound.
-    fn estimate(&self, state: &mut State<'_>, n: usize, lookahead: usize, branch: usize) -> u64 {
+    /// to the remaining-work lower bound. Results are memoized in the
+    /// transposition table — search paths that permute the same rounds
+    /// reconverge on one state and reuse its estimate instead of
+    /// re-expanding the subtree.
+    fn estimate(
+        &self,
+        state: &mut State<'_>,
+        memo: &mut MemoTable,
+        n: usize,
+        lookahead: usize,
+        branch: usize,
+    ) -> u64 {
         if state.remaining == 0 {
             return 0;
         }
         if lookahead == 0 {
             return state.remaining_bound(n);
         }
+        let key = if memo.enabled {
+            let key = (
+                state.fingerprint(),
+                state.scheduled_hash,
+                u32_from_usize(lookahead),
+            );
+            if let Some(v) = memo.get(&key) {
+                return v;
+            }
+            Some(key)
+        } else {
+            None
+        };
         let variants = self.variants(state, n, branch);
         let mut best = u64::MAX;
         for combo in variants {
@@ -623,15 +774,19 @@ impl<'a> Scheduler<'a> {
             }
             let rc = state.round_cost(&combo);
             let journal = state.apply(&combo);
-            let future = self.estimate(state, n, lookahead - 1, branch);
+            let future = self.estimate(state, memo, n, lookahead - 1, branch);
             state.undo(journal);
             best = best.min(rc + future);
         }
-        if best == u64::MAX {
+        let result = if best == u64::MAX {
             state.remaining_bound(n)
         } else {
             best
+        };
+        if let Some(key) = key {
+            memo.insert(key, result);
         }
+        result
     }
 }
 
@@ -698,6 +853,23 @@ mod tests {
             .schedule()
             .unwrap();
         check_valid(&d, &s, 4);
+    }
+
+    #[test]
+    fn transposition_table_is_a_pure_speedup() {
+        // The DP transposition table must never change the search outcome:
+        // with memoization on (default) and off, the emitted schedules are
+        // identical round for round — on a single-sample DAG and on a
+        // batch-2 DAG where instances interleave and `estimate` revisits
+        // many transposed states.
+        for (batch, tile) in [(1, 8), (2, 8)] {
+            let (_, d) = dag(batch, tile);
+            let cfg = SchedulerConfig::dp(4); // Dp { lookahead: 2, branch: 3 }
+            let on = Scheduler::new(&d, cfg).schedule().unwrap();
+            let off = Scheduler::new(&d, cfg).with_memo(false).schedule().unwrap();
+            assert_eq!(on.rounds, off.rounds, "batch {batch} diverged");
+            check_valid(&d, &on, 4);
+        }
     }
 
     #[test]
