@@ -166,6 +166,34 @@ pub enum ProgramError {
         /// Offending engine.
         engine: usize,
     },
+    /// A task reads more bytes of a producer's output than the producer
+    /// wrote (detected by [`Program::validate_with`]).
+    OverRead {
+        /// Round-major instruction index of the consuming assignment.
+        instr: usize,
+        /// Consuming task.
+        task: TaskId,
+        /// Producing task.
+        producer: TaskId,
+        /// Bytes requested.
+        bytes: u64,
+        /// Bytes the producer actually outputs.
+        available: u64,
+    },
+    /// A buffered task output exceeds the per-engine buffer capacity
+    /// (detected by [`Program::validate_with`] when a capacity is given).
+    BufferOverflow {
+        /// Round-major instruction index of the offending assignment.
+        instr: usize,
+        /// Offending task.
+        task: TaskId,
+        /// Engine the task runs on.
+        engine: usize,
+        /// Bytes the task writes to its local buffer.
+        bytes: u64,
+        /// Buffer capacity in bytes.
+        capacity: u64,
+    },
 }
 
 impl fmt::Display for ProgramError {
@@ -187,6 +215,32 @@ impl fmt::Display for ProgramError {
             }
             ProgramError::EngineOutOfRange { round, engine } => {
                 write!(f, "round {round} targets engine {engine} outside the mesh")
+            }
+            ProgramError::OverRead {
+                instr,
+                task,
+                producer,
+                bytes,
+                available,
+            } => {
+                write!(
+                    f,
+                    "instruction {instr}: task {task} reads {bytes} bytes of {producer}, \
+                     which outputs only {available}"
+                )
+            }
+            ProgramError::BufferOverflow {
+                instr,
+                task,
+                engine,
+                bytes,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "instruction {instr}: task {task} on engine {engine} writes {bytes} \
+                     bytes into a {capacity}-byte buffer"
+                )
             }
         }
     }
@@ -304,6 +358,62 @@ impl Program {
         }
         Ok(())
     }
+
+    /// Extended integrity check: everything [`Program::validate`] checks,
+    /// plus a round-major instruction pass that rejects operand over-reads
+    /// and — when `buffer_capacity` is given — buffered outputs that cannot
+    /// fit an engine's local buffer at all.
+    ///
+    /// Errors from the instruction pass carry the index of the first
+    /// offending instruction, counted round-major across
+    /// [`Program::rounds`]. The capacity pass intentionally skips
+    /// `dram_output` tasks (they bypass the buffer) and is opt-in because
+    /// the simulator can legally spill over-capacity outputs to DRAM; pass
+    /// `None` to audit structure only.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProgramError`] found.
+    pub fn validate_with(
+        &self,
+        engines: usize,
+        buffer_capacity: Option<u64>,
+    ) -> Result<(), ProgramError> {
+        self.validate(engines)?;
+        let mut instr = 0usize;
+        for round in &self.rounds {
+            for (tid, engine) in round {
+                let task = &self.tasks[tid.index()];
+                for op in &task.inputs {
+                    if let Operand::Task { producer, bytes } = op {
+                        let available = self.tasks[producer.index()].output_bytes;
+                        if *bytes > available {
+                            return Err(ProgramError::OverRead {
+                                instr,
+                                task: *tid,
+                                producer: *producer,
+                                bytes: *bytes,
+                                available,
+                            });
+                        }
+                    }
+                }
+                if let Some(capacity) = buffer_capacity {
+                    if !task.dram_output && task.output_bytes > capacity {
+                        return Err(ProgramError::BufferOverflow {
+                            instr,
+                            task: *tid,
+                            engine: *engine,
+                            bytes: task.output_bytes,
+                            capacity,
+                        });
+                    }
+                }
+                instr += 1;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -377,6 +487,66 @@ mod tests {
             p.validate(4),
             Err(ProgramError::DoubleScheduled(_))
         ));
+    }
+
+    #[test]
+    fn over_read_reports_first_offending_instruction() {
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(10, 0, 64, vec![]));
+        // b reads 100 bytes of a, which only wrote 64.
+        let b = p.push_task(Task::compute(10, 0, 32, vec![Operand::task(a, 100)]));
+        p.push_round(vec![(a, 0)]);
+        p.push_round(vec![(b, 1)]);
+        assert!(p.validate(4).is_ok()); // structural pass is blind to bytes
+        match p.validate_with(4, None) {
+            Err(ProgramError::OverRead {
+                instr,
+                task,
+                producer,
+                bytes,
+                available,
+            }) => {
+                assert_eq!(instr, 1); // round-major: a is instr 0, b is 1
+                assert_eq!(task, b);
+                assert_eq!(producer, a);
+                assert_eq!(bytes, 100);
+                assert_eq!(available, 64);
+            }
+            other => panic!("expected OverRead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buffer_capacity_checked_when_requested() {
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(10, 0, 4096, vec![]));
+        p.push_round(vec![(a, 3)]);
+        assert!(p.validate_with(4, None).is_ok());
+        assert!(p.validate_with(4, Some(8192)).is_ok());
+        match p.validate_with(4, Some(1024)) {
+            Err(ProgramError::BufferOverflow {
+                instr,
+                task,
+                engine,
+                bytes,
+                capacity,
+            }) => {
+                assert_eq!(instr, 0);
+                assert_eq!(task, a);
+                assert_eq!(engine, 3);
+                assert_eq!(bytes, 4096);
+                assert_eq!(capacity, 1024);
+            }
+            other => panic!("expected BufferOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dram_output_exempt_from_capacity() {
+        let mut p = Program::new();
+        let a = p.push_task(Task::compute(10, 0, 4096, vec![]).with_dram_output());
+        p.push_round(vec![(a, 0)]);
+        assert!(p.validate_with(4, Some(1024)).is_ok());
     }
 
     #[test]

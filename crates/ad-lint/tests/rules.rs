@@ -284,6 +284,52 @@ fn c1_allow_comment_suppresses() {
     assert!(lint_file(CORE_LIB, src).is_empty());
 }
 
+#[test]
+fn p1_covers_the_plan_admission_module() {
+    // The admission layer (crates/core/src/validate.rs) must reject bad
+    // plans with typed errors, never by panicking: an assert!/panic! on a
+    // plan invariant would turn a rejected candidate into a crashed
+    // search. A panic in its library code is a finding...
+    const VALIDATE: &str = "crates/core/src/validate.rs";
+    let panicky = "fn check(rounds: usize, engines: usize) {\n\
+                   \x20   assert!(rounds <= engines);\n\
+                   \x20   if rounds == 0 { panic!(\"empty round\"); }\n\
+                   }\n";
+    let diags = lint_file(VALIDATE, panicky);
+    assert_eq!(
+        rules_of(&diags),
+        vec![Rule::Panic],
+        "panic! in the validator must be flagged (assert! is sanctioned)"
+    );
+    // ...while the sanctioned shape — returning a typed ValidationError —
+    // is clean.
+    let clean = "fn check(rounds: usize, engines: usize) -> Result<(), ValidationError> {\n\
+                 \x20   if rounds > engines {\n\
+                 \x20       return Err(ValidationError::new(\n\
+                 \x20           Artifact::Schedule,\n\
+                 \x20           Invariant::RoundOversized,\n\
+                 \x20           format!(\"schedule/round0\"),\n\
+                 \x20           format!(\"{rounds} atoms on {engines} engines\"),\n\
+                 \x20       ));\n\
+                 \x20   }\n\
+                 \x20   Ok(())\n\
+                 }\n";
+    assert!(lint_file(VALIDATE, clean).is_empty());
+    // The validator sits in the planning scope, so the determinism rules
+    // reach it too: hash containers and wall-clock reads are findings.
+    assert_eq!(
+        rules_of(&lint_file(VALIDATE, "use std::collections::HashMap;\n")),
+        vec![Rule::HashContainer]
+    );
+    assert_eq!(
+        rules_of(&lint_file(
+            VALIDATE,
+            "fn t0() -> Instant { Instant::now() }\n"
+        )),
+        vec![Rule::Nondeterminism]
+    );
+}
+
 // ------------------------------------------------------- masking & allow
 
 #[test]

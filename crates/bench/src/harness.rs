@@ -5,7 +5,9 @@ use std::time::Instant;
 
 use accel_sim::{FaultKind, FaultPlan, SimStats};
 use ad_util::Json;
-use atomic_dataflow::{baselines, Optimizer, OptimizerConfig, StageReport, Strategy};
+use atomic_dataflow::{
+    baselines, Optimizer, OptimizerConfig, PlanBudget, StageReport, Strategy, ValidateMode,
+};
 use dnn_graph::{models, Graph};
 use engine_model::Dataflow;
 
@@ -42,6 +44,10 @@ pub struct ExpRecord {
     pub energy_parts_mj: [f64; 4],
     /// Host-side search/simulation time in seconds.
     pub search_secs: f64,
+    /// Planning-budget outcome: `"completed"`, or `"truncated@<stage>"`
+    /// when an iteration cap or deadline cut the search short
+    /// ([`atomic_dataflow::BudgetOutcome`]).
+    pub budget: String,
     /// Per-stage wall times and summaries of the strategy's planning
     /// pipeline (the winning candidate where the strategy searches).
     pub stages: Vec<StageReport>,
@@ -77,6 +83,7 @@ impl ExpRecord {
                 ),
             ),
             ("search_secs".into(), Json::from(self.search_secs)),
+            ("budget".into(), Json::from(self.budget.as_str())),
             (
                 "stages".into(),
                 Json::Arr(
@@ -87,6 +94,7 @@ impl ExpRecord {
                                 ("stage".into(), Json::from(s.stage)),
                                 ("wall_ms".into(), Json::from(s.wall_ms)),
                                 ("summary".into(), Json::from(s.summary.as_str())),
+                                ("budget".into(), Json::from(s.budget.to_string())),
                             ])
                         })
                         .collect(),
@@ -118,6 +126,13 @@ pub fn run_strategy(
         .run_detailed(graph, cfg)
         .expect("strategy produced an invalid schedule");
     let secs = start.elapsed().as_secs_f64();
+    let budget = outcome
+        .reports
+        .iter()
+        .map(|r| r.budget)
+        .find(atomic_dataflow::BudgetOutcome::is_truncated)
+        .unwrap_or_default()
+        .to_string();
     let stats = outcome.stats;
     let freq = cfg.sim.engine.freq_mhz;
     let e = &stats.energy;
@@ -142,6 +157,7 @@ pub fn run_strategy(
             e.static_pj / 1e9,
         ],
         search_secs: secs,
+        budget,
         stages: outcome.reports,
     }
 }
@@ -264,7 +280,14 @@ pub fn ls_layer_utilizations(graph: &Graph, cfg: &OptimizerConfig) -> Vec<(Strin
 /// - `--par=N` — worker threads for the candidate search (results are
 ///   byte-identical for every value);
 /// - `--batch=N` — override the experiment's default batch size;
-/// - `--json=PATH` — also dump records as JSON.
+/// - `--json=PATH` — also dump records as JSON;
+/// - `--validate deny|warn|off` (also `--validate=MODE`) — plan-admission
+///   mode: `deny` fails on the first invariant violation, `warn` prints and
+///   continues, `off` skips the audit (the default follows the build:
+///   deny in debug, off in release);
+/// - `--sa-budget=N` — cap simulated-annealing iterations per chain;
+/// - `--dp-budget=N` — cap DP scheduling expansions;
+/// - `--deadline-ms=N` — wall-clock deadline for the refinement pass.
 #[derive(Debug, Clone)]
 pub struct Workloads {
     /// Selected `(name, graph)` pairs.
@@ -277,6 +300,11 @@ pub struct Workloads {
     pub fast: bool,
     /// Candidate-search worker threads, if overridden.
     pub parallelism: Option<usize>,
+    /// Plan-admission mode override (`--validate`), if any.
+    pub validate: Option<ValidateMode>,
+    /// Planning budget assembled from `--sa-budget` / `--dp-budget` /
+    /// `--deadline-ms` (unlimited when none given).
+    pub budget: PlanBudget,
 }
 
 impl Workloads {
@@ -293,7 +321,11 @@ impl Workloads {
         let mut json_path = None;
         let mut fast = false;
         let mut parallelism = None;
-        for a in args {
+        let mut validate = None;
+        let mut budget = PlanBudget::unlimited();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
             if let Some(v) = a.strip_prefix("--workloads=") {
                 names = Some(v.split(',').map(|s| s.trim().to_string()).collect());
             } else if a == "--quick" {
@@ -311,7 +343,26 @@ impl Workloads {
                 batch_override = v.parse().ok();
             } else if let Some(v) = a.strip_prefix("--json=") {
                 json_path = Some(v.to_string());
+            } else if a == "--validate" && i + 1 < args.len() {
+                // Two-token form: `--validate deny`.
+                validate = args[i + 1].parse().ok();
+                i += 1;
+            } else if let Some(v) = a.strip_prefix("--validate=") {
+                validate = v.parse().ok();
+            } else if let Some(v) = a.strip_prefix("--sa-budget=") {
+                if let Ok(n) = v.parse() {
+                    budget = budget.with_sa_iters(n);
+                }
+            } else if let Some(v) = a.strip_prefix("--dp-budget=") {
+                if let Ok(n) = v.parse() {
+                    budget = budget.with_dp_expansions(n);
+                }
+            } else if let Some(v) = a.strip_prefix("--deadline-ms=") {
+                if let Ok(n) = v.parse() {
+                    budget = budget.with_deadline_ms(n);
+                }
             }
+            i += 1;
         }
         let names = names.unwrap_or_else(|| {
             models::PAPER_WORKLOADS
@@ -332,6 +383,8 @@ impl Workloads {
             json_path,
             fast,
             parallelism,
+            validate,
+            budget,
         }
     }
 
@@ -344,9 +397,15 @@ impl Workloads {
         } else {
             OptimizerConfig::paper_default()
         };
-        base.with_dataflow(dataflow)
+        let mut cfg = base
+            .with_dataflow(dataflow)
             .with_batch(batch)
             .with_parallelism(self.parallelism.unwrap_or(1))
+            .with_budget(self.budget);
+        if let Some(mode) = self.validate {
+            cfg = cfg.with_validate(mode);
+        }
+        cfg
     }
 
     /// Default batch size for throughput experiments on this workload: the
@@ -395,6 +454,35 @@ mod tests {
         assert_eq!(w.list[0].0, "resnet50");
         assert_eq!(w.batch_override, Some(4));
         assert_eq!(w.json_path.as_deref(), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    fn validate_and_budget_flags_parse() {
+        // Two-token `--validate deny` (the CI smoke form).
+        let w = Workloads::from_arg_slice(&[
+            "--workloads=resnet50".into(),
+            "--validate".into(),
+            "deny".into(),
+            "--sa-budget=5".into(),
+            "--dp-budget=1000".into(),
+            "--deadline-ms=250".into(),
+        ]);
+        assert_eq!(w.validate, Some(ValidateMode::Deny));
+        assert_eq!(w.budget.sa_iters, Some(5));
+        assert_eq!(w.budget.dp_expansions, Some(1000));
+        assert_eq!(w.budget.deadline_ms, Some(250));
+        let cfg = w.config(Dataflow::KcPartition, 1);
+        assert_eq!(cfg.validate, ValidateMode::Deny);
+        assert_eq!(cfg.budget, w.budget);
+
+        // `=` form, and defaults when absent.
+        let w = Workloads::from_arg_slice(&["--validate=warn".into()]);
+        assert_eq!(w.validate, Some(ValidateMode::Warn));
+        let w = Workloads::from_arg_slice(&[]);
+        assert_eq!(w.validate, None);
+        assert!(!w.budget.is_limited());
+        let cfg = w.config(Dataflow::KcPartition, 1);
+        assert_eq!(cfg.validate, ValidateMode::default());
     }
 
     #[test]

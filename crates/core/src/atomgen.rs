@@ -159,6 +159,24 @@ pub struct GenReport {
     /// Per-array-layer `(cycles, atom_count)` under the chosen specs — the
     /// population of the Fig. 5(a) histogram.
     pub layer_cycles: Vec<(u64, usize)>,
+    /// `true` when a [`crate::PlanBudget`] iteration cap stopped the search
+    /// before it converged (the report still holds the best-so-far specs).
+    pub truncated: bool,
+}
+
+impl GenReport {
+    /// A degenerate report for plans that bypass atom generation (e.g. the
+    /// optimizer's greedy fallback path).
+    pub fn empty() -> Self {
+        Self {
+            specs: Vec::new(),
+            unified_cycle: 0.0,
+            variance: 0.0,
+            history: Vec::new(),
+            layer_cycles: Vec::new(),
+            truncated: false,
+        }
+    }
 }
 
 /// One pre-enumerated tiling candidate of a layer.
@@ -191,6 +209,22 @@ pub fn generate(
     engine: &EngineConfig,
     dataflow: Dataflow,
 ) -> GenReport {
+    generate_budgeted(graph, cfg, engine, dataflow, None)
+}
+
+/// Like [`generate`], with an optional deterministic iteration cap
+/// ([`crate::PlanBudget::sa_iters`]). The cap bounds each SA chain's
+/// iteration count; the chain returns its best-so-far choice vector and the
+/// report is flagged [`GenReport::truncated`] when the cap fired before
+/// convergence. GA and uniform generation have fixed iteration structure
+/// and ignore the cap.
+pub fn generate_budgeted(
+    graph: &Graph,
+    cfg: &AtomGenConfig,
+    engine: &EngineConfig,
+    dataflow: Dataflow,
+    iter_budget: Option<usize>,
+) -> GenReport {
     let table = enumerate_candidates(graph, cfg, engine, dataflow);
     match cfg.mode {
         AtomGenMode::Sa(p) => run_sa(
@@ -199,6 +233,7 @@ pub fn generate(
             p,
             cfg.target_atoms_per_layer,
             cfg.parallelism,
+            iter_budget,
         ),
         AtomGenMode::Ga(p) => run_ga(graph, &table, p),
         AtomGenMode::Uniform { parts } => run_uniform(graph, &table, parts),
@@ -549,6 +584,7 @@ fn report_from_choices(
         variance: var,
         history,
         layer_cycles,
+        truncated: false,
     }
 }
 
@@ -567,16 +603,17 @@ fn run_sa(
     p: SaParams,
     target_count: usize,
     parallelism: usize,
+    iter_budget: Option<usize>,
 ) -> GenReport {
     let soa = SaSoa::build(table);
     let chains = p.chains.max(1);
     if chains == 1 {
-        return run_sa_chain(graph, table, &soa, p, target_count);
+        return run_sa_chain(graph, table, &soa, p, target_count, iter_budget);
     }
     let reports = ad_util::scoped_map(chains, parallelism, |i| {
         let mut pi = p;
         pi.seed = chain_seed(p.seed, i);
-        run_sa_chain(graph, table, &soa, pi, target_count)
+        run_sa_chain(graph, table, &soa, pi, target_count, iter_budget)
     });
     let mut best: Option<GenReport> = None;
     for r in reports {
@@ -585,16 +622,20 @@ fn run_sa(
         }
     }
     // `chains >= 1`, so at least one report exists.
-    best.unwrap_or_else(|| run_sa_chain(graph, table, &soa, p, target_count))
+    best.unwrap_or_else(|| run_sa_chain(graph, table, &soa, p, target_count, iter_budget))
 }
 
-/// One annealing chain (Algorithm 1), deterministic given `p.seed`.
+/// One annealing chain (Algorithm 1), deterministic given `p.seed`. An
+/// `iter_budget` below `p.max_iters` truncates the chain (flagged in the
+/// report unless the chain converged first); the budget check is a pure
+/// iteration count, so a fixed budget yields byte-identical results.
 fn run_sa_chain(
     graph: &Graph,
     table: &CandidateTable,
     soa: &SaSoa,
     p: SaParams,
     target_count: usize,
+    iter_budget: Option<usize>,
 ) -> GenReport {
     let mut rng = Rng64::new(p.seed);
     let nl = graph.layer_count();
@@ -621,8 +662,11 @@ fn run_sa_chain(
     // Reusable neighbor buffer, refreshed from `choice` every iteration.
     let mut cand_choice = choice.clone();
 
-    for _ in 0..p.max_iters {
+    let cap = p.max_iters.min(iter_budget.unwrap_or(usize::MAX));
+    let mut converged = false;
+    for _ in 0..cap {
         if e <= p.epsilon {
+            converged = true;
             break;
         }
         // Neighboring state (line 10) and per-layer argmin (lines 11-14).
@@ -656,8 +700,11 @@ fn run_sa_chain(
         }
         history.push(e);
     }
+    converged = converged || e <= p.epsilon;
 
-    report_from_choices(graph, table, &choice, history)
+    let mut report = report_from_choices(graph, table, &choice, history);
+    report.truncated = iter_budget.is_some_and(|b| b < p.max_iters) && !converged;
+    report
 }
 
 // ---------------------------------------------------------------------------
@@ -899,6 +946,25 @@ mod tests {
         let r2 = generate(&g, &cfg, &e, Dataflow::KcPartition);
         assert_eq!(r1.specs, r2.specs);
         assert_eq!(r1.history, r2.history);
+    }
+
+    #[test]
+    fn sa_budget_truncates_deterministically() {
+        let (g, e) = setup();
+        let cfg = AtomGenConfig::default();
+        // Tight cap: far below max_iters, and (for this graph/seed) below
+        // the convergence point, so the truncated flag must be set.
+        let r1 = generate_budgeted(&g, &cfg, &e, Dataflow::KcPartition, Some(3));
+        let r2 = generate_budgeted(&g, &cfg, &e, Dataflow::KcPartition, Some(3));
+        assert_eq!(r1.specs, r2.specs);
+        assert_eq!(r1.history, r2.history);
+        assert!(r1.history.len() <= 4); // initial E + ≤3 iterations
+                                        // A budget at/above max_iters never truncates.
+        let full = generate_budgeted(&g, &cfg, &e, Dataflow::KcPartition, Some(10_000));
+        assert!(!full.truncated);
+        // An unlimited run is identical to budget=None.
+        let unb = generate(&g, &cfg, &e, Dataflow::KcPartition);
+        assert_eq!(full.specs, unb.specs);
     }
 
     #[test]

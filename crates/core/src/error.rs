@@ -12,6 +12,7 @@ use accel_sim::{ProgramError, SimError};
 
 use crate::mapping::MappingError;
 use crate::scheduler::ScheduleError;
+use crate::validate::ValidationError;
 
 /// Any error raised while scheduling, mapping, lowering or simulating a
 /// workload.
@@ -32,6 +33,9 @@ pub enum PipelineError {
         /// The missing [`crate::pipeline::PlanContext`] artifact.
         missing: &'static str,
     },
+    /// Plan admission rejected a pipeline artifact
+    /// ([`crate::validate`], [`crate::ValidateMode::Deny`]).
+    Validation(ValidationError),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -44,6 +48,7 @@ impl std::fmt::Display for PipelineError {
                 f,
                 "stage `{stage}` ran before the stage that produces `{missing}`"
             ),
+            PipelineError::Validation(e) => write!(f, "validation failed: {e}"),
         }
     }
 }
@@ -55,7 +60,14 @@ impl std::error::Error for PipelineError {
             PipelineError::Mapping(e) => Some(e),
             PipelineError::Sim(e) => Some(e),
             PipelineError::StageOrder { .. } => None,
+            PipelineError::Validation(e) => Some(e),
         }
+    }
+}
+
+impl From<ValidationError> for PipelineError {
+    fn from(e: ValidationError) -> Self {
+        PipelineError::Validation(e)
     }
 }
 

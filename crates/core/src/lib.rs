@@ -32,6 +32,13 @@
 //! stage lists over the same machinery, so every strategy is measured
 //! identically.
 //!
+//! Two robustness layers sit on top: the [`validate`] module independently
+//! re-checks every pipeline artifact against the paper's invariants
+//! ([`ValidateMode`] selects deny/warn/off), and [`PlanBudget`] bounds the
+//! SA and DP searches so planning is *anytime* — on exhaustion the best
+//! validated plan so far is returned, falling back to the greedy LS
+//! baseline if nothing passed admission ([`BudgetOutcome`]).
+//!
 //! ```rust
 //! use atomic_dataflow::{Optimizer, OptimizerConfig};
 //! use dnn_graph::models;
@@ -53,6 +60,7 @@ mod optimizer;
 pub mod pipeline;
 mod recovery;
 pub mod scheduler;
+pub mod validate;
 
 pub use atom::{AtomCoords, AtomCost, AtomSpec, Range};
 pub use atomgen::{AtomGenConfig, AtomGenMode, GenReport, SaParams};
@@ -64,3 +72,6 @@ pub use optimizer::{OptimizeResult, Optimizer, OptimizerConfig, Strategy};
 pub use pipeline::{Pipeline, PlanContext, PlanOutcome, Stage, StageReport};
 pub use recovery::{run_with_recovery, RecoveryConfig, RecoveryOutcome};
 pub use scheduler::{Schedule, ScheduleError, ScheduleMode, Scheduler, SchedulerConfig};
+pub use validate::{
+    admit, Artifact, BudgetOutcome, Invariant, PlanBudget, ValidateMode, ValidationError,
+};

@@ -13,6 +13,7 @@ use crate::error::PipelineError;
 use crate::mapping::{Mapper, MappingConfig};
 use crate::pipeline::{Pipeline, PlanContext, PlanOutcome, StageReport};
 use crate::scheduler::{Schedule, ScheduleMode, Scheduler, SchedulerConfig};
+use crate::validate::{BudgetOutcome, PlanBudget, ValidateMode};
 
 /// Configuration of the full pipeline. Also consumed by the baselines so
 /// that every strategy sees the identical platform.
@@ -41,6 +42,13 @@ pub struct OptimizerConfig {
     /// always visit candidates in index order, so every value of this field
     /// produces byte-identical results (1 = fully sequential, the default).
     pub parallelism: usize,
+    /// Plan-admission mode: every pipeline artifact is audited by
+    /// [`crate::validate`] after the stage that produced it. Defaults to
+    /// `Deny` in debug builds and `Off` in release.
+    pub validate: ValidateMode,
+    /// Anytime-planning budget (iteration caps + coarse deadline); the
+    /// default is unlimited.
+    pub budget: PlanBudget,
 }
 
 impl OptimizerConfig {
@@ -60,6 +68,8 @@ impl OptimizerConfig {
             mapping: MappingConfig::default(),
             search_targets: [24, 64, 160],
             parallelism: 1,
+            validate: ValidateMode::default(),
+            budget: PlanBudget::unlimited(),
         }
     }
 
@@ -98,6 +108,18 @@ impl OptimizerConfig {
         self
     }
 
+    /// Returns a copy with a different plan-admission mode.
+    pub fn with_validate(mut self, validate: ValidateMode) -> Self {
+        self.validate = validate;
+        self
+    }
+
+    /// Returns a copy with a different planning budget.
+    pub fn with_budget(mut self, budget: PlanBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Number of engines in the configured mesh.
     pub fn engines(&self) -> usize {
         self.sim.engines()
@@ -128,6 +150,10 @@ pub struct OptimizeResult {
     /// Per-stage wall times and summaries of the winning candidate's
     /// pipeline run (reporting only — never an input to planning).
     pub stage_reports: Vec<StageReport>,
+    /// Whether the search completed within its [`PlanBudget`], was
+    /// truncated (best-so-far validated plan), or fell back to the greedy
+    /// LS plan because no candidate passed admission.
+    pub budget: BudgetOutcome,
 }
 
 /// Drives atom generation → DAG scheduling → atom–engine mapping →
@@ -220,12 +246,24 @@ impl Optimizer {
         // (layer, extent), so each extent is evaluated once across the
         // whole search instead of once per candidate.
         let interner = std::sync::Arc::new(crate::atomic_dag::CostInterner::new());
+        let t0 = std::time::Instant::now(); // ad-lint: allow(d2) — coarse deadline, gates whole refinement passes only
         let candidates = scoped_map(targets.len(), self.cfg.parallelism, |i| {
             self.optimize_at(graph, targets[i], self.cfg.schedule_mode, &interner)
         });
+        // Validation rejections disqualify a candidate without aborting the
+        // search (anytime semantics: keep the best *admitted* plan); every
+        // other error is a real failure and propagates.
+        let mut rejected = false;
         let mut best: Option<(usize, OptimizeResult)> = None;
         for (target, candidate) in targets.iter().zip(candidates) {
-            let candidate = candidate?;
+            let candidate = match candidate {
+                Ok(c) => c,
+                Err(PipelineError::Validation(_)) => {
+                    rejected = true;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             if best
                 .as_ref()
                 .is_none_or(|(_, b)| candidate.stats.total_cycles < b.stats.total_cycles)
@@ -234,6 +272,11 @@ impl Optimizer {
             }
         }
         let Some((best_target, mut best)) = best else {
+            if rejected {
+                // Every candidate failed admission: degrade gracefully to
+                // the greedy LS plan (which itself must pass admission).
+                return self.ls_fallback(graph);
+            }
             // All targets zero: run once at the configured default.
             return self.optimize_at(
                 graph,
@@ -244,14 +287,71 @@ impl Optimizer {
         };
         // Layer-topological ordering is itself a point in Alg. 2's search
         // space; when DP search is enabled, evaluate it at the winning
-        // granularity and keep whichever the simulator prefers.
+        // granularity and keep whichever the simulator prefers. Skipped if
+        // the coarse deadline has passed — a whole-pass gate, so plan bytes
+        // at a fixed iteration budget stay deterministic.
         if matches!(self.cfg.schedule_mode, ScheduleMode::Dp { .. }) {
-            let lo = self.optimize_at(graph, best_target, ScheduleMode::LayerOrder, &interner)?;
-            if lo.stats.total_cycles < best.stats.total_cycles {
-                best = lo;
+            let deadline_hit = self
+                .cfg
+                .budget
+                .deadline_ms
+                .is_some_and(|ms| t0.elapsed().as_millis() >= u128::from(ms));
+            if deadline_hit {
+                best.budget = BudgetOutcome::Truncated {
+                    stage: "refine",
+                    fallback: false,
+                };
+            } else {
+                match self.optimize_at(graph, best_target, ScheduleMode::LayerOrder, &interner) {
+                    Ok(lo) => {
+                        if lo.stats.total_cycles < best.stats.total_cycles {
+                            best = lo;
+                        }
+                    }
+                    // An inadmissible refinement never replaces an admitted
+                    // plan.
+                    Err(PipelineError::Validation(_)) => {}
+                    Err(e) => return Err(e),
+                }
             }
         }
         Ok(best)
+    }
+
+    /// Graceful degradation when no search candidate passes admission: the
+    /// greedy layer-sequential plan, itself run through admission, packaged
+    /// as an [`OptimizeResult`] flagged `Truncated{admission, fallback}`.
+    fn ls_fallback(&self, graph: &Graph) -> Result<OptimizeResult, PipelineError> {
+        let mut ctx = PlanContext::new(graph, self.cfg);
+        baselines::ls::pipeline().run(&mut ctx)?;
+        let missing = |m: &'static str| PipelineError::StageOrder {
+            stage: "ls-fallback",
+            missing: m,
+        };
+        let dag = ctx.dag.take().ok_or_else(|| missing("dag"))?;
+        let mapped = ctx.mapped.take().ok_or_else(|| missing("mapped rounds"))?;
+        let program = ctx.program.take().ok_or_else(|| missing("program"))?;
+        let stats = ctx.stats.take().ok_or_else(|| missing("stats"))?;
+        let engines = self.cfg.engines();
+        let occupied: usize = mapped.iter().map(Vec::len).sum();
+        let occupancy = if mapped.is_empty() || engines == 0 {
+            0.0
+        } else {
+            occupied as f64 / (mapped.len() * engines) as f64
+        };
+        Ok(OptimizeResult {
+            occupancy,
+            rounds: mapped.len(),
+            atoms: dag.atom_count(),
+            program,
+            stats,
+            gen_report: GenReport::empty(),
+            stage_reports: ctx.reports,
+            budget: BudgetOutcome::Truncated {
+                stage: "admission",
+                fallback: true,
+            },
+        })
     }
 
     /// One pass of the staged pipeline ([`Pipeline::standard`]) at a fixed
@@ -275,6 +375,13 @@ impl Optimizer {
         let sched = ctx.schedule.take().ok_or_else(|| missing("schedule"))?;
         let program = ctx.program.take().ok_or_else(|| missing("program"))?;
         let stats = ctx.stats.take().ok_or_else(|| missing("stats"))?;
+        // The run's budget outcome is the first truncation any stage hit.
+        let budget = ctx
+            .reports
+            .iter()
+            .map(|r| r.budget)
+            .find(BudgetOutcome::is_truncated)
+            .unwrap_or(BudgetOutcome::Completed);
         Ok(OptimizeResult {
             occupancy: sched.occupancy(self.cfg.engines()),
             rounds: sched.len(),
@@ -283,6 +390,7 @@ impl Optimizer {
             stats,
             gen_report,
             stage_reports: ctx.reports,
+            budget,
         })
     }
 }

@@ -36,6 +36,7 @@ use crate::lower::{lower_remaining, LowerOptions};
 use crate::mapping::Mapper;
 use crate::optimizer::OptimizerConfig;
 use crate::scheduler::{Schedule, ScheduleMode, Scheduler, SchedulerConfig};
+use crate::validate::{self, BudgetOutcome, ValidateMode};
 
 /// Wall-time and a one-line summary of one executed stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +48,9 @@ pub struct StageReport {
     pub wall_ms: f64,
     /// One-line, human-readable summary of what the stage produced.
     pub summary: String,
+    /// Whether this stage's search ran to completion or hit a
+    /// [`crate::PlanBudget`] cap.
+    pub budget: BudgetOutcome,
 }
 
 impl StageReport {
@@ -57,6 +61,7 @@ impl StageReport {
             stage,
             wall_ms: 0.0,
             summary,
+            budget: BudgetOutcome::Completed,
         }
     }
 }
@@ -106,6 +111,10 @@ pub struct PlanContext<'g> {
     /// atom extent's [`crate::atom::AtomCost`] once instead of recomputing
     /// it per candidate. `None` (the default) builds with a private cache.
     pub cost_interner: Option<std::sync::Arc<CostInterner>>,
+    /// Bitmask of artifacts already audited by [`crate::validate::admit`]
+    /// (see the `VALIDATED_*` bits in [`crate::validate`]); cleared for
+    /// re-plannable artifacts by [`PlanContext::reset_plan`].
+    pub validated: u8,
 }
 
 impl<'g> PlanContext<'g> {
@@ -125,6 +134,7 @@ impl<'g> PlanContext<'g> {
             stats: None,
             reports: Vec::new(),
             cost_interner: None,
+            validated: 0,
         }
     }
 
@@ -145,6 +155,7 @@ impl<'g> PlanContext<'g> {
             stats: None,
             reports: Vec::new(),
             cost_interner: None,
+            validated: 0,
         }
     }
 
@@ -161,6 +172,7 @@ impl<'g> PlanContext<'g> {
         self.mapped = None;
         self.program = None;
         self.stats = None;
+        self.validated &= !validate::PLAN_BITS;
     }
 
     /// The graph, or [`PipelineError::StageOrder`] naming `stage`.
@@ -276,13 +288,24 @@ impl Pipeline {
     /// # Errors
     ///
     /// The first failing stage's error, including
-    /// [`PipelineError::StageOrder`] for malformed stage lists.
+    /// [`PipelineError::StageOrder`] for malformed stage lists and
+    /// [`PipelineError::Validation`] when admission (enabled via
+    /// [`crate::OptimizerConfig::validate`]) rejects a produced artifact.
     pub fn run(&self, ctx: &mut PlanContext<'_>) -> Result<(), PipelineError> {
         for stage in &self.stages {
             let t0 = Instant::now(); // ad-lint: allow(d2) — reporting only
             let mut report = stage.run(ctx)?;
             report.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
             ctx.reports.push(report);
+            match ctx.cfg.validate {
+                ValidateMode::Off => {}
+                ValidateMode::Deny => validate::admit(ctx)?,
+                ValidateMode::Warn => {
+                    if let Err(v) = validate::admit(ctx) {
+                        eprintln!("validation warning: {v}");
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -360,7 +383,18 @@ impl Stage for AtomGenStage {
         if let Some(t) = self.target {
             gen_cfg.target_atoms_per_layer = t;
         }
-        let report = atomgen::generate(graph, &gen_cfg, &ctx.cfg.sim.engine, ctx.cfg.dataflow);
+        let sa_budget = ctx
+            .cfg
+            .budget
+            .sa_iters
+            .map(|n| ad_util::cast::usize_from_u64(u64::from(n)));
+        let report = atomgen::generate_budgeted(
+            graph,
+            &gen_cfg,
+            &ctx.cfg.sim.engine,
+            ctx.cfg.dataflow,
+            sa_budget,
+        );
         let dag = match &ctx.cost_interner {
             Some(interner) => AtomicDag::build_interned(
                 graph,
@@ -384,9 +418,17 @@ impl Stage for AtomGenStage {
             report.unified_cycle,
             report.variance
         );
+        let truncated = report.truncated;
         ctx.gen_report = Some(report);
         ctx.dag = Some(dag);
-        Ok(StageReport::new(self.name(), summary))
+        let mut stage_report = StageReport::new(self.name(), summary);
+        if truncated {
+            stage_report.budget = BudgetOutcome::Truncated {
+                stage: self.name(),
+                fallback: false,
+            };
+        }
+        Ok(stage_report)
     }
 }
 
@@ -409,21 +451,29 @@ impl Stage for ScheduleStage {
     fn run(&self, ctx: &mut PlanContext<'_>) -> Result<StageReport, PipelineError> {
         let dag = ctx.require_dag(self.name())?;
         let engines = ctx.alive_engines();
-        let sched = Scheduler::new(
+        let (sched, truncated) = Scheduler::new(
             dag,
             SchedulerConfig {
                 engines,
                 mode: self.mode.unwrap_or(ctx.cfg.schedule_mode),
             },
         )
-        .schedule_remaining(&ctx.done)?;
+        .with_budget(ctx.cfg.budget.dp_expansions)
+        .schedule_remaining_budgeted(&ctx.done)?;
         let summary = format!(
             "{} rounds, occupancy {:.2}",
             sched.len(),
             sched.occupancy(engines)
         );
         ctx.schedule = Some(sched);
-        Ok(StageReport::new(self.name(), summary))
+        let mut report = StageReport::new(self.name(), summary);
+        if truncated {
+            report.budget = BudgetOutcome::Truncated {
+                stage: self.name(),
+                fallback: false,
+            };
+        }
+        Ok(report)
     }
 }
 

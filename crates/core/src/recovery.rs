@@ -16,7 +16,10 @@
 
 use std::collections::BTreeSet;
 
-use accel_sim::{FaultEvent, FaultKind, FaultPlan, FaultedOutcome, SimError, SimStats, Simulator};
+use accel_sim::{
+    DegradationStats, FaultEvent, FaultKind, FaultPlan, FaultedOutcome, SimError, SimStats,
+    Simulator,
+};
 
 use crate::atomic_dag::AtomicDag;
 use crate::error::PipelineError;
@@ -70,6 +73,17 @@ pub struct RecoveryOutcome {
     pub attempts: usize,
     /// Engines retired by fatal failures, in failure order.
     pub failed_engines: Vec<usize>,
+    /// Per-attempt degradation counters, in attempt order (one entry per
+    /// simulator run, the last being the completing attempt). The merged
+    /// [`RecoveryOutcome::stats`] sums the event counters across attempts —
+    /// each loss/reroute event happens in exactly one attempt, so
+    /// `stats.degradation.lost_tasks == Σ attempt_degradation[i].lost_tasks`
+    /// and likewise for `rerouted_transfers` (pinned by a conservation
+    /// test). Structural counts (`engine_failures`, `dead_links`,
+    /// `remap_rounds`, `rerun_tasks`) are instead rebuilt from the final
+    /// attempt plus the retired-engine list, because persistent faults
+    /// re-fire in every retry and summing them would double-count.
+    pub attempt_degradation: Vec<DegradationStats>,
 }
 
 /// Schedules, maps and simulates `dag` under the fault plan, re-planning
@@ -107,6 +121,7 @@ pub fn run_with_recovery(
     ctx.done = vec![false; n];
     let replan = Pipeline::replan();
     let mut merged: Option<SimStats> = None;
+    let mut attempt_degradation: Vec<DegradationStats> = Vec::new();
     let mut attempts = 0usize;
     let mut remap_rounds = 0u64;
     let mut elapsed = 0u64;
@@ -125,6 +140,7 @@ pub fn run_with_recovery(
         match sim.run_faulted(program, &attempt_plan(plan, elapsed, &ctx.dead_engines))? {
             FaultedOutcome::Completed(stats) => {
                 let final_deg = stats.degradation;
+                attempt_degradation.push(final_deg);
                 let mut total = match merged.take() {
                     Some(m) => m.merge(&stats),
                     None => stats,
@@ -141,6 +157,7 @@ pub fn run_with_recovery(
                     stats: total,
                     attempts,
                     failed_engines: ctx.dead_engines,
+                    attempt_degradation,
                 });
             }
             FaultedOutcome::Failed(report) => {
@@ -152,6 +169,7 @@ pub fn run_with_recovery(
                         round: report.round,
                     }));
                 }
+                attempt_degradation.push(report.partial.degradation);
                 let lost: BTreeSet<_> = report.lost.iter().copied().collect();
                 for t in &report.completed {
                     if !lost.contains(t) {
@@ -266,6 +284,64 @@ mod tests {
             err,
             PipelineError::Sim(SimError::EngineFailed { .. })
         ));
+    }
+
+    #[test]
+    fn recovery_counters_conserve_across_attempts() {
+        // The merged outcome must be an exact accounting of the per-attempt
+        // runs: every event counter (losses, reroutes) summed exactly once,
+        // the derate the worst seen, and one degradation record per attempt.
+        let (dag, cfg) = dag_and_cfg();
+        let healthy =
+            run_with_recovery(&dag, &cfg, &FaultPlan::none(), &RecoveryConfig::auto()).unwrap();
+        assert_eq!(healthy.attempt_degradation.len(), 1);
+        assert!(healthy.attempt_degradation[0].is_healthy());
+
+        let plan = FaultPlan::seeded(
+            0xFEED,
+            &cfg.sim.mesh,
+            healthy.stats.total_cycles,
+            &FaultRates {
+                engine_fail_prob: 0.3,
+                ..FaultRates::uniform(0.15)
+            },
+        );
+        let out = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto()).unwrap();
+        assert_eq!(out.attempt_degradation.len(), out.attempts);
+        let deg = &out.stats.degradation;
+        let sum = |f: fn(&DegradationStats) -> u64| -> u64 {
+            out.attempt_degradation.iter().map(f).sum()
+        };
+        // Event counters: each loss/reroute happened in exactly one attempt.
+        assert_eq!(deg.lost_tasks, sum(|d| d.lost_tasks), "lost_tasks drift");
+        assert_eq!(
+            deg.rerouted_transfers,
+            sum(|d| d.rerouted_transfers),
+            "rerouted_transfers drift"
+        );
+        // The merged derate is the worst any attempt saw.
+        let worst = out
+            .attempt_degradation
+            .iter()
+            .map(|d| d.hbm_derate)
+            .fold(1.0f64, f64::min);
+        assert_eq!(deg.hbm_derate, worst);
+        // Structural counts are rebuilt, not summed: retired engines appear
+        // once each no matter how many retries re-observed them.
+        assert_eq!(
+            deg.engine_failures,
+            out.failed_engines.len() as u64
+                + out
+                    .attempt_degradation
+                    .last()
+                    .map_or(0, |d| d.engine_failures)
+        );
+        // Lost work is counted exactly once: every executed task is either
+        // the single required run of an atom or an accounted rerun.
+        assert_eq!(
+            out.stats.tasks as u64,
+            dag.atom_count() as u64 + out.stats.degradation.rerun_tasks
+        );
     }
 
     #[test]

@@ -154,6 +154,8 @@ pub struct Scheduler<'a> {
     /// Whether the DP lookahead memoizes `estimate` results in a
     /// transposition table (on by default; [`Scheduler::with_memo`]).
     memo: bool,
+    /// Optional cap on DP expansions ([`Scheduler::with_budget`]).
+    budget: Option<u64>,
 }
 
 /// Instance = one layer of one batch sample.
@@ -248,6 +250,40 @@ impl MemoTable {
                 i = (i + 1) & (self.slots.len() - 1);
             }
             self.slots[i] = Some(entry);
+        }
+    }
+}
+
+/// Deterministic expansion budget for the DP lookahead ([`crate::PlanBudget`]'s
+/// `dp_expansions`). One unit is charged per variant evaluated in
+/// [`Scheduler::best_combo`] and per [`Scheduler::estimate`] entry; when the
+/// pool runs dry the search degrades to the strict priority-order variant
+/// (the greedy Alg. 2 answer) instead of aborting, and the truncation is
+/// reported to the caller. Counting expansions — not wall-clock — keeps
+/// budgeted runs byte-identical across machines and reruns.
+struct SearchBudget {
+    /// Units left; `u64::MAX` when unlimited.
+    left: u64,
+    /// Whether any `take` was ever refused.
+    truncated: bool,
+}
+
+impl SearchBudget {
+    fn new(limit: Option<u64>) -> Self {
+        Self {
+            left: limit.unwrap_or(u64::MAX),
+            truncated: false,
+        }
+    }
+
+    /// Charges `n` units; `false` (and latches `truncated`) once exhausted.
+    fn take(&mut self, n: u64) -> bool {
+        if self.left >= n {
+            self.left -= n;
+            true
+        } else {
+            self.truncated = true;
+            false
         }
     }
 }
@@ -537,6 +573,7 @@ impl<'a> Scheduler<'a> {
             dag,
             cfg,
             memo: true,
+            budget: None,
         }
     }
 
@@ -549,6 +586,19 @@ impl<'a> Scheduler<'a> {
     /// switch exists for that test and for profiling the raw search.
     pub fn with_memo(mut self, enabled: bool) -> Self {
         self.memo = enabled;
+        self
+    }
+
+    /// Caps the number of DP expansions (`None` = unlimited). One unit is
+    /// charged per combination variant evaluated and per lookahead-estimate
+    /// entry. When the budget runs out mid-search, every subsequent round
+    /// degrades to the strict priority-order (greedy) variant, so the
+    /// result is always a complete, valid schedule — the anytime property
+    /// of [`crate::PlanBudget`]. A cap of `Some(0)` reproduces
+    /// [`ScheduleMode::PriorityGreedy`] exactly. Budgeted runs stay
+    /// deterministic: the cap counts expansions, never wall-clock.
+    pub fn with_budget(mut self, budget: Option<u64>) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -574,6 +624,23 @@ impl<'a> Scheduler<'a> {
     /// have exactly one flag per atom, plus everything
     /// [`Scheduler::schedule`] can return.
     pub fn schedule_remaining(&self, done: &[bool]) -> Result<Schedule, ScheduleError> {
+        self.schedule_remaining_budgeted(done).map(|(s, _)| s)
+    }
+
+    /// Like [`Scheduler::schedule_remaining`], additionally reporting
+    /// whether the expansion budget ([`Scheduler::with_budget`]) was
+    /// exhausted. `true` means the DP search degraded to greedy selection
+    /// for at least one round; the schedule itself is still complete and
+    /// valid (best-so-far, anytime semantics).
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Scheduler::schedule_remaining`] — budget exhaustion
+    /// is never an error.
+    pub fn schedule_remaining_budgeted(
+        &self,
+        done: &[bool],
+    ) -> Result<(Schedule, bool), ScheduleError> {
         if self.cfg.engines == 0 {
             return Err(ScheduleError::NoEngines);
         }
@@ -590,14 +657,15 @@ impl<'a> Scheduler<'a> {
             self.memo
                 && matches!(self.cfg.mode, ScheduleMode::Dp { lookahead, .. } if lookahead > 0),
         );
+        let mut sb = SearchBudget::new(self.budget);
 
         if self.cfg.mode == ScheduleMode::LayerOrder {
-            return Ok(self.schedule_layer_order(done));
+            return Ok((self.schedule_layer_order(done), false));
         }
         while state.remaining > 0 {
             let combo = match self.cfg.mode {
                 ScheduleMode::Dp { lookahead, branch } => {
-                    self.best_combo(&mut state, &mut memo, n, lookahead, branch)
+                    self.best_combo(&mut state, &mut memo, &mut sb, n, lookahead, branch)
                 }
                 // `LayerOrder` returned above; greedy selection covers it
                 // and `PriorityGreedy` alike.
@@ -611,7 +679,7 @@ impl<'a> Scheduler<'a> {
             state.apply(&combo);
             rounds.push(combo);
         }
-        Ok(Schedule { rounds })
+        Ok((Schedule { rounds }, sb.truncated))
     }
 
     /// Layer-topological wave schedule (no cross-layer mixing); atoms of a
@@ -708,20 +776,33 @@ impl<'a> Scheduler<'a> {
         &self,
         state: &mut State<'_>,
         memo: &mut MemoTable,
+        sb: &mut SearchBudget,
         n: usize,
         lookahead: usize,
         branch: usize,
     ) -> Vec<AtomId> {
         let variants = self.variants(state, n, branch);
         if variants.len() == 1 {
+            // A forced move: no choice to spend budget on.
             return variants.into_iter().next().unwrap_or_default();
         }
+        let Some(first) = variants.first().cloned() else {
+            // Impossible (`variants` always emits the priority variant);
+            // degrades to the caller's live-lock error path.
+            return Vec::new();
+        };
         let mut best: Option<(u64, Vec<AtomId>)> = None;
         for combo in variants {
+            // Each variant evaluation costs one budget unit; unaffordable
+            // variants are skipped, and if none were evaluated the strict
+            // priority-order variant (the greedy answer) wins by default.
+            if !sb.take(1) {
+                continue;
+            }
             let cost = {
                 let rc = state.round_cost(&combo);
                 let journal = state.apply(&combo);
-                let future = self.estimate(state, memo, n, lookahead, branch);
+                let future = self.estimate(state, memo, sb, n, lookahead, branch);
                 state.undo(journal);
                 rc + future
             };
@@ -729,9 +810,7 @@ impl<'a> Scheduler<'a> {
                 best = Some((cost, combo));
             }
         }
-        // `variants` is never empty, so `best` is always set; an (impossible)
-        // empty result degrades to the caller's live-lock error path.
-        best.map(|(_, combo)| combo).unwrap_or_default()
+        best.map_or(first, |(_, combo)| combo)
     }
 
     /// Cost-to-go estimate: recurse while lookahead remains, then fall back
@@ -743,6 +822,7 @@ impl<'a> Scheduler<'a> {
         &self,
         state: &mut State<'_>,
         memo: &mut MemoTable,
+        sb: &mut SearchBudget,
         n: usize,
         lookahead: usize,
         branch: usize,
@@ -751,6 +831,13 @@ impl<'a> Scheduler<'a> {
             return 0;
         }
         if lookahead == 0 {
+            return state.remaining_bound(n);
+        }
+        // Each lookahead expansion costs one budget unit; once exhausted the
+        // tail collapses to the remaining-work lower bound (the same value
+        // `lookahead == 0` would use), so truncation degrades the estimate
+        // quality, never its validity.
+        if !sb.take(1) {
             return state.remaining_bound(n);
         }
         let key = if memo.enabled {
@@ -774,7 +861,7 @@ impl<'a> Scheduler<'a> {
             }
             let rc = state.round_cost(&combo);
             let journal = state.apply(&combo);
-            let future = self.estimate(state, memo, n, lookahead - 1, branch);
+            let future = self.estimate(state, memo, sb, n, lookahead - 1, branch);
             state.undo(journal);
             best = best.min(rc + future);
         }
@@ -1125,6 +1212,56 @@ mod tests {
                 }
             }
             assert_eq!(seen.len(), d.atom_count() - done_count, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_dp_degrades_to_greedy() {
+        // With no expansions affordable, every round falls back to the
+        // strict priority-order variant — exactly the greedy schedule —
+        // and the truncation is reported.
+        let (_, d) = dag(2, 8);
+        let (s, truncated) = Scheduler::new(&d, SchedulerConfig::dp(4))
+            .with_budget(Some(0))
+            .schedule_remaining_budgeted(&[])
+            .unwrap();
+        assert!(truncated, "zero budget on a branching DAG must truncate");
+        let greedy = Scheduler::new(&d, SchedulerConfig::greedy(4))
+            .schedule()
+            .unwrap();
+        assert_eq!(s, greedy);
+        check_valid(&d, &s, 4);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_search() {
+        let (_, d) = dag(2, 8);
+        let (s, truncated) = Scheduler::new(&d, SchedulerConfig::dp(4))
+            .with_budget(None)
+            .schedule_remaining_budgeted(&[])
+            .unwrap();
+        assert!(!truncated);
+        let full = Scheduler::new(&d, SchedulerConfig::dp(4))
+            .schedule()
+            .unwrap();
+        assert_eq!(s, full);
+    }
+
+    #[test]
+    fn budgeted_search_is_deterministic_and_valid() {
+        let (_, d) = dag(2, 8);
+        for budget in [1u64, 7, 50, 1000] {
+            let run = || {
+                Scheduler::new(&d, SchedulerConfig::dp(4))
+                    .with_budget(Some(budget))
+                    .schedule_remaining_budgeted(&[])
+                    .unwrap()
+            };
+            let (a, ta) = run();
+            let (b, tb) = run();
+            assert_eq!(a, b, "budget {budget} rerun diverged");
+            assert_eq!(ta, tb);
+            check_valid(&d, &a, 4);
         }
     }
 

@@ -14,12 +14,14 @@
 mod efficientnet;
 mod inception;
 mod nasnet;
+mod random;
 mod resnet;
 mod vgg;
 
 pub use efficientnet::efficientnet;
 pub use inception::inception_v3;
 pub use nasnet::{nasnet, pnasnet};
+pub use random::{random, RandomGraphConfig};
 pub use resnet::{resnet1001, resnet152, resnet50};
 pub use vgg::vgg19;
 

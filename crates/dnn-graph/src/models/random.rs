@@ -1,0 +1,239 @@
+//! Seeded adversarial graph generator for differential testing.
+//!
+//! The hand-written workloads all have friendly, power-of-two-ish feature
+//! maps; the planner's tiling, scheduling and validation logic is most
+//! likely to break on the shapes nobody drew by hand — prime extents, odd
+//! channel counts, deep fan-out joined by `Add`/`Concat`, degenerate 1×1
+//! maps after repeated downsampling. [`random`] builds such graphs from a
+//! single seed: every structural choice is drawn from an [`Rng64`] stream,
+//! so a failing seed reproduces the exact graph forever (the generator is
+//! pinned by a determinism test and never changes stream consumption order
+//! for a given config).
+//!
+//! Construction is correct by construction — branches joined by `Add` are
+//! forced to a common shape and `Concat` only merges equal-`h×w` maps — so
+//! every generated graph passes [`Graph::validate`] and differences found
+//! downstream are planner bugs, not generator bugs.
+
+use ad_util::Rng64;
+
+use crate::{ConvParams, Graph, LayerId, PoolParams, TensorShape};
+
+/// Shape/structure knobs for [`random`]. The defaults generate small,
+/// awkward graphs suitable for per-seed test loops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomGraphConfig {
+    /// Seed of the structural RNG stream; equal seeds (and equal other
+    /// fields) yield identical graphs.
+    pub seed: u64,
+    /// Number of branching body blocks between the stem and the
+    /// classifier funnel.
+    pub blocks: usize,
+    /// Maximum branches per block (≥ 1); the actual fan-out of each block
+    /// is drawn uniformly from `1..=max_fanout`.
+    pub max_fanout: usize,
+    /// Probability that a block leaves one branch dangling as a skip to
+    /// the classifier funnel instead of joining it (exercises long-range
+    /// dependencies and multi-leaf graphs).
+    pub skip_prob: f64,
+}
+
+impl Default for RandomGraphConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            blocks: 4,
+            max_fanout: 3,
+            skip_prob: 0.25,
+        }
+    }
+}
+
+impl RandomGraphConfig {
+    /// The default structure under a specific seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Deliberately awkward menus: primes and near-primes that defeat every
+/// power-of-two tiling assumption, including PE-array multiples.
+const ODD_HW: [usize; 6] = [17, 19, 23, 29, 31, 37];
+const ODD_CIN: [usize; 5] = [3, 5, 7, 11, 13];
+const ODD_COUT: [usize; 6] = [9, 13, 17, 21, 27, 33];
+
+/// Builds a random but always-valid DNN graph from `cfg` (see the module
+/// docs). The result has one input, one `fc` output, and passes
+/// [`Graph::validate`] for every seed.
+pub fn random(cfg: &RandomGraphConfig) -> Graph {
+    let mut rng = Rng64::new(cfg.seed ^ 0xAD5E_ED00);
+    let mut g = Graph::new(format!("random_{:016x}", cfg.seed));
+    let shape = TensorShape::new(
+        ODD_HW[rng.below(ODD_HW.len())],
+        ODD_HW[rng.below(ODD_HW.len())],
+        ODD_CIN[rng.below(ODD_CIN.len())],
+    );
+    let x = g.add_input(shape);
+    let stem_c = pick_cout(&mut rng);
+    let mut trunk = g.add_conv("stem", x, conv_kxk(&mut rng, stem_c));
+    // Dangling branch outputs routed straight to the classifier funnel.
+    let mut leaves: Vec<LayerId> = Vec::new();
+
+    for b in 0..cfg.blocks {
+        let fanout = rng.range_usize(1, cfg.max_fanout.max(1) + 1);
+        // `Add` joins need a common channel count; draw it once per block.
+        let residual = fanout > 1 && rng.chance(0.5);
+        let join_c = if residual {
+            g.layer(trunk).out_shape().c
+        } else {
+            pick_cout(&mut rng)
+        };
+        let mut branches: Vec<LayerId> = Vec::with_capacity(fanout);
+        for f in 0..fanout {
+            let name = format!("b{b}_br{f}");
+            // Shape-preserving branch ops only — joins stay legal even on
+            // 1×1 maps: odd-k convs with same-pad, or a pad-1 3×3 avg pool
+            // (guarded, since its output shrinks below h/w = 3).
+            let hw = g.layer(trunk).out_shape();
+            let branch = if rng.chance(0.2) && hw.h >= 3 && hw.w >= 3 && !residual {
+                g.add_pool(name, trunk, PoolParams::avg(3, 1).with_pad(1))
+            } else {
+                let c = if residual {
+                    join_c
+                } else {
+                    pick_cout(&mut rng)
+                };
+                g.add_conv(name, trunk, conv_kxk(&mut rng, c))
+            };
+            branches.push(branch);
+        }
+        // Maybe peel one branch off as a long skip to the funnel.
+        if branches.len() > 1 && rng.chance(cfg.skip_prob) {
+            let idx = rng.below(branches.len());
+            leaves.push(branches.swap_remove(idx));
+        }
+        trunk = if branches.len() == 1 {
+            branches[0]
+        } else if residual && branches.iter().all(|&l| g.layer(l).out_shape().c == join_c) {
+            branches.push(trunk); // the bypass path of the residual
+            g.add_add(format!("b{b}_add"), &branches)
+        } else {
+            // All branches preserved h×w, so concat is always legal.
+            g.add_concat(format!("b{b}_cat"), &branches)
+        };
+        // Occasional strided downsample, guarded so later pools stay legal.
+        let hw = g.layer(trunk).out_shape();
+        if hw.h >= 8 && hw.w >= 8 && rng.chance(0.4) {
+            trunk = g.add_pool(format!("b{b}_down"), trunk, PoolParams::max(2, 2));
+        }
+    }
+
+    // Deterministic classifier funnel: every leaf (skips + trunk) is
+    // globally pooled to 1×1, multi-leaf graphs concat the pooled vectors,
+    // and a 10-way fc closes the graph with a single output.
+    leaves.push(trunk);
+    let pooled: Vec<LayerId> = leaves
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| g.add_gap(format!("gap{i}"), l))
+        .collect();
+    let head = if pooled.len() == 1 {
+        pooled[0]
+    } else {
+        g.add_concat("head_cat", &pooled)
+    };
+    g.add_fc("fc", head, 10);
+    g
+}
+
+/// An odd-kernel same-pad unit-stride convolution to `out_channels`:
+/// k ∈ {1, 3, 5}, pad = k/2, so `h×w` is preserved exactly.
+fn conv_kxk(rng: &mut Rng64, out_channels: usize) -> ConvParams {
+    let k = [1usize, 3, 5][rng.below(3)];
+    ConvParams::new(k, 1, k / 2, out_channels)
+}
+
+fn pick_cout(rng: &mut Rng64) -> usize {
+    ODD_COUT[rng.below(ODD_COUT.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seed_validates() {
+        for seed in 0..100u64 {
+            let g = random(&RandomGraphConfig::seeded(seed));
+            assert!(g.validate().is_ok(), "seed {seed} built an invalid graph");
+            assert_eq!(g.inputs().len(), 1, "seed {seed}");
+            assert!(!g.outputs().is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+            let a = random(&RandomGraphConfig::seeded(seed));
+            let b = random(&RandomGraphConfig::seeded(seed));
+            assert_eq!(a.layer_count(), b.layer_count(), "seed {seed}");
+            for (la, lb) in a.layers().zip(b.layers()) {
+                assert_eq!(la.name(), lb.name(), "seed {seed}");
+                assert_eq!(la.out_shape(), lb.out_shape(), "seed {seed}");
+            }
+            let ea: Vec<_> = a.edges().collect();
+            let eb: Vec<_> = b.edges().collect();
+            assert_eq!(ea, eb, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn seeds_produce_structural_variety() {
+        // Across a seed sweep the generator must exercise both join kinds
+        // and at least one multi-leaf (skip) funnel.
+        let mut saw_add = false;
+        let mut saw_concat = false;
+        let mut saw_multi_leaf = false;
+        for seed in 0..50u64 {
+            let g = random(&RandomGraphConfig::seeded(seed));
+            for l in g.layers() {
+                match l.op() {
+                    crate::OpKind::Add => saw_add = true,
+                    crate::OpKind::Concat => saw_concat = true,
+                    _ => {}
+                }
+                if l.name() == "head_cat" {
+                    saw_multi_leaf = true;
+                }
+            }
+        }
+        assert!(saw_add, "no seed produced a residual add");
+        assert!(saw_concat, "no seed produced a concat");
+        assert!(saw_multi_leaf, "no seed produced a skip leaf");
+    }
+
+    #[test]
+    fn config_knobs_change_structure() {
+        let deep = random(&RandomGraphConfig {
+            seed: 3,
+            blocks: 8,
+            max_fanout: 1,
+            skip_prob: 0.0,
+        });
+        let wide = random(&RandomGraphConfig {
+            seed: 3,
+            blocks: 2,
+            max_fanout: 5,
+            skip_prob: 0.0,
+        });
+        assert!(deep.validate().is_ok());
+        assert!(wide.validate().is_ok());
+        // Fan-out 1 with no skips yields a pure chain: no joins at all.
+        assert!(deep
+            .layers()
+            .all(|l| !matches!(l.op(), crate::OpKind::Add | crate::OpKind::Concat)));
+    }
+}

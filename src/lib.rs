@@ -24,9 +24,10 @@ pub mod prelude {
         SimError, SimStats, Simulator,
     };
     pub use atomic_dataflow::{
-        baselines, run_with_recovery, AtomGenConfig, AtomGenMode, MappingConfig, Optimizer,
-        OptimizerConfig, Pipeline, PipelineError, PlanContext, PlanOutcome, RecoveryConfig,
-        RecoveryOutcome, ScheduleMode, SchedulerConfig, Stage, StageReport, Strategy,
+        baselines, run_with_recovery, AtomGenConfig, AtomGenMode, BudgetOutcome, MappingConfig,
+        Optimizer, OptimizerConfig, Pipeline, PipelineError, PlanBudget, PlanContext, PlanOutcome,
+        RecoveryConfig, RecoveryOutcome, ScheduleMode, SchedulerConfig, Stage, StageReport,
+        Strategy, ValidateMode, ValidationError,
     };
     pub use dnn_graph::{models, Graph, Layer, LayerId, OpKind};
     pub use engine_model::{ConvTask, CostEstimate, Dataflow, EngineConfig};

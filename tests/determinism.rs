@@ -67,6 +67,37 @@ fn optimizer_is_deterministic_across_thread_counts() {
     assert_eq!(a.program.rounds(), b.program.rounds());
 }
 
+/// Anytime planning under a tight budget: a ResNet-50 plan cut short by
+/// iteration caps must still pass Deny-mode admission, report the
+/// truncation, and — because the caps count iterations, never wall-clock —
+/// serialize byte-identically across reruns.
+#[test]
+fn tight_budget_resnet50_is_deterministic_and_truncated() {
+    let g = models::resnet50();
+    let cfg = OptimizerConfig::fast_test()
+        .with_validate(ValidateMode::Deny)
+        .with_budget(
+            PlanBudget::unlimited()
+                .with_sa_iters(5)
+                .with_dp_expansions(1_000),
+        );
+    let a = Optimizer::new(cfg).optimize(&g).unwrap();
+    let b = Optimizer::new(cfg).optimize(&g).unwrap();
+    assert!(
+        a.budget.is_truncated(),
+        "a 5-iteration SA cap on ResNet-50 must truncate, got {}",
+        a.budget
+    );
+    assert_eq!(
+        a.stats.to_json().to_compact(),
+        b.stats.to_json().to_compact(),
+        "budgeted reruns diverged"
+    );
+    assert_eq!(a.budget, b.budget);
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.atoms, b.atoms);
+}
+
 /// Recovery replans after an injected engine failure; the replan path
 /// (schedule_remaining + remapping onto survivors) must be reproducible.
 #[test]

@@ -276,6 +276,84 @@ fn atomic_dag_edges_conserve_input_volume() {
     }
 }
 
+/// Differential admission check over seeded adversarial graphs: the
+/// independent validator must pass every strategy — the full planner and
+/// all five baselines — on 50 random graphs with prime extents, odd
+/// channel counts and skip-leaf funnels. A rejection here means either a
+/// planner bug or a validator bug; both are worth failing loudly.
+#[test]
+fn adversarial_graphs_pass_admission_in_every_strategy() {
+    use atomic_dataflow::ValidateMode;
+    for seed in 0..50u64 {
+        let g = models::random(&models::RandomGraphConfig::seeded(seed));
+        let cfg = OptimizerConfig::fast_test().with_validate(ValidateMode::Deny);
+        let opt = Optimizer::new(cfg)
+            .optimize(&g)
+            .unwrap_or_else(|e| panic!("seed {seed}: planner rejected: {e}"));
+        assert!(opt.stats.tasks > 0, "seed {seed}");
+        baselines::ls::run(&g, &cfg).unwrap_or_else(|e| panic!("seed {seed}: ls rejected: {e}"));
+        baselines::cnn_p::run(&g, &cfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: cnn_p rejected: {e}"));
+        baselines::il_pipe::run(&g, &cfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: il_pipe rejected: {e}"));
+        baselines::rammer::run(&g, &cfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: rammer rejected: {e}"));
+        let ideal = baselines::ideal::run(&g, &cfg);
+        assert!(ideal.total_cycles > 0, "seed {seed}");
+    }
+}
+
+/// Differential memoization check on adversarial graphs: the DP
+/// transposition table must be a pure speedup — identical rounds with the
+/// table on and off — for every seeded graph, not just the hand-written
+/// test networks.
+#[test]
+fn memo_is_pure_speedup_on_adversarial_graphs() {
+    for seed in 0..50u64 {
+        let g = models::random(&models::RandomGraphConfig::seeded(seed));
+        let cfg = OptimizerConfig::fast_test();
+        let (_, dag) = Optimizer::new(cfg).build_dag(&g);
+        let scfg = SchedulerConfig::dp(cfg.sim.mesh.engines());
+        let on = Scheduler::new(&dag, scfg).schedule().expect("dp on");
+        let off = Scheduler::new(&dag, scfg)
+            .with_memo(false)
+            .schedule()
+            .expect("dp off");
+        assert_eq!(
+            on.rounds, off.rounds,
+            "seed {seed}: memo changed the schedule"
+        );
+    }
+}
+
+/// Differential recovery check on adversarial graphs: an early engine
+/// death forces a replan, and the replanned run — which passes through
+/// Deny-mode admission in debug builds — must complete with exact task
+/// conservation on every seeded graph.
+#[test]
+fn recovery_replans_admit_on_adversarial_graphs() {
+    for seed in 0..50u64 {
+        let g = models::random(&models::RandomGraphConfig::seeded(seed));
+        let cfg = OptimizerConfig::fast_test();
+        let (_, dag) = Optimizer::new(cfg).build_dag(&g);
+        let plan = FaultPlan::engine_fail(0, 1);
+        let out = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto())
+            .unwrap_or_else(|e| panic!("seed {seed}: recovery failed: {e}"));
+        assert!(out.attempts >= 2, "seed {seed}: death must force a replan");
+        assert_eq!(out.failed_engines, vec![0], "seed {seed}");
+        assert_eq!(
+            out.stats.tasks as u64,
+            dag.atom_count() as u64 + out.stats.degradation.rerun_tasks,
+            "seed {seed}: rerun accounting drifted"
+        );
+        assert_eq!(
+            out.attempt_degradation.len(),
+            out.attempts,
+            "seed {seed}: per-attempt counters missing"
+        );
+    }
+}
+
 /// Weight externals are consistent: every atom of the same layer and
 /// channel tile references the same weight datum with the same size.
 #[test]
