@@ -10,6 +10,52 @@
 use ad_util::Rng64;
 use noc_model::MeshConfig;
 
+/// Rejected [`FaultPlan`] generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultConfigError {
+    /// An HBM derate factor outside `(0, 1]` (or non-finite): such a plan
+    /// would model bandwidth *gains* or a division by zero, not a fault.
+    DerateFactorOutOfRange {
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A chaos profile's `derate_floor` outside `(0, 1]`: derate draws are
+    /// uniform in `[floor, 1]`, so the floor must itself be a valid factor.
+    DerateFloorOutOfRange {
+        /// The offending floor.
+        floor: f64,
+    },
+}
+
+impl std::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DerateFactorOutOfRange { factor } => {
+                write!(f, "HBM derate factor {factor} outside (0, 1]")
+            }
+            Self::DerateFloorOutOfRange { floor } => {
+                write!(f, "chaos derate floor {floor} outside (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
+
+/// `true` iff `f` is a usable bandwidth factor.
+fn valid_factor(f: f64) -> bool {
+    f.is_finite() && f > 0.0 && f <= 1.0
+}
+
+/// Clamps a probability into `[0, 1]`, mapping NaN to 0 (never fires).
+fn clamp_prob(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
+}
+
 /// One kind of injected hardware failure.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
@@ -87,6 +133,56 @@ impl FaultRates {
     }
 }
 
+/// Shape of a [`FaultPlan::chaos`] timeline: clustered multi-fault bursts
+/// rather than the independent per-component draws of
+/// [`FaultPlan::seeded`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosProfile {
+    /// Number of fault bursts across the horizon.
+    pub bursts: usize,
+    /// Events drawn per burst.
+    pub events_per_burst: usize,
+    /// Cycles one burst spans: all its events land within this window, so
+    /// they hit the same or adjacent rounds.
+    pub burst_span: u64,
+    /// Lowest HBM bandwidth factor a derate may draw (must be in `(0, 1]`).
+    pub derate_floor: f64,
+    /// Follow each derate with a restoring `HbmDerate { factor: 1.0 }` one
+    /// burst-span later (a transient brown-out instead of a permanent loss).
+    pub transient_derates: bool,
+    /// Cap on total engine deaths; generation always leaves at least one
+    /// engine alive regardless.
+    pub max_dead_engines: usize,
+}
+
+impl ChaosProfile {
+    /// The default soak shape: three 3-event bursts, transient derates down
+    /// to 30 % bandwidth, at most a quarter of the mesh dead.
+    pub fn soak(mesh: &MeshConfig) -> Self {
+        Self {
+            bursts: 3,
+            events_per_burst: 3,
+            burst_span: 2_048,
+            derate_floor: 0.3,
+            transient_derates: true,
+            max_dead_engines: (mesh.engines() / 4).max(1),
+        }
+    }
+
+    /// A gentler shape for smoke tests: one 2-event burst, at most one
+    /// engine death.
+    pub fn mild() -> Self {
+        Self {
+            bursts: 1,
+            events_per_burst: 2,
+            burst_span: 1_024,
+            derate_floor: 0.5,
+            transient_derates: true,
+            max_dead_engines: 1,
+        }
+    }
+}
+
 impl FaultPlan {
     /// The empty plan: a healthy run.
     pub fn none() -> Self {
@@ -112,12 +208,33 @@ impl FaultPlan {
     /// fails independently with the given probability at a uniform cycle in
     /// `[0, horizon)`, and the HBM stack may derate once. The same
     /// `(seed, mesh, horizon, rates)` always yields the same plan.
-    pub fn seeded(seed: u64, mesh: &MeshConfig, horizon: u64, rates: &FaultRates) -> Self {
+    ///
+    /// Out-of-range probabilities are clamped into `[0, 1]` (NaN never
+    /// fires), so a sweep that overshoots its rate grid degrades to
+    /// "always" / "never" instead of producing undefined draws.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultConfigError::DerateFactorOutOfRange`] when
+    /// `rates.hbm_derate_factor` lies outside `(0, 1]` — silently keeping it
+    /// would model a bandwidth *gain* (or a hang at zero), which the
+    /// simulator's own admission also rejects, but only at run time.
+    pub fn seeded(
+        seed: u64,
+        mesh: &MeshConfig,
+        horizon: u64,
+        rates: &FaultRates,
+    ) -> Result<Self, FaultConfigError> {
+        if !valid_factor(rates.hbm_derate_factor) {
+            return Err(FaultConfigError::DerateFactorOutOfRange {
+                factor: rates.hbm_derate_factor,
+            });
+        }
         let mut rng = Rng64::new(seed);
         let horizon = horizon.max(1);
         let mut plan = Self::none();
         for engine in 0..mesh.engines() {
-            if rng.chance(rates.engine_fail_prob) {
+            if rng.chance(clamp_prob(rates.engine_fail_prob)) {
                 let cycle = rng.below_u64(horizon);
                 plan.events.push(FaultEvent {
                     cycle,
@@ -127,7 +244,7 @@ impl FaultPlan {
         }
         for a in 0..mesh.engines() {
             for b in mesh.neighbors(a) {
-                if b > a && rng.chance(rates.link_fail_prob) {
+                if b > a && rng.chance(clamp_prob(rates.link_fail_prob)) {
                     let cycle = rng.below_u64(horizon);
                     plan.events.push(FaultEvent {
                         cycle,
@@ -136,7 +253,7 @@ impl FaultPlan {
                 }
             }
         }
-        if rng.chance(rates.hbm_derate_prob) {
+        if rng.chance(clamp_prob(rates.hbm_derate_prob)) {
             let cycle = rng.below_u64(horizon);
             plan.events.push(FaultEvent {
                 cycle,
@@ -146,7 +263,96 @@ impl FaultPlan {
             });
         }
         plan.events.sort_by_key(|e| e.cycle);
-        plan
+        Ok(plan)
+    }
+
+    /// Draws a chaos-soak timeline from `seed`: `profile.bursts` clusters of
+    /// faults, each spanning at most `profile.burst_span` cycles so engine
+    /// deaths, link drops and HBM derates land in the same or adjacent
+    /// rounds. Derates draw a factor uniformly from
+    /// `[profile.derate_floor, 1]` and, when `profile.transient_derates` is
+    /// set, are followed by a restoring `HbmDerate { factor: 1.0 }` one
+    /// burst-span later (subsequent derates overwrite earlier ones, so the
+    /// pair models a transient brown-out). Engine deaths are capped at
+    /// `profile.max_dead_engines` and always leave at least one engine
+    /// alive. The same `(seed, mesh, horizon, profile)` always yields the
+    /// same plan.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultConfigError::DerateFloorOutOfRange`] when
+    /// `profile.derate_floor` lies outside `(0, 1]`.
+    pub fn chaos(
+        seed: u64,
+        mesh: &MeshConfig,
+        horizon: u64,
+        profile: &ChaosProfile,
+    ) -> Result<Self, FaultConfigError> {
+        if !valid_factor(profile.derate_floor) {
+            return Err(FaultConfigError::DerateFloorOutOfRange {
+                floor: profile.derate_floor,
+            });
+        }
+        let mut rng = Rng64::new(seed);
+        let horizon = horizon.max(1);
+        let span = profile.burst_span.max(1);
+        let n = mesh.engines();
+        let death_cap = profile.max_dead_engines.min(n.saturating_sub(1));
+        let mut dead = vec![false; n];
+        let mut deaths = 0usize;
+        let mut plan = Self::none();
+        for _ in 0..profile.bursts {
+            let center = rng.below_u64(horizon);
+            for _ in 0..profile.events_per_burst {
+                let cycle = center.saturating_add(rng.below_u64(span));
+                match rng.below(3) {
+                    0 => {
+                        // Engine death, skipped once the cap is reached (the
+                        // draw is still consumed, keeping event counts and
+                        // cycles stable across profiles that differ only in
+                        // the cap).
+                        let engine = rng.below(n);
+                        if deaths < death_cap && !dead[engine] {
+                            dead[engine] = true;
+                            deaths += 1;
+                            plan.events.push(FaultEvent {
+                                cycle,
+                                kind: FaultKind::EngineFail { engine },
+                            });
+                        }
+                    }
+                    1 => {
+                        let a = rng.below(n);
+                        let neighbors = mesh.neighbors(a);
+                        if !neighbors.is_empty() {
+                            let b = neighbors[rng.below(neighbors.len())];
+                            plan.events.push(FaultEvent {
+                                cycle,
+                                kind: FaultKind::LinkFail {
+                                    a: a.min(b),
+                                    b: a.max(b),
+                                },
+                            });
+                        }
+                    }
+                    _ => {
+                        let factor = rng.range_f64(profile.derate_floor, 1.0);
+                        plan.events.push(FaultEvent {
+                            cycle,
+                            kind: FaultKind::HbmDerate { factor },
+                        });
+                        if profile.transient_derates {
+                            plan.events.push(FaultEvent {
+                                cycle: cycle.saturating_add(span),
+                                kind: FaultKind::HbmDerate { factor: 1.0 },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        plan.events.sort_by_key(|e| e.cycle);
+        Ok(plan)
     }
 
     /// The events, sorted by cycle.
@@ -206,22 +412,115 @@ mod tests {
     fn seeded_plans_are_deterministic() {
         let mesh = MeshConfig::grid(8, 8);
         let rates = FaultRates::uniform(0.1);
-        let a = FaultPlan::seeded(0xFA17, &mesh, 1_000_000, &rates);
-        let b = FaultPlan::seeded(0xFA17, &mesh, 1_000_000, &rates);
+        let a = FaultPlan::seeded(0xFA17, &mesh, 1_000_000, &rates).unwrap();
+        let b = FaultPlan::seeded(0xFA17, &mesh, 1_000_000, &rates).unwrap();
         assert_eq!(a, b);
-        let c = FaultPlan::seeded(0xFA18, &mesh, 1_000_000, &rates);
+        let c = FaultPlan::seeded(0xFA18, &mesh, 1_000_000, &rates).unwrap();
         assert_ne!(a, c, "different seeds should (generically) differ");
     }
 
     #[test]
     fn seeded_extremes() {
         let mesh = MeshConfig::grid(4, 4);
-        let none = FaultPlan::seeded(1, &mesh, 1000, &FaultRates::none());
+        let none = FaultPlan::seeded(1, &mesh, 1000, &FaultRates::none()).unwrap();
         assert!(none.is_empty());
-        let all = FaultPlan::seeded(1, &mesh, 1000, &FaultRates::uniform(1.0));
+        let all = FaultPlan::seeded(1, &mesh, 1000, &FaultRates::uniform(1.0)).unwrap();
         // 16 engines + 24 links + 1 derate.
         assert_eq!(all.len(), 16 + 24 + 1);
         assert!(all.events().windows(2).all(|w| w[0].cycle <= w[1].cycle));
         assert!(all.events().iter().all(|e| e.cycle < 1000));
+    }
+
+    #[test]
+    fn seeded_clamps_out_of_range_probabilities() {
+        let mesh = MeshConfig::grid(4, 4);
+        // p > 1 behaves exactly like p = 1; p < 0 and NaN like p = 0.
+        let over = FaultRates {
+            engine_fail_prob: 7.5,
+            link_fail_prob: -2.0,
+            hbm_derate_prob: f64::NAN,
+            hbm_derate_factor: 0.5,
+        };
+        let one = FaultRates {
+            engine_fail_prob: 1.0,
+            link_fail_prob: 0.0,
+            hbm_derate_prob: 0.0,
+            hbm_derate_factor: 0.5,
+        };
+        assert_eq!(
+            FaultPlan::seeded(9, &mesh, 1000, &over).unwrap(),
+            FaultPlan::seeded(9, &mesh, 1000, &one).unwrap(),
+        );
+    }
+
+    #[test]
+    fn seeded_rejects_bad_derate_factors() {
+        let mesh = MeshConfig::grid(4, 4);
+        for factor in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let rates = FaultRates {
+                hbm_derate_factor: factor,
+                ..FaultRates::uniform(0.5)
+            };
+            let err = FaultPlan::seeded(9, &mesh, 1000, &rates).unwrap_err();
+            assert!(
+                matches!(err, FaultConfigError::DerateFactorOutOfRange { factor: f }
+                    if f.is_nan() == factor.is_nan() && (f.is_nan() || f == factor)),
+                "factor {factor} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_plans_are_deterministic_and_bounded() {
+        let mesh = MeshConfig::grid(4, 4);
+        let profile = ChaosProfile::soak(&mesh);
+        let a = FaultPlan::chaos(0xC4A0, &mesh, 100_000, &profile).unwrap();
+        let b = FaultPlan::chaos(0xC4A0, &mesh, 100_000, &profile).unwrap();
+        assert_eq!(a, b);
+        assert!(a.events().windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        let deaths = a
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::EngineFail { .. }))
+            .count();
+        assert!(deaths <= profile.max_dead_engines);
+        // Every derate factor the generator emits is itself valid.
+        for e in a.events() {
+            if let FaultKind::HbmDerate { factor } = e.kind {
+                assert!(factor >= profile.derate_floor && factor <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_transient_derates_restore() {
+        let mesh = MeshConfig::grid(4, 4);
+        let mut profile = ChaosProfile::soak(&mesh);
+        profile.bursts = 8;
+        profile.transient_derates = true;
+        let p = FaultPlan::chaos(0xC4A1, &mesh, 100_000, &profile).unwrap();
+        let derates: Vec<f64> = p
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::HbmDerate { factor } => Some(factor),
+                _ => None,
+            })
+            .collect();
+        let drops = derates.iter().filter(|f| **f < 1.0).count();
+        let restores = derates.iter().filter(|f| **f >= 1.0).count();
+        assert!(drops > 0, "8 bursts × 3 kinds should draw a derate");
+        assert_eq!(drops, restores, "every brown-out pairs with a restore");
+    }
+
+    #[test]
+    fn chaos_rejects_bad_derate_floor() {
+        let mesh = MeshConfig::grid(4, 4);
+        let mut profile = ChaosProfile::soak(&mesh);
+        profile.derate_floor = 0.0;
+        assert_eq!(
+            FaultPlan::chaos(1, &mesh, 1000, &profile).unwrap_err(),
+            FaultConfigError::DerateFloorOutOfRange { floor: 0.0 },
+        );
     }
 }

@@ -47,7 +47,7 @@ mod sim;
 mod stats;
 
 pub use buffer::{BufferState, Datum, EvictionKind};
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates};
+pub use fault::{ChaosProfile, FaultConfigError, FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use program::{DataId, Operand, Program, ProgramError, Task, TaskId};
 pub use sim::{FailureReport, FaultedOutcome, SimConfig, SimError, Simulator};
 pub use stats::{DegradationStats, EnergyBreakdown, SimStats};

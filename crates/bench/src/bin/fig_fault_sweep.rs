@@ -87,7 +87,8 @@ fn main() {
             let mut ok = [0usize; 3];
             for seed in SEEDS {
                 let plan =
-                    FaultPlan::seeded(seed, &cfg.sim.mesh, ad_healthy.stats.total_cycles, &rates);
+                    FaultPlan::seeded(seed, &cfg.sim.mesh, ad_healthy.stats.total_cycles, &rates)
+                        .expect("sweep rates are in range");
 
                 match run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto()) {
                     Ok(out) => {
@@ -105,7 +106,8 @@ fn main() {
                 for (i, healthy) in [(1usize, &ls_healthy), (2, &cp_healthy)] {
                     let strategy = if i == 1 { "LS" } else { "CNN-P" };
                     let bplan =
-                        FaultPlan::seeded(seed, &cfg.sim.mesh, healthy.total_cycles, &rates);
+                        FaultPlan::seeded(seed, &cfg.sim.mesh, healthy.total_cycles, &rates)
+                            .expect("sweep rates are in range");
                     let (cycles, energy_mj) =
                         ad_bench::restart_after_faults(healthy, &bplan, cfg.engines());
                     let lat = cycles as f64 / healthy.total_cycles as f64 - 1.0;

@@ -27,7 +27,9 @@ use std::time::Instant;
 
 use ad_util::Json;
 use atomic_dataflow::pipeline::StageReport;
-use atomic_dataflow::{OptimizerConfig, Strategy};
+use atomic_dataflow::{
+    replan_attempt, LadderRung, Optimizer, OptimizerConfig, Pipeline, PlanContext, Strategy,
+};
 use dnn_graph::models;
 
 const STAGES: [&str; 5] = ["atomgen", "schedule", "map", "lower", "simulate"];
@@ -82,6 +84,64 @@ fn run_to_json(r: &RunRecord) -> Json {
     ])
 }
 
+/// Replan tracking: cold full replan vs the incremental ladder's reuse
+/// rung on the canonical recovery scenario (mid-run single engine death,
+/// 60 % of the plan executed). Minimum over `iters` passes each.
+struct ReplanRecord {
+    cold_ms: f64,
+    incremental_ms: f64,
+    rung: LadderRung,
+}
+
+fn measure_replan(g: &dnn_graph::Graph, cfg: OptimizerConfig, iters: usize) -> ReplanRecord {
+    let (_, dag) = Optimizer::new(cfg).build_dag(g);
+    let n = dag.atom_count();
+    let mut ctx = PlanContext::for_dag(dag.clone(), cfg);
+    ctx.done = vec![false; n];
+    Pipeline::replan().run(&mut ctx).expect("healthy plan");
+    let prior = ctx.mapped.clone().expect("mapped rounds");
+
+    // Mark 60 % done in prior round order — the shape a mid-run failure
+    // leaves — and retire one engine.
+    let mut done = vec![false; n];
+    let mut marked = 0;
+    'outer: for round in &prior {
+        for &(a, _) in round {
+            if marked >= n * 6 / 10 {
+                break 'outer;
+            }
+            done[a.index()] = true;
+            marked += 1;
+        }
+    }
+    let dead = vec![3usize];
+
+    let mut cold_ms = f64::MAX;
+    let mut incremental_ms = f64::MAX;
+    let mut rung = None;
+    for _ in 0..iters.max(1) {
+        let mut c = PlanContext::for_dag(dag.clone(), cfg);
+        c.done = done.clone();
+        c.dead_engines = dead.clone();
+        let t0 = Instant::now();
+        Pipeline::replan().run(&mut c).expect("cold replan");
+        cold_ms = cold_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+        let mut c = PlanContext::for_dag(dag.clone(), cfg);
+        c.done = done.clone();
+        c.dead_engines = dead.clone();
+        let t0 = Instant::now();
+        let r = replan_attempt(&mut c, Some(&prior), None).expect("incremental replan");
+        incremental_ms = incremental_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        rung = Some(r);
+    }
+    ReplanRecord {
+        cold_ms,
+        incremental_ms,
+        rung: rung.expect("at least one timed pass"),
+    }
+}
+
 /// Every run must carry each standard stage with a finite, non-negative
 /// wall time. Returns a description of the first malformation found.
 fn validate(doc: &Json) -> Result<(), String> {
@@ -121,6 +181,20 @@ fn validate(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    let replan = doc.get("replan").ok_or("missing `replan` record")?;
+    for key in ["cold_ms", "incremental_ms", "speedup"] {
+        let v = replan
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("replan record missing `{key}`"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("replan `{key}` malformed: {v}"));
+        }
+    }
+    replan
+        .get("rung")
+        .and_then(Json::as_str)
+        .ok_or("replan record missing `rung`")?;
     Ok(())
 }
 
@@ -160,6 +234,13 @@ fn main() {
         runs.push(rec);
     }
 
+    let replan = measure_replan(&g, base_cfg, iters);
+    let replan_speedup = replan.cold_ms / replan.incremental_ms;
+    println!(
+        "replan (engine death @60%): cold {:.2} ms, incremental {:.2} ms ({}) — {replan_speedup:.1}x",
+        replan.cold_ms, replan.incremental_ms, replan.rung
+    );
+
     let runs_json = Json::Arr(runs.iter().map(run_to_json).collect());
     // Carry forward the recorded baseline unless this run (re)sets it.
     let baseline = if set_baseline {
@@ -180,6 +261,16 @@ fn main() {
         ),
         ("iters".into(), Json::Num(iters as f64)),
         ("runs".into(), runs_json),
+        (
+            "replan".into(),
+            Json::Obj(vec![
+                ("scenario".into(), Json::Str("engine3-death-60pct".into())),
+                ("cold_ms".into(), Json::Num(replan.cold_ms)),
+                ("incremental_ms".into(), Json::Num(replan.incremental_ms)),
+                ("speedup".into(), Json::Num(replan_speedup)),
+                ("rung".into(), Json::Str(replan.rung.name().into())),
+            ]),
+        ),
     ];
     if let Some(base) = baseline {
         // Speedup of the tracked headline number: end-to-end planning wall

@@ -69,8 +69,11 @@ pub use error::PipelineError;
 pub use lower::{lower_remaining, lower_to_program, recovered_data_id, LowerOptions};
 pub use mapping::{Mapper, MappingConfig, MappingError};
 pub use optimizer::{OptimizeResult, Optimizer, OptimizerConfig, Strategy};
-pub use pipeline::{Pipeline, PlanContext, PlanOutcome, Stage, StageReport};
-pub use recovery::{run_with_recovery, RecoveryConfig, RecoveryOutcome};
+pub use pipeline::{Pipeline, PlanContext, PlanOutcome, ReplanCache, Stage, StageReport};
+pub use recovery::{
+    replan_attempt, run_with_recovery, run_with_recovery_traced, LadderRung, RecoveryConfig,
+    RecoveryOutcome, RecoveryTrace,
+};
 pub use scheduler::{Schedule, ScheduleError, ScheduleMode, Scheduler, SchedulerConfig};
 pub use validate::{
     admit, Artifact, BudgetOutcome, Invariant, PlanBudget, ValidateMode, ValidationError,

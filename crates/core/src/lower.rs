@@ -60,6 +60,7 @@ pub fn lower_remaining(
     opts: &LowerOptions,
     done: &[bool],
 ) -> Program {
+    // `u32::MAX` marks a done atom; every pending atom gets a dense id.
     let is_done = |i: usize| done.get(i).copied().unwrap_or(false);
     let mut tid_of = vec![u32::MAX; dag.atom_count()];
     let mut next = 0u32;
@@ -72,26 +73,22 @@ pub fn lower_remaining(
 
     let mut p = Program::new();
     for (i, atom) in dag.atoms().iter().enumerate() {
-        if is_done(i) {
+        if tid_of[i] == u32::MAX {
             continue;
         }
         let id = AtomId(u32_from_usize(i));
-        let mut inputs: Vec<Operand> = dag
-            .preds(id)
-            .iter()
-            .map(|(a, b)| {
-                if is_done(a.0 as usize) {
-                    Operand::external(recovered_data_id(*a), *b)
-                } else {
-                    Operand::task(TaskId(tid_of[a.0 as usize]), *b)
-                }
-            })
-            .collect();
-        inputs.extend(
-            dag.externals(id)
-                .iter()
-                .map(|(d, b)| Operand::external(*d, *b)),
-        );
+        let preds = dag.preds(id);
+        let externals = dag.externals(id);
+        let mut inputs: Vec<Operand> = Vec::with_capacity(preds.len() + externals.len());
+        for (a, b) in preds {
+            let tid = tid_of[a.0 as usize];
+            inputs.push(if tid == u32::MAX {
+                Operand::external(recovered_data_id(*a), *b)
+            } else {
+                Operand::task(TaskId(tid), *b)
+            });
+        }
+        inputs.extend(externals.iter().map(|(d, b)| Operand::external(*d, *b)));
 
         let dram_out = opts.all_outputs_to_dram
             || opts

@@ -230,6 +230,88 @@ impl Mapper {
         Ok(assignment)
     }
 
+    /// Re-commits a previously mapped round after a failure: every atom
+    /// whose prior engine is still alive (and unclaimed) stays put, and the
+    /// rest — atoms orphaned by a dead engine or carrying an out-of-range
+    /// sentinel engine — take the free alive engine minimizing their hop-weighted
+    /// operand cost, zig-zag rank breaking ties (the affinity scan).
+    /// Residency and weight-home hints are committed exactly as
+    /// [`Mapper::map_round`] would, so patched and freshly mapped rounds
+    /// interleave on one mapper.
+    ///
+    /// This is the placement engine of the reuse-suffix recovery rung: the
+    /// prior plan's geometry survives wherever it can, and the patch costs
+    /// O(orphans · engines) instead of a full placement pass.
+    ///
+    /// # Errors
+    ///
+    /// [`MappingError::RoundTooLarge`] if the round holds more atoms than
+    /// the mesh has alive engines.
+    pub fn patch_round(
+        &mut self,
+        dag: &AtomicDag,
+        prior: &[(AtomId, usize)],
+    ) -> Result<Vec<(AtomId, usize)>, MappingError> {
+        let oversize = MappingError::RoundTooLarge {
+            round_len: prior.len(),
+            engines: self.alive_engines(),
+        };
+        if prior.len() > self.alive_engines() {
+            return Err(oversize);
+        }
+        if prior.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.ensure_tables(dag);
+        let n = self.mesh.engines();
+        let mut s = std::mem::take(&mut self.scratch);
+        s.used.clear();
+        s.used.resize(n, false);
+        s.deferred.clear();
+        let mut placed: Vec<(AtomId, usize)> = Vec::with_capacity(prior.len());
+        for &(a, e) in prior {
+            if e < n && self.alive[e] && !s.used[e] {
+                s.used[e] = true;
+                placed.push((a, e));
+            } else {
+                s.deferred.push(a);
+            }
+        }
+        let mut ok = true;
+        for di in 0..s.deferred.len() {
+            let a = s.deferred[di];
+            let e = (0..n)
+                .filter(|e| !s.used[*e] && self.alive[*e])
+                .min_by_key(|&e| (self.atom_cost_at(dag, a, e), self.zig_rank[e]));
+            let Some(e) = e else {
+                // Unreachable given the size check above; degrade to the
+                // oversize error rather than panicking (ad-lint P1).
+                ok = false;
+                break;
+            };
+            s.used[e] = true;
+            placed.push((a, e));
+        }
+        if ok {
+            // Restore the prior round's atom order.
+            for (i, &(a, _)) in prior.iter().enumerate() {
+                s.pos[a.index()] = ad_util::cast::u32_from_usize(i);
+            }
+            placed.sort_by_key(|(a, _)| s.pos[a.index()]);
+        }
+        self.scratch = s;
+        if !ok {
+            return Err(oversize);
+        }
+        for (a, e) in &placed {
+            self.residency[a.index()] = *e;
+            for (slot, _) in dag.weight_exts(*a) {
+                self.weight_home[*slot as usize] = *e;
+            }
+        }
+        Ok(placed)
+    }
+
     /// Hop-weighted cost of running `atom` on `engine` given current
     /// residency (one term of `TransferCost`).
     fn atom_cost_at(&self, dag: &AtomicDag, atom: AtomId, engine: usize) -> u64 {

@@ -115,6 +115,38 @@ pub struct PlanContext<'g> {
     /// (see the `VALIDATED_*` bits in [`crate::validate`]); cleared for
     /// re-plannable artifacts by [`PlanContext::reset_plan`].
     pub validated: u8,
+    /// Caches that persist *across* replan attempts (unlike the plan
+    /// artifacts, [`PlanContext::reset_plan`] keeps them): the DP
+    /// transposition table warmed by every scheduling pass over this DAG.
+    /// `None` (the default) schedules with a pass-local table; fault
+    /// recovery installs one so attempt *k*+1 reuses the search subtrees
+    /// attempt *k* explored. Purely an accelerator — results are
+    /// byte-identical with or without it (pinned in `tests/determinism.rs`)
+    /// — except under a finite `dp_expansions` budget, where warm hits
+    /// would shift the truncation points; the schedule stage therefore
+    /// bypasses it whenever the budget is capped.
+    pub replan_cache: Option<ReplanCache>,
+}
+
+/// The cross-attempt cache carried by [`PlanContext::replan_cache`]. See
+/// that field for the contract.
+#[derive(Debug, Clone, Default)]
+pub struct ReplanCache {
+    /// Shared DP transposition table ([`crate::scheduler`]'s memo), keyed
+    /// soundly across done-masks and engine counts.
+    pub(crate) memo: Option<crate::scheduler::MemoTable>,
+}
+
+impl ReplanCache {
+    /// An empty cache; tables materialize on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached transposition-table entries (diagnostics only).
+    pub fn memo_entries(&self) -> usize {
+        self.memo.as_ref().map_or(0, |m| m.entries())
+    }
 }
 
 impl<'g> PlanContext<'g> {
@@ -135,6 +167,7 @@ impl<'g> PlanContext<'g> {
             reports: Vec::new(),
             cost_interner: None,
             validated: 0,
+            replan_cache: None,
         }
     }
 
@@ -156,6 +189,7 @@ impl<'g> PlanContext<'g> {
             reports: Vec::new(),
             cost_interner: None,
             validated: 0,
+            replan_cache: None,
         }
     }
 
@@ -449,17 +483,29 @@ impl Stage for ScheduleStage {
     }
 
     fn run(&self, ctx: &mut PlanContext<'_>) -> Result<StageReport, PipelineError> {
-        let dag = ctx.require_dag(self.name())?;
         let engines = ctx.alive_engines();
-        let (sched, truncated) = Scheduler::new(
-            dag,
-            SchedulerConfig {
-                engines,
-                mode: self.mode.unwrap_or(ctx.cfg.schedule_mode),
-            },
-        )
-        .with_budget(ctx.cfg.budget.dp_expansions)
-        .schedule_remaining_budgeted(&ctx.done)?;
+        let dp_budget = ctx.cfg.budget.dp_expansions;
+        let mode = self.mode.unwrap_or(ctx.cfg.schedule_mode);
+        let dag = ctx.dag.as_ref().ok_or(PipelineError::StageOrder {
+            stage: self.name(),
+            missing: "dag",
+        })?;
+        let scheduler =
+            Scheduler::new(dag, SchedulerConfig { engines, mode }).with_budget(dp_budget);
+        // Warm the search from the persistent transposition table when a
+        // replan cache is installed. Under a finite expansion budget warm
+        // hits would shift the truncation points (a cache hit skips the
+        // recursion's budget charges), so budgeted runs keep the pass-local
+        // table to stay byte-identical with uncached runs.
+        let (sched, truncated) = match ctx.replan_cache.as_mut() {
+            Some(cache) if dp_budget.is_none() => {
+                let memo = cache
+                    .memo
+                    .get_or_insert_with(crate::scheduler::MemoTable::shared);
+                scheduler.schedule_remaining_shared(&ctx.done, memo)?
+            }
+            _ => scheduler.schedule_remaining_budgeted(&ctx.done)?,
+        };
         let summary = format!(
             "{} rounds, occupancy {:.2}",
             sched.len(),

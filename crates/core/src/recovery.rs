@@ -7,24 +7,51 @@
 //! a death *is* fatal it stops at the round barrier and hands back a
 //! [`FailureReport`](accel_sim::FailureReport). This module is the layer
 //! above that report: it marks the surviving results done in a shared
-//! [`PlanContext`], retires the dead engine, and re-runs the optimizer's
-//! own [`Pipeline::replan`] stage suffix (schedule → map → lower) over the
-//! surviving engine count — completed producers become DRAM-resident
-//! externals — repeating until the workload completes or recovery is
-//! exhausted. Statistics of every attempt, including the wasted partial
-//! runs, are merged so latency/energy overheads are honest.
+//! [`PlanContext`], retires the dead engine, and repairs the plan through a
+//! **degradation ladder** ([`LadderRung`]) instead of always replanning
+//! from scratch:
+//!
+//! 1. [`LadderRung::ReuseSuffix`] — filter the prior plan's rounds by the
+//!    updated `done` mask, patch atoms orphaned by the dead engine onto
+//!    survivors in place ([`Mapper::patch_round`]), and spill round
+//!    overflow (a full-width round no longer fits the shrunken mesh) into
+//!    minimal inserted rounds. O(pending atoms); no search at all.
+//! 2. [`LadderRung::ScopedReplan`] — reuse the prior rounds up to the first
+//!    one touched by the perturbation, then DP-reschedule only the suffix,
+//!    warmed by the persistent transposition table
+//!    ([`crate::pipeline::ReplanCache`]).
+//! 3. [`LadderRung::FullReplan`] — the optimizer's own [`Pipeline::replan`]
+//!    stage suffix (schedule → map → lower), still cache-warmed.
+//! 4. [`LadderRung::GreedyFallback`] — priority-greedy scheduling with no
+//!    search budget at all, the bounded-time anchor of the ladder.
+//!
+//! Every rung's artifacts pass the same [`crate::validate`] auditor the
+//! cold pipeline runs under (a rung that fails admission escalates to the
+//! next); the rungs trade plan *quality*, never validity. Rung choice is
+//! driven by the perturbation size and by [`crate::PlanBudget`]'s coarse
+//! `deadline_ms` (whole-rung gating only, so plan bytes stay deterministic
+//! — the doctrine established for the optimizer's refinement pass).
+//! Statistics of every attempt, including the wasted partial runs, are
+//! merged so latency/energy overheads are honest.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
+// Wall-clock is used only for reporting and for the coarse whole-rung
+// deadline gate described on `PlanBudget` (never mid-search decisions).
+use std::time::Instant; // ad-lint: allow(d2)
 
 use accel_sim::{
     DegradationStats, FaultEvent, FaultKind, FaultPlan, FaultedOutcome, SimError, SimStats,
     Simulator,
 };
 
-use crate::atomic_dag::AtomicDag;
+use crate::atomic_dag::{AtomId, AtomicDag};
 use crate::error::PipelineError;
+use crate::lower::lower_remaining;
+use crate::mapping::Mapper;
 use crate::optimizer::OptimizerConfig;
-use crate::pipeline::{Pipeline, PlanContext};
+use crate::pipeline::{Pipeline, PlanContext, ReplanCache, StageReport};
+use crate::scheduler::{Schedule, ScheduleMode, Scheduler, SchedulerConfig};
+use crate::validate::{self, ValidateMode};
 
 /// Recovery policy for fault-injected runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +63,11 @@ pub struct RecoveryConfig {
     /// means unbounded. Recovery converges regardless — every retry retires
     /// at least one engine — so the bound only caps worst-case work.
     pub max_attempts: usize,
+    /// When `true` (the default), retries repair the prior plan through the
+    /// degradation ladder ([`LadderRung`]) with persistent caches; when
+    /// `false`, every retry is a cold [`Pipeline::replan`] (the pre-ladder
+    /// behavior, kept for A/B measurement).
+    pub incremental: bool,
 }
 
 impl RecoveryConfig {
@@ -44,6 +76,7 @@ impl RecoveryConfig {
         Self {
             enabled: true,
             max_attempts: 0,
+            incremental: true,
         }
     }
 
@@ -52,6 +85,15 @@ impl RecoveryConfig {
         Self {
             enabled: false,
             max_attempts: 0,
+            incremental: true,
+        }
+    }
+
+    /// Like [`RecoveryConfig::auto`] but replanning cold on every retry.
+    pub fn cold() -> Self {
+        Self {
+            incremental: false,
+            ..Self::auto()
         }
     }
 }
@@ -59,6 +101,42 @@ impl RecoveryConfig {
 impl Default for RecoveryConfig {
     fn default() -> Self {
         Self::auto()
+    }
+}
+
+/// One rung of the recovery degradation ladder, cheapest first. See the
+/// module docs for what each rung does; [`replan_attempt`] walks them in
+/// order, escalating when a rung is inapplicable or its artifacts fail
+/// admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LadderRung {
+    /// Reuse the prior plan's pending rounds, patching orphans in place.
+    ReuseSuffix,
+    /// Reuse the untouched prefix, DP-reschedule the perturbed suffix.
+    ScopedReplan,
+    /// Cold `schedule → map → lower` over the whole remainder.
+    FullReplan,
+    /// Priority-greedy scheduling with no search budget: the bounded-time
+    /// last resort (still fully validated — "relaxed" refers to the plan
+    /// quality admission, not the structural auditor).
+    GreedyFallback,
+}
+
+impl LadderRung {
+    /// Stable lowercase name (JSON keys, report labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::ReuseSuffix => "reuse-suffix",
+            Self::ScopedReplan => "scoped-replan",
+            Self::FullReplan => "full-replan",
+            Self::GreedyFallback => "greedy-fallback",
+        }
+    }
+}
+
+impl std::fmt::Display for LadderRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -84,6 +162,33 @@ pub struct RecoveryOutcome {
     /// attempt plus the retired-engine list, because persistent faults
     /// re-fire in every retry and summing them would double-count.
     pub attempt_degradation: Vec<DegradationStats>,
+    /// Ladder rung used by each *retry* replan, in attempt order
+    /// (`rungs.len() == attempts - 1`; empty when no failure occurred).
+    pub rungs: Vec<LadderRung>,
+}
+
+/// Side-channel account of a recovery run that survives even the error
+/// paths ([`run_with_recovery_traced`]): how far recovery got, which ladder
+/// rungs it used, and the wall time of every replan. Wall times are
+/// reporting-only and excluded from [`RecoveryOutcome`]'s equality.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryTrace {
+    /// Simulator runs started (≥ 1 once planning succeeded).
+    pub attempts: usize,
+    /// Ladder rung of each retry replan, in order.
+    pub rungs: Vec<LadderRung>,
+    /// Wall time of each attempt's planning work (initial plan included),
+    /// in milliseconds. Reporting-only: nondeterministic by nature.
+    pub replan_wall_ms: Vec<f64>,
+    /// Per-attempt degradation counters — unlike
+    /// [`RecoveryOutcome::attempt_degradation`] this includes the final
+    /// failing attempt when recovery errors out.
+    pub attempt_degradation: Vec<DegradationStats>,
+    /// Statistics merged over every attempt observed so far: the completed
+    /// total on success, the partial account (failing attempt included) on
+    /// the exhaustion/disabled error paths, `None` only when planning or
+    /// simulation itself errored before producing stats.
+    pub partial: Option<SimStats>,
 }
 
 /// Schedules, maps and simulates `dag` under the fault plan, re-planning
@@ -112,27 +217,76 @@ pub fn run_with_recovery(
     plan: &FaultPlan,
     recovery: &RecoveryConfig,
 ) -> Result<RecoveryOutcome, PipelineError> {
+    run_with_recovery_traced(dag, cfg, plan, recovery).1
+}
+
+/// Like [`run_with_recovery`], additionally returning a [`RecoveryTrace`]
+/// that survives the error paths: when recovery is exhausted mid-workload
+/// the trace still carries the merged partial statistics and the per-attempt
+/// degradation counters accumulated so far (the chaos-soak harness and the
+/// exhaustion tests consume exactly this).
+pub fn run_with_recovery_traced(
+    dag: &AtomicDag,
+    cfg: &OptimizerConfig,
+    plan: &FaultPlan,
+    recovery: &RecoveryConfig,
+) -> (RecoveryTrace, Result<RecoveryOutcome, PipelineError>) {
+    let mut trace = RecoveryTrace::default();
+    let result = run_recovery_inner(dag, cfg, plan, recovery, &mut trace);
+    (trace, result)
+}
+
+fn run_recovery_inner(
+    dag: &AtomicDag,
+    cfg: &OptimizerConfig,
+    plan: &FaultPlan,
+    recovery: &RecoveryConfig,
+    trace: &mut RecoveryTrace,
+) -> Result<RecoveryOutcome, PipelineError> {
     let n = dag.atom_count();
     let sim = Simulator::new(cfg.sim);
-    // One shared context re-planned per attempt through the optimizer's own
-    // schedule → map → lower stage suffix: the `done` mask and the
-    // dead-engine list persist across attempts, the plan artifacts reset.
+    // One shared context repaired (or re-planned) per attempt: the `done`
+    // mask, the dead-engine list and the replan cache persist across
+    // attempts, the plan artifacts reset.
     let mut ctx = PlanContext::for_dag(dag.clone(), *cfg);
     ctx.done = vec![false; n];
-    let replan = Pipeline::replan();
+    if recovery.incremental {
+        ctx.replan_cache = Some(ReplanCache::new());
+    }
+    let started = Instant::now(); // ad-lint: allow(d2) — coarse whole-rung deadline gate
     let mut merged: Option<SimStats> = None;
-    let mut attempt_degradation: Vec<DegradationStats> = Vec::new();
     let mut attempts = 0usize;
     let mut remap_rounds = 0u64;
     let mut elapsed = 0u64;
+    // The failed attempt's mapped rounds: the reuse/scoped rungs repair
+    // these instead of searching from scratch.
+    let mut prior: Option<Vec<Vec<(AtomId, usize)>>> = None;
 
     loop {
         attempts += 1;
-        ctx.reset_plan();
-        replan.run(&mut ctx)?;
-        if attempts > 1 {
+        trace.attempts = attempts;
+        let t0 = Instant::now(); // ad-lint: allow(d2) — reporting-only replan wall time
+        if attempts == 1 {
+            ctx.reset_plan();
+            Pipeline::replan().run(&mut ctx)?;
+        } else {
+            let rung = if recovery.incremental {
+                // Coarse deadline backoff: how much of the planning budget
+                // is left decides which rungs are even attempted.
+                let remaining_ms = cfg
+                    .budget
+                    .deadline_ms
+                    .map(|ms| ms as f64 - started.elapsed().as_secs_f64() * 1e3);
+                replan_attempt(&mut ctx, prior.as_deref(), remaining_ms)?
+            } else {
+                ctx.reset_plan();
+                Pipeline::replan().run(&mut ctx)?;
+                LadderRung::FullReplan
+            };
+            trace.rungs.push(rung);
             remap_rounds += ctx.require_schedule("recovery")?.len() as u64;
         }
+        trace.replan_wall_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         let program = ctx.require_program("recovery")?;
         // Atom behind each of this attempt's (dense, re-assigned) task ids.
         let atom_of: Vec<usize> = (0..n).filter(|i| !ctx.done[*i]).collect();
@@ -140,7 +294,7 @@ pub fn run_with_recovery(
         match sim.run_faulted(program, &attempt_plan(plan, elapsed, &ctx.dead_engines))? {
             FaultedOutcome::Completed(stats) => {
                 let final_deg = stats.degradation;
-                attempt_degradation.push(final_deg);
+                trace.attempt_degradation.push(final_deg);
                 let mut total = match merged.take() {
                     Some(m) => m.merge(&stats),
                     None => stats,
@@ -153,23 +307,36 @@ pub fn run_with_recovery(
                 total.degradation.dead_links = final_deg.dead_links;
                 total.degradation.remap_rounds = remap_rounds;
                 total.degradation.rerun_tasks = (total.tasks as u64).saturating_sub(n as u64);
+                trace.partial = Some(total.clone());
                 return Ok(RecoveryOutcome {
                     stats: total,
                     attempts,
                     failed_engines: ctx.dead_engines,
-                    attempt_degradation,
+                    attempt_degradation: trace.attempt_degradation.clone(),
+                    rungs: trace.rungs.clone(),
                 });
             }
             FaultedOutcome::Failed(report) => {
+                trace.attempt_degradation.push(report.partial.degradation);
                 let exhausted = recovery.max_attempts != 0 && attempts >= recovery.max_attempts;
                 if !recovery.enabled || exhausted || ctx.dead_engines.contains(&report.engine) {
+                    // The run is abandoned, but its partial account is not:
+                    // merge the failing attempt so the trace conserves the
+                    // event counters accumulated so far.
+                    let mut partial = match merged.take() {
+                        Some(m) => m.merge(&report.partial),
+                        None => report.partial.clone(),
+                    };
+                    partial.degradation.engine_failures =
+                        ctx.dead_engines.len() as u64 + report.partial.degradation.engine_failures;
+                    partial.degradation.remap_rounds = remap_rounds;
+                    trace.partial = Some(partial);
                     return Err(PipelineError::Sim(SimError::EngineFailed {
                         engine: report.engine,
                         cycle: report.cycle,
                         round: report.round,
                     }));
                 }
-                attempt_degradation.push(report.partial.degradation);
                 let lost: BTreeSet<_> = report.lost.iter().copied().collect();
                 for t in &report.completed {
                     if !lost.contains(t) {
@@ -177,6 +344,7 @@ pub fn run_with_recovery(
                     }
                 }
                 elapsed += report.cycle;
+                prior = ctx.mapped.take();
                 ctx.dead_engines.push(report.engine);
                 merged = Some(match merged.take() {
                     Some(m) => m.merge(&report.partial),
@@ -185,6 +353,366 @@ pub fn run_with_recovery(
             }
         }
     }
+}
+
+/// No prior engine: [`Mapper::patch_round`] treats the sentinel as an
+/// orphan and reassigns it to the cheapest free survivor.
+const NO_PRIOR: usize = usize::MAX;
+
+/// Pending atoms are "mostly undisturbed" when at most a quarter of them
+/// lost their engine; beyond that, in-place patching degrades occupancy
+/// enough that the scoped DP rung wins.
+const REUSE_ORPHAN_DENOM: usize = 4;
+
+/// One replan attempt through the degradation ladder. On entry `ctx` holds
+/// the updated `done` mask and dead-engine list; `prior` is the failed
+/// attempt's mapped rounds (when available) and `remaining_ms` the coarse
+/// deadline budget left (`None` = unbounded). On success the context holds
+/// a complete, admission-checked schedule/mapping/program for the pending
+/// remainder, and the rung that produced it is returned.
+///
+/// Rung selection: a non-positive deadline jumps straight to
+/// [`LadderRung::GreedyFallback`]; with a prior plan whose orphaned-atom
+/// fraction is small the [`LadderRung::ReuseSuffix`] patch is tried first,
+/// otherwise [`LadderRung::ScopedReplan`]; a rung whose artifacts fail
+/// admission (or whose mapping overflows) escalates to the next; the greedy
+/// rung's failure is final.
+///
+/// # Errors
+///
+/// Anything the pipeline stages report, except that
+/// [`PipelineError::Validation`] and [`PipelineError::Mapping`] escalate
+/// down the ladder and only surface from the last rung.
+pub fn replan_attempt(
+    ctx: &mut PlanContext<'_>,
+    prior: Option<&[Vec<(AtomId, usize)>]>,
+    remaining_ms: Option<f64>,
+) -> Result<LadderRung, PipelineError> {
+    if remaining_ms.is_some_and(|r| r <= 0.0) {
+        ctx.reset_plan();
+        greedy_fallback(ctx)?;
+        return Ok(LadderRung::GreedyFallback);
+    }
+    if let Some(prior) = prior {
+        let (pending, orphans) = perturbation_size(ctx, prior);
+        if pending > 0 {
+            if orphans * REUSE_ORPHAN_DENOM <= pending {
+                ctx.reset_plan();
+                match reuse_suffix(ctx, prior) {
+                    Ok(()) => return Ok(LadderRung::ReuseSuffix),
+                    Err(PipelineError::Validation(_) | PipelineError::Mapping(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            ctx.reset_plan();
+            match scoped_replan(ctx, prior) {
+                Ok(()) => return Ok(LadderRung::ScopedReplan),
+                Err(PipelineError::Validation(_) | PipelineError::Mapping(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    ctx.reset_plan();
+    match Pipeline::replan().run(ctx) {
+        Ok(()) => return Ok(LadderRung::FullReplan),
+        Err(PipelineError::Validation(_)) => {}
+        Err(e) => return Err(e),
+    }
+    ctx.reset_plan();
+    greedy_fallback(ctx)?;
+    Ok(LadderRung::GreedyFallback)
+}
+
+/// `(pending atoms, orphaned pending atoms)` of the prior plan under the
+/// context's current `done` mask and dead-engine list.
+fn perturbation_size(ctx: &PlanContext<'_>, prior: &[Vec<(AtomId, usize)>]) -> (usize, usize) {
+    let mesh_n = ctx.cfg.engines();
+    let mut pending = 0usize;
+    let mut orphans = 0usize;
+    for round in prior {
+        for &(a, e) in round {
+            if !ctx.done.get(a.index()).copied().unwrap_or(false) {
+                pending += 1;
+                if e >= mesh_n || ctx.dead_engines.contains(&e) {
+                    orphans += 1;
+                }
+            }
+        }
+    }
+    (pending, orphans)
+}
+
+/// Applies the context's configured admission policy to whatever artifacts
+/// it currently holds (the manual-rung counterpart of the check inside
+/// [`Pipeline::run`]).
+fn admit_policy(ctx: &mut PlanContext<'_>) -> Result<(), PipelineError> {
+    match ctx.cfg.validate {
+        ValidateMode::Off => Ok(()),
+        ValidateMode::Deny => validate::admit(ctx).map_err(PipelineError::from),
+        ValidateMode::Warn => {
+            if let Err(v) = validate::admit(ctx) {
+                eprintln!("validation warning: {v}");
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Patches one repaired round through the mapper and records it in both the
+/// schedule and the mapped rounds.
+fn push_patched(
+    mapper: &mut Mapper,
+    dag: &AtomicDag,
+    pairs: &[(AtomId, usize)],
+    sched: &mut Vec<Vec<AtomId>>,
+    mapped: &mut Vec<Vec<(AtomId, usize)>>,
+) -> Result<(), PipelineError> {
+    let placed = mapper.patch_round(dag, pairs)?;
+    sched.push(placed.iter().map(|&(a, _)| a).collect());
+    mapped.push(placed);
+    Ok(())
+}
+
+/// Rung 1: reuse every pending round of the prior plan in order, patch
+/// orphans onto survivors in place, and resolve capacity overflow (a
+/// full-width round on a now-smaller mesh) by carrying the overflowing
+/// atoms forward — topped up into later slack or emitted as minimal spill
+/// rounds right before the first round that depends on them. Dependency
+/// order is preserved by construction: a pending atom only ever moves
+/// *later* than its prior round, and never past a round containing one of
+/// its successors.
+fn reuse_suffix(
+    ctx: &mut PlanContext<'_>,
+    prior: &[Vec<(AtomId, usize)>],
+) -> Result<(), PipelineError> {
+    let t0 = Instant::now(); // ad-lint: allow(d2) — reporting-only rung wall time
+    let alive = ctx.alive_engines();
+    let mesh_n = ctx.cfg.engines();
+    let dag = ctx.dag.as_ref().ok_or(PipelineError::StageOrder {
+        stage: "replan:reuse-suffix",
+        missing: "dag",
+    })?;
+    let n = dag.atom_count();
+    let dead = &ctx.dead_engines;
+    let is_orphan = |e: usize| e >= mesh_n || dead.contains(&e);
+
+    let mut mapper = Mapper::new(ctx.cfg.sim.mesh, ctx.cfg.mapping);
+    for &e in dead {
+        mapper.kill_engine(e);
+    }
+    // Round-membership stamps for the carried-atom successor checks.
+    let mut stamp: Vec<usize> = vec![usize::MAX; n];
+    let mut carry: VecDeque<AtomId> = VecDeque::new();
+    let mut sched: Vec<Vec<AtomId>> = Vec::with_capacity(prior.len());
+    let mut mapped: Vec<Vec<(AtomId, usize)>> = Vec::with_capacity(prior.len());
+    let mut reused = 0usize;
+    let mut spills = 0usize;
+
+    for (seq, round) in prior.iter().enumerate() {
+        let mut pairs: Vec<(AtomId, usize)> = round
+            .iter()
+            .filter(|&&(a, _)| !ctx.done.get(a.index()).copied().unwrap_or(false))
+            .copied()
+            .collect();
+        if pairs.is_empty() {
+            continue;
+        }
+        for &(a, _) in &pairs {
+            stamp[a.index()] = seq;
+        }
+        // A carried atom whose successor sits in this round must run first:
+        // flush the whole carry as spill rounds ahead of it. (Chunks of
+        // `alive`; carried atoms' predecessors are all in rounds already
+        // emitted, their successors in this round or later.)
+        let blocked = carry
+            .iter()
+            .any(|&c| dag.succs(c).iter().any(|s| stamp[s.index()] == seq));
+        if blocked {
+            while !carry.is_empty() {
+                let take = carry.len().min(alive.max(1));
+                let chunk: Vec<(AtomId, usize)> =
+                    carry.drain(..take).map(|a| (a, NO_PRIOR)).collect();
+                spills += 1;
+                push_patched(&mut mapper, dag, &chunk, &mut sched, &mut mapped)?;
+            }
+        }
+        // Capacity overflow: defer orphans (their engine is gone anyway)
+        // until the round fits the surviving mesh.
+        if pairs.len() > alive {
+            let mut overflow = pairs.len() - alive;
+            pairs.retain(|&(a, e)| {
+                if overflow > 0 && is_orphan(e) {
+                    overflow -= 1;
+                    carry.push_back(a);
+                    false
+                } else {
+                    true
+                }
+            });
+            // Defensive: a prior plan wider than the surviving mesh minus
+            // its orphans (impossible for plans this module produced, but
+            // `prior` is caller-supplied) sheds from the back.
+            while pairs.len() > alive {
+                if let Some((a, _)) = pairs.pop() {
+                    carry.push_back(a);
+                }
+            }
+        } else {
+            // Slack: absorb carried atoms into this round's free engines
+            // (safe — had any carried atom a successor here, the flush
+            // above would have emptied the carry).
+            while pairs.len() < alive {
+                match carry.pop_front() {
+                    Some(c) => pairs.push((c, NO_PRIOR)),
+                    None => break,
+                }
+            }
+        }
+        reused += 1;
+        push_patched(&mut mapper, dag, &pairs, &mut sched, &mut mapped)?;
+    }
+    while !carry.is_empty() {
+        let take = carry.len().min(alive.max(1));
+        let chunk: Vec<(AtomId, usize)> = carry.drain(..take).map(|a| (a, NO_PRIOR)).collect();
+        spills += 1;
+        push_patched(&mut mapper, dag, &chunk, &mut sched, &mut mapped)?;
+    }
+
+    let program = lower_remaining(dag, &mapped, &ctx.lower, &ctx.done);
+    let summary = format!("reused {reused} rounds (+{spills} spill) onto {alive} engines");
+    ctx.schedule = Some(Schedule { rounds: sched });
+    ctx.mapped = Some(mapped);
+    ctx.program = Some(program);
+    let mut report = StageReport::new("replan:reuse-suffix", summary);
+    report.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    ctx.reports.push(report);
+    admit_policy(ctx)
+}
+
+/// Rung 2: reuse (and patch) the prior rounds up to the first one touched
+/// by the perturbation — an orphaned atom or an over-capacity width — then
+/// DP-reschedule only the remaining atoms, warmed by the persistent
+/// transposition table, and map the new suffix continuing from the replayed
+/// mapper state.
+fn scoped_replan(
+    ctx: &mut PlanContext<'_>,
+    prior: &[Vec<(AtomId, usize)>],
+) -> Result<(), PipelineError> {
+    let t0 = Instant::now(); // ad-lint: allow(d2) — reporting-only rung wall time
+    let alive = ctx.alive_engines();
+    let mesh_n = ctx.cfg.engines();
+    let dag = ctx.dag.as_ref().ok_or(PipelineError::StageOrder {
+        stage: "replan:scoped",
+        missing: "dag",
+    })?;
+    let dead = &ctx.dead_engines;
+    let is_orphan = |e: usize| e >= mesh_n || dead.contains(&e);
+
+    // Pending prefix rounds untouched by the perturbation.
+    let pending: Vec<Vec<(AtomId, usize)>> = prior
+        .iter()
+        .map(|round| {
+            round
+                .iter()
+                .filter(|&&(a, _)| !ctx.done.get(a.index()).copied().unwrap_or(false))
+                .copied()
+                .collect::<Vec<_>>()
+        })
+        .filter(|round: &Vec<(AtomId, usize)>| !round.is_empty())
+        .collect();
+    let split = pending
+        .iter()
+        .position(|round| round.len() > alive || round.iter().any(|&(_, e)| is_orphan(e)))
+        .unwrap_or(pending.len());
+
+    let mut mapper = Mapper::new(ctx.cfg.sim.mesh, ctx.cfg.mapping);
+    for &e in dead {
+        mapper.kill_engine(e);
+    }
+    let mut sched: Vec<Vec<AtomId>> = Vec::with_capacity(pending.len());
+    let mut mapped: Vec<Vec<(AtomId, usize)>> = Vec::with_capacity(pending.len());
+    let mut done2 = ctx.done.clone();
+    done2.resize(dag.atom_count(), false);
+    for round in &pending[..split] {
+        push_patched(&mut mapper, dag, round, &mut sched, &mut mapped)?;
+        for &(a, _) in round {
+            done2[a.index()] = true;
+        }
+    }
+
+    // DP-reschedule everything past the splice point.
+    let scheduler = Scheduler::new(
+        dag,
+        SchedulerConfig {
+            engines: alive,
+            mode: ctx.cfg.schedule_mode,
+        },
+    )
+    .with_budget(ctx.cfg.budget.dp_expansions);
+    let (suffix, _truncated) = match ctx.replan_cache.as_mut() {
+        Some(cache) if ctx.cfg.budget.dp_expansions.is_none() => {
+            let memo = cache
+                .memo
+                .get_or_insert_with(crate::scheduler::MemoTable::shared);
+            scheduler.schedule_remaining_shared(&done2, memo)?
+        }
+        _ => scheduler.schedule_remaining_budgeted(&done2)?,
+    };
+    for round in &suffix.rounds {
+        let placed = mapper.map_round(dag, round)?;
+        sched.push(round.clone());
+        mapped.push(placed);
+    }
+
+    let program = lower_remaining(dag, &mapped, &ctx.lower, &ctx.done);
+    let summary = format!(
+        "reused {split} rounds, rescheduled {} onto {alive} engines",
+        suffix.rounds.len()
+    );
+    ctx.schedule = Some(Schedule { rounds: sched });
+    ctx.mapped = Some(mapped);
+    ctx.program = Some(program);
+    let mut report = StageReport::new("replan:scoped", summary);
+    report.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    ctx.reports.push(report);
+    admit_policy(ctx)
+}
+
+/// Rung 4: priority-greedy scheduling with no search budget — bounded time,
+/// degraded quality, still fully validated.
+fn greedy_fallback(ctx: &mut PlanContext<'_>) -> Result<(), PipelineError> {
+    let t0 = Instant::now(); // ad-lint: allow(d2) — reporting-only rung wall time
+    let alive = ctx.alive_engines();
+    let dag = ctx.dag.as_ref().ok_or(PipelineError::StageOrder {
+        stage: "replan:greedy",
+        missing: "dag",
+    })?;
+    let (sched, _) = Scheduler::new(
+        dag,
+        SchedulerConfig {
+            engines: alive,
+            mode: ScheduleMode::PriorityGreedy,
+        },
+    )
+    .schedule_remaining_budgeted(&ctx.done)?;
+    let mut mapper = Mapper::new(ctx.cfg.sim.mesh, ctx.cfg.mapping);
+    for &e in &ctx.dead_engines {
+        mapper.kill_engine(e);
+    }
+    let mapped = sched
+        .rounds
+        .iter()
+        .map(|r| mapper.map_round(dag, r))
+        .collect::<Result<Vec<_>, _>>()?;
+    let program = lower_remaining(dag, &mapped, &ctx.lower, &ctx.done);
+    let summary = format!("{} greedy rounds onto {alive} engines", sched.len());
+    ctx.schedule = Some(sched);
+    ctx.mapped = Some(mapped);
+    ctx.program = Some(program);
+    let mut report = StageReport::new("replan:greedy", summary);
+    report.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    ctx.reports.push(report);
+    admit_policy(ctx)
 }
 
 /// The fault plan as seen by a retry attempt that starts `elapsed` cycles
@@ -230,6 +758,7 @@ mod tests {
             run_with_recovery(&dag, &cfg, &FaultPlan::none(), &RecoveryConfig::auto()).unwrap();
         assert_eq!(out.attempts, 1);
         assert!(out.failed_engines.is_empty());
+        assert!(out.rungs.is_empty());
         assert!(out.stats.degradation.is_healthy());
         assert_eq!(out.stats.tasks, dag.atom_count());
     }
@@ -247,6 +776,7 @@ mod tests {
             "mid-run death of a mapped engine must be fatal once"
         );
         assert_eq!(out.failed_engines, vec![0]);
+        assert_eq!(out.rungs.len(), out.attempts - 1);
         assert_eq!(out.stats.degradation.engine_failures, 1);
         assert!(out.stats.degradation.remap_rounds > 0);
         assert!(out.stats.total_cycles > healthy.stats.total_cycles);
@@ -255,6 +785,26 @@ mod tests {
             out.stats.tasks as u64,
             dag.atom_count() as u64 + out.stats.degradation.rerun_tasks
         );
+    }
+
+    #[test]
+    fn incremental_and_cold_recovery_agree_on_accounting() {
+        // The ladder changes plan *quality*, never the conservation laws:
+        // both modes run every atom at least once and account each rerun.
+        let (dag, cfg) = dag_and_cfg();
+        let healthy =
+            run_with_recovery(&dag, &cfg, &FaultPlan::none(), &RecoveryConfig::auto()).unwrap();
+        let plan = FaultPlan::engine_fail(0, healthy.stats.total_cycles / 2);
+        for rc in [RecoveryConfig::auto(), RecoveryConfig::cold()] {
+            let out = run_with_recovery(&dag, &cfg, &plan, &rc).unwrap();
+            assert_eq!(
+                out.stats.tasks as u64,
+                dag.atom_count() as u64 + out.stats.degradation.rerun_tasks,
+                "incremental={}",
+                rc.incremental
+            );
+            assert_eq!(out.failed_engines, vec![0]);
+        }
     }
 
     #[test]
@@ -278,12 +828,104 @@ mod tests {
         let tight = RecoveryConfig {
             enabled: true,
             max_attempts: 1,
+            incremental: true,
         };
         let err = run_with_recovery(&dag, &cfg, &plan, &tight).unwrap_err();
         assert!(matches!(
             err,
             PipelineError::Sim(SimError::EngineFailed { .. })
         ));
+    }
+
+    #[test]
+    fn exhaustion_keeps_partial_accounting() {
+        // Kill engines faster than a 2-attempt budget can absorb: the typed
+        // error must surface *and* the trace must still carry the merged
+        // partial statistics with conserved event counters.
+        let (dag, cfg) = dag_and_cfg();
+        let healthy =
+            run_with_recovery(&dag, &cfg, &FaultPlan::none(), &RecoveryConfig::auto()).unwrap();
+        let mid = healthy.stats.total_cycles / 2;
+        let plan = FaultPlan::engine_fail(0, mid)
+            .with_event(FaultEvent {
+                cycle: mid,
+                kind: FaultKind::EngineFail { engine: 1 },
+            })
+            .with_event(FaultEvent {
+                cycle: mid,
+                kind: FaultKind::EngineFail { engine: 2 },
+            });
+        let tight = RecoveryConfig {
+            enabled: true,
+            max_attempts: 2,
+            incremental: true,
+        };
+        let (trace, result) = run_with_recovery_traced(&dag, &cfg, &plan, &tight);
+        let err = result.unwrap_err();
+        assert!(
+            matches!(err, PipelineError::Sim(SimError::EngineFailed { .. })),
+            "got {err:?}"
+        );
+        assert_eq!(trace.attempts, 2, "budget must stop the third attempt");
+        assert_eq!(
+            trace.attempt_degradation.len(),
+            trace.attempts,
+            "the failing attempt's degradation must be recorded too"
+        );
+        let partial = trace.partial.expect("partial stats survive the error");
+        assert_eq!(
+            partial.degradation.lost_tasks,
+            trace
+                .attempt_degradation
+                .iter()
+                .map(|d| d.lost_tasks)
+                .sum::<u64>(),
+            "lost_tasks drift on the error path"
+        );
+        assert_eq!(
+            partial.degradation.rerouted_transfers,
+            trace
+                .attempt_degradation
+                .iter()
+                .map(|d| d.rerouted_transfers)
+                .sum::<u64>(),
+            "rerouted_transfers drift on the error path"
+        );
+        assert!(partial.tasks > 0, "partial attempts executed work");
+    }
+
+    #[test]
+    fn same_round_compound_fault_recovers_deterministically() {
+        // An engine death and a link drop landing at the identical cycle
+        // (hence the identical round boundary) must produce one
+        // deterministic recovery order: the simulator applies the events in
+        // plan order at the barrier, recovery retires the engine, and the
+        // dead link persists into every retry.
+        let (dag, cfg) = dag_and_cfg();
+        let healthy =
+            run_with_recovery(&dag, &cfg, &FaultPlan::none(), &RecoveryConfig::auto()).unwrap();
+        let mid = healthy.stats.total_cycles / 2;
+        let plan = FaultPlan::none()
+            .with_event(FaultEvent {
+                cycle: mid,
+                kind: FaultKind::EngineFail { engine: 0 },
+            })
+            .with_event(FaultEvent {
+                cycle: mid,
+                kind: FaultKind::LinkFail { a: 1, b: 2 },
+            });
+        let a = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto()).unwrap();
+        let b = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto()).unwrap();
+        assert_eq!(a, b, "same-round compound fault recovery diverged");
+        assert_eq!(a.failed_engines, vec![0]);
+        assert_eq!(
+            a.stats.degradation.dead_links, 1,
+            "the link drop must persist through recovery"
+        );
+        assert_eq!(
+            a.stats.tasks as u64,
+            dag.atom_count() as u64 + a.stats.degradation.rerun_tasks
+        );
     }
 
     #[test]
@@ -305,7 +947,8 @@ mod tests {
                 engine_fail_prob: 0.3,
                 ..FaultRates::uniform(0.15)
             },
-        );
+        )
+        .unwrap();
         let out = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto()).unwrap();
         assert_eq!(out.attempt_degradation.len(), out.attempts);
         let deg = &out.stats.degradation;
@@ -355,7 +998,8 @@ mod tests {
                 engine_fail_prob: 0.2,
                 ..FaultRates::uniform(0.1)
             },
-        );
+        )
+        .unwrap();
         assert!(!plan.is_empty());
         let a = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto()).unwrap();
         let b = run_with_recovery(&dag, &cfg, &plan, &RecoveryConfig::auto()).unwrap();

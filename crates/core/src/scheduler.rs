@@ -179,7 +179,16 @@ type MemoKey = (u64, u64, u32);
 /// D1) because their iteration order is nondeterministic — this table is
 /// never iterated, only probed with full-width keys, so determinism holds
 /// while lookups stay O(1).
-struct MemoTable {
+///
+/// Keys are salted with everything an estimate depends on beyond the live
+/// search state — the done-at-entry atom set, the engine count and the
+/// branching factor (see [`Scheduler::schedule_with_table`]) — so one table
+/// may outlive a single scheduling pass and warm later passes over the same
+/// DAG (recovery replans via [`Scheduler::schedule_remaining_shared`]).
+/// Cached values are pure speedups either way: a hit returns exactly what
+/// the recursion would recompute.
+#[derive(Debug, Clone)]
+pub(crate) struct MemoTable {
     enabled: bool,
     /// Power-of-two slot array; `None` = empty.
     slots: Vec<Option<(MemoKey, u64)>>,
@@ -187,6 +196,17 @@ struct MemoTable {
 }
 
 impl MemoTable {
+    /// An enabled table intended to be carried across scheduling passes
+    /// (the incremental-replan cache in [`crate::pipeline::ReplanCache`]).
+    pub(crate) fn shared() -> Self {
+        Self::new(true)
+    }
+
+    /// Cached estimates currently held (diagnostics only).
+    pub(crate) fn entries(&self) -> usize {
+        self.len
+    }
+
     fn new(enabled: bool) -> Self {
         Self {
             enabled,
@@ -366,6 +386,13 @@ impl<'a> State<'a> {
         };
         for (i, atom) in dag.atoms().iter().enumerate() {
             if st.done[i] {
+                // Done-at-entry atoms fold into the scheduled-set hash with
+                // the same per-atom term `apply` would have used: for the
+                // transposition table only the satisfied dependency set
+                // matters, not whether an atom completed before this pass or
+                // during it. This keeps one shared table sound — and maximally
+                // reusable — across replan passes with different done masks.
+                st.scheduled_hash ^= mix64(u64::from(u32_from_usize(i)));
                 continue;
             }
             st.remaining += 1;
@@ -641,6 +668,35 @@ impl<'a> Scheduler<'a> {
         &self,
         done: &[bool],
     ) -> Result<(Schedule, bool), ScheduleError> {
+        let mut memo = MemoTable::new(
+            self.memo
+                && matches!(self.cfg.mode, ScheduleMode::Dp { lookahead, .. } if lookahead > 0),
+        );
+        self.schedule_with_table(done, &mut memo)
+    }
+
+    /// Like [`Scheduler::schedule_remaining_budgeted`], but probing and
+    /// filling a caller-owned transposition table instead of a pass-local
+    /// one. Recovery replans pass the table persisted in
+    /// [`crate::pipeline::ReplanCache`], so search subtrees explored by one
+    /// attempt warm the next. Soundness across attempts relies on the key
+    /// salting described on [`MemoTable`]; byte-identity of warm vs. cold
+    /// results holds whenever the expansion budget is unlimited (a warm hit
+    /// never charges the budget units the cold recursion would, so budgeted
+    /// truncation points may shift — callers gate on that).
+    pub(crate) fn schedule_remaining_shared(
+        &self,
+        done: &[bool],
+        memo: &mut MemoTable,
+    ) -> Result<(Schedule, bool), ScheduleError> {
+        self.schedule_with_table(done, memo)
+    }
+
+    fn schedule_with_table(
+        &self,
+        done: &[bool],
+        memo: &mut MemoTable,
+    ) -> Result<(Schedule, bool), ScheduleError> {
         if self.cfg.engines == 0 {
             return Err(ScheduleError::NoEngines);
         }
@@ -652,11 +708,21 @@ impl<'a> Scheduler<'a> {
         }
         let mut state = State::new_with_completed(self.dag, done);
         let n = self.cfg.engines;
-        let mut rounds = Vec::new();
-        let mut memo = MemoTable::new(
-            self.memo
-                && matches!(self.cfg.mode, ScheduleMode::Dp { lookahead, .. } if lookahead > 0),
+        // Salt the transposition keys with the search parameters that shape
+        // estimates but live outside the state: engine count (the alive set
+        // shrinks across recovery attempts) and branching factor. XOR'd into
+        // the commutative scheduled-set hash so a shared table never mixes
+        // estimates computed under different search shapes.
+        let branch_salt = match self.cfg.mode {
+            ScheduleMode::Dp { branch, .. } => branch,
+            _ => 0,
+        };
+        state.scheduled_hash ^= mix64(
+            0x5a17_u64 << 48
+                ^ u64::from(u32_from_usize(n)) << 16
+                ^ u64::from(u32_from_usize(branch_salt)),
         );
+        let mut rounds = Vec::new();
         let mut sb = SearchBudget::new(self.budget);
 
         if self.cfg.mode == ScheduleMode::LayerOrder {
@@ -665,7 +731,7 @@ impl<'a> Scheduler<'a> {
         while state.remaining > 0 {
             let combo = match self.cfg.mode {
                 ScheduleMode::Dp { lookahead, branch } => {
-                    self.best_combo(&mut state, &mut memo, &mut sb, n, lookahead, branch)
+                    self.best_combo(&mut state, memo, &mut sb, n, lookahead, branch)
                 }
                 // `LayerOrder` returned above; greedy selection covers it
                 // and `PriorityGreedy` alike.

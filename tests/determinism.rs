@@ -10,8 +10,10 @@
 //! identically-seeded runs must match to the last byte of its JSON
 //! serialization.
 
+use std::time::Instant;
+
 use ad_repro::prelude::*;
-use atomic_dataflow::run_with_recovery;
+use atomic_dataflow::{replan_attempt, run_with_recovery, LadderRung, ReplanCache};
 
 /// Two full optimizer runs with the same seed must serialize to
 /// byte-identical statistics.
@@ -116,4 +118,139 @@ fn fault_recovery_is_deterministic_across_runs() {
         b.stats.to_json().to_compact(),
         "identically-seeded recovery runs diverged"
     );
+}
+
+/// Builds a ResNet-50 planning context carrying a healthy prior plan, a
+/// 60 %-done mask (in prior round order — the shape a mid-run failure
+/// leaves) and the given engines retired.
+#[allow(clippy::type_complexity, clippy::unwrap_used)]
+fn perturbed_resnet50(
+    cfg: OptimizerConfig,
+) -> (
+    atomic_dataflow::AtomicDag,
+    Vec<Vec<(atomic_dataflow::AtomId, usize)>>,
+    Vec<bool>,
+) {
+    let g = models::resnet50();
+    let (_, dag) = Optimizer::new(cfg).build_dag(&g);
+    let n = dag.atom_count();
+    let mut ctx = PlanContext::for_dag(dag.clone(), cfg);
+    ctx.done = vec![false; n];
+    Pipeline::replan().run(&mut ctx).unwrap();
+    let prior = ctx.mapped.clone().unwrap();
+
+    let mut done = vec![false; n];
+    let mut marked = 0;
+    'outer: for round in &prior {
+        for &(a, _) in round {
+            if marked >= n * 6 / 10 {
+                break 'outer;
+            }
+            done[a.index()] = true;
+            marked += 1;
+        }
+    }
+    (dag, prior, done)
+}
+
+/// The recovery ladder's persistent caches (DP transposition table, tile
+/// cost tables) are pure accelerators: a replan attempt running against a
+/// warm [`ReplanCache`] must produce byte-identical artifacts — schedule,
+/// mapping and lowered program — to the same attempt running cold. The
+/// perturbation retires five engines so the orphan fraction escalates past
+/// the in-place patch rung to the scoped DP replan, the rung that actually
+/// consults the transposition table.
+#[test]
+fn incremental_replan_is_byte_identical_to_cold_replan() {
+    let cfg = OptimizerConfig::fast_test().with_validate(ValidateMode::Deny);
+    let dead = [0usize, 1, 2, 3, 4];
+    let (dag, prior, done) = perturbed_resnet50(cfg);
+
+    let run = |cache: Option<ReplanCache>| {
+        let mut ctx = PlanContext::for_dag(dag.clone(), cfg);
+        ctx.done = done.clone();
+        ctx.dead_engines = dead.to_vec();
+        ctx.replan_cache = cache;
+        let rung = replan_attempt(&mut ctx, Some(&prior), None).unwrap();
+        (rung, ctx)
+    };
+
+    // Cold: fresh cache. Warm: the cache the cold run just populated.
+    let (cold_rung, cold) = run(Some(ReplanCache::new()));
+    let warm_cache = cold.replan_cache.clone().unwrap();
+    assert!(
+        warm_cache.memo_entries() > 0,
+        "the scoped replan must populate the transposition table"
+    );
+    let (warm_rung, warm) = run(Some(warm_cache));
+
+    assert_eq!(cold_rung, LadderRung::ScopedReplan, "wrong rung under test");
+    assert_eq!(warm_rung, cold_rung, "cache changed the ladder rung");
+    assert_eq!(
+        warm.schedule.as_ref().unwrap().rounds,
+        cold.schedule.as_ref().unwrap().rounds,
+        "warm transposition table changed the schedule"
+    );
+    assert_eq!(
+        warm.mapped, cold.mapped,
+        "warm caches changed the engine assignment"
+    );
+    assert_eq!(
+        warm.program.as_ref().unwrap().rounds(),
+        cold.program.as_ref().unwrap().rounds(),
+        "warm caches changed the lowered program"
+    );
+}
+
+/// The pinned headline of the recovery ladder: repairing a
+/// single-engine-death ResNet-50 plan through the incremental rung must be
+/// at least an order of magnitude faster than the cold full replan it
+/// replaces. Timing compares the replan work itself (validation off — the
+/// admission auditor is an identical additive cost on both sides and is
+/// exercised separately under Deny below); both sides take the minimum of
+/// five runs so scheduler noise cannot fake a regression in either
+/// direction.
+#[test]
+fn incremental_replan_is_order_of_magnitude_faster_than_cold() {
+    let mut cfg = OptimizerConfig::fast_test().with_validate(ValidateMode::Off);
+    cfg.sim.mesh = MeshConfig::grid(8, 8);
+    let dead = [3usize];
+    let (dag, prior, done) = perturbed_resnet50(cfg);
+
+    let iters = 5;
+    let mut cold_ms = f64::MAX;
+    for _ in 0..iters {
+        let mut ctx = PlanContext::for_dag(dag.clone(), cfg);
+        ctx.done = done.clone();
+        ctx.dead_engines = dead.to_vec();
+        let t0 = Instant::now();
+        Pipeline::replan().run(&mut ctx).unwrap();
+        cold_ms = cold_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let mut warm_ms = f64::MAX;
+    let mut last = None;
+    for _ in 0..iters {
+        let mut ctx = PlanContext::for_dag(dag.clone(), cfg);
+        ctx.done = done.clone();
+        ctx.dead_engines = dead.to_vec();
+        let t0 = Instant::now();
+        let rung = replan_attempt(&mut ctx, Some(&prior), None).unwrap();
+        warm_ms = warm_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(rung, LadderRung::ReuseSuffix, "wrong rung under test");
+        last = Some(ctx);
+    }
+
+    let speedup = cold_ms / warm_ms;
+    assert!(
+        speedup >= 10.0,
+        "incremental replan must be >=10x faster than cold \
+         (cold {cold_ms:.2}ms / warm {warm_ms:.2}ms = {speedup:.1}x)"
+    );
+
+    // The speed does not come from skipping the auditor: the incremental
+    // artifacts still pass Deny-mode admission.
+    let mut ctx = last.unwrap();
+    ctx.cfg.validate = ValidateMode::Deny;
+    atomic_dataflow::validate::admit(&mut ctx).expect("incremental replan artifacts must admit");
 }
