@@ -15,7 +15,8 @@
 //! matching with file:line diagnostics. Rules:
 //!
 //! * **D1 `hash-container`** — no `std::collections::HashMap`/`HashSet` in
-//!   the planning/sim crates (`core`, `accel-sim`, `noc-model`): iteration
+//!   the planning/sim crates (`core`, `accel-sim`, `noc-model`,
+//!   `ad-serve`): iteration
 //!   order can silently break tie-breaking. The preferred replacement is
 //!   keyspace-dependent (DESIGN.md §11): dense ids (`TaskId`, `AtomId`,
 //!   `LayerId`, engine indices) index a flat `Vec` whose scan order is
@@ -135,18 +136,25 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Crates whose planning/simulation results must be hash-order-free (D1)
-/// and truncation-free (C1). Directory names under `crates/`.
-const PLANNING_CRATES: [&str; 3] = ["core", "accel-sim", "noc-model"];
+/// and truncation-free (C1). Directory names under `crates/`. `ad-serve`
+/// is included: its cache serves plan payloads whose byte identity is a
+/// contract, so iteration order in the store is as load-bearing as in the
+/// planner itself.
+const PLANNING_CRATES: [&str; 4] = ["core", "accel-sim", "noc-model", "ad-serve"];
 
 /// Crates whose cost/cycle paths must not read entropy or wall clocks (D2):
-/// the planning crates plus every model crate they are built from.
-const MODEL_CRATES: [&str; 6] = [
+/// the planning crates plus every model crate they are built from, plus
+/// `ad-serve` (its LRU order must be a logical tick, not wall time, or
+/// eviction — and therefore which plans survive to warm-start others —
+/// becomes timing-dependent).
+const MODEL_CRATES: [&str; 7] = [
     "core",
     "accel-sim",
     "noc-model",
     "engine-model",
     "mem-model",
     "util",
+    "ad-serve",
 ];
 
 /// Crates exempt from P1: `bench` drives experiments from binaries and

@@ -375,6 +375,55 @@ fn rule_parsing_accepts_slugs_and_codes() {
     assert_eq!(Rule::parse("no-such-rule"), None);
 }
 
+// ------------------------------------------------------- ad-serve scope
+
+/// The serving daemon's library sources.
+const SERVE_LIB: &str = "crates/ad-serve/src/lib.rs";
+/// The daemon binary: P1/C1-exempt like all bins, but still in D2/D3 scope.
+const SERVE_BIN: &str = "crates/ad-serve/src/main.rs";
+
+/// `ad-serve` is a planning crate: its cache serves byte-pinned plan
+/// payloads, so hash-ordered containers are as dangerous there as in the
+/// planner itself.
+#[test]
+fn ad_serve_is_in_planning_scope() {
+    let diags = lint_file(SERVE_LIB, "use std::collections::HashMap;\n");
+    assert_eq!(rules_of(&diags), vec![Rule::HashContainer]);
+    assert!(lint_file(SERVE_LIB, "use std::collections::BTreeMap;\n").is_empty());
+    let diags = lint_file(SERVE_LIB, "fn f(x: u64) -> u32 { x as u32 }\n");
+    assert_eq!(rules_of(&diags), vec![Rule::LossyCast]);
+}
+
+/// The LRU stamp must be a logical tick: a wall-clock read in either the
+/// library or the daemon binary makes eviction — and so which entries
+/// survive to warm-start later requests — timing-dependent.
+#[test]
+fn ad_serve_is_in_determinism_scope_including_its_binary() {
+    let src = "use std::time::Instant;\n";
+    assert_eq!(
+        rules_of(&lint_file(SERVE_LIB, src)),
+        vec![Rule::Nondeterminism]
+    );
+    assert_eq!(
+        rules_of(&lint_file(SERVE_BIN, src)),
+        vec![Rule::Nondeterminism]
+    );
+    let spawned = "fn f() { std::thread::spawn(|| {}); }\n";
+    assert_eq!(
+        rules_of(&lint_file(SERVE_LIB, spawned)),
+        vec![Rule::UnscopedThread]
+    );
+}
+
+/// P1 still scopes per target: the serving library is panic-free, the
+/// binary may abort loudly.
+#[test]
+fn ad_serve_library_is_panic_free_but_binary_is_exempt() {
+    let src = "fn f() { None::<u8>.unwrap(); }\n";
+    assert_eq!(rules_of(&lint_file(SERVE_LIB, src)), vec![Rule::Panic]);
+    assert!(lint_file(SERVE_BIN, src).is_empty());
+}
+
 // ---------------------------------------------------------------- output
 
 #[test]

@@ -1,0 +1,718 @@
+//! `ad-serve`: a long-lived plan-serving daemon over the request layer.
+//!
+//! Planning is expensive (seconds at paper scale) but perfectly cacheable:
+//! the planner is byte-deterministic, and a [`PlanRequest`] is content-
+//! addressed by the pair ([`Graph::canonical_fingerprint`],
+//! [`request::config_fingerprint`]). This crate serves plans from a
+//! [`PlanStore`] keyed by that pair:
+//!
+//! * **Content-addressed cache** — a `BTreeMap` from `(graph_fp,
+//!   config_fp)` to the resolved plan payload, LRU-bounded by a logical
+//!   tick (no wall clock in model code, ad-lint D2). A hit returns the
+//!   first-computed payload *verbatim* — no pipeline stage re-runs — so
+//!   repeated identical requests are byte-identical by construction.
+//! * **Single-flight** — concurrent identical requests plan once: the
+//!   first marks the key in-flight, the rest wait on a [`Condvar`] and
+//!   then read the cached entry. If planning fails, the key is released
+//!   and the next waiter takes over.
+//! * **Warm start** — a second index keyed by
+//!   ([`Graph::canonical_fingerprint`],
+//!   [`request::batchless_config_fingerprint`]) finds the cached plan of
+//!   the nearest graph differing only in batch size; its per-layer atom
+//!   specs seed the SA search of the miss (see
+//!   `atomic_dataflow::atomgen::generate_warm`). Warm starts change only
+//!   where the search *starts*; the admitted plan still passes Deny-mode
+//!   validation, and whatever plan is computed first for a key is what the
+//!   cache returns forever after (DESIGN.md §14).
+//!
+//! The daemon itself ([`serve`]) speaks line-delimited JSON over TCP:
+//! one request object per line, one response object per line. Misses are
+//! dispatched to a fixed pool of *scoped* worker threads fed over an mpsc
+//! channel — the same join-before-return discipline as
+//! [`ad_util::scoped_map`] (ad-lint D3); no thread outlives [`serve`].
+//!
+//! ```json
+//! {"op": "plan", "model": "resnet50", "batch": 4}
+//! {"ok": true, "cached": false, "warm_started": false,
+//!  "graph_fp": "…", "config_fp": "…", "plan": {…}}
+//! ```
+//!
+//! Ops: `plan` (fields `model`, optional `batch`/`strategy`/`hw`/`fast`/
+//! `validate`/`budget`), `stats` (cache counters), `shutdown`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use ad_util::{Fingerprint, Json};
+use atomic_dataflow::{
+    request, AtomSpec, OptimizerConfig, PipelineError, PlanBudget, PlanRequest, Strategy,
+    ValidateMode,
+};
+use dnn_graph::{models, Graph};
+use engine_model::HardwareConfig;
+
+/// Key of the content-addressed cache: (graph fingerprint, config
+/// fingerprint). Equal keys describe the same planning problem.
+pub type CacheKey = (Fingerprint, Fingerprint);
+
+/// Key of the warm-start neighbor index: (graph fingerprint, batchless
+/// config fingerprint). Entries sharing it differ at most in batch size.
+type WarmKey = (Fingerprint, Fingerprint);
+
+/// Locks a mutex, recovering the guard if a worker panicked while holding
+/// it (the store's state is a cache: a poisoned entry is still sound to
+/// read, at worst a wasted recomputation).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One resolved request: the plan payload plus how it was obtained.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// The deterministic plan payload ([`request::PlanResponse::plan`]),
+    /// returned verbatim from the cache on hits.
+    pub plan: String,
+    /// Whether the payload came from the cache (no pipeline stage ran).
+    pub cached: bool,
+    /// Whether a cache neighbor seeded the SA search (misses only).
+    pub warm_started: bool,
+    /// Graph half of the cache key.
+    pub graph_fp: Fingerprint,
+    /// Config half of the cache key.
+    pub config_fp: Fingerprint,
+}
+
+/// Counter snapshot of a [`PlanStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to plan.
+    pub misses: u64,
+    /// Entries dropped by the LRU bound.
+    pub evictions: u64,
+    /// Misses seeded from a batch neighbor.
+    pub warm_starts: u64,
+}
+
+impl StoreStats {
+    /// The counters as a [`Json`] object (the `stats` op payload).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("entries".into(), Json::from(self.entries)),
+            ("hits".into(), Json::from(self.hits)),
+            ("misses".into(), Json::from(self.misses)),
+            ("evictions".into(), Json::from(self.evictions)),
+            ("warm_starts".into(), Json::from(self.warm_starts)),
+        ])
+    }
+}
+
+/// One cached plan.
+struct Entry {
+    plan: String,
+    /// Winning per-layer atom specs (atomic dataflow only) — the payload a
+    /// warm-started neighbor request reuses.
+    specs: Option<Arc<Vec<AtomSpec>>>,
+    warm_key: WarmKey,
+    /// Logical LRU stamp (ticks, not wall time: ad-lint D2).
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    cache: BTreeMap<CacheKey, Entry>,
+    /// Keys currently being planned (single-flight).
+    inflight: BTreeSet<CacheKey>,
+    /// Warm-start neighbor index: entries per batch-insensitive key.
+    warm: BTreeMap<WarmKey, Vec<(usize, CacheKey)>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    warm_starts: u64,
+}
+
+/// The content-addressed plan cache with single-flight miss resolution.
+pub struct PlanStore {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl PlanStore {
+    /// A store holding at most `capacity` plans (clamped to ≥ 1); least-
+    /// recently-used entries are evicted beyond that.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        let g = lock(&self.inner);
+        StoreStats {
+            entries: g.cache.len(),
+            hits: g.hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            warm_starts: g.warm_starts,
+        }
+    }
+
+    /// Returns the cached plan for (`graph`, `cfg`, `strategy`) or plans it
+    /// once, warm-starting the SA search from the nearest cached neighbor
+    /// differing only in batch size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the pipeline's [`PipelineError`] on a failed miss; the
+    /// key is released so a later request can retry.
+    pub fn get_or_plan(
+        &self,
+        graph: &Graph,
+        cfg: OptimizerConfig,
+        strategy: Strategy,
+    ) -> Result<ServeOutcome, PipelineError> {
+        let graph_fp = graph.canonical_fingerprint();
+        let config_fp = request::config_fingerprint(&cfg, strategy);
+        let warm_key = (
+            graph_fp,
+            request::batchless_config_fingerprint(&cfg, strategy),
+        );
+        self.resolve(graph_fp, config_fp, warm_key, cfg.batch, |warm| {
+            let mut req = PlanRequest::new(graph, cfg).with_strategy(strategy);
+            if let Some(w) = warm {
+                req = req.with_warm_start(w);
+            }
+            let resp = request::plan(&req)?;
+            Ok((resp.plan, resp.detail.map(|d| Arc::new(d.specs))))
+        })
+    }
+
+    /// Cache/single-flight core, generic over the planning function so the
+    /// concurrency semantics are testable without running the pipeline.
+    fn resolve<E>(
+        &self,
+        graph_fp: Fingerprint,
+        config_fp: Fingerprint,
+        warm_key: WarmKey,
+        batch: usize,
+        compute: impl FnOnce(
+            Option<Arc<Vec<AtomSpec>>>,
+        ) -> Result<(String, Option<Arc<Vec<AtomSpec>>>), E>,
+    ) -> Result<ServeOutcome, E> {
+        let key = (graph_fp, config_fp);
+        let warm_seed = {
+            let mut g = lock(&self.inner);
+            loop {
+                g.tick += 1;
+                let tick = g.tick;
+                if let Some(e) = g.cache.get_mut(&key) {
+                    e.last_used = tick;
+                    let plan = e.plan.clone();
+                    g.hits += 1;
+                    return Ok(ServeOutcome {
+                        plan,
+                        cached: true,
+                        warm_started: false,
+                        graph_fp,
+                        config_fp,
+                    });
+                }
+                if g.inflight.contains(&key) {
+                    // Single-flight: an identical request is planning right
+                    // now — wait for it and re-check the cache.
+                    g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+                    continue;
+                }
+                g.inflight.insert(key);
+                g.misses += 1;
+                let seed = nearest_warm(&g, warm_key, batch, key);
+                if seed.is_some() {
+                    g.warm_starts += 1;
+                }
+                break seed;
+            }
+        };
+
+        // Plan outside the lock; identical concurrent requests block on the
+        // condvar, everything else proceeds in parallel.
+        let result = compute(warm_seed.clone());
+
+        let mut g = lock(&self.inner);
+        g.inflight.remove(&key);
+        let out = match result {
+            Ok((plan, specs)) => {
+                g.tick += 1;
+                let tick = g.tick;
+                let has_specs = specs.is_some();
+                g.cache.insert(
+                    key,
+                    Entry {
+                        plan: plan.clone(),
+                        specs,
+                        warm_key,
+                        last_used: tick,
+                    },
+                );
+                if has_specs {
+                    g.warm.entry(warm_key).or_default().push((batch, key));
+                }
+                while g.cache.len() > self.capacity {
+                    evict_lru(&mut g);
+                }
+                Ok(ServeOutcome {
+                    plan,
+                    cached: false,
+                    warm_started: warm_seed.is_some(),
+                    graph_fp,
+                    config_fp,
+                })
+            }
+            // The failed key is released above; the next waiter re-checks
+            // the cache, finds neither entry nor in-flight mark, and plans.
+            Err(e) => Err(e),
+        };
+        drop(g);
+        self.cv.notify_all();
+        out
+    }
+}
+
+/// Specs of the cached neighbor closest in batch size (ties toward the
+/// smaller batch, then the smaller key — deterministic for any insertion
+/// order).
+fn nearest_warm(
+    inner: &Inner,
+    warm_key: WarmKey,
+    batch: usize,
+    key: CacheKey,
+) -> Option<Arc<Vec<AtomSpec>>> {
+    let neighbors = inner.warm.get(&warm_key)?;
+    let mut best: Option<(usize, usize, CacheKey)> = None;
+    for &(b, k) in neighbors {
+        if k == key {
+            continue;
+        }
+        let cand = (b.abs_diff(batch), b, k);
+        if best.is_none_or(|x| cand < x) {
+            best = Some(cand);
+        }
+    }
+    let (_, _, k) = best?;
+    inner.cache.get(&k).and_then(|e| e.specs.clone())
+}
+
+/// Drops the least-recently-used entry and unlinks it from the warm index.
+fn evict_lru(inner: &mut Inner) {
+    let victim = inner
+        .cache
+        .iter()
+        .min_by_key(|(_, e)| e.last_used)
+        .map(|(k, _)| *k);
+    let Some(k) = victim else { return };
+    let Some(e) = inner.cache.remove(&k) else {
+        return;
+    };
+    if let Some(v) = inner.warm.get_mut(&e.warm_key) {
+        v.retain(|&(_, key)| key != k);
+        if v.is_empty() {
+            inner.warm.remove(&e.warm_key);
+        }
+    }
+    inner.evictions += 1;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+/// Daemon-wide settings shared by every connection.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Hardware description used when a request carries no `hw` object.
+    pub base_hw: HardwareConfig,
+    /// Apply the fast search configuration to every request (CI/smoke).
+    pub fast: bool,
+    /// Worker threads handling connections.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            base_hw: HardwareConfig::paper_default(),
+            fast: false,
+            workers: 4,
+        }
+    }
+}
+
+/// Outcome of one protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Response line to write back.
+    Line(String),
+    /// Response line to write back, then stop the daemon.
+    Shutdown(String),
+}
+
+impl Reply {
+    /// The response line of either variant.
+    pub fn text(&self) -> &str {
+        match self {
+            Reply::Line(s) | Reply::Shutdown(s) => s,
+        }
+    }
+}
+
+/// Handles one request line and produces the response line. Pure protocol
+/// logic — the TCP plumbing in [`serve`] is a thin wrapper, and tests can
+/// drive the daemon without a socket.
+pub fn handle_line(line: &str, store: &PlanStore, sc: &ServerConfig) -> Reply {
+    let doc = match Json::parse(line) {
+        Ok(d) => d,
+        Err(e) => return Reply::Line(err_line(&format!("bad request JSON: {e}"))),
+    };
+    match doc.get("op").and_then(Json::as_str) {
+        Some("plan") => Reply::Line(handle_plan(&doc, store, sc)),
+        Some("stats") => Reply::Line(format!(
+            "{{\"ok\":true,\"stats\":{}}}",
+            store.stats().to_json().to_compact()
+        )),
+        Some("shutdown") => Reply::Shutdown("{\"ok\":true,\"shutdown\":true}".to_string()),
+        Some(other) => Reply::Line(err_line(&format!(
+            "unknown op `{other}` (plan|stats|shutdown)"
+        ))),
+        None => Reply::Line(err_line("request must carry an `op` field")),
+    }
+}
+
+fn handle_plan(doc: &Json, store: &PlanStore, sc: &ServerConfig) -> String {
+    let (graph, cfg, strategy) = match parse_plan(doc, sc) {
+        Ok(x) => x,
+        Err(e) => return err_line(&e),
+    };
+    match store.get_or_plan(&graph, cfg, strategy) {
+        // The plan payload is spliced in verbatim (it is already compact
+        // JSON), so cache hits return byte-identical plan bytes.
+        Ok(out) => format!(
+            "{{\"ok\":true,\"cached\":{},\"warm_started\":{},\"graph_fp\":\"{}\",\
+             \"config_fp\":\"{}\",\"plan\":{}}}",
+            out.cached, out.warm_started, out.graph_fp, out.config_fp, out.plan
+        ),
+        Err(e) => err_line(&format!("planning failed: {e}")),
+    }
+}
+
+fn err_line(msg: &str) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(msg.into())),
+    ])
+    .to_compact()
+}
+
+/// Decodes a `plan` request into (workload, config, strategy).
+fn parse_plan(doc: &Json, sc: &ServerConfig) -> Result<(Graph, OptimizerConfig, Strategy), String> {
+    let name = doc
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "plan request must name a `model`".to_string())?;
+    let graph = models::by_name(name).ok_or_else(|| format!("unknown model `{name}`"))?;
+    let batch = match doc.get("batch") {
+        None => 1,
+        Some(v) => v
+            .as_usize()
+            .filter(|b| *b > 0)
+            .ok_or_else(|| "`batch` must be a positive integer".to_string())?,
+    };
+    let strategy = match doc.get("strategy").and_then(Json::as_str) {
+        None => Strategy::AtomicDataflow,
+        Some(label) => Strategy::ALL
+            .iter()
+            .copied()
+            .find(|s| s.label() == label)
+            .ok_or_else(|| format!("unknown strategy `{label}`"))?,
+    };
+    let hw = match doc.get("hw") {
+        None => sc.base_hw,
+        Some(v) => HardwareConfig::from_json(v).map_err(|e| e.to_string())?,
+    };
+    let mut cfg = OptimizerConfig::for_hardware(&hw).map_err(|e| e.to_string())?;
+    if sc.fast || doc.get("fast").and_then(Json::as_bool) == Some(true) {
+        cfg = cfg.with_fast_search();
+    }
+    cfg = cfg.with_batch(batch);
+    if let Some(v) = doc.get("validate") {
+        let s = v
+            .as_str()
+            .ok_or_else(|| "`validate` must be a string (deny|warn|off)".to_string())?;
+        cfg = cfg.with_validate(s.parse::<ValidateMode>()?);
+    }
+    if let Some(v) = doc.get("budget") {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| "`budget` must be an object".to_string())?;
+        let mut budget = PlanBudget::unlimited();
+        for (k, val) in fields {
+            let n = val
+                .as_u64()
+                .ok_or_else(|| format!("`budget.{k}` must be an integer"))?;
+            match k.as_str() {
+                "sa_iters" => {
+                    let iters = u32::try_from(n)
+                        .map_err(|_| "`budget.sa_iters` out of range".to_string())?;
+                    budget = budget.with_sa_iters(iters);
+                }
+                "dp_expansions" => budget = budget.with_dp_expansions(n),
+                "deadline_ms" => budget = budget.with_deadline_ms(n),
+                other => return Err(format!("unknown budget field `{other}`")),
+            }
+        }
+        cfg = cfg.with_budget(budget);
+    }
+    Ok((graph, cfg, strategy))
+}
+
+// ---------------------------------------------------------------------------
+// Daemon
+// ---------------------------------------------------------------------------
+
+/// Runs the accept loop until a `shutdown` op arrives.
+///
+/// Connections are fanned out to [`ServerConfig::workers`] *scoped* worker
+/// threads over an mpsc channel — the `ad_util::scoped_map` discipline: no
+/// detached threads, every worker joins before this function returns.
+///
+/// # Errors
+///
+/// Only the initial `local_addr` query can fail; per-connection I/O errors
+/// drop that connection and the daemon keeps serving.
+pub fn serve(listener: &TcpListener, store: &PlanStore, sc: &ServerConfig) -> std::io::Result<()> {
+    let addr = listener.local_addr()?;
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Mutex::new(rx);
+    std::thread::scope(|s| {
+        let (rx, stop) = (&rx, &stop);
+        for _ in 0..sc.workers.max(1) {
+            s.spawn(move || loop {
+                // Hold the receiver lock only while dequeueing; idle workers
+                // queue on the mutex, which is equivalent to queueing on the
+                // channel itself.
+                let conn = { lock(rx).recv() };
+                let Ok(conn) = conn else { break };
+                serve_connection(conn, store, sc, stop, addr);
+            });
+        }
+        for conn in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(conn) = conn else { continue };
+            if tx.send(conn).is_err() {
+                break;
+            }
+        }
+        drop(tx);
+    });
+    Ok(())
+}
+
+/// Serves one connection: a sequence of request lines until EOF.
+fn serve_connection(
+    conn: TcpStream,
+    store: &PlanStore,
+    sc: &ServerConfig,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) {
+    let Ok(read_half) = conn.try_clone() else {
+        return;
+    };
+    let mut writer = conn;
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match handle_line(&line, store, sc) {
+            Reply::Line(resp) => {
+                if writeln!(writer, "{resp}").is_err() {
+                    return;
+                }
+            }
+            Reply::Shutdown(resp) => {
+                let _ = writeln!(writer, "{resp}");
+                let _ = writer.flush();
+                stop.store(true, Ordering::SeqCst);
+                // Wake the accept loop so `serve` can observe the flag.
+                drop(TcpStream::connect(addr));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint(n)
+    }
+
+    #[test]
+    fn single_flight_plans_once_for_concurrent_identical_requests() {
+        let store = PlanStore::new(8);
+        let calls = AtomicUsize::new(0);
+        let outs: Vec<ServeOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        store.resolve(fp(1), fp(2), (fp(1), fp(3)), 1, |_| {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            Ok::<_, ()>(("{\"p\":1}".to_string(), None))
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap().unwrap())
+                .collect()
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "planned more than once");
+        assert_eq!(outs.iter().filter(|o| !o.cached).count(), 1);
+        assert!(outs.iter().all(|o| o.plan == "{\"p\":1}"));
+        let st = store.stats();
+        assert_eq!((st.hits, st.misses, st.entries), (7, 1, 1));
+    }
+
+    #[test]
+    fn failed_plan_releases_the_key_for_retry() {
+        let store = PlanStore::new(8);
+        let r = store.resolve(fp(1), fp(2), (fp(1), fp(3)), 1, |_| {
+            Err::<(String, _), _>("boom")
+        });
+        assert_eq!(r.unwrap_err(), "boom");
+        // The key is not cached and not in flight: the retry computes.
+        let out = store
+            .resolve(fp(1), fp(2), (fp(1), fp(3)), 1, |_| {
+                Ok::<_, &str>(("{}".to_string(), None))
+            })
+            .unwrap();
+        assert!(!out.cached);
+        assert_eq!(store.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_the_cache() {
+        let store = PlanStore::new(2);
+        let plan_of = |k: u64| format!("{{\"k\":{k}}}");
+        for k in 1..=3 {
+            store
+                .resolve(fp(k), fp(0), (fp(k), fp(0)), 1, |_| {
+                    Ok::<_, ()>((plan_of(k), None))
+                })
+                .unwrap();
+        }
+        let st = store.stats();
+        assert_eq!((st.entries, st.evictions), (2, 1));
+        // Key 1 was the least recently used: it is gone and recomputes.
+        let out = store
+            .resolve(fp(1), fp(0), (fp(1), fp(0)), 1, |_| {
+                Ok::<_, ()>((plan_of(1), None))
+            })
+            .unwrap();
+        assert!(!out.cached);
+        // Key 3 survived: byte-identical hit.
+        let out = store
+            .resolve(fp(3), fp(0), (fp(3), fp(0)), 1, |_| {
+                Ok::<_, ()>((String::new(), None))
+            })
+            .unwrap();
+        assert!(out.cached);
+        assert_eq!(out.plan, plan_of(3));
+    }
+
+    #[test]
+    fn warm_start_seeds_from_nearest_batch_neighbor() {
+        let store = PlanStore::new(8);
+        let wk = (fp(9), fp(7));
+        let specs = Arc::new(Vec::<AtomSpec>::new());
+        let out = store
+            .resolve(fp(9), fp(1), wk, 1, |w| {
+                assert!(w.is_none(), "nothing cached yet");
+                Ok::<_, ()>(("{}".to_string(), Some(specs.clone())))
+            })
+            .unwrap();
+        assert!(!out.warm_started);
+        // Same graph and batchless config at batch 4: seeded from batch 1.
+        let out = store
+            .resolve(fp(9), fp(2), wk, 4, |w| {
+                assert!(w.is_some(), "neighbor specs expected");
+                Ok::<_, ()>(("{}".to_string(), None))
+            })
+            .unwrap();
+        assert!(out.warm_started);
+        // A different batchless key never cross-seeds.
+        let out = store
+            .resolve(fp(9), fp(4), (fp(9), fp(8)), 4, |w| {
+                assert!(w.is_none(), "different batchless key must not seed");
+                Ok::<_, ()>(("{}".to_string(), None))
+            })
+            .unwrap();
+        assert!(!out.warm_started);
+        assert_eq!(store.stats().warm_starts, 1);
+    }
+
+    #[test]
+    fn protocol_rejects_malformed_requests() {
+        let store = PlanStore::new(2);
+        let sc = ServerConfig::default();
+        for (req, want) in [
+            ("not json", "bad request JSON"),
+            ("{\"op\":\"fly\"}", "unknown op"),
+            ("{\"model\":\"resnet50\"}", "`op` field"),
+            ("{\"op\":\"plan\"}", "must name a `model`"),
+            ("{\"op\":\"plan\",\"model\":\"alexnet\"}", "unknown model"),
+            (
+                "{\"op\":\"plan\",\"model\":\"tiny_cnn\",\"batch\":0}",
+                "positive integer",
+            ),
+            (
+                "{\"op\":\"plan\",\"model\":\"tiny_cnn\",\"strategy\":\"XX\"}",
+                "unknown strategy",
+            ),
+            (
+                "{\"op\":\"plan\",\"model\":\"tiny_cnn\",\"hw\":{\"mesh_cols\":0}}",
+                "must be non-zero",
+            ),
+            (
+                "{\"op\":\"plan\",\"model\":\"tiny_cnn\",\"budget\":{\"sa_iterz\":1}}",
+                "unknown budget field",
+            ),
+        ] {
+            let reply = handle_line(req, &store, &sc);
+            let doc = Json::parse(reply.text()).unwrap();
+            assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false), "{req}");
+            let msg = doc.get("error").and_then(Json::as_str).unwrap();
+            assert!(msg.contains(want), "{req}: `{msg}` missing `{want}`");
+        }
+        // Nothing malformed may touch the planner or the cache.
+        assert_eq!(store.stats().misses, 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! CLI front end for the plan-serving daemon.
+//!
+//! ```text
+//! ad-serve [--addr=HOST:PORT] [--workers=N] [--capacity=N]
+//!          [--hw=PATH] [--fast] [--summary=PATH] [--smoke]
+//! ```
+//!
+//! * `--addr=` — listen address (default `127.0.0.1:7474`; port `0` picks a
+//!   free port, printed on startup).
+//! * `--workers=` — connection worker threads (default 4).
+//! * `--capacity=` — plan-cache entries before LRU eviction (default 128).
+//! * `--hw=` — hardware config file for requests without an inline `hw`
+//!   object (default: the paper's 8×8 machine).
+//! * `--fast` — apply the fast search configuration to every request.
+//! * `--summary=` — write a cache-counter JSON summary on shutdown.
+//! * `--smoke` — CI self-test: serve on a loopback port, submit the same
+//!   ResNet-50 request twice plus a batch-2 neighbor, and exit non-zero
+//!   unless the second request is a cache hit with byte-identical plan
+//!   payload and the third warm-starts.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use ad_serve::{serve, PlanStore, ServerConfig};
+use ad_util::Json;
+use engine_model::HardwareConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |prefix: &str| {
+        args.iter()
+            .find_map(|a| a.strip_prefix(prefix))
+            .map(str::to_string)
+    };
+
+    let addr = opt("--addr=").unwrap_or_else(|| "127.0.0.1:7474".to_string());
+    let workers = opt("--workers=").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let capacity = opt("--capacity=")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128);
+    let summary = opt("--summary=");
+    let base_hw = match opt("--hw=") {
+        Some(path) => match HardwareConfig::load(&path) {
+            Ok(hw) => hw,
+            Err(e) => {
+                eprintln!("ad-serve: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => HardwareConfig::paper_default(),
+    };
+    let sc = ServerConfig {
+        base_hw,
+        fast: flag("--fast"),
+        workers,
+    };
+    let store = PlanStore::new(capacity);
+
+    if flag("--smoke") {
+        std::process::exit(run_smoke(&store, &sc, summary.as_deref()));
+    }
+
+    let listener = TcpListener::bind(&addr).expect("bind listen address");
+    println!(
+        "ad-serve listening on {} ({} workers, capacity {})",
+        listener.local_addr().expect("local addr"),
+        sc.workers,
+        capacity
+    );
+    serve(&listener, &store, &sc).expect("serve loop");
+
+    let stats = store.stats();
+    if let Some(path) = summary {
+        write_summary(&path, &stats.to_json(), true, &[]);
+    }
+    println!(
+        "ad-serve: shut down ({} hits / {} misses / {} evictions / {} warm starts)",
+        stats.hits, stats.misses, stats.evictions, stats.warm_starts
+    );
+}
+
+/// One request line over an open connection; returns the parsed response.
+fn roundtrip(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str) -> Json {
+    writeln!(conn, "{req}").expect("send request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    Json::parse(&line).expect("response parses")
+}
+
+/// The CI self-test: cold plan, byte-identical cache hit, warm-started
+/// batch neighbor, counter check. Returns the process exit code.
+fn run_smoke(store: &PlanStore, sc: &ServerConfig, summary: Option<&str>) -> i32 {
+    // Smoke always uses the fast search configuration: CI budget, and the
+    // cache/warm-start semantics under test do not depend on search scale.
+    let sc = ServerConfig { fast: true, ..*sc };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    println!("ad-serve smoke: serving on {addr}");
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |what: &str, ok: bool| {
+        println!("  [{}] {what}", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            failures.push(what.to_string());
+        }
+    };
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| serve(&listener, store, &sc));
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone stream"));
+        let req = "{\"op\":\"plan\",\"model\":\"resnet50\"}";
+
+        let r1 = roundtrip(&mut conn, &mut reader, req);
+        check(
+            "cold request succeeds",
+            r1.get("ok").and_then(Json::as_bool) == Some(true),
+        );
+        check(
+            "cold request is not a cache hit",
+            r1.get("cached").and_then(Json::as_bool) == Some(false),
+        );
+
+        let r2 = roundtrip(&mut conn, &mut reader, req);
+        check(
+            "second identical request is a cache hit",
+            r2.get("cached").and_then(Json::as_bool) == Some(true),
+        );
+        let plan1 = r1.get("plan").map(|p| p.to_compact());
+        let plan2 = r2.get("plan").map(|p| p.to_compact());
+        check(
+            "cache hit returns byte-identical plan payload",
+            plan1.is_some() && plan1 == plan2,
+        );
+
+        let r3 = roundtrip(
+            &mut conn,
+            &mut reader,
+            "{\"op\":\"plan\",\"model\":\"resnet50\",\"batch\":2}",
+        );
+        check(
+            "batch-2 neighbor plans fresh",
+            r3.get("cached").and_then(Json::as_bool) == Some(false),
+        );
+        check(
+            "batch-2 neighbor warm-starts from the batch-1 plan",
+            r3.get("warm_started").and_then(Json::as_bool) == Some(true),
+        );
+
+        let st = roundtrip(&mut conn, &mut reader, "{\"op\":\"stats\"}");
+        let hits = st
+            .get("stats")
+            .and_then(|s| s.get("hits"))
+            .and_then(Json::as_u64);
+        let misses = st
+            .get("stats")
+            .and_then(|s| s.get("misses"))
+            .and_then(Json::as_u64);
+        check(
+            "counters: 1 hit, 2 misses",
+            hits == Some(1) && misses == Some(2),
+        );
+
+        let bye = roundtrip(&mut conn, &mut reader, "{\"op\":\"shutdown\"}");
+        check(
+            "shutdown acknowledged",
+            bye.get("ok").and_then(Json::as_bool) == Some(true),
+        );
+        server.join().expect("server thread").expect("serve loop");
+    });
+
+    let ok = failures.is_empty();
+    if let Some(path) = summary {
+        write_summary(path, &store.stats().to_json(), ok, &failures);
+    }
+    println!(
+        "ad-serve smoke: {}",
+        if ok { "all checks passed" } else { "FAILED" }
+    );
+    i32::from(!ok)
+}
+
+fn write_summary(path: &str, stats: &Json, ok: bool, failures: &[String]) {
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("ad_serve_summary/v1".into())),
+        ("ok".into(), Json::Bool(ok)),
+        (
+            "failures".into(),
+            Json::Arr(failures.iter().map(|f| Json::Str(f.clone())).collect()),
+        ),
+        ("stats".into(), stats.clone()),
+    ]);
+    match std::fs::write(path, format!("{}\n", doc.to_pretty())) {
+        Ok(()) => println!("ad-serve: wrote summary to {path}"),
+        Err(e) => eprintln!("ad-serve: failed to write {path}: {e}"),
+    }
+}

@@ -1,0 +1,187 @@
+//! End-to-end tests of the plan-serving layer: cache-hit byte identity
+//! against the real pipeline, warm starts surviving Deny-mode admission,
+//! and a full daemon round trip over TCP.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use ad_serve::{serve, PlanStore, ServerConfig};
+use ad_util::Json;
+use atomic_dataflow::{OptimizerConfig, Strategy, ValidateMode};
+use dnn_graph::models;
+use engine_model::HardwareConfig;
+
+#[allow(clippy::expect_used)] // test helper; clippy only auto-exempts #[test] fns
+fn fast_cfg() -> OptimizerConfig {
+    OptimizerConfig::for_hardware(&HardwareConfig::fast_test())
+        .expect("built-in fast-test hardware config is valid")
+        .with_fast_search()
+}
+
+/// A cache hit must return the cold response's plan payload byte-for-byte,
+/// without re-running any pipeline stage (the miss counter stays at 1).
+#[test]
+fn cache_hit_is_byte_identical_to_cold_plan() {
+    let store = PlanStore::new(8);
+    let g = models::tiny_branchy();
+    let cfg = fast_cfg();
+
+    let cold = store
+        .get_or_plan(&g, cfg, Strategy::AtomicDataflow)
+        .expect("cold plan succeeds");
+    assert!(!cold.cached);
+    assert!(!cold.warm_started);
+
+    let hit = store
+        .get_or_plan(&g, cfg, Strategy::AtomicDataflow)
+        .expect("cache hit succeeds");
+    assert!(hit.cached);
+    assert_eq!(cold.plan, hit.plan, "hit must be byte-identical to cold");
+    assert_eq!(cold.graph_fp, hit.graph_fp);
+    assert_eq!(cold.config_fp, hit.config_fp);
+
+    let stats = store.stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+}
+
+/// Different strategies at the same graph/hardware are distinct cache keys.
+#[test]
+fn strategies_do_not_collide_in_the_cache() {
+    let store = PlanStore::new(8);
+    let g = models::tiny_branchy();
+    let cfg = fast_cfg();
+
+    let ad = store
+        .get_or_plan(&g, cfg, Strategy::AtomicDataflow)
+        .expect("AD plans");
+    let ls = store
+        .get_or_plan(&g, cfg, Strategy::LayerSequential)
+        .expect("LS plans");
+    assert_ne!(ad.config_fp, ls.config_fp);
+    assert!(!ls.cached, "a new strategy must not hit the AD entry");
+    assert_eq!(store.stats().misses, 2);
+}
+
+/// The acceptance bar for warm starts: a plan seeded from a batch
+/// neighbor's atom specs must still pass Deny-mode admission — seeding
+/// changes where the search starts, never what is admitted.
+#[test]
+fn warm_started_plan_passes_deny_admission() {
+    let store = PlanStore::new(8);
+    let g = models::tiny_cnn();
+    let deny = |batch: usize| {
+        fast_cfg()
+            .with_batch(batch)
+            .with_validate(ValidateMode::Deny)
+    };
+
+    let b1 = store
+        .get_or_plan(&g, deny(1), Strategy::AtomicDataflow)
+        .expect("batch-1 plan passes Deny admission");
+    assert!(!b1.warm_started, "nothing cached yet to seed from");
+
+    let b4 = store
+        .get_or_plan(&g, deny(4), Strategy::AtomicDataflow)
+        .expect("warm-started batch-4 plan passes Deny admission");
+    assert!(!b4.cached, "a different batch is a different cache key");
+    assert!(
+        b4.warm_started,
+        "batch-1 entry must seed the batch-4 search"
+    );
+    assert_eq!(store.stats().warm_starts, 1);
+}
+
+#[allow(clippy::expect_used)] // test helper; clippy only auto-exempts #[test] fns
+fn roundtrip(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str) -> Json {
+    writeln!(conn, "{req}").expect("send request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    Json::parse(&line).expect("response parses")
+}
+
+/// Full daemon round trip: plan twice over TCP, assert the second response
+/// is a cache hit carrying an identical plan document, then shut down and
+/// join the server (no thread outlives `serve`).
+#[test]
+fn daemon_serves_cache_hits_over_tcp() {
+    let store = PlanStore::new(8);
+    let sc = ServerConfig {
+        base_hw: HardwareConfig::fast_test(),
+        fast: true,
+        workers: 2,
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| serve(&listener, &store, &sc));
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone stream"));
+
+        let req = "{\"op\":\"plan\",\"model\":\"tiny_branchy\"}";
+        let r1 = roundtrip(&mut conn, &mut reader, req);
+        assert_eq!(r1.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(r1.get("cached").and_then(Json::as_bool), Some(false));
+
+        let r2 = roundtrip(&mut conn, &mut reader, req);
+        assert_eq!(r2.get("cached").and_then(Json::as_bool), Some(true));
+        let p1 = r1.get("plan").expect("cold plan document").to_compact();
+        let p2 = r2.get("plan").expect("hit plan document").to_compact();
+        assert_eq!(p1, p2, "hit must carry the identical plan document");
+
+        let st = roundtrip(&mut conn, &mut reader, "{\"op\":\"stats\"}");
+        let stats = st.get("stats").expect("stats payload");
+        assert_eq!(stats.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("misses").and_then(Json::as_u64), Some(1));
+
+        let bye = roundtrip(&mut conn, &mut reader, "{\"op\":\"shutdown\"}");
+        assert_eq!(bye.get("shutdown").and_then(Json::as_bool), Some(true));
+        server
+            .join()
+            .expect("server thread")
+            .expect("serve loop exits cleanly");
+    });
+}
+
+/// Malformed requests get an `ok:false` error line and never touch the
+/// planner; the connection stays usable afterwards.
+#[test]
+fn daemon_reports_errors_without_dropping_the_connection() {
+    let store = PlanStore::new(8);
+    let sc = ServerConfig {
+        base_hw: HardwareConfig::fast_test(),
+        fast: true,
+        workers: 1,
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| serve(&listener, &store, &sc));
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone stream"));
+
+        let bad = roundtrip(
+            &mut conn,
+            &mut reader,
+            "{\"op\":\"plan\",\"model\":\"alexnet\"}",
+        );
+        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(bad.get("error").and_then(Json::as_str).is_some());
+        assert_eq!(store.stats().misses, 0, "bad requests must not plan");
+
+        let good = roundtrip(
+            &mut conn,
+            &mut reader,
+            "{\"op\":\"plan\",\"model\":\"tiny_cnn\"}",
+        );
+        assert_eq!(good.get("ok").and_then(Json::as_bool), Some(true));
+
+        let bye = roundtrip(&mut conn, &mut reader, "{\"op\":\"shutdown\"}");
+        assert_eq!(bye.get("ok").and_then(Json::as_bool), Some(true));
+        server
+            .join()
+            .expect("server thread")
+            .expect("serve loop exits cleanly");
+    });
+}

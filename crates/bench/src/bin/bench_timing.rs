@@ -10,13 +10,13 @@ use std::time::Instant;
 use accel_sim::Simulator;
 use atomic_dataflow::atomgen::{self, AtomGenConfig, AtomGenMode, GaParams, SaParams};
 use atomic_dataflow::{
-    lower_to_program, LowerOptions, Optimizer, OptimizerConfig, ScheduleMode, Scheduler,
-    SchedulerConfig, Strategy,
+    lower_to_program, request, LowerOptions, Optimizer, OptimizerConfig, PlanRequest, ScheduleMode,
+    Scheduler, SchedulerConfig, Strategy,
 };
 use dnn_graph::models;
-use engine_model::{ConvTask, Dataflow, EngineConfig};
-use mem_model::{HbmConfig, HbmModel};
-use noc_model::{MeshConfig, TrafficTracker};
+use engine_model::{ConvTask, Dataflow, HardwareConfig};
+use mem_model::HbmModel;
+use noc_model::TrafficTracker;
 
 fn time<R>(label: &str, iters: usize, mut f: impl FnMut() -> R) {
     let _ = f(); // warmup
@@ -32,8 +32,8 @@ fn time<R>(label: &str, iters: usize, mut f: impl FnMut() -> R) {
 }
 
 fn small_cfg() -> OptimizerConfig {
-    let mut cfg = OptimizerConfig::paper_default();
-    cfg.sim.mesh = MeshConfig::grid(4, 4);
+    let mut cfg = OptimizerConfig::for_hardware(&HardwareConfig::fast_test())
+        .expect("built-in fast-test hardware config is valid");
     if let AtomGenMode::Sa(ref mut p) = cfg.atomgen.mode {
         p.max_iters = 100;
     }
@@ -43,7 +43,7 @@ fn small_cfg() -> OptimizerConfig {
 
 fn bench_pipeline(iters: usize) {
     let g = models::resnet50();
-    let engine = EngineConfig::paper_default();
+    let engine = HardwareConfig::paper_default().engine_config();
     time("atomgen/sa_resnet50", iters, || {
         atomgen::generate(
             &g,
@@ -102,20 +102,25 @@ fn bench_pipeline(iters: usize) {
     });
 
     let g = models::tiny_branchy();
-    let cfg = OptimizerConfig::fast_test();
+    let cfg = OptimizerConfig::for_hardware(&HardwareConfig::fast_test())
+        .expect("built-in fast-test hardware config is valid")
+        .with_fast_search();
     for s in [
         Strategy::LayerSequential,
         Strategy::IlPipe,
         Strategy::AtomicDataflow,
     ] {
         time(&format!("strategies_tiny/{}", s.label()), iters, || {
-            s.run(&g, &cfg).expect("valid schedule")
+            request::plan(&PlanRequest::new(&g, cfg).with_strategy(s)).expect("valid schedule")
         });
     }
 }
 
 fn bench_substrates(iters: usize) {
-    let cfg = EngineConfig::paper_default();
+    let sim = OptimizerConfig::for_hardware(&HardwareConfig::paper_default())
+        .expect("built-in paper hardware config is valid")
+        .sim;
+    let cfg = sim.engine;
     let tasks = [
         ("engine/conv3x3", ConvTask::conv(14, 14, 256, 64, 3, 3, 1)),
         ("engine/conv1x1", ConvTask::conv(28, 28, 512, 128, 1, 1, 1)),
@@ -126,7 +131,7 @@ fn bench_substrates(iters: usize) {
         time(label, iters, || cfg.estimate(task, Dataflow::KcPartition));
     }
 
-    let mesh = MeshConfig::paper_default();
+    let mesh = sim.mesh;
     time("noc/hops_all_pairs_8x8", iters, || {
         let mut acc = 0u64;
         for i in 0..64 {
@@ -145,7 +150,7 @@ fn bench_substrates(iters: usize) {
     });
 
     time("hbm/mixed_10k_requests", iters, || {
-        let mut m = HbmModel::new(HbmConfig::paper_default());
+        let mut m = HbmModel::new(sim.hbm);
         let mut done = 0u64;
         for i in 0..10_000u64 {
             done = m.read(i * 3, if i % 10 == 0 { 64 * 1024 } else { 2048 });

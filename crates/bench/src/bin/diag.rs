@@ -2,7 +2,7 @@
 //! Not part of the paper reproduction; used to debug result shapes.
 
 use ad_bench::Workloads;
-use atomic_dataflow::{Optimizer, OptimizerConfig, Strategy};
+use atomic_dataflow::{request, Optimizer, PlanRequest, Strategy};
 use engine_model::Dataflow;
 
 fn main() {
@@ -26,7 +26,9 @@ fn main() {
             Strategy::AtomicDataflow,
         ] {
             let t = std::time::Instant::now();
-            let stats = s.run(graph, &cfg).expect("valid schedule");
+            let stats = request::plan(&PlanRequest::new(graph, cfg).with_strategy(s))
+                .expect("valid schedule")
+                .stats;
             println!(
                 "{:8} | cyc {:>12} | util {:5.1}% | cu {:5.1}% | nocB {:>10} | dramB {:>10} | rd {:>8.1}MB wr {:>8.1}MB | reuse {:5.1}% | rounds {:>6} | {:.1}s",
                 s.label(),
@@ -50,9 +52,7 @@ fn main() {
             r.atoms, r.rounds, r.occupancy, r.gen_report.variance, r.gen_report.unified_cycle
         );
         for t in [12usize, 24, 48, 64, 96, 160] {
-            let mut c = OptimizerConfig::paper_default()
-                .with_batch(batch)
-                .with_dataflow(df);
+            let mut c = ad_bench::harness::paper_config(df, batch);
             c.search_targets = [t, 0, 0];
             let r = Optimizer::new(c).optimize(graph).unwrap();
             println!(

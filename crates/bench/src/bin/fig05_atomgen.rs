@@ -7,7 +7,7 @@
 
 use ad_bench::{Table, Workloads};
 use atomic_dataflow::atomgen::{self, AtomGenConfig, AtomGenMode, GaParams, SaParams};
-use engine_model::{Dataflow, EngineConfig};
+use engine_model::{Dataflow, HardwareConfig};
 
 fn main() {
     let mut w = Workloads::from_args();
@@ -16,7 +16,7 @@ fn main() {
             "--workloads=resnet50,inception_v3,nasnet,efficientnet".to_string()
         ]);
     }
-    let engine = EngineConfig::paper_default();
+    let engine = HardwareConfig::paper_default().engine_config();
 
     // ---- (a) cycle histograms under SA.
     let mut table = Table::new(

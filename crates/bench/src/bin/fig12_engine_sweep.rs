@@ -8,7 +8,7 @@
 //! trend.
 
 use ad_bench::{Table, Workloads};
-use atomic_dataflow::{Optimizer, OptimizerConfig};
+use atomic_dataflow::{request, OptimizerConfig, PlanRequest};
 use engine_model::Dataflow;
 use noc_model::MeshConfig;
 
@@ -48,7 +48,7 @@ fn main() {
             let mut best = (0usize, u64::MAX);
             for side in SIDES {
                 let cfg = config_for(side, Dataflow::KcPartition, batch);
-                let r = Optimizer::new(cfg).optimize(graph).expect("valid schedule");
+                let r = request::plan(&PlanRequest::new(graph, cfg)).expect("valid schedule");
                 eprintln!(
                     "  [{name} b{batch} {side}x{side}] {} cycles ({} PEs/engine, {} KB)",
                     r.stats.total_cycles,

@@ -28,9 +28,11 @@ use std::time::Instant;
 use ad_util::Json;
 use atomic_dataflow::pipeline::StageReport;
 use atomic_dataflow::{
-    replan_attempt, LadderRung, Optimizer, OptimizerConfig, Pipeline, PlanContext, Strategy,
+    replan_attempt, request, LadderRung, Optimizer, OptimizerConfig, Pipeline, PlanContext,
+    PlanRequest,
 };
 use dnn_graph::models;
+use engine_model::HardwareConfig;
 
 const STAGES: [&str; 5] = ["atomgen", "schedule", "map", "lower", "simulate"];
 
@@ -45,9 +47,7 @@ fn measure(g: &dnn_graph::Graph, cfg: OptimizerConfig, iters: usize) -> RunRecor
     let mut best: Option<RunRecord> = None;
     for _ in 0..iters.max(1) {
         let t0 = Instant::now();
-        let out = Strategy::AtomicDataflow
-            .run_detailed(g, &cfg)
-            .expect("planner runs");
+        let out = request::plan(&PlanRequest::new(g, cfg)).expect("planner runs");
         let total_ms = t0.elapsed().as_secs_f64() * 1e3;
         if best.as_ref().is_none_or(|b| total_ms < b.total_ms) {
             best = Some(RunRecord {
@@ -215,9 +215,12 @@ fn main() {
 
     let g = models::resnet50();
     let base_cfg = if fast {
-        OptimizerConfig::fast_test()
+        OptimizerConfig::for_hardware(&HardwareConfig::fast_test())
+            .expect("built-in fast-test hardware config is valid")
+            .with_fast_search()
     } else {
-        OptimizerConfig::paper_default()
+        OptimizerConfig::for_hardware(&HardwareConfig::paper_default())
+            .expect("built-in paper hardware config is valid")
     };
 
     let mut runs = Vec::new();

@@ -6,10 +6,11 @@ use std::time::Instant;
 use accel_sim::{FaultKind, FaultPlan, SimStats};
 use ad_util::Json;
 use atomic_dataflow::{
-    baselines, Optimizer, OptimizerConfig, PlanBudget, StageReport, Strategy, ValidateMode,
+    baselines, request, Optimizer, OptimizerConfig, PlanBudget, PlanRequest, StageReport, Strategy,
+    ValidateMode,
 };
 use dnn_graph::{models, Graph};
-use engine_model::Dataflow;
+use engine_model::{Dataflow, HardwareConfig};
 
 /// One measured data point, serializable for post-processing.
 #[derive(Debug, Clone)]
@@ -122,18 +123,11 @@ pub fn run_strategy(
     cfg: &OptimizerConfig,
 ) -> ExpRecord {
     let start = Instant::now();
-    let outcome = strategy
-        .run_detailed(graph, cfg)
+    let response = request::plan(&PlanRequest::new(graph, *cfg).with_strategy(strategy))
         .expect("strategy produced an invalid schedule");
     let secs = start.elapsed().as_secs_f64();
-    let budget = outcome
-        .reports
-        .iter()
-        .map(|r| r.budget)
-        .find(atomic_dataflow::BudgetOutcome::is_truncated)
-        .unwrap_or_default()
-        .to_string();
-    let stats = outcome.stats;
+    let budget = response.budget.to_string();
+    let stats = response.stats;
     let freq = cfg.sim.engine.freq_mhz;
     let e = &stats.energy;
     ExpRecord {
@@ -158,7 +152,7 @@ pub fn run_strategy(
         ],
         search_secs: secs,
         budget,
-        stages: outcome.reports,
+        stages: response.reports,
     }
 }
 
@@ -275,8 +269,11 @@ pub fn ls_layer_utilizations(graph: &Graph, cfg: &OptimizerConfig) -> Vec<(Strin
 /// Flags understood by every experiment binary:
 /// - `--workloads=a,b,c` — subset by name (see [`models::PAPER_WORKLOADS`]);
 /// - `--quick` — the four mid-size workloads (fast smoke run);
-/// - `--fast` — use [`OptimizerConfig::fast_test`] instead of the paper
-///   platform (CI smoke runs);
+/// - `--fast` — use the small fast-test platform and short search knobs
+///   instead of the paper platform (CI smoke runs);
+/// - `--hw=PATH` — load the machine description from a
+///   [`HardwareConfig`] JSON file instead of the built-in paper platform
+///   (`--fast` then only shortens the search, not the machine);
 /// - `--par=N` — worker threads for the candidate search (results are
 ///   byte-identical for every value);
 /// - `--batch=N` — override the experiment's default batch size;
@@ -298,6 +295,8 @@ pub struct Workloads {
     pub json_path: Option<String>,
     /// Run on the small fast-test platform instead of the paper's.
     pub fast: bool,
+    /// Hardware-config file (`--hw=PATH`), if any.
+    pub hw_path: Option<String>,
     /// Candidate-search worker threads, if overridden.
     pub parallelism: Option<usize>,
     /// Plan-admission mode override (`--validate`), if any.
@@ -320,6 +319,7 @@ impl Workloads {
         let mut batch_override = None;
         let mut json_path = None;
         let mut fast = false;
+        let mut hw_path = None;
         let mut parallelism = None;
         let mut validate = None;
         let mut budget = PlanBudget::unlimited();
@@ -337,6 +337,8 @@ impl Workloads {
                 );
             } else if a == "--fast" {
                 fast = true;
+            } else if let Some(v) = a.strip_prefix("--hw=") {
+                hw_path = Some(v.to_string());
             } else if let Some(v) = a.strip_prefix("--par=") {
                 parallelism = v.parse().ok();
             } else if let Some(v) = a.strip_prefix("--batch=") {
@@ -382,20 +384,41 @@ impl Workloads {
             batch_override,
             json_path,
             fast,
+            hw_path,
             parallelism,
             validate,
             budget,
         }
     }
 
-    /// The platform configuration selected by the flags: the paper default
-    /// (or [`OptimizerConfig::fast_test`] under `--fast`) with the given
-    /// dataflow, batch, and any `--par=` override applied.
+    /// The machine description selected by the flags: the `--hw=PATH` file
+    /// when given, otherwise the built-in paper platform (its 4×4 variant
+    /// under `--fast`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the typed [`engine_model::ConfigError`] message when the
+    /// `--hw=` file is unreadable, malformed or degenerate (experiments
+    /// fail loudly on bad platform descriptions).
+    pub fn hardware(&self) -> HardwareConfig {
+        match &self.hw_path {
+            Some(path) => HardwareConfig::load(path).unwrap_or_else(|e| panic!("--hw={path}: {e}")),
+            None if self.fast => HardwareConfig::fast_test(),
+            None => HardwareConfig::paper_default(),
+        }
+    }
+
+    /// The platform configuration selected by the flags: the
+    /// [`Workloads::hardware`] machine with the given dataflow, batch, the
+    /// fast search knobs under `--fast`, and any `--par=` override applied.
     pub fn config(&self, dataflow: Dataflow, batch: usize) -> OptimizerConfig {
+        let hw = self.hardware();
+        let base = OptimizerConfig::for_hardware(&hw)
+            .unwrap_or_else(|e| panic!("invalid hardware config: {e}"));
         let base = if self.fast {
-            OptimizerConfig::fast_test()
+            base.with_fast_search()
         } else {
-            OptimizerConfig::paper_default()
+            base
         };
         let mut cfg = base
             .with_dataflow(dataflow)
@@ -432,9 +455,15 @@ impl Workloads {
     }
 }
 
-/// Paper-default configuration for a given dataflow and batch.
+/// Paper-default configuration for a given dataflow and batch, resolved
+/// through the declarative [`HardwareConfig`] path like every other config.
+///
+/// # Panics
+///
+/// Never in practice: the built-in paper platform always validates.
 pub fn paper_config(dataflow: Dataflow, batch: usize) -> OptimizerConfig {
-    OptimizerConfig::paper_default()
+    OptimizerConfig::for_hardware(&HardwareConfig::paper_default())
+        .expect("built-in paper hardware config is valid")
         .with_dataflow(dataflow)
         .with_batch(batch)
 }

@@ -225,6 +225,25 @@ pub fn generate_budgeted(
     dataflow: Dataflow,
     iter_budget: Option<usize>,
 ) -> GenReport {
+    generate_warm(graph, cfg, engine, dataflow, iter_budget, None)
+}
+
+/// Like [`generate_budgeted`], with an optional *warm start*: per-layer
+/// atom specs from a previously planned, closely related request (the plan
+/// cache's nearest neighbor differing only in batch). SA chains initialize
+/// from the warm specs instead of the granularity-target heuristic —
+/// annealing then proceeds unchanged, so the result still passes the same
+/// admission checks; layers whose warm spec is not in the candidate table
+/// (different engine geometry) fall back to the default initialization.
+/// GA and uniform generation ignore the warm start.
+pub fn generate_warm(
+    graph: &Graph,
+    cfg: &AtomGenConfig,
+    engine: &EngineConfig,
+    dataflow: Dataflow,
+    iter_budget: Option<usize>,
+    warm: Option<&[AtomSpec]>,
+) -> GenReport {
     let table = enumerate_candidates(graph, cfg, engine, dataflow);
     match cfg.mode {
         AtomGenMode::Sa(p) => run_sa(
@@ -234,6 +253,7 @@ pub fn generate_budgeted(
             cfg.target_atoms_per_layer,
             cfg.parallelism,
             iter_budget,
+            warm,
         ),
         AtomGenMode::Ga(p) => run_ga(graph, &table, p),
         AtomGenMode::Uniform { parts } => run_uniform(graph, &table, parts),
@@ -604,16 +624,17 @@ fn run_sa(
     target_count: usize,
     parallelism: usize,
     iter_budget: Option<usize>,
+    warm: Option<&[AtomSpec]>,
 ) -> GenReport {
     let soa = SaSoa::build(table);
     let chains = p.chains.max(1);
     if chains == 1 {
-        return run_sa_chain(graph, table, &soa, p, target_count, iter_budget);
+        return run_sa_chain(graph, table, &soa, p, target_count, iter_budget, warm);
     }
     let reports = ad_util::scoped_map(chains, parallelism, |i| {
         let mut pi = p;
         pi.seed = chain_seed(p.seed, i);
-        run_sa_chain(graph, table, &soa, pi, target_count, iter_budget)
+        run_sa_chain(graph, table, &soa, pi, target_count, iter_budget, warm)
     });
     let mut best: Option<GenReport> = None;
     for r in reports {
@@ -622,7 +643,7 @@ fn run_sa(
         }
     }
     // `chains >= 1`, so at least one report exists.
-    best.unwrap_or_else(|| run_sa_chain(graph, table, &soa, p, target_count, iter_budget))
+    best.unwrap_or_else(|| run_sa_chain(graph, table, &soa, p, target_count, iter_budget, warm))
 }
 
 /// One annealing chain (Algorithm 1), deterministic given `p.seed`. An
@@ -636,6 +657,7 @@ fn run_sa_chain(
     p: SaParams,
     target_count: usize,
     iter_budget: Option<usize>,
+    warm: Option<&[AtomSpec]>,
 ) -> GenReport {
     let mut rng = Rng64::new(p.seed);
     let nl = graph.layer_count();
@@ -643,10 +665,19 @@ fn run_sa_chain(
     // Initialization (Alg. 1 lines 1-3): tile sizes such that large layers
     // split into about `target_count` atoms — the cycle level with enough
     // intra-layer parallelism to fill the rounds. The annealing below is
-    // free to move `S` anywhere from here.
+    // free to move `S` anywhere from here. A warm start replaces the
+    // heuristic with the specs of a cached neighboring plan where they
+    // still exist in this layer's candidate menu.
     let mut choice: Vec<usize> = (0..nl)
         .map(|li| {
-            table.layers[li]
+            let cands = &table.layers[li];
+            if let Some(i) = warm
+                .and_then(|w| w.get(li))
+                .and_then(|spec| cands.iter().position(|c| c.spec == *spec))
+            {
+                return i;
+            }
+            cands
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, c)| (c.count.abs_diff(target_count), c.cycles))

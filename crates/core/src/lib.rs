@@ -59,6 +59,7 @@ pub mod mapping;
 mod optimizer;
 pub mod pipeline;
 mod recovery;
+pub mod request;
 pub mod scheduler;
 pub mod validate;
 
@@ -73,6 +74,9 @@ pub use pipeline::{Pipeline, PlanContext, PlanOutcome, ReplanCache, Stage, Stage
 pub use recovery::{
     replan_attempt, run_with_recovery, run_with_recovery_traced, LadderRung, RecoveryConfig,
     RecoveryOutcome, RecoveryTrace,
+};
+pub use request::{
+    batchless_config_fingerprint, config_fingerprint, plan, PlanDetail, PlanRequest, PlanResponse,
 };
 pub use scheduler::{Schedule, ScheduleError, ScheduleMode, Scheduler, SchedulerConfig};
 pub use validate::{

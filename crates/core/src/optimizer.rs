@@ -4,7 +4,7 @@
 use accel_sim::{Program, SimConfig, SimStats};
 use ad_util::scoped_map;
 use dnn_graph::Graph;
-use engine_model::Dataflow;
+use engine_model::{Dataflow, HardwareConfig};
 
 use crate::atomgen::{self, AtomGenConfig, GenReport};
 use crate::atomic_dag::AtomicDag;
@@ -74,19 +74,62 @@ impl OptimizerConfig {
     }
 
     /// A small, fast configuration for unit tests and doctests: 4×4 engines
-    /// and a short SA budget.
+    /// and a short SA budget. Equivalent to
+    /// `for_hardware(&HardwareConfig::fast_test()) + with_fast_search()`.
     pub fn fast_test() -> Self {
         let mut cfg = Self::paper_default();
         cfg.sim.mesh = noc_model::MeshConfig::grid(4, 4);
-        if let crate::atomgen::AtomGenMode::Sa(ref mut p) = cfg.atomgen.mode {
+        cfg.with_fast_search()
+    }
+
+    /// Builds the paper-default planning configuration against an explicit
+    /// machine description instead of the hard-coded paper platform. This
+    /// is the bridge between declarative [`HardwareConfig`] files and the
+    /// simulator's typed configs (`engine-model` is pure data and cannot
+    /// depend on `noc-model`/`mem-model`; this crate can).
+    ///
+    /// # Errors
+    ///
+    /// [`engine_model::ConfigError::Degenerate`] from
+    /// [`HardwareConfig::validate`] — the conversion refuses machines the
+    /// planner would divide by zero on.
+    pub fn for_hardware(hw: &HardwareConfig) -> Result<Self, engine_model::ConfigError> {
+        hw.validate()?;
+        let mut cfg = Self::paper_default();
+        cfg.sim = SimConfig {
+            engine: hw.engine_config(),
+            mesh: noc_model::MeshConfig {
+                cols: hw.mesh_cols,
+                rows: hw.mesh_rows,
+                link_bytes_per_cycle: hw.link_bytes_per_cycle,
+                hop_latency: hw.hop_latency,
+                energy_pj_per_byte_hop: hw.noc_energy_pj_per_byte_hop,
+            },
+            hbm: mem_model::HbmConfig {
+                capacity_bytes: hw.hbm_capacity_bytes,
+                peak_bytes_per_cycle: hw.hbm_bytes_per_cycle,
+                access_latency_cycles: hw.hbm_access_latency_cycles,
+                energy_pj_per_byte: hw.hbm_energy_pj_per_byte,
+                channels: hw.hbm_channels,
+            },
+            ..cfg.sim
+        };
+        Ok(cfg)
+    }
+
+    /// Returns a copy with the short search knobs used by tests, CI smoke
+    /// runs and the daemon's `--fast` mode: 60 SA iterations, shallow DP
+    /// lookahead and a single granularity target.
+    pub fn with_fast_search(mut self) -> Self {
+        if let crate::atomgen::AtomGenMode::Sa(ref mut p) = self.atomgen.mode {
             p.max_iters = 60;
         }
-        cfg.schedule_mode = ScheduleMode::Dp {
+        self.schedule_mode = ScheduleMode::Dp {
             lookahead: 1,
             branch: 2,
         };
-        cfg.search_targets = [32, 0, 0];
-        cfg
+        self.search_targets = [32, 0, 0];
+        self
     }
 
     /// Returns a copy with a different batch size.
@@ -161,17 +204,27 @@ pub struct OptimizeResult {
 #[derive(Debug, Clone)]
 pub struct Optimizer {
     cfg: OptimizerConfig,
+    warm: Option<std::sync::Arc<Vec<crate::atom::AtomSpec>>>,
 }
 
 impl Optimizer {
     /// Creates an optimizer with the given configuration.
     pub fn new(cfg: OptimizerConfig) -> Self {
-        Self { cfg }
+        Self { cfg, warm: None }
     }
 
     /// The configuration.
     pub fn config(&self) -> &OptimizerConfig {
         &self.cfg
+    }
+
+    /// Warm-starts the SA atom-generation search from the per-layer specs
+    /// of a previously planned neighboring request (see
+    /// [`crate::PlanContext::warm_specs`]). The warm-started plan still
+    /// runs through the full pipeline and its admission checks.
+    pub fn with_warm_start(mut self, specs: std::sync::Arc<Vec<crate::atom::AtomSpec>>) -> Self {
+        self.warm = Some(specs);
+        self
     }
 
     /// Runs atom generation and DAG construction only (used by experiments
@@ -365,6 +418,7 @@ impl Optimizer {
     ) -> Result<OptimizeResult, PipelineError> {
         let mut ctx = PlanContext::new(graph, self.cfg);
         ctx.cost_interner = Some(interner.clone());
+        ctx.warm_specs = self.warm.clone();
         Pipeline::standard(Some(target), Some(mode)).run(&mut ctx)?;
         let missing = |m: &'static str| PipelineError::StageOrder {
             stage: "optimize",

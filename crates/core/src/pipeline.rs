@@ -126,6 +126,12 @@ pub struct PlanContext<'g> {
     /// would shift the truncation points; the schedule stage therefore
     /// bypasses it whenever the budget is capped.
     pub replan_cache: Option<ReplanCache>,
+    /// Per-layer atom specs of a previously planned neighboring request
+    /// (same graph, different batch): [`AtomGenStage`] initializes the SA
+    /// search from them instead of the granularity heuristic. Purely a
+    /// search accelerator — the warm-started plan runs through the same
+    /// admission checks as a cold one.
+    pub warm_specs: Option<std::sync::Arc<Vec<crate::atom::AtomSpec>>>,
 }
 
 /// The cross-attempt cache carried by [`PlanContext::replan_cache`]. See
@@ -168,6 +174,7 @@ impl<'g> PlanContext<'g> {
             cost_interner: None,
             validated: 0,
             replan_cache: None,
+            warm_specs: None,
         }
     }
 
@@ -190,6 +197,7 @@ impl<'g> PlanContext<'g> {
             cost_interner: None,
             validated: 0,
             replan_cache: None,
+            warm_specs: None,
         }
     }
 
@@ -422,12 +430,13 @@ impl Stage for AtomGenStage {
             .budget
             .sa_iters
             .map(|n| ad_util::cast::usize_from_u64(u64::from(n)));
-        let report = atomgen::generate_budgeted(
+        let report = atomgen::generate_warm(
             graph,
             &gen_cfg,
             &ctx.cfg.sim.engine,
             ctx.cfg.dataflow,
             sa_budget,
+            ctx.warm_specs.as_deref().map(Vec::as_slice),
         );
         let dag = match &ctx.cost_interner {
             Some(interner) => AtomicDag::build_interned(

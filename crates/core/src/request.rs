@@ -1,0 +1,508 @@
+//! Request-shaped planning: one typed entry path for every plan consumer.
+//!
+//! Before this module, each front end (bench grid, timing binaries, fault
+//! harnesses, tests) invoked [`Optimizer`] or [`crate::Pipeline`] directly with an
+//! ad-hoc hard-coded config. The serving work (ROADMAP's front-door item)
+//! needs all of them to speak one language so plans can be cached,
+//! replayed and warm-started: a [`PlanRequest`] identifies *what* to plan
+//! — a workload graph and an [`OptimizerConfig`] — and the pair of stable
+//! fingerprints ([`Graph::canonical_fingerprint`], [`config_fingerprint`])
+//! identifies the request content-addressably. [`plan`] resolves a request
+//! into a [`PlanResponse`] carrying the simulated statistics, the per-stage
+//! reports, the [`BudgetOutcome`] and a deterministic `plan` payload whose
+//! bytes are pinned: equal fingerprints ⇒ equal payload bytes, which is
+//! what makes the `ad-serve` cache sound.
+//!
+//! The config fingerprint deliberately *excludes* every execution-only
+//! knob ([`OptimizerConfig::parallelism`], the atomgen thread count): the
+//! planner is byte-deterministic across thread counts, so requests that
+//! differ only there must share a cache entry. A batch-insensitive variant
+//! ([`batchless_config_fingerprint`]) keys the warm-start neighbor index:
+//! two requests equal up to batch size may seed each other's SA search.
+
+use accel_sim::{EvictionKind, FaultPlan, SimStats};
+use ad_util::{Fingerprint, FpHasher, Json};
+use dnn_graph::Graph;
+use engine_model::Dataflow;
+
+use crate::atom::AtomSpec;
+use crate::atomgen::{AtomGenConfig, AtomGenMode};
+use crate::atomic_dag::AtomicDag;
+use crate::error::PipelineError;
+use crate::mapping::MappingAlgo;
+use crate::optimizer::{Optimizer, OptimizerConfig, Strategy};
+use crate::pipeline::StageReport;
+use crate::recovery::{RecoveryConfig, RecoveryOutcome, RecoveryTrace};
+use crate::scheduler::ScheduleMode;
+use crate::validate::{BudgetOutcome, PlanBudget, ValidateMode};
+
+/// A fully specified planning request: the workload, the platform +
+/// strategy configuration, and optional warm-start specs from a cached
+/// neighboring plan.
+#[derive(Debug, Clone)]
+pub struct PlanRequest<'g> {
+    /// The workload to plan.
+    pub graph: &'g Graph,
+    /// Platform and search configuration.
+    pub cfg: OptimizerConfig,
+    /// Orchestration strategy (default: atomic dataflow).
+    pub strategy: Strategy,
+    /// Per-layer atom specs of a cached neighboring plan; seeds the SA
+    /// search (atomic dataflow only; see [`crate::PlanContext::warm_specs`]).
+    pub warm: Option<std::sync::Arc<Vec<AtomSpec>>>,
+}
+
+impl<'g> PlanRequest<'g> {
+    /// A request for the atomic-dataflow plan of `graph` under `cfg`.
+    pub fn new(graph: &'g Graph, cfg: OptimizerConfig) -> Self {
+        Self {
+            graph,
+            cfg,
+            strategy: Strategy::AtomicDataflow,
+            warm: None,
+        }
+    }
+
+    /// Returns a copy requesting a different strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Returns a copy that warm-starts the SA search from `specs`.
+    pub fn with_warm_start(mut self, specs: std::sync::Arc<Vec<AtomSpec>>) -> Self {
+        self.warm = Some(specs);
+        self
+    }
+
+    /// The graph half of the cache key.
+    pub fn graph_fingerprint(&self) -> Fingerprint {
+        self.graph.canonical_fingerprint()
+    }
+
+    /// The config half of the cache key.
+    pub fn config_fingerprint(&self) -> Fingerprint {
+        config_fingerprint(&self.cfg, self.strategy)
+    }
+
+    /// The batch-insensitive config fingerprint (warm-start index key).
+    pub fn batchless_config_fingerprint(&self) -> Fingerprint {
+        batchless_config_fingerprint(&self.cfg, self.strategy)
+    }
+}
+
+/// Atomic-dataflow plan structure beyond the simulated statistics; absent
+/// for baseline strategies, which plan without a generation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanDetail {
+    /// Scheduling rounds of the winning plan.
+    pub rounds: usize,
+    /// Atoms in the winning DAG.
+    pub atoms: usize,
+    /// Mean engine occupancy of the schedule.
+    pub occupancy: f64,
+    /// Chosen tile per layer — the payload a warm-started request reuses.
+    pub specs: Vec<AtomSpec>,
+}
+
+impl PlanDetail {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rounds".into(), Json::from(self.rounds)),
+            ("atoms".into(), Json::from(self.atoms)),
+            ("occupancy".into(), Json::Num(self.occupancy)),
+            (
+                "specs".into(),
+                Json::Arr(
+                    self.specs
+                        .iter()
+                        .map(|s| {
+                            Json::Arr(vec![Json::from(s.th), Json::from(s.tw), Json::from(s.tc)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// What [`plan`] resolves a [`PlanRequest`] into.
+#[derive(Debug, Clone)]
+pub struct PlanResponse {
+    /// [`Graph::canonical_fingerprint`] of the requested workload.
+    pub graph_fp: Fingerprint,
+    /// [`config_fingerprint`] of the requested configuration + strategy.
+    pub config_fp: Fingerprint,
+    /// Strategy that produced the plan.
+    pub strategy: Strategy,
+    /// Simulated statistics of the admitted plan.
+    pub stats: SimStats,
+    /// Per-stage wall times and summaries (reporting only; *not* part of
+    /// the pinned `plan` payload — wall times vary run to run).
+    pub reports: Vec<StageReport>,
+    /// Whether planning completed within its [`PlanBudget`].
+    pub budget: BudgetOutcome,
+    /// Plan structure and warm-start payload (atomic dataflow only).
+    pub detail: Option<PlanDetail>,
+    /// The deterministic response payload: compact JSON over the
+    /// fingerprints, strategy, budget outcome, statistics and detail.
+    /// Equal request fingerprints produce byte-identical payloads, so the
+    /// serve cache returns this string verbatim on hits (pinned in tests).
+    pub plan: String,
+}
+
+impl PlanResponse {
+    fn assemble(
+        graph_fp: Fingerprint,
+        config_fp: Fingerprint,
+        strategy: Strategy,
+        stats: SimStats,
+        reports: Vec<StageReport>,
+        budget: BudgetOutcome,
+        detail: Option<PlanDetail>,
+    ) -> Self {
+        let mut members = vec![
+            ("graph_fp".into(), Json::Str(graph_fp.to_string())),
+            ("config_fp".into(), Json::Str(config_fp.to_string())),
+            ("strategy".into(), Json::Str(strategy.label().into())),
+            ("budget".into(), Json::Str(budget.to_string())),
+            ("stats".into(), stats.to_json()),
+        ];
+        if let Some(d) = &detail {
+            members.push(("detail".into(), d.to_json()));
+        }
+        let plan = Json::Obj(members).to_compact();
+        Self {
+            graph_fp,
+            config_fp,
+            strategy,
+            stats,
+            reports,
+            budget,
+            detail,
+            plan,
+        }
+    }
+}
+
+/// Resolves a [`PlanRequest`] by running the requested strategy's pipeline.
+///
+/// # Errors
+///
+/// Propagates the strategy's [`PipelineError`]s — scheduling/mapping
+/// failures and Deny-mode admission rejections.
+pub fn plan(req: &PlanRequest<'_>) -> Result<PlanResponse, PipelineError> {
+    let graph_fp = req.graph_fingerprint();
+    let config_fp = req.config_fingerprint();
+    match req.strategy {
+        Strategy::AtomicDataflow => {
+            let mut opt = Optimizer::new(req.cfg);
+            if let Some(w) = &req.warm {
+                opt = opt.with_warm_start(w.clone());
+            }
+            let r = opt.optimize(req.graph)?;
+            let detail = PlanDetail {
+                rounds: r.rounds,
+                atoms: r.atoms,
+                occupancy: r.occupancy,
+                specs: r.gen_report.specs.clone(),
+            };
+            Ok(PlanResponse::assemble(
+                graph_fp,
+                config_fp,
+                req.strategy,
+                r.stats,
+                r.stage_reports,
+                r.budget,
+                Some(detail),
+            ))
+        }
+        other => {
+            let out = other.run_detailed(req.graph, &req.cfg)?;
+            let budget = out
+                .reports
+                .iter()
+                .map(|r| r.budget)
+                .find(BudgetOutcome::is_truncated)
+                .unwrap_or(BudgetOutcome::Completed);
+            Ok(PlanResponse::assemble(
+                graph_fp,
+                config_fp,
+                other,
+                out.stats,
+                out.reports,
+                budget,
+                None,
+            ))
+        }
+    }
+}
+
+/// The recovery entry of the request layer: re-plans `dag` through the
+/// incremental recovery ladder under `cfg` while `fault_plan` injects
+/// failures. A thin, typed front over [`crate::run_with_recovery`] so the
+/// fault harnesses construct recovery through the same path as planning.
+///
+/// # Errors
+///
+/// Everything [`crate::run_with_recovery`] reports.
+pub fn recover(
+    dag: &AtomicDag,
+    cfg: &OptimizerConfig,
+    fault_plan: &FaultPlan,
+    recovery: &RecoveryConfig,
+) -> Result<RecoveryOutcome, PipelineError> {
+    crate::recovery::run_with_recovery(dag, cfg, fault_plan, recovery)
+}
+
+/// Traced variant of [`recover`] (see
+/// [`crate::run_with_recovery_traced`]).
+pub fn recover_traced(
+    dag: &AtomicDag,
+    cfg: &OptimizerConfig,
+    fault_plan: &FaultPlan,
+    recovery: &RecoveryConfig,
+) -> (RecoveryTrace, Result<RecoveryOutcome, PipelineError>) {
+    crate::recovery::run_with_recovery_traced(dag, cfg, fault_plan, recovery)
+}
+
+/// A stable fingerprint of every *plan-relevant* field of `cfg` plus the
+/// strategy tag. Execution-only knobs (worker-thread counts) are excluded:
+/// the planner is byte-deterministic across thread counts, so two requests
+/// differing only there are the same request.
+pub fn config_fingerprint(cfg: &OptimizerConfig, strategy: Strategy) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_str("plan-config/v1");
+    hash_config(&mut h, cfg, strategy, cfg.batch);
+    h.finish()
+}
+
+/// Like [`config_fingerprint`] with the batch size held at a sentinel:
+/// requests equal up to batch share this digest and may warm-start each
+/// other's SA search.
+pub fn batchless_config_fingerprint(cfg: &OptimizerConfig, strategy: Strategy) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_str("plan-config-batchless/v1");
+    hash_config(&mut h, cfg, strategy, 0);
+    h.finish()
+}
+
+fn hash_config(h: &mut FpHasher, cfg: &OptimizerConfig, strategy: Strategy, batch: usize) {
+    h.write_str(strategy.label());
+    h.write_usize(batch);
+    h.write_u64(match cfg.dataflow {
+        Dataflow::KcPartition => 0,
+        Dataflow::YxPartition => 1,
+    });
+
+    // Platform: engine, mesh, HBM, buffering.
+    let e = &cfg.sim.engine;
+    h.write_usize(e.pe_x);
+    h.write_usize(e.pe_y);
+    h.write_u64(e.buffer_bytes);
+    h.write_u64(e.freq_mhz);
+    h.write_usize(e.vector_lanes);
+    h.write_f64(e.energy.mac_pj);
+    h.write_f64(e.energy.sram_read_pj_per_byte);
+    h.write_f64(e.energy.sram_write_pj_per_byte);
+    h.write_f64(e.energy.static_mw_per_engine);
+    let m = &cfg.sim.mesh;
+    h.write_usize(m.cols);
+    h.write_usize(m.rows);
+    h.write_u64(m.link_bytes_per_cycle);
+    h.write_u64(m.hop_latency);
+    h.write_f64(m.energy_pj_per_byte_hop);
+    let hbm = &cfg.sim.hbm;
+    h.write_u64(hbm.capacity_bytes);
+    h.write_u64(hbm.peak_bytes_per_cycle);
+    h.write_u64(hbm.access_latency_cycles);
+    h.write_f64(hbm.energy_pj_per_byte);
+    h.write_usize(hbm.channels);
+    h.write_u64(match cfg.sim.eviction {
+        EvictionKind::InvalidOccupation => 0,
+        EvictionKind::Lru => 1,
+        EvictionKind::Fifo => 2,
+    });
+    h.write_u64(u64::from(cfg.sim.double_buffer));
+
+    // Search configuration. `atomgen.engines` is overwritten from the mesh
+    // by the pipeline and `atomgen.parallelism` is execution-only; neither
+    // is hashed.
+    hash_atomgen(h, &cfg.atomgen);
+    hash_schedule_mode(h, cfg.schedule_mode);
+    h.write_u64(match cfg.mapping.algo {
+        MappingAlgo::ZigzagIdentity => 0,
+        MappingAlgo::LayerPermutation => 1,
+        MappingAlgo::Affinity => 2,
+    });
+    h.write_usize(cfg.mapping.max_permutation_layers);
+    for t in cfg.search_targets {
+        h.write_usize(t);
+    }
+    h.write_u64(match cfg.validate {
+        ValidateMode::Deny => 0,
+        ValidateMode::Warn => 1,
+        ValidateMode::Off => 2,
+    });
+    hash_budget(h, &cfg.budget);
+}
+
+fn hash_atomgen(h: &mut FpHasher, g: &AtomGenConfig) {
+    match g.mode {
+        AtomGenMode::Sa(p) => {
+            h.write_u64(0);
+            h.write_usize(p.max_iters);
+            h.write_f64(p.move_len);
+            h.write_f64(p.epsilon);
+            h.write_f64(p.temp);
+            h.write_f64(p.lambda);
+            h.write_u64(p.seed);
+            h.write_usize(p.chains);
+        }
+        AtomGenMode::Ga(p) => {
+            h.write_u64(1);
+            h.write_usize(p.generations);
+            h.write_usize(p.population);
+            h.write_f64(p.mutation);
+            h.write_usize(p.elites);
+            h.write_u64(p.seed);
+        }
+        AtomGenMode::Uniform { parts } => {
+            h.write_u64(2);
+            h.write_usize(parts);
+        }
+    }
+    h.write_f64(g.max_working_set_frac);
+    h.write_usize(g.max_atoms_per_layer);
+    h.write_usize(g.target_atoms_per_layer);
+}
+
+fn hash_schedule_mode(h: &mut FpHasher, mode: ScheduleMode) {
+    match mode {
+        ScheduleMode::LayerOrder => h.write_u64(0),
+        ScheduleMode::PriorityGreedy => h.write_u64(1),
+        ScheduleMode::Dp { lookahead, branch } => {
+            h.write_u64(2);
+            h.write_usize(lookahead);
+            h.write_usize(branch);
+        }
+    }
+}
+
+fn hash_budget(h: &mut FpHasher, b: &PlanBudget) {
+    for cap in [b.sa_iters.map(u64::from), b.dp_expansions, b.deadline_ms] {
+        match cap {
+            None => h.write_u64(0),
+            Some(v) => {
+                h.write_u64(1);
+                h.write_u64(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::models;
+
+    #[test]
+    fn parallelism_does_not_change_the_fingerprint() {
+        let cfg = OptimizerConfig::fast_test();
+        let a = config_fingerprint(&cfg, Strategy::AtomicDataflow);
+        let b = config_fingerprint(&cfg.with_parallelism(4), Strategy::AtomicDataflow);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_relevant_fields_change_the_fingerprint() {
+        let cfg = OptimizerConfig::fast_test();
+        let base = config_fingerprint(&cfg, Strategy::AtomicDataflow);
+        assert_ne!(
+            config_fingerprint(&cfg.with_batch(2), Strategy::AtomicDataflow),
+            base
+        );
+        assert_ne!(
+            config_fingerprint(
+                &cfg.with_dataflow(Dataflow::YxPartition),
+                Strategy::AtomicDataflow
+            ),
+            base
+        );
+        assert_ne!(config_fingerprint(&cfg, Strategy::LayerSequential), base);
+        assert_ne!(
+            config_fingerprint(
+                &cfg.with_budget(PlanBudget::unlimited().with_sa_iters(10)),
+                Strategy::AtomicDataflow
+            ),
+            base
+        );
+    }
+
+    #[test]
+    fn batchless_fingerprint_merges_batches_only() {
+        let cfg = OptimizerConfig::fast_test();
+        let s = Strategy::AtomicDataflow;
+        assert_eq!(
+            batchless_config_fingerprint(&cfg, s),
+            batchless_config_fingerprint(&cfg.with_batch(4), s)
+        );
+        assert_ne!(
+            batchless_config_fingerprint(&cfg, s),
+            batchless_config_fingerprint(&cfg.with_dataflow(Dataflow::YxPartition), s)
+        );
+        // The two fingerprint families never collide for the same config.
+        assert_ne!(
+            batchless_config_fingerprint(&cfg, s),
+            config_fingerprint(&cfg, s)
+        );
+    }
+
+    #[test]
+    fn plan_resolves_and_pins_payload_bytes() {
+        let g = models::tiny_branchy();
+        let req = PlanRequest::new(&g, OptimizerConfig::fast_test());
+        let a = plan(&req).unwrap();
+        let b = plan(&req).unwrap();
+        assert_eq!(a.plan, b.plan, "plan payload must be deterministic");
+        assert!(a.stats.total_cycles > 0);
+        assert!(a.detail.is_some());
+        let parsed = Json::parse(&a.plan).unwrap();
+        assert_eq!(
+            parsed.get("graph_fp").and_then(Json::as_str),
+            Some(a.graph_fp.to_string().as_str())
+        );
+        assert_eq!(parsed.get("strategy").and_then(Json::as_str), Some("AD"));
+    }
+
+    #[test]
+    fn baseline_strategies_resolve_without_detail() {
+        let g = models::tiny_branchy();
+        let req = PlanRequest::new(&g, OptimizerConfig::fast_test())
+            .with_strategy(Strategy::LayerSequential);
+        let r = plan(&req).unwrap();
+        assert!(r.detail.is_none());
+        assert!(r.stats.total_cycles > 0);
+        assert!(!Json::parse(&r.plan)
+            .unwrap()
+            .to_compact()
+            .contains("detail"));
+    }
+
+    #[test]
+    fn warm_started_plan_passes_deny_admission_and_matches_cold_bytes() {
+        let g = models::tiny_branchy();
+        let cfg = OptimizerConfig::fast_test().with_validate(ValidateMode::Deny);
+        let cold = plan(&PlanRequest::new(&g, cfg)).unwrap();
+        let specs = std::sync::Arc::new(cold.detail.as_ref().unwrap().specs.clone());
+        // Same graph at a different batch, seeded from the cold plan's
+        // specs: must still pass Deny-mode admission.
+        let warm =
+            plan(&PlanRequest::new(&g, cfg.with_batch(2)).with_warm_start(specs.clone())).unwrap();
+        assert!(warm.stats.total_cycles > 0);
+        // Warm-starting an *identical* request may only change where the
+        // search starts, never break determinism of repeated calls.
+        let warm2 = plan(&PlanRequest::new(&g, cfg.with_batch(2)).with_warm_start(specs)).unwrap();
+        assert_eq!(warm.plan, warm2.plan);
+    }
+}

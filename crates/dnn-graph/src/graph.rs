@@ -4,7 +4,7 @@ use std::fmt;
 use ad_util::cast::u32_from_usize;
 
 use crate::layer::Layer;
-use crate::op::{Activation, ConvParams, OpKind, PoolParams};
+use crate::op::{Activation, ConvParams, OpKind, PoolKind, PoolParams};
 use crate::shape::TensorShape;
 use crate::stats::GraphStats;
 
@@ -208,6 +208,52 @@ impl Graph {
         GraphStats::of(self)
     }
 
+    /// A stable content hash of the graph's *canonical form*: the same
+    /// workload produces the same fingerprint regardless of layer names,
+    /// graph name, or the particular topological insertion order used to
+    /// build it. This is the graph half of the plan cache key.
+    ///
+    /// Each node is hashed bottom-up Merkle-style: operator tag + hyper-
+    /// parameters, output shape, and the hashes of its producers. Producer
+    /// hashes are sorted for order-insensitive operators (`Add` — addition
+    /// commutes) and kept in edge order where the order is semantic
+    /// (`Concat` concatenates channels in edge order; `ChannelScale`
+    /// distinguishes feature map from gate). The graph digest is the sorted
+    /// multiset of node hashes, so insertion order cannot leak in. Batch is
+    /// not part of the graph and lives in the config fingerprint.
+    pub fn canonical_fingerprint(&self) -> ad_util::Fingerprint {
+        let mut node_hash = vec![0u64; self.layers.len()];
+        for id in self.topo_order() {
+            let l = self.layer(id);
+            let mut h = ad_util::FpHasher::new();
+            hash_op(&mut h, l.op());
+            let s = l.out_shape();
+            h.write_usize(s.h);
+            h.write_usize(s.w);
+            h.write_usize(s.c);
+            let mut preds: Vec<u64> = self
+                .preds(id)
+                .iter()
+                .map(|p| node_hash[p.index()])
+                .collect();
+            if !matches!(l.op(), OpKind::Concat | OpKind::ChannelScale) {
+                preds.sort_unstable();
+            }
+            h.write_usize(preds.len());
+            for p in preds {
+                h.write_u64(p);
+            }
+            node_hash[id.index()] = h.finish().0;
+        }
+        node_hash.sort_unstable();
+        let mut h = ad_util::FpHasher::new();
+        h.write_usize(node_hash.len());
+        for n in node_hash {
+            h.write_u64(n);
+        }
+        h.finish()
+    }
+
     /// Re-checks structural invariants: dense ids, unique names, edge
     /// symmetry, acyclicity-by-construction and per-layer shape consistency.
     ///
@@ -390,6 +436,51 @@ impl Graph {
         }
         out.push_str("}\n");
         out
+    }
+}
+
+/// Feeds an operator's identity (variant tag + every hyper-parameter) into
+/// the canonical-form hasher. Tags are part of the fingerprint contract:
+/// renumbering them changes every pinned golden digest.
+fn hash_op(h: &mut ad_util::FpHasher, op: OpKind) {
+    match op {
+        OpKind::Input => h.write_u64(0),
+        OpKind::Conv(p) => {
+            h.write_u64(1);
+            h.write_usize(p.kh);
+            h.write_usize(p.kw);
+            h.write_usize(p.stride);
+            h.write_usize(p.pad);
+            h.write_usize(p.out_channels);
+            h.write_usize(p.groups);
+        }
+        OpKind::Fc { out_features } => {
+            h.write_u64(2);
+            h.write_usize(out_features);
+        }
+        OpKind::Pool(p) => {
+            h.write_u64(3);
+            h.write_u64(match p.kind {
+                PoolKind::Max => 0,
+                PoolKind::Avg => 1,
+            });
+            h.write_usize(p.k);
+            h.write_usize(p.stride);
+            h.write_usize(p.pad);
+        }
+        OpKind::GlobalAvgPool => h.write_u64(4),
+        OpKind::Add => h.write_u64(5),
+        OpKind::Concat => h.write_u64(6),
+        OpKind::Act(a) => {
+            h.write_u64(7);
+            h.write_u64(match a {
+                Activation::Relu => 0,
+                Activation::Sigmoid => 1,
+                Activation::Swish => 2,
+            });
+        }
+        OpKind::BatchNorm => h.write_u64(8),
+        OpKind::ChannelScale => h.write_u64(9),
     }
 }
 
@@ -625,6 +716,51 @@ mod tests {
 
         let bad = g.try_add_layer("bad", OpKind::ChannelScale, &[x, x]);
         assert!(bad.is_err());
+    }
+
+    #[test]
+    fn fingerprint_insensitive_to_names_and_insertion_order() {
+        // Same DAG as `diamond`, but with different layer names, a different
+        // graph name, and the two middle branches inserted in the opposite
+        // order (a valid alternative topological insertion order).
+        let mut g = Graph::new("other-name");
+        let x = g.add_input(TensorShape::new(16, 16, 8));
+        let a = g.add_conv("stem", x, ConvParams::new(3, 1, 1, 16));
+        let c = g.add_conv("right", a, ConvParams::new(1, 1, 0, 16));
+        let b = g.add_conv("left", a, ConvParams::new(3, 1, 1, 16));
+        let s = g.add_add("merge", &[c, b]);
+        g.add_gap("head", s);
+        assert_eq!(g.canonical_fingerprint(), diamond().canonical_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_params_and_structure() {
+        let base = diamond().canonical_fingerprint();
+
+        // Perturb one conv hyper-parameter.
+        let mut g = Graph::new("diamond");
+        let x = g.add_input(TensorShape::new(16, 16, 8));
+        let a = g.add_conv("a", x, ConvParams::new(3, 1, 1, 16));
+        let b = g.add_conv("b", a, ConvParams::new(3, 1, 1, 32)); // 16 -> 32
+        let c = g.add_conv("c", a, ConvParams::new(1, 1, 0, 32));
+        let s = g.add_add("sum", &[b, c]);
+        g.add_gap("gap", s);
+        assert_ne!(g.canonical_fingerprint(), base);
+
+        // Concat edge order is semantic and must change the digest.
+        let cat = |first_wide: bool| {
+            let mut g = Graph::new("t");
+            let x = g.add_input(TensorShape::new(8, 8, 4));
+            let a = g.add_conv("a", x, ConvParams::new(1, 1, 0, 8));
+            let b = g.add_conv("b", x, ConvParams::new(1, 1, 0, 24));
+            if first_wide {
+                g.add_concat("cat", &[b, a]);
+            } else {
+                g.add_concat("cat", &[a, b]);
+            }
+            g.canonical_fingerprint()
+        };
+        assert_ne!(cat(false), cat(true));
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Golden canonical fingerprints for the model zoo.
+//!
+//! [`dnn_graph::Graph::canonical_fingerprint`] is one half of the
+//! content-addressed plan-cache key (`ad-serve`), so its value for every
+//! shipped model is a *wire contract*: a drift here silently invalidates
+//! every cached plan and breaks cross-version cache hits. The constants
+//! below pin the current values; an intentional change to the canonical
+//! form must update them in the same commit and is a cache-breaking event
+//! worth calling out in review (DESIGN.md §14).
+
+use dnn_graph::models;
+
+/// (model name, canonical fingerprint) for the full zoo: the paper's eight
+/// workloads plus the two CI-scale tiny models.
+const GOLDEN: [(&str, &str); 10] = [
+    ("vgg19", "dd4c6b69dbec5404"),
+    ("resnet50", "ddba6f68af520cc7"),
+    ("resnet152", "218a040780a9e376"),
+    ("resnet1001", "4278ea2bf4ea3241"),
+    ("inception_v3", "b100666956a05556"),
+    ("nasnet", "0f5e50b8f9371e37"),
+    ("pnasnet", "6ca7eebe87bd15c3"),
+    ("efficientnet", "03315e33a83d86b7"),
+    ("tiny_cnn", "968f2dfe325649f5"),
+    ("tiny_branchy", "691d23d4754f9ed4"),
+];
+
+#[test]
+fn zoo_canonical_fingerprints_are_pinned() {
+    for (name, want) in GOLDEN {
+        let g = models::by_name(name).expect("zoo model exists");
+        assert_eq!(
+            g.canonical_fingerprint().to_string(),
+            want,
+            "canonical fingerprint of `{name}` drifted — this invalidates \
+             every content-addressed plan cache; if intentional, update the \
+             golden constant and flag the cache break in review"
+        );
+    }
+}
+
+/// The golden list covers the whole advertised zoo — a model added to
+/// `PAPER_WORKLOADS` without a pinned fingerprint fails here.
+#[test]
+fn golden_list_covers_all_paper_workloads() {
+    for name in models::PAPER_WORKLOADS {
+        assert!(
+            GOLDEN.iter().any(|(n, _)| n == &name),
+            "paper workload `{name}` has no pinned canonical fingerprint"
+        );
+    }
+}
+
+/// All zoo fingerprints are pairwise distinct — the cache key actually
+/// separates the models it serves.
+#[test]
+fn zoo_fingerprints_are_pairwise_distinct() {
+    for (i, (a, fa)) in GOLDEN.iter().enumerate() {
+        for (b, fb) in &GOLDEN[i + 1..] {
+            assert_ne!(fa, fb, "`{a}` and `{b}` share a canonical fingerprint");
+        }
+    }
+}
+
+/// Rebuilding a model from scratch reproduces its fingerprint — the
+/// canonical form does not depend on construction order or allocation.
+#[test]
+fn fingerprints_are_reproducible_across_builds() {
+    for (name, _) in GOLDEN {
+        let a = models::by_name(name).expect("zoo model exists");
+        let b = models::by_name(name).expect("zoo model exists");
+        assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    }
+}

@@ -27,9 +27,11 @@
 mod config;
 mod cost;
 mod energy;
+mod hardware;
 mod task;
 
 pub use config::{Dataflow, EngineConfig};
 pub use cost::CostEstimate;
 pub use energy::EnergyModel;
+pub use hardware::{ConfigError, HardwareConfig};
 pub use task::ConvTask;

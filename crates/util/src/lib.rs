@@ -16,12 +16,17 @@
 //! - [`par`] — deterministic scoped fan-out ([`par::scoped_map`]) for the
 //!   planning pipeline's parallel candidate search: results come back in
 //!   index order regardless of the worker-thread count.
+//! - [`fingerprint`] — a stable, platform-independent 64-bit content hash
+//!   ([`FpHasher`] → [`Fingerprint`]) used to key the content-addressed
+//!   plan cache; golden digests are pinned in tests.
 
 pub mod cast;
+pub mod fingerprint;
 pub mod json;
 pub mod par;
 pub mod rng;
 
+pub use fingerprint::{Fingerprint, FpHasher};
 pub use json::{Json, JsonError};
 pub use par::scoped_map;
 pub use rng::Rng64;
