@@ -26,11 +26,14 @@
 //! * **D2 `nondeterminism`** — no unseeded randomness (`thread_rng`,
 //!   `from_entropy`, `rand::random`) and no `Instant`/`SystemTime` in
 //!   cost/cycle-model crates. Seeded `ad_util::Rng64` only.
-//! * **D3 `unscoped-thread`** — no detached `thread::spawn` in the model
-//!   crates: the parallel candidate search joins every worker inside
-//!   `std::thread::scope` (via `ad_util::scoped_map`) and reduces in fixed
-//!   index order, so a free-running thread is a determinism (and panic-
-//!   propagation) hole by construction.
+//! * **D3 `unscoped-thread`** — no detached `thread::spawn` (nor
+//!   `thread::Builder`, its named twin) in the model crates: the parallel
+//!   candidate search joins every worker inside `std::thread::scope` (via
+//!   `ad_util::scoped_map`) or the Drop-joined `ad_util::WorkerPool`, and
+//!   reduces in fixed index order, so a free-running thread is a
+//!   determinism (and panic-propagation) hole by construction. The pool's
+//!   own `Builder` spawns carry explicit allow-comments naming the join
+//!   point.
 //! * **P1 `panic`** — no `.unwrap()` / `.expect("…")` / `panic!` /
 //!   `unreachable!` / `todo!` / `unimplemented!` in library code outside
 //!   `#[cfg(test)]` modules, `tests/` trees and binary targets. Contract
@@ -291,15 +294,30 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Diagnostic> {
         if d3 {
             // `thread::spawn` (std-qualified or not) detaches; scoped
             // spawns appear as `s.spawn(...)` and never match.
-            if let Some(pos) = masked_line.find("thread::spawn") {
-                let left_ok = pos == 0 || !is_ident_byte(masked_line.as_bytes()[pos - 1]);
-                if left_ok {
-                    findings.push((
-                        Rule::UnscopedThread,
-                        "detached `thread::spawn`; use `ad_util::scoped_map` \
-                         (std::thread::scope) so workers join deterministically"
-                            .to_string(),
-                    ));
+            // `thread::Builder` spawns are detached too — the worker-pool
+            // implementation in `ad_util::par` uses it behind explicit
+            // allow-comments because its `Drop` joins every worker,
+            // restoring the scoped guarantee; any other use needs the same
+            // justification.
+            for (pat, message) in [
+                (
+                    "thread::spawn",
+                    "detached `thread::spawn`; use `ad_util::scoped_map` \
+                     (std::thread::scope) or `ad_util::WorkerPool` so \
+                     workers join deterministically",
+                ),
+                (
+                    "thread::Builder",
+                    "`thread::Builder` spawns detach; use `ad_util::WorkerPool` \
+                     (joins in Drop) or justify with an allow-comment that \
+                     names who joins the thread",
+                ),
+            ] {
+                if let Some(pos) = masked_line.find(pat) {
+                    let left_ok = pos == 0 || !is_ident_byte(masked_line.as_bytes()[pos - 1]);
+                    if left_ok {
+                        findings.push((Rule::UnscopedThread, message.to_string()));
+                    }
                 }
             }
         }

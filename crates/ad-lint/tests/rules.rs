@@ -171,6 +171,50 @@ fn d3_allow_comment_suppresses() {
     assert!(lint_file(MODEL_LIB, src).is_empty());
 }
 
+#[test]
+fn d3_flags_thread_builder_spawns() {
+    // `thread::Builder` is `thread::spawn` with a name: still detached.
+    let src = "fn a() { std::thread::Builder::new().spawn(|| {}); }\n\
+               fn b() { thread::Builder::new().name(n).spawn(w); }\n";
+    let diags = lint_file(MODEL_LIB, src);
+    assert_eq!(
+        rules_of(&diags),
+        vec![Rule::UnscopedThread, Rule::UnscopedThread]
+    );
+    assert!(diags[0].message.contains("WorkerPool"));
+}
+
+/// The worker-pool idiom: `Builder` spawns sanctioned by an allow-comment
+/// naming the join point — exactly the shape `ad_util::par` uses.
+#[test]
+fn d3_sanctions_the_worker_pool_builder_idiom() {
+    let pool = "fn spawn_workers() {\n    \
+                std::thread::Builder::new() // ad-lint: allow(d3) — joined in Drop\n        \
+                .name(String::from(\"ad-worker\"))\n        \
+                .spawn(move || worker_loop(&shared)) // ad-lint: allow(d3) — joined in Drop\n        \
+                .ok();\n}\n";
+    assert!(lint_file(MODEL_LIB, pool).is_empty());
+    // Without the justification the same code is a finding.
+    let bare = pool.replace(" // ad-lint: allow(d3) — joined in Drop", "");
+    assert_eq!(
+        rules_of(&lint_file(MODEL_LIB, &bare)),
+        vec![Rule::UnscopedThread]
+    );
+}
+
+/// The shipped pool implementation itself must lint clean: its two
+/// `Builder` lines carry allow-comments, and nothing else in the module
+/// trips D3.
+#[test]
+fn d3_passes_the_shipped_worker_pool_source() {
+    let src = include_str!("../../util/src/par.rs");
+    let d3: Vec<_> = lint_file("crates/util/src/par.rs", src)
+        .into_iter()
+        .filter(|d| d.rule == Rule::UnscopedThread)
+        .collect();
+    assert!(d3.is_empty(), "pool source trips D3: {d3:?}");
+}
+
 // ---------------------------------------------------------------- P1
 
 #[test]

@@ -26,10 +26,16 @@
 //!   cache returns forever after (DESIGN.md §14).
 //!
 //! The daemon itself ([`serve`]) speaks line-delimited JSON over TCP:
-//! one request object per line, one response object per line. Misses are
-//! dispatched to a fixed pool of *scoped* worker threads fed over an mpsc
-//! channel — the same join-before-return discipline as
+//! one request object per line, one response object per line. One shared
+//! [`ad_util::WorkerPool`] (sized from [`ServerConfig::workers`]) carries
+//! *both* the connection fan-out ([`ad_util::WorkerPool::run_tasks`]) and
+//! every miss's planning fan-out ([`PlanRequest::with_pool`]): a busy
+//! daemon never spawns threads per request, the live thread count is
+//! bounded by the pool size for the daemon's whole lifetime, and the pool
+//! joins its workers on drop — the same join-before-return discipline as
 //! [`ad_util::scoped_map`] (ad-lint D3); no thread outlives [`serve`].
+//! Parallelism is execution-only (excluded from the config fingerprint),
+//! so pooled and pool-less planning produce byte-identical cache entries.
 //!
 //! ```json
 //! {"op": "plan", "model": "resnet50", "batch": 4}
@@ -44,9 +50,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-use ad_util::{Fingerprint, Json};
+use ad_util::{Fingerprint, Json, WorkerPool};
 use atomic_dataflow::{
     request, AtomSpec, OptimizerConfig, PipelineError, PlanBudget, PlanRequest, Strategy,
     ValidateMode,
@@ -182,6 +188,29 @@ impl PlanStore {
         cfg: OptimizerConfig,
         strategy: Strategy,
     ) -> Result<ServeOutcome, PipelineError> {
+        self.get_or_plan_pooled(graph, cfg, strategy, None)
+    }
+
+    /// [`PlanStore::get_or_plan`] with planning fanned out on a shared
+    /// [`WorkerPool`] instead of request-local threads. Parallelism is
+    /// execution-only — never part of the config fingerprint — so the
+    /// cache key and the plan bytes are identical with or without a pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the pipeline's [`PipelineError`] on a failed miss; the
+    /// key is released so a later request can retry.
+    pub fn get_or_plan_pooled(
+        &self,
+        graph: &Graph,
+        cfg: OptimizerConfig,
+        strategy: Strategy,
+        pool: Option<&Arc<WorkerPool>>,
+    ) -> Result<ServeOutcome, PipelineError> {
+        let cfg = match pool {
+            Some(p) => cfg.with_parallelism(p.threads()),
+            None => cfg,
+        };
         let graph_fp = graph.canonical_fingerprint();
         let config_fp = request::config_fingerprint(&cfg, strategy);
         let warm_key = (
@@ -192,6 +221,9 @@ impl PlanStore {
             let mut req = PlanRequest::new(graph, cfg).with_strategy(strategy);
             if let Some(w) = warm {
                 req = req.with_warm_start(w);
+            }
+            if let Some(p) = pool {
+                req = req.with_pool(p.clone());
             }
             let resp = request::plan(&req)?;
             Ok((resp.plan, resp.detail.map(|d| Arc::new(d.specs))))
@@ -379,12 +411,24 @@ impl Reply {
 /// logic — the TCP plumbing in [`serve`] is a thin wrapper, and tests can
 /// drive the daemon without a socket.
 pub fn handle_line(line: &str, store: &PlanStore, sc: &ServerConfig) -> Reply {
+    handle_line_pooled(line, store, sc, None)
+}
+
+/// [`handle_line`] with misses planned on a shared [`WorkerPool`] (the
+/// daemon path). The response bytes are identical either way — the pool
+/// only changes which threads execute the pipeline.
+pub fn handle_line_pooled(
+    line: &str,
+    store: &PlanStore,
+    sc: &ServerConfig,
+    pool: Option<&Arc<WorkerPool>>,
+) -> Reply {
     let doc = match Json::parse(line) {
         Ok(d) => d,
         Err(e) => return Reply::Line(err_line(&format!("bad request JSON: {e}"))),
     };
     match doc.get("op").and_then(Json::as_str) {
-        Some("plan") => Reply::Line(handle_plan(&doc, store, sc)),
+        Some("plan") => Reply::Line(handle_plan(&doc, store, sc, pool)),
         Some("stats") => Reply::Line(format!(
             "{{\"ok\":true,\"stats\":{}}}",
             store.stats().to_json().to_compact()
@@ -397,12 +441,17 @@ pub fn handle_line(line: &str, store: &PlanStore, sc: &ServerConfig) -> Reply {
     }
 }
 
-fn handle_plan(doc: &Json, store: &PlanStore, sc: &ServerConfig) -> String {
+fn handle_plan(
+    doc: &Json,
+    store: &PlanStore,
+    sc: &ServerConfig,
+    pool: Option<&Arc<WorkerPool>>,
+) -> String {
     let (graph, cfg, strategy) = match parse_plan(doc, sc) {
         Ok(x) => x,
         Err(e) => return err_line(&e),
     };
-    match store.get_or_plan(&graph, cfg, strategy) {
+    match store.get_or_plan_pooled(&graph, cfg, strategy, pool) {
         // The plan payload is spliced in verbatim (it is already compact
         // JSON), so cache hits return byte-identical plan bytes.
         Ok(out) => format!(
@@ -490,9 +539,15 @@ fn parse_plan(doc: &Json, sc: &ServerConfig) -> Result<(Graph, OptimizerConfig, 
 
 /// Runs the accept loop until a `shutdown` op arrives.
 ///
-/// Connections are fanned out to [`ServerConfig::workers`] *scoped* worker
-/// threads over an mpsc channel — the `ad_util::scoped_map` discipline: no
-/// detached threads, every worker joins before this function returns.
+/// One shared [`WorkerPool`] carries the whole daemon: accepted
+/// connections are submitted as pool tasks ([`WorkerPool::run_tasks`]),
+/// and each miss's planning fan-out reuses the *same* pool
+/// ([`PlanRequest::with_pool`]). The accept loop occupies the pool's
+/// caller slot, so the pool is sized `workers + 1` and the live thread
+/// count is bounded by `workers` handler threads for the daemon's whole
+/// lifetime — no thread is ever spawned per request, and every worker
+/// joins before this function returns (the scoped-thread discipline,
+/// ad-lint D3).
 ///
 /// # Errors
 ///
@@ -501,30 +556,16 @@ fn parse_plan(doc: &Json, sc: &ServerConfig) -> Result<(Graph, OptimizerConfig, 
 pub fn serve(listener: &TcpListener, store: &PlanStore, sc: &ServerConfig) -> std::io::Result<()> {
     let addr = listener.local_addr()?;
     let stop = AtomicBool::new(false);
-    let (tx, rx) = mpsc::channel::<TcpStream>();
-    let rx = Mutex::new(rx);
-    std::thread::scope(|s| {
-        let (rx, stop) = (&rx, &stop);
-        for _ in 0..sc.workers.max(1) {
-            s.spawn(move || loop {
-                // Hold the receiver lock only while dequeueing; idle workers
-                // queue on the mutex, which is equivalent to queueing on the
-                // channel itself.
-                let conn = { lock(rx).recv() };
-                let Ok(conn) = conn else { break };
-                serve_connection(conn, store, sc, stop, addr);
-            });
-        }
+    let pool = Arc::new(WorkerPool::new(sc.workers.max(1) + 1));
+    pool.run_tasks(|s| {
+        let (stop, pool) = (&stop, &pool);
         for conn in listener.incoming() {
             if stop.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(conn) = conn else { continue };
-            if tx.send(conn).is_err() {
-                break;
-            }
+            s.submit(move || serve_connection(conn, store, sc, stop, addr, pool));
         }
-        drop(tx);
     });
     Ok(())
 }
@@ -536,6 +577,7 @@ fn serve_connection(
     sc: &ServerConfig,
     stop: &AtomicBool,
     addr: SocketAddr,
+    pool: &Arc<WorkerPool>,
 ) {
     let Ok(read_half) = conn.try_clone() else {
         return;
@@ -546,7 +588,7 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
-        match handle_line(&line, store, sc) {
+        match handle_line_pooled(&line, store, sc, Some(pool)) {
             Reply::Line(resp) => {
                 if writeln!(writer, "{resp}").is_err() {
                     return;

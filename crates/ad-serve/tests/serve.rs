@@ -143,6 +143,67 @@ fn daemon_serves_cache_hits_over_tcp() {
     });
 }
 
+/// Threads of this process, per the kernel (`/proc/self/task` has one
+/// entry per live thread).
+#[cfg(target_os = "linux")]
+fn os_thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+/// The daemon's thread budget is fixed at startup: the accept loop plus
+/// `workers` pool runners, shared between connection handling and every
+/// request's planning fan-out. A sequence of planning misses must not grow
+/// the process thread count past that budget — a busy daemon never spawns
+/// threads per request.
+#[test]
+#[cfg(target_os = "linux")]
+fn daemon_thread_count_stays_bounded_across_planning_misses() {
+    let store = PlanStore::new(8);
+    let sc = ServerConfig {
+        base_hw: HardwareConfig::fast_test(),
+        fast: true,
+        workers: 2,
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let before = os_thread_count();
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| serve(&listener, &store, &sc));
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone stream"));
+
+        // The server thread itself plus the pool's `workers` spawned
+        // runners (the accept loop occupies the pool's caller slot).
+        let budget = before + 1 + sc.workers;
+        for batch in 1..=4 {
+            let req = format!("{{\"op\":\"plan\",\"model\":\"tiny_cnn\",\"batch\":{batch}}}");
+            let r = roundtrip(&mut conn, &mut reader, &req);
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{req}");
+            assert_eq!(
+                r.get("cached").and_then(Json::as_bool),
+                Some(false),
+                "each batch is a new cache key: the daemon must have planned"
+            );
+            let now = os_thread_count();
+            assert!(
+                now <= budget,
+                "thread count {now} exceeds budget {budget} after a planning miss"
+            );
+        }
+        assert_eq!(store.stats().misses, 4);
+
+        let bye = roundtrip(&mut conn, &mut reader, "{\"op\":\"shutdown\"}");
+        assert_eq!(bye.get("ok").and_then(Json::as_bool), Some(true));
+        server
+            .join()
+            .expect("server thread")
+            .expect("serve loop exits cleanly");
+    });
+}
+
 /// Malformed requests get an `ok:false` error line and never touch the
 /// planner; the connection stays usable afterwards.
 #[test]

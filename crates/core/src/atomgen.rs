@@ -20,6 +20,18 @@ use dnn_graph::{Graph, Layer, TensorShape};
 use engine_model::{Dataflow, EngineConfig};
 
 use crate::atom::{atom_cost, AtomCoords, AtomSpec, Range};
+use crate::scratch::Exec;
+
+/// Reusable buffers of one SA chain (the per-layer choice vector and its
+/// neighbor-candidate copy), pooled per runner via
+/// [`crate::scratch::ScratchPool`]. Capacity-only reuse: both vectors are
+/// cleared and fully rebuilt at chain start, so pooled and fresh buffers
+/// produce byte-identical chains.
+#[derive(Debug, Default)]
+pub(crate) struct SaScratch {
+    pub(crate) choice: Vec<usize>,
+    pub(crate) cand: Vec<usize>,
+}
 
 /// Simulated-annealing hyper-parameters (Alg. 1's `ite_max`, `Len`, `ε`,
 /// `Temp`, `λ`).
@@ -244,6 +256,32 @@ pub fn generate_warm(
     iter_budget: Option<usize>,
     warm: Option<&[AtomSpec]>,
 ) -> GenReport {
+    generate_warm_exec(
+        graph,
+        cfg,
+        engine,
+        dataflow,
+        iter_budget,
+        warm,
+        Exec::serial(),
+    )
+}
+
+/// Like [`generate_warm`], running SA chain fan-outs and buffer
+/// acquisition through an explicit execution context (`exec`) — the
+/// planning pipeline passes the request's persistent worker pool and
+/// scratch arenas here. `Exec::serial()` reproduces [`generate_warm`]
+/// exactly (one-shot scoped threads, temporary buffers); the output is
+/// byte-identical either way.
+pub fn generate_warm_exec(
+    graph: &Graph,
+    cfg: &AtomGenConfig,
+    engine: &EngineConfig,
+    dataflow: Dataflow,
+    iter_budget: Option<usize>,
+    warm: Option<&[AtomSpec]>,
+    exec: Exec<'_>,
+) -> GenReport {
     let table = enumerate_candidates(graph, cfg, engine, dataflow);
     match cfg.mode {
         AtomGenMode::Sa(p) => run_sa(
@@ -254,6 +292,7 @@ pub fn generate_warm(
             cfg.parallelism,
             iter_budget,
             warm,
+            exec,
         ),
         AtomGenMode::Ga(p) => run_ga(graph, &table, p),
         AtomGenMode::Uniform { parts } => run_uniform(graph, &table, parts),
@@ -613,10 +652,12 @@ fn report_from_choices(
 // ---------------------------------------------------------------------------
 
 /// Runs [`SaParams::chains`] independently seeded annealing chains — up to
-/// `parallelism` of them concurrently via [`ad_util::scoped_map`] — and
-/// keeps the minimum-variance chain, the earliest chain index breaking
-/// ties. The reduction visits chains in fixed index order, so the result is
-/// a pure function of the search configuration, never of the thread count.
+/// `parallelism` of them concurrently, through the request's persistent
+/// worker pool when `exec` carries one — and keeps the minimum-variance
+/// chain, the earliest chain index breaking ties. The reduction visits
+/// chains in fixed index order, so the result is a pure function of the
+/// search configuration, never of the thread count.
+#[allow(clippy::too_many_arguments)]
 fn run_sa(
     graph: &Graph,
     table: &CandidateTable,
@@ -625,16 +666,26 @@ fn run_sa(
     parallelism: usize,
     iter_budget: Option<usize>,
     warm: Option<&[AtomSpec]>,
+    exec: Exec<'_>,
 ) -> GenReport {
     let soa = SaSoa::build(table);
     let chains = p.chains.max(1);
     if chains == 1 {
-        return run_sa_chain(graph, table, &soa, p, target_count, iter_budget, warm);
+        return run_sa_chain(graph, table, &soa, p, target_count, iter_budget, warm, exec);
     }
-    let reports = ad_util::scoped_map(chains, parallelism, |i| {
+    let reports = exec.map(chains, parallelism, |i| {
         let mut pi = p;
         pi.seed = chain_seed(p.seed, i);
-        run_sa_chain(graph, table, &soa, pi, target_count, iter_budget, warm)
+        run_sa_chain(
+            graph,
+            table,
+            &soa,
+            pi,
+            target_count,
+            iter_budget,
+            warm,
+            exec,
+        )
     });
     let mut best: Option<GenReport> = None;
     for r in reports {
@@ -643,13 +694,16 @@ fn run_sa(
         }
     }
     // `chains >= 1`, so at least one report exists.
-    best.unwrap_or_else(|| run_sa_chain(graph, table, &soa, p, target_count, iter_budget, warm))
+    best.unwrap_or_else(|| {
+        run_sa_chain(graph, table, &soa, p, target_count, iter_budget, warm, exec)
+    })
 }
 
 /// One annealing chain (Algorithm 1), deterministic given `p.seed`. An
 /// `iter_budget` below `p.max_iters` truncates the chain (flagged in the
 /// report unless the chain converged first); the budget check is a pure
 /// iteration count, so a fixed budget yields byte-identical results.
+#[allow(clippy::too_many_arguments)]
 fn run_sa_chain(
     graph: &Graph,
     table: &CandidateTable,
@@ -658,9 +712,17 @@ fn run_sa_chain(
     target_count: usize,
     iter_budget: Option<usize>,
     warm: Option<&[AtomSpec]>,
+    exec: Exec<'_>,
 ) -> GenReport {
     let mut rng = Rng64::new(p.seed);
     let nl = graph.layer_count();
+
+    // The chain's choice buffers come from the runner's scratch arena
+    // (capacity-only reuse — both are cleared and fully rebuilt here, so
+    // a pooled buffer is indistinguishable from a fresh one).
+    let mut scratch = exec.acquire();
+    let mut choice = std::mem::take(&mut scratch.sa.choice);
+    let mut cand_choice = std::mem::take(&mut scratch.sa.cand);
 
     // Initialization (Alg. 1 lines 1-3): tile sizes such that large layers
     // split into about `target_count` atoms — the cycle level with enough
@@ -668,30 +730,30 @@ fn run_sa_chain(
     // free to move `S` anywhere from here. A warm start replaces the
     // heuristic with the specs of a cached neighboring plan where they
     // still exist in this layer's candidate menu.
-    let mut choice: Vec<usize> = (0..nl)
-        .map(|li| {
-            let cands = &table.layers[li];
-            if let Some(i) = warm
-                .and_then(|w| w.get(li))
-                .and_then(|spec| cands.iter().position(|c| c.spec == *spec))
-            {
-                return i;
-            }
-            cands
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, c)| (c.count.abs_diff(target_count), c.cycles))
-                .map(|(i, _)| i)
-                .unwrap_or(0)
-        })
-        .collect();
+    choice.clear();
+    choice.extend((0..nl).map(|li| {
+        let cands = &table.layers[li];
+        if let Some(i) = warm
+            .and_then(|w| w.get(li))
+            .and_then(|spec| cands.iter().position(|c| c.spec == *spec))
+        {
+            return i;
+        }
+        cands
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| (c.count.abs_diff(target_count), c.cycles))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }));
 
     let (mut s, mut e) = soa.eval(&choice);
     let s0 = s.max(1.0);
     let mut temp = p.temp;
     let mut history = vec![e];
     // Reusable neighbor buffer, refreshed from `choice` every iteration.
-    let mut cand_choice = choice.clone();
+    cand_choice.clear();
+    cand_choice.extend_from_slice(&choice);
 
     let cap = p.max_iters.min(iter_budget.unwrap_or(usize::MAX));
     let mut converged = false;
@@ -735,6 +797,10 @@ fn run_sa_chain(
 
     let mut report = report_from_choices(graph, table, &choice, history);
     report.truncated = iter_budget.is_some_and(|b| b < p.max_iters) && !converged;
+    // Hand the buffers back to the arena (the swap in the accept branch
+    // may have exchanged them; either assignment order is fine).
+    scratch.sa.choice = choice;
+    scratch.sa.cand = cand_choice;
     report
 }
 

@@ -61,6 +61,7 @@ pub mod pipeline;
 mod recovery;
 pub mod request;
 pub mod scheduler;
+pub mod scratch;
 pub mod validate;
 
 pub use atom::{AtomCoords, AtomCost, AtomSpec, Range};
@@ -79,6 +80,7 @@ pub use request::{
     batchless_config_fingerprint, config_fingerprint, plan, PlanDetail, PlanRequest, PlanResponse,
 };
 pub use scheduler::{Schedule, ScheduleError, ScheduleMode, Scheduler, SchedulerConfig};
+pub use scratch::{Exec, PlanScratch, ScratchGuard, ScratchPool};
 pub use validate::{
     admit, Artifact, BudgetOutcome, Invariant, PlanBudget, ValidateMode, ValidationError,
 };

@@ -2,7 +2,7 @@
 //! the [`Strategy`] dispatcher used by the experiment harness.
 
 use accel_sim::{Program, SimConfig, SimStats};
-use ad_util::scoped_map;
+use ad_util::WorkerPool;
 use dnn_graph::Graph;
 use engine_model::{Dataflow, HardwareConfig};
 
@@ -151,6 +151,34 @@ impl OptimizerConfig {
         self
     }
 
+    /// Returns a copy running `chains` independent SA chains per atom
+    /// generation (see [`crate::SaParams::chains`]). Unlike
+    /// [`OptimizerConfig::with_parallelism`], this changes the *search*
+    /// itself — more chains explore more of the annealing space and the
+    /// minimum-variance chain wins — so it honestly enters the plan
+    /// fingerprint. No-op for non-SA generation modes.
+    pub fn with_sa_chains(mut self, chains: usize) -> Self {
+        if let crate::atomgen::AtomGenMode::Sa(ref mut p) = self.atomgen.mode {
+            p.chains = chains.max(1);
+        }
+        self
+    }
+
+    /// Returns a copy with the SA chain count scaled up to the configured
+    /// parallelism (`chains = max(chains, parallelism)`), so extra threads
+    /// buy search throughput instead of idling. This is an explicit
+    /// *search-config* choice, not an automatic side effect of the thread
+    /// count: it changes the chain set (and therefore the plan
+    /// fingerprint), so callers that sweep thread counts while pinning
+    /// byte-identical output must fix `chains` instead of calling this.
+    pub fn with_chains_scaled_to_parallelism(self) -> Self {
+        let chains = match self.atomgen.mode {
+            crate::atomgen::AtomGenMode::Sa(p) => p.chains.max(self.parallelism),
+            _ => return self,
+        };
+        self.with_sa_chains(chains)
+    }
+
     /// Returns a copy with a different plan-admission mode.
     pub fn with_validate(mut self, validate: ValidateMode) -> Self {
         self.validate = validate;
@@ -205,12 +233,30 @@ pub struct OptimizeResult {
 pub struct Optimizer {
     cfg: OptimizerConfig,
     warm: Option<std::sync::Arc<Vec<crate::atom::AtomSpec>>>,
+    /// Shared persistent worker pool; `None` creates a run-local pool of
+    /// [`OptimizerConfig::parallelism`] runners per [`Optimizer::optimize`]
+    /// call. Execution-only — never affects planned bytes.
+    pool: Option<std::sync::Arc<WorkerPool>>,
 }
 
 impl Optimizer {
     /// Creates an optimizer with the given configuration.
     pub fn new(cfg: OptimizerConfig) -> Self {
-        Self { cfg, warm: None }
+        Self {
+            cfg,
+            warm: None,
+            pool: None,
+        }
+    }
+
+    /// Runs every fan-out of this optimizer on `pool` instead of a
+    /// run-local one — long-lived callers (the serve daemon) share one pool
+    /// across requests so a busy process never exceeds its thread budget.
+    /// The pool's thread count governs execution; results stay
+    /// byte-identical for any pool.
+    pub fn with_pool(mut self, pool: std::sync::Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// The configuration.
@@ -290,18 +336,34 @@ impl Optimizer {
             .copied()
             .filter(|&t| t != 0)
             .collect();
-        // One full candidate pipeline per granularity scale, evaluated by up
-        // to `parallelism` worker threads. The candidate set is fixed by the
-        // config and the reduction below visits candidates in index order
+        // One full candidate pipeline per granularity scale, evaluated on
+        // the run's worker pool (up to `parallelism` runners; nested SA
+        // chain fan-outs reuse the same pool, so live threads stay bounded
+        // by the pool size). The candidate set is fixed by the config and
+        // the reduction below visits candidates in index order
         // (strictly-cheaper wins, earliest index breaks ties), so the result
         // is byte-identical for every thread count. The candidates share one
         // cost-oracle interner: atom costs are pure functions of
         // (layer, extent), so each extent is evaluated once across the
-        // whole search instead of once per candidate.
+        // whole search instead of once per candidate — and one scratch-arena
+        // pool, so concurrent stages reuse buffer capacity instead of
+        // contending on the allocator.
         let interner = std::sync::Arc::new(crate::atomic_dag::CostInterner::new());
+        let pool = match &self.pool {
+            Some(p) => p.clone(),
+            None => std::sync::Arc::new(WorkerPool::new(self.cfg.parallelism)),
+        };
+        let scratch = std::sync::Arc::new(crate::scratch::ScratchPool::new(pool.threads()));
         let t0 = std::time::Instant::now(); // ad-lint: allow(d2) — coarse deadline, gates whole refinement passes only
-        let candidates = scoped_map(targets.len(), self.cfg.parallelism, |i| {
-            self.optimize_at(graph, targets[i], self.cfg.schedule_mode, &interner)
+        let candidates = pool.map(targets.len(), |i| {
+            self.optimize_at(
+                graph,
+                targets[i],
+                self.cfg.schedule_mode,
+                &interner,
+                &pool,
+                &scratch,
+            )
         });
         // Validation rejections disqualify a candidate without aborting the
         // search (anytime semantics: keep the best *admitted* plan); every
@@ -336,6 +398,8 @@ impl Optimizer {
                 self.cfg.atomgen.target_atoms_per_layer,
                 self.cfg.schedule_mode,
                 &interner,
+                &pool,
+                &scratch,
             );
         };
         // Layer-topological ordering is itself a point in Alg. 2's search
@@ -355,7 +419,14 @@ impl Optimizer {
                     fallback: false,
                 };
             } else {
-                match self.optimize_at(graph, best_target, ScheduleMode::LayerOrder, &interner) {
+                match self.optimize_at(
+                    graph,
+                    best_target,
+                    ScheduleMode::LayerOrder,
+                    &interner,
+                    &pool,
+                    &scratch,
+                ) {
                     Ok(lo) => {
                         if lo.stats.total_cycles < best.stats.total_cycles {
                             best = lo;
@@ -408,17 +479,22 @@ impl Optimizer {
     }
 
     /// One pass of the staged pipeline ([`Pipeline::standard`]) at a fixed
-    /// granularity scale and ordering.
+    /// granularity scale and ordering, fanning out on `pool` and reusing
+    /// buffer capacity from `scratch`.
     fn optimize_at(
         &self,
         graph: &Graph,
         target: usize,
         mode: ScheduleMode,
         interner: &std::sync::Arc<crate::atomic_dag::CostInterner>,
+        pool: &std::sync::Arc<WorkerPool>,
+        scratch: &std::sync::Arc<crate::scratch::ScratchPool>,
     ) -> Result<OptimizeResult, PipelineError> {
         let mut ctx = PlanContext::new(graph, self.cfg);
         ctx.cost_interner = Some(interner.clone());
         ctx.warm_specs = self.warm.clone();
+        ctx.pool = Some(pool.clone());
+        ctx.scratch = Some(scratch.clone());
         Pipeline::standard(Some(target), Some(mode)).run(&mut ctx)?;
         let missing = |m: &'static str| PipelineError::StageOrder {
             stage: "optimize",

@@ -132,6 +132,15 @@ pub struct PlanContext<'g> {
     /// search accelerator — the warm-started plan runs through the same
     /// admission checks as a cold one.
     pub warm_specs: Option<std::sync::Arc<Vec<crate::atom::AtomSpec>>>,
+    /// The request's persistent worker pool: stages fan out through it
+    /// instead of spawning scoped threads per call. `None` (the default)
+    /// keeps the one-shot scoped fan-out. Purely an execution vehicle —
+    /// outputs are byte-identical with or without it.
+    pub pool: Option<std::sync::Arc<ad_util::WorkerPool>>,
+    /// The request's scratch arenas ([`crate::scratch`]): stages reuse
+    /// buffer capacity across candidates and chains instead of
+    /// re-allocating. `None` (the default) uses fresh temporaries.
+    pub scratch: Option<std::sync::Arc<crate::scratch::ScratchPool>>,
 }
 
 /// The cross-attempt cache carried by [`PlanContext::replan_cache`]. See
@@ -175,6 +184,8 @@ impl<'g> PlanContext<'g> {
             validated: 0,
             replan_cache: None,
             warm_specs: None,
+            pool: None,
+            scratch: None,
         }
     }
 
@@ -198,6 +209,8 @@ impl<'g> PlanContext<'g> {
             validated: 0,
             replan_cache: None,
             warm_specs: None,
+            pool: None,
+            scratch: None,
         }
     }
 
@@ -430,13 +443,20 @@ impl Stage for AtomGenStage {
             .budget
             .sa_iters
             .map(|n| ad_util::cast::usize_from_u64(u64::from(n)));
-        let report = atomgen::generate_warm(
+        let pool = ctx.pool.clone();
+        let scratch = ctx.scratch.clone();
+        let exec = crate::scratch::Exec {
+            pool: pool.as_deref(),
+            scratch: scratch.as_deref(),
+        };
+        let report = atomgen::generate_warm_exec(
             graph,
             &gen_cfg,
             &ctx.cfg.sim.engine,
             ctx.cfg.dataflow,
             sa_budget,
             ctx.warm_specs.as_deref().map(Vec::as_slice),
+            exec,
         );
         let dag = match &ctx.cost_interner {
             Some(interner) => AtomicDag::build_interned(
@@ -505,16 +525,22 @@ impl Stage for ScheduleStage {
         // replan cache is installed. Under a finite expansion budget warm
         // hits would shift the truncation points (a cache hit skips the
         // recursion's budget charges), so budgeted runs keep the pass-local
-        // table to stay byte-identical with uncached runs.
+        // table to stay byte-identical with uncached runs. Either way the
+        // pass's dense state (and the pass-local memo's slots) build inside
+        // a scratch arena when the context carries one — capacity-only
+        // reuse, byte-identical to fresh allocations.
+        let scratch_pool = ctx.scratch.clone();
+        let mut arena = crate::scratch::acquire_opt(&scratch_pool);
         let (sched, truncated) = match ctx.replan_cache.as_mut() {
             Some(cache) if dp_budget.is_none() => {
                 let memo = cache
                     .memo
                     .get_or_insert_with(crate::scheduler::MemoTable::shared);
-                scheduler.schedule_remaining_shared(&ctx.done, memo)?
+                scheduler.schedule_remaining_shared_scratch(&ctx.done, memo, &mut arena.sched)?
             }
-            _ => scheduler.schedule_remaining_budgeted(&ctx.done)?,
+            _ => scheduler.schedule_remaining_scratch(&ctx.done, &mut arena.sched)?,
         };
+        drop(arena);
         let summary = format!(
             "{} rounds, occupancy {:.2}",
             sched.len(),
@@ -548,6 +574,11 @@ impl Stage for MapStage {
         let sched = ctx.require_schedule(self.name())?;
         let dag = ctx.require_dag(self.name())?;
         let mut mapper = Mapper::new(ctx.cfg.sim.mesh, ctx.cfg.mapping);
+        // Transplant recycled round buffers into this candidate's mapper
+        // (capacity-only — placement is pinned byte-identical either way).
+        let scratch_pool = ctx.scratch.clone();
+        let mut arena = crate::scratch::acquire_opt(&scratch_pool);
+        mapper.set_scratch(std::mem::take(&mut arena.map));
         for &e in &ctx.dead_engines {
             mapper.kill_engine(e);
         }
@@ -555,7 +586,10 @@ impl Stage for MapStage {
             .rounds
             .iter()
             .map(|r| mapper.map_round(dag, r))
-            .collect::<Result<Vec<_>, _>>()?;
+            .collect::<Result<Vec<_>, _>>();
+        arena.map = mapper.take_scratch();
+        drop(arena);
+        let mapped = mapped?;
         let summary = format!(
             "{} rounds onto {} engines",
             mapped.len(),

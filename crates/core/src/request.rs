@@ -50,6 +50,12 @@ pub struct PlanRequest<'g> {
     /// Per-layer atom specs of a cached neighboring plan; seeds the SA
     /// search (atomic dataflow only; see [`crate::PlanContext::warm_specs`]).
     pub warm: Option<std::sync::Arc<Vec<AtomSpec>>>,
+    /// Persistent worker pool shared across requests (atomic dataflow
+    /// only): planning fans out on it instead of creating a run-local pool,
+    /// so long-lived callers (the serve daemon) keep their total thread
+    /// count bounded. Execution-only — excluded from every fingerprint and
+    /// never affects plan bytes.
+    pub pool: Option<std::sync::Arc<ad_util::WorkerPool>>,
 }
 
 impl<'g> PlanRequest<'g> {
@@ -60,7 +66,15 @@ impl<'g> PlanRequest<'g> {
             cfg,
             strategy: Strategy::AtomicDataflow,
             warm: None,
+            pool: None,
         }
+    }
+
+    /// Returns a copy planning on a shared persistent worker pool (see the
+    /// `pool` field).
+    pub fn with_pool(mut self, pool: std::sync::Arc<ad_util::WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Returns a copy requesting a different strategy.
@@ -199,6 +213,9 @@ pub fn plan(req: &PlanRequest<'_>) -> Result<PlanResponse, PipelineError> {
             let mut opt = Optimizer::new(req.cfg);
             if let Some(w) = &req.warm {
                 opt = opt.with_warm_start(w.clone());
+            }
+            if let Some(p) = &req.pool {
+                opt = opt.with_pool(p.clone());
             }
             let r = opt.optimize(req.graph)?;
             let detail = PlanDetail {

@@ -1,0 +1,204 @@
+//! Per-request execution context: the shared worker pool and the scratch
+//! arenas its runners reuse across planning stages.
+//!
+//! Profiling the parallel planner showed the per-stage slowdowns at
+//! `--par 4` (atomgen 22.9→70.4 ms, map 31.3→81.2 ms on ResNet-50 in the
+//! v1 bench) were allocator contention, not algorithmic cost: every SA
+//! chain, every scheduling pass and every candidate's mapper allocated its
+//! working buffers fresh, and concurrent frees of same-sized blocks
+//! serialize on the global allocator. The fix is capacity reuse:
+//!
+//! * [`ScratchPool`] holds one [`PlanScratch`] arena per pool runner.
+//!   A stage *acquires* an arena for the duration of one sequential unit
+//!   of work (one SA chain, one scheduling pass, one candidate's mapping)
+//!   and returns it when done.
+//! * [`PlanScratch`] bundles the per-subsystem buffer sets — SA choice
+//!   vectors, the scheduler's dense [`State`] tables and memo slots, the
+//!   mapper's round buffers — each owned by its defining module.
+//!
+//! # Determinism
+//!
+//! Scratch reuse is *capacity-only*: every buffer is cleared and fully
+//! re-initialized before any read (the defining modules' contract, pinned
+//! by the golden placement/plan-byte tests). Which arena a unit of work
+//! lands on therefore cannot influence any planned byte — arenas are
+//! interchangeable, so acquisition order (which *does* depend on thread
+//! scheduling) is immaterial.
+//!
+//! # Why acquisition, not worker-index keying
+//!
+//! Arenas are handed out by an availability scan ([`ScratchPool::acquire`])
+//! rather than indexed by the runner id. Under the pool's
+//! help-while-waiting discipline a runner blocked in a nested
+//! [`ad_util::WorkerPool::map`] can execute further jobs of that nested
+//! batch on its own thread; if arenas were keyed by runner id, the helped
+//! job would re-enter the arena its runner already holds. The scan hands
+//! every concurrent unit of work a distinct arena, and an exhausted pool
+//! (more concurrent units than slots) degrades to a temporary arena —
+//! fresh allocations, exactly the pre-pool behavior — instead of blocking.
+//!
+//! [`State`]: crate::scheduler
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex, TryLockError};
+
+use ad_util::WorkerPool;
+
+/// One runner's reusable buffer set, bundling the per-subsystem scratch
+/// structs. Fields are crate-private: each subsystem owns the layout and
+/// re-initialization contract of its own buffers.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    /// SA chain buffers ([`crate::atomgen`]).
+    pub(crate) sa: crate::atomgen::SaScratch,
+    /// Scheduling-pass buffers ([`crate::scheduler`]).
+    pub(crate) sched: crate::scheduler::SchedScratch,
+    /// Per-round mapping buffers ([`crate::mapping`]).
+    pub(crate) map: crate::mapping::MapScratch,
+}
+
+/// A fixed set of [`PlanScratch`] arenas shared by the runners of one
+/// planning request. See the module docs for the acquisition contract.
+#[derive(Debug)]
+pub struct ScratchPool {
+    slots: Vec<Mutex<PlanScratch>>,
+}
+
+impl ScratchPool {
+    /// A pool of `slots` arenas — one per expected concurrent unit of work
+    /// (the worker pool's thread count).
+    pub fn new(slots: usize) -> Self {
+        Self {
+            slots: (0..slots.max(1))
+                .map(|_| Mutex::new(PlanScratch::default()))
+                .collect(),
+        }
+    }
+
+    /// Hands out a free arena, or a temporary one when every slot is taken
+    /// (never blocks — see the module docs). A poisoned slot is reused
+    /// as-is: scratch contents are re-initialized before every read, so a
+    /// panicking holder cannot corrupt later units of work.
+    pub fn acquire(&self) -> ScratchGuard<'_> {
+        for slot in &self.slots {
+            match slot.try_lock() {
+                Ok(g) => return ScratchGuard::Pooled(g),
+                Err(TryLockError::Poisoned(p)) => return ScratchGuard::Pooled(p.into_inner()),
+                Err(TryLockError::WouldBlock) => {}
+            }
+        }
+        ScratchGuard::Owned(Box::default())
+    }
+}
+
+/// Exclusive access to one arena for the duration of one unit of work.
+pub enum ScratchGuard<'a> {
+    /// A pool slot; buffers return to the pool on drop.
+    Pooled(std::sync::MutexGuard<'a, PlanScratch>),
+    /// Overflow fallback: a temporary arena dropped (with its capacity)
+    /// after use.
+    Owned(Box<PlanScratch>),
+}
+
+impl Deref for ScratchGuard<'_> {
+    type Target = PlanScratch;
+    fn deref(&self) -> &PlanScratch {
+        match self {
+            ScratchGuard::Pooled(g) => g,
+            ScratchGuard::Owned(b) => b,
+        }
+    }
+}
+
+impl DerefMut for ScratchGuard<'_> {
+    fn deref_mut(&mut self) -> &mut PlanScratch {
+        match self {
+            ScratchGuard::Pooled(g) => g,
+            ScratchGuard::Owned(b) => b,
+        }
+    }
+}
+
+/// Acquires from an optional shared pool, degrading to a temporary arena
+/// when the context carries none (the serial / legacy path — fresh
+/// allocations, byte-identical behavior).
+pub fn acquire_opt(pool: &Option<Arc<ScratchPool>>) -> ScratchGuard<'_> {
+    match pool {
+        Some(p) => p.acquire(),
+        None => ScratchGuard::Owned(Box::default()),
+    }
+}
+
+/// Borrowed execution context threaded through the stages: how to fan out
+/// (`pool`) and where to get buffers (`scratch`). `Copy` so stages can
+/// hand it to free functions without lifetime gymnastics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exec<'a> {
+    /// The request's persistent worker pool; `None` falls back to one-shot
+    /// [`ad_util::scoped_map`] fan-outs.
+    pub pool: Option<&'a WorkerPool>,
+    /// The request's scratch arenas; `None` uses temporaries.
+    pub scratch: Option<&'a ScratchPool>,
+}
+
+impl<'a> Exec<'a> {
+    /// The no-pool, no-scratch context: every fan-out spawns scoped
+    /// threads, every buffer is a fresh temporary (the legacy behavior).
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// Deterministic index map over `0..k`: the pool when present (its
+    /// thread count governs), otherwise a one-shot scoped fan-out with
+    /// `threads` workers. Identical results either way — both use the same
+    /// contiguous block split and fixed-order reduction.
+    pub fn map<T, F>(&self, k: usize, threads: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        match self.pool {
+            Some(p) => p.map(k, f),
+            None => ad_util::scoped_map(k, threads, f),
+        }
+    }
+
+    /// An arena for one sequential unit of work (temporary when the
+    /// context carries no scratch pool).
+    pub fn acquire(&self) -> ScratchGuard<'a> {
+        match self.scratch {
+            Some(s) => s.acquire(),
+            None => ScratchGuard::Owned(Box::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_hands_out_distinct_slots_then_overflows() {
+        let pool = ScratchPool::new(2);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        // Both slots taken: the third acquisition must not block.
+        let c = pool.acquire();
+        assert!(matches!(a, ScratchGuard::Pooled(_)));
+        assert!(matches!(b, ScratchGuard::Pooled(_)));
+        assert!(matches!(c, ScratchGuard::Owned(_)));
+        drop(a);
+        let d = pool.acquire();
+        assert!(matches!(d, ScratchGuard::Pooled(_)));
+    }
+
+    #[test]
+    fn serial_exec_acquires_temporaries() {
+        let exec = Exec::serial();
+        let mut g = exec.acquire();
+        g.sa.choice.push(7);
+        assert!(matches!(g, ScratchGuard::Owned(_)));
+        // Exec::map with no pool falls back to scoped_map.
+        assert_eq!(exec.map(4, 2, |i| i * 2), vec![0, 2, 4, 6]);
+    }
+}

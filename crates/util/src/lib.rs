@@ -13,9 +13,11 @@
 //!   are reproducible across platforms given the seed.
 //! - [`cast`] — contract-checked narrowing casts for index-shaped values,
 //!   replacing bare `as` casts in the planning/sim crates (ad-lint C1).
-//! - [`par`] — deterministic scoped fan-out ([`par::scoped_map`]) for the
-//!   planning pipeline's parallel candidate search: results come back in
-//!   index order regardless of the worker-thread count.
+//! - [`par`] — deterministic parallel execution for the planning
+//!   pipeline's candidate search: one-shot scoped fan-out
+//!   ([`par::scoped_map`]) and a persistent per-request worker pool
+//!   ([`par::WorkerPool`]). Results come back in index order regardless
+//!   of the worker-thread count.
 //! - [`fingerprint`] — a stable, platform-independent 64-bit content hash
 //!   ([`FpHasher`] → [`Fingerprint`]) used to key the content-addressed
 //!   plan cache; golden digests are pinned in tests.
@@ -28,5 +30,5 @@ pub mod rng;
 
 pub use fingerprint::{Fingerprint, FpHasher};
 pub use json::{Json, JsonError};
-pub use par::scoped_map;
+pub use par::{scoped_map, TaskScope, WorkerPool};
 pub use rng::Rng64;

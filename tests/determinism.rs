@@ -100,6 +100,81 @@ fn tight_budget_resnet50_is_deterministic_and_truncated() {
     assert_eq!(a.atoms, b.atoms);
 }
 
+/// Deep-graph determinism at scale: a ResNet-1001 plan searched with
+/// multiple independent SA chains must serialize byte-identically at
+/// parallelism 1, 4 and 16 — the worker pool, the per-thread scratch
+/// arenas and chain-level fan-out distribute the work, never change it.
+/// The iteration budget (an honest part of the search configuration,
+/// identical at every thread count) keeps the debug-mode runtime sane.
+#[test]
+fn deep_graph_multi_chain_optimizer_is_byte_identical_across_parallelism() {
+    let g = models::resnet1001();
+    let cfg = OptimizerConfig::fast_test().with_sa_chains(4).with_budget(
+        PlanBudget::unlimited()
+            .with_sa_iters(20)
+            .with_dp_expansions(20_000),
+    );
+    let runs: Vec<_> = [1usize, 4, 16]
+        .iter()
+        .map(|&p| {
+            Optimizer::new(cfg.with_parallelism(p))
+                .optimize(&g)
+                .unwrap()
+        })
+        .collect();
+    let (a, rest) = runs.split_first().unwrap();
+    for (b, p) in rest.iter().zip([4usize, 16]) {
+        assert_eq!(
+            a.stats.to_json().to_compact(),
+            b.stats.to_json().to_compact(),
+            "parallelism {p} leaked into the deep-graph statistics"
+        );
+        assert_eq!(a.rounds, b.rounds, "parallelism {p} changed the schedule");
+        assert_eq!(a.atoms, b.atoms, "parallelism {p} changed the atoms");
+        assert_eq!(a.program.rounds(), b.program.rounds());
+    }
+}
+
+/// The same pin under a *tight* [`PlanBudget`]: anytime truncation points
+/// are iteration counts, never wall clock, so a deep-graph plan cut short
+/// mid-search is still byte-identical at any thread count — and still
+/// passes Deny-mode admission.
+#[test]
+fn deep_graph_tight_budget_is_byte_identical_across_parallelism() {
+    let g = models::resnet1001();
+    let cfg = OptimizerConfig::fast_test()
+        .with_sa_chains(4)
+        .with_validate(ValidateMode::Deny)
+        .with_budget(
+            PlanBudget::unlimited()
+                .with_sa_iters(5)
+                .with_dp_expansions(1_000),
+        );
+    let runs: Vec<_> = [1usize, 4, 16]
+        .iter()
+        .map(|&p| {
+            Optimizer::new(cfg.with_parallelism(p))
+                .optimize(&g)
+                .unwrap()
+        })
+        .collect();
+    // The deep graph's many identical layers let SA hit its epsilon within
+    // the cap, so the outcome may legitimately be `completed` — what is
+    // pinned is that the budget *accounting* and every artifact agree at
+    // every thread count, truncated or not.
+    let (a, rest) = runs.split_first().unwrap();
+    for (b, p) in rest.iter().zip([4usize, 16]) {
+        assert_eq!(a.budget, b.budget, "parallelism {p} changed the outcome");
+        assert_eq!(
+            a.stats.to_json().to_compact(),
+            b.stats.to_json().to_compact(),
+            "parallelism {p} leaked into the budgeted statistics"
+        );
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.atoms, b.atoms);
+    }
+}
+
 /// Recovery replans after an injected engine failure; the replan path
 /// (schedule_remaining + remapping onto survivors) must be reproducible.
 #[test]
