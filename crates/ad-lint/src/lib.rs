@@ -34,6 +34,13 @@
 //!   determinism (and panic-propagation) hole by construction. The pool's
 //!   own `Builder` spawns carry explicit allow-comments naming the join
 //!   point.
+//! * **D4 `unbounded-channel`** — no `std::sync::mpsc::channel()` in the
+//!   serving crates (`ad-serve`, `util`): an unbounded sender turns every
+//!   producer into an invisible queue, so overload shows up as memory
+//!   growth and late timeouts instead of the typed `Overloaded` refusal
+//!   the admission layer owes its clients. Use `mpsc::sync_channel`
+//!   (bounded, applies backpressure) or submit through
+//!   `ad_util::BoundedQueue` / `ad_util::WorkerPool`.
 //! * **P1 `panic`** — no `.unwrap()` / `.expect("…")` / `panic!` /
 //!   `unreachable!` / `todo!` / `unimplemented!` in library code outside
 //!   `#[cfg(test)]` modules, `tests/` trees and binary targets. Contract
@@ -60,6 +67,8 @@ pub enum Rule {
     Nondeterminism,
     /// D3: detached `thread::spawn` in model crates (scoped threads only).
     UnscopedThread,
+    /// D4: unbounded `mpsc::channel()` in serving crates (bounded only).
+    UnboundedChannel,
     /// P1: panicking shortcuts in library code.
     Panic,
     /// C1: narrowing `as` casts on accounting types.
@@ -68,10 +77,11 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::HashContainer,
         Rule::Nondeterminism,
         Rule::UnscopedThread,
+        Rule::UnboundedChannel,
         Rule::Panic,
         Rule::LossyCast,
     ];
@@ -82,6 +92,7 @@ impl Rule {
             Rule::HashContainer => "hash-container",
             Rule::Nondeterminism => "nondeterminism",
             Rule::UnscopedThread => "unscoped-thread",
+            Rule::UnboundedChannel => "unbounded-channel",
             Rule::Panic => "panic",
             Rule::LossyCast => "lossy-cast",
         }
@@ -93,6 +104,7 @@ impl Rule {
             Rule::HashContainer => "D1",
             Rule::Nondeterminism => "D2",
             Rule::UnscopedThread => "D3",
+            Rule::UnboundedChannel => "D4",
             Rule::Panic => "P1",
             Rule::LossyCast => "C1",
         }
@@ -159,6 +171,14 @@ const MODEL_CRATES: [&str; 7] = [
     "util",
     "ad-serve",
 ];
+
+/// Crates that accept work from clients or submit work to worker pools
+/// (D4): every producer→consumer hand-off in them must be bounded, or
+/// overload degrades into memory growth and late timeouts instead of the
+/// typed `Overloaded` refusal the admission layer promises. `util` is
+/// included because it hosts the queue/pool primitives the serving path
+/// is built from.
+const SERVING_CRATES: [&str; 2] = ["ad-serve", "util"];
 
 /// Crates exempt from P1: `bench` drives experiments from binaries and
 /// aborts loudly by design.
@@ -232,9 +252,10 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Diagnostic> {
     let d1 = PLANNING_CRATES.contains(&krate);
     let d2 = MODEL_CRATES.contains(&krate) && !is_test_path(rel);
     let d3 = MODEL_CRATES.contains(&krate) && !is_test_path(rel);
+    let d4 = SERVING_CRATES.contains(&krate) && !is_test_path(rel);
     let p1 = !PANIC_EXEMPT_CRATES.contains(&krate) && !is_test_path(rel) && !is_bin_path(rel);
     let c1 = PLANNING_CRATES.contains(&krate) && !is_test_path(rel) && !is_bin_path(rel);
-    if !(d1 || d2 || d3 || p1 || c1) {
+    if !(d1 || d2 || d3 || d4 || p1 || c1) {
         return Vec::new();
     }
 
@@ -318,6 +339,29 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Diagnostic> {
                     if left_ok {
                         findings.push((Rule::UnscopedThread, message.to_string()));
                     }
+                }
+            }
+        }
+        if d4 {
+            // `mpsc::channel` at identifier boundaries: the bounded
+            // `mpsc::sync_channel` never matches (different path segment),
+            // and neither do unrelated `channel` identifiers. Matching the
+            // qualified path also catches the `use` import, so a later
+            // bare `channel()` call cannot slip in without one.
+            if let Some(pos) = masked_line.find("mpsc::channel") {
+                let end = pos + "mpsc::channel".len();
+                let bytes = masked_line.as_bytes();
+                let left_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+                let right_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+                if left_ok && right_ok {
+                    findings.push((
+                        Rule::UnboundedChannel,
+                        "unbounded `mpsc::channel()` in a serving crate; use \
+                         `mpsc::sync_channel` or submit through \
+                         `ad_util::BoundedQueue`/`ad_util::WorkerPool` so \
+                         overload becomes a typed refusal, not memory growth"
+                            .to_string(),
+                    ));
                 }
             }
         }

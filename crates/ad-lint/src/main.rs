@@ -30,7 +30,8 @@ fn main() -> ExitCode {
                 eprintln!("usage: ad-lint [--root PATH] [--json] [--deny]");
                 eprintln!(
                     "rules: D1 hash-container, D2 nondeterminism, \
-                     D3 unscoped-thread, P1 panic, C1 lossy-cast"
+                     D3 unscoped-thread, D4 unbounded-channel, \
+                     P1 panic, C1 lossy-cast"
                 );
                 eprintln!("suppress with `// ad-lint: allow(<rule>)`");
                 return ExitCode::SUCCESS;

@@ -215,6 +215,83 @@ fn d3_passes_the_shipped_worker_pool_source() {
     assert!(d3.is_empty(), "pool source trips D3: {d3:?}");
 }
 
+// ---------------------------------------------------------------- D4
+
+#[test]
+fn d4_flags_unbounded_channels_in_serving_crates() {
+    // Both the construction and the import are findings: flagging the
+    // `use` means a later bare `channel()` call cannot dodge the rule.
+    let src = "use std::sync::mpsc::channel;\n\
+               fn a() { let (tx, rx) = std::sync::mpsc::channel::<u64>(); }\n";
+    let diags = lint_file(SERVE_LIB, src);
+    assert_eq!(
+        rules_of(&diags),
+        vec![Rule::UnboundedChannel, Rule::UnboundedChannel]
+    );
+    assert_eq!(diags[0].line, 1);
+    assert!(diags[1].message.contains("BoundedQueue"));
+    // `util` hosts the queue/pool primitives the serving path is built
+    // from, so it is in scope too — and so is the daemon binary (D4 is
+    // not a P1-style bin exemption: an unbounded accept queue in main.rs
+    // is exactly the bug the rule exists for).
+    let one = "fn a() { let (tx, rx) = mpsc::channel(); }\n";
+    assert_eq!(
+        rules_of(&lint_file("crates/util/src/par.rs", one)),
+        vec![Rule::UnboundedChannel]
+    );
+    assert_eq!(
+        rules_of(&lint_file(SERVE_BIN, one)),
+        vec![Rule::UnboundedChannel]
+    );
+}
+
+#[test]
+fn d4_sanctions_bounded_channels_and_unscoped_crates() {
+    // The bounded twin applies backpressure; it is the sanctioned shape.
+    let bounded = "fn a() { let (tx, rx) = std::sync::mpsc::sync_channel::<u64>(4); }\n";
+    assert!(lint_file(SERVE_LIB, bounded).is_empty());
+    // Unrelated `channel` identifiers are not the std constructor.
+    let other = "fn a(noc_channel: usize) { let mpsc_channels = noc_channel; }\n";
+    assert!(lint_file(SERVE_LIB, other).is_empty());
+    // dnn-graph is outside the serving scope.
+    let unbounded = "fn a() { let (tx, rx) = std::sync::mpsc::channel::<u64>(); }\n";
+    assert!(lint_file(GRAPH_LIB, unbounded).is_empty());
+    // Test code may use unbounded channels as harness plumbing.
+    assert!(lint_file("crates/ad-serve/tests/serve.rs", unbounded).is_empty());
+    let gated =
+        "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::sync::mpsc::channel::<u8>(); }\n}\n";
+    assert!(lint_file(SERVE_LIB, gated).is_empty());
+}
+
+#[test]
+fn d4_allow_comment_suppresses() {
+    let src = "fn a() { let (tx, rx) = mpsc::channel(); } \
+               // ad-lint: allow(d4) — drained synchronously before return\n";
+    assert!(lint_file(SERVE_LIB, src).is_empty());
+    let src = "fn a() { let (tx, rx) = mpsc::channel(); } \
+               // ad-lint: allow(unbounded-channel) — drained synchronously\n";
+    assert!(lint_file(SERVE_LIB, src).is_empty());
+    // An unrelated allow does not excuse it.
+    let src = "fn a() { let (tx, rx) = mpsc::channel(); } // ad-lint: allow(d3)\n";
+    assert_eq!(
+        rules_of(&lint_file(SERVE_LIB, src)),
+        vec![Rule::UnboundedChannel]
+    );
+}
+
+/// The shipped `BoundedQueue` source mentions `mpsc::channel()` in its
+/// module docs (explaining why it is *not* used); prose must never trip
+/// the rule.
+#[test]
+fn d4_passes_the_shipped_bounded_queue_source() {
+    let src = include_str!("../../util/src/queue.rs");
+    let d4: Vec<_> = lint_file("crates/util/src/queue.rs", src)
+        .into_iter()
+        .filter(|d| d.rule == Rule::UnboundedChannel)
+        .collect();
+    assert!(d4.is_empty(), "queue source trips D4: {d4:?}");
+}
+
 // ---------------------------------------------------------------- P1
 
 #[test]
@@ -409,6 +486,8 @@ fn rule_parsing_accepts_slugs_and_codes() {
         ("D2", Rule::Nondeterminism),
         ("unscoped-thread", Rule::UnscopedThread),
         ("D3", Rule::UnscopedThread),
+        ("unbounded-channel", Rule::UnboundedChannel),
+        ("D4", Rule::UnboundedChannel),
         ("panic", Rule::Panic),
         ("P1", Rule::Panic),
         ("lossy-cast", Rule::LossyCast),

@@ -1,0 +1,199 @@
+//! Deadline admission and overload accounting at the daemon edge.
+//!
+//! **The wall-clock doctrine (DESIGN.md §16).** Planning is deterministic:
+//! inside the pipeline, time may only appear as the coarse, plan-relevant
+//! [`atomic_dataflow::PlanBudget`] gates (ad-lint D2 enforces this). A
+//! *serving* daemon, however, must answer the question "can this request
+//! still be useful to its client?" — and that question is inherently
+//! wall-clock. This module is the one place in the serving crate where
+//! reading the clock is sanctioned: admission decisions happen strictly
+//! *before* planning starts, so the answer can influence only **whether**
+//! a request runs, never **what** any plan contains. The per-request
+//! admission deadline therefore also stays out of
+//! [`atomic_dataflow::request::config_fingerprint`] — two requests
+//! differing only in edge deadline share one cache entry.
+//!
+//! [`EdgeClock`] is an opaque origin timestamp (accept time of the
+//! connection, or read time of a follow-up request line); [`Admission`]
+//! counts admitted work and every typed refusal, and carries the drain
+//! flag a graceful shutdown raises.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant; // ad-lint: allow(d2) — daemon edge: admission only, never inside planning
+
+use ad_util::Json;
+use atomic_dataflow::AdmissionRefusal;
+
+/// An opaque wall-clock origin for one unit of edge work. Constructed
+/// when a connection is accepted or a request line is read; consulted
+/// only to decide admission.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeClock {
+    origin: Instant, // ad-lint: allow(d2) — daemon edge: admission only
+}
+
+impl EdgeClock {
+    /// The current instant as an origin.
+    #[allow(clippy::new_without_default)]
+    pub fn now() -> Self {
+        Self {
+            origin: Instant::now(), // ad-lint: allow(d2) — daemon edge: admission only
+        }
+    }
+
+    /// Whole milliseconds elapsed since the origin (saturating).
+    pub fn waited_ms(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Checks a deadline of `deadline_ms` against this origin: `Ok` while
+    /// time remains, otherwise the typed refusal carrying how long the
+    /// request actually waited.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionRefusal::DeadlineExceeded`] once the deadline passed.
+    pub fn check_deadline(&self, deadline_ms: u64) -> Result<(), AdmissionRefusal> {
+        let waited_ms = self.waited_ms();
+        if waited_ms > deadline_ms {
+            Err(AdmissionRefusal::DeadlineExceeded {
+                deadline_ms,
+                waited_ms,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Edge counters plus the drain flag. One instance per daemon run; every
+/// refusal written to a client increments exactly one counter here, so
+/// the `stats` op and the chaos harness can audit refusal behavior.
+#[derive(Debug, Default)]
+pub struct Admission {
+    draining: AtomicBool,
+    admitted: AtomicU64,
+    refused_overloaded: AtomicU64,
+    refused_deadline: AtomicU64,
+    refused_shutdown: AtomicU64,
+}
+
+impl Admission {
+    /// Fresh counters, not draining.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one admitted request (planning may start).
+    pub fn note_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one refusal of the given kind.
+    pub fn note_refusal(&self, refusal: &AdmissionRefusal) {
+        let c = match refusal {
+            AdmissionRefusal::Overloaded { .. } => &self.refused_overloaded,
+            AdmissionRefusal::DeadlineExceeded { .. } => &self.refused_deadline,
+            AdmissionRefusal::ShuttingDown => &self.refused_shutdown,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the drain flag: new and queued work is refused with
+    /// [`AdmissionRefusal::ShuttingDown`]; in-flight work completes.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the daemon is draining for shutdown.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Refuses when draining.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionRefusal::ShuttingDown`] once [`Admission::begin_drain`]
+    /// was called.
+    pub fn check_draining(&self) -> Result<(), AdmissionRefusal> {
+        if self.is_draining() {
+            Err(AdmissionRefusal::ShuttingDown)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The counters as a [`Json`] object (nested under `admission` in the
+    /// `stats` op payload).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "admitted".into(),
+                Json::from(self.admitted.load(Ordering::Relaxed)),
+            ),
+            (
+                "refused_overloaded".into(),
+                Json::from(self.refused_overloaded.load(Ordering::Relaxed)),
+            ),
+            (
+                "refused_deadline".into(),
+                Json::from(self.refused_deadline.load(Ordering::Relaxed)),
+            ),
+            (
+                "refused_shutdown".into(),
+                Json::from(self.refused_shutdown.load(Ordering::Relaxed)),
+            ),
+            ("draining".into(), Json::Bool(self.is_draining())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_zero_refuses_with_waited_time() {
+        let clock = EdgeClock::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        match clock.check_deadline(0) {
+            Err(AdmissionRefusal::DeadlineExceeded {
+                deadline_ms,
+                waited_ms,
+            }) => {
+                assert_eq!(deadline_ms, 0);
+                assert!(waited_ms >= 1);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // A generous deadline admits.
+        assert!(clock.check_deadline(60_000).is_ok());
+    }
+
+    #[test]
+    fn refusal_counters_track_each_kind() {
+        let a = Admission::new();
+        a.note_admitted();
+        a.note_refusal(&AdmissionRefusal::Overloaded {
+            queued: 3,
+            max_queue: 2,
+        });
+        a.note_refusal(&AdmissionRefusal::ShuttingDown);
+        a.note_refusal(&AdmissionRefusal::ShuttingDown);
+        let j = a.to_json();
+        assert_eq!(j.get("admitted").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("refused_overloaded").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("refused_deadline").and_then(Json::as_u64), Some(0));
+        assert_eq!(j.get("refused_shutdown").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn drain_flag_flips_admission() {
+        let a = Admission::new();
+        assert!(a.check_draining().is_ok());
+        a.begin_drain();
+        assert_eq!(a.check_draining(), Err(AdmissionRefusal::ShuttingDown));
+        assert!(a.is_draining());
+    }
+}

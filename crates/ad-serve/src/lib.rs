@@ -13,8 +13,17 @@
 //!   repeated identical requests are byte-identical by construction.
 //! * **Single-flight** — concurrent identical requests plan once: the
 //!   first marks the key in-flight, the rest wait on a [`Condvar`] and
-//!   then read the cached entry. If planning fails, the key is released
-//!   and the next waiter takes over.
+//!   then read the cached entry. Every planning attempt carries a
+//!   generation counter: if the attempt fails, exactly the threads that
+//!   waited on *that* generation inherit its error (no thundering-herd
+//!   replan), while a request arriving after the failure never observes
+//!   the stale error — it simply starts the next attempt.
+//! * **Crash-safe persistence** (optional, [`PlanStore::open`]) — every
+//!   fresh entry is appended to a checksummed write-ahead log and folded
+//!   into an atomically-renamed snapshot by periodic compaction
+//!   ([`persist`]). A restart — graceful or `kill -9` — recovers every
+//!   fully-appended entry byte-identically; torn tails and corrupt
+//!   records are dropped and counted, never served.
 //! * **Warm start** — a second index keyed by
 //!   ([`Graph::canonical_fingerprint`],
 //!   [`request::batchless_config_fingerprint`]) finds the cached plan of
@@ -46,19 +55,25 @@
 //! Ops: `plan` (fields `model`, optional `batch`/`strategy`/`hw`/`fast`/
 //! `validate`/`budget`), `stats` (cache counters), `shutdown`.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-use ad_util::{Fingerprint, Json, WorkerPool};
+use ad_util::{BoundedQueue, Fingerprint, Json, PushError, WorkerPool};
 use atomic_dataflow::{
-    request, AtomSpec, OptimizerConfig, PipelineError, PlanBudget, PlanRequest, Strategy,
-    ValidateMode,
+    request, AdmissionRefusal, AtomSpec, OptimizerConfig, PipelineError, PlanBudget, PlanRequest,
+    Strategy, ValidateMode,
 };
 use dnn_graph::{models, Graph};
 use engine_model::HardwareConfig;
+
+pub mod admission;
+pub mod persist;
+
+pub use admission::{Admission, EdgeClock};
+pub use persist::{Persist, PersistStats, PlanRecord};
 
 /// Key of the content-addressed cache: (graph fingerprint, config
 /// fingerprint). Equal keys describe the same planning problem.
@@ -104,6 +119,9 @@ pub struct StoreStats {
     pub evictions: u64,
     /// Misses seeded from a batch neighbor.
     pub warm_starts: u64,
+    /// Requests that inherited the typed error of the failed planning
+    /// attempt they waited on (single-flight failure propagation).
+    pub shared_failures: u64,
 }
 
 impl StoreStats {
@@ -115,6 +133,7 @@ impl StoreStats {
             ("misses".into(), Json::from(self.misses)),
             ("evictions".into(), Json::from(self.evictions)),
             ("warm_starts".into(), Json::from(self.warm_starts)),
+            ("shared_failures".into(), Json::from(self.shared_failures)),
         ])
     }
 }
@@ -126,22 +145,49 @@ struct Entry {
     /// warm-started neighbor request reuses.
     specs: Option<Arc<Vec<AtomSpec>>>,
     warm_key: WarmKey,
+    /// Batch size of the request (warm-index coordinate; persisted).
+    batch: usize,
     /// Logical LRU stamp (ticks, not wall time: ad-lint D2).
     last_used: u64,
+}
+
+/// One in-progress planning attempt for a key.
+struct Flight {
+    /// Attempt generation — globally monotonic, so a waiter can tell the
+    /// attempt it waited on apart from any earlier or later one.
+    gen: u64,
+    /// Threads currently waiting on this attempt.
+    waiters: usize,
+}
+
+/// The error of a failed attempt, kept exactly until every thread that
+/// waited on that attempt has inherited it. A request arriving *after*
+/// the failure carries no matching generation and never observes it.
+struct FailedAttempt {
+    gen: u64,
+    remaining: usize,
+    error: Arc<dyn std::any::Any + Send + Sync>,
 }
 
 #[derive(Default)]
 struct Inner {
     cache: BTreeMap<CacheKey, Entry>,
     /// Keys currently being planned (single-flight).
-    inflight: BTreeSet<CacheKey>,
+    inflight: BTreeMap<CacheKey, Flight>,
+    /// Failed attempts whose waiters have not all inherited the error yet.
+    failed: BTreeMap<CacheKey, FailedAttempt>,
     /// Warm-start neighbor index: entries per batch-insensitive key.
     warm: BTreeMap<WarmKey, Vec<(usize, CacheKey)>>,
+    /// Monotonic attempt counter feeding [`Flight::gen`].
+    attempt_gen: u64,
     tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
     warm_starts: u64,
+    shared_failures: u64,
+    /// Durability backend; `None` for a memory-only store.
+    persist: Option<Persist>,
 }
 
 /// The content-addressed plan cache with single-flight miss resolution.
@@ -152,14 +198,72 @@ pub struct PlanStore {
 }
 
 impl PlanStore {
-    /// A store holding at most `capacity` plans (clamped to ≥ 1); least-
-    /// recently-used entries are evicted beyond that.
+    /// A memory-only store holding at most `capacity` plans (clamped to
+    /// ≥ 1); least-recently-used entries are evicted beyond that.
     pub fn new(capacity: usize) -> Self {
         Self {
             inner: Mutex::new(Inner::default()),
             cv: Condvar::new(),
             capacity: capacity.max(1),
         }
+    }
+
+    /// A persistent store backed by `dir` (see [`persist`]): recovers
+    /// every valid entry from the snapshot + WAL there, truncating any
+    /// torn tail, and appends each fresh plan to the WAL from now on.
+    /// Recovered hits are byte-identical to the responses that first
+    /// produced them. If recovery finds more entries than `capacity`, the
+    /// least recently appended are evicted (and remain only in the files
+    /// until the next compaction).
+    ///
+    /// # Errors
+    ///
+    /// Directory creation or file I/O errors. Torn or corrupt log content
+    /// is *not* an error — it is dropped and counted in
+    /// [`PlanStore::persist_stats`].
+    pub fn open(capacity: usize, dir: &std::path::Path) -> std::io::Result<Self> {
+        let (persist, records) = Persist::open(dir)?;
+        let mut inner = Inner {
+            persist: Some(persist),
+            ..Inner::default()
+        };
+        for rec in records {
+            let key = (rec.graph_fp, rec.config_fp);
+            let warm_key = (rec.graph_fp, rec.warm_cfg_fp);
+            inner.tick += 1;
+            let tick = inner.tick;
+            let has_specs = rec.specs.is_some();
+            if let Some(old) = inner.cache.insert(
+                key,
+                Entry {
+                    plan: rec.plan,
+                    specs: rec.specs.map(Arc::new),
+                    warm_key,
+                    batch: rec.batch,
+                    last_used: tick,
+                },
+            ) {
+                // Replay overwrote an older record for the same key: drop
+                // its warm link so the index holds each entry once.
+                unlink_warm(&mut inner, old.warm_key, key);
+            }
+            if has_specs {
+                inner
+                    .warm
+                    .entry(warm_key)
+                    .or_default()
+                    .push((rec.batch, key));
+            }
+        }
+        let capacity = capacity.max(1);
+        while inner.cache.len() > capacity {
+            evict_lru(&mut inner);
+        }
+        Ok(Self {
+            inner: Mutex::new(inner),
+            cv: Condvar::new(),
+            capacity,
+        })
     }
 
     /// Current counter snapshot.
@@ -171,7 +275,23 @@ impl PlanStore {
             misses: g.misses,
             evictions: g.evictions,
             warm_starts: g.warm_starts,
+            shared_failures: g.shared_failures,
         }
+    }
+
+    /// Durability counters, or `None` for a memory-only store.
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        lock(&self.inner).persist.as_ref().map(Persist::stats)
+    }
+
+    /// Threads registered on the in-flight attempt for `key` (tests only:
+    /// lets a race-free test wait until a waiter is actually parked).
+    #[cfg(test)]
+    fn waiters_on(&self, key: CacheKey) -> usize {
+        lock(&self.inner)
+            .inflight
+            .get(&key)
+            .map_or(0, |f| f.waiters)
     }
 
     /// Returns the cached plan for (`graph`, `cfg`, `strategy`) or plans it
@@ -232,7 +352,16 @@ impl PlanStore {
 
     /// Cache/single-flight core, generic over the planning function so the
     /// concurrency semantics are testable without running the pipeline.
-    fn resolve<E>(
+    ///
+    /// Failure semantics (the generation protocol): every attempt gets a
+    /// globally monotonic generation. A thread that finds the key in
+    /// flight records the attempt's generation and waits. If that exact
+    /// attempt fails, each of its waiters inherits the typed error once
+    /// (counted in [`StoreStats::shared_failures`]); the error is dropped
+    /// as soon as the last such waiter has consumed it. A thread arriving
+    /// after the failure holds no matching generation, so it can never
+    /// observe the stale error — it starts (or waits on) the next attempt.
+    fn resolve<E: Clone + Send + Sync + 'static>(
         &self,
         graph_fp: Fingerprint,
         config_fp: Fingerprint,
@@ -245,9 +374,27 @@ impl PlanStore {
         let key = (graph_fp, config_fp);
         let warm_seed = {
             let mut g = lock(&self.inner);
+            // Generation of the attempt this thread is waiting on, if any.
+            let mut waited: Option<u64> = None;
             loop {
                 g.tick += 1;
                 let tick = g.tick;
+                // Consume this thread's share of the error of the attempt
+                // it waited on — before anything else, so the accounting
+                // is exact even if the cache can serve meanwhile.
+                let mut inherited: Option<Arc<dyn std::any::Any + Send + Sync>> = None;
+                if let Some(gen) = waited {
+                    if let Some(f) = g.failed.get_mut(&key) {
+                        if f.gen == gen {
+                            inherited = Some(f.error.clone());
+                            f.remaining = f.remaining.saturating_sub(1);
+                            if f.remaining == 0 {
+                                g.failed.remove(&key);
+                            }
+                            waited = None;
+                        }
+                    }
+                }
                 if let Some(e) = g.cache.get_mut(&key) {
                     e.last_used = tick;
                     let plan = e.plan.clone();
@@ -260,13 +407,29 @@ impl PlanStore {
                         config_fp,
                     });
                 }
-                if g.inflight.contains(&key) {
+                if let Some(err) = inherited {
+                    if let Some(e) = err.downcast_ref::<E>() {
+                        g.shared_failures += 1;
+                        return Err(e.clone());
+                    }
+                    // Error type mismatch (only possible when one store is
+                    // driven with several `E` types): fall through and
+                    // retry as a planner rather than lose the request.
+                }
+                if let Some(fl) = g.inflight.get_mut(&key) {
                     // Single-flight: an identical request is planning right
-                    // now — wait for it and re-check the cache.
+                    // now — register on its generation (once) and wait.
+                    if waited != Some(fl.gen) {
+                        fl.waiters += 1;
+                        waited = Some(fl.gen);
+                    }
                     g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
                     continue;
                 }
-                g.inflight.insert(key);
+                // No cache entry, no in-flight attempt: become the planner.
+                g.attempt_gen += 1;
+                let gen = g.attempt_gen;
+                g.inflight.insert(key, Flight { gen, waiters: 0 });
                 g.misses += 1;
                 let seed = nearest_warm(&g, warm_key, batch, key);
                 if seed.is_some() {
@@ -277,30 +440,40 @@ impl PlanStore {
         };
 
         // Plan outside the lock; identical concurrent requests block on the
-        // condvar, everything else proceeds in parallel.
+        // condvar, everything else proceeds in parallel. The guard releases
+        // the flight even if `compute` panics, so waiters never hang.
+        let mut guard = FlightGuard {
+            store: self,
+            key,
+            armed: true,
+        };
         let result = compute(warm_seed.clone());
+        guard.armed = false;
 
         let mut g = lock(&self.inner);
-        g.inflight.remove(&key);
+        let flight = g.inflight.remove(&key);
         let out = match result {
             Ok((plan, specs)) => {
                 g.tick += 1;
                 let tick = g.tick;
                 let has_specs = specs.is_some();
-                g.cache.insert(
-                    key,
-                    Entry {
-                        plan: plan.clone(),
-                        specs,
-                        warm_key,
-                        last_used: tick,
-                    },
-                );
+                let entry = Entry {
+                    plan: plan.clone(),
+                    specs,
+                    warm_key,
+                    batch,
+                    last_used: tick,
+                };
+                let rec = g.persist.is_some().then(|| record_of(key, &entry));
+                g.cache.insert(key, entry);
                 if has_specs {
                     g.warm.entry(warm_key).or_default().push((batch, key));
                 }
                 while g.cache.len() > self.capacity {
                     evict_lru(&mut g);
+                }
+                if let Some(rec) = rec {
+                    persist_insert(&mut g, &rec);
                 }
                 Ok(ServeOutcome {
                     plan,
@@ -310,13 +483,84 @@ impl PlanStore {
                     config_fp,
                 })
             }
-            // The failed key is released above; the next waiter re-checks
-            // the cache, finds neither entry nor in-flight mark, and plans.
-            Err(e) => Err(e),
+            Err(e) => {
+                // Leave the typed error for exactly the threads that
+                // waited on this attempt; with no waiters there is nothing
+                // to leave, and the key is simply free again.
+                if let Some(fl) = flight {
+                    if fl.waiters > 0 {
+                        g.failed.insert(
+                            key,
+                            FailedAttempt {
+                                gen: fl.gen,
+                                remaining: fl.waiters,
+                                error: Arc::new(e.clone()),
+                            },
+                        );
+                    }
+                }
+                Err(e)
+            }
         };
         drop(g);
         self.cv.notify_all();
         out
+    }
+}
+
+/// Releases a planning flight when the compute closure unwinds, so waiting
+/// threads retry instead of blocking forever behind a dead planner.
+struct FlightGuard<'a> {
+    store: &'a PlanStore,
+    key: CacheKey,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut g = lock(&self.store.inner);
+        g.inflight.remove(&self.key);
+        drop(g);
+        self.store.cv.notify_all();
+    }
+}
+
+/// The durable record of one cache entry.
+fn record_of(key: CacheKey, e: &Entry) -> PlanRecord {
+    PlanRecord {
+        graph_fp: key.0,
+        config_fp: key.1,
+        warm_cfg_fp: e.warm_key.1,
+        batch: e.batch,
+        specs: e.specs.as_ref().map(|s| s.as_ref().clone()),
+        plan: e.plan.clone(),
+    }
+}
+
+/// Appends a fresh entry to the WAL and compacts when it has outgrown the
+/// live set. Persistence failures are counted and swallowed — the cache
+/// keeps serving from memory.
+fn persist_insert(g: &mut Inner, rec: &PlanRecord) {
+    let entries = g.cache.len();
+    let mut compact_input: Option<Vec<PlanRecord>> = None;
+    if let Some(p) = g.persist.as_mut() {
+        if p.append(rec).is_err() {
+            p.note_io_error();
+        }
+        if p.wants_compaction(entries) {
+            compact_input = Some(Vec::with_capacity(entries));
+        }
+    }
+    if let Some(mut recs) = compact_input {
+        recs.extend(g.cache.iter().map(|(k, e)| record_of(*k, e)));
+        if let Some(p) = g.persist.as_mut() {
+            if p.compact(recs.iter()).is_err() {
+                p.note_io_error();
+            }
+        }
     }
 }
 
@@ -345,6 +589,8 @@ fn nearest_warm(
 }
 
 /// Drops the least-recently-used entry and unlinks it from the warm index.
+/// For a persistent store the entry's records stay in the files until the
+/// next compaction rewrites the snapshot from the live set.
 fn evict_lru(inner: &mut Inner) {
     let victim = inner
         .cache
@@ -355,13 +601,18 @@ fn evict_lru(inner: &mut Inner) {
     let Some(e) = inner.cache.remove(&k) else {
         return;
     };
-    if let Some(v) = inner.warm.get_mut(&e.warm_key) {
-        v.retain(|&(_, key)| key != k);
+    unlink_warm(inner, e.warm_key, k);
+    inner.evictions += 1;
+}
+
+/// Removes `key`'s link under `warm_key` from the warm-start index.
+fn unlink_warm(inner: &mut Inner, warm_key: WarmKey, key: CacheKey) {
+    if let Some(v) = inner.warm.get_mut(&warm_key) {
+        v.retain(|&(_, k)| k != key);
         if v.is_empty() {
-            inner.warm.remove(&e.warm_key);
+            inner.warm.remove(&warm_key);
         }
     }
-    inner.evictions += 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -377,6 +628,12 @@ pub struct ServerConfig {
     pub fast: bool,
     /// Worker threads handling connections.
     pub workers: usize,
+    /// Default admission deadline for requests that carry no
+    /// `deadline_ms` field; `None` admits regardless of wait time.
+    pub deadline_ms: Option<u64>,
+    /// Bound on connections accepted but not yet picked up by a worker;
+    /// beyond it, new connections receive a typed `overloaded` refusal.
+    pub max_queue: usize,
 }
 
 impl Default for ServerConfig {
@@ -385,6 +642,8 @@ impl Default for ServerConfig {
             base_hw: HardwareConfig::paper_default(),
             fast: false,
             workers: 4,
+            deadline_ms: None,
+            max_queue: 64,
         }
     }
 }
@@ -407,6 +666,24 @@ impl Reply {
     }
 }
 
+/// Everything one request line is handled against: the store, the daemon
+/// settings, and the optional edge state (pool, admission counters, and
+/// the wall-clock origin of this request for deadline checks).
+pub struct ServeCtx<'a> {
+    /// The shared plan cache.
+    pub store: &'a PlanStore,
+    /// Daemon settings.
+    pub sc: &'a ServerConfig,
+    /// Shared worker pool for the planning fan-out of misses.
+    pub pool: Option<&'a Arc<WorkerPool>>,
+    /// Edge refusal counters + drain flag (daemon path only).
+    pub admission: Option<&'a Admission>,
+    /// Wall-clock origin of this request (accept time for the first
+    /// request on a connection, read time after that). Without it,
+    /// deadline admission is skipped — the request has waited nowhere.
+    pub clock: Option<EdgeClock>,
+}
+
 /// Handles one request line and produces the response line. Pure protocol
 /// logic — the TCP plumbing in [`serve`] is a thin wrapper, and tests can
 /// drive the daemon without a socket.
@@ -423,15 +700,30 @@ pub fn handle_line_pooled(
     sc: &ServerConfig,
     pool: Option<&Arc<WorkerPool>>,
 ) -> Reply {
+    handle_request(
+        &ServeCtx {
+            store,
+            sc,
+            pool,
+            admission: None,
+            clock: None,
+        },
+        line,
+    )
+}
+
+/// Full request handler: [`handle_line`] plus deadline admission, drain
+/// refusal, and edge accounting when the context carries them.
+pub fn handle_request(ctx: &ServeCtx<'_>, line: &str) -> Reply {
     let doc = match Json::parse(line) {
         Ok(d) => d,
         Err(e) => return Reply::Line(err_line(&format!("bad request JSON: {e}"))),
     };
     match doc.get("op").and_then(Json::as_str) {
-        Some("plan") => Reply::Line(handle_plan(&doc, store, sc, pool)),
+        Some("plan") => Reply::Line(handle_plan(&doc, ctx)),
         Some("stats") => Reply::Line(format!(
             "{{\"ok\":true,\"stats\":{}}}",
-            store.stats().to_json().to_compact()
+            stats_json(ctx).to_compact()
         )),
         Some("shutdown") => Reply::Shutdown("{\"ok\":true,\"shutdown\":true}".to_string()),
         Some(other) => Reply::Line(err_line(&format!(
@@ -441,17 +733,58 @@ pub fn handle_line_pooled(
     }
 }
 
-fn handle_plan(
-    doc: &Json,
-    store: &PlanStore,
-    sc: &ServerConfig,
-    pool: Option<&Arc<WorkerPool>>,
-) -> String {
-    let (graph, cfg, strategy) = match parse_plan(doc, sc) {
+/// The `stats` payload: store counters, plus durability and admission
+/// counters when present.
+fn stats_json(ctx: &ServeCtx<'_>) -> Json {
+    let mut fields = match ctx.store.stats().to_json() {
+        Json::Obj(v) => v,
+        other => return other,
+    };
+    if let Some(ps) = ctx.store.persist_stats() {
+        fields.push(("persist".into(), ps.to_json()));
+    }
+    if let Some(a) = ctx.admission {
+        fields.push(("admission".into(), a.to_json()));
+    }
+    Json::Obj(fields)
+}
+
+fn handle_plan(doc: &Json, ctx: &ServeCtx<'_>) -> String {
+    // Admission runs before any planning work: a daemon that cannot
+    // usefully serve the request answers with a typed refusal instead of
+    // queueing it into a timeout.
+    if let Some(a) = ctx.admission {
+        if let Err(r) = a.check_draining() {
+            a.note_refusal(&r);
+            return refusal_line(&r);
+        }
+    }
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => ctx.sc.deadline_ms,
+        Some(v) => match v.as_u64() {
+            Some(n) => Some(n),
+            None => return err_line("`deadline_ms` must be a non-negative integer"),
+        },
+    };
+    if let (Some(limit), Some(clock)) = (deadline_ms, ctx.clock) {
+        if let Err(r) = clock.check_deadline(limit) {
+            if let Some(a) = ctx.admission {
+                a.note_refusal(&r);
+            }
+            return refusal_line(&r);
+        }
+    }
+    let (graph, cfg, strategy) = match parse_plan(doc, ctx.sc) {
         Ok(x) => x,
         Err(e) => return err_line(&e),
     };
-    match store.get_or_plan_pooled(&graph, cfg, strategy, pool) {
+    if let Some(a) = ctx.admission {
+        a.note_admitted();
+    }
+    match ctx
+        .store
+        .get_or_plan_pooled(&graph, cfg, strategy, ctx.pool)
+    {
         // The plan payload is spliced in verbatim (it is already compact
         // JSON), so cache hits return byte-identical plan bytes.
         Ok(out) => format!(
@@ -467,6 +800,17 @@ fn err_line(msg: &str) -> String {
     Json::Obj(vec![
         ("ok".into(), Json::Bool(false)),
         ("error".into(), Json::Str(msg.into())),
+    ])
+    .to_compact()
+}
+
+/// A typed admission refusal as a response line: `refused` carries the
+/// stable kind tag, `error` the human-readable reason.
+fn refusal_line(r: &AdmissionRefusal) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("refused".into(), Json::Str(r.kind().into())),
+        ("error".into(), Json::Str(r.to_string())),
     ])
     .to_compact()
 }
@@ -537,17 +881,32 @@ fn parse_plan(doc: &Json, sc: &ServerConfig) -> Result<(Graph, OptimizerConfig, 
 // Daemon
 // ---------------------------------------------------------------------------
 
+/// A connection waiting for a worker, stamped with its accept time so the
+/// first request's deadline accounts for the queue wait.
+struct QueuedConn {
+    conn: TcpStream,
+    clock: EdgeClock,
+}
+
 /// Runs the accept loop until a `shutdown` op arrives.
 ///
-/// One shared [`WorkerPool`] carries the whole daemon: accepted
-/// connections are submitted as pool tasks ([`WorkerPool::run_tasks`]),
+/// One shared [`WorkerPool`] carries the whole daemon: `workers`
+/// long-lived pool tasks drain a [`BoundedQueue`] of accepted connections,
 /// and each miss's planning fan-out reuses the *same* pool
 /// ([`PlanRequest::with_pool`]). The accept loop occupies the pool's
 /// caller slot, so the pool is sized `workers + 1` and the live thread
-/// count is bounded by `workers` handler threads for the daemon's whole
-/// lifetime — no thread is ever spawned per request, and every worker
-/// joins before this function returns (the scoped-thread discipline,
-/// ad-lint D3).
+/// count is bounded for the daemon's whole lifetime; every worker joins
+/// before this function returns (the scoped-thread discipline, ad-lint
+/// D3).
+///
+/// Overload and shutdown degrade by *refusing*, never by queueing
+/// unboundedly or timing out silently:
+///
+/// * A connection arriving while [`ServerConfig::max_queue`] connections
+///   wait receives a typed `overloaded` refusal line and is closed.
+/// * On shutdown, in-flight connections (including their single-flight
+///   planning misses) run to completion, while queued-but-unstarted
+///   connections receive a `shutting_down` refusal.
 ///
 /// # Errors
 ///
@@ -556,39 +915,106 @@ fn parse_plan(doc: &Json, sc: &ServerConfig) -> Result<(Graph, OptimizerConfig, 
 pub fn serve(listener: &TcpListener, store: &PlanStore, sc: &ServerConfig) -> std::io::Result<()> {
     let addr = listener.local_addr()?;
     let stop = AtomicBool::new(false);
-    let pool = Arc::new(WorkerPool::new(sc.workers.max(1) + 1));
+    let admission = Admission::new();
+    let queue: BoundedQueue<QueuedConn> = BoundedQueue::new(sc.max_queue.max(1));
+    let workers = sc.workers.max(1);
+    let pool = Arc::new(WorkerPool::new(workers + 1));
     pool.run_tasks(|s| {
-        let (stop, pool) = (&stop, &pool);
+        let (stop, pool, queue, admission) = (&stop, &pool, &queue, &admission);
+        for _ in 0..workers {
+            s.submit(move || {
+                while let Some(item) = queue.pop() {
+                    // A connection still queued when shutdown began is
+                    // refused, not served: only work that was already
+                    // in flight at that point runs to completion.
+                    if stop.load(Ordering::SeqCst) {
+                        let r = AdmissionRefusal::ShuttingDown;
+                        admission.note_refusal(&r);
+                        refuse_connection(item.conn, &r);
+                        continue;
+                    }
+                    serve_connection(item, store, sc, stop, addr, pool, admission);
+                }
+            });
+        }
         for conn in listener.incoming() {
             if stop.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(conn) = conn else { continue };
-            s.submit(move || serve_connection(conn, store, sc, stop, addr, pool));
+            let item = QueuedConn {
+                conn,
+                clock: EdgeClock::now(),
+            };
+            match queue.try_push(item) {
+                Ok(()) => {}
+                Err(PushError::Full(item)) => {
+                    let r = AdmissionRefusal::Overloaded {
+                        queued: queue.len(),
+                        max_queue: queue.capacity(),
+                    };
+                    admission.note_refusal(&r);
+                    refuse_connection(item.conn, &r);
+                }
+                Err(PushError::Closed(item)) => {
+                    let r = AdmissionRefusal::ShuttingDown;
+                    admission.note_refusal(&r);
+                    refuse_connection(item.conn, &r);
+                }
+            }
+        }
+        // Graceful drain: raise the flag, hand back the unstarted backlog
+        // and refuse each connection in it. Workers exit once the closed
+        // queue is empty; in-flight connections complete before
+        // `run_tasks` returns.
+        admission.begin_drain();
+        for item in queue.close() {
+            let r = AdmissionRefusal::ShuttingDown;
+            admission.note_refusal(&r);
+            refuse_connection(item.conn, &r);
         }
     });
     Ok(())
 }
 
+/// Writes one typed refusal line and closes the connection.
+fn refuse_connection(mut conn: TcpStream, r: &AdmissionRefusal) {
+    let _ = writeln!(conn, "{}", refusal_line(r));
+    let _ = conn.flush();
+}
+
 /// Serves one connection: a sequence of request lines until EOF.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
-    conn: TcpStream,
+    item: QueuedConn,
     store: &PlanStore,
     sc: &ServerConfig,
     stop: &AtomicBool,
     addr: SocketAddr,
     pool: &Arc<WorkerPool>,
+    admission: &Admission,
 ) {
+    let QueuedConn { conn, clock } = item;
     let Ok(read_half) = conn.try_clone() else {
         return;
     };
     let mut writer = conn;
+    // The first request's deadline runs from accept time (it includes the
+    // queue wait); follow-up requests run from their read time.
+    let mut first_clock = Some(clock);
     for line in BufReader::new(read_half).lines() {
         let Ok(line) = line else { return };
         if line.trim().is_empty() {
             continue;
         }
-        match handle_line_pooled(&line, store, sc, Some(pool)) {
+        let ctx = ServeCtx {
+            store,
+            sc,
+            pool: Some(pool),
+            admission: Some(admission),
+            clock: Some(first_clock.take().unwrap_or_else(EdgeClock::now)),
+        };
+        match handle_request(&ctx, &line) {
             Reply::Line(resp) => {
                 if writeln!(writer, "{resp}").is_err() {
                     return;
@@ -719,6 +1145,147 @@ mod tests {
             .unwrap();
         assert!(!out.warm_started);
         assert_eq!(store.stats().warm_starts, 1);
+    }
+
+    /// Spins until `cond` holds (the condition is made true by another
+    /// thread that is guaranteed to run; the sleep only yields the CPU).
+    fn wait_until(cond: impl Fn() -> bool) {
+        while !cond() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Regression test for the single-flight failure race: the error of a
+    /// failed attempt must reach exactly the threads that waited on *that*
+    /// attempt, and a request arriving after the failure must plan fresh —
+    /// never inherit the stale error.
+    #[test]
+    fn failed_attempt_error_reaches_only_its_own_waiters() {
+        let store = PlanStore::new(8);
+        let key = (fp(1), fp(2));
+        let wk = (fp(1), fp(3));
+        let a_entered = AtomicBool::new(false);
+        let a_release = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            // A becomes the planner and parks inside its compute closure.
+            let a = s.spawn(|| {
+                store.resolve(key.0, key.1, wk, 1, |_| {
+                    a_entered.store(true, Ordering::SeqCst);
+                    while !a_release.load(Ordering::SeqCst) {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    Err::<(String, _), &str>("boom")
+                })
+            });
+            wait_until(|| a_entered.load(Ordering::SeqCst));
+
+            // B finds the key in flight and registers on A's generation.
+            let b = s.spawn(|| {
+                store.resolve(key.0, key.1, wk, 1, |_| {
+                    Ok::<_, &str>(("fresh-B".to_string(), None))
+                })
+            });
+            wait_until(|| store.waiters_on(key) == 1);
+
+            // A fails; B must inherit exactly that error.
+            a_release.store(true, Ordering::SeqCst);
+            assert_eq!(a.join().unwrap().unwrap_err(), "boom");
+            assert_eq!(b.join().unwrap().unwrap_err(), "boom");
+        });
+        assert_eq!(store.stats().shared_failures, 1);
+
+        // C arrives after the failure: no matching generation, so it can
+        // never observe the stale error — it plans fresh and succeeds.
+        let c = store
+            .resolve(key.0, key.1, wk, 1, |_| {
+                Ok::<_, &str>(("fresh-C".to_string(), None))
+            })
+            .unwrap();
+        assert!(!c.cached);
+        assert_eq!(c.plan, "fresh-C");
+        let st = store.stats();
+        assert_eq!(st.shared_failures, 1, "C must not inherit the old error");
+        assert_eq!(st.misses, 2, "A and C planned; B inherited");
+    }
+
+    /// A fresh scratch directory under the target-adjacent temp dir.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ad-serve-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persistent_store_recovers_entries_byte_identically() {
+        let dir = scratch_dir("recover");
+        let plan = "{\"p\":1,\"cost\":0.5}".to_string();
+        {
+            let store = PlanStore::open(8, &dir).unwrap();
+            let specs = Arc::new(vec![AtomSpec {
+                th: 7,
+                tw: 3,
+                tc: 16,
+            }]);
+            store
+                .resolve(fp(1), fp(2), (fp(1), fp(3)), 1, |_| {
+                    Ok::<_, ()>((plan.clone(), Some(specs)))
+                })
+                .unwrap();
+            store
+                .resolve(fp(4), fp(5), (fp(4), fp(6)), 2, |_| {
+                    Ok::<_, ()>(("{\"p\":2}".to_string(), None))
+                })
+                .unwrap();
+        }
+        // A new store over the same directory serves both entries as hits,
+        // byte-identical, without running compute at all.
+        let store = PlanStore::open(8, &dir).unwrap();
+        assert_eq!(store.stats().entries, 2);
+        assert!(store.persist_stats().unwrap().is_clean_load());
+        let out = store
+            .resolve(fp(1), fp(2), (fp(1), fp(3)), 1, |_| {
+                Err::<(String, _), &str>("recovered entry must not recompute")
+            })
+            .unwrap();
+        assert!(out.cached);
+        assert_eq!(out.plan, plan);
+        // The recovered warm index still seeds batch neighbors.
+        let out = store
+            .resolve(fp(1), fp(9), (fp(1), fp(3)), 4, |w| {
+                assert!(w.is_some(), "recovered specs must seed the neighbor");
+                Ok::<_, ()>(("{}".to_string(), None))
+            })
+            .unwrap();
+        assert!(out.warm_started);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_with_a_smaller_capacity_clamps_by_eviction() {
+        let dir = scratch_dir("clamp");
+        {
+            let store = PlanStore::open(8, &dir).unwrap();
+            for k in 1..=4 {
+                store
+                    .resolve(fp(k), fp(0), (fp(k), fp(0)), 1, |_| {
+                        Ok::<_, ()>((format!("{{\"k\":{k}}}"), None))
+                    })
+                    .unwrap();
+            }
+        }
+        let store = PlanStore::open(2, &dir).unwrap();
+        let st = store.stats();
+        assert_eq!((st.entries, st.evictions), (2, 2));
+        // The most recently appended entries survive the clamp.
+        let out = store
+            .resolve(fp(4), fp(0), (fp(4), fp(0)), 1, |_| {
+                Ok::<_, ()>((String::new(), None))
+            })
+            .unwrap();
+        assert!(out.cached);
+        assert_eq!(out.plan, "{\"k\":4}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

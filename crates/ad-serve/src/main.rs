@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ad-serve [--addr=HOST:PORT] [--workers=N] [--capacity=N]
+//!          [--cache-dir=PATH] [--deadline-ms=N] [--max-queue=N]
 //!          [--hw=PATH] [--fast] [--summary=PATH] [--smoke]
 //! ```
 //!
@@ -9,19 +10,29 @@
 //!   free port, printed on startup).
 //! * `--workers=` — connection worker threads (default 4).
 //! * `--capacity=` — plan-cache entries before LRU eviction (default 128).
+//! * `--cache-dir=` — persist the plan cache in this directory (snapshot +
+//!   WAL, DESIGN.md §16); a restart recovers every fully-written entry
+//!   byte-identically. Without it the cache is memory-only.
+//! * `--deadline-ms=` — default admission deadline: a request that waited
+//!   longer than this before planning could start is refused with a typed
+//!   `deadline_exceeded` line (requests may override per-request).
+//! * `--max-queue=` — bound on accepted-but-unstarted connections
+//!   (default 64); beyond it new connections get a typed `overloaded`
+//!   refusal instead of queueing unboundedly.
 //! * `--hw=` — hardware config file for requests without an inline `hw`
 //!   object (default: the paper's 8×8 machine).
 //! * `--fast` — apply the fast search configuration to every request.
 //! * `--summary=` — write a cache-counter JSON summary on shutdown.
 //! * `--smoke` — CI self-test: serve on a loopback port, submit the same
-//!   ResNet-50 request twice plus a batch-2 neighbor, and exit non-zero
-//!   unless the second request is a cache hit with byte-identical plan
-//!   payload and the third warm-starts.
+//!   ResNet-50 request twice plus a batch-2 neighbor, then persist the
+//!   cache, restart the store from disk, and exit non-zero unless the
+//!   recovered entry serves a byte-identical cache hit.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 
 use ad_serve::{serve, PlanStore, ServerConfig};
 use ad_util::Json;
@@ -41,6 +52,11 @@ fn main() {
     let capacity = opt("--capacity=")
         .and_then(|v| v.parse().ok())
         .unwrap_or(128);
+    let cache_dir = opt("--cache-dir=").map(PathBuf::from);
+    let deadline_ms = opt("--deadline-ms=").and_then(|v| v.parse().ok());
+    let max_queue = opt("--max-queue=")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
     let summary = opt("--summary=");
     let base_hw = match opt("--hw=") {
         Some(path) => match HardwareConfig::load(&path) {
@@ -56,20 +72,31 @@ fn main() {
         base_hw,
         fast: flag("--fast"),
         workers,
+        deadline_ms,
+        max_queue,
     };
-    let store = PlanStore::new(capacity);
 
     if flag("--smoke") {
-        std::process::exit(run_smoke(&store, &sc, summary.as_deref()));
+        std::process::exit(run_smoke(capacity, &sc, summary.as_deref()));
     }
 
+    let store = open_store(capacity, cache_dir.as_deref());
     let listener = TcpListener::bind(&addr).expect("bind listen address");
     println!(
-        "ad-serve listening on {} ({} workers, capacity {})",
+        "ad-serve listening on {} ({} workers, capacity {}, queue bound {})",
         listener.local_addr().expect("local addr"),
         sc.workers,
-        capacity
+        capacity,
+        sc.max_queue,
     );
+    if let Some(ps) = store.persist_stats() {
+        println!(
+            "ad-serve: recovered {} cached plans ({} torn, {} corrupt records dropped)",
+            store.stats().entries,
+            ps.torn_records,
+            ps.corrupt_records
+        );
+    }
     serve(&listener, &store, &sc).expect("serve loop");
 
     let stats = store.stats();
@@ -82,6 +109,20 @@ fn main() {
     );
 }
 
+/// Opens the plan store, persistent when a cache directory was given.
+fn open_store(capacity: usize, cache_dir: Option<&std::path::Path>) -> PlanStore {
+    match cache_dir {
+        None => PlanStore::new(capacity),
+        Some(dir) => match PlanStore::open(capacity, dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ad-serve: cannot open cache dir {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 /// One request line over an open connection; returns the parsed response.
 fn roundtrip(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str) -> Json {
     writeln!(conn, "{req}").expect("send request");
@@ -91,14 +132,15 @@ fn roundtrip(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str)
 }
 
 /// The CI self-test: cold plan, byte-identical cache hit, warm-started
-/// batch neighbor, counter check. Returns the process exit code.
-fn run_smoke(store: &PlanStore, sc: &ServerConfig, summary: Option<&str>) -> i32 {
+/// batch neighbor, counter check, then a persist → restart → recovered-hit
+/// round trip. Returns the process exit code.
+fn run_smoke(capacity: usize, sc: &ServerConfig, summary: Option<&str>) -> i32 {
     // Smoke always uses the fast search configuration: CI budget, and the
     // cache/warm-start semantics under test do not depend on search scale.
     let sc = ServerConfig { fast: true, ..*sc };
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-    let addr = listener.local_addr().expect("local addr");
-    println!("ad-serve smoke: serving on {addr}");
+    let cache_dir = std::env::temp_dir().join(format!("ad-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let store = PlanStore::open(capacity, &cache_dir).expect("open smoke cache dir");
 
     let mut failures: Vec<String> = Vec::new();
     let mut check = |what: &str, ok: bool| {
@@ -108,8 +150,74 @@ fn run_smoke(store: &PlanStore, sc: &ServerConfig, summary: Option<&str>) -> i32
         }
     };
 
+    let cold_plan = serve_smoke_phase(&store, &sc, &mut check);
+
+    // Persist → restart: drop the first store (as a crash would), reopen
+    // from the same directory, and demand a byte-identical recovered hit.
+    drop(store);
+    let store = PlanStore::open(capacity, &cache_dir).expect("reopen smoke cache dir");
+    let recovered = store.persist_stats().expect("persistent store");
+    check(
+        "restart recovers cached entries",
+        store.stats().entries >= 2,
+    );
+    check(
+        "recovery is clean (no torn/corrupt)",
+        recovered.is_clean_load(),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
     std::thread::scope(|s| {
-        let server = s.spawn(|| serve(&listener, store, &sc));
+        let server = s.spawn(|| serve(&listener, &store, &sc));
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone stream"));
+        let r = roundtrip(
+            &mut conn,
+            &mut reader,
+            "{\"op\":\"plan\",\"model\":\"resnet50\"}",
+        );
+        check(
+            "recovered entry serves as a cache hit",
+            r.get("cached").and_then(Json::as_bool) == Some(true),
+        );
+        check(
+            "recovered hit is byte-identical to the pre-restart plan",
+            r.get("plan").map(|p| p.to_compact()) == cold_plan,
+        );
+        let bye = roundtrip(&mut conn, &mut reader, "{\"op\":\"shutdown\"}");
+        check(
+            "post-restart shutdown acknowledged",
+            bye.get("ok").and_then(Json::as_bool) == Some(true),
+        );
+        server.join().expect("server thread").expect("serve loop");
+    });
+
+    let ok = failures.is_empty();
+    if let Some(path) = summary {
+        write_summary(path, &store.stats().to_json(), ok, &failures);
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!(
+        "ad-serve smoke: {}",
+        if ok { "all checks passed" } else { "FAILED" }
+    );
+    i32::from(!ok)
+}
+
+/// First smoke phase (pre-restart): cold plan, byte-identical hit,
+/// warm-started neighbor, counters, graceful shutdown. Returns the cold
+/// plan payload for the post-restart byte-identity check.
+fn serve_smoke_phase(
+    store: &PlanStore,
+    sc: &ServerConfig,
+    check: &mut impl FnMut(&str, bool),
+) -> Option<String> {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    println!("ad-serve smoke: serving on {addr}");
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| serve(&listener, store, sc));
         let mut conn = TcpStream::connect(addr).expect("connect");
         let mut reader = BufReader::new(conn.try_clone().expect("clone stream"));
         let req = "{\"op\":\"plan\",\"model\":\"resnet50\"}";
@@ -163,6 +271,12 @@ fn run_smoke(store: &PlanStore, sc: &ServerConfig, summary: Option<&str>) -> i32
             "counters: 1 hit, 2 misses",
             hits == Some(1) && misses == Some(2),
         );
+        let wal = st
+            .get("stats")
+            .and_then(|s| s.get("persist"))
+            .and_then(|p| p.get("wal_records"))
+            .and_then(Json::as_u64);
+        check("both plans were appended to the WAL", wal == Some(2));
 
         let bye = roundtrip(&mut conn, &mut reader, "{\"op\":\"shutdown\"}");
         check(
@@ -170,17 +284,8 @@ fn run_smoke(store: &PlanStore, sc: &ServerConfig, summary: Option<&str>) -> i32
             bye.get("ok").and_then(Json::as_bool) == Some(true),
         );
         server.join().expect("server thread").expect("serve loop");
-    });
-
-    let ok = failures.is_empty();
-    if let Some(path) = summary {
-        write_summary(path, &store.stats().to_json(), ok, &failures);
-    }
-    println!(
-        "ad-serve smoke: {}",
-        if ok { "all checks passed" } else { "FAILED" }
-    );
-    i32::from(!ok)
+        plan1
+    })
 }
 
 fn write_summary(path: &str, stats: &Json, ok: bool, failures: &[String]) {

@@ -109,6 +109,7 @@ fn daemon_serves_cache_hits_over_tcp() {
         base_hw: HardwareConfig::fast_test(),
         fast: true,
         workers: 2,
+        ..ServerConfig::default()
     };
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr");
@@ -165,6 +166,7 @@ fn daemon_thread_count_stays_bounded_across_planning_misses() {
         base_hw: HardwareConfig::fast_test(),
         fast: true,
         workers: 2,
+        ..ServerConfig::default()
     };
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr");
@@ -204,6 +206,113 @@ fn daemon_thread_count_stays_bounded_across_planning_misses() {
     });
 }
 
+/// Overload shedding, deadline admission, and graceful drain, exercised
+/// deterministically with a single worker:
+///
+/// 1. Connection A occupies the only worker (it stays open after a
+///    round trip, so the worker is parked reading its next line).
+/// 2. B, D, F queue up (bound 3) with their request lines pre-written:
+///    B carries `deadline_ms: 0`, D a shutdown, F an ordinary plan.
+/// 3. C arrives with the queue full → typed `overloaded` refusal.
+/// 4. Closing A releases the worker: B has aged past its zero deadline in
+///    the queue → typed `deadline_exceeded` refusal (not a timeout —
+///    the client hears back immediately). D's shutdown is honored.
+/// 5. F was still queued when shutdown began → typed `shutting_down`
+///    refusal; nothing is served after the drain starts.
+#[test]
+fn daemon_sheds_overload_and_drains_with_typed_refusals() {
+    let store = PlanStore::new(8);
+    let sc = ServerConfig {
+        base_hw: HardwareConfig::fast_test(),
+        fast: true,
+        workers: 1,
+        max_queue: 3,
+        ..ServerConfig::default()
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+
+    let refused = |doc: &Json| {
+        doc.get("refused")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    };
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| serve(&listener, &store, &sc));
+
+        // A: one planned request, then hold the connection (and worker).
+        let mut a = TcpStream::connect(addr).expect("connect A");
+        let mut a_reader = BufReader::new(a.try_clone().expect("clone A"));
+        let r = roundtrip(
+            &mut a,
+            &mut a_reader,
+            "{\"op\":\"plan\",\"model\":\"tiny_cnn\"}",
+        );
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+
+        // B, D, F fill the queue in order (the accept loop is serial, so
+        // connect order is queue order). Their lines sit in the socket
+        // buffers until the worker frees up.
+        let mut b = TcpStream::connect(addr).expect("connect B");
+        writeln!(
+            b,
+            "{{\"op\":\"plan\",\"model\":\"tiny_cnn\",\"deadline_ms\":0}}"
+        )
+        .expect("send B");
+        let mut d = TcpStream::connect(addr).expect("connect D");
+        writeln!(d, "{{\"op\":\"shutdown\"}}").expect("send D");
+        let mut f = TcpStream::connect(addr).expect("connect F");
+        writeln!(f, "{{\"op\":\"plan\",\"model\":\"tiny_cnn\"}}").expect("send F");
+
+        // C: the queue is full, so the accept loop refuses immediately —
+        // C hears a typed `overloaded` line within its deadline, not a
+        // timeout.
+        let c = TcpStream::connect(addr).expect("connect C");
+        let mut line = String::new();
+        BufReader::new(c).read_line(&mut line).expect("read C");
+        let doc = Json::parse(&line).expect("C refusal parses");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(refused(&doc), Some("overloaded".into()));
+
+        // Let B's accept-time clock age past its zero deadline, then free
+        // the worker.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(a_reader);
+        drop(a);
+
+        // B queued longer than its deadline allowed: typed refusal that
+        // names how long it actually waited.
+        let mut line = String::new();
+        let mut b_reader = BufReader::new(b.try_clone().expect("clone B"));
+        b_reader.read_line(&mut line).expect("read B");
+        let doc = Json::parse(&line).expect("B refusal parses");
+        assert_eq!(refused(&doc), Some("deadline_exceeded".into()));
+        drop(b_reader);
+        drop(b);
+
+        // D's shutdown is in flight when the drain starts: it completes.
+        let mut line = String::new();
+        BufReader::new(d).read_line(&mut line).expect("read D");
+        let doc = Json::parse(&line).expect("D response parses");
+        assert_eq!(doc.get("shutdown").and_then(Json::as_bool), Some(true));
+
+        // F was queued behind the shutdown: refused, never served.
+        let mut line = String::new();
+        BufReader::new(f).read_line(&mut line).expect("read F");
+        let doc = Json::parse(&line).expect("F refusal parses");
+        assert_eq!(refused(&doc), Some("shutting_down".into()));
+
+        server
+            .join()
+            .expect("server thread")
+            .expect("serve loop exits cleanly");
+    });
+
+    // Only A's request ever reached the planner.
+    assert_eq!(store.stats().misses, 1);
+}
+
 /// Malformed requests get an `ok:false` error line and never touch the
 /// planner; the connection stays usable afterwards.
 #[test]
@@ -213,6 +322,7 @@ fn daemon_reports_errors_without_dropping_the_connection() {
         base_hw: HardwareConfig::fast_test(),
         fast: true,
         workers: 1,
+        ..ServerConfig::default()
     };
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr");

@@ -77,7 +77,8 @@ pub use recovery::{
     RecoveryOutcome, RecoveryTrace,
 };
 pub use request::{
-    batchless_config_fingerprint, config_fingerprint, plan, PlanDetail, PlanRequest, PlanResponse,
+    batchless_config_fingerprint, config_fingerprint, plan, AdmissionRefusal, PlanDetail,
+    PlanRequest, PlanResponse,
 };
 pub use scheduler::{Schedule, ScheduleError, ScheduleMode, Scheduler, SchedulerConfig};
 pub use scratch::{Exec, PlanScratch, ScratchGuard, ScratchPool};

@@ -283,6 +283,75 @@ pub fn recover_traced(
     crate::recovery::run_with_recovery_traced(dag, cfg, fault_plan, recovery)
 }
 
+/// Why a serving layer refused to *start* planning a request.
+///
+/// Admission is decided before any planning stage runs, at the daemon edge
+/// where wall-clock time is permitted (DESIGN.md §16): once a request is
+/// admitted, planning itself remains governed only by the deterministic
+/// [`PlanBudget`] caps. A refusal is a complete, typed answer — the client
+/// learns *why* and can retry, back off, or re-route — never a timeout.
+///
+/// `deadline_ms` lives here (as an admission parameter) and NOT in
+/// [`OptimizerConfig::budget`]: [`config_fingerprint`] hashes the budget,
+/// so folding a per-request wall-clock deadline into the config would
+/// fragment the plan cache key space for byte-identical plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionRefusal {
+    /// The bounded work queue is full; admitting more work would grow
+    /// memory and queue latency without bound.
+    Overloaded {
+        /// Requests queued or in flight when this one was refused.
+        queued: usize,
+        /// The configured admission bound.
+        max_queue: usize,
+    },
+    /// The request's deadline expired before planning could begin (or was
+    /// already expired on arrival), so starting would only waste work the
+    /// client no longer wants.
+    DeadlineExceeded {
+        /// The deadline the request carried, in milliseconds.
+        deadline_ms: u64,
+        /// How long the request had already waited when it was refused.
+        waited_ms: u64,
+    },
+    /// The daemon is draining for shutdown: in-flight work completes,
+    /// queued and new work is refused.
+    ShuttingDown,
+}
+
+impl AdmissionRefusal {
+    /// Stable machine-readable tag, used verbatim in protocol responses
+    /// and summary JSON.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdmissionRefusal::Overloaded { .. } => "overloaded",
+            AdmissionRefusal::DeadlineExceeded { .. } => "deadline_exceeded",
+            AdmissionRefusal::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+impl std::fmt::Display for AdmissionRefusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionRefusal::Overloaded { queued, max_queue } => write!(
+                f,
+                "overloaded: {queued} requests queued or in flight (bound {max_queue})"
+            ),
+            AdmissionRefusal::DeadlineExceeded {
+                deadline_ms,
+                waited_ms,
+            } => write!(
+                f,
+                "deadline exceeded: waited {waited_ms} ms against a {deadline_ms} ms deadline"
+            ),
+            AdmissionRefusal::ShuttingDown => write!(f, "shutting down: new work is refused"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionRefusal {}
+
 /// A stable fingerprint of every *plan-relevant* field of `cfg` plus the
 /// strategy tag. Execution-only knobs (worker-thread counts) are excluded:
 /// the planner is byte-deterministic across thread counts, so two requests
@@ -521,5 +590,42 @@ mod tests {
         // search starts, never break determinism of repeated calls.
         let warm2 = plan(&PlanRequest::new(&g, cfg.with_batch(2)).with_warm_start(specs)).unwrap();
         assert_eq!(warm.plan, warm2.plan);
+    }
+
+    #[test]
+    fn admission_refusal_kinds_are_stable_protocol_tags() {
+        let overloaded = AdmissionRefusal::Overloaded {
+            queued: 9,
+            max_queue: 8,
+        };
+        let deadline = AdmissionRefusal::DeadlineExceeded {
+            deadline_ms: 50,
+            waited_ms: 61,
+        };
+        // The kind strings are wire format: clients match on them.
+        assert_eq!(overloaded.kind(), "overloaded");
+        assert_eq!(deadline.kind(), "deadline_exceeded");
+        assert_eq!(AdmissionRefusal::ShuttingDown.kind(), "shutting_down");
+        assert!(overloaded.to_string().contains("bound 8"));
+        assert!(deadline.to_string().contains("50 ms deadline"));
+    }
+
+    #[test]
+    fn deadline_stays_out_of_the_config_fingerprint_key_space() {
+        // The admission deadline is per-request edge state; two requests
+        // differing only in *admission* deadline must share a cache key.
+        // (PlanBudget::deadline_ms, by contrast, is plan-relevant and
+        // hashed — this pins that the two are distinct knobs.)
+        let cfg = OptimizerConfig::fast_test();
+        let a = config_fingerprint(&cfg, Strategy::AtomicDataflow);
+        let b = config_fingerprint(&cfg, Strategy::AtomicDataflow);
+        assert_eq!(a, b);
+        let mut budgeted = cfg;
+        budgeted.budget.deadline_ms = Some(5);
+        assert_ne!(
+            a,
+            config_fingerprint(&budgeted, Strategy::AtomicDataflow),
+            "PlanBudget::deadline_ms IS plan-relevant and must fragment the key"
+        );
     }
 }

@@ -366,12 +366,13 @@ struct State<'a> {
     done: Vec<bool>,
 }
 
-/// Reusable buffers of one scheduling pass — the dense [`State`] tables
+/// Reusable buffers of one scheduling pass — the dense `State` tables
 /// plus the transposition table's slot array — pooled per runner via
 /// [`crate::scratch::ScratchPool`]. Reuse is capacity-only: every buffer
-/// is cleared and fully re-initialized by [`State::new_in`] (and
-/// [`MemoTable::from_scratch`]) before any read, so a pass running on a
-/// recycled arena is byte-identical to one on fresh allocations.
+/// is cleared and fully re-initialized by `State::new_in` (and
+/// `MemoTable::from_scratch`, both private to this module) before any
+/// read, so a pass running on a recycled arena is byte-identical to one
+/// on fresh allocations.
 #[derive(Debug, Default)]
 pub struct SchedScratch {
     indegree: Vec<u32>,

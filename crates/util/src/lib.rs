@@ -21,14 +21,26 @@
 //! - [`fingerprint`] — a stable, platform-independent 64-bit content hash
 //!   ([`FpHasher`] → [`Fingerprint`]) used to key the content-addressed
 //!   plan cache; golden digests are pinned in tests.
+//! - [`record`] — checksummed record framing for crash-safe append-only
+//!   logs ([`record::scan_records`] distinguishes torn tails from corrupt
+//!   records), backing the persistent plan store's WAL + snapshot files.
+//! - [`queue`] — a bounded MPMC work queue ([`queue::BoundedQueue`]) that
+//!   refuses instead of growing, implementing the serving layer's
+//!   overload-shedding doctrine.
 
 pub mod cast;
 pub mod fingerprint;
 pub mod json;
 pub mod par;
+pub mod queue;
+pub mod record;
 pub mod rng;
 
 pub use fingerprint::{Fingerprint, FpHasher};
 pub use json::{Json, JsonError};
 pub use par::{scoped_map, TaskScope, WorkerPool};
+pub use queue::{BoundedQueue, PushError};
+pub use record::{
+    encode_record, record_checksum, scan_records, RecordScan, MAX_RECORD_BYTES, RECORD_HEADER_BYTES,
+};
 pub use rng::Rng64;

@@ -27,7 +27,8 @@
 //! # Pool determinism and soundness
 //!
 //! Jobs are lifetime-erased closures (the one `unsafe` in the workspace;
-//! see [`erase`]). Soundness is the *join-before-return* rule scoped
+//! see `erase`, private to this module). Soundness is the
+//! *join-before-return* rule scoped
 //! threads enforce, rebuilt around a completion latch: [`WorkerPool::map`]
 //! and [`WorkerPool::run_tasks`] never return — or unwind — until every
 //! job they submitted has been executed (or drained) and its closure
@@ -416,7 +417,11 @@ pub struct TaskScope<'p, 'env> {
     pool: &'p WorkerPool,
     batch: Arc<Latch>,
     panicked: Mutex<Option<Box<dyn std::any::Any + Send>>>,
-    _env: std::marker::PhantomData<&'env ()>,
+    // `'env` must be INVARIANT (the `&mut`), mirroring `std::thread::scope`.
+    // With covariance the scope reference can be shrunk at a `submit` call
+    // site, letting a task capture a borrow that dies before the final
+    // drain executes it — the erased job then reads a dead stack slot.
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
 }
 
 impl<'env> TaskScope<'_, 'env> {
@@ -638,8 +643,12 @@ mod tests {
         let hits = AtomicUsize::new(0);
         let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.run_tasks(|s| {
+                let hits = &hits;
                 for i in 0..8 {
-                    s.submit(|| {
+                    // `move` is required (and enforced by the invariant
+                    // `'env`): a by-ref capture of the loop-local `i` would
+                    // dangle by the time the drain runs the task.
+                    s.submit(move || {
                         hits.fetch_add(1, Ordering::SeqCst);
                         assert!(i != 3, "planted");
                     });

@@ -1,0 +1,234 @@
+//! Checksummed record framing for crash-safe append-only logs.
+//!
+//! The plan-serving layer persists cached plan payloads in an append-only
+//! write-ahead log plus periodic snapshots (DESIGN.md §16). A process can
+//! die mid-append (`kill -9`, power loss), leaving a *torn tail*: a record
+//! whose header or payload is only partially on disk. Disk or filesystem
+//! faults can also flip bytes inside a fully-written record. This module
+//! owns the framing that makes both detectable:
+//!
+//! ```text
+//! record := len:u32-le | checksum:u64-le | payload[len]
+//! ```
+//!
+//! `checksum` is the workspace's stable [`FpHasher`] digest of the payload
+//! bytes — the same platform-independent hash that keys the plan cache, so
+//! a log written on one machine recovers identically on any other.
+//!
+//! [`scan_records`] walks a byte buffer from the front and classifies the
+//! first defect it meets:
+//!
+//! * **Torn tail** — the buffer ends inside a header or payload. This is
+//!   the expected artifact of a crash mid-append; the valid prefix is
+//!   intact and the caller truncates the file to [`RecordScan::clean_len`].
+//! * **Corrupt record** — a complete-looking record whose checksum does
+//!   not match (or whose length field is absurd). Framing downstream of a
+//!   corrupt length cannot be trusted, so the scan stops there; everything
+//!   from the corrupt record on is dropped and counted.
+//!
+//! Records never contain their own framing escape — the length prefix
+//! already delimits them — so any byte sequence is a valid payload.
+
+use crate::fingerprint::FpHasher;
+
+/// Bytes of framing before each payload: 4-byte length + 8-byte checksum.
+pub const RECORD_HEADER_BYTES: usize = 12;
+
+/// Upper bound on a single record's payload. A length field beyond this is
+/// treated as corruption rather than attempted as an allocation: the
+/// serving layer's payloads are compact JSON documents, orders of
+/// magnitude smaller.
+pub const MAX_RECORD_BYTES: usize = 1 << 30;
+
+/// Stable checksum of a record payload (FNV-1a + splitmix finalizer via
+/// [`FpHasher`]; platform-independent).
+pub fn record_checksum(payload: &[u8]) -> u64 {
+    let mut h = FpHasher::new();
+    h.write_bytes(payload);
+    h.finish().0
+}
+
+/// Frames `payload` as one record: header (length + checksum) followed by
+/// the payload bytes.
+pub fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    debug_assert!(payload.len() <= MAX_RECORD_BYTES);
+    out.extend_from_slice(&crate::cast::u32_from_usize(payload.len()).to_le_bytes());
+    out.extend_from_slice(&record_checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Outcome of scanning a log buffer: the valid records plus an exact
+/// account of what (if anything) was dropped and why.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecordScan {
+    /// Payloads of every valid record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Length of the valid prefix in bytes. A recovering caller truncates
+    /// the log file to this length so the next append lands on a clean
+    /// boundary.
+    pub clean_len: usize,
+    /// Bytes beyond the valid prefix (torn tail or corrupt remainder).
+    pub dropped_bytes: usize,
+    /// 1 when the buffer ends inside a record (crash mid-append).
+    pub torn_records: u64,
+    /// 1 when a complete-looking record failed its checksum (or carried an
+    /// absurd length). Framing beyond it is untrusted, so at most one
+    /// corrupt record is ever *counted* — the rest of the buffer is
+    /// accounted under [`RecordScan::dropped_bytes`].
+    pub corrupt_records: u64,
+}
+
+impl RecordScan {
+    /// Whether the whole buffer was valid records.
+    pub fn is_clean(&self) -> bool {
+        self.torn_records == 0 && self.corrupt_records == 0
+    }
+}
+
+/// Scans `buf` from the front, returning every valid record and
+/// classifying the first defect (see the module docs for the torn-tail /
+/// corrupt-record distinction).
+pub fn scan_records(buf: &[u8]) -> RecordScan {
+    let mut scan = RecordScan::default();
+    let mut off = 0usize;
+    while off < buf.len() {
+        let remaining = buf.len() - off;
+        if remaining < RECORD_HEADER_BYTES {
+            // Header itself is incomplete: torn tail.
+            scan.torn_records = 1;
+            break;
+        }
+        let mut len_bytes = [0u8; 4];
+        len_bytes.copy_from_slice(&buf[off..off + 4]);
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_RECORD_BYTES {
+            // An absurd length is corruption, not a real (unallocatable)
+            // record — and it desynchronizes all downstream framing.
+            scan.corrupt_records = 1;
+            break;
+        }
+        let mut sum_bytes = [0u8; 8];
+        sum_bytes.copy_from_slice(&buf[off + 4..off + 12]);
+        let checksum = u64::from_le_bytes(sum_bytes);
+        let body_start = off + RECORD_HEADER_BYTES;
+        if buf.len() - body_start < len {
+            // Payload incomplete: torn tail.
+            scan.torn_records = 1;
+            break;
+        }
+        let payload = &buf[body_start..body_start + len];
+        if record_checksum(payload) != checksum {
+            scan.corrupt_records = 1;
+            break;
+        }
+        scan.records.push(payload.to_vec());
+        off = body_start + len;
+        scan.clean_len = off;
+    }
+    scan.dropped_bytes = buf.len() - scan.clean_len;
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_of(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for p in payloads {
+            buf.extend_from_slice(&encode_record(p));
+        }
+        buf
+    }
+
+    #[test]
+    fn round_trip_preserves_bytes_and_order() {
+        let buf = log_of(&[b"alpha", b"", b"{\"plan\":1}", &[0u8, 255, 7]]);
+        let scan = scan_records(&buf);
+        assert!(scan.is_clean());
+        assert_eq!(scan.clean_len, buf.len());
+        assert_eq!(scan.dropped_bytes, 0);
+        assert_eq!(
+            scan.records,
+            vec![
+                b"alpha".to_vec(),
+                Vec::new(),
+                b"{\"plan\":1}".to_vec(),
+                vec![0u8, 255, 7]
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let scan = scan_records(&[]);
+        assert!(scan.is_clean());
+        assert_eq!(scan.clean_len, 0);
+        assert!(scan.records.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_cut_point() {
+        let buf = log_of(&[b"first", b"second-record"]);
+        let first_len = RECORD_HEADER_BYTES + b"first".len();
+        // Any cut strictly inside the second record keeps exactly the
+        // first and reports a torn tail.
+        for cut in first_len + 1..buf.len() {
+            let scan = scan_records(&buf[..cut]);
+            assert_eq!(scan.records.len(), 1, "cut={cut}");
+            assert_eq!(scan.records[0], b"first", "cut={cut}");
+            assert_eq!(scan.clean_len, first_len, "cut={cut}");
+            assert_eq!(scan.torn_records, 1, "cut={cut}");
+            assert_eq!(scan.corrupt_records, 0, "cut={cut}");
+            assert_eq!(scan.dropped_bytes, cut - first_len, "cut={cut}");
+        }
+        // A cut inside the *first* record recovers nothing.
+        let scan = scan_records(&buf[..first_len - 1]);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.clean_len, 0);
+        assert_eq!(scan.torn_records, 1);
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_corrupt_not_torn() {
+        let mut buf = log_of(&[b"first", b"second"]);
+        let idx = RECORD_HEADER_BYTES + 2; // inside the first payload
+        buf[idx] ^= 0x40;
+        let scan = scan_records(&buf);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.corrupt_records, 1);
+        assert_eq!(scan.torn_records, 0);
+        assert_eq!(scan.clean_len, 0);
+        assert_eq!(scan.dropped_bytes, buf.len());
+    }
+
+    #[test]
+    fn corruption_stops_the_scan_but_keeps_the_prefix() {
+        let mut buf = log_of(&[b"keep-me", b"break-me", b"unreachable"]);
+        let first_len = RECORD_HEADER_BYTES + b"keep-me".len();
+        buf[first_len + RECORD_HEADER_BYTES] ^= 1; // second payload byte 0
+        let scan = scan_records(&buf);
+        assert_eq!(scan.records, vec![b"keep-me".to_vec()]);
+        assert_eq!(scan.clean_len, first_len);
+        assert_eq!(scan.corrupt_records, 1);
+        assert_eq!(scan.dropped_bytes, buf.len() - first_len);
+    }
+
+    #[test]
+    fn absurd_length_field_is_corruption() {
+        let mut buf = encode_record(b"x");
+        buf[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let scan = scan_records(&buf);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.corrupt_records, 1);
+        assert_eq!(scan.torn_records, 0);
+    }
+
+    #[test]
+    fn checksum_is_stable_across_calls() {
+        assert_eq!(record_checksum(b"payload"), record_checksum(b"payload"));
+        assert_ne!(record_checksum(b"payload"), record_checksum(b"payloae"));
+    }
+}
